@@ -1,0 +1,85 @@
+//! Benchmarks the Table 2/3 regeneration path: one full simulated run
+//! per scheme on a reduced Mandelbrot (the full 4000×2000 windows live
+//! in the `table2`/`table3` binaries; here we keep criterion's
+//! repeated sampling affordable while exercising identical code).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lss_core::master::SchemeKind;
+use lss_sim::{simulate, simulate_tree, ClusterSpec, LoadTrace, SimConfig, TreeSimConfig};
+use lss_workloads::{Mandelbrot, MandelbrotParams, SampledWorkload};
+
+fn workload() -> SampledWorkload<Mandelbrot> {
+    SampledWorkload::new(Mandelbrot::new(MandelbrotParams::paper_domain(600, 300)), 4)
+}
+
+fn traces(nondedicated: bool) -> Vec<LoadTrace> {
+    let mut t = vec![LoadTrace::dedicated(); 8];
+    if nondedicated {
+        t[0] = LoadTrace::paper_overloaded();
+        for tr in t.iter_mut().take(6).skip(3) {
+            *tr = LoadTrace::paper_overloaded();
+        }
+    }
+    t
+}
+
+fn bench_table2_path(c: &mut Criterion) {
+    let w = workload();
+    let mut g = c.benchmark_group("table2_sim");
+    g.sample_size(20);
+    for scheme in SchemeKind::table2_schemes() {
+        g.bench_function(scheme.name(), |b| {
+            b.iter(|| {
+                simulate(
+                    &SimConfig::new(ClusterSpec::paper_p8(), scheme),
+                    &w,
+                    &traces(false),
+                )
+                .t_p
+            })
+        });
+    }
+    g.bench_function("TreeS", |b| {
+        b.iter(|| {
+            simulate_tree(
+                &TreeSimConfig::new(ClusterSpec::paper_p8(), false),
+                &w,
+                &traces(false),
+            )
+            .t_p
+        })
+    });
+    g.finish();
+}
+
+fn bench_table3_path(c: &mut Criterion) {
+    let w = workload();
+    let mut g = c.benchmark_group("table3_sim");
+    g.sample_size(20);
+    for scheme in SchemeKind::table3_schemes() {
+        g.bench_function(scheme.name(), |b| {
+            b.iter(|| {
+                simulate(
+                    &SimConfig::new(ClusterSpec::paper_p8(), scheme),
+                    &w,
+                    &traces(true),
+                )
+                .t_p
+            })
+        });
+    }
+    g.bench_function("TreeS-weighted", |b| {
+        b.iter(|| {
+            simulate_tree(
+                &TreeSimConfig::new(ClusterSpec::paper_p8(), true),
+                &w,
+                &traces(true),
+            )
+            .t_p
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_table2_path, bench_table3_path);
+criterion_main!(benches);

@@ -1,0 +1,82 @@
+//! Master-side scheduling overhead: how fast each scheme computes its
+//! chunk sequence. This is the per-request cost the paper trades
+//! against load balance (fewer, larger chunks ⇒ less of this).
+
+use criterion::{black_box, criterion_group, criterion_main, BenchmarkId, Criterion};
+use lss_core::chunk::ChunkDispenser;
+use lss_core::distributed::{DistKind, DistributedScheduler, Grant};
+use lss_core::power::{AcpConfig, VirtualPower};
+use lss_core::scheme::{
+    ChunkSelfSched, FactoringSelfSched, FixedIncreaseSelfSched, GuidedSelfSched,
+    TrapezoidFactoringSelfSched, TrapezoidSelfSched,
+};
+
+const I: u64 = 100_000;
+const P: u32 = 8;
+
+fn bench_simple_schemes(c: &mut Criterion) {
+    let mut g = c.benchmark_group("simple_scheme_drain");
+    g.bench_function(BenchmarkId::new("CSS", "k=100"), |b| {
+        b.iter(|| ChunkDispenser::new(black_box(I), ChunkSelfSched::new(100)).count())
+    });
+    g.bench_function(BenchmarkId::new("GSS", P), |b| {
+        b.iter(|| ChunkDispenser::new(black_box(I), GuidedSelfSched::new(P)).count())
+    });
+    g.bench_function(BenchmarkId::new("TSS", P), |b| {
+        b.iter(|| ChunkDispenser::new(black_box(I), TrapezoidSelfSched::new(I, P)).count())
+    });
+    g.bench_function(BenchmarkId::new("FSS", P), |b| {
+        b.iter(|| ChunkDispenser::new(black_box(I), FactoringSelfSched::new(P)).count())
+    });
+    g.bench_function(BenchmarkId::new("FISS", P), |b| {
+        b.iter(|| {
+            ChunkDispenser::new(black_box(I), FixedIncreaseSelfSched::new(I, P, 4)).count()
+        })
+    });
+    g.bench_function(BenchmarkId::new("TFSS", P), |b| {
+        b.iter(|| {
+            ChunkDispenser::new(black_box(I), TrapezoidFactoringSelfSched::new(I, P)).count()
+        })
+    });
+    g.finish();
+}
+
+fn bench_distributed_schemes(c: &mut Criterion) {
+    let powers: Vec<VirtualPower> = [3.0, 3.0, 3.0, 1.0, 1.0, 1.0, 1.0, 1.0]
+        .iter()
+        .map(|&v| VirtualPower::new(v))
+        .collect();
+    let mut g = c.benchmark_group("distributed_scheme_drain");
+    for kind in [
+        DistKind::Dtss,
+        DistKind::Dfss,
+        DistKind::Dfiss { sigma: 4 },
+        DistKind::Dtfss,
+    ] {
+        g.bench_function(kind.name(), |b| {
+            b.iter(|| {
+                let mut s = DistributedScheduler::dedicated(
+                    kind,
+                    black_box(I),
+                    &powers,
+                    AcpConfig::PAPER,
+                );
+                let mut served = 0u64;
+                let mut w = 0usize;
+                loop {
+                    match s.request(w % 8, 1) {
+                        Grant::Chunk(c) => served += c.len,
+                        Grant::Unavailable => {}
+                        Grant::Finished => break,
+                    }
+                    w += 1;
+                }
+                served
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_simple_schemes, bench_distributed_schemes);
+criterion_main!(benches);

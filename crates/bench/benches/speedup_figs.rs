@@ -1,0 +1,40 @@
+//! Benchmarks the Figures 4–7 regeneration path: the `p = 1..8`
+//! speedup sweep for one representative simple scheme (TSS, Figure
+//! 4/5) and one distributed scheme (DTSS, Figure 6/7), dedicated and
+//! non-dedicated.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lss_core::master::SchemeKind;
+use lss_sim::{simulate, ClusterSpec, LoadTrace, SimConfig};
+use lss_workloads::{Mandelbrot, MandelbrotParams, SampledWorkload};
+
+fn workload() -> SampledWorkload<Mandelbrot> {
+    SampledWorkload::new(Mandelbrot::new(MandelbrotParams::paper_domain(600, 300)), 4)
+}
+
+fn sweep(scheme: SchemeKind, w: &SampledWorkload<Mandelbrot>, nondedicated: bool) -> f64 {
+    let mut acc = 0.0;
+    for p in 1..=8usize {
+        let cluster = ClusterSpec::paper_config(p);
+        let mut traces = vec![LoadTrace::dedicated(); p];
+        if nondedicated {
+            traces[0] = LoadTrace::paper_overloaded();
+        }
+        acc += simulate(&SimConfig::new(cluster, scheme), w, &traces).t_p;
+    }
+    acc
+}
+
+fn bench_speedup_sweeps(c: &mut Criterion) {
+    let w = workload();
+    let mut g = c.benchmark_group("speedup_sweep_p1_to_8");
+    g.sample_size(10);
+    g.bench_function("fig4_TSS_dedicated", |b| b.iter(|| sweep(SchemeKind::Tss, &w, false)));
+    g.bench_function("fig5_TSS_nondedicated", |b| b.iter(|| sweep(SchemeKind::Tss, &w, true)));
+    g.bench_function("fig6_DTSS_dedicated", |b| b.iter(|| sweep(SchemeKind::Dtss, &w, false)));
+    g.bench_function("fig7_DTSS_nondedicated", |b| b.iter(|| sweep(SchemeKind::Dtss, &w, true)));
+    g.finish();
+}
+
+criterion_group!(benches, bench_speedup_sweeps);
+criterion_main!(benches);

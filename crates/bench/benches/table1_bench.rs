@@ -1,0 +1,35 @@
+//! Benchmarks the Table 1 generation path: computing the full chunk
+//! sequence for `I = 1000, p = 4` under every scheme, plus the
+//! digit-for-digit verification — the cheapest end-to-end "experiment"
+//! in the suite.
+
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+use lss_core::chunk::ChunkDispenser;
+use lss_core::scheme::{
+    FactoringSelfSched, FixedIncreaseSelfSched, GuidedSelfSched, StaticSched,
+    TrapezoidFactoringSelfSched, TrapezoidSelfSched,
+};
+
+fn bench_table1(c: &mut Criterion) {
+    c.bench_function("table1_all_rows", |b| {
+        b.iter(|| {
+            let i = black_box(1000u64);
+            let mut total_chunks = 0usize;
+            total_chunks += ChunkDispenser::new(i, StaticSched::new(i, 4)).count();
+            total_chunks += ChunkDispenser::new(i, GuidedSelfSched::new(4)).count();
+            total_chunks += ChunkDispenser::new(i, TrapezoidSelfSched::new(i, 4)).count();
+            total_chunks += ChunkDispenser::new(i, FactoringSelfSched::new(4)).count();
+            total_chunks += ChunkDispenser::new(i, FixedIncreaseSelfSched::new(i, 4, 3)).count();
+            total_chunks +=
+                ChunkDispenser::new(i, TrapezoidFactoringSelfSched::new(i, 4)).count();
+            total_chunks
+        })
+    });
+
+    c.bench_function("table1_tfss_stages", |b| {
+        b.iter(|| TrapezoidFactoringSelfSched::new(black_box(1000), 4).stage_chunks().to_vec())
+    });
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,295 @@
+//! Ablations of the paper's design choices (DESIGN.md §6):
+//!
+//! 1. **ACP scale** — the §5.2(I) fix: integer `⌊V/Q⌋` (original DTSS)
+//!    vs decimal division scaled by 10 / 100.
+//! 2. **GSS vs GSS(k) vs TSS** — why the paper replaces GSS with its
+//!    linearized approximation.
+//! 3. **TSS last-chunk size `L`** — the paper's "one can improve this
+//!    by choosing L > 1".
+//! 4. **Re-plan threshold** — DTSS with the paper's ">½ changed" rule
+//!    vs re-planning disabled, under a mid-run load spike.
+//! 5. **Sampling frequency `S_f`** — the §2.1 reordering, swept.
+//! 6. **TreeS initial allocation** — equal vs power-weighted.
+//! 7. **FSS α** — the paper's sub-optimal fixed `α = 2` vs Hummel et
+//!    al.'s α computed from the iteration-cost distribution.
+//! 8. **Iteration reordering** — none vs sampling (`S_f = 4`, for
+//!    irregular loops) vs cost-sorted (for §2.1's *predictable* loops).
+
+use lss_bench::experiments::{table23_workload, write_artifact};
+use lss_core::chunk::ChunkDispenser;
+use lss_core::master::SchemeKind;
+use lss_core::power::{AcpConfig, VirtualPower};
+use lss_core::scheme::{GuidedSelfSched, TrapezoidSelfSched};
+use lss_metrics::table::TextTable;
+use lss_sim::{simulate, simulate_tree, ClusterSpec, LoadTrace, SimConfig, SimTime, TreeSimConfig};
+use lss_workloads::{Mandelbrot, MandelbrotParams, SampledWorkload, Workload};
+
+fn main() {
+    let mut out = String::new();
+
+    out.push_str(&acp_scale_ablation());
+    out.push_str(&gss_family_ablation());
+    out.push_str(&tss_last_chunk_ablation());
+    out.push_str(&replan_ablation());
+    out.push_str(&sampling_frequency_ablation());
+    out.push_str(&trees_allocation_ablation());
+    out.push_str(&adaptive_alpha_ablation());
+    out.push_str(&reorder_strategy_ablation());
+
+    print!("{out}");
+    write_artifact("ablations.txt", out.as_bytes());
+}
+
+/// §5.2(I): the starvation bug and its repair, plus finer scales.
+fn acp_scale_ablation() -> String {
+    let mut t = TextTable::new(vec![
+        "scale".into(),
+        "A(V=1,Q=2)".into(),
+        "A(V=3,Q=4)".into(),
+        "A(V=3.4,Q=4)".into(),
+        "total A".into(),
+        "verdict".into(),
+    ]);
+    for scale in [1u32, 10, 100] {
+        let cfg = AcpConfig::new(scale, 0);
+        let a1 = cfg.acp(VirtualPower::new(1.0), 2).get();
+        let a2 = cfg.acp(VirtualPower::new(3.0), 4).get();
+        let a3 = cfg.acp(VirtualPower::new(3.4), 4).get();
+        let total = a1 + a2;
+        t.push_row(vec![
+            scale.to_string(),
+            a1.to_string(),
+            a2.to_string(),
+            a3.to_string(),
+            total.to_string(),
+            if total == 0 {
+                "STARVES (computation can never start)".into()
+            } else {
+                "works".into()
+            },
+        ]);
+    }
+    format!(
+        "Ablation 1: ACP scale (the §5.2 fix) on the paper's example V=(1,3), Q=(2,4)\n{}\n",
+        t.render()
+    )
+}
+
+/// GSS's long unit-chunk tail vs GSS(k) vs TSS, on the paper workload.
+fn gss_family_ablation() -> String {
+    let workload = table23_workload();
+    let i = Workload::len(workload);
+    let steps = |sizes: Vec<u64>| sizes.len();
+    let gss = steps(ChunkDispenser::new(i, GuidedSelfSched::new(8)).into_sizes());
+    let gss_k = steps(ChunkDispenser::new(i, GuidedSelfSched::with_min_chunk(8, 10)).into_sizes());
+    let tss = steps(ChunkDispenser::new(i, TrapezoidSelfSched::new(i, 8)).into_sizes());
+
+    let mut t = TextTable::new(vec!["scheme".into(), "scheduling steps".into(), "T_p (s)".into()]);
+    for (name, scheme, n) in [
+        ("GSS", SchemeKind::Gss { min_chunk: 1 }, gss),
+        ("GSS(10)", SchemeKind::Gss { min_chunk: 10 }, gss_k),
+        ("TSS", SchemeKind::Tss, tss),
+    ] {
+        let r = simulate(
+            &SimConfig::new(ClusterSpec::paper_p8(), scheme),
+            workload,
+            &vec![LoadTrace::dedicated(); 8],
+        );
+        t.push_row(vec![name.into(), n.to_string(), format!("{:.1}", r.t_p)]);
+    }
+    format!(
+        "Ablation 2: guided-scheduling family, I = {i}, p = 8 (dedicated)\n{}\n",
+        t.render()
+    )
+}
+
+/// TSS with L ∈ {1, 4, 16, 64}: fewer final synchronizations.
+fn tss_last_chunk_ablation() -> String {
+    let workload = table23_workload();
+    let i = Workload::len(workload);
+    let mut t = TextTable::new(vec!["L".into(), "steps".into(), "T_p (s)".into()]);
+    for l in [1u64, 4, 16, 64] {
+        let f = (i / 16).max(l);
+        let sizes = ChunkDispenser::new(i, TrapezoidSelfSched::with_bounds(i, f, l)).into_sizes();
+        let r = simulate(
+            &SimConfig::new(ClusterSpec::paper_p8(), SchemeKind::TssWith { first: f, last: l }),
+            workload,
+            &vec![LoadTrace::dedicated(); 8],
+        );
+        t.push_row(vec![l.to_string(), sizes.len().to_string(), format!("{:.1}", r.t_p)]);
+    }
+    format!(
+        "Ablation 3: TSS last-chunk size L (paper: 'one can improve by choosing L > 1')\n{}\n",
+        t.render()
+    )
+}
+
+/// DTSS with and without re-planning under a mid-run load spike.
+fn replan_ablation() -> String {
+    let workload = table23_workload();
+    // Five of eight PEs start loaded (Q = 3, captured in the initial
+    // plan) and become free at t = 3 s — e.g. the background users log
+    // off. The freed PEs report quickly, so the ">1/2 changed" rule
+    // fires and the master recomputes F, D, N from the remaining
+    // iterations ("a change in the slope of the trapezoid", §3.1).
+    let free_at = SimTime::from_secs_f64(3.0);
+    let mut traces = vec![LoadTrace::dedicated(); 8];
+    for t in traces.iter_mut().take(7).skip(2) {
+        *t = LoadTrace::from_steps(vec![(SimTime::ZERO, 3), (free_at, 1)]);
+    }
+    let mut t = TextTable::new(vec![
+        "re-planning".into(),
+        "T_p (s)".into(),
+        "plans".into(),
+        "comp imbalance".into(),
+    ]);
+    for (label, threshold) in [("on (paper, >1/2)", None), ("off", Some(1.0))] {
+        let mut cfg = SimConfig::new(ClusterSpec::paper_p8(), SchemeKind::Dtss);
+        cfg.replan_threshold = threshold;
+        let r = simulate(&cfg, workload, &traces);
+        t.push_row(vec![
+            label.into(),
+            format!("{:.1}", r.t_p),
+            r.plans.to_string(),
+            format!("{:.2}", r.comp_imbalance()),
+        ]);
+    }
+    format!(
+        "Ablation 4: DTSS re-planning when 5 of 8 PEs go from loaded (Q=3) to free at t = 3 s.\n\
+         Note: per-request ACP scaling already adapts chunk sizes, so re-planning's extra\n\
+         effect (recomputing F, D from the remaining iterations) is visible mostly in the\n\
+         end-game; the paper describes it as insurance for persistent load shifts.\n{}\n",
+        t.render()
+    )
+}
+
+/// The S_f sweep: reordering quality and its end-to-end effect.
+fn sampling_frequency_ablation() -> String {
+    let base = if lss_bench::experiments::quick_mode() {
+        Mandelbrot::new(MandelbrotParams::paper_domain(400, 200))
+    } else {
+        Mandelbrot::new(MandelbrotParams::paper_domain(1200, 600))
+    };
+    let mut t = TextTable::new(vec![
+        "S_f".into(),
+        "windowed max/min".into(),
+        "T_p TSS (s)".into(),
+    ]);
+    for sf in [1u64, 2, 4, 8, 16] {
+        let w = SampledWorkload::new(base.clone(), sf);
+        let profile = w.cost_profile();
+        let imb = lss_workloads::sampling::windowed_imbalance(&profile, profile.len() / 24);
+        let r = simulate(
+            &SimConfig::new(ClusterSpec::paper_p8(), SchemeKind::Tss),
+            &w,
+            &vec![LoadTrace::dedicated(); 8],
+        );
+        t.push_row(vec![sf.to_string(), format!("{imb:.2}"), format!("{:.1}", r.t_p)]);
+    }
+    format!("Ablation 5: sampling frequency S_f (paper uses 4)\n{}\n", t.render())
+}
+
+/// TreeS equal vs weighted initial allocation.
+fn trees_allocation_ablation() -> String {
+    let workload = table23_workload();
+    let mut t = TextTable::new(vec![
+        "allocation".into(),
+        "T_p (s)".into(),
+        "transfers".into(),
+    ]);
+    for (label, weighted) in [("equal (§5.1)", false), ("weighted (§6.1)", true)] {
+        let r = simulate_tree(
+            &TreeSimConfig::new(ClusterSpec::paper_p8(), weighted),
+            workload,
+            &vec![LoadTrace::dedicated(); 8],
+        );
+        t.push_row(vec![
+            label.into(),
+            format!("{:.1}", r.t_p),
+            r.scheduling_steps.to_string(),
+        ]);
+    }
+    format!("Ablation 6: tree-scheduling initial allocation\n{}\n", t.render())
+}
+
+/// Fixed α = 2 vs the computed-α variant on the Mandelbrot profile.
+fn adaptive_alpha_ablation() -> String {
+    let workload = table23_workload();
+    let profile = workload.cost_profile();
+    let mean = profile.iter().sum::<u64>() as f64 / profile.len() as f64;
+    let var = profile
+        .iter()
+        .map(|&c| (c as f64 - mean) * (c as f64 - mean))
+        .sum::<f64>()
+        / profile.len() as f64;
+    let sd = var.sqrt();
+
+    let mut t = TextTable::new(vec![
+        "variant".into(),
+        "steps".into(),
+        "T_p (s)".into(),
+        "comp imbalance".into(),
+    ]);
+    for (label, scheme) in [
+        ("fixed α = 2".to_string(), SchemeKind::Fss),
+        (
+            format!("computed α (μ={mean:.0}, σ={sd:.0})"),
+            SchemeKind::FssAdaptive { mean_cost: mean, std_dev: sd },
+        ),
+    ] {
+        let r = simulate(
+            &SimConfig::new(ClusterSpec::paper_p8(), scheme),
+            workload,
+            &vec![LoadTrace::dedicated(); 8],
+        );
+        t.push_row(vec![
+            label,
+            r.scheduling_steps.to_string(),
+            format!("{:.1}", r.t_p),
+            format!("{:.2}", r.comp_imbalance()),
+        ]);
+    }
+    format!(
+        "Ablation 7: FSS factoring parameter — fixed vs computed from the cost\n\
+         distribution (the option §2.2 mentions; Hummel et al.'s batching rule).\n\
+         Finding: the computed α assumes *homogeneous* PEs; its near-static first\n\
+         stage straggles on this heterogeneous cluster, so the paper's fixed α = 2\n\
+         is the right call here.\n{}\n",
+        t.render()
+    )
+}
+
+/// Iteration reordering strategies under TSS.
+fn reorder_strategy_ablation() -> String {
+    let base = if lss_bench::experiments::quick_mode() {
+        Mandelbrot::new(MandelbrotParams::paper_domain(400, 200))
+    } else {
+        Mandelbrot::new(MandelbrotParams::paper_domain(1200, 600))
+    };
+    let traces = vec![LoadTrace::dedicated(); 8];
+    let run = |w: &dyn Workload| {
+        let r = simulate(&SimConfig::new(ClusterSpec::paper_p8(), SchemeKind::Tss), w, &traces);
+        (r.t_p, r.comp_imbalance())
+    };
+    let mut t = TextTable::new(vec![
+        "order".into(),
+        "T_p (s)".into(),
+        "comp imbalance".into(),
+    ]);
+    let (tp, imb) = run(&base);
+    t.push_row(vec!["original".into(), format!("{tp:.2}"), format!("{imb:.2}")]);
+    let (tp, imb) = run(&lss_workloads::SampledWorkload::new(base.clone(), 4));
+    t.push_row(vec!["sampled S_f=4 (paper)".into(), format!("{tp:.2}"), format!("{imb:.2}")]);
+    let (tp, imb) = run(&lss_workloads::SortedWorkload::decreasing(base.clone()));
+    t.push_row(vec!["sorted decreasing (LPT)".into(), format!("{tp:.2}"), format!("{imb:.2}")]);
+    let (tp, imb) = run(&lss_workloads::SortedWorkload::increasing(base));
+    t.push_row(vec!["sorted increasing".into(), format!("{tp:.2}"), format!("{imb:.2}")]);
+    format!(
+        "Ablation 8: iteration reordering under TSS — sampling suits irregular loops\n\
+         (costs unknowable); cost-sorting is the *predictable*-loop alternative (§2.1).\n\
+         Finding: *increasing* cost order wins under TSS because decreasing chunk\n\
+         sizes times increasing iteration costs gives near-constant chunk durations;\n\
+         decreasing order (LPT) pairs the biggest costs with the biggest chunks.\n{}\n",
+        t.render()
+    )
+}

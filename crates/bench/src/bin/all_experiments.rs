@@ -1,0 +1,20 @@
+//! Runs every table and figure in one go, writing all artifacts to
+//! `results/` (the per-experiment binaries remain available for
+//! individual runs). This is what EXPERIMENTS.md is generated from.
+
+use std::process::Command;
+
+fn main() {
+    let bins = ["table1", "fig1", "fig2", "table2", "table3", "fig4_7", "timeline", "kernels", "scale_study", "ablations"];
+    for bin in bins {
+        println!("==== running {bin} ====");
+        let exe = std::env::current_exe().expect("own path");
+        let dir = exe.parent().expect("bin dir");
+        let status = Command::new(dir.join(bin))
+            .status()
+            .unwrap_or_else(|e| panic!("failed to launch {bin}: {e}"));
+        assert!(status.success(), "{bin} failed with {status}");
+        println!();
+    }
+    println!("all experiments complete; artifacts in results/");
+}

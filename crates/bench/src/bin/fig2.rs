@@ -1,0 +1,25 @@
+//! Regenerates **Figure 2** of the paper: the Mandelbrot fractal
+//! itself, rendered from the same computation the schedulers
+//! distribute. Writes a PPM image and prints an ASCII preview.
+
+use lss_bench::experiments::{figure12_workload, write_artifact};
+use lss_metrics::plot::{ascii_image, ppm_image};
+
+fn main() {
+    let mandelbrot = figure12_workload();
+    let p = *mandelbrot.params();
+    println!(
+        "Figure 2: Mandelbrot fractal, {}x{} on [{}, {}] x [{}, {}], max_iter {}",
+        p.width, p.height, p.x_range.0, p.x_range.1, p.y_range.0, p.y_range.1, p.max_iter
+    );
+
+    let img = mandelbrot.render();
+    let art = ascii_image(&img, p.width as usize, p.height as usize, 78);
+    println!("{art}");
+
+    write_artifact(
+        "fig2.ppm",
+        &ppm_image(&img, p.width as usize, p.height as usize),
+    );
+    write_artifact("fig2.txt", art.as_bytes());
+}

@@ -1,0 +1,60 @@
+//! Regenerates **Figures 4–7** of the paper: speedup `S_p = T_1/T_p`
+//! for `p = 1..8` slaves.
+//!
+//! - Figure 4 — simple schemes, dedicated;
+//! - Figure 5 — simple schemes, non-dedicated;
+//! - Figure 6 — distributed schemes, dedicated (paper: expect
+//!   `S_p ≤ 4.5` with 3 fast ≈ 3× + 5 slow PEs);
+//! - Figure 7 — distributed schemes, non-dedicated (expect `S_p ≤ 6`
+//!   in the paper's partially-dedicated setup).
+//!
+//! Expected shape: a "dip" (flat spot) at `p = 2` where the added PE is
+//! slow and communication cost bites; distributed schemes dominate the
+//! simple ones; TSS scales best among the simple schemes, DTSS among
+//! the distributed ones.
+
+use lss_bench::experiments::{figure_series, series_points, table23_workload, write_artifact};
+use lss_metrics::plot::{ascii_chart, series_csv};
+use lss_metrics::speedup::SpeedupSeries;
+
+fn main() {
+    let workload = table23_workload();
+    let figures = [
+        ("fig4", "Figure 4: speedup of simple schemes — dedicated", false, false),
+        ("fig5", "Figure 5: speedup of simple schemes — non-dedicated", false, true),
+        ("fig6", "Figure 6: speedup of distributed schemes — dedicated", true, false),
+        ("fig7", "Figure 7: speedup of distributed schemes — non-dedicated", true, true),
+    ];
+
+    let r = lss_sim::cluster::SPEED_RATIO;
+    let bound = SpeedupSeries::power_bound(&[r, r, r, 1.0, 1.0, 1.0, 1.0, 1.0], r);
+    println!("power-bound speedup for the p = 8 mix (3 fast x{r:.2} + 5 slow): {bound:.2}\n");
+
+    let mut summary = String::new();
+    for (slug, title, distributed, nondedicated) in figures {
+        let series = figure_series(distributed, nondedicated, workload);
+        let pts = series_points(&series);
+        let chart = ascii_chart(title, &pts, 64, 18);
+        println!("{chart}");
+        summary.push_str(&chart);
+        summary.push('\n');
+        for s in &series {
+            let line = format!(
+                "  {:6} S_p: {}\n",
+                s.scheme,
+                s.p_values
+                    .iter()
+                    .zip(&s.speedups)
+                    .map(|(p, sp)| format!("p={p}:{sp:.2}"))
+                    .collect::<Vec<_>>()
+                    .join("  ")
+            );
+            print!("{line}");
+            summary.push_str(&line);
+        }
+        println!();
+        summary.push('\n');
+        write_artifact(&format!("{slug}.csv"), series_csv(&pts).as_bytes());
+    }
+    write_artifact("fig4_7.txt", summary.as_bytes());
+}

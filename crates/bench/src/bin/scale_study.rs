@@ -1,0 +1,116 @@
+//! Beyond-paper extension: how far does the centralized master scale?
+//!
+//! The paper stops at `p = 8`. This study sweeps the cluster to
+//! `p = 64` slaves (keeping the 3-fast:5-slow ratio) under two regimes:
+//!
+//! - **strong scaling** — the Table 2/3 workload, fixed;
+//! - **weak scaling** — workload grows with `p` (fixed work per slave).
+//!
+//! Expected outcome: the serializing master (1 ms per request plus
+//! payload receive) and the shared slow segment eventually cap the
+//! speedup of every centralized scheme; decentralized tree scheduling
+//! degrades more slowly. This quantifies the paper's implicit
+//! assumption that one master suffices at cluster scale.
+
+use lss_bench::experiments::write_artifact;
+use lss_core::master::SchemeKind;
+use lss_metrics::plot::{ascii_chart, series_csv};
+use lss_metrics::table::TextTable;
+use lss_sim::engine::sequential_time;
+use lss_sim::{simulate, simulate_tree, ClusterSpec, LoadTrace, SimConfig, TreeSimConfig};
+use lss_workloads::{Mandelbrot, MandelbrotParams, SampledWorkload, Workload};
+
+const PS: [usize; 5] = [4, 8, 16, 32, 64];
+
+fn cluster(p: usize) -> ClusterSpec {
+    // Keep the paper's 3:5 fast:slow ratio at every size.
+    let fast = (3 * p).div_ceil(8);
+    ClusterSpec::paper_mix(fast, p - fast)
+}
+
+fn main() {
+    let mut out = String::new();
+
+    // Strong scaling: fixed 4000×2000 workload.
+    let strong = SampledWorkload::new(Mandelbrot::new(MandelbrotParams::table23_window()), 4);
+    let t1 = sequential_time(&strong, lss_sim::cluster::FAST_SPEED);
+    let mut table = TextTable::new(vec![
+        "p".into(),
+        "TSS".into(),
+        "DTSS".into(),
+        "TreeS".into(),
+        "power bound".into(),
+    ]);
+    let mut series: Vec<(String, Vec<(f64, f64)>)> = vec![
+        ("TSS".into(), Vec::new()),
+        ("DTSS".into(), Vec::new()),
+        ("TreeS".into(), Vec::new()),
+    ];
+    for p in PS {
+        let c = cluster(p);
+        let traces = vec![LoadTrace::dedicated(); p];
+        let bound: f64 = c.slaves.iter().map(|s| s.speed).sum::<f64>() / lss_sim::cluster::FAST_SPEED;
+        let tss = simulate(&SimConfig::new(c.clone(), SchemeKind::Tss), &strong, &traces).t_p;
+        let dtss = simulate(&SimConfig::new(c.clone(), SchemeKind::Dtss), &strong, &traces).t_p;
+        let trees = simulate_tree(&TreeSimConfig::new(c, true), &strong, &traces).t_p;
+        table.push_row(vec![
+            p.to_string(),
+            format!("{:.2}", t1 / tss),
+            format!("{:.2}", t1 / dtss),
+            format!("{:.2}", t1 / trees),
+            format!("{bound:.2}"),
+        ]);
+        series[0].1.push((p as f64, t1 / tss));
+        series[1].1.push((p as f64, t1 / dtss));
+        series[2].1.push((p as f64, t1 / trees));
+    }
+    let section = format!(
+        "Scale study (strong scaling, fixed 4000x2000 Mandelbrot): speedup vs p\n{}\n",
+        table.render()
+    );
+    print!("{section}");
+    out.push_str(&section);
+    let chart = ascii_chart("Strong-scaling speedup, p = 4..64", &series, 64, 16);
+    println!("{chart}");
+    out.push_str(&chart);
+    write_artifact("scale_strong.csv", series_csv(&series).as_bytes());
+
+    // Weak scaling: 500 columns per slave; report efficiency
+    // T_ideal / T_p where T_ideal keeps per-slave work constant.
+    let mut table = TextTable::new(vec![
+        "p".into(),
+        "columns".into(),
+        "TSS eff".into(),
+        "DTSS eff".into(),
+        "TreeS eff".into(),
+    ]);
+    for p in PS {
+        let w = SampledWorkload::new(
+            Mandelbrot::new(MandelbrotParams::paper_domain(500 * p as u32, 1000)),
+            4,
+        );
+        let c = cluster(p);
+        let traces = vec![LoadTrace::dedicated(); p];
+        let aggregate: f64 = c.slaves.iter().map(|s| s.speed).sum();
+        let ideal = w.total_cost() as f64 / aggregate;
+        let eff = |tp: f64| ideal / tp;
+        let tss = simulate(&SimConfig::new(c.clone(), SchemeKind::Tss), &w, &traces).t_p;
+        let dtss = simulate(&SimConfig::new(c.clone(), SchemeKind::Dtss), &w, &traces).t_p;
+        let trees = simulate_tree(&TreeSimConfig::new(c, true), &w, &traces).t_p;
+        table.push_row(vec![
+            p.to_string(),
+            (500 * p).to_string(),
+            format!("{:.2}", eff(tss)),
+            format!("{:.2}", eff(dtss)),
+            format!("{:.2}", eff(trees)),
+        ]);
+    }
+    let section = format!(
+        "Scale study (weak scaling, 500 columns/slave): efficiency = T_ideal / T_p\n{}\n",
+        table.render()
+    );
+    print!("{section}");
+    out.push_str(&section);
+
+    write_artifact("scale_study.txt", out.as_bytes());
+}

@@ -1,0 +1,91 @@
+//! Regenerates **Table 1** of the paper: the chunk-size sequences each
+//! scheme produces for `I = 1000` iterations on `p = 4` PEs.
+//!
+//! The paper lists idealized *formula* sequences for TSS/TFSS (they
+//! overshoot `I`; the real master clamps the tail), so both forms are
+//! printed. The `PAPER` rows are transcribed from the publication and
+//! checked digit for digit.
+
+use lss_bench::experiments::write_artifact;
+use lss_core::chunk::ChunkDispenser;
+use lss_core::scheme::{
+    ChunkSizer, FactoringSelfSched, FixedIncreaseSelfSched, GuidedSelfSched, StaticSched,
+    TrapezoidFactoringSelfSched, TrapezoidSelfSched,
+};
+use lss_metrics::table::chunk_table;
+
+const I: u64 = 1000;
+const P: u32 = 4;
+
+fn dispensed<S: ChunkSizer>(sizer: S) -> Vec<u64> {
+    ChunkDispenser::new(I, sizer).into_sizes()
+}
+
+fn main() {
+    let mut rows: Vec<(String, Vec<u64>)> = Vec::new();
+
+    rows.push(("S".into(), dispensed(StaticSched::new(I, P))));
+    rows.push(("SS".into(), vec![1, 1, 1, 1, 1])); // "1 1 1 1 1 …"
+    rows.push(("GSS".into(), dispensed(GuidedSelfSched::new(P))));
+
+    let tss = TrapezoidSelfSched::new(I, P);
+    rows.push(("TSS*".into(), tss.formula_sequence()));
+    rows.push(("TSS".into(), dispensed(TrapezoidSelfSched::new(I, P))));
+    rows.push(("FSS".into(), dispensed(FactoringSelfSched::new(P))));
+    rows.push(("FISS".into(), dispensed(FixedIncreaseSelfSched::new(I, P, 3))));
+
+    let tfss = TrapezoidFactoringSelfSched::new(I, P);
+    let tfss_formula: Vec<u64> = tfss
+        .stage_chunks()
+        .iter()
+        .flat_map(|&c| std::iter::repeat_n(c, P as usize))
+        .collect();
+    rows.push(("TFSS*".into(), tfss_formula));
+    rows.push(("TFSS".into(), dispensed(TrapezoidFactoringSelfSched::new(I, P))));
+
+    let rendered = chunk_table(
+        &format!(
+            "Table 1: chunk sizes for I = {I} and p = {P}\n(CSS(k): 'k k k k ...' with user-chosen k; rows marked * are the paper's\nidealized formula listings; unmarked rows are what the master dispenses)"
+        ),
+        &rows,
+    );
+    println!("{rendered}");
+
+    // Digit-for-digit checks against the publication.
+    let paper_gss = vec![
+        250u64, 188, 141, 106, 79, 59, 45, 33, 25, 19, 14, 11, 8, 6, 4, 3, 3, 2, 1, 1, 1, 1,
+    ];
+    let paper_tss = vec![125u64, 117, 109, 101, 93, 85, 77, 69, 61, 53, 45, 37, 29, 21, 13, 5];
+    let paper_fss: Vec<u64> = [125u64, 62, 32, 16, 8, 4, 2, 1]
+        .iter()
+        .flat_map(|&s| std::iter::repeat_n(s, 4))
+        .collect();
+    let paper_fiss: Vec<u64> = [50u64, 83, 117]
+        .iter()
+        .flat_map(|&s| std::iter::repeat_n(s, 4))
+        .collect();
+    let paper_tfss_stages = vec![113u64, 81, 49, 17];
+
+    let mut checks = String::new();
+    let mut check = |name: &str, ours: &[u64], paper: &[u64]| {
+        let ok = ours == paper;
+        let line = format!(
+            "{name:8} {}\n",
+            if ok { "MATCHES paper" } else { "DIFFERS from paper" }
+        );
+        print!("{line}");
+        checks.push_str(&line);
+        assert!(ok, "{name} mismatch:\n ours  {ours:?}\n paper {paper:?}");
+    };
+    check("GSS", &dispensed(GuidedSelfSched::new(P)), &paper_gss);
+    check("TSS*", &TrapezoidSelfSched::new(I, P).formula_sequence(), &paper_tss);
+    check("FSS", &dispensed(FactoringSelfSched::new(P)), &paper_fss);
+    check("FISS", &dispensed(FixedIncreaseSelfSched::new(I, P, 3)), &paper_fiss);
+    check(
+        "TFSS",
+        TrapezoidFactoringSelfSched::new(I, P).stage_chunks(),
+        &paper_tfss_stages,
+    );
+
+    write_artifact("table1.txt", format!("{rendered}\n{checks}").as_bytes());
+}

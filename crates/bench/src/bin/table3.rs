@@ -1,0 +1,48 @@
+//! Regenerates **Table 3** of the paper: the *distributed* schemes
+//! (DTSS, DFSS, DFISS, DTFSS) plus power-weighted tree scheduling on
+//! the 8-slave heterogeneous cluster, dedicated and non-dedicated.
+//!
+//! Expected shape (paper §6.1): computation times are well balanced
+//! across fast and slow PEs; communication/waiting is much smaller than
+//! in Table 2; `DTSS` wins, `DFISS` second in the non-dedicated case.
+
+use lss_bench::experiments::{table23_workload, table3_reports, write_artifact};
+use lss_metrics::table::breakdown_table;
+
+fn main() {
+    let workload = table23_workload();
+    println!(
+        "Table 3 workload: {} columns, total cost {} basic ops\n",
+        lss_workloads::Workload::len(workload),
+        lss_workloads::Workload::total_cost(workload)
+    );
+
+    let mut out = String::new();
+    for (label, nondedicated) in [("Dedicated", false), ("NonDedicated", true)] {
+        let reports = table3_reports(workload, nondedicated);
+        let rendered = breakdown_table(
+            &format!(
+                "Table 3 ({label}): distributed schemes, p = 8; cells are T_com/T_wait/T_comp (s)"
+            ),
+            &reports,
+        );
+        println!("{rendered}");
+        out.push_str(&rendered);
+        out.push('\n');
+        for r in &reports {
+            let line = format!(
+                "  {:6} T_p={:6.1}s  comp-imbalance(cov)={:.2}  overhead(com+wait)={:6.1}s  steps={}\n",
+                r.scheme,
+                r.t_p,
+                r.comp_imbalance(),
+                r.total_overhead(),
+                r.scheduling_steps
+            );
+            print!("{line}");
+            out.push_str(&line);
+        }
+        println!();
+        out.push('\n');
+    }
+    write_artifact("table3.txt", out.as_bytes());
+}

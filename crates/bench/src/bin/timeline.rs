@@ -1,0 +1,41 @@
+//! Gantt timelines of one dedicated and one non-dedicated run — a
+//! visual companion to Tables 2/3 that shows *where* the imbalance of
+//! the simple schemes lives (idle tails on the fast PEs) and how the
+//! distributed schemes remove it.
+
+use lss_bench::experiments::{table23_workload, table_traces, write_artifact};
+use lss_core::master::SchemeKind;
+use lss_metrics::plot::gantt_ascii;
+use lss_sim::engine::simulate_with_timeline;
+use lss_sim::{ClusterSpec, SimConfig};
+
+fn main() {
+    let workload = table23_workload();
+    let mut out = String::new();
+    for (scheme, nondedicated) in [
+        (SchemeKind::Tss, false),
+        (SchemeKind::Dtss, false),
+        (SchemeKind::Tss, true),
+        (SchemeKind::Dtss, true),
+    ] {
+        let cfg = SimConfig::new(ClusterSpec::paper_p8(), scheme);
+        let traces = table_traces(nondedicated);
+        let (report, spans) = simulate_with_timeline(&cfg, workload, &traces);
+        let data: Vec<(usize, f64, f64)> = spans
+            .iter()
+            .map(|s| (s.pe, s.start.as_secs_f64(), s.end.as_secs_f64()))
+            .collect();
+        let title = format!(
+            "{} ({}) — T_p = {:.1} s, {} chunks ('.' = waiting/communicating; PE1-3 fast, PE4-8 slow)",
+            report.scheme,
+            if nondedicated { "non-dedicated" } else { "dedicated" },
+            report.t_p,
+            report.scheduling_steps,
+        );
+        let chart = gantt_ascii(&title, &data, 8, report.t_p, 96);
+        println!("{chart}");
+        out.push_str(&chart);
+        out.push('\n');
+    }
+    write_artifact("timeline.txt", out.as_bytes());
+}

@@ -1,0 +1,261 @@
+//! Shared experiment plumbing: the paper's workloads, cluster
+//! configurations, overload sets and run helpers.
+
+use std::fs;
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
+use lss_core::master::SchemeKind;
+use lss_metrics::breakdown::RunReport;
+use lss_metrics::speedup::SpeedupSeries;
+use lss_sim::engine::sequential_time;
+use lss_sim::{simulate, simulate_tree, ClusterSpec, LoadTrace, SimConfig, TreeSimConfig};
+use lss_workloads::{Mandelbrot, MandelbrotParams, SampledWorkload, Workload};
+
+/// The sampling frequency used throughout the paper's experiments.
+pub const PAPER_SF: u64 = 4;
+
+/// Where experiment artifacts are written (`LSS_RESULTS` or
+/// `results/`). Created on first use.
+pub fn out_dir() -> PathBuf {
+    let dir = std::env::var("LSS_RESULTS").unwrap_or_else(|_| "results".into());
+    let path = PathBuf::from(dir);
+    fs::create_dir_all(&path).expect("cannot create results directory");
+    path
+}
+
+/// Writes a text artifact into [`out_dir`], echoing the path.
+pub fn write_artifact(name: &str, contents: &[u8]) -> PathBuf {
+    let path = out_dir().join(name);
+    fs::write(&path, contents).unwrap_or_else(|e| panic!("write {}: {e}", path.display()));
+    println!("  wrote {}", path.display());
+    path
+}
+
+/// Whether quick mode is on (`LSS_QUICK=1`): smaller windows, for
+/// smoke-testing the harness.
+pub fn quick_mode() -> bool {
+    std::env::var("LSS_QUICK").is_ok_and(|v| v == "1")
+}
+
+/// The Table 2/3 workload: Mandelbrot 4000×2000 (or 1000×500 in quick
+/// mode), reordered with `S_f = 4`. Cached — construction computes the
+/// full fractal once.
+pub fn table23_workload() -> &'static SampledWorkload<Mandelbrot> {
+    static CACHE: OnceLock<SampledWorkload<Mandelbrot>> = OnceLock::new();
+    CACHE.get_or_init(|| {
+        let params = if quick_mode() {
+            MandelbrotParams::paper_domain(1000, 500)
+        } else {
+            MandelbrotParams::table23_window()
+        };
+        SampledWorkload::new(Mandelbrot::new(params), PAPER_SF)
+    })
+}
+
+/// The Figure 1/2 workload: Mandelbrot 1200×1200 (300×300 quick).
+pub fn figure12_workload() -> Mandelbrot {
+    let params = if quick_mode() {
+        MandelbrotParams::paper_domain(300, 300)
+    } else {
+        MandelbrotParams::figure12_window()
+    };
+    Mandelbrot::new(params)
+}
+
+/// Load traces for the `p = 8` table experiments.
+///
+/// §5.1's non-dedicated overload set for `p = 8`: 1 fast and 3 slow
+/// slaves (fast PEs are indices 0–2, slow are 3–7).
+pub fn table_traces(nondedicated: bool) -> Vec<LoadTrace> {
+    let mut traces = vec![LoadTrace::dedicated(); 8];
+    if nondedicated {
+        traces[0] = LoadTrace::paper_overloaded();
+        for t in traces.iter_mut().take(6).skip(3) {
+            *t = LoadTrace::paper_overloaded();
+        }
+    }
+    traces
+}
+
+/// Overload set for the speedup figures at slave count `p` (§5.1):
+/// `p = 1` → 1 fast; `p = 2` → 1 fast + 1 slow; `p = 4` → 1 fast +
+/// 1 slow; `p = 8` → 1 fast + 3 slow. Intermediate `p` interpolate.
+pub fn speedup_traces(p: usize, nondedicated: bool) -> Vec<LoadTrace> {
+    let cluster = ClusterSpec::paper_config(p);
+    let mut traces = vec![LoadTrace::dedicated(); p];
+    if !nondedicated {
+        return traces;
+    }
+    let fast_count = cluster.slaves.iter().filter(|s| s.name == "US10").count();
+    // Always overload one fast PE.
+    traces[0] = LoadTrace::paper_overloaded();
+    // Overload slow PEs: none below p=2, one at p=2..7, three at p=8.
+    let slow_overloads = match p {
+        0 | 1 => 0,
+        2..=7 => 1,
+        _ => 3,
+    };
+    for i in 0..slow_overloads.min(p.saturating_sub(fast_count)) {
+        traces[fast_count + i] = LoadTrace::paper_overloaded();
+    }
+    traces
+}
+
+/// Replicas averaged per table cell: a real cluster's LAN noise decides
+/// who wins chunk races, so one deterministic sample would be a
+/// razor-edge artifact; we average over jitter seeds instead.
+pub const REPLICAS: u64 = 5;
+/// Maximum extra per-message latency (OS scheduling + LAN noise).
+pub fn jitter() -> lss_sim::SimTime {
+    lss_sim::SimTime::from_millis(20)
+}
+
+/// Runs one simple/distributed scheme on the `p = 8` paper cluster,
+/// averaged over [`REPLICAS`] jitter seeds.
+pub fn run_table_scheme(
+    scheme: SchemeKind,
+    workload: &dyn Workload,
+    nondedicated: bool,
+) -> RunReport {
+    let traces = table_traces(nondedicated);
+    let runs: Vec<RunReport> = (0..REPLICAS)
+        .map(|seed| {
+            let cfg = SimConfig::new(ClusterSpec::paper_p8(), scheme).with_jitter(jitter(), seed);
+            simulate(&cfg, workload, &traces)
+        })
+        .collect();
+    lss_metrics::breakdown::average_reports(&runs)
+}
+
+/// Runs tree scheduling on the `p = 8` paper cluster.
+pub fn run_table_trees(workload: &dyn Workload, nondedicated: bool, weighted: bool) -> RunReport {
+    let cfg = TreeSimConfig::new(ClusterSpec::paper_p8(), weighted);
+    simulate_tree(&cfg, workload, &table_traces(nondedicated))
+}
+
+/// All reports for Table 2 (simple schemes + equal-allocation TreeS).
+pub fn table2_reports(workload: &dyn Workload, nondedicated: bool) -> Vec<RunReport> {
+    let mut reports: Vec<RunReport> = SchemeKind::table2_schemes()
+        .into_iter()
+        .map(|s| run_table_scheme(s, workload, nondedicated))
+        .collect();
+    reports.push(run_table_trees(workload, nondedicated, false));
+    reports
+}
+
+/// All reports for Table 3 (distributed schemes + weighted TreeS).
+pub fn table3_reports(workload: &dyn Workload, nondedicated: bool) -> Vec<RunReport> {
+    let mut reports: Vec<RunReport> = SchemeKind::table3_schemes()
+        .into_iter()
+        .map(|s| run_table_scheme(s, workload, nondedicated))
+        .collect();
+    reports.push(run_table_trees(workload, nondedicated, true));
+    reports
+}
+
+/// Speedup series for one scheme across `p = 1..=8` (Figures 4–7).
+///
+/// `T_1` is the dedicated sequential time on one fast PE.
+pub fn speedup_series(
+    scheme: Option<SchemeKind>, // None = tree scheduling
+    workload: &dyn Workload,
+    nondedicated: bool,
+    weighted_tree: bool,
+) -> SpeedupSeries {
+    let t1 = sequential_time(workload, lss_sim::cluster::FAST_SPEED);
+    let mut runs = Vec::new();
+    for p in 1..=8usize {
+        let traces = speedup_traces(p, nondedicated);
+        let t_p = match scheme {
+            Some(s) => {
+                (0..REPLICAS)
+                    .map(|seed| {
+                        let cfg = SimConfig::new(ClusterSpec::paper_config(p), s)
+                            .with_jitter(jitter(), seed);
+                        simulate(&cfg, workload, &traces).t_p
+                    })
+                    .sum::<f64>()
+                    / REPLICAS as f64
+            }
+            None => {
+                let cluster = ClusterSpec::paper_config(p);
+                simulate_tree(&TreeSimConfig::new(cluster, weighted_tree), workload, &traces).t_p
+            }
+        };
+        runs.push((p as u32, t_p));
+    }
+    let name = scheme.map_or("TreeS", |s| s.name());
+    SpeedupSeries::from_times(name, t1, &runs)
+}
+
+/// Speedup series for a whole figure.
+pub fn figure_series(distributed: bool, nondedicated: bool, workload: &dyn Workload) -> Vec<SpeedupSeries> {
+    let schemes = if distributed {
+        SchemeKind::table3_schemes()
+    } else {
+        SchemeKind::table2_schemes()
+    };
+    let mut out: Vec<SpeedupSeries> = schemes
+        .into_iter()
+        .map(|s| speedup_series(Some(s), workload, nondedicated, false))
+        .collect();
+    out.push(speedup_series(None, workload, nondedicated, distributed));
+    out
+}
+
+/// Converts speedup series to the plot/CSV point format.
+pub fn series_points(series: &[SpeedupSeries]) -> Vec<(String, Vec<(f64, f64)>)> {
+    series
+        .iter()
+        .map(|s| {
+            let pts = s
+                .p_values
+                .iter()
+                .zip(&s.speedups)
+                .map(|(&p, &sp)| (p as f64, sp))
+                .collect();
+            (s.scheme.clone(), pts)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_traces_shape() {
+        let ded = table_traces(false);
+        assert_eq!(ded.len(), 8);
+        assert!(ded.iter().all(|t| t.q_at(lss_sim::SimTime::ZERO) == 1));
+        let non = table_traces(true);
+        let overloaded: Vec<usize> = (0..8)
+            .filter(|&i| non[i].q_at(lss_sim::SimTime::ZERO) > 1)
+            .collect();
+        assert_eq!(overloaded, vec![0, 3, 4, 5]); // 1 fast + 3 slow
+    }
+
+    #[test]
+    fn speedup_traces_match_paper_configs() {
+        for (p, expect) in [(1usize, 1usize), (2, 2), (4, 2), (8, 4)] {
+            let tr = speedup_traces(p, true);
+            let n = tr
+                .iter()
+                .filter(|t| t.q_at(lss_sim::SimTime::ZERO) > 1)
+                .count();
+            assert_eq!(n, expect, "p={p}");
+        }
+        assert!(speedup_traces(4, false)
+            .iter()
+            .all(|t| t.q_at(lss_sim::SimTime::ZERO) == 1));
+    }
+
+    #[test]
+    fn series_points_shape() {
+        let s = vec![SpeedupSeries::new("X", vec![1, 2], vec![1.0, 1.5])];
+        let pts = series_points(&s);
+        assert_eq!(pts[0].0, "X");
+        assert_eq!(pts[0].1, vec![(1.0, 1.0), (2.0, 1.5)]);
+    }
+}

@@ -1,0 +1,24 @@
+//! # lss-bench — the experiment harness
+//!
+//! One binary per table/figure of the paper (run them with
+//! `cargo run --release -p lss-bench --bin <name>`):
+//!
+//! | binary | regenerates |
+//! |--------|-------------|
+//! | `table1` | Table 1 — chunk-size sequences for `I = 1000, p = 4` |
+//! | `table2` | Table 2 — simple schemes on the 8-slave cluster |
+//! | `table3` | Table 3 — distributed schemes on the 8-slave cluster |
+//! | `fig1`   | Figure 1 — Mandelbrot cost profile, original vs `S_f = 4` |
+//! | `fig2`   | Figure 2 — the fractal (PPM + ASCII) |
+//! | `fig4_7` | Figures 4–7 — speedup curves, simple/distributed × dedicated/non-dedicated |
+//! | `ablations` | the design-choice ablations listed in DESIGN.md |
+//! | `all_experiments` | everything above, writing `results/` |
+//!
+//! Output goes to the `results/` directory (override with
+//! `LSS_RESULTS`). Set `LSS_QUICK=1` to shrink the Mandelbrot windows
+//! for smoke runs.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod experiments;

@@ -1,0 +1,142 @@
+//! Minimal argument parsing for the `lss` binary — flag/value pairs
+//! with typed accessors, no external dependencies.
+
+use std::collections::BTreeMap;
+
+/// Parsed command line: a subcommand, positional arguments and
+/// `--flag value` / `--flag` options.
+#[derive(Debug, Clone, Default)]
+pub struct Args {
+    /// The subcommand (first non-flag argument).
+    pub command: Option<String>,
+    /// Remaining positional arguments.
+    pub positional: Vec<String>,
+    flags: BTreeMap<String, Option<String>>,
+}
+
+/// A parse or validation error with a user-facing message.
+#[derive(Debug, PartialEq, Eq)]
+pub struct ArgError(pub String);
+
+impl std::fmt::Display for ArgError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for ArgError {}
+
+impl Args {
+    /// Parses raw arguments (without the program name).
+    ///
+    /// `--key value` binds the next token unless it is itself a flag;
+    /// a trailing `--key` is a boolean flag.
+    pub fn parse<I: IntoIterator<Item = String>>(raw: I) -> Args {
+        let mut args = Args::default();
+        let mut iter = raw.into_iter().peekable();
+        while let Some(tok) = iter.next() {
+            if let Some(key) = tok.strip_prefix("--") {
+                let value = match iter.peek() {
+                    Some(next) if !next.starts_with("--") => iter.next(),
+                    _ => None,
+                };
+                args.flags.insert(key.to_string(), value);
+            } else if args.command.is_none() {
+                args.command = Some(tok);
+            } else {
+                args.positional.push(tok);
+            }
+        }
+        args
+    }
+
+    /// Whether a boolean flag is present.
+    pub fn has(&self, key: &str) -> bool {
+        self.flags.contains_key(key)
+    }
+
+    /// String value of a flag, if present with a value.
+    pub fn get(&self, key: &str) -> Option<&str> {
+        self.flags.get(key).and_then(|v| v.as_deref())
+    }
+
+    /// Typed flag value with a default.
+    pub fn get_or<T: std::str::FromStr>(&self, key: &str, default: T) -> Result<T, ArgError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some(s) => s
+                .parse()
+                .map_err(|_| ArgError(format!("invalid value {s:?} for --{key}"))),
+        }
+    }
+
+    /// Comma-separated list of floats (e.g. `--powers 2.65,1,1`).
+    pub fn get_f64_list(&self, key: &str) -> Result<Option<Vec<f64>>, ArgError> {
+        match self.get(key) {
+            None => Ok(None),
+            Some(s) => s
+                .split(',')
+                .map(|x| {
+                    x.trim()
+                        .parse::<f64>()
+                        .map_err(|_| ArgError(format!("invalid number {x:?} in --{key}")))
+                })
+                .collect::<Result<Vec<f64>, _>>()
+                .map(Some),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn command_and_positionals() {
+        let a = parse("chunks tfss extra");
+        assert_eq!(a.command.as_deref(), Some("chunks"));
+        assert_eq!(a.positional, vec!["tfss", "extra"]);
+    }
+
+    #[test]
+    fn flags_with_values() {
+        let a = parse("simulate tss --iters 1000 --pes 8");
+        assert_eq!(a.get("iters"), Some("1000"));
+        assert_eq!(a.get_or("pes", 4usize).unwrap(), 8);
+        assert_eq!(a.get_or("missing", 7u64).unwrap(), 7);
+    }
+
+    #[test]
+    fn boolean_flags() {
+        let a = parse("simulate tss --nondedicated --pes 8");
+        assert!(a.has("nondedicated"));
+        assert!(!a.has("dedicated"));
+        assert_eq!(a.get("nondedicated"), None);
+        assert_eq!(a.get_or("pes", 1usize).unwrap(), 8);
+    }
+
+    #[test]
+    fn float_lists() {
+        let a = parse("chunks dtss --powers 2.65,1,1");
+        assert_eq!(a.get_f64_list("powers").unwrap(), Some(vec![2.65, 1.0, 1.0]));
+        assert_eq!(a.get_f64_list("absent").unwrap(), None);
+    }
+
+    #[test]
+    fn bad_values_error() {
+        let a = parse("x --pes banana --powers 1,zebra");
+        assert!(a.get_or("pes", 1usize).is_err());
+        assert!(a.get_f64_list("powers").is_err());
+    }
+
+    #[test]
+    fn empty_input() {
+        let a = parse("");
+        assert!(a.command.is_none());
+        assert!(a.positional.is_empty());
+    }
+}

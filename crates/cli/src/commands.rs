@@ -1,0 +1,531 @@
+//! The `lss` subcommands, factored for testability: every command
+//! returns its output as a `String` (plus an exit-worthy error).
+
+use std::sync::Arc;
+
+use lss_core::master::{Assignment, Master, MasterConfig, SchemeKind};
+use lss_core::power::{AcpConfig, VirtualPower};
+use lss_metrics::table::TextTable;
+use lss_runtime::harness::{run_scheduled_loop, HarnessConfig, Transport, WorkerSpec};
+use lss_runtime::load::LoadState;
+use lss_runtime::master::run_master;
+use lss_runtime::protocol::Request;
+use lss_runtime::transport::tcp::{tcp_listen_on, TcpWorker};
+use lss_runtime::worker::{run_worker, WorkerConfig};
+use lss_sim::{simulate, simulate_tree, ClusterSpec, LoadTrace, SimConfig, TreeSimConfig};
+use lss_workloads::{Mandelbrot, MandelbrotParams, SampledWorkload, Workload};
+
+use crate::args::{ArgError, Args};
+
+/// Top-level usage text.
+pub const USAGE: &str = "\
+lss — loop self-scheduling for heterogeneous clusters (CLUSTER 2001)
+
+USAGE:
+  lss chunks <scheme> [--iters I] [--pes p | --powers a,b,c]
+      Print the chunk sequence a scheme dispenses.
+  lss simulate <scheme> [--width W] [--height H] [--sf S] [--fast F]
+      [--slow S] [--nondedicated] [--seed N]
+      Simulate a Mandelbrot run on the paper's cluster model.
+  lss run <scheme> [--width W] [--height H] [--sf S] [--fast F] [--slow S]
+      [--tcp]
+      Execute the loop for real on emulated-heterogeneous threads.
+  lss master --port P --workers N <scheme> [--width W] [--height H] [--sf S]
+      Host the master for N separate worker *processes* over TCP.
+  lss worker --connect HOST:PORT --id I [--slowdown K] [--width W]
+      [--height H] [--sf S]
+      Join a master as worker I (workload flags must match the master's).
+  lss predict <scheme> [--iters I] [--pes p]
+      Closed-form prediction: scheduling steps, chunk statistics.
+  lss schemes
+      List every supported scheme name.
+
+SCHEMES:
+  s ss css:<k> gss gss:<k> tss fss fiss:<sigma> tfss wf
+  dtss dfss dfiss:<sigma> dtfss trees trees-weighted
+";
+
+/// Parses a scheme name like `css:16` or `dtss`.
+pub fn parse_scheme(s: &str) -> Result<SchemeKind, ArgError> {
+    let (name, param) = match s.split_once(':') {
+        Some((n, p)) => (n, Some(p)),
+        None => (s, None),
+    };
+    let num = |default: u64| -> Result<u64, ArgError> {
+        match param {
+            None => Ok(default),
+            Some(p) => p
+                .parse()
+                .map_err(|_| ArgError(format!("invalid scheme parameter {p:?}"))),
+        }
+    };
+    Ok(match name {
+        "s" => SchemeKind::Static,
+        "ss" => SchemeKind::Pure,
+        "css" => SchemeKind::Css { k: num(1)?.max(1) },
+        "gss" => SchemeKind::Gss { min_chunk: num(1)?.max(1) },
+        "tss" => SchemeKind::Tss,
+        "fss" => SchemeKind::Fss,
+        "fiss" => SchemeKind::Fiss { sigma: num(3)?.max(2) as u32 },
+        "tfss" => SchemeKind::Tfss,
+        "wf" => SchemeKind::Wf,
+        "dtss" => SchemeKind::Dtss,
+        "dfss" => SchemeKind::Dfss,
+        "dfiss" => SchemeKind::Dfiss { sigma: num(3)?.max(2) as u32 },
+        "dtfss" => SchemeKind::Dtfss,
+        other => return Err(ArgError(format!("unknown scheme {other:?}; try `lss schemes`"))),
+    })
+}
+
+/// `lss schemes`
+pub fn cmd_schemes() -> String {
+    let mut out = String::from("scheme  distributed  description\n");
+    let rows: &[(&str, &str)] = &[
+        ("s", "static equal blocks"),
+        ("ss", "pure self-scheduling (chunk = 1)"),
+        ("css:<k>", "fixed chunk size k"),
+        ("gss[:k]", "guided: ceil(R/p), optional minimum k"),
+        ("tss", "trapezoid: linear decrease"),
+        ("fss", "factoring: stages of half-the-remaining"),
+        ("fiss:<sigma>", "fixed increase over sigma stages"),
+        ("tfss", "trapezoid factoring (the paper's new scheme)"),
+        ("wf", "weighted factoring (static weights)"),
+        ("dtss", "distributed TSS (ACP-aware)"),
+        ("dfss", "distributed FSS"),
+        ("dfiss:<sigma>", "distributed FISS"),
+        ("dtfss", "distributed TFSS (the paper's new scheme)"),
+        ("trees[-weighted]", "tree scheduling (simulate only)"),
+    ];
+    for (name, desc) in rows {
+        out.push_str(&format!(
+            "{name:18} {:11} {desc}\n",
+            if name.starts_with('d') { "yes" } else { "no" }
+        ));
+    }
+    out
+}
+
+/// `lss chunks <scheme> ...`
+pub fn cmd_chunks(args: &Args) -> Result<String, ArgError> {
+    let scheme_name = args
+        .positional
+        .first()
+        .ok_or_else(|| ArgError("chunks: missing <scheme>".into()))?;
+    let scheme = parse_scheme(scheme_name)?;
+    let total: u64 = args.get_or("iters", 1000)?;
+    let powers: Vec<VirtualPower> = match args.get_f64_list("powers")? {
+        Some(list) => list.into_iter().map(VirtualPower::new).collect(),
+        None => vec![VirtualPower::new(1.0); args.get_or("pes", 4usize)?],
+    };
+    let p = powers.len();
+    if p == 0 {
+        return Err(ArgError("need at least one PE (--pes ≥ 1 or a non-empty --powers)".into()));
+    }
+    let mut master = Master::new(MasterConfig {
+        scheme,
+        total,
+        powers,
+        initial_q: vec![1; p],
+        acp: AcpConfig::PAPER,
+    });
+    let mut out = format!("{} over {total} iterations on {p} PEs:\n", scheme.name());
+    let mut sizes = Vec::new();
+    let mut per_pe = vec![0u64; p];
+    let mut w = 0usize;
+    loop {
+        match master.handle_request(w % p, 1) {
+            Assignment::Chunk(c) => {
+                sizes.push(c.len.to_string());
+                per_pe[w % p] += c.len;
+            }
+            Assignment::Retry => {}
+            Assignment::Finished => break,
+        }
+        w += 1;
+    }
+    out.push_str(&sizes.join(" "));
+    out.push('\n');
+    out.push_str(&format!("scheduling steps: {}\n", sizes.len()));
+    for (i, n) in per_pe.iter().enumerate() {
+        out.push_str(&format!("PE{}: {n} iterations\n", i + 1));
+    }
+    Ok(out)
+}
+
+fn workload_from(
+    args: &Args,
+    default_width: u32,
+    default_height: u32,
+) -> Result<SampledWorkload<Mandelbrot>, ArgError> {
+    let width: u32 = args.get_or("width", default_width)?;
+    let height: u32 = args.get_or("height", default_height)?;
+    let sf: u64 = args.get_or("sf", 4)?;
+    if width == 0 || height == 0 {
+        return Err(ArgError("window must be non-empty".into()));
+    }
+    Ok(SampledWorkload::new(
+        Mandelbrot::new(MandelbrotParams::paper_domain(width, height)),
+        sf.max(1),
+    ))
+}
+
+/// `lss simulate <scheme> ...`
+pub fn cmd_simulate(args: &Args) -> Result<String, ArgError> {
+    let scheme_name = args
+        .positional
+        .first()
+        .ok_or_else(|| ArgError("simulate: missing <scheme>".into()))?;
+    let fast: usize = args.get_or("fast", 3)?;
+    let slow: usize = args.get_or("slow", 5)?;
+    let p = fast + slow;
+    if p == 0 {
+        return Err(ArgError("need at least one slave".into()));
+    }
+    let workload = workload_from(args, 1200, 600)?;
+    let cluster = ClusterSpec::paper_mix(fast, slow);
+    let mut traces = vec![LoadTrace::dedicated(); p];
+    if args.has("nondedicated") {
+        traces[0] = LoadTrace::paper_overloaded();
+        for t in traces.iter_mut().take((p / 2 + 1).min(p)).skip(p / 2) {
+            *t = LoadTrace::paper_overloaded();
+        }
+    }
+    let report = match scheme_name.as_str() {
+        "trees" | "trees-weighted" => {
+            let cfg = TreeSimConfig::new(cluster, scheme_name == "trees-weighted");
+            simulate_tree(&cfg, &workload, &traces)
+        }
+        other => {
+            let scheme = parse_scheme(other)?;
+            let seed: u64 = args.get_or("seed", 0)?;
+            let cfg = SimConfig::new(cluster, scheme)
+                .with_jitter(lss_sim::SimTime::from_millis(20), seed);
+            simulate(&cfg, &workload, &traces)
+        }
+    };
+    Ok(render_report(&report, workload.len(), workload.total_cost()))
+}
+
+/// `lss run <scheme> ...`
+pub fn cmd_run(args: &Args) -> Result<String, ArgError> {
+    let scheme_name = args
+        .positional
+        .first()
+        .ok_or_else(|| ArgError("run: missing <scheme>".into()))?;
+    let scheme = parse_scheme(scheme_name)?;
+    let fast: usize = args.get_or("fast", 1)?;
+    let slow: usize = args.get_or("slow", 2)?;
+    if fast + slow == 0 {
+        return Err(ArgError("need at least one worker".into()));
+    }
+    // Smaller default window for real execution than for simulation.
+    let workload = Arc::new(workload_from(args, 600, 300)?);
+    let mut cfg = HarnessConfig::paper_mix(scheme, fast, slow);
+    if args.has("tcp") {
+        cfg.transport = Transport::Tcp;
+    }
+    if let Some(q) = args.get("overload-worker0") {
+        let q: u32 = q
+            .parse()
+            .map_err(|_| ArgError(format!("invalid --overload-worker0 {q:?}")))?;
+        cfg.workers[0] = WorkerSpec {
+            load: LoadState::with_q(q),
+            ..cfg.workers[0].clone()
+        };
+    }
+    let out = run_scheduled_loop(&cfg, Arc::clone(&workload));
+    Ok(render_report(
+        &out.report,
+        workload.len(),
+        workload.total_cost(),
+    ))
+}
+
+fn render_report(report: &lss_metrics::RunReport, iters: u64, cost: u64) -> String {
+    let mut t = TextTable::new(vec![
+        "PE".into(),
+        "T_com".into(),
+        "T_wait".into(),
+        "T_comp".into(),
+        "iterations".into(),
+    ]);
+    for (i, (b, n)) in report.per_pe.iter().zip(&report.iterations).enumerate() {
+        t.push_row(vec![
+            format!("{}", i + 1),
+            format!("{:.2}", b.t_com),
+            format!("{:.2}", b.t_wait),
+            format!("{:.2}", b.t_comp),
+            n.to_string(),
+        ]);
+    }
+    format!(
+        "scheme {} | {iters} iterations | total cost {cost}\n{}\nT_p = {:.3} s | steps = {} | comp imbalance = {:.3}\n",
+        report.scheme,
+        t.render(),
+        report.t_p,
+        report.scheduling_steps,
+        report.comp_imbalance()
+    )
+}
+
+/// `lss predict ...` — closed-form scheme analysis, no simulation.
+pub fn cmd_predict(args: &Args) -> Result<String, ArgError> {
+    use lss_core::analysis::{chunk_stats, predicted_steps};
+    let scheme_name = args
+        .positional
+        .first()
+        .ok_or_else(|| ArgError("predict: missing <scheme>".into()))?;
+    let scheme = parse_scheme(scheme_name)?;
+    let total: u64 = args.get_or("iters", 1000)?;
+    let p: u32 = args.get_or("pes", 8)?;
+    if p == 0 {
+        return Err(ArgError("need at least one PE".into()));
+    }
+    let stats = chunk_stats(scheme, total, p);
+    let mut out = format!("{} over {total} iterations on {p} PEs:\n", scheme.name());
+    out.push_str(&format!(
+        "  scheduling steps : {} (master round-trips)\n",
+        stats.steps
+    ));
+    if let Some(n) = predicted_steps(scheme, total, p) {
+        out.push_str(&format!("  closed-form steps: {n}\n"));
+    }
+    out.push_str(&format!(
+        "  chunk sizes      : first {}, max {}, last (critical) {}, mean {:.1}\n",
+        stats.first, stats.max, stats.last, stats.mean
+    ));
+    Ok(out)
+}
+
+/// `lss master ...` — hosts a TCP master for separate worker processes.
+pub fn cmd_master(args: &Args) -> Result<String, ArgError> {
+    let scheme_name = args
+        .positional
+        .first()
+        .ok_or_else(|| ArgError("master: missing <scheme>".into()))?;
+    let scheme = parse_scheme(scheme_name)?;
+    let port: u16 = args.get_or("port", 0)?;
+    let n: usize = args.get_or("workers", 2)?;
+    if n == 0 {
+        return Err(ArgError("need at least one worker".into()));
+    }
+    let workload = workload_from(args, 600, 300)?;
+    let listener =
+        tcp_listen_on("127.0.0.1", port).map_err(|e| ArgError(e.to_string()))?;
+    eprintln!(
+        "master: listening on {} for {n} workers (scheme {}, {} iterations)",
+        listener.addr,
+        scheme.name(),
+        workload.len()
+    );
+    // Workers' relative speeds are unknown until they connect; treat
+    // them as equals (the distributed schemes adapt through reported
+    // run-queue lengths regardless).
+    let mut master = Master::new(MasterConfig {
+        scheme,
+        total: workload.len(),
+        powers: vec![VirtualPower::new(1.0); n],
+        initial_q: vec![1; n],
+        acp: AcpConfig::PAPER,
+    });
+    let transport = listener.accept_workers(n).map_err(|e| ArgError(e.to_string()))?;
+    let t0 = std::time::Instant::now();
+    let outcome = run_master(transport, &mut master, n).map_err(|e| ArgError(e.to_string()))?;
+    let missing = outcome.results.iter().filter(|r| r.is_none()).count();
+    let mut out = format!(
+        "master: served {} requests in {:.3}s; failed workers {:?}; {} of {} results collected\n",
+        outcome.requests_served,
+        t0.elapsed().as_secs_f64(),
+        outcome.failed_workers,
+        outcome.results.len() - missing,
+        outcome.results.len(),
+    );
+    for w in 0..n {
+        out.push_str(&format!("  worker {w}: {} iterations\n", master.iterations_served(w)));
+    }
+    Ok(out)
+}
+
+/// `lss worker ...` — joins a TCP master as one worker process.
+pub fn cmd_worker(args: &Args) -> Result<String, ArgError> {
+    let addr: std::net::SocketAddr = args
+        .get("connect")
+        .ok_or_else(|| ArgError("worker: missing --connect HOST:PORT".into()))?
+        .parse()
+        .map_err(|e| ArgError(format!("invalid --connect address: {e}")))?;
+    let id: usize = args.get_or("id", 0)?;
+    let slowdown: u32 = args.get_or("slowdown", 1)?;
+    let workload = workload_from(args, 600, 300)?;
+    let cfg = WorkerConfig {
+        id,
+        slowdown: slowdown.max(1),
+        load: LoadState::dedicated(),
+        retry_backoff: std::time::Duration::from_millis(5),
+        fail_after_chunks: None,
+    };
+    let first = Request { worker: id, q: 1, result: None };
+    let transport = TcpWorker::connect(addr, first).map_err(|e| ArgError(e.to_string()))?;
+    let stats =
+        run_worker(transport, &cfg, &workload, true).map_err(|e| ArgError(e.to_string()))?;
+    Ok(format!(
+        "worker {id}: {} iterations in {} chunks; comp {:.3}s, wait {:.3}s, com {:.3}s\n",
+        stats.iterations,
+        stats.chunks,
+        stats.t_comp.as_secs_f64(),
+        stats.t_wait.as_secs_f64(),
+        stats.t_com.as_secs_f64(),
+    ))
+}
+
+/// Dispatches a parsed command line.
+pub fn dispatch(args: &Args) -> Result<String, ArgError> {
+    match args.command.as_deref() {
+        None | Some("help") => Ok(USAGE.to_string()),
+        Some("schemes") => Ok(cmd_schemes()),
+        Some("chunks") => cmd_chunks(args),
+        Some("simulate") => cmd_simulate(args),
+        Some("run") => cmd_run(args),
+        Some("master") => cmd_master(args),
+        Some("worker") => cmd_worker(args),
+        Some("predict") => cmd_predict(args),
+        Some(other) => Err(ArgError(format!("unknown command {other:?}\n\n{USAGE}"))),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn parse_scheme_all_names() {
+        assert_eq!(parse_scheme("tfss").unwrap().name(), "TFSS");
+        assert_eq!(parse_scheme("css:32").unwrap(), SchemeKind::Css { k: 32 });
+        assert_eq!(parse_scheme("fiss:5").unwrap(), SchemeKind::Fiss { sigma: 5 });
+        assert_eq!(parse_scheme("dtss").unwrap(), SchemeKind::Dtss);
+        assert!(parse_scheme("bogus").is_err());
+        assert!(parse_scheme("css:bogus").is_err());
+    }
+
+    #[test]
+    fn chunks_command_prints_table1_row() {
+        let out = cmd_chunks(&args("chunks tfss --iters 1000 --pes 4")).unwrap();
+        assert!(out.contains("113 113 113 113 81 81 81 81"), "{out}");
+        assert!(out.contains("scheduling steps: 14"));
+    }
+
+    #[test]
+    fn chunks_command_with_powers() {
+        let out = cmd_chunks(&args("chunks dtss --iters 1000 --powers 2.65,1")).unwrap();
+        assert!(out.contains("PE1"));
+        assert!(out.contains("PE2"));
+    }
+
+    #[test]
+    fn chunks_requires_scheme() {
+        assert!(cmd_chunks(&args("chunks")).is_err());
+    }
+
+    #[test]
+    fn simulate_small_run() {
+        let out =
+            cmd_simulate(&args("simulate dtss --width 200 --height 100 --fast 1 --slow 1"))
+                .unwrap();
+        assert!(out.contains("T_p ="), "{out}");
+        assert!(out.contains("DTSS"));
+    }
+
+    #[test]
+    fn simulate_trees() {
+        let out = cmd_simulate(&args(
+            "simulate trees-weighted --width 200 --height 100 --fast 1 --slow 1",
+        ))
+        .unwrap();
+        assert!(out.contains("TreeS"), "{out}");
+    }
+
+    #[test]
+    fn run_small_real_execution() {
+        let out = cmd_run(&args("run tfss --width 120 --height 60 --fast 1 --slow 1")).unwrap();
+        assert!(out.contains("TFSS"), "{out}");
+        assert!(out.contains("T_p ="));
+    }
+
+    #[test]
+    fn master_and_worker_processes_cooperate() {
+        // Same code path the real processes use, driven by threads:
+        // the master command blocks accepting; two worker commands dial
+        // in, compute, and terminate.
+        let port = {
+            // Grab a free port, then release it for the master command.
+            let l = std::net::TcpListener::bind(("127.0.0.1", 0)).unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let margs = args(&format!(
+            "master tfss --port {port} --workers 2 --width 120 --height 60"
+        ));
+        let master = std::thread::spawn(move || cmd_master(&margs).unwrap());
+        std::thread::sleep(std::time::Duration::from_millis(100));
+        let workers: Vec<_> = (0..2)
+            .map(|i| {
+                let wargs = args(&format!(
+                    "worker --connect 127.0.0.1:{port} --id {i} --slowdown {} --width 120 --height 60",
+                    i + 1
+                ));
+                std::thread::spawn(move || cmd_worker(&wargs).unwrap())
+            })
+            .collect();
+        let mout = master.join().unwrap();
+        assert!(mout.contains("120 of 120 results collected"), "{mout}");
+        for w in workers {
+            let wout = w.join().unwrap();
+            assert!(wout.contains("iterations"), "{wout}");
+        }
+    }
+
+    #[test]
+    fn predict_reports_stats() {
+        let out = cmd_predict(&args("predict tfss --iters 1000 --pes 4")).unwrap();
+        assert!(out.contains("scheduling steps : 14"), "{out}");
+        assert!(out.contains("first 113"), "{out}");
+        let out = cmd_predict(&args("predict tss --iters 1000 --pes 4")).unwrap();
+        assert!(out.contains("closed-form steps: 16"), "{out}");
+    }
+
+    #[test]
+    fn worker_rejects_bad_address() {
+        assert!(cmd_worker(&args("worker --connect nonsense --id 0")).is_err());
+        assert!(cmd_worker(&args("worker --id 0")).is_err());
+    }
+
+    #[test]
+    fn dispatch_help_and_errors() {
+        assert!(dispatch(&args("")).unwrap().contains("USAGE"));
+        assert!(dispatch(&args("help")).unwrap().contains("USAGE"));
+        assert!(dispatch(&args("schemes")).unwrap().contains("tfss"));
+        assert!(dispatch(&args("frobnicate")).is_err());
+    }
+}
+
+#[cfg(test)]
+mod edge_tests {
+    use super::*;
+
+    fn args(s: &str) -> Args {
+        Args::parse(s.split_whitespace().map(String::from))
+    }
+
+    #[test]
+    fn chunks_zero_pes_is_a_clean_error() {
+        let e = cmd_chunks(&args("chunks tss --pes 0")).unwrap_err();
+        assert!(e.0.contains("at least one PE"), "{e}");
+    }
+
+    #[test]
+    fn predict_zero_pes_is_a_clean_error() {
+        assert!(cmd_predict(&args("predict tss --pes 0")).is_err());
+    }
+}

@@ -1,0 +1,12 @@
+//! # lss-cli — the `lss` command-line interface
+//!
+//! A downstream-user entry point to the toolkit without writing Rust:
+//! inspect chunk sequences (`lss chunks`), simulate paper-style cluster
+//! runs (`lss simulate`), or execute a loop for real on emulated
+//! heterogeneous threads (`lss run`). Run `lss help` for usage.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod args;
+pub mod commands;

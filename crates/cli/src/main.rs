@@ -1,0 +1,15 @@
+//! Entry point of the `lss` binary.
+
+use lss_cli::args::Args;
+use lss_cli::commands::dispatch;
+
+fn main() {
+    let args = Args::parse(std::env::args().skip(1));
+    match dispatch(&args) {
+        Ok(output) => print!("{output}"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Closed-form analysis of the scheduling schemes: predicted step
+//! counts, chunk statistics and idealized makespan bounds.
+//!
+//! The schemes trade *scheduling steps* (master round-trips, each
+//! costing communication) against *final-chunk size* (the imbalance the
+//! critical chunk can cause — §2.2: imbalance "may be large … if the
+//! last chunk is too small" is the overhead side, "too large" the
+//! balance side). This module computes those quantities without
+//! simulating, so experiments and tests can check the simulator against
+//! theory and users can predict a scheme's behaviour for their loop.
+
+use crate::chunk::ChunkDispenser;
+use crate::master::{Assignment, Master, MasterConfig, SchemeKind};
+use crate::power::VirtualPower;
+use crate::scheme::{
+    ChunkSelfSched, FactoringSelfSched, FixedIncreaseSelfSched, GuidedSelfSched, PureSelfSched,
+    StaticSched, TrapezoidFactoringSelfSched, TrapezoidSelfSched,
+};
+
+/// Summary statistics of a scheme's chunk sequence for a given loop.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChunkStats {
+    /// Number of scheduling steps `N` (chunks dispensed).
+    pub steps: u64,
+    /// First (largest initial) chunk size.
+    pub first: u64,
+    /// Final (critical) chunk size.
+    pub last: u64,
+    /// Largest chunk anywhere in the sequence.
+    pub max: u64,
+    /// Mean chunk size `I / N`.
+    pub mean: f64,
+}
+
+/// Computes [`ChunkStats`] for a simple scheme over `total` iterations
+/// on `p` PEs by dispensing its actual sequence.
+pub fn chunk_stats(scheme: SchemeKind, total: u64, p: u32) -> ChunkStats {
+    let sizes: Vec<u64> = match scheme {
+        SchemeKind::Static => ChunkDispenser::new(total, StaticSched::new(total, p)).into_sizes(),
+        SchemeKind::Pure => ChunkDispenser::new(total, PureSelfSched::new()).into_sizes(),
+        SchemeKind::Css { k } => ChunkDispenser::new(total, ChunkSelfSched::new(k)).into_sizes(),
+        SchemeKind::Gss { min_chunk } => {
+            ChunkDispenser::new(total, GuidedSelfSched::with_min_chunk(p, min_chunk)).into_sizes()
+        }
+        SchemeKind::Tss => {
+            ChunkDispenser::new(total, TrapezoidSelfSched::new(total, p)).into_sizes()
+        }
+        SchemeKind::TssWith { first, last } => {
+            ChunkDispenser::new(total, TrapezoidSelfSched::with_bounds(total, first, last))
+                .into_sizes()
+        }
+        SchemeKind::Fss => ChunkDispenser::new(total, FactoringSelfSched::new(p)).into_sizes(),
+        SchemeKind::FssAdaptive { mean_cost, std_dev } => {
+            ChunkDispenser::new(total, FactoringSelfSched::adaptive(p, mean_cost, std_dev))
+                .into_sizes()
+        }
+        SchemeKind::Fiss { sigma } => {
+            ChunkDispenser::new(total, FixedIncreaseSelfSched::new(total, p, sigma)).into_sizes()
+        }
+        SchemeKind::Tfss => {
+            ChunkDispenser::new(total, TrapezoidFactoringSelfSched::new(total, p)).into_sizes()
+        }
+        // Worker-dependent schemes: drive a master round-robin over
+        // dedicated equal workers (their homogeneous behaviour).
+        other => {
+            let mut master = Master::new(MasterConfig::homogeneous(other, total, p as usize));
+            let mut sizes = Vec::new();
+            let mut w = 0usize;
+            loop {
+                match master.handle_request(w % p as usize, 1) {
+                    Assignment::Chunk(c) => sizes.push(c.len),
+                    Assignment::Retry => {}
+                    Assignment::Finished => break,
+                }
+                w += 1;
+            }
+            sizes
+        }
+    };
+    stats_of(&sizes)
+}
+
+fn stats_of(sizes: &[u64]) -> ChunkStats {
+    let steps = sizes.len() as u64;
+    let total: u64 = sizes.iter().sum();
+    ChunkStats {
+        steps,
+        first: sizes.first().copied().unwrap_or(0),
+        last: sizes.last().copied().unwrap_or(0),
+        max: sizes.iter().copied().max().unwrap_or(0),
+        mean: if steps == 0 { 0.0 } else { total as f64 / steps as f64 },
+    }
+}
+
+/// Closed-form predicted step count, where the scheme admits one:
+///
+/// - `S`: `p` — `SS`: `I` — `CSS(k)`: `⌈I/k⌉`
+/// - `GSS`: ≈ `p·ln(I/p)` (geometric decay; exact value dispensed)
+/// - `TSS`: `N = ⌈2I/(F+L)⌉`
+/// - `FSS`: ≈ `p·log₂(I/p)` (α = 2)
+/// - `FISS`: `σ·p`
+/// - `TFSS`: ≈ `N_TSS` (same trapezoid, grouped into stages)
+///
+/// Returns `None` for schemes without a crisp closed form (use
+/// [`chunk_stats`] instead).
+pub fn predicted_steps(scheme: SchemeKind, total: u64, p: u32) -> Option<u64> {
+    if total == 0 {
+        return Some(0);
+    }
+    let pf = p as f64;
+    let i = total as f64;
+    match scheme {
+        SchemeKind::Static => Some(p.min(total as u32) as u64),
+        SchemeKind::Pure => Some(total),
+        SchemeKind::Css { k } => Some(total.div_ceil(k)),
+        SchemeKind::Tss => {
+            let f = (total / (2 * p as u64)).max(1);
+            Some((2 * total).div_ceil(f + 1).max(2))
+        }
+        SchemeKind::Gss { min_chunk: 1 } => Some((pf * (i / pf).max(1.0).ln()).ceil() as u64 + p as u64),
+        SchemeKind::Fss => Some((pf * (i / pf).max(1.0).log2()).ceil() as u64 + p as u64),
+        SchemeKind::Fiss { sigma } => Some(sigma as u64 * p as u64),
+        _ => None,
+    }
+}
+
+/// The idealized parallel-time lower bound for a loop of total cost
+/// `total_cost` on PEs of the given relative powers, each of absolute
+/// speed `powers[i] · unit_speed`: perfect balance, zero overhead.
+pub fn makespan_lower_bound(total_cost: u64, powers: &[VirtualPower], unit_speed: f64) -> f64 {
+    assert!(!powers.is_empty(), "need at least one PE");
+    assert!(unit_speed > 0.0, "unit speed must be positive");
+    let aggregate: f64 = powers.iter().map(|v| v.get() * unit_speed).sum();
+    total_cost as f64 / aggregate
+}
+
+/// The §2.2 critical-chunk imbalance bound for *uniform* iteration
+/// costs: the final chunk of size `last` can extend the makespan by at
+/// most `last · cost / slowest_speed` beyond the lower bound.
+pub fn critical_chunk_penalty(last_chunk: u64, unit_cost: u64, slowest_speed: f64) -> f64 {
+    assert!(slowest_speed > 0.0, "speed must be positive");
+    (last_chunk * unit_cost) as f64 / slowest_speed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stats_match_known_sequences() {
+        // TFSS on the paper example: 113×4 81×4 49×4 17 11 = 14 chunks.
+        let s = chunk_stats(SchemeKind::Tfss, 1000, 4);
+        assert_eq!(s.steps, 14);
+        assert_eq!(s.first, 113);
+        assert_eq!(s.last, 11);
+        assert_eq!(s.max, 113);
+        assert!((s.mean - 1000.0 / 14.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn predicted_steps_exact_schemes() {
+        assert_eq!(predicted_steps(SchemeKind::Static, 1000, 4), Some(4));
+        assert_eq!(predicted_steps(SchemeKind::Pure, 1000, 4), Some(1000));
+        assert_eq!(predicted_steps(SchemeKind::Css { k: 30 }, 100, 4), Some(4));
+        assert_eq!(predicted_steps(SchemeKind::Fiss { sigma: 3 }, 1000, 4), Some(12));
+        assert_eq!(predicted_steps(SchemeKind::Tss, 1000, 4), Some(16));
+        assert_eq!(predicted_steps(SchemeKind::Tfss, 1000, 4), None);
+    }
+
+    #[test]
+    fn predictions_track_dispensed_counts() {
+        for (scheme, tolerance) in [
+            (SchemeKind::Static, 0u64),
+            (SchemeKind::Css { k: 17 }, 0),
+            (SchemeKind::Fiss { sigma: 4 }, 1),
+            (SchemeKind::Tss, 3),
+            (SchemeKind::Gss { min_chunk: 1 }, 8),
+            (SchemeKind::Fss, 8),
+        ] {
+            let predicted = predicted_steps(scheme, 10_000, 8).unwrap();
+            let actual = chunk_stats(scheme, 10_000, 8).steps;
+            let diff = predicted.abs_diff(actual);
+            assert!(
+                diff <= tolerance,
+                "{}: predicted {predicted}, dispensed {actual}",
+                scheme.name()
+            );
+        }
+    }
+
+    #[test]
+    fn distributed_schemes_fall_back_to_master_drain() {
+        let s = chunk_stats(SchemeKind::Dtss, 1000, 4);
+        assert!(s.steps > 0);
+        assert!(s.first >= s.last);
+    }
+
+    #[test]
+    fn lower_bound_and_penalty() {
+        let powers = vec![VirtualPower::new(2.0), VirtualPower::new(1.0)];
+        // cost 300 over aggregate speed 3·unit = 100·unit time.
+        let lb = makespan_lower_bound(300, &powers, 1.0);
+        assert!((lb - 100.0).abs() < 1e-12);
+        // Final chunk of 10 unit-cost iterations on the slow PE.
+        let pen = critical_chunk_penalty(10, 1, 1.0);
+        assert!((pen - 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_iterations_are_fine() {
+        assert_eq!(predicted_steps(SchemeKind::Tss, 0, 4), Some(0));
+        let s = chunk_stats(SchemeKind::Tss, 0, 4);
+        assert_eq!(s.steps, 0);
+        assert_eq!(s.mean, 0.0);
+    }
+}

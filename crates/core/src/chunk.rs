@@ -1,0 +1,248 @@
+//! Chunks of consecutive loop iterations and bookkeeping around them.
+//!
+//! A *chunk* is what the master hands a slave in one scheduling step: a
+//! half-open interval `[start, start + len)` of iteration indices. The
+//! paper's notation: `C_i` is the chunk size at the `i`-th scheduling
+//! step, `R_i` the remaining iterations, with `R_0 = I` and
+//! `R_i = R_{i-1} - C_i`.
+
+use crate::scheme::ChunkSizer;
+
+/// A contiguous block of loop iterations `[start, start + len)`.
+///
+/// Iteration indices are zero-based. Schemes never produce empty
+/// chunks; `len >= 1` always holds for chunks handed out by
+/// [`ChunkDispenser`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Chunk {
+    /// First iteration index in the chunk.
+    pub start: u64,
+    /// Number of iterations in the chunk (always `>= 1`).
+    pub len: u64,
+}
+
+impl Chunk {
+    /// Creates a chunk covering `[start, start + len)`.
+    pub fn new(start: u64, len: u64) -> Self {
+        Chunk { start, len }
+    }
+
+    /// One-past-the-end iteration index.
+    pub fn end(&self) -> u64 {
+        self.start + self.len
+    }
+
+    /// Whether iteration `i` falls inside this chunk.
+    pub fn contains(&self, i: u64) -> bool {
+        i >= self.start && i < self.end()
+    }
+
+    /// Iterator over the iteration indices covered by the chunk.
+    pub fn iter(&self) -> impl Iterator<Item = u64> {
+        self.start..self.end()
+    }
+
+    /// Splits off the first `n` iterations, leaving the rest in `self`.
+    ///
+    /// Returns `None` (and leaves `self` untouched) if `n` is zero or
+    /// `n >= self.len` — a split must leave both halves non-empty.
+    pub fn split_first(&mut self, n: u64) -> Option<Chunk> {
+        if n == 0 || n >= self.len {
+            return None;
+        }
+        let head = Chunk::new(self.start, n);
+        self.start += n;
+        self.len -= n;
+        Some(head)
+    }
+}
+
+/// Drives a [`ChunkSizer`] over a loop of `total` iterations, producing
+/// the actual chunk sequence the master would hand out.
+///
+/// The dispenser owns the global bookkeeping (`next start index`,
+/// `remaining`), clamps every size the sizer proposes into
+/// `1..=remaining`, and stops exactly when the loop is exhausted. This
+/// is the single place where the "never exceed `R_{i-1}`, never assign
+/// an empty chunk" invariants are enforced, so individual schemes can
+/// implement their formulas verbatim.
+#[derive(Debug, Clone)]
+pub struct ChunkDispenser<S> {
+    next_start: u64,
+    remaining: u64,
+    sizer: S,
+}
+
+impl<S: ChunkSizer> ChunkDispenser<S> {
+    /// Creates a dispenser for a loop of `total` iterations.
+    pub fn new(total: u64, sizer: S) -> Self {
+        ChunkDispenser {
+            next_start: 0,
+            remaining: total,
+            sizer,
+        }
+    }
+
+    /// Iterations not yet handed out.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    /// Next chunk, or `None` when the loop is exhausted.
+    pub fn next_chunk(&mut self) -> Option<Chunk> {
+        if self.remaining == 0 {
+            return None;
+        }
+        let proposed = self.sizer.next_chunk_size(self.remaining);
+        let len = proposed.clamp(1, self.remaining);
+        let chunk = Chunk::new(self.next_start, len);
+        self.next_start += len;
+        self.remaining -= len;
+        Some(chunk)
+    }
+
+    /// Access to the underlying sizer (e.g. to inspect its parameters).
+    pub fn sizer(&self) -> &S {
+        &self.sizer
+    }
+
+    /// Collects the remaining chunk *sizes* into a vector.
+    ///
+    /// Convenience for tests and for regenerating Table 1 of the paper.
+    pub fn into_sizes(self) -> Vec<u64> {
+        self.map(|c| c.len).collect()
+    }
+}
+
+impl<S: ChunkSizer> Iterator for ChunkDispenser<S> {
+    type Item = Chunk;
+
+    fn next(&mut self) -> Option<Chunk> {
+        self.next_chunk()
+    }
+}
+
+/// Checks that a chunk sequence tiles `[0, total)` exactly: contiguous,
+/// non-overlapping, non-empty, summing to `total`.
+///
+/// Returns `Err` with a human-readable reason on the first violation.
+/// Used by integration tests and by the simulator's self-checks.
+pub fn validate_tiling(chunks: &[Chunk], total: u64) -> Result<(), String> {
+    let mut cursor = 0u64;
+    for (i, c) in chunks.iter().enumerate() {
+        if c.len == 0 {
+            return Err(format!("chunk #{i} is empty"));
+        }
+        if c.start != cursor {
+            return Err(format!(
+                "chunk #{i} starts at {} but previous ended at {cursor}",
+                c.start
+            ));
+        }
+        cursor = c.end();
+    }
+    if cursor != total {
+        return Err(format!("chunks cover [0, {cursor}) but total is {total}"));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scheme::{ChunkSelfSched, ChunkSizer};
+
+    #[test]
+    fn chunk_basics() {
+        let c = Chunk::new(10, 5);
+        assert_eq!(c.end(), 15);
+        assert!(c.contains(10));
+        assert!(c.contains(14));
+        assert!(!c.contains(15));
+        assert!(!c.contains(9));
+        assert_eq!(c.iter().collect::<Vec<_>>(), vec![10, 11, 12, 13, 14]);
+    }
+
+    #[test]
+    fn split_first_takes_head() {
+        let mut c = Chunk::new(100, 10);
+        let head = c.split_first(3).unwrap();
+        assert_eq!(head, Chunk::new(100, 3));
+        assert_eq!(c, Chunk::new(103, 7));
+    }
+
+    #[test]
+    fn split_first_rejects_degenerate() {
+        let mut c = Chunk::new(0, 4);
+        assert!(c.split_first(0).is_none());
+        assert!(c.split_first(4).is_none());
+        assert!(c.split_first(9).is_none());
+        assert_eq!(c, Chunk::new(0, 4));
+    }
+
+    #[test]
+    fn dispenser_tiles_exactly() {
+        let d = ChunkDispenser::new(103, ChunkSelfSched::new(10));
+        let chunks: Vec<Chunk> = d.collect();
+        validate_tiling(&chunks, 103).unwrap();
+        assert_eq!(chunks.last().unwrap().len, 3); // tail clamped
+    }
+
+    #[test]
+    fn dispenser_empty_loop_yields_nothing() {
+        let mut d = ChunkDispenser::new(0, ChunkSelfSched::new(10));
+        assert!(d.next_chunk().is_none());
+    }
+
+    #[test]
+    fn dispenser_clamps_oversized_proposals() {
+        /// A sizer that always asks for more than remains.
+        struct Greedy;
+        impl ChunkSizer for Greedy {
+            fn next_chunk_size(&mut self, remaining: u64) -> u64 {
+                remaining * 2 + 7
+            }
+            fn name(&self) -> &'static str {
+                "greedy"
+            }
+        }
+        let mut d = ChunkDispenser::new(5, Greedy);
+        assert_eq!(d.next_chunk(), Some(Chunk::new(0, 5)));
+        assert_eq!(d.next_chunk(), None);
+    }
+
+    #[test]
+    fn dispenser_clamps_zero_proposals() {
+        /// A sizer that proposes zero (schemes must still make progress).
+        struct Lazy;
+        impl ChunkSizer for Lazy {
+            fn next_chunk_size(&mut self, _remaining: u64) -> u64 {
+                0
+            }
+            fn name(&self) -> &'static str {
+                "lazy"
+            }
+        }
+        let d = ChunkDispenser::new(3, Lazy);
+        let sizes = d.into_sizes();
+        assert_eq!(sizes, vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn validate_tiling_catches_gap() {
+        let chunks = vec![Chunk::new(0, 3), Chunk::new(4, 2)];
+        assert!(validate_tiling(&chunks, 6).is_err());
+    }
+
+    #[test]
+    fn validate_tiling_catches_short_cover() {
+        let chunks = vec![Chunk::new(0, 3)];
+        assert!(validate_tiling(&chunks, 6).is_err());
+    }
+
+    #[test]
+    fn validate_tiling_accepts_exact_cover() {
+        let chunks = vec![Chunk::new(0, 3), Chunk::new(3, 3)];
+        assert!(validate_tiling(&chunks, 6).is_ok());
+    }
+}

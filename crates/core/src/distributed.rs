@@ -1,0 +1,648 @@
+//! Distributed self-scheduling: DTSS (§3.1) and the paper's new
+//! distributed schemes DFSS, DFISS, DTFSS (§6).
+//!
+//! The paper's definition of *distributed* (§6): a scheme that uses,
+//! for load balancing, (a) the initial computing power of the PEs
+//! **and** (b) run-time information about how many processes each PE is
+//! running — i.e. the [ACP model](crate::power). Every simple scheme of
+//! §2 becomes a centralized master–slave *distributed* scheme by:
+//!
+//! 1. running the simple scheme's chunk formula with "`p = A`" virtual
+//!    processors (the total available power), and
+//! 2. giving PE `j` a share of each stage proportional to `A_j / A`,
+//!    i.e. `C_j^k = SC_k · A_j / A` where `SC_k` is the stage total, and
+//! 3. **re-planning** — recomputing the scheme parameters with `I :=
+//!    remaining iterations` — whenever more than half of the reported
+//!    `A_i` values have changed since the current plan was made
+//!    (master step 2(c) of the DTSS algorithm).
+//!
+//! DTSS itself is not stage-structured: each request from PE `j`
+//! consumes the next `A_j` *virtual* TSS chunks in closed form,
+//! `C = A_j · (F - D·(S + (A_j - 1)/2))` where `S` is the number of
+//! virtual chunks consumed so far.
+//!
+//! ### A note on two formula details
+//!
+//! - With `A` in the hundreds (ACP scale × cluster power), the integer
+//!   decrement `D = ⌊(F-L)/(N-1)⌋` of plain TSS truncates to zero; we
+//!   keep `D` real-valued and floor only the final chunk size, which is
+//!   the only reading under which DTSS's closed form is non-degenerate.
+//! - §6 prints DFSS's stage total as `⌊2R/A⌋`. Dimensional analysis
+//!   (the per-PE shares `C_j = SC_k·A_j/A` must sum to `SC_k`, and DFSS
+//!   must degenerate to FSS's "half of remaining" on a homogeneous
+//!   dedicated cluster) shows this is a typo for `R/2`; we implement
+//!   `SC_k = round(R_k / α)` with `α = 2`, matching FSS.
+
+use crate::chunk::Chunk;
+use crate::power::{Acp, AcpConfig, VirtualPower, WorkerPower};
+use crate::scheme::TrapezoidSelfSched;
+
+/// Identifies a slave PE (dense index, assigned at registration).
+pub type WorkerId = usize;
+
+/// Which distributed scheme a [`DistributedScheduler`] runs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum DistKind {
+    /// Distributed trapezoid self-scheduling (Xu & Chronopoulos).
+    Dtss,
+    /// Distributed factoring self-scheduling (this paper).
+    Dfss,
+    /// Distributed fixed-increase self-scheduling (this paper);
+    /// `sigma` is the stage count, `X = sigma + 2` as suggested.
+    Dfiss {
+        /// Number of planned stages `σ` (≥ 2).
+        sigma: u32,
+    },
+    /// Distributed trapezoid-factoring self-scheduling (this paper).
+    Dtfss,
+}
+
+impl DistKind {
+    /// Display name used in tables and reports.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DistKind::Dtss => "DTSS",
+            DistKind::Dfss => "DFSS",
+            DistKind::Dfiss { .. } => "DFISS",
+            DistKind::Dtfss => "DTFSS",
+        }
+    }
+}
+
+/// What the master answers to a slave's request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Grant {
+    /// Work to do.
+    Chunk(Chunk),
+    /// The worker's ACP is zero (below threshold) — it should recompute
+    /// its run-queue and ask again later (slave algorithm step 1).
+    Unavailable,
+    /// No iterations remain; the worker may terminate.
+    Finished,
+}
+
+/// Plan state for the scheme kinds.
+#[derive(Debug, Clone)]
+enum Plan {
+    /// DTSS closed form over virtual chunks.
+    Dtss {
+        f: f64,
+        d: f64,
+        /// Virtual chunks consumed so far (`S_{i-1}` in the paper).
+        s_consumed: u64,
+    },
+    /// Stage-structured schemes: deterministic stage totals `SC_k`.
+    Stages {
+        /// `SC_k` values, extended lazily.
+        totals: Vec<u64>,
+        rule: StageRule,
+        /// Next stage index for every worker.
+        worker_stage: Vec<usize>,
+    },
+}
+
+/// How the lazy `SC_k` sequence is extended.
+#[derive(Debug, Clone)]
+enum StageRule {
+    /// DFSS: `SC_k = round(R_{i-1}/2)` — half of the iterations
+    /// actually remaining when the stage opens (the paper's `R_{i-1}`
+    /// is live master state, so per-request rounding deficits are
+    /// absorbed instead of accumulating into a singleton tail).
+    HalveRemaining,
+    /// DFISS: `SC_k = SC_0 + round(k·B)` for the planned `σ` stages,
+    /// continuing the linear growth if rounding leaves work.
+    LinearIncrease { sc0: u64, bump: f64 },
+    /// DTFSS: groups of `A` consecutive TSS(`A`) formula chunks; once
+    /// exhausted, halve-remaining (factoring) finishes the tail.
+    TssGroups { groups: Vec<u64> },
+}
+
+/// The master-side scheduler for the distributed schemes.
+///
+/// Drive it with [`DistributedScheduler::request`]: each call carries
+/// the requesting worker's freshly reported run-queue length (the
+/// paper's slaves piggy-back `A_i` on every request) and returns a
+/// [`Grant`]. Re-planning happens automatically inside `request` when
+/// more than `replan_threshold` of the workers changed their ACP.
+/// # Example
+///
+/// ```
+/// use lss_core::distributed::{DistKind, DistributedScheduler, Grant};
+/// use lss_core::power::{AcpConfig, VirtualPower};
+///
+/// // One fast (2.65×) and one slow worker, dedicated.
+/// let powers = [VirtualPower::new(2.65), VirtualPower::new(1.0)];
+/// let mut dtss =
+///     DistributedScheduler::dedicated(DistKind::Dtss, 1000, &powers, AcpConfig::PAPER);
+/// let (fast, slow) = match (dtss.request(0, 1), dtss.request(1, 1)) {
+///     (Grant::Chunk(a), Grant::Chunk(b)) => (a.len, b.len),
+///     other => panic!("{other:?}"),
+/// };
+/// assert!(fast > 2 * slow, "the fast PE draws a ~2.65× chunk");
+/// ```
+#[derive(Debug, Clone)]
+pub struct DistributedScheduler {
+    kind: DistKind,
+    cfg: AcpConfig,
+    next_start: u64,
+    remaining: u64,
+    workers: Vec<WorkerPower>,
+    /// ACP of each worker *at plan time* (the ACPSA).
+    acpsa: Vec<Acp>,
+    /// Total available power at plan time.
+    total_acp: u64,
+    plan: Plan,
+    /// Re-plan when `changed_workers > replan_threshold · p`.
+    replan_threshold: f64,
+    /// Count of plans made (1 = initial); exposed for tests/ablations.
+    plans_made: u32,
+}
+
+impl DistributedScheduler {
+    /// Creates a scheduler once all workers have reported in (master
+    /// step 1(a)): `powers[i]` and `initial_q[i]` describe worker `i`.
+    ///
+    /// # Panics
+    /// If the worker lists are empty or of different lengths, or if no
+    /// worker has positive ACP (the §5.2 starvation scenario — under
+    /// [`AcpConfig::PAPER`] this cannot happen for finite loads).
+    pub fn new(
+        kind: DistKind,
+        total: u64,
+        powers: &[VirtualPower],
+        initial_q: &[u32],
+        cfg: AcpConfig,
+    ) -> Self {
+        assert!(!powers.is_empty(), "need at least one worker");
+        assert_eq!(powers.len(), initial_q.len(), "powers/queues length mismatch");
+        let workers: Vec<WorkerPower> = powers
+            .iter()
+            .zip(initial_q)
+            .map(|(&v, &q)| {
+                let mut w = WorkerPower::dedicated(v, &cfg);
+                w.report_queue(q, &cfg);
+                w
+            })
+            .collect();
+        let mut sched = DistributedScheduler {
+            kind,
+            cfg,
+            next_start: 0,
+            remaining: total,
+            acpsa: Vec::new(),
+            total_acp: 0,
+            plan: Plan::Dtss { f: 0.0, d: 0.0, s_consumed: 0 },
+            workers,
+            replan_threshold: 0.5,
+            plans_made: 0,
+        };
+        sched.replan();
+        assert!(
+            sched.total_acp > 0,
+            "no worker has positive available computing power; \
+             with AcpConfig::ORIGINAL_DTSS this is the §5.2(I) starvation bug"
+        );
+        sched
+    }
+
+    /// Convenience constructor for a dedicated cluster (`Q_i = 1`).
+    pub fn dedicated(kind: DistKind, total: u64, powers: &[VirtualPower], cfg: AcpConfig) -> Self {
+        let q = vec![1u32; powers.len()];
+        Self::new(kind, total, powers, &q, cfg)
+    }
+
+    /// Iterations not yet handed out.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    /// Whether the loop is fully assigned.
+    pub fn is_finished(&self) -> bool {
+        self.remaining == 0
+    }
+
+    /// Number of registered workers.
+    pub fn num_workers(&self) -> usize {
+        self.workers.len()
+    }
+
+    /// Current ACP of a worker (after its last report).
+    pub fn worker_acp(&self, w: WorkerId) -> Acp {
+        self.workers[w].acp
+    }
+
+    /// Total available power recorded in the current plan.
+    pub fn planned_total_acp(&self) -> u64 {
+        self.total_acp
+    }
+
+    /// How many plans have been made (1 = just the initial one).
+    pub fn plans_made(&self) -> u32 {
+        self.plans_made
+    }
+
+    /// Sets the fraction of changed ACPs that triggers a re-plan
+    /// (default 0.5, the paper's "more than half"). A value `>= 1.0`
+    /// disables re-planning — the ablation baseline.
+    pub fn set_replan_threshold(&mut self, t: f64) {
+        self.replan_threshold = t;
+    }
+
+    /// Initial service order: worker ids sorted by ACP, decreasing
+    /// (master step 1(a) sorts the ACPSA and queues requests that way).
+    pub fn initial_request_order(&self) -> Vec<WorkerId> {
+        let mut ids: Vec<WorkerId> = (0..self.workers.len()).collect();
+        ids.sort_by(|&a, &b| self.workers[b].acp.cmp(&self.workers[a].acp).then(a.cmp(&b)));
+        ids
+    }
+
+    /// A slave's request: it reports its current run-queue length `q`
+    /// (from which the master derives `A_i`) and receives a [`Grant`].
+    pub fn request(&mut self, worker: WorkerId, q: u32) -> Grant {
+        assert!(worker < self.workers.len(), "unknown worker {worker}");
+        if self.remaining == 0 {
+            return Grant::Finished;
+        }
+        self.workers[worker].report_queue(q, &self.cfg);
+        let acp = self.workers[worker].acp;
+        if !acp.is_available() {
+            return Grant::Unavailable;
+        }
+        self.maybe_replan();
+        let proposed = self.chunk_for(worker, acp);
+        let len = proposed.clamp(1, self.remaining);
+        let chunk = Chunk::new(self.next_start, len);
+        self.next_start += len;
+        self.remaining -= len;
+        Grant::Chunk(chunk)
+    }
+
+    /// Master step 2(c): re-plan if more than the threshold fraction of
+    /// ACPs changed since the ACPSA was recorded.
+    fn maybe_replan(&mut self) {
+        let changed = self
+            .workers
+            .iter()
+            .zip(&self.acpsa)
+            .filter(|(w, &planned)| w.acp != planned)
+            .count();
+        if (changed as f64) > self.replan_threshold * self.workers.len() as f64 {
+            self.replan();
+        }
+    }
+
+    /// (Re)computes the plan with `I :=` remaining iterations and the
+    /// currently reported ACPs (master step 1(b)).
+    fn replan(&mut self) {
+        self.acpsa = self.workers.iter().map(|w| w.acp).collect();
+        self.total_acp = self.acpsa.iter().map(|a| a.get() as u64).sum();
+        let i = self.remaining;
+        let a = self.total_acp.max(1);
+        self.plans_made += 1;
+        self.plan = match self.kind {
+            DistKind::Dtss => {
+                // TSS with p = A: F = I/(2A), L = 1; N = 2I/(F+L);
+                // D = (F-L)/(N-1), kept real-valued (see module docs).
+                let f = (i as f64 / (2.0 * a as f64)).max(1.0);
+                let n = (2.0 * i as f64 / (f + 1.0)).max(2.0);
+                let d = (f - 1.0) / (n - 1.0);
+                Plan::Dtss { f, d, s_consumed: 0 }
+            }
+            DistKind::Dfss => Plan::Stages {
+                totals: Vec::new(),
+                rule: StageRule::HalveRemaining,
+                worker_stage: vec![0; self.workers.len()],
+            },
+            DistKind::Dfiss { sigma } => {
+                let sigma = sigma.max(2);
+                let x = sigma + 2;
+                // Stage-level parameters (paper §6, modification 1(b)):
+                // SC_0 = ⌊I/X⌋, B = ⌈2I(1-σ/X)/(σ(σ-1))⌉ — we keep B
+                // real-valued and round per stage, as in simple FISS.
+                let sc0 = (i / x as u64).max(1);
+                let bump = 2.0 * i as f64 * (1.0 - sigma as f64 / x as f64)
+                    / (sigma as f64 * (sigma as f64 - 1.0));
+                Plan::Stages {
+                    totals: Vec::new(),
+                    rule: StageRule::LinearIncrease { sc0, bump },
+                    worker_stage: vec![0; self.workers.len()],
+                }
+            }
+            DistKind::Dtfss => {
+                // TSS with p = A virtual processors, grouped A-at-a-time.
+                let a32 = u32::try_from(a.min(u32::MAX as u64)).expect("clamped");
+                let tss = TrapezoidSelfSched::new(i, a32.max(1));
+                let seq = tss.formula_sequence();
+                let groups: Vec<u64> = seq
+                    .chunks(a as usize)
+                    .map(|g| g.iter().sum::<u64>())
+                    .collect();
+                Plan::Stages {
+                    totals: Vec::new(),
+                    rule: StageRule::TssGroups { groups },
+                    worker_stage: vec![0; self.workers.len()],
+                }
+            }
+        };
+    }
+
+    /// Stage total `SC_k`, extending the lazy sequence as needed.
+    /// `remaining` is the live remaining-iterations count — the
+    /// paper's `R_{i-1}` — consulted when a new stage opens.
+    fn stage_total(totals: &mut Vec<u64>, rule: &StageRule, k: usize, remaining: u64) -> u64 {
+        while totals.len() <= k {
+            let next = match rule {
+                StageRule::HalveRemaining => {
+                    ((remaining as f64 / 2.0).round() as u64).clamp(1, remaining.max(1))
+                }
+                StageRule::LinearIncrease { sc0, bump } => {
+                    let k = totals.len() as f64;
+                    ((*sc0 as f64 + k * *bump).round() as u64).max(1)
+                }
+                StageRule::TssGroups { groups } => match groups.get(totals.len()) {
+                    Some(&g) => g,
+                    // Formula exhausted: factoring-style halving of
+                    // whatever actually remains.
+                    None => ((remaining as f64 / 2.0).round() as u64).clamp(1, remaining.max(1)),
+                },
+            };
+            totals.push(next);
+        }
+        totals[k]
+    }
+
+    /// Chunk proposal for `worker` holding power `acp` under the
+    /// current plan (before global clamping).
+    fn chunk_for(&mut self, worker: WorkerId, acp: Acp) -> u64 {
+        let a_i = acp.get() as f64;
+        let a_total = self.total_acp.max(1) as f64;
+        let remaining = self.remaining;
+        match &mut self.plan {
+            Plan::Dtss { f, d, s_consumed } => {
+                // C = A_i · (F - D·(S_{i-1} + (A_i - 1)/2))
+                let s = *s_consumed as f64;
+                let c = a_i * (*f - *d * (s + (a_i - 1.0) / 2.0));
+                *s_consumed += acp.get() as u64;
+                c.floor().max(1.0) as u64
+            }
+            Plan::Stages { totals, rule, worker_stage } => {
+                let k = worker_stage[worker];
+                worker_stage[worker] += 1;
+                let sc_k = Self::stage_total(totals, rule, k, remaining);
+                ((sc_k as f64 * a_i / a_total).round() as u64).max(1)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::validate_tiling;
+
+    fn powers(v: &[f64]) -> Vec<VirtualPower> {
+        v.iter().map(|&x| VirtualPower::new(x)).collect()
+    }
+
+    /// Round-robin drain; returns per-worker totals and the chunk list.
+    fn drain_rr(sched: &mut DistributedScheduler, queues: &[u32]) -> (Vec<u64>, Vec<Chunk>) {
+        let p = sched.num_workers();
+        let mut totals = vec![0u64; p];
+        let mut chunks = Vec::new();
+        let mut w = 0usize;
+        let mut idle_rounds = 0;
+        loop {
+            match sched.request(w % p, queues[w % p]) {
+                Grant::Chunk(c) => {
+                    totals[w % p] += c.len;
+                    chunks.push(c);
+                    idle_rounds = 0;
+                }
+                Grant::Unavailable => {
+                    idle_rounds += 1;
+                    assert!(idle_rounds <= p, "all workers unavailable");
+                }
+                Grant::Finished => break,
+            }
+            w += 1;
+        }
+        (totals, chunks)
+    }
+
+    #[test]
+    fn dtss_dedicated_tiles_exactly() {
+        let mut s = DistributedScheduler::dedicated(
+            DistKind::Dtss,
+            10_000,
+            &powers(&[3.0, 3.0, 3.0, 1.0, 1.0, 1.0, 1.0, 1.0]),
+            AcpConfig::PAPER,
+        );
+        let (_, chunks) = drain_rr(&mut s, &[1; 8]);
+        validate_tiling(&chunks, 10_000).unwrap();
+    }
+
+    #[test]
+    fn all_kinds_tile_exactly() {
+        for kind in [
+            DistKind::Dtss,
+            DistKind::Dfss,
+            DistKind::Dfiss { sigma: 4 },
+            DistKind::Dtfss,
+        ] {
+            for total in [1u64, 17, 1000, 12_345] {
+                let mut s = DistributedScheduler::dedicated(
+                    kind,
+                    total,
+                    &powers(&[2.0, 1.0, 1.5]),
+                    AcpConfig::PAPER,
+                );
+                let (_, chunks) = drain_rr(&mut s, &[1; 3]);
+                validate_tiling(&chunks, total)
+                    .unwrap_or_else(|e| panic!("{} I={total}: {e}", kind.name()));
+            }
+        }
+    }
+
+    #[test]
+    fn faster_workers_get_proportional_shares() {
+        for kind in [
+            DistKind::Dtss,
+            DistKind::Dfss,
+            DistKind::Dfiss { sigma: 4 },
+            DistKind::Dtfss,
+        ] {
+            let mut s = DistributedScheduler::dedicated(
+                kind,
+                100_000,
+                &powers(&[3.0, 1.0]),
+                AcpConfig::PAPER,
+            );
+            let (totals, _) = drain_rr(&mut s, &[1, 1]);
+            let ratio = totals[0] as f64 / totals[1].max(1) as f64;
+            assert!(
+                (1.8..5.0).contains(&ratio),
+                "{}: fast/slow ratio {ratio} not ≈ 3 ({totals:?})",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn dtss_first_chunk_matches_closed_form() {
+        // Single worker, V = 1, dedicated: A = 10, F = I/(2·10).
+        let mut s = DistributedScheduler::dedicated(
+            DistKind::Dtss,
+            1000,
+            &powers(&[1.0]),
+            AcpConfig::PAPER,
+        );
+        // F = 50, N = 2000/51 ≈ 39.2, D = 49/38.2 ≈ 1.28.
+        // C = 10·(50 - 1.28·(0 + 4.5)) ≈ 10·44.2 ≈ 442.
+        match s.request(0, 1) {
+            Grant::Chunk(c) => assert!((400..=480).contains(&c.len), "got {}", c.len),
+            g => panic!("expected chunk, got {g:?}"),
+        }
+    }
+
+    #[test]
+    fn dtss_chunks_decrease_over_time() {
+        let mut s = DistributedScheduler::dedicated(
+            DistKind::Dtss,
+            100_000,
+            &powers(&[1.0, 1.0, 1.0, 1.0]),
+            AcpConfig::PAPER,
+        );
+        let (_, chunks) = drain_rr(&mut s, &[1; 4]);
+        let sizes: Vec<u64> = chunks.iter().map(|c| c.len).collect();
+        // Monotone non-increasing except the final clamped chunk.
+        for w in sizes[..sizes.len() - 1].windows(2) {
+            assert!(w[0] >= w[1], "sizes increased: {sizes:?}");
+        }
+    }
+
+    #[test]
+    fn overloaded_worker_gets_less_dfss() {
+        // Equal powers but worker 1 has Q = 2 → half the ACP.
+        let mut s = DistributedScheduler::new(
+            DistKind::Dfss,
+            50_000,
+            &powers(&[1.0, 1.0]),
+            &[1, 2],
+            AcpConfig::PAPER,
+        );
+        let (totals, _) = drain_rr(&mut s, &[1, 2]);
+        assert!(
+            totals[0] > totals[1] * 3 / 2,
+            "loaded worker should receive much less: {totals:?}"
+        );
+    }
+
+    #[test]
+    fn unavailable_worker_is_skipped_not_finished() {
+        // Worker 1's queue of 100 pushes its ACP to 0 under scale 10.
+        let cfg = AcpConfig::PAPER;
+        let mut s =
+            DistributedScheduler::new(DistKind::Dfss, 100, &powers(&[1.0, 1.0]), &[1, 100], cfg);
+        assert_eq!(s.request(1, 100), Grant::Unavailable);
+        assert!(matches!(s.request(0, 1), Grant::Chunk(_)));
+    }
+
+    #[test]
+    #[should_panic(expected = "starvation")]
+    fn original_dtss_rule_starves() {
+        // §5.2(I): V = (1, 3), Q = (2, 4) → integer ACPs are both 0.
+        DistributedScheduler::new(
+            DistKind::Dtss,
+            1000,
+            &powers(&[1.0, 3.0]),
+            &[2, 4],
+            AcpConfig::ORIGINAL_DTSS,
+        );
+    }
+
+    #[test]
+    fn scaled_rule_survives_the_starvation_case() {
+        let s = DistributedScheduler::new(
+            DistKind::Dtss,
+            1000,
+            &powers(&[1.0, 3.0]),
+            &[2, 4],
+            AcpConfig::PAPER,
+        );
+        // A_1 = 5, A_2 = 7 → A = 12, exactly the paper's numbers.
+        assert_eq!(s.planned_total_acp(), 12);
+    }
+
+    #[test]
+    fn replan_triggers_when_majority_changes() {
+        let mut s = DistributedScheduler::dedicated(
+            DistKind::Dtss,
+            100_000,
+            &powers(&[1.0, 1.0, 1.0, 1.0]),
+            AcpConfig::PAPER,
+        );
+        assert_eq!(s.plans_made(), 1);
+        // Three of four workers report doubled queues → 3 > 0.5·4.
+        let _ = s.request(0, 2);
+        let _ = s.request(1, 2);
+        let _ = s.request(2, 2);
+        assert!(s.plans_made() >= 2, "expected a re-plan");
+    }
+
+    #[test]
+    fn replan_disabled_by_threshold() {
+        let mut s = DistributedScheduler::dedicated(
+            DistKind::Dtss,
+            100_000,
+            &powers(&[1.0, 1.0]),
+            AcpConfig::PAPER,
+        );
+        s.set_replan_threshold(1.0);
+        let _ = s.request(0, 4);
+        let _ = s.request(1, 4);
+        assert_eq!(s.plans_made(), 1);
+    }
+
+    #[test]
+    fn initial_order_sorts_by_power() {
+        let s = DistributedScheduler::dedicated(
+            DistKind::Dtss,
+            1000,
+            &powers(&[1.0, 3.0, 2.0]),
+            AcpConfig::PAPER,
+        );
+        assert_eq!(s.initial_request_order(), vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn dfss_homogeneous_first_stage_is_half() {
+        // Homogeneous dedicated DFSS must look like FSS: first stage
+        // hands out ~half the iterations across the workers.
+        let mut s = DistributedScheduler::dedicated(
+            DistKind::Dfss,
+            1000,
+            &powers(&[1.0, 1.0, 1.0, 1.0]),
+            AcpConfig::PAPER,
+        );
+        let mut first_stage = 0u64;
+        for w in 0..4 {
+            if let Grant::Chunk(c) = s.request(w, 1) {
+                first_stage += c.len;
+            }
+        }
+        assert!((400..=600).contains(&first_stage), "first stage {first_stage}");
+    }
+
+    #[test]
+    fn finished_is_sticky() {
+        let mut s = DistributedScheduler::dedicated(
+            DistKind::Dfss,
+            10,
+            &powers(&[1.0]),
+            AcpConfig::PAPER,
+        );
+        while !matches!(s.request(0, 1), Grant::Finished) {}
+        assert_eq!(s.request(0, 1), Grant::Finished);
+        assert!(s.is_finished());
+    }
+}

@@ -1,0 +1,59 @@
+//! # lss-core — loop self-scheduling schemes for heterogeneous clusters
+//!
+//! This crate implements the scheduling algorithms from
+//! *"A Class of Loop Self-Scheduling for Heterogeneous Clusters"*
+//! (Chronopoulos, Andonie, Benche, Grosu — IEEE CLUSTER 2001), together
+//! with every scheme the paper builds on or compares against:
+//!
+//! - **Simple self-scheduling schemes** (designed for homogeneous
+//!   machines, §2 of the paper): static ([`scheme::StaticSched`]), pure
+//!   self-scheduling ([`scheme::PureSelfSched`]), chunk
+//!   ([`scheme::ChunkSelfSched`]), guided ([`scheme::GuidedSelfSched`]),
+//!   trapezoid ([`scheme::TrapezoidSelfSched`]), factoring
+//!   ([`scheme::FactoringSelfSched`]), fixed-increase
+//!   ([`scheme::FixedIncreaseSelfSched`]), and the paper's new
+//!   **trapezoid-factoring** scheme ([`scheme::TrapezoidFactoringSelfSched`]).
+//! - **Weighted factoring** ([`scheme::WeightedFactoring`]) — a
+//!   heterogeneity-aware but *non-adaptive* baseline (§6 explicitly
+//!   classifies it as "not distributed").
+//! - **Distributed schemes** (§3 & §6): DTSS, DFSS, DFISS, DTFSS via
+//!   [`distributed::DistributedScheduler`], using the *available
+//!   computing power* (ACP) model of [`power`], including the paper's
+//!   §5.2 improvements (fractional ACP scaled by 10, fractional virtual
+//!   powers, availability threshold).
+//! - **Tree scheduling** ([`tree`]) — the decentralized baseline of
+//!   Kim & Purtilo used in the paper's evaluation.
+//!
+//! The [`master::Master`] state machine ties a scheme to the
+//! master–slave request/reply protocol in a transport-independent way;
+//! it is driven both by the discrete-event simulator (`lss-sim`) and by
+//! the real threaded runtime (`lss-runtime`).
+//!
+//! ## Quick example
+//!
+//! ```
+//! use lss_core::scheme::{ChunkSizer, TrapezoidFactoringSelfSched};
+//! use lss_core::chunk::ChunkDispenser;
+//!
+//! // The paper's running example: I = 1000 iterations, p = 4 PEs.
+//! let tfss = TrapezoidFactoringSelfSched::new(1000, 4);
+//! let sizes: Vec<u64> = ChunkDispenser::new(1000, tfss).map(|c| c.len).collect();
+//! // First stage: four chunks of 113 (Table 1 of the paper).
+//! assert_eq!(&sizes[..4], &[113, 113, 113, 113]);
+//! assert_eq!(sizes.iter().sum::<u64>(), 1000);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod analysis;
+pub mod chunk;
+pub mod distributed;
+pub mod master;
+pub mod power;
+pub mod scheme;
+pub mod tree;
+
+pub use chunk::{Chunk, ChunkDispenser};
+pub use master::{Assignment, Master, MasterConfig, SchemeKind};
+pub use power::{Acp, AcpConfig, VirtualPower, WorkerPower};

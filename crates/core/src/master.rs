@@ -1,0 +1,544 @@
+//! The transport-independent master of the master–slave model (§2.2).
+//!
+//! Idle slaves send a request (optionally piggy-backing their previous
+//! result and their current run-queue length); the master answers with
+//! an iteration interval. [`Master`] encapsulates *which* interval,
+//! uniformly over every scheme family in the paper:
+//!
+//! - **simple** schemes ([`crate::scheme`]) ignore who is asking,
+//! - **weighted factoring** scales by static per-worker weights,
+//! - **distributed** schemes ([`crate::distributed`]) use the reported
+//!   run-queue lengths (the ACP model) and re-plan on load changes.
+//!
+//! Both the discrete-event simulator (`lss-sim`) and the real threaded
+//! runtime (`lss-runtime`) drive this same state machine, so a scheme's
+//! behaviour is identical under simulation and real execution.
+
+use crate::chunk::{Chunk, ChunkDispenser};
+use crate::distributed::{DistKind, DistributedScheduler, Grant, WorkerId};
+use crate::power::{AcpConfig, VirtualPower};
+use crate::scheme::{
+    ChunkSelfSched, ChunkSizer, FactoringSelfSched, FixedIncreaseSelfSched, GuidedSelfSched,
+    PureSelfSched, StaticSched, TrapezoidFactoringSelfSched, TrapezoidSelfSched,
+    WeightedFactoring,
+};
+
+/// Every scheduling scheme in the paper, by name.
+///
+/// The first block are the *simple* schemes of §2 (they treat all PEs
+/// as equals); `Wf` is the static-weight baseline; the `D*` block are
+/// the *distributed* schemes of §3/§6 (ACP-aware and adaptive).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SchemeKind {
+    /// Static block scheduling (`S`).
+    Static,
+    /// Pure self-scheduling (`SS`), chunk size 1.
+    Pure,
+    /// Chunk self-scheduling with fixed size `k`.
+    Css {
+        /// The fixed chunk size.
+        k: u64,
+    },
+    /// Guided self-scheduling with a minimum chunk size (1 = plain GSS).
+    Gss {
+        /// Minimum chunk size (`GSS(k)`).
+        min_chunk: u64,
+    },
+    /// Trapezoid self-scheduling.
+    Tss,
+    /// Trapezoid self-scheduling with explicit first/last chunk sizes
+    /// (the paper's `L > 1` remedy for the many final synchronizations).
+    TssWith {
+        /// First chunk size `F`.
+        first: u64,
+        /// Last chunk size `L`.
+        last: u64,
+    },
+    /// Factoring self-scheduling (α = 2).
+    Fss,
+    /// Factoring self-scheduling with Hummel et al.'s *computed* α,
+    /// derived from the iteration-cost distribution.
+    FssAdaptive {
+        /// Mean iteration cost `μ`.
+        mean_cost: f64,
+        /// Standard deviation `σ` of iteration costs.
+        std_dev: f64,
+    },
+    /// Fixed-increase self-scheduling with `σ` stages.
+    Fiss {
+        /// Planned number of stages.
+        sigma: u32,
+    },
+    /// Trapezoid-factoring self-scheduling — the paper's new scheme.
+    Tfss,
+    /// Weighted factoring (static weights; *not* distributed per §6).
+    Wf,
+    /// Distributed trapezoid self-scheduling.
+    Dtss,
+    /// Distributed factoring self-scheduling.
+    Dfss,
+    /// Distributed fixed-increase self-scheduling with `σ` stages.
+    Dfiss {
+        /// Planned number of stages.
+        sigma: u32,
+    },
+    /// Distributed trapezoid-factoring self-scheduling.
+    Dtfss,
+}
+
+impl SchemeKind {
+    /// Display name as used in the paper's tables.
+    pub fn name(&self) -> &'static str {
+        match self {
+            SchemeKind::Static => "S",
+            SchemeKind::Pure => "SS",
+            SchemeKind::Css { .. } => "CSS",
+            SchemeKind::Gss { .. } => "GSS",
+            SchemeKind::Tss => "TSS",
+            SchemeKind::TssWith { .. } => "TSS",
+            SchemeKind::Fss => "FSS",
+            SchemeKind::FssAdaptive { .. } => "FSS*",
+            SchemeKind::Fiss { .. } => "FISS",
+            SchemeKind::Tfss => "TFSS",
+            SchemeKind::Wf => "WF",
+            SchemeKind::Dtss => "DTSS",
+            SchemeKind::Dfss => "DFSS",
+            SchemeKind::Dfiss { .. } => "DFISS",
+            SchemeKind::Dtfss => "DTFSS",
+        }
+    }
+
+    /// Whether the scheme uses run-time load information (§6's
+    /// definition of *distributed*).
+    pub fn is_distributed(&self) -> bool {
+        matches!(
+            self,
+            SchemeKind::Dtss | SchemeKind::Dfss | SchemeKind::Dfiss { .. } | SchemeKind::Dtfss
+        )
+    }
+
+    /// The adaptive simple schemes evaluated in Table 2 of the paper.
+    /// FISS uses `σ = 3` — the stage count of the paper's own Table 1
+    /// example (`50 83 117` with `X = 5`).
+    pub fn table2_schemes() -> Vec<SchemeKind> {
+        vec![
+            SchemeKind::Tss,
+            SchemeKind::Fss,
+            SchemeKind::Fiss { sigma: 3 },
+            SchemeKind::Tfss,
+        ]
+    }
+
+    /// The distributed schemes evaluated in Table 3 of the paper.
+    pub fn table3_schemes() -> Vec<SchemeKind> {
+        vec![
+            SchemeKind::Dtss,
+            SchemeKind::Dfss,
+            SchemeKind::Dfiss { sigma: 3 },
+            SchemeKind::Dtfss,
+        ]
+    }
+}
+
+/// The master's answer to a slave request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Assignment {
+    /// An interval of iterations to execute.
+    Chunk(Chunk),
+    /// The worker is currently unavailable (ACP 0 / below threshold);
+    /// it should re-check its load and ask again.
+    Retry,
+    /// No work remains — terminate.
+    Finished,
+}
+
+/// Configuration for a [`Master`].
+#[derive(Debug, Clone)]
+pub struct MasterConfig {
+    /// Which scheduling scheme to run.
+    pub scheme: SchemeKind,
+    /// Total number of loop iterations `I`.
+    pub total: u64,
+    /// Virtual power of each worker (length = number of slaves `p`).
+    pub powers: Vec<VirtualPower>,
+    /// Initial run-queue length of each worker (1 = dedicated).
+    pub initial_q: Vec<u32>,
+    /// ACP derivation rule.
+    pub acp: AcpConfig,
+}
+
+impl MasterConfig {
+    /// Config for a dedicated cluster of `p` equal workers — what the
+    /// simple schemes assume.
+    pub fn homogeneous(scheme: SchemeKind, total: u64, p: usize) -> Self {
+        MasterConfig {
+            scheme,
+            total,
+            powers: vec![VirtualPower::new(1.0); p],
+            initial_q: vec![1; p],
+            acp: AcpConfig::PAPER,
+        }
+    }
+
+    /// Config for a dedicated heterogeneous cluster.
+    pub fn heterogeneous(scheme: SchemeKind, total: u64, powers: Vec<VirtualPower>) -> Self {
+        let q = vec![1; powers.len()];
+        MasterConfig {
+            scheme,
+            total,
+            powers,
+            initial_q: q,
+            acp: AcpConfig::PAPER,
+        }
+    }
+}
+
+enum MasterInner {
+    Simple(ChunkDispenser<Box<dyn ChunkSizer + Send>>),
+    Wf(WeightedFactoring),
+    Dist(DistributedScheduler),
+}
+
+/// The master state machine: owns the scheme, serves requests, and
+/// keeps per-worker accounting.
+pub struct Master {
+    inner: MasterInner,
+    scheme: SchemeKind,
+    /// Iterations granted to each worker so far.
+    served: Vec<u64>,
+    /// Chunks granted to each worker so far.
+    chunks_granted: Vec<u64>,
+    total: u64,
+    /// Chunks returned by [`Master::requeue`] (e.g. a worker died
+    /// holding them); served before fresh scheme chunks.
+    requeued: std::collections::VecDeque<Chunk>,
+}
+
+impl Master {
+    /// Builds the master for the given configuration.
+    ///
+    /// # Panics
+    /// On inconsistent configuration (no workers, mismatched lengths).
+    pub fn new(cfg: MasterConfig) -> Self {
+        let p = cfg.powers.len();
+        assert!(p >= 1, "need at least one worker");
+        assert_eq!(p, cfg.initial_q.len(), "powers/initial_q length mismatch");
+        let p32 = u32::try_from(p).expect("worker count fits u32");
+        let inner = match cfg.scheme {
+            SchemeKind::Static => Self::simple(cfg.total, StaticSched::new(cfg.total, p32)),
+            SchemeKind::Pure => Self::simple(cfg.total, PureSelfSched::new()),
+            SchemeKind::Css { k } => Self::simple(cfg.total, ChunkSelfSched::new(k)),
+            SchemeKind::Gss { min_chunk } => {
+                Self::simple(cfg.total, GuidedSelfSched::with_min_chunk(p32, min_chunk))
+            }
+            SchemeKind::Tss => Self::simple(cfg.total, TrapezoidSelfSched::new(cfg.total, p32)),
+            SchemeKind::TssWith { first, last } => {
+                Self::simple(cfg.total, TrapezoidSelfSched::with_bounds(cfg.total, first, last))
+            }
+            SchemeKind::Fss => Self::simple(cfg.total, FactoringSelfSched::new(p32)),
+            SchemeKind::FssAdaptive { mean_cost, std_dev } => {
+                Self::simple(cfg.total, FactoringSelfSched::adaptive(p32, mean_cost, std_dev))
+            }
+            SchemeKind::Fiss { sigma } => {
+                Self::simple(cfg.total, FixedIncreaseSelfSched::new(cfg.total, p32, sigma))
+            }
+            SchemeKind::Tfss => {
+                Self::simple(cfg.total, TrapezoidFactoringSelfSched::new(cfg.total, p32))
+            }
+            SchemeKind::Wf => {
+                let weights: Vec<f64> = cfg.powers.iter().map(|v| v.get()).collect();
+                MasterInner::Wf(WeightedFactoring::new(cfg.total, &weights))
+            }
+            SchemeKind::Dtss => MasterInner::Dist(DistributedScheduler::new(
+                DistKind::Dtss,
+                cfg.total,
+                &cfg.powers,
+                &cfg.initial_q,
+                cfg.acp,
+            )),
+            SchemeKind::Dfss => MasterInner::Dist(DistributedScheduler::new(
+                DistKind::Dfss,
+                cfg.total,
+                &cfg.powers,
+                &cfg.initial_q,
+                cfg.acp,
+            )),
+            SchemeKind::Dfiss { sigma } => MasterInner::Dist(DistributedScheduler::new(
+                DistKind::Dfiss { sigma },
+                cfg.total,
+                &cfg.powers,
+                &cfg.initial_q,
+                cfg.acp,
+            )),
+            SchemeKind::Dtfss => MasterInner::Dist(DistributedScheduler::new(
+                DistKind::Dtfss,
+                cfg.total,
+                &cfg.powers,
+                &cfg.initial_q,
+                cfg.acp,
+            )),
+        };
+        Master {
+            inner,
+            scheme: cfg.scheme,
+            served: vec![0; p],
+            chunks_granted: vec![0; p],
+            total: cfg.total,
+            requeued: std::collections::VecDeque::new(),
+        }
+    }
+
+    fn simple<S: ChunkSizer + Send + 'static>(total: u64, sizer: S) -> MasterInner {
+        MasterInner::Simple(ChunkDispenser::new(total, Box::new(sizer)))
+    }
+
+    /// How many plans the distributed scheduler has made (0 for
+    /// non-distributed schemes; 1 means only the initial plan).
+    pub fn plans_made(&self) -> u32 {
+        match &self.inner {
+            MasterInner::Dist(d) => d.plans_made(),
+            _ => 0,
+        }
+    }
+
+    /// Adjusts the distributed re-plan threshold (fraction of changed
+    /// ACPs that triggers recomputation; ≥ 1.0 disables re-planning).
+    /// No-op for non-distributed schemes.
+    pub fn set_replan_threshold(&mut self, t: f64) {
+        if let MasterInner::Dist(d) = &mut self.inner {
+            d.set_replan_threshold(t);
+        }
+    }
+
+    /// Serves one slave request. `q` is the worker's freshly reported
+    /// run-queue length (ignored by non-distributed schemes, exactly as
+    /// in the paper where simple schemes treat all PEs alike).
+    pub fn handle_request(&mut self, worker: WorkerId, q: u32) -> Assignment {
+        assert!(worker < self.served.len(), "unknown worker {worker}");
+        // Re-granted work (from failed workers) takes priority: it is
+        // the oldest unfinished part of the loop.
+        if let Some(chunk) = self.requeued.pop_front() {
+            self.served[worker] += chunk.len;
+            self.chunks_granted[worker] += 1;
+            return Assignment::Chunk(chunk);
+        }
+        let assignment = match &mut self.inner {
+            MasterInner::Simple(d) => match d.next_chunk() {
+                Some(c) => Assignment::Chunk(c),
+                None => Assignment::Finished,
+            },
+            MasterInner::Wf(wf) => match wf.next_chunk(worker) {
+                Some(c) => Assignment::Chunk(c),
+                None => Assignment::Finished,
+            },
+            MasterInner::Dist(d) => match d.request(worker, q) {
+                Grant::Chunk(c) => Assignment::Chunk(c),
+                Grant::Unavailable => Assignment::Retry,
+                Grant::Finished => Assignment::Finished,
+            },
+        };
+        if let Assignment::Chunk(c) = assignment {
+            self.served[worker] += c.len;
+            self.chunks_granted[worker] += 1;
+        }
+        assignment
+    }
+
+    /// Returns a granted chunk to the pool — used when the worker
+    /// holding it is discovered dead. It will be re-granted (to any
+    /// worker) before fresh scheme chunks.
+    pub fn requeue(&mut self, chunk: Chunk) {
+        assert!(chunk.end() <= self.total, "requeued chunk out of range");
+        self.requeued.push_back(chunk);
+    }
+
+    /// Iterations not yet handed out (including requeued ones).
+    pub fn remaining(&self) -> u64 {
+        let fresh = match &self.inner {
+            MasterInner::Simple(d) => d.remaining(),
+            MasterInner::Wf(wf) => wf.remaining(),
+            MasterInner::Dist(d) => d.remaining(),
+        };
+        fresh + self.requeued.iter().map(|c| c.len).sum::<u64>()
+    }
+
+    /// Whether every iteration has been assigned.
+    pub fn is_finished(&self) -> bool {
+        self.remaining() == 0
+    }
+
+    /// The scheme this master runs.
+    pub fn scheme(&self) -> SchemeKind {
+        self.scheme
+    }
+
+    /// Total loop size `I`.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Iterations granted to `worker` so far.
+    pub fn iterations_served(&self, worker: WorkerId) -> u64 {
+        self.served[worker]
+    }
+
+    /// Chunks granted to `worker` so far.
+    pub fn chunks_served(&self, worker: WorkerId) -> u64 {
+        self.chunks_granted[worker]
+    }
+
+    /// Total number of scheduling steps (master round-trips) so far.
+    pub fn total_scheduling_steps(&self) -> u64 {
+        self.chunks_granted.iter().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::validate_tiling;
+
+    fn drain(master: &mut Master, p: usize) -> Vec<Chunk> {
+        let mut chunks = Vec::new();
+        let mut w = 0;
+        loop {
+            match master.handle_request(w % p, 1) {
+                Assignment::Chunk(c) => chunks.push(c),
+                Assignment::Retry => {}
+                Assignment::Finished => break,
+            }
+            w += 1;
+        }
+        chunks
+    }
+
+    #[test]
+    fn every_scheme_tiles_the_loop() {
+        let schemes = [
+            SchemeKind::Static,
+            SchemeKind::Pure,
+            SchemeKind::Css { k: 7 },
+            SchemeKind::Gss { min_chunk: 1 },
+            SchemeKind::Tss,
+            SchemeKind::Fss,
+            SchemeKind::Fiss { sigma: 3 },
+            SchemeKind::Tfss,
+            SchemeKind::Wf,
+            SchemeKind::Dtss,
+            SchemeKind::Dfss,
+            SchemeKind::Dfiss { sigma: 3 },
+            SchemeKind::Dtfss,
+        ];
+        for scheme in schemes {
+            let mut m = Master::new(MasterConfig::homogeneous(scheme, 1000, 4));
+            let chunks = drain(&mut m, 4);
+            validate_tiling(&chunks, 1000)
+                .unwrap_or_else(|e| panic!("{}: {e}", scheme.name()));
+            assert!(m.is_finished());
+            assert_eq!(m.total_scheduling_steps(), chunks.len() as u64);
+        }
+    }
+
+    #[test]
+    fn simple_schemes_ignore_reported_load() {
+        let mut a = Master::new(MasterConfig::homogeneous(SchemeKind::Tss, 1000, 4));
+        let mut b = Master::new(MasterConfig::homogeneous(SchemeKind::Tss, 1000, 4));
+        let ca = a.handle_request(0, 1);
+        let cb = b.handle_request(0, 99);
+        assert_eq!(ca, cb);
+    }
+
+    #[test]
+    fn distributed_schemes_respond_to_load() {
+        let cfg = MasterConfig::heterogeneous(
+            SchemeKind::Dtss,
+            10_000,
+            vec![VirtualPower::new(1.0), VirtualPower::new(1.0)],
+        );
+        let mut m = Master::new(cfg);
+        let c_loaded = match m.handle_request(0, 5) {
+            Assignment::Chunk(c) => c.len,
+            a => panic!("{a:?}"),
+        };
+        let c_free = match m.handle_request(1, 1) {
+            Assignment::Chunk(c) => c.len,
+            a => panic!("{a:?}"),
+        };
+        assert!(c_free > c_loaded, "free {c_free} vs loaded {c_loaded}");
+    }
+
+    #[test]
+    fn per_worker_accounting_sums_to_total() {
+        let mut m = Master::new(MasterConfig::homogeneous(SchemeKind::Fss, 5000, 8));
+        let _ = drain(&mut m, 8);
+        let sum: u64 = (0..8).map(|w| m.iterations_served(w)).sum();
+        assert_eq!(sum, 5000);
+    }
+
+    #[test]
+    fn scheme_names_match_paper() {
+        assert_eq!(SchemeKind::Tfss.name(), "TFSS");
+        assert_eq!(SchemeKind::Dtfss.name(), "DTFSS");
+        assert!(!SchemeKind::Wf.is_distributed());
+        assert!(SchemeKind::Dfiss { sigma: 3 }.is_distributed());
+    }
+
+    #[test]
+    fn retry_surfaces_unavailability() {
+        let cfg = MasterConfig {
+            scheme: SchemeKind::Dfss,
+            total: 100,
+            powers: vec![VirtualPower::new(1.0), VirtualPower::new(1.0)],
+            initial_q: vec![1, 1],
+            acp: AcpConfig::PAPER,
+        };
+        let mut m = Master::new(cfg);
+        assert_eq!(m.handle_request(1, 1000), Assignment::Retry);
+        assert!(matches!(m.handle_request(0, 1), Assignment::Chunk(_)));
+    }
+}
+
+#[cfg(test)]
+mod requeue_tests {
+    use super::*;
+    use crate::chunk::Chunk;
+
+    #[test]
+    fn requeued_chunk_served_first() {
+        let mut m = Master::new(MasterConfig::homogeneous(SchemeKind::Css { k: 10 }, 100, 2));
+        let first = match m.handle_request(0, 1) {
+            Assignment::Chunk(c) => c,
+            a => panic!("{a:?}"),
+        };
+        // Worker 0 dies holding `first`; it goes back to the pool.
+        m.requeue(first);
+        assert_eq!(m.remaining(), 100);
+        // The next requester gets exactly that chunk again.
+        match m.handle_request(1, 1) {
+            Assignment::Chunk(c) => assert_eq!(c, first),
+            a => panic!("{a:?}"),
+        }
+    }
+
+    #[test]
+    fn requeue_extends_a_finished_loop() {
+        let mut m = Master::new(MasterConfig::homogeneous(SchemeKind::Css { k: 100 }, 100, 1));
+        let c = match m.handle_request(0, 1) {
+            Assignment::Chunk(c) => c,
+            a => panic!("{a:?}"),
+        };
+        assert!(m.is_finished());
+        m.requeue(c);
+        assert!(!m.is_finished());
+        assert_eq!(m.remaining(), 100);
+        assert!(matches!(m.handle_request(0, 1), Assignment::Chunk(_)));
+        assert!(m.is_finished());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn requeue_rejects_foreign_chunks() {
+        let mut m = Master::new(MasterConfig::homogeneous(SchemeKind::Tss, 100, 2));
+        m.requeue(Chunk::new(90, 20));
+    }
+}

@@ -1,0 +1,238 @@
+//! The *available computing power* (ACP) model of §3.1 and §5.2.
+//!
+//! Terminology (paper, §3.1):
+//!
+//! - `V_i` — the **virtual power** of PE `P_i` (`V_i = 1` for the
+//!   slowest PE). The paper's §5.2(II) improvement allows fractional
+//!   values (e.g. `V = 3.4`), which we adopt as the native
+//!   representation ([`VirtualPower`] wraps an `f64`).
+//! - `Q_i` — the number of processes in `P_i`'s run-queue, reflecting
+//!   its total load. The parallel-loop process itself counts, so
+//!   `Q_i >= 1` whenever the loop is running.
+//! - `A_i` — the **available computing power**. Original DTSS used
+//!   `A_i = ⌊V_i / Q_i⌋`, which collapses to zero for any loaded PE
+//!   that is not proportionally fast (§5.2(I)'s starvation example:
+//!   `V_1 = 1, Q_1 = 2` and `V_2 = 3, Q_2 = 3` both give `A = 0` and the
+//!   computation can never start). The paper's fix — which this module
+//!   implements — is decimal division scaled by an integer constant:
+//!   `A_i = ⌊scale · V_i / Q_i⌋` with `scale = 10` (or 100).
+//! - `A = Σ A_i` — total available power; the distributed schemes run
+//!   the underlying simple scheme with "`p` = `A`" virtual processors.
+//! - `A_min` — an availability threshold (§5.2(I)): a PE whose `A_i`
+//!   falls below it is declared unavailable and receives no work.
+
+/// The relative (virtual) computing power `V_i` of a PE.
+///
+/// By convention the slowest machine in the cluster has power `1.0`;
+/// a machine three times faster has power `3.0`. Fractional values are
+/// allowed per §5.2(II).
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd)]
+pub struct VirtualPower(f64);
+
+impl VirtualPower {
+    /// Creates a virtual power; panics on non-finite or non-positive input.
+    pub fn new(v: f64) -> Self {
+        assert!(v.is_finite() && v > 0.0, "virtual power must be positive and finite, got {v}");
+        VirtualPower(v)
+    }
+
+    /// The raw ratio.
+    pub fn get(&self) -> f64 {
+        self.0
+    }
+}
+
+impl From<f64> for VirtualPower {
+    fn from(v: f64) -> Self {
+        VirtualPower::new(v)
+    }
+}
+
+/// Integer available-computing-power `A_i = ⌊scale · V_i / Q_i⌋`.
+///
+/// `Acp(0)` means the PE is (currently) unavailable for the loop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Acp(pub u32);
+
+impl Acp {
+    /// Whether this PE can be assigned work.
+    pub fn is_available(&self) -> bool {
+        self.0 > 0
+    }
+
+    /// The raw integer value.
+    pub fn get(&self) -> u32 {
+        self.0
+    }
+}
+
+/// How ACP values are derived from `(V_i, Q_i)` pairs.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AcpConfig {
+    /// Multiplier applied before flooring (`10` in the paper's §5.2(I)
+    /// proposal; `1` recovers the original, starvation-prone DTSS rule).
+    pub scale: u32,
+    /// Minimum `A_i` for a PE to be considered available. With the
+    /// paper's example (`scale = 10`, `A_min = 6`) only machines with
+    /// per-process share ≥ 0.6 of a slow PE participate.
+    pub a_min: u32,
+}
+
+impl AcpConfig {
+    /// The paper's recommended configuration: scale 10, no threshold.
+    pub const PAPER: AcpConfig = AcpConfig { scale: 10, a_min: 0 };
+
+    /// The original (pre-fix) DTSS rule: integer division, no scaling.
+    pub const ORIGINAL_DTSS: AcpConfig = AcpConfig { scale: 1, a_min: 0 };
+
+    /// Creates a config with the given scale and availability threshold.
+    pub fn new(scale: u32, a_min: u32) -> Self {
+        assert!(scale >= 1, "ACP scale must be at least 1");
+        AcpConfig { scale, a_min }
+    }
+
+    /// Computes `A_i` from virtual power and run-queue length.
+    ///
+    /// `q` is clamped to at least 1 (the loop process itself is always
+    /// in the run-queue once the computation has started). A result
+    /// below `a_min` is reported as `Acp(0)` — unavailable — per the
+    /// §5.2(I) threshold policy.
+    pub fn acp(&self, v: VirtualPower, q: u32) -> Acp {
+        let q = q.max(1);
+        let a_dec = v.get() / q as f64;
+        let a = (self.scale as f64 * a_dec).floor() as u32;
+        if a < self.a_min.max(1) {
+            // Below the availability threshold (or literally zero).
+            if a >= 1 && self.a_min <= 1 {
+                Acp(a)
+            } else {
+                Acp(0)
+            }
+        } else {
+            Acp(a)
+        }
+    }
+}
+
+impl Default for AcpConfig {
+    fn default() -> Self {
+        AcpConfig::PAPER
+    }
+}
+
+/// A worker's power state as the master sees it: static virtual power
+/// plus the latest reported run-queue length and derived ACP.
+#[derive(Debug, Clone, Copy)]
+pub struct WorkerPower {
+    /// Static relative speed of the machine.
+    pub virtual_power: VirtualPower,
+    /// Last reported run-queue length.
+    pub run_queue: u32,
+    /// Derived available computing power.
+    pub acp: Acp,
+}
+
+impl WorkerPower {
+    /// Creates the state for a dedicated worker (`Q_i = 1`).
+    pub fn dedicated(v: VirtualPower, cfg: &AcpConfig) -> Self {
+        WorkerPower {
+            virtual_power: v,
+            run_queue: 1,
+            acp: cfg.acp(v, 1),
+        }
+    }
+
+    /// Updates the run-queue length, recomputing the ACP.
+    /// Returns `true` if the ACP value changed.
+    pub fn report_queue(&mut self, q: u32, cfg: &AcpConfig) -> bool {
+        self.run_queue = q.max(1);
+        let new = cfg.acp(self.virtual_power, self.run_queue);
+        let changed = new != self.acp;
+        self.acp = new;
+        changed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_example_5_2_i_fix() {
+        // §5.2(I): V1 = 1, Q1 = 2; V2 = 3, Q2 = 4 (after the loop joins
+        // P2's queue of 3). Original rule starves; scaled rule gives
+        // A1 = 5, A2 = 7, A = 12.
+        let orig = AcpConfig::ORIGINAL_DTSS;
+        assert_eq!(orig.acp(VirtualPower::new(1.0), 2), Acp(0));
+        // floor(3/4) = 0 with integer division:
+        assert_eq!(orig.acp(VirtualPower::new(3.0), 4), Acp(0));
+
+        let fixed = AcpConfig::PAPER;
+        assert_eq!(fixed.acp(VirtualPower::new(1.0), 2), Acp(5));
+        assert_eq!(fixed.acp(VirtualPower::new(3.0), 4), Acp(7));
+    }
+
+    #[test]
+    fn paper_example_5_2_ii_fractional_power() {
+        // §5.2(II): V2 = 3.4, Q = 4 → A2 = floor(0.85 * 10) = 8, where
+        // integer virtual powers would under-estimate it as 7.
+        let cfg = AcpConfig::PAPER;
+        assert_eq!(cfg.acp(VirtualPower::new(3.4), 4), Acp(8));
+        assert_eq!(cfg.acp(VirtualPower::new(3.0), 4), Acp(7));
+    }
+
+    #[test]
+    fn a_min_threshold_declares_unavailable() {
+        // §5.2(I): with A_min = 6, the slow loaded machine (A = 5) is
+        // declared not available; the faster one (A = 7) still serves.
+        let cfg = AcpConfig::new(10, 6);
+        assert_eq!(cfg.acp(VirtualPower::new(1.0), 2), Acp(0));
+        assert_eq!(cfg.acp(VirtualPower::new(3.0), 4), Acp(7));
+    }
+
+    #[test]
+    fn dedicated_worker_gets_full_power() {
+        let cfg = AcpConfig::PAPER;
+        let w = WorkerPower::dedicated(VirtualPower::new(2.0), &cfg);
+        assert_eq!(w.acp, Acp(20));
+        assert_eq!(w.run_queue, 1);
+    }
+
+    #[test]
+    fn extra_process_halves_power() {
+        // §3.1's example: V_i = 2 with one extra process behaves like
+        // the slowest dedicated processor (A = 2/2 = 1, scaled: 10).
+        let cfg = AcpConfig::PAPER;
+        let mut w = WorkerPower::dedicated(VirtualPower::new(2.0), &cfg);
+        let changed = w.report_queue(2, &cfg);
+        assert!(changed);
+        assert_eq!(w.acp, Acp(10));
+        let unchanged = w.report_queue(2, &cfg);
+        assert!(!unchanged);
+    }
+
+    #[test]
+    fn run_queue_zero_clamped_to_one() {
+        let cfg = AcpConfig::PAPER;
+        assert_eq!(cfg.acp(VirtualPower::new(1.0), 0), cfg.acp(VirtualPower::new(1.0), 1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn negative_power_rejected() {
+        VirtualPower::new(-1.0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_scale_rejected() {
+        AcpConfig::new(0, 0);
+    }
+
+    #[test]
+    fn scale_100_gives_finer_resolution() {
+        let cfg = AcpConfig::new(100, 0);
+        // V = 1.26, Q = 3 → 0.42 → 42; scale 10 would give 4 (0.4).
+        assert_eq!(cfg.acp(VirtualPower::new(1.26), 3), Acp(42));
+    }
+}

@@ -1,0 +1,76 @@
+//! Chunk self-scheduling (`CSS(k)`): fixed user-chosen chunk size.
+
+use super::ChunkSizer;
+
+/// Chunk self-scheduling: every request is answered with a fixed,
+/// user-chosen number of iterations `k >= 1`.
+///
+/// Paper §2.2: *"Weaknesses: increased chance of load imbalance due to
+/// difficulty to predict an optimal k, nonadaptive. Strengths: reduced
+/// communication/scheduling overheads."* `CSS(1)` is pure
+/// self-scheduling.
+#[derive(Debug, Clone)]
+pub struct ChunkSelfSched {
+    k: u64,
+}
+
+impl ChunkSelfSched {
+    /// Creates chunk self-scheduling with chunk size `k` (must be ≥ 1).
+    pub fn new(k: u64) -> Self {
+        assert!(k >= 1, "CSS chunk size must be at least 1");
+        ChunkSelfSched { k }
+    }
+
+    /// The fixed chunk size.
+    pub fn k(&self) -> u64 {
+        self.k
+    }
+}
+
+impl ChunkSizer for ChunkSelfSched {
+    fn next_chunk_size(&mut self, _remaining: u64) -> u64 {
+        self.k
+    }
+
+    fn name(&self) -> &'static str {
+        "CSS"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::{validate_tiling, Chunk, ChunkDispenser};
+
+    #[test]
+    fn constant_chunks_with_clamped_tail() {
+        let chunks: Vec<Chunk> = ChunkDispenser::new(100, ChunkSelfSched::new(30)).collect();
+        validate_tiling(&chunks, 100).unwrap();
+        let sizes: Vec<u64> = chunks.iter().map(|c| c.len).collect();
+        assert_eq!(sizes, vec![30, 30, 30, 10]);
+    }
+
+    #[test]
+    fn k_exactly_divides() {
+        let sizes = ChunkDispenser::new(90, ChunkSelfSched::new(30)).into_sizes();
+        assert_eq!(sizes, vec![30, 30, 30]);
+    }
+
+    #[test]
+    fn k_one_is_pure_self_scheduling() {
+        let sizes = ChunkDispenser::new(5, ChunkSelfSched::new(1)).into_sizes();
+        assert_eq!(sizes, vec![1, 1, 1, 1, 1]);
+    }
+
+    #[test]
+    fn k_larger_than_loop() {
+        let sizes = ChunkDispenser::new(5, ChunkSelfSched::new(1000)).into_sizes();
+        assert_eq!(sizes, vec![5]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_k_rejected() {
+        ChunkSelfSched::new(0);
+    }
+}

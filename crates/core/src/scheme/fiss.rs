@@ -1,0 +1,173 @@
+//! Fixed-increase self-scheduling (`FISS`, Philip & Das 1997).
+
+use super::ChunkSizer;
+
+/// Fixed-increase self-scheduling: chunk sizes *increase* linearly over
+/// a fixed number of stages `σ`, each stage assigning one chunk to each
+/// of the `p` PEs:
+///
+/// ```text
+/// C_0 = ⌊I / (X·p)⌋,   C_{k+1} = C_k + B,
+/// B   = 2I(1 - σ/X) / (p·σ·(σ-1))
+/// ```
+///
+/// `X` is a compiler/user parameter; the authors suggest `X = σ + 2`,
+/// which this implementation defaults to. The rationale (§2.2): earlier
+/// adaptive schemes assign chunks that are too *small* at the end,
+/// inflating communication; FISS instead starts small and grows.
+///
+/// The increment `B` is kept as an exact real and the `k`-th stage size
+/// computed as `round(C_0 + k·B)` — accumulated rounding, which is what
+/// reproduces the paper's Table 1 row `50 83 117` (a pre-truncated
+/// integer `B = 33` would give `50 83 116` and strand iterations).
+/// Should rounding leave iterations after the σ-th stage, the linear
+/// growth simply continues until the dispenser exhausts the loop.
+#[derive(Debug, Clone)]
+pub struct FixedIncreaseSelfSched {
+    p: u32,
+    sigma: u32,
+    x: u32,
+    c0: u64,
+    bump: f64,
+    stage: u32,
+    in_stage: u32,
+}
+
+impl FixedIncreaseSelfSched {
+    /// FISS with `σ` stages and the suggested `X = σ + 2`.
+    pub fn new(total: u64, p: u32, sigma: u32) -> Self {
+        Self::with_x(total, p, sigma, sigma + 2)
+    }
+
+    /// FISS with explicit `σ` and `X` parameters.
+    pub fn with_x(total: u64, p: u32, sigma: u32, x: u32) -> Self {
+        assert!(p >= 1, "need at least one PE");
+        assert!(sigma >= 2, "FISS needs at least two stages (σ ≥ 2)");
+        assert!(x > sigma, "X must exceed σ for a positive increment");
+        let c0 = (total / (x as u64 * p as u64)).max(1);
+        let bump = 2.0 * total as f64 * (1.0 - sigma as f64 / x as f64)
+            / (p as f64 * sigma as f64 * (sigma as f64 - 1.0));
+        FixedIncreaseSelfSched {
+            p,
+            sigma,
+            x,
+            c0,
+            bump,
+            stage: 0,
+            in_stage: 0,
+        }
+    }
+
+    /// The initial per-PE chunk size `C_0`.
+    pub fn initial_chunk(&self) -> u64 {
+        self.c0
+    }
+
+    /// The exact (real-valued) per-stage increment `B`.
+    pub fn bump(&self) -> f64 {
+        self.bump
+    }
+
+    /// Number of planned stages `σ`.
+    pub fn stages(&self) -> u32 {
+        self.sigma
+    }
+
+    /// The `X` parameter.
+    pub fn x(&self) -> u32 {
+        self.x
+    }
+
+    fn stage_chunk(&self, stage: u32) -> u64 {
+        (self.c0 as f64 + stage as f64 * self.bump).round() as u64
+    }
+}
+
+impl ChunkSizer for FixedIncreaseSelfSched {
+    fn next_chunk_size(&mut self, _remaining: u64) -> u64 {
+        let c = self.stage_chunk(self.stage).max(1);
+        self.in_stage += 1;
+        if self.in_stage == self.p {
+            self.in_stage = 0;
+            self.stage += 1;
+        }
+        c
+    }
+
+    fn name(&self) -> &'static str {
+        "FISS"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::{validate_tiling, Chunk, ChunkDispenser};
+
+    #[test]
+    fn table1_fiss_row() {
+        // Paper Table 1, I = 1000, p = 4, σ = 3 (X = 5):
+        // 50 50 50 50 83 83 83 83 117 117 117 117
+        let sizes = ChunkDispenser::new(1000, FixedIncreaseSelfSched::new(1000, 4, 3)).into_sizes();
+        let mut expected = Vec::new();
+        for &s in &[50u64, 83, 117] {
+            expected.extend(std::iter::repeat_n(s, 4));
+        }
+        assert_eq!(sizes, expected);
+        assert_eq!(sizes.iter().sum::<u64>(), 1000);
+    }
+
+    #[test]
+    fn table1_fiss_parameters() {
+        let fiss = FixedIncreaseSelfSched::new(1000, 4, 3);
+        assert_eq!(fiss.initial_chunk(), 50);
+        assert_eq!(fiss.x(), 5);
+        // B = 2·1000·(1 - 3/5) / (4·3·2) = 800/24 = 33.33…
+        assert!((fiss.bump() - 800.0 / 24.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn chunk_sizes_never_decrease() {
+        let sizes =
+            ChunkDispenser::new(50_000, FixedIncreaseSelfSched::new(50_000, 8, 4)).into_sizes();
+        assert!(sizes.windows(2).all(|w| w[0] <= w[1] || w[1] == *sizes.last().unwrap()));
+    }
+
+    #[test]
+    fn stage_width_is_p() {
+        let sizes = ChunkDispenser::new(1000, FixedIncreaseSelfSched::new(1000, 4, 3)).into_sizes();
+        for stage in sizes.chunks(4).take(2) {
+            assert!(stage.windows(2).all(|w| w[0] == w[1]));
+        }
+    }
+
+    #[test]
+    fn growth_continues_past_sigma_when_rounding_leaves_work() {
+        // Pick parameters where p·Σ C_k < I so extra stages are needed.
+        let total = 997u64;
+        let chunks: Vec<Chunk> =
+            ChunkDispenser::new(total, FixedIncreaseSelfSched::new(total, 3, 3)).collect();
+        validate_tiling(&chunks, total).unwrap();
+    }
+
+    #[test]
+    fn tiny_loops_terminate() {
+        for total in 1..=20u64 {
+            let chunks: Vec<Chunk> =
+                ChunkDispenser::new(total, FixedIncreaseSelfSched::new(total, 4, 3)).collect();
+            validate_tiling(&chunks, total).unwrap();
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn sigma_one_rejected() {
+        FixedIncreaseSelfSched::new(1000, 4, 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn x_not_exceeding_sigma_rejected() {
+        FixedIncreaseSelfSched::with_x(1000, 4, 3, 3);
+    }
+}

@@ -1,0 +1,279 @@
+//! Factoring self-scheduling (`FSS`, Hummel, Schonberg & Flynn 1992).
+
+use super::{round_half_even, ChunkSizer};
+
+/// Factoring self-scheduling: iterations are scheduled in *stages* of
+/// `p` equal-sized chunks; at each stage a fixed fraction `1/α` of the
+/// remaining iterations is handed out:
+///
+/// ```text
+/// C_i = R_{i-1} / (α p)        (held constant for one stage)
+/// R_i = R_{i-1} - p·C_i        (after each stage)
+/// ```
+///
+/// The analysis in Hummel et al. derives `α` from the iteration-time
+/// distribution; the paper (like most implementations) uses the
+/// sub-optimal but robust `α = 2`, i.e. each stage schedules half of
+/// what remains.
+///
+/// Rounding: `R/(αp)` is rounded half-to-even — the unique rounding
+/// mode that reproduces the paper's Table 1 row
+/// (`125×4 62×4 32×4 16×4 8×4 4×4 2×4 1×4 1 1 1 1`) digit for digit
+/// (plain floor or round-half-up each disagree somewhere).
+/// # Example
+///
+/// ```
+/// use lss_core::chunk::ChunkDispenser;
+/// use lss_core::scheme::FactoringSelfSched;
+///
+/// let sizes = ChunkDispenser::new(1000, FactoringSelfSched::new(4)).into_sizes();
+/// // Stage 1 hands out half of 1000 as four chunks of 125.
+/// assert_eq!(&sizes[..4], &[125, 125, 125, 125]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct FactoringSelfSched {
+    p: u32,
+    rule: AlphaRule,
+    /// Chunk size for the stage in progress.
+    stage_chunk: u64,
+    /// Chunks already handed out in the stage in progress.
+    in_stage: u32,
+}
+
+/// How the per-stage factoring parameter is obtained.
+#[derive(Debug, Clone, Copy)]
+enum AlphaRule {
+    /// Fixed `α` (the paper's sub-optimal but robust choice).
+    Fixed(f64),
+    /// Hummel–Schonberg–Flynn optimal batching from the iteration-time
+    /// distribution: per stage `j`,
+    ///
+    /// ```text
+    /// b_j = p·σ / (2·√R_j·μ),    x_j = 1 + b_j² + b_j·√(b_j² + 2)
+    /// ```
+    ///
+    /// and the stage chunk is `R_j / (x_j·p)`. With `σ = 0` this
+    /// degenerates to static scheduling (one stage takes everything);
+    /// high variance drives `x_j` up, shrinking early chunks.
+    Adaptive {
+        /// Mean iteration execution time `μ` (any consistent unit).
+        mean: f64,
+        /// Standard deviation `σ` of iteration execution times.
+        std_dev: f64,
+    },
+}
+
+impl FactoringSelfSched {
+    /// FSS with the conventional `α = 2`.
+    pub fn new(p: u32) -> Self {
+        Self::with_alpha(p, 2.0)
+    }
+
+    /// FSS with an explicit factoring parameter `α > 1`.
+    pub fn with_alpha(p: u32, alpha: f64) -> Self {
+        assert!(p >= 1, "need at least one PE");
+        assert!(alpha > 1.0, "factoring parameter must exceed 1");
+        FactoringSelfSched {
+            p,
+            rule: AlphaRule::Fixed(alpha),
+            stage_chunk: 0,
+            in_stage: 0,
+        }
+    }
+
+    /// FSS with Hummel et al.'s *computed* α: the per-stage batching
+    /// rule derived from the iteration-time distribution (`μ`, `σ`) —
+    /// the "computed by a probability distribution" option the paper
+    /// alludes to in §2.2.
+    pub fn adaptive(p: u32, mean_cost: f64, std_dev: f64) -> Self {
+        assert!(p >= 1, "need at least one PE");
+        assert!(
+            mean_cost.is_finite() && mean_cost > 0.0,
+            "mean iteration cost must be positive"
+        );
+        assert!(std_dev.is_finite() && std_dev >= 0.0, "σ must be non-negative");
+        FactoringSelfSched {
+            p,
+            rule: AlphaRule::Adaptive { mean: mean_cost, std_dev },
+            stage_chunk: 0,
+            in_stage: 0,
+        }
+    }
+
+    /// The factoring parameter in effect for a stage opening with `r`
+    /// iterations remaining.
+    pub fn alpha_for(&self, r: u64) -> f64 {
+        match self.rule {
+            AlphaRule::Fixed(a) => a,
+            AlphaRule::Adaptive { mean, std_dev } => {
+                if r == 0 {
+                    return 1.0;
+                }
+                let b = self.p as f64 * std_dev / (2.0 * (r as f64).sqrt() * mean);
+                1.0 + b * b + b * (b * b + 2.0).sqrt()
+            }
+        }
+    }
+
+    /// The fixed factoring parameter `α`, if this instance uses one.
+    pub fn alpha(&self) -> Option<f64> {
+        match self.rule {
+            AlphaRule::Fixed(a) => Some(a),
+            AlphaRule::Adaptive { .. } => None,
+        }
+    }
+
+    /// Number of PEs `p` (the stage width).
+    pub fn p(&self) -> u32 {
+        self.p
+    }
+}
+
+impl ChunkSizer for FactoringSelfSched {
+    fn next_chunk_size(&mut self, remaining: u64) -> u64 {
+        if self.in_stage == 0 {
+            // New stage: recompute the per-PE chunk from what remains.
+            let alpha = self.alpha_for(remaining);
+            let c = round_half_even(remaining as f64 / (alpha * self.p as f64));
+            self.stage_chunk = c.max(1);
+        }
+        self.in_stage += 1;
+        if self.in_stage == self.p {
+            self.in_stage = 0;
+        }
+        self.stage_chunk
+    }
+
+    fn name(&self) -> &'static str {
+        "FSS"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::{validate_tiling, Chunk, ChunkDispenser};
+
+    #[test]
+    fn table1_fss_row() {
+        // Paper Table 1, I = 1000, p = 4:
+        // 125 125 125 125 62 62 62 62 32 32 32 32 16 16 16 16
+        // 8 8 8 8 4 4 4 4 2 2 2 2 1 1 1 1 1 1 1 1
+        let sizes = ChunkDispenser::new(1000, FactoringSelfSched::new(4)).into_sizes();
+        let mut expected = Vec::new();
+        for &s in &[125u64, 62, 32, 16, 8, 4, 2, 1] {
+            expected.extend(std::iter::repeat_n(s, 4));
+        }
+        // After eight full stages 1000 - 4*(125+62+32+16+8+4+2+1) = 0,
+        // i.e. exactly 4 unit chunks close the loop — matching the
+        // paper's trailing "1 1 1 1".
+        assert_eq!(sizes, expected);
+        assert_eq!(sizes.iter().sum::<u64>(), 1000);
+    }
+
+    #[test]
+    fn stages_have_p_equal_chunks() {
+        let sizes = ChunkDispenser::new(10_000, FactoringSelfSched::new(8)).into_sizes();
+        // Walk stage by stage until sizes change; every run of equal
+        // values (except possibly the clamped tail) has length ≥ 1 and
+        // full stages have length exactly 8.
+        let mut i = 0;
+        while i < sizes.len() {
+            let v = sizes[i];
+            let run = sizes[i..].iter().take_while(|&&s| s == v).count();
+            if i + run < sizes.len() {
+                assert!(
+                    run % 8 == 0 || v == 1,
+                    "non-final stage of size {v} has {run} chunks"
+                );
+            }
+            i += run;
+        }
+    }
+
+    #[test]
+    fn each_stage_halves_remaining() {
+        let mut fss = FactoringSelfSched::new(4);
+        // First stage with R = 1000: 1000/8 = 125.
+        assert_eq!(fss.next_chunk_size(1000), 125);
+        // Still in the same stage: the size is held even though R drops.
+        assert_eq!(fss.next_chunk_size(875), 125);
+        assert_eq!(fss.next_chunk_size(750), 125);
+        assert_eq!(fss.next_chunk_size(625), 125);
+        // New stage with R = 500: 500/8 = 62.5 → 62 (half-to-even).
+        assert_eq!(fss.next_chunk_size(500), 62);
+    }
+
+    #[test]
+    fn alpha_variants_change_aggressiveness() {
+        let a2 = ChunkDispenser::new(1000, FactoringSelfSched::new(4)).into_sizes();
+        let a4 = ChunkDispenser::new(1000, FactoringSelfSched::with_alpha(4, 4.0)).into_sizes();
+        // Larger α → smaller first chunk, more scheduling steps.
+        assert!(a4[0] < a2[0]);
+        assert!(a4.len() > a2.len());
+        assert_eq!(a4.iter().sum::<u64>(), 1000);
+    }
+
+    #[test]
+    fn terminates_on_tiny_loops() {
+        for total in 1..=20u64 {
+            let chunks: Vec<Chunk> =
+                ChunkDispenser::new(total, FactoringSelfSched::new(4)).collect();
+            validate_tiling(&chunks, total).unwrap();
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn alpha_one_rejected() {
+        FactoringSelfSched::with_alpha(4, 1.0);
+    }
+
+    #[test]
+    fn adaptive_zero_variance_is_static() {
+        // σ = 0 → x = 1 → the first stage takes everything, split
+        // evenly: exactly static scheduling, the optimum for uniform
+        // loops.
+        let sizes = ChunkDispenser::new(1000, FactoringSelfSched::adaptive(4, 10.0, 0.0))
+            .into_sizes();
+        assert_eq!(sizes, vec![250, 250, 250, 250]);
+    }
+
+    #[test]
+    fn adaptive_high_variance_shrinks_early_chunks() {
+        let calm = ChunkDispenser::new(10_000, FactoringSelfSched::adaptive(4, 10.0, 1.0))
+            .into_sizes();
+        let wild = ChunkDispenser::new(10_000, FactoringSelfSched::adaptive(4, 10.0, 30.0))
+            .into_sizes();
+        assert!(wild[0] < calm[0], "wild {} !< calm {}", wild[0], calm[0]);
+        assert!(wild.len() > calm.len());
+        assert_eq!(wild.iter().sum::<u64>(), 10_000);
+    }
+
+    #[test]
+    fn adaptive_alpha_formula_sanity() {
+        // b = pσ/(2√R μ); with p=4, σ=μ=10, R=400: b = 4·10/(2·20·10)
+        // = 0.1; x = 1 + 0.01 + 0.1·√2.01 ≈ 1.1518.
+        let fss = FactoringSelfSched::adaptive(4, 10.0, 10.0);
+        let x = fss.alpha_for(400);
+        assert!((x - 1.1518).abs() < 1e-3, "x = {x}");
+        // Fixed instances report their α; adaptive ones don't.
+        assert_eq!(FactoringSelfSched::new(4).alpha(), Some(2.0));
+        assert_eq!(fss.alpha(), None);
+    }
+
+    #[test]
+    fn adaptive_tiles_exactly() {
+        for total in [1u64, 17, 999, 5000] {
+            let chunks: Vec<Chunk> =
+                ChunkDispenser::new(total, FactoringSelfSched::adaptive(8, 5.0, 12.0)).collect();
+            validate_tiling(&chunks, total).unwrap();
+        }
+    }
+
+    #[test]
+    #[should_panic]
+    fn adaptive_rejects_zero_mean() {
+        FactoringSelfSched::adaptive(4, 0.0, 1.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! Guided self-scheduling (`GSS`, Polychronopoulos & Kuck 1987).
+
+use super::{div_ceil, ChunkSizer};
+
+/// Guided self-scheduling: `C_i = ⌈R_{i-1} / p⌉`.
+///
+/// Chunks start large (the first is `I/p`, like static scheduling) and
+/// decay geometrically. Paper §2.2: *"Weaknesses: at the last steps too
+/// many small chunks are assigned. Strengths: adaptive; large chunks
+/// initially imply reduced communication/scheduling overheads in the
+/// beginning."*
+///
+/// The `GSS(k)` variant imposes a user-chosen minimum chunk size `k` to
+/// curb the long tail of unit chunks; construct it with
+/// [`GuidedSelfSched::with_min_chunk`].
+///
+/// The paper's evaluation drops GSS in favour of its "linearized
+/// approximation" TSS (§2.2 Remark), but we keep it as an ablation
+/// baseline.
+/// # Example
+///
+/// ```
+/// use lss_core::chunk::ChunkDispenser;
+/// use lss_core::scheme::GuidedSelfSched;
+///
+/// let sizes = ChunkDispenser::new(1000, GuidedSelfSched::new(4)).into_sizes();
+/// assert_eq!(sizes[0], 250); // ceil(1000/4)
+/// assert_eq!(*sizes.last().unwrap(), 1); // the long unit tail
+/// ```
+#[derive(Debug, Clone)]
+pub struct GuidedSelfSched {
+    p: u64,
+    min_chunk: u64,
+}
+
+impl GuidedSelfSched {
+    /// Plain GSS for `p` PEs.
+    pub fn new(p: u32) -> Self {
+        Self::with_min_chunk(p, 1)
+    }
+
+    /// `GSS(k)`: guided self-scheduling with minimum chunk size `k`.
+    pub fn with_min_chunk(p: u32, k: u64) -> Self {
+        assert!(p >= 1, "need at least one PE");
+        assert!(k >= 1, "minimum chunk size must be at least 1");
+        GuidedSelfSched {
+            p: p as u64,
+            min_chunk: k,
+        }
+    }
+
+    /// The configured minimum chunk size (1 for plain GSS).
+    pub fn min_chunk(&self) -> u64 {
+        self.min_chunk
+    }
+}
+
+impl ChunkSizer for GuidedSelfSched {
+    fn next_chunk_size(&mut self, remaining: u64) -> u64 {
+        div_ceil(remaining, self.p).max(self.min_chunk)
+    }
+
+    fn name(&self) -> &'static str {
+        "GSS"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::{validate_tiling, Chunk, ChunkDispenser};
+
+    #[test]
+    fn table1_gss_row() {
+        // Paper Table 1, I = 1000, p = 4:
+        // 250 188 141 106 79 59 45 33 25 19 14 11 8 6 4 3 3 2 1 1 1 1
+        let sizes = ChunkDispenser::new(1000, GuidedSelfSched::new(4)).into_sizes();
+        assert_eq!(
+            sizes,
+            vec![250, 188, 141, 106, 79, 59, 45, 33, 25, 19, 14, 11, 8, 6, 4, 3, 3, 2, 1, 1, 1, 1]
+        );
+        assert_eq!(sizes.iter().sum::<u64>(), 1000);
+    }
+
+    #[test]
+    fn chunks_never_increase() {
+        let sizes = ChunkDispenser::new(12345, GuidedSelfSched::new(7)).into_sizes();
+        assert!(sizes.windows(2).all(|w| w[0] >= w[1]));
+    }
+
+    #[test]
+    fn min_chunk_variant_truncates_tail() {
+        let plain = ChunkDispenser::new(1000, GuidedSelfSched::new(4)).into_sizes();
+        let k10 = ChunkDispenser::new(1000, GuidedSelfSched::with_min_chunk(4, 10)).into_sizes();
+        assert!(k10.len() < plain.len());
+        // All but the clamped final chunk respect the minimum.
+        for &s in &k10[..k10.len() - 1] {
+            assert!(s >= 10);
+        }
+        assert_eq!(k10.iter().sum::<u64>(), 1000);
+    }
+
+    #[test]
+    fn single_pe_takes_all_at_once() {
+        let sizes = ChunkDispenser::new(64, GuidedSelfSched::new(1)).into_sizes();
+        assert_eq!(sizes, vec![64]);
+    }
+
+    #[test]
+    fn still_tiles_with_large_p() {
+        let chunks: Vec<Chunk> = ChunkDispenser::new(10, GuidedSelfSched::new(100)).collect();
+        validate_tiling(&chunks, 10).unwrap();
+    }
+}

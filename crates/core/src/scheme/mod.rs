@@ -1,0 +1,131 @@
+//! The *simple* self-scheduling schemes of §2 of the paper, plus the
+//! weighted-factoring baseline of §6.
+//!
+//! Each scheme answers one question — *how many iterations should the
+//! next requesting PE receive?* — via the [`ChunkSizer`] trait. In the
+//! paper's generic formulation (eq. 1):
+//!
+//! ```text
+//! R_0 = I,    C_i = f(R_{i-1}, p),    R_i = R_{i-1} - C_i
+//! ```
+//!
+//! The schemes differ only in `f`:
+//!
+//! | scheme | `C_i` | source |
+//! |--------|-------|--------|
+//! | S (static) | `⌈I/p⌉`, exactly `p` chunks | folklore |
+//! | SS (pure)  | `1` | \[8\] |
+//! | CSS(k)     | `k` | \[8\] |
+//! | GSS        | `⌈R_{i-1}/p⌉` | Polychronopoulos & Kuck |
+//! | TSS        | `C_{i-1} - D` (linear decrease) | Tzen & Ni |
+//! | FSS        | `R_{i-1}/(αp)` held for a stage of `p` chunks | Hummel et al. |
+//! | FISS       | `C_{i-1} + B` (linear *increase*), `σ` stages | Philip & Das |
+//! | TFSS       | mean of the next `p` TSS chunks, held for a stage | **this paper** |
+//! | WF         | FSS stages split by static weights | Hummel et al. '96 |
+//!
+//! Chunk-size proposals are *pure formulas*; the global clamping
+//! (`1 <= C_i <= R_{i-1}`) and iteration accounting live in
+//! [`crate::chunk::ChunkDispenser`] so every scheme implements its
+//! published formula verbatim.
+
+mod css;
+mod fiss;
+mod fss;
+mod gss;
+mod pure;
+mod static_sched;
+mod tfss;
+mod tss;
+mod wf;
+
+pub use css::ChunkSelfSched;
+pub use fiss::FixedIncreaseSelfSched;
+pub use fss::FactoringSelfSched;
+pub use gss::GuidedSelfSched;
+pub use pure::PureSelfSched;
+pub use static_sched::StaticSched;
+pub use tfss::TrapezoidFactoringSelfSched;
+pub use tss::TrapezoidSelfSched;
+pub use wf::WeightedFactoring;
+
+/// A self-scheduling chunk-size rule: given the number of remaining
+/// iterations, propose the size of the next chunk.
+///
+/// Implementations may keep internal state (stage counters, the
+/// previous chunk size, …). Proposals are clamped to `1..=remaining`
+/// by [`crate::chunk::ChunkDispenser`], so returning `0` or an
+/// over-large value is tolerated but normally indicates the formula has
+/// run its course.
+pub trait ChunkSizer {
+    /// Proposes the size of the next chunk, given `remaining`
+    /// unassigned iterations (`remaining >= 1` when called).
+    fn next_chunk_size(&mut self, remaining: u64) -> u64;
+
+    /// Short scheme name, e.g. `"TSS"`, for reports and tables.
+    fn name(&self) -> &'static str;
+}
+
+impl<T: ChunkSizer + ?Sized> ChunkSizer for Box<T> {
+    fn next_chunk_size(&mut self, remaining: u64) -> u64 {
+        (**self).next_chunk_size(remaining)
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+/// Rounds to the nearest integer, ties to even ("banker's rounding").
+///
+/// The chunk sequences printed in Table 1 of the paper are reproduced
+/// exactly by FSS only under this rounding mode: `500/8 = 62.5 → 62`
+/// but `252/8 = 31.5 → 32`. (Plain floor gives `62, 31, …`; plain
+/// round-half-up gives `63, 32, …`; only half-to-even matches both.)
+pub(crate) fn round_half_even(x: f64) -> u64 {
+    debug_assert!(x >= 0.0);
+    let floor = x.floor();
+    let frac = x - floor;
+    let f = floor as u64;
+    if frac > 0.5 || (frac == 0.5 && !f.is_multiple_of(2)) {
+        f + 1
+    } else {
+        f
+    }
+}
+
+/// Ceiling of `a / b` in integer arithmetic.
+pub(crate) fn div_ceil(a: u64, b: u64) -> u64 {
+    debug_assert!(b > 0);
+    a.div_ceil(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_half_even_matches_table1_cases() {
+        assert_eq!(round_half_even(62.5), 62);
+        assert_eq!(round_half_even(31.5), 32);
+        assert_eq!(round_half_even(15.5), 16);
+        assert_eq!(round_half_even(7.5), 8);
+        assert_eq!(round_half_even(3.5), 4);
+        assert_eq!(round_half_even(1.5), 2);
+        assert_eq!(round_half_even(0.5), 0);
+    }
+
+    #[test]
+    fn round_half_even_off_ties() {
+        assert_eq!(round_half_even(2.4), 2);
+        assert_eq!(round_half_even(2.6), 3);
+        assert_eq!(round_half_even(0.0), 0);
+        assert_eq!(round_half_even(125.0), 125);
+    }
+
+    #[test]
+    fn div_ceil_basics() {
+        assert_eq!(div_ceil(10, 4), 3);
+        assert_eq!(div_ceil(8, 4), 2);
+        assert_eq!(div_ceil(1, 4), 1);
+        assert_eq!(div_ceil(0, 4), 0);
+    }
+}

@@ -1,0 +1,51 @@
+//! Pure self-scheduling (`SS`): one iteration at a time.
+
+use super::ChunkSizer;
+
+/// Pure self-scheduling: every request is answered with a single
+/// iteration (`C_i = 1`).
+///
+/// The paper treats it as the degenerate `CSS(k = 1)` case. It achieves
+/// the best possible load balance but the worst possible
+/// communication/scheduling overhead — `I` round-trips to the master —
+/// which is why the evaluation drops it beyond Table 1.
+#[derive(Debug, Clone, Default)]
+pub struct PureSelfSched;
+
+impl PureSelfSched {
+    /// Creates pure self-scheduling.
+    pub fn new() -> Self {
+        PureSelfSched
+    }
+}
+
+impl ChunkSizer for PureSelfSched {
+    fn next_chunk_size(&mut self, _remaining: u64) -> u64 {
+        1
+    }
+
+    fn name(&self) -> &'static str {
+        "SS"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::ChunkDispenser;
+
+    #[test]
+    fn all_chunks_are_singletons() {
+        let sizes = ChunkDispenser::new(25, PureSelfSched::new()).into_sizes();
+        assert_eq!(sizes.len(), 25);
+        assert!(sizes.iter().all(|&s| s == 1));
+    }
+
+    #[test]
+    fn chunk_count_equals_iteration_count() {
+        for total in [1u64, 2, 100, 1000] {
+            let n = ChunkDispenser::new(total, PureSelfSched::new()).count();
+            assert_eq!(n as u64, total);
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Static scheduling (`S` in Table 1): one equal block per PE.
+
+use super::{div_ceil, ChunkSizer};
+
+/// Static scheduling: divides the `I` iterations into exactly `p`
+/// near-equal blocks (`⌈I/p⌉` each, the last clamped).
+///
+/// Not adaptive at all — it is the zero-communication baseline the
+/// paper's Table 1 labels `S` (`250 250 250 250` for `I = 1000`,
+/// `p = 4`). Chunk proposals after the `p`-th are zero (the loop should
+/// be exhausted by then; if not, the dispenser's clamp hands out
+/// singleton chunks so progress is still guaranteed).
+#[derive(Debug, Clone)]
+pub struct StaticSched {
+    chunk: u64,
+    handed: u32,
+    p: u32,
+}
+
+impl StaticSched {
+    /// Creates static scheduling for `total` iterations on `p` PEs.
+    pub fn new(total: u64, p: u32) -> Self {
+        assert!(p >= 1, "need at least one PE");
+        StaticSched {
+            chunk: div_ceil(total, p as u64),
+            handed: 0,
+            p,
+        }
+    }
+}
+
+impl ChunkSizer for StaticSched {
+    fn next_chunk_size(&mut self, _remaining: u64) -> u64 {
+        if self.handed >= self.p {
+            return 0; // formula exhausted; dispenser clamps to 1 if work remains
+        }
+        self.handed += 1;
+        self.chunk
+    }
+
+    fn name(&self) -> &'static str {
+        "S"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::{validate_tiling, Chunk, ChunkDispenser};
+
+    #[test]
+    fn table1_static_row() {
+        // Paper Table 1: I = 1000, p = 4 → 250 250 250 250.
+        let sizes = ChunkDispenser::new(1000, StaticSched::new(1000, 4)).into_sizes();
+        assert_eq!(sizes, vec![250, 250, 250, 250]);
+    }
+
+    #[test]
+    fn uneven_division_clamps_tail() {
+        let sizes = ChunkDispenser::new(10, StaticSched::new(10, 4)).into_sizes();
+        assert_eq!(sizes, vec![3, 3, 3, 1]);
+        assert_eq!(sizes.iter().sum::<u64>(), 10);
+    }
+
+    #[test]
+    fn single_pe_gets_everything() {
+        let sizes = ChunkDispenser::new(7, StaticSched::new(7, 1)).into_sizes();
+        assert_eq!(sizes, vec![7]);
+    }
+
+    #[test]
+    fn more_pes_than_iterations() {
+        let chunks: Vec<Chunk> = ChunkDispenser::new(3, StaticSched::new(3, 8)).collect();
+        validate_tiling(&chunks, 3).unwrap();
+        assert!(chunks.iter().all(|c| c.len == 1));
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_pes_rejected() {
+        StaticSched::new(10, 0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Trapezoid-factoring self-scheduling (`TFSS`) — **the paper's new
+//! scheme** (§4).
+
+use super::{div_ceil, ChunkSizer};
+use crate::scheme::TrapezoidSelfSched;
+
+/// Trapezoid-factoring self-scheduling: FSS-style *stages* of `p`
+/// equal chunks, with the stage total taken from TSS's linearly
+/// decreasing sequence instead of FSS's geometric halving.
+///
+/// §4: *"The size of the next chunk is the sum of the next `p` chunks
+/// that would have been computed by the TSS algorithm. The chunk is
+/// then equally divided among the `p` processors, as in FSS."*
+///
+/// ```text
+/// stage k total:   SC_k = Σ_{i = kp+1}^{(k+1)p} C_i^TSS
+/// per-PE chunk:    C^TFSS_k = SC_k / p
+/// ```
+///
+/// For the paper's running example (`I = 1000`, `p = 4`) the TSS
+/// sequence `125 117 109 101 | 93 85 77 69 | 61 53 45 37 | 29 21 13 5`
+/// yields stages of `113`, `81`, `49` and `17` — Table 1's TFSS row.
+///
+/// Design intent: few scheduling steps and big early chunks (from TSS's
+/// linear decrease) *and* FSS's stage structure, which adapts the chunk
+/// size less often and was observed to improve on per-request
+/// adaptation. When the TSS formula sequence is exhausted but
+/// iterations remain (integer effects), the scheme falls back to
+/// guided-style `⌈R/p⌉` proposals so the loop always completes.
+#[derive(Debug, Clone)]
+pub struct TrapezoidFactoringSelfSched {
+    p: u32,
+    /// Per-PE chunk size for each planned stage.
+    stage_chunks: Vec<u64>,
+    stage: usize,
+    in_stage: u32,
+}
+
+impl TrapezoidFactoringSelfSched {
+    /// TFSS over `total` iterations for `p` PEs, with the underlying
+    /// TSS using its default parameters (`F = ⌊I/2p⌋`, `L = 1`).
+    pub fn new(total: u64, p: u32) -> Self {
+        Self::from_tss(&TrapezoidSelfSched::new(total, p), p)
+    }
+
+    /// TFSS built on an explicitly parameterized TSS sequence.
+    pub fn from_tss(tss: &TrapezoidSelfSched, p: u32) -> Self {
+        assert!(p >= 1, "need at least one PE");
+        let seq = tss.formula_sequence();
+        let stage_chunks = seq
+            .chunks(p as usize)
+            .map(|group| {
+                let total: u64 = group.iter().sum();
+                // Divide the stage total evenly; round to nearest so a
+                // partial trailing group is not systematically starved.
+                ((total as f64 / p as f64).round() as u64).max(1)
+            })
+            .collect();
+        TrapezoidFactoringSelfSched {
+            p,
+            stage_chunks,
+            stage: 0,
+            in_stage: 0,
+        }
+    }
+
+    /// The per-PE chunk size of every planned stage (Table 1 lists the
+    /// first of each: `113 81 49 17` for `I = 1000, p = 4`).
+    pub fn stage_chunks(&self) -> &[u64] {
+        &self.stage_chunks
+    }
+
+    /// Number of planned stages.
+    pub fn planned_stages(&self) -> usize {
+        self.stage_chunks.len()
+    }
+}
+
+impl ChunkSizer for TrapezoidFactoringSelfSched {
+    fn next_chunk_size(&mut self, remaining: u64) -> u64 {
+        let c = match self.stage_chunks.get(self.stage) {
+            Some(&c) => c,
+            // Formula exhausted but work remains: finish guided-style.
+            None => div_ceil(remaining, self.p as u64),
+        };
+        self.in_stage += 1;
+        if self.in_stage == self.p {
+            self.in_stage = 0;
+            self.stage += 1;
+        }
+        c
+    }
+
+    fn name(&self) -> &'static str {
+        "TFSS"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::{validate_tiling, Chunk, ChunkDispenser};
+
+    #[test]
+    fn table1_tfss_row_stage_sizes() {
+        // Paper Table 1 / §4 Example 2: stages of 113, 81, 49, 17.
+        let tfss = TrapezoidFactoringSelfSched::new(1000, 4);
+        assert_eq!(tfss.stage_chunks(), &[113, 81, 49, 17]);
+    }
+
+    #[test]
+    fn table1_tfss_dispensed_sequence() {
+        let sizes = ChunkDispenser::new(1000, TrapezoidFactoringSelfSched::new(1000, 4))
+            .into_sizes();
+        // Three full stages (4 × 113, 4 × 81, 4 × 49 = 972) then the
+        // final stage clamps: 17, 11.
+        assert_eq!(
+            sizes,
+            vec![113, 113, 113, 113, 81, 81, 81, 81, 49, 49, 49, 49, 17, 11]
+        );
+        assert_eq!(sizes.iter().sum::<u64>(), 1000);
+    }
+
+    #[test]
+    fn stage_structure_matches_fss_pattern() {
+        // TFSS "follows the pattern of FSS (creates groups of p chunks
+        // of equal size)" — §4.
+        let tfss = TrapezoidFactoringSelfSched::new(100_000, 8);
+        let planned = tfss.planned_stages();
+        let sizes = ChunkDispenser::new(100_000, tfss).into_sizes();
+        // Within the planned stages (before the guided-style fallback
+        // tail and before the final clamp) every group of 8 is uniform.
+        let uniform_stages = planned.saturating_sub(1).min(sizes.len() / 8);
+        assert!(uniform_stages >= 2, "want at least two full stages to check");
+        for k in 0..uniform_stages {
+            let stage = &sizes[k * 8..(k + 1) * 8];
+            assert!(stage.windows(2).all(|w| w[0] == w[1]), "stage {k} uneven: {stage:?}");
+        }
+    }
+
+    #[test]
+    fn stage_sizes_decrease_linearly_like_tss() {
+        let tfss = TrapezoidFactoringSelfSched::new(1000, 4);
+        let s = tfss.stage_chunks();
+        // Differences 113-81 = 81-49 = 49-17 = 32 = p·D = 4·8.
+        assert!(s.windows(2).all(|w| w[0] - w[1] == 32));
+    }
+
+    #[test]
+    fn fewer_scheduling_steps_than_fss() {
+        use crate::scheme::FactoringSelfSched;
+        let tfss =
+            ChunkDispenser::new(1000, TrapezoidFactoringSelfSched::new(1000, 4)).into_sizes();
+        let fss = ChunkDispenser::new(1000, FactoringSelfSched::new(4)).into_sizes();
+        assert!(tfss.len() < fss.len(), "TFSS {} vs FSS {}", tfss.len(), fss.len());
+    }
+
+    #[test]
+    fn always_tiles_exactly() {
+        for total in [1u64, 7, 100, 999, 1000, 1001, 54321] {
+            for p in [1u32, 2, 3, 4, 8, 16] {
+                let chunks: Vec<Chunk> =
+                    ChunkDispenser::new(total, TrapezoidFactoringSelfSched::new(total, p))
+                        .collect();
+                validate_tiling(&chunks, total)
+                    .unwrap_or_else(|e| panic!("I={total}, p={p}: {e}"));
+            }
+        }
+    }
+
+    #[test]
+    fn custom_tss_bounds_flow_through() {
+        let tss = crate::scheme::TrapezoidSelfSched::with_bounds(1000, 100, 20);
+        let tfss = TrapezoidFactoringSelfSched::from_tss(&tss, 4);
+        assert!(!tfss.stage_chunks().is_empty());
+        let chunks: Vec<Chunk> = ChunkDispenser::new(1000, tfss).collect();
+        validate_tiling(&chunks, 1000).unwrap();
+    }
+}

@@ -1,0 +1,213 @@
+//! Trapezoid self-scheduling (`TSS`, Tzen & Ni 1993).
+
+use super::ChunkSizer;
+
+/// Trapezoid self-scheduling: chunk sizes decrease *linearly* from a
+/// first size `F` towards a last size `L`:
+///
+/// ```text
+/// C_1 = F,   C_i = C_{i-1} - D,   D = ⌊(F - L) / (N - 1)⌋,
+/// N = ⌊2I / (F + L)⌋
+/// ```
+///
+/// Defaults (paper §2.2): `F = ⌊I / 2p⌋`, `L = 1`. The linear decrease
+/// approximates GSS's geometric decay with strictly fewer scheduling
+/// steps and a cheaper master-side computation — the paper calls TSS
+/// GSS's "linearized approximation" and reports it as the best simple
+/// scheme (Table 2).
+///
+/// The name comes from plotting chunk size against scheduling step: the
+/// area under the curve (total iterations) is a trapezoid.
+/// # Example
+///
+/// ```
+/// use lss_core::chunk::ChunkDispenser;
+/// use lss_core::scheme::TrapezoidSelfSched;
+///
+/// // The paper's Table 1 example: I = 1000, p = 4 → F = 125, D = 8.
+/// let tss = TrapezoidSelfSched::new(1000, 4);
+/// assert_eq!(tss.first(), 125);
+/// let sizes = ChunkDispenser::new(1000, tss).into_sizes();
+/// assert_eq!(&sizes[..4], &[125, 117, 109, 101]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TrapezoidSelfSched {
+    first: u64,
+    last: u64,
+    decrement: u64,
+    steps: u64,
+    current: u64,
+}
+
+impl TrapezoidSelfSched {
+    /// TSS with the paper's default parameters `F = ⌊I/2p⌋`, `L = 1`.
+    pub fn new(total: u64, p: u32) -> Self {
+        assert!(p >= 1, "need at least one PE");
+        let f = (total / (2 * p as u64)).max(1);
+        Self::with_bounds(total, f, 1)
+    }
+
+    /// TSS with explicit first/last chunk sizes (user/compiler input).
+    ///
+    /// The paper notes `L > 1` as a remedy for TSS's many final
+    /// synchronizations; this constructor enables that ablation.
+    pub fn with_bounds(total: u64, first: u64, last: u64) -> Self {
+        assert!(last >= 1, "last chunk size must be at least 1");
+        let first = first.max(last);
+        // N = ⌈2I / (F + L)⌉ (Tzen & Ni; the paper prints ⌊⌋, but the
+        // floor strands a long unit-chunk tail whenever F+L does not
+        // divide 2I — e.g. p = 1 — while both readings give the same
+        // D = 8 for the paper's Table 1 example). Clamped so D's
+        // divisor N - 1 stays positive.
+        let steps = (2 * total).div_ceil(first + last).max(2);
+        let decrement = (first - last) / (steps - 1);
+        TrapezoidSelfSched {
+            first,
+            last,
+            decrement,
+            steps,
+            current: first,
+        }
+    }
+
+    /// First chunk size `F`.
+    pub fn first(&self) -> u64 {
+        self.first
+    }
+
+    /// Last chunk size `L`.
+    pub fn last(&self) -> u64 {
+        self.last
+    }
+
+    /// Chunk decrement `D`.
+    pub fn decrement(&self) -> u64 {
+        self.decrement
+    }
+
+    /// Planned number of scheduling steps `N`.
+    pub fn planned_steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// The *formula* sequence `F, F-D, F-2D, …` down to (but not below)
+    /// `max(L, 1)`, ignoring the remaining-iteration clamp.
+    ///
+    /// This is the idealized listing printed in Table 1 of the paper
+    /// (whose sum may overshoot `I`; the dispensed sequence clamps the
+    /// tail). It is also the building block of TFSS's stage sums.
+    pub fn formula_sequence(&self) -> Vec<u64> {
+        let mut v = Vec::new();
+        let mut c = self.first;
+        let floor = self.last.max(1);
+        loop {
+            v.push(c);
+            if self.decrement == 0 || c < floor + self.decrement {
+                break;
+            }
+            c -= self.decrement;
+        }
+        v
+    }
+}
+
+impl ChunkSizer for TrapezoidSelfSched {
+    fn next_chunk_size(&mut self, _remaining: u64) -> u64 {
+        let c = self.current;
+        self.current = self.current.saturating_sub(self.decrement).max(self.last).max(1);
+        c
+    }
+
+    fn name(&self) -> &'static str {
+        "TSS"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::{validate_tiling, Chunk, ChunkDispenser};
+
+    #[test]
+    fn table1_tss_parameters() {
+        // I = 1000, p = 4: F = 125, L = 1, N = ⌈2000/126⌉ = 16,
+        // D = ⌊124/15⌋ = 8 (the paper's ⌊N⌋ = 15 gives the same D).
+        let tss = TrapezoidSelfSched::new(1000, 4);
+        assert_eq!(tss.first(), 125);
+        assert_eq!(tss.last(), 1);
+        assert_eq!(tss.planned_steps(), 16);
+        assert_eq!(tss.decrement(), 8);
+    }
+
+    #[test]
+    fn table1_tss_formula_row() {
+        // Paper Table 1 lists the idealized sequence:
+        // 125 117 109 101 93 85 77 69 61 53 45 37 29 21 13 5
+        let tss = TrapezoidSelfSched::new(1000, 4);
+        assert_eq!(
+            tss.formula_sequence(),
+            vec![125, 117, 109, 101, 93, 85, 77, 69, 61, 53, 45, 37, 29, 21, 13, 5]
+        );
+    }
+
+    #[test]
+    fn dispensed_sequence_clamps_to_total() {
+        let chunks: Vec<Chunk> =
+            ChunkDispenser::new(1000, TrapezoidSelfSched::new(1000, 4)).collect();
+        validate_tiling(&chunks, 1000).unwrap();
+        let sizes: Vec<u64> = chunks.iter().map(|c| c.len).collect();
+        // Follows the formula until the remaining iterations run out.
+        assert_eq!(&sizes[..12], &[125, 117, 109, 101, 93, 85, 77, 69, 61, 53, 45, 37]);
+        assert_eq!(*sizes.last().unwrap(), 28); // 1000 - 972
+    }
+
+    #[test]
+    fn linear_decrease_between_consecutive_chunks() {
+        let mut tss = TrapezoidSelfSched::new(10_000, 8);
+        let d = tss.decrement();
+        let mut prev = tss.next_chunk_size(u64::MAX);
+        for _ in 0..tss.planned_steps() - 1 {
+            let c = tss.next_chunk_size(u64::MAX);
+            assert_eq!(prev - c, d);
+            prev = c;
+        }
+    }
+
+    #[test]
+    fn explicit_bounds_respected() {
+        let tss = TrapezoidSelfSched::with_bounds(1000, 100, 20);
+        let seq = tss.formula_sequence();
+        assert_eq!(*seq.first().unwrap(), 100);
+        assert!(seq.iter().all(|&c| c >= 20));
+    }
+
+    #[test]
+    fn l_greater_than_one_floors_chunks() {
+        // Ablation the paper suggests: choose L > 1 to avoid the many
+        // tiny final chunks.
+        let sizes =
+            ChunkDispenser::new(1000, TrapezoidSelfSched::with_bounds(1000, 125, 10)).into_sizes();
+        // All but the clamped tail are at least L = 10.
+        for &s in &sizes[..sizes.len() - 1] {
+            assert!(s >= 10);
+        }
+        assert_eq!(sizes.iter().sum::<u64>(), 1000);
+    }
+
+    #[test]
+    fn tiny_loop_does_not_panic() {
+        for total in 1..=10u64 {
+            let chunks: Vec<Chunk> =
+                ChunkDispenser::new(total, TrapezoidSelfSched::new(total, 4)).collect();
+            validate_tiling(&chunks, total).unwrap();
+        }
+    }
+
+    #[test]
+    fn degenerate_first_equals_last() {
+        // F == L: D = 0, constant chunk size (CSS-like behaviour).
+        let sizes = ChunkDispenser::new(100, TrapezoidSelfSched::with_bounds(100, 10, 10))
+            .into_sizes();
+        assert!(sizes.iter().all(|&s| s == 10));
+    }
+}

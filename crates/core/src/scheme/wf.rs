@@ -1,0 +1,206 @@
+//! Weighted factoring (`WF`, Hummel, Schmidt, Uma & Wein 1996).
+
+use crate::chunk::Chunk;
+
+/// Weighted factoring: factoring's stages, but each PE's chunk within a
+/// stage is scaled by its *static* relative weight:
+///
+/// ```text
+/// stage k total:  T_k = R_k / α          (α = 2)
+/// PE j's chunk:   C_j^k = T_k · w_j / W,  W = Σ w_j
+/// ```
+///
+/// The weights are measured (or assumed) once, before execution, and
+/// never updated. That is exactly why §6 of the paper classifies WF as
+/// **not distributed**: *"the actual state of the system is not
+/// considered."* It serves as the heterogeneity-aware-but-non-adaptive
+/// baseline between the simple schemes and the DTSS-style distributed
+/// ones.
+///
+/// Because the chunk depends on *which* PE is asking, WF does not fit
+/// the [`super::ChunkSizer`] shape; it exposes a per-worker
+/// [`WeightedFactoring::next_chunk`] instead. Stage totals follow a
+/// deterministic sequence (`R_{k+1} = R_k - round(R_k/α)`), so every
+/// worker sees the same stage geometry regardless of request
+/// interleaving — a property the unit tests pin down.
+#[derive(Debug, Clone)]
+pub struct WeightedFactoring {
+    weights: Vec<f64>,
+    total_weight: f64,
+    alpha: f64,
+    next_start: u64,
+    remaining: u64,
+    /// `R_k` — remaining iterations at the start of stage `k`
+    /// (extended lazily as workers reach later stages).
+    stage_remaining: Vec<u64>,
+    /// Next stage index each worker will draw from.
+    worker_stage: Vec<usize>,
+}
+
+impl WeightedFactoring {
+    /// Creates weighted factoring over `total` iterations with one
+    /// weight per PE (α = 2).
+    pub fn new(total: u64, weights: &[f64]) -> Self {
+        Self::with_alpha(total, weights, 2.0)
+    }
+
+    /// Weighted factoring with an explicit factoring parameter.
+    pub fn with_alpha(total: u64, weights: &[f64], alpha: f64) -> Self {
+        assert!(!weights.is_empty(), "need at least one PE weight");
+        assert!(
+            weights.iter().all(|&w| w.is_finite() && w > 0.0),
+            "weights must be positive and finite"
+        );
+        assert!(alpha > 1.0, "factoring parameter must exceed 1");
+        WeightedFactoring {
+            total_weight: weights.iter().sum(),
+            weights: weights.to_vec(),
+            alpha,
+            next_start: 0,
+            remaining: total,
+            stage_remaining: vec![total],
+            worker_stage: vec![0; weights.len()],
+        }
+    }
+
+    /// Number of participating PEs.
+    pub fn num_workers(&self) -> usize {
+        self.weights.len()
+    }
+
+    /// Iterations not yet handed out.
+    pub fn remaining(&self) -> u64 {
+        self.remaining
+    }
+
+    /// `R_k` for stage `k`, extending the deterministic sequence on
+    /// demand.
+    fn stage_r(&mut self, k: usize) -> u64 {
+        while self.stage_remaining.len() <= k {
+            let r = *self.stage_remaining.last().expect("seeded with R_0");
+            let t = ((r as f64 / self.alpha).round() as u64).min(r);
+            self.stage_remaining.push(r - t);
+        }
+        self.stage_remaining[k]
+    }
+
+    /// Next chunk for `worker`, or `None` once the loop is exhausted.
+    ///
+    /// # Panics
+    /// If `worker` is out of range.
+    pub fn next_chunk(&mut self, worker: usize) -> Option<Chunk> {
+        assert!(worker < self.weights.len(), "unknown worker {worker}");
+        if self.remaining == 0 {
+            return None;
+        }
+        let k = self.worker_stage[worker];
+        self.worker_stage[worker] += 1;
+        let r_k = self.stage_r(k);
+        let stage_total = r_k as f64 / self.alpha;
+        let share = stage_total * self.weights[worker] / self.total_weight;
+        let len = (share.round() as u64).clamp(1, self.remaining);
+        let chunk = Chunk::new(self.next_start, len);
+        self.next_start += len;
+        self.remaining -= len;
+        Some(chunk)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::validate_tiling;
+
+    /// Round-robin requests until exhaustion; returns (worker, chunk).
+    fn drain(wf: &mut WeightedFactoring) -> Vec<(usize, Chunk)> {
+        let p = wf.num_workers();
+        let mut out = Vec::new();
+        let mut w = 0;
+        while let Some(c) = wf.next_chunk(w % p) {
+            out.push((w % p, c));
+            w += 1;
+        }
+        out
+    }
+
+    #[test]
+    fn paper_section3_example_first_stage() {
+        // §3.1's worked example: I = 1000, p = 4, relative powers
+        // 1/2, 1/2, 1, 2 → first stage of 500 iterations split as
+        // 62.5, 62.5, 125, 250 per unit... the paper quotes 75, 75,
+        // 125, 250 (a typo: those sum to 525; weights 1/2:1/2:1:2 over
+        // 500 give 62.5 62.5 125 250). We assert the arithmetic split.
+        let mut wf = WeightedFactoring::new(1000, &[0.5, 0.5, 1.0, 2.0]);
+        let c: Vec<u64> = (0..4).map(|j| wf.next_chunk(j).unwrap().len).collect();
+        // Each request rounds independently (62.5 → 63), so the stage
+        // hands out 501 of the nominal 500; later stages absorb it.
+        assert_eq!(c, vec![63, 63, 125, 250]);
+        assert_eq!(c.iter().sum::<u64>(), 501);
+    }
+
+    #[test]
+    fn equal_weights_reduce_to_fss_shape() {
+        let mut wf = WeightedFactoring::new(1000, &[1.0; 4]);
+        let first_stage: Vec<u64> = (0..4).map(|j| wf.next_chunk(j).unwrap().len).collect();
+        assert_eq!(first_stage, vec![125, 125, 125, 125]);
+        // Stage 2: R_1 = 500, share = 500/2/4 = 62.5 → rounds to 63.
+        let second: Vec<u64> = (0..4).map(|j| wf.next_chunk(j).unwrap().len).collect();
+        assert_eq!(second, vec![63, 63, 63, 63]);
+    }
+
+    #[test]
+    fn tiles_loop_exactly_round_robin() {
+        let mut wf = WeightedFactoring::new(10_000, &[1.0, 2.0, 3.0]);
+        let chunks: Vec<Chunk> = drain(&mut wf).into_iter().map(|(_, c)| c).collect();
+        validate_tiling(&chunks, 10_000).unwrap();
+    }
+
+    #[test]
+    fn faster_worker_gets_proportionally_more() {
+        let mut wf = WeightedFactoring::new(100_000, &[1.0, 3.0]);
+        let mut totals = [0u64; 2];
+        for (w, c) in drain(&mut wf) {
+            totals[w] += c.len;
+        }
+        let ratio = totals[1] as f64 / totals[0] as f64;
+        assert!((2.0..4.0).contains(&ratio), "ratio {ratio} not ≈ 3");
+    }
+
+    #[test]
+    fn stage_geometry_independent_of_request_order() {
+        // Worker 0 rushes ahead three stages before worker 1 starts;
+        // both must see the same R_k-derived chunk sizes as in the
+        // round-robin order.
+        let mut eager = WeightedFactoring::new(1000, &[1.0, 1.0]);
+        let e: Vec<u64> = (0..3).map(|_| eager.next_chunk(0).unwrap().len).collect();
+
+        let mut rr = WeightedFactoring::new(1000, &[1.0, 1.0]);
+        let mut rr_sizes_w0 = Vec::new();
+        for _ in 0..3 {
+            rr_sizes_w0.push(rr.next_chunk(0).unwrap().len);
+            rr.next_chunk(1).unwrap();
+        }
+        assert_eq!(e, rr_sizes_w0);
+    }
+
+    #[test]
+    fn exhaustion_returns_none_for_everyone() {
+        let mut wf = WeightedFactoring::new(10, &[1.0, 1.0]);
+        while wf.next_chunk(0).is_some() {}
+        assert!(wf.next_chunk(1).is_none());
+        assert_eq!(wf.remaining(), 0);
+    }
+
+    #[test]
+    #[should_panic]
+    fn unknown_worker_panics() {
+        let mut wf = WeightedFactoring::new(10, &[1.0]);
+        wf.next_chunk(3);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_weight_rejected() {
+        WeightedFactoring::new(10, &[1.0, 0.0]);
+    }
+}

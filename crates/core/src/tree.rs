@@ -1,0 +1,345 @@
+//! Tree scheduling (`TreeS`, Kim & Purtilo 1996) — the decentralized
+//! baseline of the paper's evaluation.
+//!
+//! Unlike the master–slave self-scheduling schemes, TreeS distributes
+//! **all** iterations up front and balances by *migration*: an idle PE
+//! asks a predefined partner for work and receives **half of the
+//! partner's remaining iterations**. Because partners are predefined
+//! (following a tree over the PEs), idle PEs do not contend for a
+//! central master — §5 of the paper: *"The slaves do not contend for a
+//! central processor when making requests because they have predefined
+//! partners. But the data still has to be collected on a single central
+//! processor"*, which the paper handles by periodic result pushes.
+//!
+//! The initial allocation is either *equal* (the simple variant used in
+//! §5.1's experiments) or *weighted by virtual power* (the variant used
+//! alongside the distributed schemes in §6.1).
+//!
+//! Partner order: each PE probes the peers whose index differs in one
+//! bit (hypercube/binomial-tree order: `i ⊕ 1, i ⊕ 2, i ⊕ 4, …`), then
+//! falls back to a linear scan. This reproduces the cascading transfers
+//! of the original tree while staying well-defined for any `p`.
+
+use crate::chunk::Chunk;
+use crate::power::VirtualPower;
+
+/// Bookkeeping for tree scheduling: who currently owns which span of
+/// the iteration space.
+///
+/// This structure is transport-independent: the simulator and the real
+/// runtime decide *when* a PE takes or steals; `TreeScheduler` decides
+/// *what* moves. All operations are O(p) or better.
+/// # Example
+///
+/// ```
+/// use lss_core::tree::TreeScheduler;
+///
+/// let mut tree = TreeScheduler::new_equal(100, 2);
+/// // Worker 1 drains its block, then steals half of worker 0's rest.
+/// while tree.take(1, 10).is_some() {}
+/// let steal = tree.steal(1, 1).expect("partner has work");
+/// assert_eq!(steal.victim, 0);
+/// assert_eq!(tree.remaining(0), 25);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TreeScheduler {
+    /// Remaining contiguous range per worker (`None` once empty).
+    local: Vec<Option<Chunk>>,
+    total_remaining: u64,
+}
+
+/// The result of a successful steal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Steal {
+    /// The partner that gave up work.
+    pub victim: usize,
+    /// The migrated iteration range (now owned by the thief).
+    pub moved: Chunk,
+}
+
+impl TreeScheduler {
+    /// Equal initial allocation over `p` workers (§5.1: "the master
+    /// assigns an even number of tasks to all slaves in the initial
+    /// allocation stage").
+    pub fn new_equal(total: u64, p: usize) -> Self {
+        assert!(p >= 1, "need at least one worker");
+        let weights = vec![1.0; p];
+        Self::new_weighted_impl(total, &weights)
+    }
+
+    /// Initial allocation proportional to virtual power (§6.1: "the
+    /// master assigns a number of tasks to the slaves according to
+    /// their virtual power").
+    pub fn new_weighted(total: u64, powers: &[VirtualPower]) -> Self {
+        assert!(!powers.is_empty(), "need at least one worker");
+        let weights: Vec<f64> = powers.iter().map(|v| v.get()).collect();
+        Self::new_weighted_impl(total, &weights)
+    }
+
+    fn new_weighted_impl(total: u64, weights: &[f64]) -> Self {
+        let w_total: f64 = weights.iter().sum();
+        // Largest-remainder apportionment so the blocks tile exactly.
+        let quotas: Vec<f64> = weights.iter().map(|w| total as f64 * w / w_total).collect();
+        let mut sizes: Vec<u64> = quotas.iter().map(|q| q.floor() as u64).collect();
+        let mut leftover = total - sizes.iter().sum::<u64>();
+        let mut order: Vec<usize> = (0..weights.len()).collect();
+        order.sort_by(|&a, &b| {
+            let fa = quotas[a] - quotas[a].floor();
+            let fb = quotas[b] - quotas[b].floor();
+            fb.partial_cmp(&fa).unwrap().then(a.cmp(&b))
+        });
+        for &i in &order {
+            if leftover == 0 {
+                break;
+            }
+            sizes[i] += 1;
+            leftover -= 1;
+        }
+        let mut start = 0u64;
+        let local = sizes
+            .iter()
+            .map(|&len| {
+                let c = (len > 0).then(|| Chunk::new(start, len));
+                start += len;
+                c
+            })
+            .collect();
+        TreeScheduler {
+            local,
+            total_remaining: total,
+        }
+    }
+
+    /// Number of workers.
+    pub fn num_workers(&self) -> usize {
+        self.local.len()
+    }
+
+    /// Iterations remaining on `worker`'s local queue.
+    pub fn remaining(&self, worker: usize) -> u64 {
+        self.local[worker].map_or(0, |c| c.len)
+    }
+
+    /// Iterations remaining cluster-wide.
+    pub fn total_remaining(&self) -> u64 {
+        self.total_remaining
+    }
+
+    /// `worker` consumes up to `grain` iterations from the front of its
+    /// local range (no communication involved). Returns `None` when the
+    /// local range is empty — time to [`TreeScheduler::steal`].
+    pub fn take(&mut self, worker: usize, grain: u64) -> Option<Chunk> {
+        assert!(grain >= 1, "grain must be at least 1");
+        let slot = &mut self.local[worker];
+        let mut range = (*slot)?;
+        let taken = if grain >= range.len {
+            *slot = None;
+            range
+        } else {
+            let head = range.split_first(grain).expect("grain < len");
+            *slot = Some(range);
+            head
+        };
+        self.total_remaining -= taken.len;
+        Some(taken)
+    }
+
+    /// The *predefined partners* of `worker`: its binomial-tree
+    /// neighbours (`i ⊕ 1, i ⊕ 2, i ⊕ 4, …` — ⌈log₂ p⌉ of them).
+    ///
+    /// Transfers happen **only** along these edges, as in Kim &
+    /// Purtilo's scheme; an idle PE whose partners are all empty must
+    /// wait until work cascades back through the tree. This restriction
+    /// is what distinguishes TreeS from ideal global work stealing —
+    /// and what produces the idle time the paper observes for it.
+    pub fn partner_order(&self, worker: usize) -> Vec<usize> {
+        let p = self.local.len();
+        let mut order = Vec::new();
+        let mut bit = 1usize;
+        while bit < p.next_power_of_two() {
+            let partner = worker ^ bit;
+            if partner < p && partner != worker {
+                order.push(partner);
+            }
+            bit <<= 1;
+        }
+        order
+    }
+
+    /// An idle `thief` asks its predefined partners (in tree order) for
+    /// work; the first partner with more than `min_steal` remaining
+    /// gives up the **back half** of its range. Returns `None` if no
+    /// partner has work to spare — the thief must idle and retry (work
+    /// may cascade to a partner later), or the computation is draining.
+    pub fn steal(&mut self, thief: usize, min_steal: u64) -> Option<Steal> {
+        debug_assert_eq!(self.remaining(thief), 0, "thief still has local work");
+        for victim in self.partner_order(thief) {
+            let Some(mut range) = self.local[victim] else {
+                continue;
+            };
+            if range.len <= min_steal.max(1) {
+                continue;
+            }
+            let keep = range.len / 2;
+            let moved = Chunk::new(range.start + keep, range.len - keep);
+            range.len = keep;
+            self.local[victim] = (keep > 0).then_some(range);
+            self.local[thief] = Some(moved);
+            return Some(Steal { victim, moved });
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::chunk::validate_tiling;
+
+    #[test]
+    fn equal_allocation_tiles() {
+        let t = TreeScheduler::new_equal(100, 4);
+        let chunks: Vec<Chunk> = (0..4).filter_map(|w| t.local[w]).collect();
+        validate_tiling(&chunks, 100).unwrap();
+        assert!(chunks.iter().all(|c| c.len == 25));
+    }
+
+    #[test]
+    fn weighted_allocation_is_proportional() {
+        let powers: Vec<VirtualPower> =
+            [3.0, 3.0, 3.0, 1.0, 1.0, 1.0, 1.0, 1.0].iter().map(|&v| VirtualPower::new(v)).collect();
+        let t = TreeScheduler::new_weighted(1400, &powers);
+        // Total weight 14 → fast get 300, slow get 100.
+        assert_eq!(t.remaining(0), 300);
+        assert_eq!(t.remaining(4), 100);
+        let chunks: Vec<Chunk> = (0..8).filter_map(|w| t.local[w]).collect();
+        validate_tiling(&chunks, 1400).unwrap();
+    }
+
+    #[test]
+    fn weighted_allocation_handles_remainders() {
+        let powers: Vec<VirtualPower> =
+            [1.0, 2.0, 4.0].iter().map(|&v| VirtualPower::new(v)).collect();
+        let t = TreeScheduler::new_weighted(100, &powers);
+        let total: u64 = (0..3).map(|w| t.remaining(w)).sum();
+        assert_eq!(total, 100);
+        let chunks: Vec<Chunk> = (0..3).filter_map(|w| t.local[w]).collect();
+        validate_tiling(&chunks, 100).unwrap();
+    }
+
+    #[test]
+    fn take_consumes_front_in_grains() {
+        let mut t = TreeScheduler::new_equal(20, 2);
+        assert_eq!(t.take(0, 3), Some(Chunk::new(0, 3)));
+        assert_eq!(t.take(0, 3), Some(Chunk::new(3, 3)));
+        assert_eq!(t.remaining(0), 4);
+        assert_eq!(t.take(0, 100), Some(Chunk::new(6, 4))); // clamped
+        assert_eq!(t.take(0, 1), None);
+    }
+
+    #[test]
+    fn steal_moves_back_half() {
+        let mut t = TreeScheduler::new_equal(40, 2);
+        // Drain worker 1, then steal from 0 (its only partner).
+        while t.take(1, 5).is_some() {}
+        let s = t.steal(1, 1).unwrap();
+        assert_eq!(s.victim, 0);
+        assert_eq!(s.moved, Chunk::new(10, 10));
+        assert_eq!(t.remaining(0), 10);
+        assert_eq!(t.remaining(1), 10);
+    }
+
+    #[test]
+    fn steal_respects_min_steal() {
+        let mut t = TreeScheduler::new_equal(8, 2);
+        while t.take(1, 2).is_some() {}
+        // Victim has 4 left; with min_steal = 4 it may not be robbed.
+        assert!(t.steal(1, 4).is_none());
+        assert!(t.steal(1, 1).is_some());
+    }
+
+    #[test]
+    fn partner_order_is_tree_shaped() {
+        let t = TreeScheduler::new_equal(80, 8);
+        assert_eq!(t.partner_order(0), vec![1, 2, 4]);
+        assert_eq!(t.partner_order(5), vec![4, 7, 1]);
+        assert_eq!(t.partner_order(3), vec![2, 1, 7]);
+    }
+
+    #[test]
+    fn partner_graph_is_connected() {
+        // Transfers only follow tree edges, but the edge set must
+        // connect all PEs or work could strand forever.
+        for p in [2usize, 3, 5, 6, 8, 13] {
+            let t = TreeScheduler::new_equal(100, p);
+            let mut reached = vec![false; p];
+            let mut stack = vec![0usize];
+            reached[0] = true;
+            while let Some(w) = stack.pop() {
+                for n in t.partner_order(w) {
+                    assert!(n < p);
+                    assert_ne!(n, w);
+                    if !reached[n] {
+                        reached[n] = true;
+                        stack.push(n);
+                    }
+                }
+            }
+            assert!(reached.iter().all(|&r| r), "p={p} graph disconnected");
+        }
+    }
+
+    #[test]
+    fn work_conserved_through_takes_and_steals() {
+        let mut t = TreeScheduler::new_equal(1000, 4);
+        let mut consumed = 0u64;
+        // Worker 3 races ahead and keeps stealing.
+        loop {
+            match t.take(3, 7) {
+                Some(c) => consumed += c.len,
+                None => {
+                    if t.steal(3, 1).is_none() {
+                        break;
+                    }
+                }
+            }
+        }
+        // Whatever worker 3 didn't get is still on the other queues.
+        let left: u64 = (0..4).map(|w| t.remaining(w)).sum();
+        assert_eq!(consumed + left, 1000);
+        assert_eq!(t.total_remaining(), left);
+    }
+
+    #[test]
+    fn everyone_draining_finishes_the_loop() {
+        let mut t = TreeScheduler::new_equal(997, 5);
+        let mut done = 0u64;
+        let mut active = true;
+        while active {
+            active = false;
+            for w in 0..5 {
+                match t.take(w, 13) {
+                    Some(c) => {
+                        done += c.len;
+                        active = true;
+                    }
+                    None => {
+                        if t.steal(w, 1).is_some() {
+                            active = true;
+                        }
+                    }
+                }
+            }
+        }
+        assert_eq!(done, 997);
+        assert_eq!(t.total_remaining(), 0);
+    }
+
+    #[test]
+    fn zero_iteration_loop() {
+        let mut t = TreeScheduler::new_equal(0, 3);
+        assert_eq!(t.take(0, 1), None);
+        assert!(t.steal(0, 1).is_none());
+        assert_eq!(t.total_remaining(), 0);
+    }
+}

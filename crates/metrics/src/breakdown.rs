@@ -1,0 +1,249 @@
+//! Per-PE time breakdowns — the unit of Tables 2 and 3.
+//!
+//! The paper tabulates, for every slave `PE_i`, the triple
+//! `T_com / T_wait / T_comp` (seconds spent communicating, waiting for
+//! the master, and computing), plus `T_p`, "the total time measured on
+//! the Master PE".
+
+use crate::stats;
+
+/// One slave's accumulated times, in seconds.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct TimeBreakdown {
+    /// Time spent transferring requests, replies and (piggy-backed)
+    /// result data.
+    pub t_com: f64,
+    /// Time spent idle, waiting for the master to service a request
+    /// (queueing at the master) or waiting for work to appear.
+    pub t_wait: f64,
+    /// Time spent computing loop iterations.
+    pub t_comp: f64,
+}
+
+impl TimeBreakdown {
+    /// A zeroed breakdown.
+    pub fn zero() -> Self {
+        Self::default()
+    }
+
+    /// The slave's busy-or-blocked wall time `t_j`.
+    pub fn total(&self) -> f64 {
+        self.t_com + self.t_wait + self.t_comp
+    }
+
+    /// Formats as the paper's `com/wait/comp` cell, e.g. `2.7/17.5/3.5`.
+    pub fn cell(&self) -> String {
+        format!("{:.1}/{:.1}/{:.1}", self.t_com, self.t_wait, self.t_comp)
+    }
+}
+
+/// The outcome of one scheduled loop execution: what one column of
+/// Table 2/3 contains, plus derived statistics.
+#[derive(Debug, Clone)]
+pub struct RunReport {
+    /// Scheme name (table column header).
+    pub scheme: String,
+    /// Per-slave breakdowns, index = `PE_i - 1`.
+    pub per_pe: Vec<TimeBreakdown>,
+    /// Parallel execution time measured at the master.
+    pub t_p: f64,
+    /// Total number of scheduling steps (chunks) the master served.
+    pub scheduling_steps: u64,
+    /// Iterations executed by each slave.
+    pub iterations: Vec<u64>,
+    /// Plans made by a distributed master (0 = non-distributed scheme,
+    /// 1 = only the initial plan, >1 = re-planning fired).
+    pub plans: u32,
+}
+
+impl RunReport {
+    /// Creates a report; `t_p` should be the master-observed makespan.
+    pub fn new(
+        scheme: impl Into<String>,
+        per_pe: Vec<TimeBreakdown>,
+        t_p: f64,
+        scheduling_steps: u64,
+        iterations: Vec<u64>,
+    ) -> Self {
+        let r = RunReport {
+            scheme: scheme.into(),
+            per_pe,
+            t_p,
+            scheduling_steps,
+            iterations,
+            plans: 0,
+        };
+        assert_eq!(r.per_pe.len(), r.iterations.len(), "per-PE vectors disagree");
+        r
+    }
+
+    /// Records the number of plans a distributed master made.
+    pub fn with_plans(mut self, plans: u32) -> Self {
+        self.plans = plans;
+        self
+    }
+
+    /// Number of slaves.
+    pub fn num_pes(&self) -> usize {
+        self.per_pe.len()
+    }
+
+    /// Mean computation time across PEs.
+    pub fn mean_comp(&self) -> f64 {
+        stats::mean(&self.comp_times())
+    }
+
+    /// Coefficient of variation of the *computation* times — the
+    /// paper's informal "the execution is (not) well-balanced, in terms
+    /// of the computation times" made quantitative. 0 = perfect.
+    pub fn comp_imbalance(&self) -> f64 {
+        stats::cov(&self.comp_times())
+    }
+
+    /// max/min ratio of computation times (1.0 = perfectly even).
+    pub fn comp_spread(&self) -> f64 {
+        let c = self.comp_times();
+        let max = c.iter().cloned().fold(f64::MIN, f64::max);
+        let min = c.iter().cloned().fold(f64::MAX, f64::min).max(1e-12);
+        max / min
+    }
+
+    /// Total communication + waiting time summed over PEs — the
+    /// overhead the distributed schemes are meant to shrink.
+    pub fn total_overhead(&self) -> f64 {
+        self.per_pe.iter().map(|b| b.t_com + b.t_wait).sum()
+    }
+
+    /// Per-PE computation times.
+    pub fn comp_times(&self) -> Vec<f64> {
+        self.per_pe.iter().map(|b| b.t_comp).collect()
+    }
+
+    /// The largest per-slave wall time (a lower bound on `t_p`).
+    pub fn max_slave_time(&self) -> f64 {
+        self.per_pe.iter().map(|b| b.total()).fold(0.0, f64::max)
+    }
+}
+
+/// Averages several replicas of the same experiment (e.g. runs with
+/// different LAN-noise seeds) into one report. All replicas must cover
+/// the same number of PEs; the scheme name is taken from the first.
+pub fn average_reports(reports: &[RunReport]) -> RunReport {
+    assert!(!reports.is_empty(), "need at least one report");
+    let pes = reports[0].num_pes();
+    assert!(
+        reports.iter().all(|r| r.num_pes() == pes),
+        "replicas cover different PE counts"
+    );
+    let n = reports.len() as f64;
+    let per_pe = (0..pes)
+        .map(|i| TimeBreakdown {
+            t_com: reports.iter().map(|r| r.per_pe[i].t_com).sum::<f64>() / n,
+            t_wait: reports.iter().map(|r| r.per_pe[i].t_wait).sum::<f64>() / n,
+            t_comp: reports.iter().map(|r| r.per_pe[i].t_comp).sum::<f64>() / n,
+        })
+        .collect();
+    let iterations = (0..pes)
+        .map(|i| {
+            (reports.iter().map(|r| r.iterations[i]).sum::<u64>() as f64 / n).round() as u64
+        })
+        .collect();
+    RunReport {
+        scheme: reports[0].scheme.clone(),
+        per_pe,
+        t_p: reports.iter().map(|r| r.t_p).sum::<f64>() / n,
+        scheduling_steps: (reports.iter().map(|r| r.scheduling_steps).sum::<u64>() as f64 / n)
+            .round() as u64,
+        iterations,
+        plans: (reports.iter().map(|r| r.plans as u64).sum::<u64>() as f64 / n).round() as u32,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn report() -> RunReport {
+        RunReport::new(
+            "TSS",
+            vec![
+                TimeBreakdown { t_com: 1.0, t_wait: 2.0, t_comp: 4.0 },
+                TimeBreakdown { t_com: 0.5, t_wait: 1.0, t_comp: 8.0 },
+            ],
+            10.0,
+            37,
+            vec![400, 600],
+        )
+    }
+
+    #[test]
+    fn cell_formats_like_paper() {
+        let b = TimeBreakdown { t_com: 2.7, t_wait: 17.5, t_comp: 3.5 };
+        assert_eq!(b.cell(), "2.7/17.5/3.5");
+        assert!((b.total() - 23.7).abs() < 1e-9);
+    }
+
+    #[test]
+    fn spread_and_imbalance() {
+        let r = report();
+        assert!((r.comp_spread() - 2.0).abs() < 1e-9);
+        assert!(r.comp_imbalance() > 0.0);
+        assert!((r.mean_comp() - 6.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn perfectly_balanced_has_zero_imbalance() {
+        let b = TimeBreakdown { t_com: 0.0, t_wait: 0.0, t_comp: 5.0 };
+        let r = RunReport::new("X", vec![b; 4], 5.0, 4, vec![25; 4]);
+        assert_eq!(r.comp_imbalance(), 0.0);
+        assert_eq!(r.comp_spread(), 1.0);
+    }
+
+    #[test]
+    fn overhead_sums_com_and_wait() {
+        assert!((report().total_overhead() - 4.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn max_slave_time_bounds_tp() {
+        let r = report();
+        assert!(r.max_slave_time() <= r.t_p + 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_vectors_rejected() {
+        RunReport::new("X", vec![TimeBreakdown::zero()], 1.0, 1, vec![1, 2]);
+    }
+
+    #[test]
+    fn averaging_reports() {
+        let a = RunReport::new(
+            "TSS",
+            vec![TimeBreakdown { t_com: 1.0, t_wait: 2.0, t_comp: 3.0 }],
+            10.0,
+            4,
+            vec![100],
+        );
+        let b = RunReport::new(
+            "TSS",
+            vec![TimeBreakdown { t_com: 3.0, t_wait: 4.0, t_comp: 5.0 }],
+            20.0,
+            6,
+            vec![200],
+        );
+        let avg = average_reports(&[a, b]);
+        assert_eq!(avg.t_p, 15.0);
+        assert_eq!(avg.per_pe[0].t_com, 2.0);
+        assert_eq!(avg.scheduling_steps, 5);
+        assert_eq!(avg.iterations, vec![150]);
+    }
+
+    #[test]
+    #[should_panic]
+    fn averaging_rejects_uneven_pe_counts() {
+        let a = RunReport::new("X", vec![TimeBreakdown::zero()], 1.0, 1, vec![1]);
+        let b = RunReport::new("X", vec![TimeBreakdown::zero(); 2], 1.0, 1, vec![1, 1]);
+        average_reports(&[a, b]);
+    }
+}

@@ -1,0 +1,27 @@
+//! # lss-metrics — measurement, statistics and reporting
+//!
+//! The paper reports three families of numbers, all reproduced here:
+//!
+//! - **per-PE time breakdowns** `T_com / T_wait / T_comp` and the
+//!   parallel time `T_p = max_j t_j` (Tables 2 and 3) —
+//!   [`breakdown::TimeBreakdown`] / [`breakdown::RunReport`];
+//! - **speedup curves** `S_p` over `p = 1..8` (Figures 4–7) —
+//!   [`speedup::SpeedupSeries`];
+//! - **cost profiles** (Figure 1) and the fractal itself (Figure 2),
+//!   rendered as CSV series and ASCII/PPM art — [`plot`].
+//!
+//! [`stats`] supplies the summary statistics (imbalance coefficients,
+//! means) used to judge "the execution is well-balanced" claims, and
+//! [`table`] renders paper-style fixed-width text tables.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod breakdown;
+pub mod plot;
+pub mod speedup;
+pub mod stats;
+pub mod table;
+
+pub use breakdown::{RunReport, TimeBreakdown};
+pub use speedup::SpeedupSeries;

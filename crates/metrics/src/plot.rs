@@ -1,0 +1,290 @@
+//! ASCII plots, CSV series and PPM images for the figures.
+//!
+//! Figures 1 and 4–7 are line/scatter plots; Figure 2 is the fractal
+//! itself. Experiments write a machine-readable CSV next to an
+//! immediately-readable ASCII rendering, and the fractal additionally
+//! as a binary PPM.
+
+use std::fmt::Write as _;
+
+/// Renders one or more named series as an ASCII chart.
+///
+/// `series` are `(name, points)` pairs; all points are `(x, y)`.
+/// Each series is drawn with its own glyph (`*`, `o`, `+`, …).
+pub fn ascii_chart(
+    title: &str,
+    series: &[(String, Vec<(f64, f64)>)],
+    width: usize,
+    height: usize,
+) -> String {
+    assert!(width >= 16 && height >= 4, "chart too small");
+    let glyphs = ['*', 'o', '+', 'x', '#', '@', '%', '&'];
+    let all: Vec<(f64, f64)> = series.iter().flat_map(|(_, pts)| pts.iter().copied()).collect();
+    if all.is_empty() {
+        return format!("{title}\n(no data)\n");
+    }
+    let (mut x0, mut x1) = (f64::MAX, f64::MIN);
+    let (mut y0, mut y1) = (0.0f64, f64::MIN);
+    for &(x, y) in &all {
+        x0 = x0.min(x);
+        x1 = x1.max(x);
+        y0 = y0.min(y);
+        y1 = y1.max(y);
+    }
+    if (x1 - x0).abs() < 1e-12 {
+        x1 = x0 + 1.0;
+    }
+    if (y1 - y0).abs() < 1e-12 {
+        y1 = y0 + 1.0;
+    }
+    let mut grid = vec![vec![' '; width]; height];
+    for (si, (_, pts)) in series.iter().enumerate() {
+        let g = glyphs[si % glyphs.len()];
+        for &(x, y) in pts {
+            let cx = ((x - x0) / (x1 - x0) * (width - 1) as f64).round() as usize;
+            let cy = ((y - y0) / (y1 - y0) * (height - 1) as f64).round() as usize;
+            let row = height - 1 - cy.min(height - 1);
+            grid[row][cx.min(width - 1)] = g;
+        }
+    }
+    let mut out = String::new();
+    let _ = writeln!(out, "{title}");
+    let _ = writeln!(out, "y: {:.2} .. {:.2}", y0, y1);
+    for row in grid {
+        out.push('|');
+        out.extend(row);
+        out.push('\n');
+    }
+    out.push('+');
+    out.push_str(&"-".repeat(width));
+    out.push('\n');
+    let _ = writeln!(out, " x: {:.1} .. {:.1}", x0, x1);
+    for (si, (name, _)) in series.iter().enumerate() {
+        let _ = writeln!(out, "  {} {}", glyphs[si % glyphs.len()], name);
+    }
+    out
+}
+
+/// Serializes named series as CSV: `x,<name1>,<name2>,…` — one row per
+/// distinct x value, empty cells where a series lacks that x.
+pub fn series_csv(series: &[(String, Vec<(f64, f64)>)]) -> String {
+    let mut xs: Vec<f64> = series.iter().flat_map(|(_, p)| p.iter().map(|&(x, _)| x)).collect();
+    xs.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    xs.dedup_by(|a, b| (*a - *b).abs() < 1e-12);
+    let mut out = String::from("x");
+    for (name, _) in series {
+        out.push(',');
+        out.push_str(name);
+    }
+    out.push('\n');
+    for &x in &xs {
+        let _ = write!(out, "{x}");
+        for (_, pts) in series {
+            out.push(',');
+            if let Some(&(_, y)) = pts.iter().find(|&&(px, _)| (px - x).abs() < 1e-12) {
+                let _ = write!(out, "{y}");
+            }
+        }
+        out.push('\n');
+    }
+    out
+}
+
+/// Serializes a single `u64` profile as `index,value` CSV — the Figure
+/// 1 format (iteration number vs. basic computations).
+pub fn profile_csv(header: &str, profile: &[u64]) -> String {
+    let mut out = format!("index,{header}\n");
+    for (i, v) in profile.iter().enumerate() {
+        let _ = writeln!(out, "{i},{v}");
+    }
+    out
+}
+
+/// Downsamples a profile to at most `buckets` points by taking bucket
+/// maxima — keeps the envelope visible in a terminal-width plot.
+pub fn downsample_max(profile: &[u64], buckets: usize) -> Vec<(f64, f64)> {
+    assert!(buckets >= 1);
+    if profile.is_empty() {
+        return Vec::new();
+    }
+    let per = profile.len().div_ceil(buckets);
+    profile
+        .chunks(per)
+        .enumerate()
+        .map(|(i, c)| ((i * per) as f64, *c.iter().max().unwrap() as f64))
+        .collect()
+}
+
+/// Encodes a grayscale image (row-major `values`, arbitrary scale) as a
+/// binary PPM (P6), mapping 0..max to a blue-to-white palette —
+/// adequate for eyeballing the Figure 2 fractal.
+pub fn ppm_image(values: &[u32], width: usize, height: usize) -> Vec<u8> {
+    assert_eq!(values.len(), width * height, "image size mismatch");
+    let max = values.iter().copied().max().unwrap_or(1).max(1);
+    let mut out = format!("P6\n{width} {height}\n255\n").into_bytes();
+    out.reserve(3 * values.len());
+    for &v in values {
+        let t = (v as f64 / max as f64).powf(0.45); // gamma for contrast
+        let r = (t * 255.0) as u8;
+        let g = (t * 220.0) as u8;
+        let b = 64u8.saturating_add((t * 191.0) as u8);
+        out.extend_from_slice(&[r, g, b]);
+    }
+    out
+}
+
+/// Renders the image as ASCII art (for terminals / EXPERIMENTS.md),
+/// downsampling to `cols` characters wide.
+pub fn ascii_image(values: &[u32], width: usize, height: usize, cols: usize) -> String {
+    assert_eq!(values.len(), width * height, "image size mismatch");
+    assert!(cols >= 1);
+    let ramp: &[u8] = b" .:-=+*#%@";
+    let rows = (cols * height / width / 2).max(1); // terminal cells ~2:1
+    let max = values.iter().copied().max().unwrap_or(1).max(1) as f64;
+    let mut out = String::new();
+    for r in 0..rows {
+        for c in 0..cols {
+            let y = r * height / rows;
+            let x = c * width / cols;
+            let v = values[y * width + x] as f64 / max;
+            let idx = (v * (ramp.len() - 1) as f64).round() as usize;
+            out.push(ramp[idx] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chart_contains_series_glyphs_and_legend() {
+        let s = vec![
+            ("TSS".to_string(), vec![(1.0, 1.0), (2.0, 1.5), (4.0, 2.5)]),
+            ("FSS".to_string(), vec![(1.0, 1.0), (2.0, 1.2), (4.0, 2.0)]),
+        ];
+        let c = ascii_chart("Fig 4", &s, 40, 10);
+        assert!(c.contains('*'));
+        assert!(c.contains('o'));
+        assert!(c.contains("TSS"));
+        assert!(c.contains("Fig 4"));
+    }
+
+    #[test]
+    fn chart_empty_series_safe() {
+        let c = ascii_chart("empty", &[], 40, 10);
+        assert!(c.contains("no data"));
+    }
+
+    #[test]
+    fn csv_merges_x_values() {
+        let s = vec![
+            ("a".to_string(), vec![(1.0, 10.0), (2.0, 20.0)]),
+            ("b".to_string(), vec![(2.0, 200.0)]),
+        ];
+        let csv = series_csv(&s);
+        let lines: Vec<&str> = csv.lines().collect();
+        assert_eq!(lines[0], "x,a,b");
+        assert_eq!(lines[1], "1,10,");
+        assert_eq!(lines[2], "2,20,200");
+    }
+
+    #[test]
+    fn profile_csv_shape() {
+        let csv = profile_csv("cost", &[5, 7]);
+        assert_eq!(csv, "index,cost\n0,5\n1,7\n");
+    }
+
+    #[test]
+    fn downsample_keeps_maxima() {
+        let profile: Vec<u64> = (0..100).collect();
+        let pts = downsample_max(&profile, 10);
+        assert_eq!(pts.len(), 10);
+        assert_eq!(pts[9].1, 99.0);
+    }
+
+    #[test]
+    fn ppm_has_header_and_size() {
+        let img = ppm_image(&[0, 1, 2, 3], 2, 2);
+        assert!(img.starts_with(b"P6\n2 2\n255\n"));
+        assert_eq!(img.len(), 11 + 12);
+    }
+
+    #[test]
+    fn ascii_image_dims() {
+        let values = vec![0u32; 64 * 32];
+        let art = ascii_image(&values, 64, 32, 32);
+        let lines: Vec<&str> = art.lines().collect();
+        assert_eq!(lines.len(), 8); // 32 cols * 32/64 / 2
+        assert!(lines.iter().all(|l| l.len() == 32));
+    }
+
+    #[test]
+    #[should_panic]
+    fn ppm_size_mismatch_rejected() {
+        ppm_image(&[0, 1, 2], 2, 2);
+    }
+}
+
+/// Renders a per-PE Gantt chart from `(pe, start, end)` spans.
+///
+/// Alternating glyphs make chunk boundaries visible; `.` marks idle
+/// (waiting/communicating) time. `t_end` sets the axis range.
+pub fn gantt_ascii(
+    title: &str,
+    spans: &[(usize, f64, f64)],
+    num_pes: usize,
+    t_end: f64,
+    width: usize,
+) -> String {
+    assert!(width >= 16, "chart too narrow");
+    assert!(t_end > 0.0, "empty time axis");
+    let glyphs = ['#', '='];
+    let mut rows = vec![vec!['.'; width]; num_pes];
+    let mut counts = vec![0usize; num_pes];
+    let col = |t: f64| ((t / t_end * width as f64) as usize).min(width - 1);
+    let mut sorted: Vec<_> = spans.to_vec();
+    sorted.sort_by(|a, b| a.1.partial_cmp(&b.1).unwrap());
+    for &(pe, start, end) in &sorted {
+        assert!(pe < num_pes, "span for unknown PE {pe}");
+        let g = glyphs[counts[pe] % glyphs.len()];
+        counts[pe] += 1;
+        let (c0, c1) = (col(start), col(end.min(t_end)));
+        for cell in &mut rows[pe][c0..=c1] {
+            *cell = g;
+        }
+    }
+    let mut out = format!("{title}\n");
+    for (pe, row) in rows.iter().enumerate() {
+        out.push_str(&format!("PE{:<2}|", pe + 1));
+        out.extend(row.iter());
+        out.push('\n');
+    }
+    out.push_str(&format!("    +{}\n     0s{:>w$.1}s\n", "-".repeat(width), t_end, w = width - 3));
+    out
+}
+
+#[cfg(test)]
+mod gantt_tests {
+    use super::gantt_ascii;
+
+    #[test]
+    fn gantt_draws_spans_and_idle() {
+        let spans = vec![(0usize, 0.0, 5.0), (0, 6.0, 8.0), (1, 0.0, 10.0)];
+        let g = gantt_ascii("run", &spans, 2, 10.0, 40);
+        let lines: Vec<&str> = g.lines().collect();
+        assert!(lines[1].starts_with("PE1 |#"));
+        assert!(lines[1].contains('.'), "idle gap visible");
+        assert!(lines[1].contains('='), "second chunk alternates glyph");
+        assert!(lines[2].starts_with("PE2 |#"));
+        assert!(!lines[2][5..].contains('.'), "PE2 fully busy");
+    }
+
+    #[test]
+    #[should_panic]
+    fn gantt_rejects_unknown_pe() {
+        gantt_ascii("x", &[(5, 0.0, 1.0)], 2, 10.0, 40);
+    }
+}

@@ -1,0 +1,101 @@
+//! Speedup series — the data behind Figures 4–7.
+//!
+//! The paper plots `S_p = T_1 / T_p` for `p = 1..8` slaves, where `T_1`
+//! is the time of the loop on a single *fast*, dedicated PE. On a
+//! heterogeneous cluster the attainable speedup is bounded by the total
+//! relative power: with 3 fast (≈3× a slow) and 5 slow PEs the paper
+//! expects `S_p ≤ (3·3 + 5·1)/3 ≈ 4.5` even with zero overhead (§6.1).
+
+/// A named speedup curve: `(p, S_p)` points for one scheme.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpeedupSeries {
+    /// Scheme name (legend entry).
+    pub scheme: String,
+    /// Worker counts, ascending.
+    pub p_values: Vec<u32>,
+    /// Speedups, same length as `p_values`.
+    pub speedups: Vec<f64>,
+}
+
+impl SpeedupSeries {
+    /// Builds a series from matching vectors.
+    pub fn new(scheme: impl Into<String>, p_values: Vec<u32>, speedups: Vec<f64>) -> Self {
+        assert_eq!(p_values.len(), speedups.len(), "length mismatch");
+        SpeedupSeries {
+            scheme: scheme.into(),
+            p_values,
+            speedups,
+        }
+    }
+
+    /// Builds a series from `(p, T_p)` pairs given the sequential time.
+    pub fn from_times(scheme: impl Into<String>, t1: f64, runs: &[(u32, f64)]) -> Self {
+        assert!(t1 > 0.0, "sequential time must be positive");
+        let p_values = runs.iter().map(|&(p, _)| p).collect();
+        let speedups = runs.iter().map(|&(_, tp)| t1 / tp).collect();
+        Self::new(scheme, p_values, speedups)
+    }
+
+    /// The speedup at a given `p`, if present.
+    pub fn at(&self, p: u32) -> Option<f64> {
+        self.p_values.iter().position(|&x| x == p).map(|i| self.speedups[i])
+    }
+
+    /// Peak speedup over the series.
+    pub fn peak(&self) -> f64 {
+        self.speedups.iter().cloned().fold(0.0, f64::max)
+    }
+
+    /// Whether the curve "dips" (a point lower than its predecessor) —
+    /// the paper's observed dip at `p = 2` caused by communication cost
+    /// and the added slow PE.
+    pub fn has_dip(&self) -> bool {
+        self.speedups.windows(2).any(|w| w[1] < w[0])
+    }
+
+    /// The theoretical speedup bound given the virtual powers of the
+    /// participating PEs, relative to one fast PE:
+    /// `Σ V_i / V_fast` (e.g. 4.5 ≈ (3·3+5·1)/3 in Figure 6's setup).
+    pub fn power_bound(powers: &[f64], fast: f64) -> f64 {
+        assert!(fast > 0.0);
+        powers.iter().sum::<f64>() / fast
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_times_divides() {
+        let s = SpeedupSeries::from_times("TSS", 100.0, &[(1, 100.0), (2, 60.0), (4, 30.0)]);
+        assert_eq!(s.at(1), Some(1.0));
+        assert!((s.at(4).unwrap() - 100.0 / 30.0).abs() < 1e-12);
+        assert_eq!(s.at(8), None);
+    }
+
+    #[test]
+    fn peak_and_dip() {
+        let s = SpeedupSeries::new("X", vec![1, 2, 4], vec![1.0, 0.8, 2.5]);
+        assert_eq!(s.peak(), 2.5);
+        assert!(s.has_dip());
+        let mono = SpeedupSeries::new("Y", vec![1, 2], vec![1.0, 1.5]);
+        assert!(!mono.has_dip());
+    }
+
+    #[test]
+    fn figure6_power_bound() {
+        // 3 fast (power 3) + 5 slow (power 1) → bound 14/3 ≈ 4.67;
+        // the paper rounds the fast:slow ratio to "about 3" and quotes
+        // S_p ≤ 4.5.
+        let powers = [3.0, 3.0, 3.0, 1.0, 1.0, 1.0, 1.0, 1.0];
+        let bound = SpeedupSeries::power_bound(&powers, 3.0);
+        assert!((bound - 14.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic]
+    fn mismatched_lengths_rejected() {
+        SpeedupSeries::new("X", vec![1, 2], vec![1.0]);
+    }
+}

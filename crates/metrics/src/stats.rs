@@ -1,0 +1,95 @@
+//! Small statistics helpers used across reports.
+
+/// Arithmetic mean (0 for an empty slice).
+pub fn mean(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Population standard deviation.
+pub fn std_dev(xs: &[f64]) -> f64 {
+    if xs.len() < 2 {
+        return 0.0;
+    }
+    let m = mean(xs);
+    (xs.iter().map(|x| (x - m) * (x - m)).sum::<f64>() / xs.len() as f64).sqrt()
+}
+
+/// Coefficient of variation `σ / μ` (0 when the mean is ~0).
+pub fn cov(xs: &[f64]) -> f64 {
+    let m = mean(xs);
+    if m.abs() < 1e-12 {
+        return 0.0;
+    }
+    std_dev(xs) / m
+}
+
+/// Maximum value (NaN-free input assumed; 0 for empty).
+pub fn max(xs: &[f64]) -> f64 {
+    xs.iter().cloned().fold(0.0_f64, f64::max)
+}
+
+/// Minimum value (0 for empty).
+pub fn min(xs: &[f64]) -> f64 {
+    if xs.is_empty() {
+        return 0.0;
+    }
+    xs.iter().cloned().fold(f64::MAX, f64::min)
+}
+
+/// Load-imbalance index `(max - mean) / mean` — the fraction of the
+/// makespan attributable to imbalance (0 = perfect).
+pub fn imbalance_index(xs: &[f64]) -> f64 {
+    let m = mean(xs);
+    if m.abs() < 1e-12 {
+        return 0.0;
+    }
+    (max(xs) - m) / m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mean_basic() {
+        assert_eq!(mean(&[1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(&[]), 0.0);
+    }
+
+    #[test]
+    fn std_dev_basic() {
+        assert_eq!(std_dev(&[5.0, 5.0, 5.0]), 0.0);
+        assert!((std_dev(&[1.0, 3.0]) - 1.0).abs() < 1e-12);
+        assert_eq!(std_dev(&[1.0]), 0.0);
+    }
+
+    #[test]
+    fn cov_scale_invariant() {
+        let a = cov(&[1.0, 2.0, 3.0]);
+        let b = cov(&[10.0, 20.0, 30.0]);
+        assert!((a - b).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cov_zero_mean_guard() {
+        assert_eq!(cov(&[0.0, 0.0]), 0.0);
+    }
+
+    #[test]
+    fn minmax() {
+        assert_eq!(max(&[1.0, 9.0, 4.0]), 9.0);
+        assert_eq!(min(&[1.0, 9.0, 4.0]), 1.0);
+        assert_eq!(min(&[]), 0.0);
+    }
+
+    #[test]
+    fn imbalance_index_perfect_is_zero() {
+        assert_eq!(imbalance_index(&[2.0, 2.0, 2.0]), 0.0);
+        // One straggler at 2× the mean of the rest.
+        let idx = imbalance_index(&[1.0, 1.0, 1.0, 2.0]);
+        assert!(idx > 0.5 && idx < 0.7);
+    }
+}

@@ -1,0 +1,168 @@
+//! Paper-style text tables.
+//!
+//! Renders Tables 1–3 (and the ablation tables) as fixed-width text:
+//! one row per PE, one column per scheme, `com/wait/comp` cells, and a
+//! final `T_p` row — the exact layout of the paper's Tables 2 and 3.
+
+use crate::breakdown::RunReport;
+
+/// A generic fixed-width text table builder.
+#[derive(Debug, Clone, Default)]
+pub struct TextTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TextTable {
+    /// Starts a table with the given column headers.
+    pub fn new(header: Vec<String>) -> Self {
+        TextTable {
+            header,
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends a row (padded/truncated to the header width).
+    pub fn push_row(&mut self, mut row: Vec<String>) {
+        row.resize(self.header.len(), String::new());
+        self.rows.push(row);
+    }
+
+    /// Renders the table with aligned columns and a separator line.
+    pub fn render(&self) -> String {
+        let cols = self.header.len();
+        let mut widths: Vec<usize> = self.header.iter().map(|h| h.len()).collect();
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate().take(cols) {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+            let mut line = String::new();
+            for (i, cell) in cells.iter().enumerate() {
+                if i > 0 {
+                    line.push_str("  ");
+                }
+                line.push_str(&format!("{:<width$}", cell, width = widths[i]));
+            }
+            line.trim_end().to_string()
+        };
+        out.push_str(&fmt_row(&self.header, &widths));
+        out.push('\n');
+        let total: usize = widths.iter().sum::<usize>() + 2 * (cols - 1);
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&fmt_row(row, &widths));
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Renders a Table 2/3-style breakdown table: one column per scheme,
+/// one row per PE with `T_com/T_wait/T_comp` cells, and a `T_p` footer.
+///
+/// All reports must cover the same number of PEs.
+pub fn breakdown_table(title: &str, reports: &[RunReport]) -> String {
+    assert!(!reports.is_empty(), "need at least one report");
+    let pes = reports[0].num_pes();
+    assert!(
+        reports.iter().all(|r| r.num_pes() == pes),
+        "reports cover different PE counts"
+    );
+    let mut header = vec!["PE".to_string()];
+    header.extend(reports.iter().map(|r| r.scheme.clone()));
+    let mut t = TextTable::new(header);
+    for pe in 0..pes {
+        let mut row = vec![format!("{}", pe + 1)];
+        row.extend(reports.iter().map(|r| r.per_pe[pe].cell()));
+        t.push_row(row);
+    }
+    let mut tp_row = vec!["T_p".to_string()];
+    tp_row.extend(reports.iter().map(|r| format!("{:.1}", r.t_p)));
+    t.push_row(tp_row);
+    let mut steps_row = vec!["steps".to_string()];
+    steps_row.extend(reports.iter().map(|r| r.scheduling_steps.to_string()));
+    t.push_row(steps_row);
+    format!("{title}\n{}", t.render())
+}
+
+/// Renders Table 1-style chunk listings: scheme name → size sequence.
+pub fn chunk_table(title: &str, rows: &[(String, Vec<u64>)]) -> String {
+    let mut out = format!("{title}\n");
+    let name_w = rows.iter().map(|(n, _)| n.len()).max().unwrap_or(6).max(6);
+    for (name, sizes) in rows {
+        let seq = sizes
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join(" ");
+        out.push_str(&format!("{:<name_w$}  {}\n", name, seq));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::breakdown::TimeBreakdown;
+
+    fn rep(name: &str, comp: f64) -> RunReport {
+        let b = TimeBreakdown { t_com: 1.0, t_wait: 2.0, t_comp: comp };
+        RunReport::new(name, vec![b; 2], comp + 3.0, 10, vec![50, 50])
+    }
+
+    #[test]
+    fn text_table_aligns() {
+        let mut t = TextTable::new(vec!["a".into(), "bee".into()]);
+        t.push_row(vec!["xxxx".into(), "1".into()]);
+        let s = t.render();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(lines[0].starts_with("a   "));
+        assert!(lines[2].starts_with("xxxx"));
+    }
+
+    #[test]
+    fn short_rows_padded() {
+        let mut t = TextTable::new(vec!["a".into(), "b".into(), "c".into()]);
+        t.push_row(vec!["1".into()]);
+        assert!(t.render().contains('1'));
+    }
+
+    #[test]
+    fn breakdown_table_has_all_schemes_and_tp() {
+        let s = breakdown_table("Table 2", &[rep("TSS", 4.0), rep("FSS", 6.0)]);
+        assert!(s.contains("TSS"));
+        assert!(s.contains("FSS"));
+        assert!(s.contains("T_p"));
+        assert!(s.contains("1.0/2.0/4.0"));
+        assert!(s.contains("7.0")); // T_p of TSS
+    }
+
+    #[test]
+    #[should_panic]
+    fn breakdown_table_rejects_uneven_pes() {
+        let a = rep("A", 1.0);
+        let b = RunReport::new(
+            "B",
+            vec![TimeBreakdown::zero()],
+            1.0,
+            1,
+            vec![1],
+        );
+        breakdown_table("x", &[a, b]);
+    }
+
+    #[test]
+    fn chunk_table_lists_sequences() {
+        let s = chunk_table(
+            "Table 1",
+            &[("GSS".into(), vec![250, 188]), ("TSS".into(), vec![125, 117])],
+        );
+        assert!(s.contains("GSS     250 188") || s.contains("GSS   250 188"));
+        assert!(s.contains("125 117"));
+    }
+}

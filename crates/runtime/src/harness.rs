@@ -1,0 +1,333 @@
+//! One-call end-to-end runs: spawn a master and `p` emulated-
+//! heterogeneous workers, execute the loop for real, and report the
+//! same metrics the simulator produces.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use lss_core::master::{Master, MasterConfig, SchemeKind};
+use lss_core::power::{AcpConfig, VirtualPower};
+use lss_metrics::breakdown::{RunReport, TimeBreakdown};
+use lss_workloads::Workload;
+
+use crate::load::LoadState;
+use crate::master::run_master;
+use crate::protocol::Request;
+use crate::transport::channels::channel_transport;
+use crate::transport::tcp::{tcp_listen, TcpWorker};
+use crate::worker::{run_worker, WorkerConfig, WorkerStats};
+
+/// Which transport the harness wires up.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transport {
+    /// In-process crossbeam channels (fast, default).
+    Channels,
+    /// Localhost TCP sockets with framed messages.
+    Tcp,
+}
+
+/// One emulated PE.
+#[derive(Debug, Clone)]
+pub struct WorkerSpec {
+    /// Speed handicap (1 = fast PE, 3 ≈ the paper's slow PE).
+    pub slowdown: u32,
+    /// Shared, mutable run-queue state; keep a clone to change the
+    /// load mid-run (the non-dedicated condition).
+    pub load: LoadState,
+    /// Failure injection: crash after computing this many chunks.
+    pub fail_after_chunks: Option<u64>,
+}
+
+impl WorkerSpec {
+    /// A dedicated fast PE.
+    pub fn fast() -> Self {
+        WorkerSpec {
+            slowdown: 1,
+            load: LoadState::dedicated(),
+            fail_after_chunks: None,
+        }
+    }
+
+    /// A dedicated slow PE (3× handicap, like the paper's US1 vs US10).
+    pub fn slow() -> Self {
+        WorkerSpec {
+            slowdown: 3,
+            load: LoadState::dedicated(),
+            fail_after_chunks: None,
+        }
+    }
+
+    /// A fast PE that crashes after computing `n` chunks (failure
+    /// injection for the fault-tolerance path).
+    pub fn failing_after(n: u64) -> Self {
+        WorkerSpec {
+            fail_after_chunks: Some(n),
+            ..Self::fast()
+        }
+    }
+}
+
+/// Harness configuration.
+#[derive(Debug, Clone)]
+pub struct HarnessConfig {
+    /// Scheme under test.
+    pub scheme: SchemeKind,
+    /// The emulated PEs.
+    pub workers: Vec<WorkerSpec>,
+    /// ACP rule for the distributed schemes.
+    pub acp: AcpConfig,
+    /// Worker back-off after a retry notice.
+    pub retry_backoff: Duration,
+    /// Transport to use.
+    pub transport: Transport,
+}
+
+impl HarnessConfig {
+    /// A channels-transport config over the given workers.
+    pub fn new(scheme: SchemeKind, workers: Vec<WorkerSpec>) -> Self {
+        HarnessConfig {
+            scheme,
+            workers,
+            acp: AcpConfig::PAPER,
+            retry_backoff: Duration::from_millis(5),
+            transport: Transport::Channels,
+        }
+    }
+
+    /// The paper's p-slave mix: fast PEs first, then slow (3 fast +
+    /// 5 slow for `p = 8`, scaled down as in the figures).
+    pub fn paper_mix(scheme: SchemeKind, fast: usize, slow: usize) -> Self {
+        let mut workers = Vec::with_capacity(fast + slow);
+        workers.extend(std::iter::repeat_with(WorkerSpec::fast).take(fast));
+        workers.extend(std::iter::repeat_with(WorkerSpec::slow).take(slow));
+        Self::new(scheme, workers)
+    }
+
+    /// Virtual powers implied by the slowdowns (slowest PE = 1.0).
+    pub fn virtual_powers(&self) -> Vec<VirtualPower> {
+        let max_slowdown = self.workers.iter().map(|w| w.slowdown).max().unwrap_or(1);
+        self.workers
+            .iter()
+            .map(|w| VirtualPower::new(max_slowdown as f64 / w.slowdown as f64))
+            .collect()
+    }
+}
+
+/// Everything a run produced.
+#[derive(Debug)]
+pub struct HarnessOutcome {
+    /// Table-style report (wall-clock times).
+    pub report: RunReport,
+    /// Per-iteration results collected at the master.
+    pub results: Vec<u64>,
+    /// Raw per-worker stats.
+    pub worker_stats: Vec<WorkerStats>,
+    /// Workers that crashed mid-run (their chunks were re-granted).
+    pub failed_workers: Vec<usize>,
+}
+
+/// Executes the full loop under the configured scheme and cluster.
+///
+/// # Panics
+/// On internal errors (a worker or the master dying mid-run) and when
+/// any iteration's result fails to arrive — both indicate bugs, not
+/// recoverable conditions.
+pub fn run_scheduled_loop<W: Workload + 'static>(
+    cfg: &HarnessConfig,
+    workload: Arc<W>,
+) -> HarnessOutcome {
+    let p = cfg.workers.len();
+    assert!(p >= 1, "need at least one worker");
+    let initial_q: Vec<u32> = cfg.workers.iter().map(|w| w.load.q()).collect();
+    let mut master = Master::new(MasterConfig {
+        scheme: cfg.scheme,
+        total: workload.len(),
+        powers: cfg.virtual_powers(),
+        initial_q,
+        acp: cfg.acp,
+    });
+
+    let worker_cfgs: Vec<WorkerConfig> = cfg
+        .workers
+        .iter()
+        .enumerate()
+        .map(|(id, spec)| WorkerConfig {
+            id,
+            slowdown: spec.slowdown,
+            load: spec.load.clone(),
+            retry_backoff: cfg.retry_backoff,
+            fail_after_chunks: spec.fail_after_chunks,
+        })
+        .collect();
+
+    let t0 = Instant::now();
+    let (outcome, stats) = match cfg.transport {
+        Transport::Channels => {
+            let (mt, wts) = channel_transport(p);
+            let handles: Vec<_> = wts
+                .into_iter()
+                .zip(worker_cfgs)
+                .map(|(wt, wcfg)| {
+                    let wl = Arc::clone(&workload);
+                    std::thread::spawn(move || {
+                        run_worker(wt, &wcfg, wl.as_ref(), false).expect("worker failed")
+                    })
+                })
+                .collect();
+            let outcome = run_master(mt, &mut master, p).expect("master failed");
+            let stats: Vec<WorkerStats> =
+                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect();
+            (outcome, stats)
+        }
+        Transport::Tcp => {
+            let listener = tcp_listen().expect("listen failed");
+            let addr = listener.addr;
+            let handles: Vec<_> = worker_cfgs
+                .into_iter()
+                .map(|wcfg| {
+                    let wl = Arc::clone(&workload);
+                    std::thread::spawn(move || {
+                        // The connect handshake doubles as the first
+                        // request.
+                        let first = Request {
+                            worker: wcfg.id,
+                            q: wcfg.load.q(),
+                            result: None,
+                        };
+                        let wt = TcpWorker::connect(addr, first).expect("connect failed");
+                        run_worker(wt, &wcfg, wl.as_ref(), true).expect("worker failed")
+                    })
+                })
+                .collect();
+            let mt = listener.accept_workers(p).expect("accept failed");
+            let outcome = run_master(mt, &mut master, p).expect("master failed");
+            let stats: Vec<WorkerStats> =
+                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect();
+            (outcome, stats)
+        }
+    };
+    let t_p = t0.elapsed().as_secs_f64();
+
+    let results: Vec<u64> = outcome
+        .results
+        .iter()
+        .enumerate()
+        .map(|(i, r)| {
+            r.unwrap_or_else(|| {
+                panic!(
+                    "iteration {i} result missing (failed workers: {:?}; the loop \
+                     is only completable while at least one worker survives)",
+                    outcome.failed_workers
+                )
+            })
+        })
+        .collect();
+
+    let per_pe: Vec<TimeBreakdown> = stats
+        .iter()
+        .map(|s| TimeBreakdown {
+            t_com: s.t_com.as_secs_f64(),
+            t_wait: s.t_wait.as_secs_f64(),
+            t_comp: s.t_comp.as_secs_f64(),
+        })
+        .collect();
+    let iterations: Vec<u64> = (0..p).map(|w| master.iterations_served(w)).collect();
+    let report = RunReport::new(
+        cfg.scheme.name(),
+        per_pe,
+        t_p,
+        master.total_scheduling_steps(),
+        iterations,
+    );
+    HarnessOutcome {
+        report,
+        results,
+        worker_stats: stats,
+        failed_workers: outcome.failed_workers,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lss_workloads::{SyntheticWorkload, UniformLoop};
+
+    #[test]
+    fn channels_run_completes_and_results_match() {
+        let w = Arc::new(UniformLoop::new(200, 500));
+        let cfg = HarnessConfig::paper_mix(SchemeKind::Tfss, 2, 2);
+        let out = run_scheduled_loop(&cfg, Arc::clone(&w));
+        assert_eq!(out.results.len(), 200);
+        for i in 0..200u64 {
+            assert_eq!(out.results[i as usize], w.execute(i), "iteration {i}");
+        }
+        assert_eq!(out.report.iterations.iter().sum::<u64>(), 200);
+    }
+
+    #[test]
+    fn tcp_run_completes() {
+        let w = Arc::new(UniformLoop::new(60, 500));
+        let mut cfg = HarnessConfig::paper_mix(SchemeKind::Fss, 2, 0);
+        cfg.transport = Transport::Tcp;
+        let out = run_scheduled_loop(&cfg, Arc::clone(&w));
+        assert_eq!(out.results.len(), 60);
+        for i in 0..60u64 {
+            assert_eq!(out.results[i as usize], w.execute(i));
+        }
+    }
+
+    #[test]
+    fn fast_workers_do_more_under_self_scheduling() {
+        let w = Arc::new(UniformLoop::new(300, 8_000));
+        let cfg = HarnessConfig::paper_mix(SchemeKind::Css { k: 5 }, 1, 1);
+        let out = run_scheduled_loop(&cfg, w);
+        assert!(
+            out.report.iterations[0] > out.report.iterations[1],
+            "fast should out-pull slow: {:?}",
+            out.report.iterations
+        );
+    }
+
+    #[test]
+    fn distributed_scheme_runs_with_live_load_change() {
+        let w = Arc::new(UniformLoop::new(400, 4_000));
+        let cfg = HarnessConfig::paper_mix(SchemeKind::Dtss, 2, 2);
+        let load = cfg.workers[0].load.clone();
+        // Overload worker 0 shortly after the run starts.
+        let flipper = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(5));
+            load.set_q(4);
+        });
+        let out = run_scheduled_loop(&cfg, w);
+        flipper.join().unwrap();
+        assert_eq!(out.results.len(), 400);
+    }
+
+    #[test]
+    fn every_scheme_completes_end_to_end() {
+        let w = Arc::new(SyntheticWorkload::new((0..97).map(|i| i % 13 + 1).collect()));
+        for scheme in [
+            SchemeKind::Static,
+            SchemeKind::Css { k: 4 },
+            SchemeKind::Gss { min_chunk: 2 },
+            SchemeKind::Tss,
+            SchemeKind::Fss,
+            SchemeKind::Fiss { sigma: 3 },
+            SchemeKind::Tfss,
+            SchemeKind::Wf,
+            SchemeKind::Dtss,
+            SchemeKind::Dfss,
+            SchemeKind::Dfiss { sigma: 3 },
+            SchemeKind::Dtfss,
+        ] {
+            let cfg = HarnessConfig::paper_mix(scheme, 1, 2);
+            let out = run_scheduled_loop(&cfg, Arc::clone(&w));
+            assert_eq!(
+                out.report.iterations.iter().sum::<u64>(),
+                97,
+                "{} dropped iterations",
+                scheme.name()
+            );
+        }
+    }
+}

@@ -1,0 +1,37 @@
+//! # lss-runtime — a real threaded master–worker runtime
+//!
+//! The paper's implementation ran on mpich 1.2.0 over a Sun cluster.
+//! This crate reproduces that *software architecture* with native
+//! threads and message passing, so every scheme is exercised by real
+//! concurrent execution (not only by the simulator):
+//!
+//! - [`protocol`] — the wire messages: requests that **piggy-back the
+//!   previous chunk's results** (§5's key optimization) and carry the
+//!   worker's current run-queue length; replies that carry an iteration
+//!   interval or a terminate notice.
+//! - [`transport`] — message transports: in-process crossbeam
+//!   [`transport::channels`] (the default; "MPI bindings thin,
+//!   channels/tcp workable") and localhost [`transport::tcp`] with
+//!   length-prefixed frames, demonstrating the same protocol across a
+//!   real socket.
+//! - [`worker`] / [`master`] — the two loop roles, directly mirroring
+//!   the paper's slave/master algorithms (§3.1).
+//! - [`load`] — heterogeneity and non-dedication emulation: a worker
+//!   with slowdown `s` and run-queue `Q` re-executes each iteration
+//!   `s·Q` times (the equal-share model made concrete), plus an
+//!   optional *real* background hog running matrix additions.
+//! - [`harness`] — one-call end-to-end runs returning the same
+//!   [`lss_metrics::RunReport`] the simulator produces.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod harness;
+pub mod load;
+pub mod master;
+pub mod protocol;
+pub mod transport;
+pub mod worker;
+
+pub use harness::{run_scheduled_loop, HarnessConfig, HarnessOutcome, WorkerSpec};
+pub use load::LoadState;

@@ -1,0 +1,141 @@
+//! Load emulation for the real runtime.
+//!
+//! Two mechanisms create the paper's *non-dedicated* condition:
+//!
+//! - [`LoadState`] — a shared run-queue counter the worker samples on
+//!   every request (what the slave reports to the master) and applies
+//!   to its own execution speed under the equal-share model: with
+//!   run-queue `Q`, each iteration is executed `Q` times as slowly.
+//!   Deterministic and controllable from tests.
+//! - [`BackgroundHog`] — a *real* competing thread running the paper's
+//!   matrix additions ("each one adds two random matrices of size
+//!   1000"), for demos where genuine OS-level interference is wanted.
+
+use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use lss_workloads::MatrixAddLoad;
+
+/// A worker's externally controllable run-queue length.
+///
+/// Cheap to clone; all clones share the counter. The value is clamped
+/// to ≥ 1 on read (the loop process itself always counts).
+#[derive(Debug, Clone)]
+pub struct LoadState {
+    q: Arc<AtomicU32>,
+}
+
+impl LoadState {
+    /// A dedicated worker (`Q = 1`).
+    pub fn dedicated() -> Self {
+        Self::with_q(1)
+    }
+
+    /// A worker that starts with run-queue length `q`.
+    pub fn with_q(q: u32) -> Self {
+        LoadState {
+            q: Arc::new(AtomicU32::new(q.max(1))),
+        }
+    }
+
+    /// Current run-queue length (≥ 1).
+    pub fn q(&self) -> u32 {
+        self.q.load(Ordering::Relaxed).max(1)
+    }
+
+    /// Sets the run-queue length (e.g. "a new user logs in and starts
+    /// an expensive task" — §3.1's motivating scenario).
+    pub fn set_q(&self, q: u32) {
+        self.q.store(q.max(1), Ordering::Relaxed);
+    }
+}
+
+impl Default for LoadState {
+    fn default() -> Self {
+        Self::dedicated()
+    }
+}
+
+/// A real background hog: a thread repeatedly adding two random
+/// matrices until dropped, mirroring the paper's load processes.
+#[derive(Debug)]
+pub struct BackgroundHog {
+    stop: Arc<AtomicBool>,
+    rounds: Arc<AtomicU64>,
+    handle: Option<JoinHandle<()>>,
+}
+
+impl BackgroundHog {
+    /// Spawns a hog adding two `n × n` matrices in a loop.
+    pub fn spawn(n: usize, seed: u64) -> Self {
+        let stop = Arc::new(AtomicBool::new(false));
+        let rounds = Arc::new(AtomicU64::new(0));
+        let stop2 = Arc::clone(&stop);
+        let rounds2 = Arc::clone(&rounds);
+        let handle = std::thread::spawn(move || {
+            let mut load = MatrixAddLoad::new(n, seed);
+            while !stop2.load(Ordering::Relaxed) {
+                std::hint::black_box(load.run_once());
+                rounds2.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        BackgroundHog {
+            stop,
+            rounds,
+            handle: Some(handle),
+        }
+    }
+
+    /// The paper's hog: 1000 × 1000 matrices.
+    pub fn paper_hog(seed: u64) -> Self {
+        Self::spawn(1000, seed)
+    }
+
+    /// How many additions the hog has completed so far.
+    pub fn rounds(&self) -> u64 {
+        self.rounds.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for BackgroundHog {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(h) = self.handle.take() {
+            let _ = h.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn load_state_shared_between_clones() {
+        let a = LoadState::dedicated();
+        let b = a.clone();
+        assert_eq!(b.q(), 1);
+        a.set_q(3);
+        assert_eq!(b.q(), 3);
+    }
+
+    #[test]
+    fn load_state_clamps_to_one() {
+        let l = LoadState::with_q(0);
+        assert_eq!(l.q(), 1);
+        l.set_q(0);
+        assert_eq!(l.q(), 1);
+    }
+
+    #[test]
+    fn hog_runs_and_stops() {
+        let hog = BackgroundHog::spawn(32, 1);
+        let deadline = std::time::Instant::now() + std::time::Duration::from_secs(2);
+        while hog.rounds() == 0 && std::time::Instant::now() < deadline {
+            std::thread::yield_now();
+        }
+        assert!(hog.rounds() > 0, "hog never ran");
+        drop(hog); // must join cleanly
+    }
+}

@@ -1,0 +1,253 @@
+//! Wire messages of the master–slave protocol, with a compact binary
+//! encoding for socket transports.
+//!
+//! The protocol is the paper's (§5): a slave's request carries its
+//! identity, its freshly measured run-queue length (`A_i` reporting for
+//! the distributed schemes), and — on every request but the first —
+//! the results of the previous chunk. The master's reply is an
+//! iteration interval, a retry notice (ACP 0), or a terminate notice.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use lss_core::chunk::Chunk;
+use lss_core::master::Assignment;
+
+/// Results of one computed chunk: per-iteration checksums.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ChunkResult {
+    /// The chunk these results belong to.
+    pub chunk: Chunk,
+    /// One checksum per iteration, in chunk order.
+    pub values: Vec<u64>,
+}
+
+impl ChunkResult {
+    /// Creates a result; panics if lengths disagree.
+    pub fn new(chunk: Chunk, values: Vec<u64>) -> Self {
+        assert_eq!(chunk.len as usize, values.len(), "result/chunk length mismatch");
+        ChunkResult { chunk, values }
+    }
+}
+
+/// Slave → master.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// Dense worker id (assigned at spawn).
+    pub worker: usize,
+    /// The worker's current run-queue length.
+    pub q: u32,
+    /// Piggy-backed previous results (absent on the first request).
+    pub result: Option<ChunkResult>,
+}
+
+/// Master → slave.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Reply {
+    /// The scheduling decision.
+    pub assignment: Assignment,
+}
+
+impl Request {
+    /// Serializes the request into a frame payload.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(32 + self.result.as_ref().map_or(0, |r| 8 * r.values.len()));
+        b.put_u32(self.worker as u32);
+        b.put_u32(self.q);
+        match &self.result {
+            None => b.put_u8(0),
+            Some(r) => {
+                b.put_u8(1);
+                b.put_u64(r.chunk.start);
+                b.put_u64(r.chunk.len);
+                for &v in &r.values {
+                    b.put_u64(v);
+                }
+            }
+        }
+        b.freeze()
+    }
+
+    /// Deserializes a frame payload; `None` on malformed input.
+    pub fn decode(mut buf: &[u8]) -> Option<Request> {
+        if buf.remaining() < 9 {
+            return None;
+        }
+        let worker = buf.get_u32() as usize;
+        let q = buf.get_u32();
+        let has_result = buf.get_u8();
+        let result = match has_result {
+            0 => None,
+            1 => {
+                if buf.remaining() < 16 {
+                    return None;
+                }
+                let start = buf.get_u64();
+                let len = buf.get_u64();
+                // Adversarial lengths must not overflow the size check.
+                let expected = len.checked_mul(8)?;
+                if buf.remaining() as u64 != expected {
+                    return None;
+                }
+                let values = (0..len).map(|_| buf.get_u64()).collect();
+                Some(ChunkResult::new(Chunk::new(start, len), values))
+            }
+            _ => return None,
+        };
+        Some(Request { worker, q, result })
+    }
+}
+
+const TAG_CHUNK: u8 = 0;
+const TAG_RETRY: u8 = 1;
+const TAG_FINISHED: u8 = 2;
+
+impl Reply {
+    /// Serializes the reply into a frame payload.
+    pub fn encode(&self) -> Bytes {
+        let mut b = BytesMut::with_capacity(17);
+        match self.assignment {
+            Assignment::Chunk(c) => {
+                b.put_u8(TAG_CHUNK);
+                b.put_u64(c.start);
+                b.put_u64(c.len);
+            }
+            Assignment::Retry => b.put_u8(TAG_RETRY),
+            Assignment::Finished => b.put_u8(TAG_FINISHED),
+        }
+        b.freeze()
+    }
+
+    /// Deserializes a frame payload; `None` on malformed input.
+    pub fn decode(mut buf: &[u8]) -> Option<Reply> {
+        if buf.remaining() < 1 {
+            return None;
+        }
+        let assignment = match buf.get_u8() {
+            TAG_CHUNK => {
+                if buf.remaining() < 16 {
+                    return None;
+                }
+                let start = buf.get_u64();
+                let len = buf.get_u64();
+                Assignment::Chunk(Chunk::new(start, len))
+            }
+            TAG_RETRY => Assignment::Retry,
+            TAG_FINISHED => Assignment::Finished,
+            _ => return None,
+        };
+        Some(Reply { assignment })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_roundtrip_without_result() {
+        let r = Request { worker: 3, q: 2, result: None };
+        assert_eq!(Request::decode(&r.encode()), Some(r));
+    }
+
+    #[test]
+    fn request_roundtrip_with_result() {
+        let r = Request {
+            worker: 7,
+            q: 1,
+            result: Some(ChunkResult::new(Chunk::new(100, 3), vec![1, 2, 3])),
+        };
+        assert_eq!(Request::decode(&r.encode()), Some(r));
+    }
+
+    #[test]
+    fn reply_roundtrips() {
+        for a in [
+            Assignment::Chunk(Chunk::new(5, 10)),
+            Assignment::Retry,
+            Assignment::Finished,
+        ] {
+            let r = Reply { assignment: a };
+            assert_eq!(Reply::decode(&r.encode()), Some(r));
+        }
+    }
+
+    #[test]
+    fn malformed_inputs_rejected() {
+        assert_eq!(Request::decode(&[]), None);
+        assert_eq!(Request::decode(&[0, 0, 0, 1]), None);
+        assert_eq!(Reply::decode(&[]), None);
+        assert_eq!(Reply::decode(&[9]), None);
+        // Truncated chunk reply.
+        assert_eq!(Reply::decode(&[TAG_CHUNK, 0, 0]), None);
+        // Result length lies about the payload size.
+        let mut bad = Request {
+            worker: 0,
+            q: 1,
+            result: Some(ChunkResult::new(Chunk::new(0, 2), vec![1, 2])),
+        }
+        .encode()
+        .to_vec();
+        bad.truncate(bad.len() - 8);
+        assert_eq!(Request::decode(&bad), None);
+    }
+
+    #[test]
+    #[should_panic]
+    fn chunk_result_length_checked() {
+        ChunkResult::new(Chunk::new(0, 3), vec![1]);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn chunk_result_strategy() -> impl Strategy<Value = ChunkResult> {
+        (0u64..1_000_000, prop::collection::vec(any::<u64>(), 0..64)).prop_map(|(start, values)| {
+            let len = values.len() as u64;
+            ChunkResult::new(Chunk::new(start, len), values)
+        })
+    }
+
+    proptest! {
+        #[test]
+        fn request_roundtrips(
+            worker in 0usize..10_000,
+            q in 1u32..1000,
+            result in prop::option::of(chunk_result_strategy()),
+        ) {
+            let req = Request { worker, q, result };
+            prop_assert_eq!(Request::decode(&req.encode()), Some(req));
+        }
+
+        #[test]
+        fn reply_roundtrips(start in any::<u64>(), len in 0u64..u64::MAX / 2) {
+            let r = Reply { assignment: Assignment::Chunk(Chunk::new(start, len)) };
+            prop_assert_eq!(Reply::decode(&r.encode()), Some(r));
+        }
+
+        #[test]
+        fn truncated_requests_never_panic(
+            worker in 0usize..100,
+            values in prop::collection::vec(any::<u64>(), 0..16),
+            cut in 0usize..200,
+        ) {
+            let len = values.len() as u64;
+            let req = Request {
+                worker,
+                q: 1,
+                result: Some(ChunkResult::new(Chunk::new(0, len), values)),
+            };
+            let mut bytes = req.encode().to_vec();
+            bytes.truncate(cut.min(bytes.len()));
+            // Must return None or a consistent value — never panic.
+            let _ = Request::decode(&bytes);
+        }
+
+        #[test]
+        fn garbage_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
+            let _ = Request::decode(&bytes);
+            let _ = Reply::decode(&bytes);
+        }
+    }
+}

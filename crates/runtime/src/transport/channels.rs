@@ -1,0 +1,207 @@
+//! In-process transport over crossbeam channels.
+//!
+//! Each worker gets its own request channel so the master can detect a
+//! worker's death the moment its sender drops (crossbeam reports the
+//! disconnect on that channel), instead of stalling forever on a shared
+//! inbox — the hook the fault-tolerant master loop relies on.
+
+use crossbeam::channel::{unbounded, Receiver, Select, Sender};
+
+use super::{Inbound, MasterTransport, TransportError, WorkerTransport};
+use crate::protocol::{Reply, Request};
+
+/// Master endpoint: one request inbox per worker, one reply line per
+/// worker.
+pub struct ChannelMaster {
+    inboxes: Vec<Receiver<Request>>,
+    replies: Vec<Sender<Reply>>,
+    /// Workers whose disconnect has already been reported.
+    reported_dead: Vec<bool>,
+}
+
+/// Worker endpoint.
+pub struct ChannelWorker {
+    outbox: Sender<Request>,
+    replies: Receiver<Reply>,
+}
+
+/// Creates a connected master endpoint plus `p` worker endpoints.
+pub fn channel_transport(p: usize) -> (ChannelMaster, Vec<ChannelWorker>) {
+    assert!(p >= 1, "need at least one worker");
+    let mut inboxes = Vec::with_capacity(p);
+    let mut reply_txs = Vec::with_capacity(p);
+    let mut workers = Vec::with_capacity(p);
+    for _ in 0..p {
+        let (req_tx, req_rx) = unbounded::<Request>();
+        let (rep_tx, rep_rx) = unbounded::<Reply>();
+        inboxes.push(req_rx);
+        reply_txs.push(rep_tx);
+        workers.push(ChannelWorker {
+            outbox: req_tx,
+            replies: rep_rx,
+        });
+    }
+    (
+        ChannelMaster {
+            inboxes,
+            replies: reply_txs,
+            reported_dead: vec![false; p],
+        },
+        workers,
+    )
+}
+
+impl MasterTransport for ChannelMaster {
+    fn recv(&mut self) -> Result<Inbound, TransportError> {
+        use crossbeam::channel::TryRecvError;
+        // Fast path: drain queued requests; a drained-and-disconnected
+        // channel reports the death exactly once.
+        for w in 0..self.inboxes.len() {
+            if self.reported_dead[w] {
+                continue;
+            }
+            match self.inboxes[w].try_recv() {
+                Ok(req) => return Ok(Inbound::Request(req)),
+                Err(TryRecvError::Empty) => {}
+                Err(TryRecvError::Disconnected) => {
+                    self.reported_dead[w] = true;
+                    return Ok(Inbound::Disconnected(w));
+                }
+            }
+        }
+        // Block until any live channel has activity.
+        let live: Vec<usize> = (0..self.inboxes.len())
+            .filter(|&w| !self.reported_dead[w])
+            .collect();
+        if live.is_empty() {
+            return Err(TransportError("all workers disconnected".into()));
+        }
+        let mut sel = Select::new();
+        for &w in &live {
+            sel.recv(&self.inboxes[w]);
+        }
+        let op = sel.select();
+        let w = live[op.index()];
+        match op.recv(&self.inboxes[w]) {
+            Ok(req) => Ok(Inbound::Request(req)),
+            Err(_) => {
+                self.reported_dead[w] = true;
+                Ok(Inbound::Disconnected(w))
+            }
+        }
+    }
+
+    fn send(&mut self, worker: usize, reply: Reply) -> Result<(), TransportError> {
+        self.replies
+            .get(worker)
+            .ok_or_else(|| TransportError(format!("unknown worker {worker}")))?
+            .send(reply)
+            .map_err(|e| TransportError(format!("worker {worker} gone: {e}")))
+    }
+}
+
+impl WorkerTransport for ChannelWorker {
+    fn send_request(&mut self, req: Request) -> Result<(), TransportError> {
+        self.outbox
+            .send(req)
+            .map_err(|e| TransportError(format!("master gone: {e}")))
+    }
+
+    fn recv_reply(&mut self) -> Result<Reply, TransportError> {
+        self.replies
+            .recv()
+            .map_err(|e| TransportError(format!("master gone: {e}")))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lss_core::chunk::Chunk;
+    use lss_core::master::Assignment;
+
+    fn expect_request(m: &mut ChannelMaster) -> Request {
+        match m.recv().unwrap() {
+            Inbound::Request(r) => r,
+            other => panic!("expected request, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn request_reply_roundtrip() {
+        let (mut master, mut workers) = channel_transport(2);
+        workers[1]
+            .send_request(Request { worker: 1, q: 1, result: None })
+            .unwrap();
+        let req = expect_request(&mut master);
+        assert_eq!(req.worker, 1);
+        master
+            .send(1, Reply { assignment: Assignment::Chunk(Chunk::new(0, 5)) })
+            .unwrap();
+        let reply = workers[1].recv_reply().unwrap();
+        assert_eq!(reply.assignment, Assignment::Chunk(Chunk::new(0, 5)));
+    }
+
+    #[test]
+    fn replies_are_per_worker() {
+        let (mut master, mut workers) = channel_transport(3);
+        master.send(0, Reply { assignment: Assignment::Retry }).unwrap();
+        master.send(2, Reply { assignment: Assignment::Finished }).unwrap();
+        assert_eq!(workers[2].recv_reply().unwrap().assignment, Assignment::Finished);
+        assert_eq!(workers[0].recv_reply().unwrap().assignment, Assignment::Retry);
+    }
+
+    #[test]
+    fn unknown_worker_errors() {
+        let (mut master, _workers) = channel_transport(1);
+        assert!(master.send(5, Reply { assignment: Assignment::Retry }).is_err());
+    }
+
+    #[test]
+    fn disconnect_is_reported_once() {
+        let (mut master, mut workers) = channel_transport(2);
+        // Worker 1 sends one request then dies.
+        workers[1]
+            .send_request(Request { worker: 1, q: 1, result: None })
+            .unwrap();
+        let w1 = workers.pop().unwrap();
+        drop(w1);
+        // The queued request is delivered before the disconnect.
+        assert_eq!(expect_request(&mut master).worker, 1);
+        assert_eq!(master.recv().unwrap(), Inbound::Disconnected(1));
+        // Worker 0 still works.
+        workers[0]
+            .send_request(Request { worker: 0, q: 1, result: None })
+            .unwrap();
+        assert_eq!(expect_request(&mut master).worker, 0);
+        // After the last worker dies, recv errors.
+        drop(workers);
+        assert_eq!(master.recv().unwrap(), Inbound::Disconnected(0));
+        assert!(master.recv().is_err());
+    }
+
+    #[test]
+    fn cross_thread_usage() {
+        let (mut master, workers) = channel_transport(2);
+        let handles: Vec<_> = workers
+            .into_iter()
+            .enumerate()
+            .map(|(i, mut w)| {
+                std::thread::spawn(move || {
+                    w.send_request(Request { worker: i, q: 1, result: None }).unwrap();
+                    w.recv_reply().unwrap()
+                })
+            })
+            .collect();
+        let mut served = 0;
+        while served < 2 {
+            if let Inbound::Request(req) = master.recv().unwrap() {
+                master.send(req.worker, Reply { assignment: Assignment::Finished }).unwrap();
+                served += 1;
+            }
+        }
+        for h in handles {
+            assert_eq!(h.join().unwrap().assignment, Assignment::Finished);
+        }
+    }
+}

@@ -1,0 +1,54 @@
+//! Message transports connecting slaves to the master.
+//!
+//! Two interchangeable implementations of the same request/reply
+//! protocol:
+//!
+//! - [`channels`] — crossbeam channels within one process (fast,
+//!   deterministic; the default for tests and benches);
+//! - [`tcp`] — localhost TCP sockets with length-prefixed frames
+//!   (demonstrates the protocol across a real network stack, standing
+//!   in for the paper's MPI-over-Ethernet).
+
+pub mod channels;
+pub mod tcp;
+
+use crate::protocol::{Reply, Request};
+
+/// Transport error (disconnected peer, I/O failure, malformed frame).
+#[derive(Debug)]
+pub struct TransportError(pub String);
+
+impl std::fmt::Display for TransportError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "transport error: {}", self.0)
+    }
+}
+
+impl std::error::Error for TransportError {}
+
+/// What the master's receive path can produce.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Inbound {
+    /// A worker's request.
+    Request(Request),
+    /// A worker's connection dropped (thread exit, socket EOF, crash).
+    /// Reported exactly once per worker; the master should requeue any
+    /// chunk that worker still held.
+    Disconnected(usize),
+}
+
+/// The master's view: receive any worker's request, reply to a worker.
+pub trait MasterTransport: Send {
+    /// Blocks for the next inbound event from any worker.
+    fn recv(&mut self) -> Result<Inbound, TransportError>;
+    /// Sends a reply to a specific worker.
+    fn send(&mut self, worker: usize, reply: Reply) -> Result<(), TransportError>;
+}
+
+/// A worker's view: send requests, await replies.
+pub trait WorkerTransport: Send {
+    /// Sends a request to the master.
+    fn send_request(&mut self, req: Request) -> Result<(), TransportError>;
+    /// Blocks for the master's reply.
+    fn recv_reply(&mut self) -> Result<Reply, TransportError>;
+}

@@ -1,0 +1,272 @@
+//! Localhost TCP transport with length-prefixed frames.
+//!
+//! The master binds an ephemeral port; each worker opens one
+//! connection. Frames are `u32` big-endian length + payload, carrying
+//! the [`crate::protocol`] encodings. Per-connection reader threads
+//! funnel decoded requests into one crossbeam channel so the master
+//! sees the same serialized request stream as with the in-process
+//! transport — the moral equivalent of the paper's single MPI receive
+//! loop.
+
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+
+use crossbeam::channel::{unbounded, Receiver};
+
+use super::{Inbound, MasterTransport, TransportError, WorkerTransport};
+use crate::protocol::{Reply, Request};
+
+fn write_frame(stream: &mut TcpStream, payload: &[u8]) -> std::io::Result<()> {
+    let len = u32::try_from(payload.len()).expect("frame too large");
+    stream.write_all(&len.to_be_bytes())?;
+    stream.write_all(payload)?;
+    stream.flush()
+}
+
+/// Upper bound on a frame payload (a full 4000-column Mandelbrot
+/// result is ~32 MB of checksums; anything bigger is a corrupt or
+/// hostile length prefix, not a message — reject it instead of
+/// attempting the allocation).
+const MAX_FRAME_BYTES: usize = 64 * 1024 * 1024;
+
+fn read_frame(stream: &mut TcpStream) -> std::io::Result<Vec<u8>> {
+    let mut len_buf = [0u8; 4];
+    stream.read_exact(&mut len_buf)?;
+    let len = u32::from_be_bytes(len_buf) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::InvalidData,
+            format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"),
+        ));
+    }
+    let mut payload = vec![0u8; len];
+    stream.read_exact(&mut payload)?;
+    Ok(payload)
+}
+
+/// Master endpoint over TCP.
+pub struct TcpMaster {
+    inbox: Receiver<Inbound>,
+    /// Write halves, indexed by worker id.
+    streams: Vec<TcpStream>,
+}
+
+/// Worker endpoint over TCP.
+pub struct TcpWorker {
+    stream: TcpStream,
+}
+
+/// Binds a listener, hands out its address, then accepts exactly `p`
+/// workers (identified by the worker id in their first frame, which is
+/// re-queued as a normal request).
+///
+/// Returns `(master, addr_handle)` where workers connect via
+/// [`TcpWorker::connect`] to `addr_handle`.
+pub struct TcpListenerHandle {
+    listener: TcpListener,
+    /// The address workers should dial.
+    pub addr: SocketAddr,
+}
+
+/// Starts listening on an ephemeral localhost port.
+pub fn tcp_listen() -> Result<TcpListenerHandle, TransportError> {
+    tcp_listen_on("127.0.0.1", 0)
+}
+
+/// Starts listening on an explicit host/port (0 = ephemeral) — used by
+/// the `lss master` command so separate worker *processes* can dial in.
+pub fn tcp_listen_on(host: &str, port: u16) -> Result<TcpListenerHandle, TransportError> {
+    let listener = TcpListener::bind((host, port))
+        .map_err(|e| TransportError(format!("bind {host}:{port} failed: {e}")))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| TransportError(format!("no local addr: {e}")))?;
+    Ok(TcpListenerHandle { listener, addr })
+}
+
+impl TcpListenerHandle {
+    /// Accepts `p` worker connections and builds the master endpoint.
+    ///
+    /// Each accepted connection must first send a normal request frame
+    /// (its `worker` field identifies the connection); that request is
+    /// delivered through the inbox like any other.
+    pub fn accept_workers(self, p: usize) -> Result<TcpMaster, TransportError> {
+        assert!(p >= 1, "need at least one worker");
+        let (tx, rx) = unbounded::<Inbound>();
+        let mut streams: Vec<Option<TcpStream>> = (0..p).map(|_| None).collect();
+        let mut pending = Vec::new();
+        for _ in 0..p {
+            let (mut stream, _) = self
+                .listener
+                .accept()
+                .map_err(|e| TransportError(format!("accept failed: {e}")))?;
+            // First frame identifies the worker.
+            let payload = read_frame(&mut stream)
+                .map_err(|e| TransportError(format!("handshake read failed: {e}")))?;
+            let req = Request::decode(&payload)
+                .ok_or_else(|| TransportError("malformed handshake request".into()))?;
+            let id = req.worker;
+            if id >= p || streams[id].is_some() {
+                return Err(TransportError(format!("bad worker id {id} in handshake")));
+            }
+            streams[id] = Some(
+                stream
+                    .try_clone()
+                    .map_err(|e| TransportError(format!("clone failed: {e}")))?,
+            );
+            pending.push(req);
+            // Reader thread for subsequent requests on this connection;
+            // socket EOF / errors surface as a disconnect notice so the
+            // master can requeue the worker's outstanding chunk.
+            let tx = tx.clone();
+            std::thread::spawn(move || {
+                while let Ok(payload) = read_frame(&mut stream) {
+                    match Request::decode(&payload) {
+                        Some(req) => {
+                            if tx.send(Inbound::Request(req)).is_err() {
+                                return; // master gone; nobody to notify
+                            }
+                        }
+                        None => break, // malformed frame: treat as dead
+                    }
+                }
+                let _ = tx.send(Inbound::Disconnected(id));
+            });
+        }
+        // Deliver the handshake requests in arrival order.
+        for req in pending {
+            tx.send(Inbound::Request(req))
+                .map_err(|e| TransportError(format!("inbox closed: {e}")))?;
+        }
+        Ok(TcpMaster {
+            inbox: rx,
+            streams: streams.into_iter().map(|s| s.expect("all slots filled")).collect(),
+        })
+    }
+}
+
+impl TcpWorker {
+    /// Connects to the master and sends the identifying first request.
+    pub fn connect(addr: SocketAddr, first: Request) -> Result<Self, TransportError> {
+        let mut stream = TcpStream::connect(addr)
+            .map_err(|e| TransportError(format!("connect failed: {e}")))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| TransportError(format!("nodelay failed: {e}")))?;
+        write_frame(&mut stream, &first.encode())
+            .map_err(|e| TransportError(format!("handshake send failed: {e}")))?;
+        Ok(TcpWorker { stream })
+    }
+}
+
+impl MasterTransport for TcpMaster {
+    fn recv(&mut self) -> Result<Inbound, TransportError> {
+        self.inbox
+            .recv()
+            .map_err(|e| TransportError(format!("all workers disconnected: {e}")))
+    }
+
+    fn send(&mut self, worker: usize, reply: Reply) -> Result<(), TransportError> {
+        let stream = self
+            .streams
+            .get_mut(worker)
+            .ok_or_else(|| TransportError(format!("unknown worker {worker}")))?;
+        write_frame(stream, &reply.encode())
+            .map_err(|e| TransportError(format!("send to {worker} failed: {e}")))
+    }
+}
+
+impl WorkerTransport for TcpWorker {
+    fn send_request(&mut self, req: Request) -> Result<(), TransportError> {
+        write_frame(&mut self.stream, &req.encode())
+            .map_err(|e| TransportError(format!("request send failed: {e}")))
+    }
+
+    fn recv_reply(&mut self) -> Result<Reply, TransportError> {
+        let payload = read_frame(&mut self.stream)
+            .map_err(|e| TransportError(format!("reply read failed: {e}")))?;
+        Reply::decode(&payload).ok_or_else(|| TransportError("malformed reply".into()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lss_core::chunk::Chunk;
+    use lss_core::master::Assignment;
+
+    #[test]
+    fn tcp_roundtrip_two_workers() {
+        let handle = tcp_listen().unwrap();
+        let addr = handle.addr;
+        let workers: Vec<_> = (0..2)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let mut w = TcpWorker::connect(
+                        addr,
+                        Request { worker: i, q: 1, result: None },
+                    )
+                    .unwrap();
+                    let r1 = w.recv_reply().unwrap();
+                    // Acknowledge with a piggy-backed result.
+                    if let Assignment::Chunk(c) = r1.assignment {
+                        let values = vec![7; c.len as usize];
+                        w.send_request(Request {
+                            worker: i,
+                            q: 2,
+                            result: Some(crate::protocol::ChunkResult::new(c, values)),
+                        })
+                        .unwrap();
+                    }
+                    let r2 = w.recv_reply().unwrap();
+                    (r1, r2)
+                })
+            })
+            .collect();
+
+        let mut master = handle.accept_workers(2).unwrap();
+        let next_request = |m: &mut TcpMaster| loop {
+            match m.recv().unwrap() {
+                Inbound::Request(r) => return r,
+                Inbound::Disconnected(_) => {}
+            }
+        };
+        // Serve the two handshake requests with chunks.
+        for k in 0..2 {
+            let req = next_request(&mut master);
+            assert!(req.result.is_none());
+            master
+                .send(
+                    req.worker,
+                    Reply { assignment: Assignment::Chunk(Chunk::new(k * 10, 3)) },
+                )
+                .unwrap();
+        }
+        // Serve the two piggy-backed follow-ups with Finished.
+        for _ in 0..2 {
+            let req = next_request(&mut master);
+            let res = req.result.expect("piggy-backed result");
+            assert_eq!(res.values, vec![7, 7, 7]);
+            assert_eq!(req.q, 2);
+            master.send(req.worker, Reply { assignment: Assignment::Finished }).unwrap();
+        }
+        for w in workers {
+            let (r1, r2) = w.join().unwrap();
+            assert!(matches!(r1.assignment, Assignment::Chunk(_)));
+            assert_eq!(r2.assignment, Assignment::Finished);
+        }
+    }
+
+    #[test]
+    fn bad_handshake_id_rejected() {
+        let handle = tcp_listen().unwrap();
+        let addr = handle.addr;
+        let t = std::thread::spawn(move || {
+            // Claims worker id 9 but only 1 slot exists.
+            let _w = TcpWorker::connect(addr, Request { worker: 9, q: 1, result: None });
+        });
+        let res = handle.accept_workers(1);
+        assert!(res.is_err());
+        t.join().unwrap();
+    }
+}

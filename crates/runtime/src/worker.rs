@@ -1,0 +1,246 @@
+//! The slave loop — the paper's slave algorithm (§3.1) verbatim:
+//!
+//! 1. Obtain the run-queue length `Q_i` (here: sample the
+//!    [`LoadState`]).
+//! 2. Send a request (with `Q_i` and the previous chunk's piggy-backed
+//!    results) to the master.
+//! 3. Wait for a reply; if more tasks arrive, compute them and go to 1;
+//!    on a retry notice back off and go to 1; else terminate.
+//!
+//! Heterogeneity emulation: a worker with `slowdown = s` executes every
+//! iteration `s` times; non-dedication multiplies that by the current
+//! run-queue length `Q` (the equal-share assumption made mechanical, so
+//! a `Q = 3` worker really takes 3× longer per iteration).
+
+use std::time::{Duration, Instant};
+
+use lss_core::master::Assignment;
+use lss_workloads::Workload;
+
+use crate::load::LoadState;
+use crate::protocol::{ChunkResult, Reply, Request};
+use crate::transport::{TransportError, WorkerTransport};
+
+/// Static configuration of one worker.
+#[derive(Debug, Clone)]
+pub struct WorkerConfig {
+    /// Dense worker id.
+    pub id: usize,
+    /// Speed handicap: iterations are executed `slowdown` times
+    /// (1 = fast PE; 3 ≈ the paper's slow UltraSPARC 1).
+    pub slowdown: u32,
+    /// Shared run-queue state.
+    pub load: LoadState,
+    /// Back-off before re-requesting after a retry notice.
+    pub retry_backoff: Duration,
+    /// Failure injection: crash (return without reporting) after
+    /// computing this many chunks. `None` = healthy worker.
+    pub fail_after_chunks: Option<u64>,
+}
+
+impl WorkerConfig {
+    /// A dedicated full-speed worker.
+    pub fn fast(id: usize) -> Self {
+        WorkerConfig {
+            id,
+            slowdown: 1,
+            load: LoadState::dedicated(),
+            retry_backoff: Duration::from_millis(10),
+            fail_after_chunks: None,
+        }
+    }
+}
+
+/// Wall-clock accounting gathered by a worker, mirroring the tables'
+/// `T_com / T_wait / T_comp`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct WorkerStats {
+    /// Time in transport sends (requests + piggy-backed results).
+    pub t_com: Duration,
+    /// Time blocked on the master (reply latency + retry back-offs).
+    pub t_wait: Duration,
+    /// Time executing iterations.
+    pub t_comp: Duration,
+    /// Iterations executed.
+    pub iterations: u64,
+    /// Chunks received.
+    pub chunks: u64,
+}
+
+/// Runs the slave loop to completion.
+///
+/// `first_request_sent` is true when the transport's connection
+/// handshake already delivered the initial request (the TCP transport
+/// does this); the loop then starts by awaiting the reply.
+pub fn run_worker<T: WorkerTransport>(
+    mut transport: T,
+    cfg: &WorkerConfig,
+    workload: &dyn Workload,
+    first_request_sent: bool,
+) -> Result<WorkerStats, TransportError> {
+    assert!(cfg.slowdown >= 1, "slowdown must be at least 1");
+    let mut stats = WorkerStats::default();
+    let mut pending_result: Option<ChunkResult> = None;
+    let mut skip_send = first_request_sent;
+
+    loop {
+        if !skip_send {
+            let q = cfg.load.q();
+            let t0 = Instant::now();
+            transport.send_request(Request {
+                worker: cfg.id,
+                q,
+                result: pending_result.take(),
+            })?;
+            stats.t_com += t0.elapsed();
+        } else {
+            skip_send = false;
+        }
+
+        let t1 = Instant::now();
+        let Reply { assignment } = transport.recv_reply()?;
+        stats.t_wait += t1.elapsed();
+
+        match assignment {
+            Assignment::Chunk(chunk) => {
+                if cfg.fail_after_chunks == Some(stats.chunks) {
+                    // Injected crash: vanish mid-run without reporting.
+                    // Dropping the transport is what the master sees.
+                    return Ok(stats);
+                }
+                let t2 = Instant::now();
+                let reps = cfg.slowdown as u64 * cfg.load.q() as u64;
+                let values: Vec<u64> = chunk
+                    .iter()
+                    .map(|i| {
+                        let v = workload.execute(i);
+                        for _ in 1..reps {
+                            std::hint::black_box(workload.execute(i));
+                        }
+                        v
+                    })
+                    .collect();
+                stats.t_comp += t2.elapsed();
+                stats.iterations += chunk.len;
+                stats.chunks += 1;
+                pending_result = Some(ChunkResult::new(chunk, values));
+            }
+            Assignment::Retry => {
+                std::thread::sleep(cfg.retry_backoff);
+                stats.t_wait += cfg.retry_backoff;
+            }
+            Assignment::Finished => return Ok(stats),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Reply;
+    use lss_core::chunk::Chunk;
+    use lss_workloads::UniformLoop;
+
+    /// A scripted transport: hands out canned replies, records requests.
+    struct Script {
+        replies: Vec<Reply>,
+        sent: Vec<Request>,
+    }
+
+    impl WorkerTransport for Script {
+        fn send_request(&mut self, req: Request) -> Result<(), TransportError> {
+            self.sent.push(req);
+            Ok(())
+        }
+        fn recv_reply(&mut self) -> Result<Reply, TransportError> {
+            if self.replies.is_empty() {
+                return Err(TransportError("script exhausted".into()));
+            }
+            Ok(self.replies.remove(0))
+        }
+    }
+
+    #[test]
+    fn worker_computes_and_piggybacks() {
+        let script = Script {
+            replies: vec![
+                Reply { assignment: Assignment::Chunk(Chunk::new(0, 3)) },
+                Reply { assignment: Assignment::Finished },
+            ],
+            sent: Vec::new(),
+        };
+        let w = UniformLoop::new(10, 100);
+        let cfg = WorkerConfig::fast(0);
+        // Run through a transport we can inspect afterwards.
+        let mut recorded = Vec::new();
+        struct Tap<'a>(Script, &'a mut Vec<Request>);
+        impl WorkerTransport for Tap<'_> {
+            fn send_request(&mut self, req: Request) -> Result<(), TransportError> {
+                self.1.push(req.clone());
+                self.0.send_request(req)
+            }
+            fn recv_reply(&mut self) -> Result<Reply, TransportError> {
+                self.0.recv_reply()
+            }
+        }
+        let stats = run_worker(Tap(script, &mut recorded), &cfg, &w, false).unwrap();
+        assert_eq!(stats.iterations, 3);
+        assert_eq!(stats.chunks, 1);
+        assert_eq!(recorded.len(), 2);
+        assert!(recorded[0].result.is_none(), "first request carries no result");
+        let res = recorded[1].result.as_ref().expect("piggy-backed result");
+        assert_eq!(res.chunk, Chunk::new(0, 3));
+        assert_eq!(res.values.len(), 3);
+        assert_eq!(res.values[1], w.execute(1));
+    }
+
+    #[test]
+    fn worker_retries_then_finishes() {
+        let script = Script {
+            replies: vec![
+                Reply { assignment: Assignment::Retry },
+                Reply { assignment: Assignment::Finished },
+            ],
+            sent: Vec::new(),
+        };
+        let w = UniformLoop::new(1, 1);
+        let mut cfg = WorkerConfig::fast(0);
+        cfg.retry_backoff = Duration::from_millis(1);
+        let stats = run_worker(script, &cfg, &w, false).unwrap();
+        assert_eq!(stats.iterations, 0);
+        assert!(stats.t_wait >= Duration::from_millis(1));
+    }
+
+    #[test]
+    fn slowdown_multiplies_compute_time() {
+        let w = UniformLoop::new(64, 20_000);
+        let run = |slowdown| {
+            let script = Script {
+                replies: vec![
+                    Reply { assignment: Assignment::Chunk(Chunk::new(0, 64)) },
+                    Reply { assignment: Assignment::Finished },
+                ],
+                sent: Vec::new(),
+            };
+            let cfg = WorkerConfig {
+                id: 0,
+                slowdown,
+                load: LoadState::dedicated(),
+                retry_backoff: Duration::from_millis(1),
+                fail_after_chunks: None,
+            };
+            run_worker(script, &cfg, &w, false).unwrap().t_comp
+        };
+        let fast = run(1);
+        let slow = run(4);
+        let ratio = slow.as_secs_f64() / fast.as_secs_f64().max(1e-9);
+        assert!(ratio > 2.0, "slowdown 4 should be ≫ 1×, got {ratio:.2}");
+    }
+
+    #[test]
+    fn transport_failure_surfaces() {
+        let script = Script { replies: vec![], sent: Vec::new() };
+        let w = UniformLoop::new(1, 1);
+        assert!(run_worker(script, &WorkerConfig::fast(0), &w, false).is_err());
+    }
+}

@@ -1,0 +1,360 @@
+//! Cluster hardware descriptions, with presets for the paper's testbed.
+//!
+//! §5.1: *"The master is a Sun UltraSPARC 10 with 440 MHz CPU speed and
+//! 384 MB of physical memory. Three of the slaves are also Sun
+//! UltraSPARC 10, but with 128 MB of physical memory, and the remaining
+//! five slaves are Sun UltraSPARC 1 with 166 MHz CPU speed and 64 MB of
+//! physical memory. The LAN bandwidth is … 10 Mbits/sec for the slow
+//! slaves and 100 Mbits/sec for the fast slaves."*
+//!
+//! PE speed is expressed in *basic operations per second*, where one
+//! basic operation is one unit of [`lss_workloads::Workload::cost`]
+//! (for Mandelbrot: one escape-time iteration). The fast/slow speed
+//! ratio is 440/166 ≈ 2.65 — the paper rounds it to "about 3 times
+//! faster". Absolute speeds are calibrated so that the sequential
+//! Mandelbrot 4000×2000 run takes on the order of a minute on a fast
+//! PE, putting `T_p` in the paper's range of tens of seconds.
+
+use crate::time::SimTime;
+use lss_core::power::VirtualPower;
+
+/// A network link between a slave and the master.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkSpec {
+    /// Usable bandwidth in bytes/second.
+    pub bandwidth: f64,
+    /// One-way message latency (propagation + protocol overhead).
+    pub latency: SimTime,
+}
+
+impl LinkSpec {
+    /// 100 Mbit/s Ethernet (fast slaves): 12.5 MB/s, 1 ms latency.
+    pub fn fast_ethernet() -> Self {
+        LinkSpec {
+            bandwidth: 12.5e6,
+            latency: SimTime::from_millis(1),
+        }
+    }
+
+    /// 10 Mbit/s Ethernet (slow slaves): 1.25 MB/s, 1 ms latency.
+    pub fn slow_ethernet() -> Self {
+        LinkSpec {
+            bandwidth: 1.25e6,
+            latency: SimTime::from_millis(1),
+        }
+    }
+
+    /// Wire time for `bytes` over this link (latency + serialization).
+    pub fn transfer_time(&self, bytes: u64) -> SimTime {
+        assert!(self.bandwidth > 0.0, "link bandwidth must be positive");
+        self.latency + SimTime::from_secs_f64(bytes as f64 / self.bandwidth)
+    }
+}
+
+/// A slave processing element.
+#[derive(Debug, Clone)]
+pub struct PeSpec {
+    /// Human-readable name ("US10", "US1", …).
+    pub name: String,
+    /// Basic operations per second when dedicated.
+    pub speed: f64,
+    /// Relative (virtual) power — input to the distributed schemes and
+    /// to weighted allocations. Consistency with `speed` is the
+    /// operator's responsibility, mirroring reality (the paper: "the PE
+    /// speeds are not precise").
+    pub virtual_power: VirtualPower,
+    /// Link to the master.
+    pub link: LinkSpec,
+    /// Shared-medium id: slaves with the same `Some(id)` contend for
+    /// one half-duplex segment (era-accurate for 10 Mbit hubs — "the
+    /// LAN bandwidth is 10 Mbits/sec for the slow slaves"); `None`
+    /// means a dedicated (switched) link.
+    pub segment: Option<u8>,
+}
+
+/// Calibrated speed of a fast slave (UltraSPARC 10, 440 MHz) in basic
+/// operations per second — chosen so the sequential Mandelbrot
+/// 4000×2000 run (`max_iter = 64`) takes ~60 s, the magnitude implied
+/// by the paper's `T_p` range and speedups.
+pub const FAST_SPEED: f64 = 2.0e6;
+/// Fast-to-slow speed ratio (440 MHz / 166 MHz).
+pub const SPEED_RATIO: f64 = 440.0 / 166.0;
+
+impl PeSpec {
+    /// A fast slave: UltraSPARC 10 class on switched 100 Mbit Ethernet.
+    pub fn paper_fast() -> Self {
+        PeSpec {
+            name: "US10".into(),
+            speed: FAST_SPEED,
+            virtual_power: VirtualPower::new(SPEED_RATIO),
+            link: LinkSpec::fast_ethernet(),
+            segment: None,
+        }
+    }
+
+    /// A slow slave: UltraSPARC 1 class on the shared 10 Mbit segment
+    /// (segment 0 — all slow slaves contend for the same hub).
+    pub fn paper_slow() -> Self {
+        PeSpec {
+            name: "US1".into(),
+            speed: FAST_SPEED / SPEED_RATIO,
+            virtual_power: VirtualPower::new(1.0),
+            link: LinkSpec::slow_ethernet(),
+            segment: Some(0),
+        }
+    }
+}
+
+/// Tracks shared-segment occupancy during one simulated run.
+///
+/// Dedicated (switched) links transfer immediately; slaves on the same
+/// segment serialize — a transfer must wait for the medium, and that
+/// wait is communication time from the slave's perspective (it is
+/// blocked in the network stack).
+#[derive(Debug, Clone, Default)]
+pub struct Network {
+    /// When each segment id becomes free.
+    seg_free: Vec<SimTime>,
+}
+
+impl Network {
+    /// A fresh network with all segments idle.
+    pub fn new() -> Self {
+        Network::default()
+    }
+
+    /// Schedules a transfer of `bytes` for `pe` starting no earlier
+    /// than `now`. Returns `(arrival, com_time)`: when the message
+    /// lands, and the total time the slave spends communicating
+    /// (medium wait + wire time).
+    pub fn transfer(&mut self, pe: &PeSpec, bytes: u64, now: SimTime) -> (SimTime, SimTime) {
+        let wire = pe.link.transfer_time(bytes);
+        match pe.segment {
+            None => (now + wire, wire),
+            Some(id) => {
+                let id = id as usize;
+                if self.seg_free.len() <= id {
+                    self.seg_free.resize(id + 1, SimTime::ZERO);
+                }
+                let start = now.max(self.seg_free[id]);
+                self.seg_free[id] = start + wire;
+                let arrival = start + wire;
+                (arrival, arrival - now)
+            }
+        }
+    }
+}
+
+/// The master PE: it only schedules and collects.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MasterSpec {
+    /// CPU time to service one request (compute the chunk, bookkeeping,
+    /// MPI receive/send overheads).
+    pub service_time: SimTime,
+    /// Bandwidth at which the master ingests piggy-backed result
+    /// payloads (its NIC); receiving serializes with servicing, which
+    /// is what makes slaves "contend for master access" (§5).
+    pub rx_bandwidth: f64,
+}
+
+impl MasterSpec {
+    /// The paper-calibrated master: 1 ms per request, 12.5 MB/s NIC.
+    pub fn paper_master() -> Self {
+        MasterSpec {
+            service_time: SimTime::from_millis(1),
+            rx_bandwidth: 12.5e6,
+        }
+    }
+
+    /// Master busy time for one inbound message carrying `bytes` of
+    /// piggy-backed payload.
+    pub fn occupancy(&self, payload_bytes: u64) -> SimTime {
+        self.service_time + SimTime::from_secs_f64(payload_bytes as f64 / self.rx_bandwidth)
+    }
+}
+
+/// A full cluster: one master plus `p` slaves.
+#[derive(Debug, Clone)]
+pub struct ClusterSpec {
+    /// The master.
+    pub master: MasterSpec,
+    /// The slaves, in PE order (`PE_1 … PE_p` of the tables).
+    pub slaves: Vec<PeSpec>,
+}
+
+impl ClusterSpec {
+    /// Builds a cluster of `fast` fast and `slow` slow slaves (fast PEs
+    /// listed first, matching "PE_i for i = 1, 2, 3 are the fast PEs").
+    pub fn paper_mix(fast: usize, slow: usize) -> Self {
+        assert!(fast + slow >= 1, "need at least one slave");
+        let mut slaves = Vec::with_capacity(fast + slow);
+        for _ in 0..fast {
+            slaves.push(PeSpec::paper_fast());
+        }
+        for _ in 0..slow {
+            slaves.push(PeSpec::paper_slow());
+        }
+        ClusterSpec {
+            master: MasterSpec::paper_master(),
+            slaves,
+        }
+    }
+
+    /// The Table 2/3 cluster: 3 fast + 5 slow slaves.
+    pub fn paper_p8() -> Self {
+        Self::paper_mix(3, 5)
+    }
+
+    /// The speedup-figure configurations (§5.1/§6.1): `p = 1` → 1 fast;
+    /// `p = 2` → 1 fast + 1 slow; `p = 4` → 2 fast + 2 slow; `p = 8` →
+    /// 3 fast + 5 slow. Other `p` interpolate with the same flavor
+    /// (⌈p/2⌉ fast for p < 8, capped at 3 fast).
+    pub fn paper_config(p: usize) -> Self {
+        assert!(p >= 1, "need at least one slave");
+        let fast = match p {
+            1 => 1,
+            2 => 1,
+            3 => 2,
+            4 => 2,
+            _ => 3.min(p),
+        };
+        Self::paper_mix(fast, p - fast)
+    }
+
+    /// Number of slaves.
+    pub fn num_slaves(&self) -> usize {
+        self.slaves.len()
+    }
+
+    /// The virtual powers, in PE order.
+    pub fn virtual_powers(&self) -> Vec<VirtualPower> {
+        self.slaves.iter().map(|s| s.virtual_power).collect()
+    }
+
+    /// The speed of the fastest slave (used as the speedup baseline).
+    pub fn fastest_speed(&self) -> f64 {
+        self.slaves.iter().map(|s| s.speed).fold(0.0, f64::max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn link_transfer_time() {
+        let l = LinkSpec::slow_ethernet();
+        // 1.25 MB at 1.25 MB/s = 1 s + 1 ms latency.
+        let t = l.transfer_time(1_250_000);
+        assert!((t.as_secs_f64() - 1.001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fast_link_is_ten_times_quicker() {
+        let f = LinkSpec::fast_ethernet().transfer_time(10_000_000);
+        let s = LinkSpec::slow_ethernet().transfer_time(10_000_000);
+        let ratio = (s.as_secs_f64() - 0.001) / (f.as_secs_f64() - 0.001);
+        assert!((ratio - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn speed_ratio_matches_clock_ratio() {
+        let fast = PeSpec::paper_fast();
+        let slow = PeSpec::paper_slow();
+        assert!((fast.speed / slow.speed - SPEED_RATIO).abs() < 1e-9);
+        assert!((fast.virtual_power.get() - SPEED_RATIO).abs() < 1e-9);
+        assert_eq!(slow.virtual_power.get(), 1.0);
+    }
+
+    #[test]
+    fn paper_p8_composition() {
+        let c = ClusterSpec::paper_p8();
+        assert_eq!(c.num_slaves(), 8);
+        assert_eq!(c.slaves.iter().filter(|s| s.name == "US10").count(), 3);
+        // Fast PEs come first, as in the tables' "PE_1..PE_3 are fast".
+        assert_eq!(c.slaves[0].name, "US10");
+        assert_eq!(c.slaves[3].name, "US1");
+    }
+
+    #[test]
+    fn figure_configs() {
+        assert_eq!(ClusterSpec::paper_config(1).num_slaves(), 1);
+        let p2 = ClusterSpec::paper_config(2);
+        assert_eq!(p2.slaves.iter().filter(|s| s.name == "US10").count(), 1);
+        let p4 = ClusterSpec::paper_config(4);
+        assert_eq!(p4.slaves.iter().filter(|s| s.name == "US10").count(), 2);
+        let p8 = ClusterSpec::paper_config(8);
+        assert_eq!(p8.slaves.iter().filter(|s| s.name == "US10").count(), 3);
+    }
+
+    #[test]
+    fn master_occupancy_includes_payload() {
+        let m = MasterSpec::paper_master();
+        let idle = m.occupancy(0);
+        assert_eq!(idle, SimTime::from_millis(1));
+        let with_data = m.occupancy(12_500_000);
+        assert!((with_data.as_secs_f64() - 1.001).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fastest_speed_is_fast_pe() {
+        let c = ClusterSpec::paper_p8();
+        assert_eq!(c.fastest_speed(), FAST_SPEED);
+    }
+}
+
+#[cfg(test)]
+mod network_tests {
+    use super::*;
+
+    #[test]
+    fn dedicated_links_never_queue() {
+        let mut net = Network::new();
+        let pe = PeSpec::paper_fast();
+        let t0 = SimTime::ZERO;
+        let (a1, c1) = net.transfer(&pe, 12_500_000, t0);
+        let (a2, c2) = net.transfer(&pe, 12_500_000, t0);
+        // Both "start" at t0: switched links are independent per call.
+        assert_eq!(a1, a2);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn shared_segment_serializes() {
+        let mut net = Network::new();
+        let pe = PeSpec::paper_slow();
+        let t0 = SimTime::ZERO;
+        // 1.25 MB at 1.25 MB/s = 1 s wire (+1 ms latency).
+        let (a1, c1) = net.transfer(&pe, 1_250_000, t0);
+        let (a2, c2) = net.transfer(&pe, 1_250_000, t0);
+        assert!((c1.as_secs_f64() - 1.001).abs() < 1e-9);
+        // Second transfer waits for the first: lands ~2 s in.
+        assert!(a2 > a1);
+        assert!((c2.as_secs_f64() - 2.002).abs() < 1e-9, "{c2}");
+        assert!((a2.as_secs_f64() - 2.002).abs() < 1e-9);
+    }
+
+    #[test]
+    fn segments_are_independent() {
+        let mut net = Network::new();
+        let mut a = PeSpec::paper_slow();
+        let mut b = PeSpec::paper_slow();
+        a.segment = Some(0);
+        b.segment = Some(1);
+        let (t_a, _) = net.transfer(&a, 1_250_000, SimTime::ZERO);
+        let (t_b, _) = net.transfer(&b, 1_250_000, SimTime::ZERO);
+        assert_eq!(t_a, t_b, "different segments must not contend");
+    }
+
+    #[test]
+    fn idle_segment_frees_up() {
+        let mut net = Network::new();
+        let pe = PeSpec::paper_slow();
+        let (_, _) = net.transfer(&pe, 1_250_000, SimTime::ZERO);
+        // Much later, no queueing remains.
+        let late = SimTime::from_secs_f64(100.0);
+        let (arrival, com) = net.transfer(&pe, 1_250_000, late);
+        assert!((com.as_secs_f64() - 1.001).abs() < 1e-9);
+        assert_eq!(arrival, late + com);
+    }
+}

@@ -1,0 +1,583 @@
+//! Discrete-event simulation of the master–slave self-scheduling
+//! protocol (§5 of the paper).
+//!
+//! The simulated protocol is exactly the paper's implementation:
+//!
+//! 1. An idle slave sends a request to the master. Every request except
+//!    the first **piggy-backs the result data of the previous chunk**
+//!    (§5: this overlaps computation with communication and beat
+//!    collect-at-the-end in the authors' tests).
+//! 2. The master serves requests in arrival order, one at a time — it
+//!    is busy for the receive time of the piggy-backed payload plus a
+//!    fixed per-request service time, which is what makes slaves
+//!    "contend for master access".
+//! 3. The reply carries the interval of iterations to execute (or a
+//!    terminate notice). The slave computes at `speed / Q(t)` under its
+//!    load trace, then goes to 1.
+//!
+//! Per-slave accounting matches the tables: wire time → `T_com`,
+//! master queueing/service and terminal idling → `T_wait`, execution →
+//! `T_comp`; `T_p` is the time the last slave terminates (the
+//! master-observed makespan).
+
+use std::cmp::Reverse;
+use std::collections::{BinaryHeap, VecDeque};
+
+use lss_core::chunk::Chunk;
+use lss_core::master::{Assignment, Master, MasterConfig};
+use lss_core::power::AcpConfig;
+use lss_core::SchemeKind;
+use lss_metrics::breakdown::{RunReport, TimeBreakdown};
+use lss_workloads::Workload;
+
+use crate::cluster::{ClusterSpec, Network};
+use crate::load::LoadTrace;
+use crate::time::SimTime;
+
+/// Configuration of one simulated run.
+#[derive(Debug, Clone)]
+pub struct SimConfig {
+    /// The cluster to run on.
+    pub cluster: ClusterSpec,
+    /// The scheduling scheme under test.
+    pub scheme: SchemeKind,
+    /// ACP derivation rule for the distributed schemes.
+    pub acp: AcpConfig,
+    /// Size of a request message (sans piggy-backed payload).
+    pub request_bytes: u64,
+    /// Size of a reply (chunk descriptor / terminate notice).
+    pub reply_bytes: u64,
+    /// How long an `Unavailable` slave waits before asking again.
+    pub retry_interval: SimTime,
+    /// Hard cap on simulated time — exceeding it panics (livelock
+    /// guard; generous by default).
+    pub max_sim_time: SimTime,
+    /// Override for the distributed schemes' re-plan threshold
+    /// (`None` = the paper's 0.5; `Some(1.0)` disables re-planning —
+    /// the ablation baseline).
+    pub replan_threshold: Option<f64>,
+    /// Per-slave startup cost (process launch, MPI init) before the
+    /// first request is sent, *scaled by the slave's run-queue length*
+    /// — a loaded machine is proportionally slower to join. This is
+    /// why, on the paper's testbed, the decreasing-chunk schemes (TSS)
+    /// protect loaded PEs: their late first requests draw the smaller
+    /// chunks.
+    pub startup_delay: SimTime,
+    /// Maximum extra per-message latency, drawn deterministically from
+    /// `seed` (0 = no jitter). A real LAN's timing noise decides which
+    /// PE wins races for chunks; experiments average several seeds
+    /// rather than reporting one razor-edge deterministic sample.
+    pub jitter: SimTime,
+    /// Seed for the jitter stream.
+    pub seed: u64,
+}
+
+impl SimConfig {
+    /// A config with the paper's message sizes and sane guards.
+    pub fn new(cluster: ClusterSpec, scheme: SchemeKind) -> Self {
+        SimConfig {
+            cluster,
+            scheme,
+            acp: AcpConfig::PAPER,
+            request_bytes: 32,
+            reply_bytes: 32,
+            retry_interval: SimTime::from_millis(250),
+            max_sim_time: SimTime::from_secs_f64(1e5),
+            replan_threshold: None,
+            startup_delay: SimTime::from_millis(100),
+            jitter: SimTime::ZERO,
+            seed: 0,
+        }
+    }
+
+    /// Enables LAN timing noise: up to `jitter` extra latency per
+    /// message, deterministic in `seed`.
+    pub fn with_jitter(mut self, jitter: SimTime, seed: u64) -> Self {
+        self.jitter = jitter;
+        self.seed = seed;
+        self
+    }
+}
+
+/// SplitMix64 — cheap deterministic per-message jitter stream.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+enum Event {
+    /// A slave's request (with piggy-back) reached the master.
+    RequestArrive(usize),
+    /// The master finished servicing a slave's request.
+    ServiceDone(usize),
+    /// The master's reply reached the slave.
+    ReplyArrive(usize),
+    /// The slave finished computing its current chunk.
+    ComputeDone(usize),
+    /// An unavailable slave's back-off timer fired.
+    RetryFire(usize),
+}
+
+#[derive(Debug, Default, Clone)]
+struct SlaveState {
+    t_com: SimTime,
+    t_wait: SimTime,
+    t_comp: SimTime,
+    /// When the in-flight request arrived at the master.
+    arrival: SimTime,
+    /// Piggy-backed payload bytes on the in-flight request.
+    inbound_piggy: u64,
+    /// Reply content in flight towards the slave.
+    pending: Option<Assignment>,
+    /// Chunk currently being computed.
+    current_chunk: Option<Chunk>,
+    finished: bool,
+    finish_time: SimTime,
+}
+
+/// One chunk's life on a PE: which iterations computed when. The
+/// sequence of spans is the data behind a Gantt view of a run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChunkSpan {
+    /// Slave index (`PE_{pe+1}` in table terms).
+    pub pe: usize,
+    /// The iterations computed.
+    pub chunk: Chunk,
+    /// Computation start (the reply arrived).
+    pub start: SimTime,
+    /// Computation end.
+    pub end: SimTime,
+}
+
+/// Runs one scheduled loop execution and reports the paper's metrics.
+///
+/// `traces[i]` is slave `i`'s run-queue trace (use
+/// [`LoadTrace::dedicated`] for the dedicated case).
+///
+/// # Panics
+/// If `traces.len()` differs from the number of slaves, or if the
+/// simulation exceeds `max_sim_time` (livelock guard).
+pub fn simulate(cfg: &SimConfig, workload: &dyn Workload, traces: &[LoadTrace]) -> RunReport {
+    simulate_with_timeline(cfg, workload, traces).0
+}
+
+/// Like [`simulate`], additionally returning the per-chunk compute
+/// spans in assignment order — the data for a Gantt chart of the run.
+pub fn simulate_with_timeline(
+    cfg: &SimConfig,
+    workload: &dyn Workload,
+    traces: &[LoadTrace],
+) -> (RunReport, Vec<ChunkSpan>) {
+    let p = cfg.cluster.num_slaves();
+    assert_eq!(traces.len(), p, "need one load trace per slave");
+
+    let initial_q: Vec<u32> = traces.iter().map(|t| t.q_at(SimTime::ZERO)).collect();
+    let mut master = Master::new(MasterConfig {
+        scheme: cfg.scheme,
+        total: workload.len(),
+        powers: cfg.cluster.virtual_powers(),
+        initial_q,
+        acp: cfg.acp,
+    });
+    if let Some(t) = cfg.replan_threshold {
+        master.set_replan_threshold(t);
+    }
+
+    let mut slaves = vec![SlaveState::default(); p];
+    let mut heap: BinaryHeap<Reverse<(SimTime, u64, Event)>> = BinaryHeap::new();
+    let mut seq = 0u64;
+    let push = |heap: &mut BinaryHeap<_>, t: SimTime, e: Event, seq: &mut u64| {
+        heap.push(Reverse((t, *seq, e)));
+        *seq += 1;
+    };
+    // Deterministic per-message LAN noise in [0, jitter).
+    let mut jseq = 0u64;
+    let jit = |jseq: &mut u64| -> SimTime {
+        *jseq += 1;
+        if cfg.jitter.as_nanos() == 0 {
+            SimTime::ZERO
+        } else {
+            SimTime(splitmix64(cfg.seed ^ *jseq) % cfg.jitter.as_nanos())
+        }
+    };
+    // Shared-segment contention (the slow slaves' 10 Mbit hub).
+    let mut net = Network::new();
+
+    // Kick-off: every slave requests once its process has started —
+    // loaded machines join later (startup shares the CPU).
+    for (s, slave) in slaves.iter_mut().enumerate() {
+        let q0 = traces[s].q_at(SimTime::ZERO) as u64;
+        let start = SimTime(cfg.startup_delay.as_nanos() * q0);
+        let (arrival, com) =
+            net.transfer(&cfg.cluster.slaves[s], cfg.request_bytes, start);
+        let j = jit(&mut jseq);
+        slave.t_wait += start; // not yet joined — counts as idle
+        slave.t_com += com + j;
+        slave.inbound_piggy = 0;
+        push(&mut heap, arrival + j, Event::RequestArrive(s), &mut seq);
+    }
+
+    let mut master_busy = false;
+    let mut master_queue: VecDeque<usize> = VecDeque::new();
+    let mut timeline: Vec<ChunkSpan> = Vec::new();
+
+    while let Some(Reverse((now, _, event))) = heap.pop() {
+        assert!(
+            now <= cfg.max_sim_time,
+            "simulation exceeded {} — scheduling livelock?",
+            cfg.max_sim_time
+        );
+        match event {
+            Event::RequestArrive(s) => {
+                slaves[s].arrival = now;
+                master_queue.push_back(s);
+                if !master_busy {
+                    let s = master_queue.pop_front().expect("just pushed");
+                    master_busy = true;
+                    let dur = cfg.cluster.master.occupancy(slaves[s].inbound_piggy);
+                    push(&mut heap, now + dur, Event::ServiceDone(s), &mut seq);
+                }
+            }
+            Event::ServiceDone(s) => {
+                let q = traces[s].q_at(now);
+                let assignment = master.handle_request(s, q);
+                // Queueing + receive + service all count as waiting on
+                // the master.
+                let queued = now - slaves[s].arrival;
+                slaves[s].t_wait += queued;
+                let (arrival, com) = net.transfer(&cfg.cluster.slaves[s], cfg.reply_bytes, now);
+                let j = jit(&mut jseq);
+                slaves[s].t_com += com + j;
+                slaves[s].pending = Some(assignment);
+                push(&mut heap, arrival + j, Event::ReplyArrive(s), &mut seq);
+                // Serve the next queued request, if any.
+                if let Some(next) = master_queue.pop_front() {
+                    let dur = cfg.cluster.master.occupancy(slaves[next].inbound_piggy);
+                    push(&mut heap, now + dur, Event::ServiceDone(next), &mut seq);
+                } else {
+                    master_busy = false;
+                }
+            }
+            Event::ReplyArrive(s) => {
+                match slaves[s].pending.take().expect("reply without assignment") {
+                    Assignment::Chunk(c) => {
+                        let cost: u64 = c.iter().map(|i| workload.cost(i)).sum();
+                        let fin = traces[s].compute_finish(now, cost, cfg.cluster.slaves[s].speed);
+                        slaves[s].t_comp += fin - now;
+                        slaves[s].current_chunk = Some(c);
+                        timeline.push(ChunkSpan { pe: s, chunk: c, start: now, end: fin });
+                        push(&mut heap, fin, Event::ComputeDone(s), &mut seq);
+                    }
+                    Assignment::Retry => {
+                        slaves[s].t_wait += cfg.retry_interval;
+                        push(&mut heap, now + cfg.retry_interval, Event::RetryFire(s), &mut seq);
+                    }
+                    Assignment::Finished => {
+                        slaves[s].finished = true;
+                        slaves[s].finish_time = now;
+                    }
+                }
+            }
+            Event::ComputeDone(s) => {
+                let c = slaves[s].current_chunk.take().expect("no chunk computed");
+                let piggy: u64 = c.iter().map(|i| workload.result_bytes(i)).sum();
+                let (arrival, com) =
+                    net.transfer(&cfg.cluster.slaves[s], cfg.request_bytes + piggy, now);
+                let j = jit(&mut jseq);
+                slaves[s].t_com += com + j;
+                slaves[s].inbound_piggy = piggy;
+                push(&mut heap, arrival + j, Event::RequestArrive(s), &mut seq);
+            }
+            Event::RetryFire(s) => {
+                let (arrival, com) =
+                    net.transfer(&cfg.cluster.slaves[s], cfg.request_bytes, now);
+                let j = jit(&mut jseq);
+                slaves[s].t_com += com + j;
+                slaves[s].inbound_piggy = 0;
+                push(&mut heap, arrival + j, Event::RequestArrive(s), &mut seq);
+            }
+        }
+    }
+
+    debug_assert!(slaves.iter().all(|s| s.finished), "slave never terminated");
+    let t_p = slaves
+        .iter()
+        .map(|s| s.finish_time)
+        .max()
+        .unwrap_or(SimTime::ZERO);
+    // Early finishers idle until the master sees the last termination.
+    for s in &mut slaves {
+        s.t_wait += t_p.saturating_sub(s.finish_time);
+    }
+
+    let per_pe = slaves
+        .iter()
+        .map(|s| TimeBreakdown {
+            t_com: s.t_com.as_secs_f64(),
+            t_wait: s.t_wait.as_secs_f64(),
+            t_comp: s.t_comp.as_secs_f64(),
+        })
+        .collect();
+    let iterations = (0..p).map(|s| master.iterations_served(s)).collect();
+    let report = RunReport::new(
+        cfg.scheme.name(),
+        per_pe,
+        t_p.as_secs_f64(),
+        master.total_scheduling_steps(),
+        iterations,
+    )
+    .with_plans(master.plans_made());
+    (report, timeline)
+}
+
+/// The sequential baseline `T_1`: the whole loop on one dedicated PE of
+/// the given speed, with no communication at all.
+pub fn sequential_time(workload: &dyn Workload, speed: f64) -> f64 {
+    assert!(speed > 0.0, "speed must be positive");
+    workload.total_cost() as f64 / speed
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cluster::{ClusterSpec, FAST_SPEED};
+    use lss_workloads::{SyntheticWorkload, UniformLoop};
+
+    fn uniform(iters: u64, cost: u64) -> UniformLoop {
+        UniformLoop::new(iters, cost)
+    }
+
+    fn dedicated(p: usize) -> Vec<LoadTrace> {
+        vec![LoadTrace::dedicated(); p]
+    }
+
+    #[test]
+    fn homogeneous_css_splits_work_evenly() {
+        let cluster = ClusterSpec::paper_mix(4, 0);
+        let cfg = SimConfig::new(cluster, SchemeKind::Css { k: 10 });
+        let w = uniform(400, 100_000);
+        let r = simulate(&cfg, &w, &dedicated(4));
+        let total: u64 = r.iterations.iter().sum();
+        assert_eq!(total, 400);
+        for &iters in &r.iterations {
+            assert!((80..=120).contains(&iters), "{:?}", r.iterations);
+        }
+        // T_p ≈ total cost / aggregate speed, plus modest overhead.
+        let ideal = 400.0 * 100_000.0 / (4.0 * FAST_SPEED);
+        assert!(r.t_p > ideal && r.t_p < ideal * 1.5, "t_p {} ideal {ideal}", r.t_p);
+    }
+
+    #[test]
+    fn time_accounting_is_consistent() {
+        let cfg = SimConfig::new(ClusterSpec::paper_mix(2, 2), SchemeKind::Tss);
+        let w = uniform(200, 50_000);
+        let r = simulate(&cfg, &w, &dedicated(4));
+        // After terminal-idle accounting every PE's time sums to ~T_p.
+        for b in &r.per_pe {
+            assert!(
+                (b.total() - r.t_p).abs() < 0.05 * r.t_p + 1e-6,
+                "breakdown {} vs t_p {}",
+                b.total(),
+                r.t_p
+            );
+        }
+    }
+
+    #[test]
+    fn fast_pe_computes_more_under_self_scheduling() {
+        let cfg = SimConfig::new(ClusterSpec::paper_mix(1, 1), SchemeKind::Css { k: 5 });
+        let w = uniform(400, 100_000);
+        let r = simulate(&cfg, &w, &dedicated(2));
+        // Self-scheduling: the fast PE requests more often and ends up
+        // with roughly speed-ratio more iterations.
+        let ratio = r.iterations[0] as f64 / r.iterations[1].max(1) as f64;
+        assert!(ratio > 1.8, "fast/slow iterations ratio {ratio}");
+    }
+
+    #[test]
+    fn distributed_balances_better_than_simple_on_heterogeneous() {
+        // Coarse tasks: the simple scheme's large equal first chunks
+        // turn a slow PE into the straggler; the distributed scheme
+        // scales chunks by ACP and avoids it (the Table 2 vs Table 3
+        // effect).
+        let w = uniform(160, 2_000_000);
+        let simple = simulate(
+            &SimConfig::new(ClusterSpec::paper_p8(), SchemeKind::Tss),
+            &w,
+            &dedicated(8),
+        );
+        let dist = simulate(
+            &SimConfig::new(ClusterSpec::paper_p8(), SchemeKind::Dtss),
+            &w,
+            &dedicated(8),
+        );
+        assert!(
+            dist.t_p < simple.t_p,
+            "DTSS t_p {} !< TSS t_p {}",
+            dist.t_p,
+            simple.t_p
+        );
+        assert!(
+            dist.comp_imbalance() <= simple.comp_imbalance() + 1e-9,
+            "DTSS imbalance {} !<= TSS {}",
+            dist.comp_imbalance(),
+            simple.comp_imbalance()
+        );
+    }
+
+    #[test]
+    fn overload_slows_nonadaptive_more_than_adaptive() {
+        let w = uniform(800, 200_000);
+        let mut traces = dedicated(8);
+        traces[0] = LoadTrace::paper_overloaded();
+        traces[4] = LoadTrace::paper_overloaded();
+        let ded_simple = simulate(
+            &SimConfig::new(ClusterSpec::paper_p8(), SchemeKind::Fss),
+            &w,
+            &dedicated(8),
+        );
+        let non_simple = simulate(
+            &SimConfig::new(ClusterSpec::paper_p8(), SchemeKind::Fss),
+            &w,
+            &traces,
+        );
+        let non_dist = simulate(
+            &SimConfig::new(ClusterSpec::paper_p8(), SchemeKind::Dtss),
+            &w,
+            &traces,
+        );
+        assert!(non_simple.t_p > ded_simple.t_p, "overload must hurt");
+        assert!(
+            non_dist.t_p < non_simple.t_p,
+            "DTSS {} should beat FSS {} when overloaded",
+            non_dist.t_p,
+            non_simple.t_p
+        );
+    }
+
+    #[test]
+    fn deterministic_runs() {
+        let cfg = SimConfig::new(ClusterSpec::paper_p8(), SchemeKind::Tfss);
+        let w = SyntheticWorkload::new((1..=300).map(|i| (i % 37 + 1) * 1000).collect());
+        let a = simulate(&cfg, &w, &dedicated(8));
+        let b = simulate(&cfg, &w, &dedicated(8));
+        assert_eq!(a.t_p, b.t_p);
+        assert_eq!(a.iterations, b.iterations);
+        for (x, y) in a.per_pe.iter().zip(&b.per_pe) {
+            assert_eq!(x, y);
+        }
+    }
+
+    #[test]
+    fn empty_workload_terminates_quickly() {
+        let cfg = SimConfig::new(ClusterSpec::paper_mix(2, 0), SchemeKind::Tss);
+        let w = uniform(0, 1);
+        let r = simulate(&cfg, &w, &dedicated(2));
+        assert_eq!(r.iterations, vec![0, 0]);
+        // Startup + one request/reply round trip, nothing more.
+        assert!(r.t_p < 0.5, "t_p {}", r.t_p);
+    }
+
+    #[test]
+    fn single_slave_gets_everything() {
+        let cfg = SimConfig::new(ClusterSpec::paper_mix(1, 0), SchemeKind::Gss { min_chunk: 1 });
+        let w = uniform(100, 10_000);
+        let r = simulate(&cfg, &w, &dedicated(1));
+        assert_eq!(r.iterations, vec![100]);
+    }
+
+    #[test]
+    fn sequential_time_is_cost_over_speed() {
+        let w = uniform(10, 1000);
+        assert!((sequential_time(&w, 1000.0) - 10.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn piggyback_shows_up_as_com_time() {
+        // Huge result payloads on a slow link must dominate T_com.
+        let w = SyntheticWorkload::with_result_bytes(vec![1_000; 50], 100_000);
+        let cfg = SimConfig::new(ClusterSpec::paper_mix(0, 2), SchemeKind::Css { k: 5 });
+        let r = simulate(&cfg, &w, &dedicated(2));
+        let com: f64 = r.per_pe.iter().map(|b| b.t_com).sum();
+        // 50 iterations × 100 kB at 1.25 MB/s = 4 s of wire time total.
+        assert!(com > 3.0, "com {com}");
+    }
+
+    #[test]
+    #[should_panic(expected = "one load trace per slave")]
+    fn trace_count_checked() {
+        let cfg = SimConfig::new(ClusterSpec::paper_mix(2, 0), SchemeKind::Tss);
+        simulate(&cfg, &uniform(10, 10), &dedicated(1));
+    }
+}
+
+#[cfg(test)]
+mod debug_tests {
+    use super::*;
+    use crate::cluster::ClusterSpec;
+    use lss_core::SchemeKind;
+    use lss_workloads::{SyntheticWorkload, Workload};
+
+    #[test]
+    #[ignore]
+    fn debug_tss_nondedicated() {
+        // Stand-in for the Mandelbrot 4000-col profile: uniform 105k.
+        let w = SyntheticWorkload::with_result_bytes(vec![105_000; 4000], 4000);
+        let mut traces = vec![LoadTrace::dedicated(); 8];
+        traces[0] = LoadTrace::paper_overloaded();
+        for t in traces.iter_mut().take(6).skip(3) {
+            *t = LoadTrace::paper_overloaded();
+        }
+        for scheme in [SchemeKind::Tss, SchemeKind::Fss, SchemeKind::Fiss { sigma: 4 }] {
+            let r = simulate(&SimConfig::new(ClusterSpec::paper_p8(), scheme), &w, &traces);
+            println!("{}: t_p={:.1} iters={:?}", r.scheme, r.t_p, r.iterations);
+            for (i, b) in r.per_pe.iter().enumerate() {
+                println!("  PE{}: {}", i + 1, b.cell());
+            }
+        }
+        let _ = w.total_cost();
+    }
+}
+
+#[cfg(test)]
+mod timeline_tests {
+    use super::*;
+    use crate::cluster::ClusterSpec;
+    use lss_core::SchemeKind;
+    use lss_workloads::UniformLoop;
+
+    #[test]
+    fn timeline_covers_every_iteration_once() {
+        let cfg = SimConfig::new(ClusterSpec::paper_mix(2, 2), SchemeKind::Tfss);
+        let w = UniformLoop::new(300, 40_000);
+        let (report, spans) = simulate_with_timeline(&cfg, &w, &vec![LoadTrace::dedicated(); 4]);
+        assert_eq!(spans.len() as u64, report.scheduling_steps);
+        let mut seen = vec![false; 300];
+        for s in &spans {
+            assert!(s.start < s.end, "empty span {s:?}");
+            assert!(s.end.as_secs_f64() <= report.t_p + 1e-9);
+            for i in s.chunk.iter() {
+                assert!(!seen[i as usize], "iteration {i} in two spans");
+                seen[i as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&x| x));
+    }
+
+    #[test]
+    fn spans_on_one_pe_never_overlap() {
+        let cfg = SimConfig::new(ClusterSpec::paper_p8(), SchemeKind::Dtss);
+        let w = UniformLoop::new(500, 30_000);
+        let (_, spans) = simulate_with_timeline(&cfg, &w, &vec![LoadTrace::dedicated(); 8]);
+        for pe in 0..8 {
+            let mut mine: Vec<_> = spans.iter().filter(|s| s.pe == pe).collect();
+            mine.sort_by_key(|s| s.start);
+            for w in mine.windows(2) {
+                assert!(w[0].end <= w[1].start, "overlap on PE{pe}: {w:?}");
+            }
+        }
+    }
+}

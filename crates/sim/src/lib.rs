@@ -1,0 +1,43 @@
+//! # lss-sim — discrete-event simulation of heterogeneous clusters
+//!
+//! The paper's testbed was a 9-node Sun cluster (one master, three
+//! 440 MHz UltraSPARC 10 and five 166 MHz UltraSPARC 1 slaves, on mixed
+//! 100/10 Mbit links) running mpich over a LAN. This crate replaces
+//! that hardware with a deterministic discrete-event simulator:
+//!
+//! - [`cluster`] describes PEs (speed in basic operations/second,
+//!   virtual power), links (bandwidth + latency) and the master
+//!   (per-request service time, receive bandwidth) — with presets
+//!   matching the paper's machines;
+//! - [`load`] models run-queue length over time (the *non-dedicated*
+//!   condition: background matrix-addition processes), under the
+//!   paper's equal-share assumption — a PE with run-queue `Q` computes
+//!   at `speed / Q`;
+//! - [`engine`] simulates the master–slave self-scheduling protocol of
+//!   §5 (request → chunk reply → compute → piggy-backed result upload)
+//!   for every [`lss_core::SchemeKind`], producing the per-PE
+//!   `T_com / T_wait / T_comp` and `T_p` of Tables 2–3;
+//! - [`tree_engine`] simulates tree scheduling's different protocol
+//!   (§ 5: predefined partners, periodic result pushes to the master).
+//!
+//! Everything a scheduling decision can depend on — task costs, PE
+//! speeds, link costs, queue lengths, request interleaving — is
+//! first-class simulator state, so the *shape* of the paper's results
+//! (which scheme wins, how load balances, where the overhead goes) is
+//! reproduced even though absolute seconds are only calibrated, not
+//! measured, against 2001 hardware.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod cluster;
+pub mod engine;
+pub mod load;
+pub mod time;
+pub mod tree_engine;
+
+pub use cluster::{ClusterSpec, LinkSpec, MasterSpec, PeSpec};
+pub use engine::{simulate, SimConfig};
+pub use load::LoadTrace;
+pub use time::SimTime;
+pub use tree_engine::{simulate_tree, TreeSimConfig};

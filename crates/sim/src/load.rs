@@ -1,0 +1,175 @@
+//! Run-queue load traces — the *non-dedicated* condition.
+//!
+//! The DTSS model (§3.1) assumes *"a process running on a computer will
+//! take an equal share of its computing resources"*: a PE whose
+//! run-queue holds `Q` processes gives the parallel loop `speed / Q`.
+//! `Q` always counts the loop process itself, so a dedicated PE has
+//! `Q = 1` and the paper's overloaded PEs (two background
+//! matrix-addition processes, §5.1) have `Q = 3`.
+
+use crate::time::SimTime;
+
+/// A piecewise-constant run-queue length over simulated time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LoadTrace {
+    /// `(from_time, q)` steps, sorted by time; first step is at 0.
+    steps: Vec<(SimTime, u32)>,
+}
+
+impl LoadTrace {
+    /// Dedicated PE: `Q = 1` forever.
+    pub fn dedicated() -> Self {
+        Self::constant(1)
+    }
+
+    /// Constant load: `Q = q` forever (`q` is clamped to ≥ 1 — the
+    /// loop process itself is always in the queue).
+    pub fn constant(q: u32) -> Self {
+        LoadTrace {
+            steps: vec![(SimTime::ZERO, q.max(1))],
+        }
+    }
+
+    /// The paper's overloaded slave: the loop plus two matrix-addition
+    /// hogs → `Q = 3` from the start.
+    pub fn paper_overloaded() -> Self {
+        Self::constant(3)
+    }
+
+    /// Builds a trace from explicit `(time, q)` steps. The steps are
+    /// sorted; a step at time 0 is prepended with `Q = 1` if missing.
+    pub fn from_steps(mut steps: Vec<(SimTime, u32)>) -> Self {
+        steps.sort_by_key(|&(t, _)| t);
+        for s in &mut steps {
+            s.1 = s.1.max(1);
+        }
+        if steps.first().map(|&(t, _)| t) != Some(SimTime::ZERO) {
+            steps.insert(0, (SimTime::ZERO, 1));
+        }
+        LoadTrace { steps }
+    }
+
+    /// The run-queue length at time `t`.
+    pub fn q_at(&self, t: SimTime) -> u32 {
+        match self.steps.binary_search_by_key(&t, |&(st, _)| st) {
+            Ok(i) => self.steps[i].1,
+            Err(0) => 1,
+            Err(i) => self.steps[i - 1].1,
+        }
+    }
+
+    /// When does a computation of `cost` basic operations finish if it
+    /// starts at `start` on a PE of dedicated speed `speed`, given the
+    /// equal-share rule `rate(t) = speed / Q(t)`?
+    pub fn compute_finish(&self, start: SimTime, cost: u64, speed: f64) -> SimTime {
+        assert!(speed > 0.0, "PE speed must be positive");
+        let mut remaining = cost as f64;
+        let mut now = start;
+        // Index of the step governing `now`.
+        let mut idx = match self.steps.binary_search_by_key(&now, |&(t, _)| t) {
+            Ok(i) => i,
+            Err(i) => i.saturating_sub(1),
+        };
+        loop {
+            let q = self.steps[idx].1 as f64;
+            let rate = speed / q; // ops per second
+            let seg_end = self.steps.get(idx + 1).map(|&(t, _)| t);
+            let dt_to_finish = remaining / rate; // seconds
+            match seg_end {
+                Some(end) if now + SimTime::from_secs_f64(dt_to_finish) > end => {
+                    // Burn through the rest of this segment.
+                    let seg_secs = (end - now).as_secs_f64();
+                    remaining -= rate * seg_secs;
+                    now = end;
+                    idx += 1;
+                }
+                _ => {
+                    return now + SimTime::from_secs_f64(dt_to_finish);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dedicated_full_speed() {
+        let t = LoadTrace::dedicated();
+        // 1000 ops at 1000 ops/s = 1 s.
+        let fin = t.compute_finish(SimTime::ZERO, 1000, 1000.0);
+        assert!((fin.as_secs_f64() - 1.0).abs() < 1e-9);
+        assert_eq!(t.q_at(SimTime::from_millis(500)), 1);
+    }
+
+    #[test]
+    fn constant_load_divides_speed() {
+        let t = LoadTrace::constant(4);
+        let fin = t.compute_finish(SimTime::ZERO, 1000, 1000.0);
+        assert!((fin.as_secs_f64() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn paper_overloaded_is_q3() {
+        assert_eq!(LoadTrace::paper_overloaded().q_at(SimTime::ZERO), 3);
+    }
+
+    #[test]
+    fn step_change_mid_computation() {
+        // Q = 1 for the first second, then Q = 2.
+        let t = LoadTrace::from_steps(vec![
+            (SimTime::ZERO, 1),
+            (SimTime::from_secs_f64(1.0), 2),
+        ]);
+        // 2000 ops at 1000 ops/s: 1000 done in the first second, then
+        // 1000 at 500 ops/s → 2 more seconds.
+        let fin = t.compute_finish(SimTime::ZERO, 2000, 1000.0);
+        assert!((fin.as_secs_f64() - 3.0).abs() < 1e-9, "{fin}");
+    }
+
+    #[test]
+    fn q_at_respects_steps() {
+        let t = LoadTrace::from_steps(vec![
+            (SimTime::ZERO, 1),
+            (SimTime::from_secs_f64(5.0), 3),
+            (SimTime::from_secs_f64(10.0), 1),
+        ]);
+        assert_eq!(t.q_at(SimTime::from_secs_f64(4.9)), 1);
+        assert_eq!(t.q_at(SimTime::from_secs_f64(5.0)), 3);
+        assert_eq!(t.q_at(SimTime::from_secs_f64(9.9)), 3);
+        assert_eq!(t.q_at(SimTime::from_secs_f64(100.0)), 1);
+    }
+
+    #[test]
+    fn start_mid_trace() {
+        let t = LoadTrace::from_steps(vec![
+            (SimTime::ZERO, 1),
+            (SimTime::from_secs_f64(1.0), 2),
+        ]);
+        // Starting after the step: all at half speed.
+        let fin = t.compute_finish(SimTime::from_secs_f64(2.0), 1000, 1000.0);
+        assert!((fin.as_secs_f64() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_q_clamped() {
+        let t = LoadTrace::constant(0);
+        assert_eq!(t.q_at(SimTime::ZERO), 1);
+    }
+
+    #[test]
+    fn missing_time_zero_step_prepended() {
+        let t = LoadTrace::from_steps(vec![(SimTime::from_secs_f64(1.0), 5)]);
+        assert_eq!(t.q_at(SimTime::ZERO), 1);
+        assert_eq!(t.q_at(SimTime::from_secs_f64(2.0)), 5);
+    }
+
+    #[test]
+    fn zero_cost_finishes_immediately() {
+        let t = LoadTrace::dedicated();
+        let start = SimTime::from_secs_f64(3.0);
+        assert_eq!(t.compute_finish(start, 0, 1000.0), start);
+    }
+}

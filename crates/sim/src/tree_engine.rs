@@ -1,0 +1,327 @@
+//! Discrete-event simulation of tree scheduling's protocol (§5).
+//!
+//! TreeS differs from the self-scheduling schemes in two ways the
+//! simulator must honour:
+//!
+//! 1. **No master requests for work.** All iterations are allocated up
+//!    front (equally, or weighted by virtual power); an idle slave
+//!    *steals* half of a predefined partner's remaining range with a
+//!    cheap partner-to-partner message exchange.
+//! 2. **Periodic result pushes.** Results still end up at the master;
+//!    the paper found collect-at-the-end disastrous and settled on
+//!    sends "at predefined time intervals". Pushes serialize on the
+//!    master's receive path, so some master contention remains —
+//!    exactly the paper's observation.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use lss_core::tree::TreeScheduler;
+use lss_metrics::breakdown::{RunReport, TimeBreakdown};
+use lss_workloads::Workload;
+
+use crate::cluster::{ClusterSpec, Network};
+use crate::load::LoadTrace;
+use crate::time::SimTime;
+
+/// Configuration of a tree-scheduling run.
+#[derive(Debug, Clone)]
+pub struct TreeSimConfig {
+    /// The cluster to run on.
+    pub cluster: ClusterSpec,
+    /// `false` → equal initial allocation (the §5.1 "simple" usage);
+    /// `true` → allocation proportional to virtual power (§6.1).
+    pub weighted: bool,
+    /// How often a slave pushes accumulated results to the master.
+    pub result_push_interval: SimTime,
+    /// Size of a steal request/notify message.
+    pub steal_msg_bytes: u64,
+    /// Back-off when a slave finds nothing to steal but work remains
+    /// elsewhere (in-flight on other PEs).
+    pub idle_backoff: SimTime,
+    /// Livelock guard.
+    pub max_sim_time: SimTime,
+}
+
+impl TreeSimConfig {
+    /// Defaults matching the paper's description (1 s push interval).
+    pub fn new(cluster: ClusterSpec, weighted: bool) -> Self {
+        TreeSimConfig {
+            cluster,
+            weighted,
+            result_push_interval: SimTime::from_secs_f64(1.0),
+            steal_msg_bytes: 32,
+            idle_backoff: SimTime::from_millis(50),
+            max_sim_time: SimTime::from_secs_f64(1e5),
+        }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct SlaveState {
+    t_com: SimTime,
+    t_wait: SimTime,
+    t_comp: SimTime,
+    /// Result bytes accumulated locally since the last push.
+    pending_bytes: u64,
+    /// Next scheduled result push.
+    next_push: SimTime,
+    iterations: u64,
+    finish_time: SimTime,
+    done: bool,
+    /// When the slave finishes its current column — a steal request
+    /// directed at it is only answered then (the MPI process polls for
+    /// messages between tasks; on a loaded machine that takes Q× as
+    /// long, which is a real cost of tree scheduling under load).
+    busy_until: SimTime,
+}
+
+/// Runs tree scheduling over the workload; reports the same metrics as
+/// [`crate::engine::simulate`] so TreeS slots into Tables 2 and 3.
+pub fn simulate_tree(
+    cfg: &TreeSimConfig,
+    workload: &dyn Workload,
+    traces: &[LoadTrace],
+) -> RunReport {
+    let p = cfg.cluster.num_slaves();
+    assert_eq!(traces.len(), p, "need one load trace per slave");
+
+    let mut tree = if cfg.weighted {
+        TreeScheduler::new_weighted(workload.len(), &cfg.cluster.virtual_powers())
+    } else {
+        TreeScheduler::new_equal(workload.len(), p)
+    };
+
+    let mut slaves = vec![SlaveState::default(); p];
+    for s in &mut slaves {
+        s.next_push = cfg.result_push_interval;
+    }
+    let mut steals = 0u64;
+    // When the master's receive path frees up.
+    let mut master_free = SimTime::ZERO;
+    // Shared-segment contention (the slow slaves' 10 Mbit hub).
+    let mut net = Network::new();
+    // Earliest-next-action queue: (time, slave).
+    let mut heap: BinaryHeap<Reverse<(SimTime, usize)>> = BinaryHeap::new();
+    for s in 0..p {
+        heap.push(Reverse((SimTime::ZERO, s)));
+    }
+
+    // Pushes `bytes` of results to the master starting no earlier than
+    // `now`; returns when the slave is free again, updating accounting.
+    let push_results = |now: SimTime,
+                            s: usize,
+                            slaves: &mut [SlaveState],
+                            master_free: &mut SimTime,
+                            net: &mut Network,
+                            cluster: &ClusterSpec|
+     -> SimTime {
+        let bytes = slaves[s].pending_bytes;
+        slaves[s].pending_bytes = 0;
+        let start = now.max(*master_free);
+        slaves[s].t_wait += start - now; // master contention
+        let (arrival, com) = net.transfer(&cluster.slaves[s], bytes, start);
+        slaves[s].t_com += com;
+        *master_free = start + cluster.master.occupancy(bytes);
+        arrival
+    };
+
+    while let Some(Reverse((now, s))) = heap.pop() {
+        assert!(
+            now <= cfg.max_sim_time,
+            "tree simulation exceeded {} — livelock?",
+            cfg.max_sim_time
+        );
+        if slaves[s].done {
+            continue;
+        }
+        // Periodic result push takes precedence once due.
+        if slaves[s].pending_bytes > 0 && now >= slaves[s].next_push {
+            let free_at =
+                push_results(now, s, &mut slaves, &mut master_free, &mut net, &cfg.cluster);
+            slaves[s].next_push = free_at + cfg.result_push_interval;
+            heap.push(Reverse((free_at, s)));
+            continue;
+        }
+        // Work on the local range, one column (task) at a time.
+        if let Some(chunk) = tree.take(s, 1) {
+            debug_assert_eq!(chunk.len, 1);
+            let cost = workload.cost(chunk.start);
+            let fin = traces[s].compute_finish(now, cost, cfg.cluster.slaves[s].speed);
+            slaves[s].t_comp += fin - now;
+            slaves[s].pending_bytes += workload.result_bytes(chunk.start);
+            slaves[s].iterations += 1;
+            slaves[s].busy_until = fin;
+            heap.push(Reverse((fin, s)));
+            continue;
+        }
+        // Local range empty: try the tree partners.
+        if let Some(st) = tree.steal(s, 1) {
+            steals += 1;
+            // Request + grant exchange with the partner; the victim
+            // only answers once its current column is done.
+            let (ask_arrives, ask_com) =
+                net.transfer(&cfg.cluster.slaves[s], cfg.steal_msg_bytes, now);
+            let grant_start = ask_arrives.max(slaves[st.victim].busy_until);
+            let (answered, grant_com) =
+                net.transfer(&cfg.cluster.slaves[st.victim], cfg.steal_msg_bytes, grant_start);
+            slaves[s].t_com += ask_com + grant_com;
+            slaves[s].t_wait += grant_start.saturating_sub(ask_arrives);
+            heap.push(Reverse((answered, s)));
+            continue;
+        }
+        if tree.total_remaining() > 0 {
+            // Somebody still holds unstealable work — back off.
+            slaves[s].t_wait += cfg.idle_backoff;
+            heap.push(Reverse((now + cfg.idle_backoff, s)));
+            continue;
+        }
+        // Nothing anywhere: flush remaining results and terminate.
+        let finish = if slaves[s].pending_bytes > 0 {
+            push_results(now, s, &mut slaves, &mut master_free, &mut net, &cfg.cluster)
+        } else {
+            now
+        };
+        slaves[s].done = true;
+        slaves[s].finish_time = finish;
+    }
+
+    let t_p = slaves
+        .iter()
+        .map(|s| s.finish_time)
+        .max()
+        .unwrap_or(SimTime::ZERO);
+    for s in &mut slaves {
+        s.t_wait += t_p.saturating_sub(s.finish_time);
+    }
+
+    let per_pe = slaves
+        .iter()
+        .map(|s| TimeBreakdown {
+            t_com: s.t_com.as_secs_f64(),
+            t_wait: s.t_wait.as_secs_f64(),
+            t_comp: s.t_comp.as_secs_f64(),
+        })
+        .collect();
+    let iterations: Vec<u64> = slaves.iter().map(|s| s.iterations).collect();
+    RunReport::new(
+        "TreeS",
+        per_pe,
+        t_p.as_secs_f64(),
+        p as u64 + steals,
+        iterations,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lss_workloads::{SyntheticWorkload, UniformLoop};
+
+    fn dedicated(p: usize) -> Vec<LoadTrace> {
+        vec![LoadTrace::dedicated(); p]
+    }
+
+    #[test]
+    fn completes_all_iterations() {
+        let cfg = TreeSimConfig::new(ClusterSpec::paper_mix(2, 2), false);
+        let w = UniformLoop::new(200, 50_000);
+        let r = simulate_tree(&cfg, &w, &dedicated(4));
+        assert_eq!(r.iterations.iter().sum::<u64>(), 200);
+        assert!(r.t_p > 0.0);
+    }
+
+    #[test]
+    fn stealing_rebalances_equal_allocation() {
+        // Heterogeneous cluster + equal allocation: the fast PE must
+        // finish its block and steal from the slow ones.
+        let cfg = TreeSimConfig::new(ClusterSpec::paper_mix(1, 1), false);
+        let w = UniformLoop::new(400, 100_000);
+        let r = simulate_tree(&cfg, &w, &dedicated(2));
+        assert!(
+            r.iterations[0] > r.iterations[1],
+            "fast PE should end up with more: {:?}",
+            r.iterations
+        );
+        assert!(r.scheduling_steps > 2, "expected steals to happen");
+    }
+
+    #[test]
+    fn weighted_allocation_needs_fewer_steals() {
+        let w = UniformLoop::new(400, 100_000);
+        let equal = simulate_tree(
+            &TreeSimConfig::new(ClusterSpec::paper_p8(), false),
+            &w,
+            &dedicated(8),
+        );
+        let weighted = simulate_tree(
+            &TreeSimConfig::new(ClusterSpec::paper_p8(), true),
+            &w,
+            &dedicated(8),
+        );
+        assert!(
+            weighted.scheduling_steps <= equal.scheduling_steps,
+            "weighted {} vs equal {}",
+            weighted.scheduling_steps,
+            equal.scheduling_steps
+        );
+        assert!(weighted.t_p <= equal.t_p * 1.05);
+    }
+
+    #[test]
+    fn results_show_up_as_com() {
+        let w = SyntheticWorkload::with_result_bytes(vec![50_000; 100], 50_000);
+        let cfg = TreeSimConfig::new(ClusterSpec::paper_mix(0, 2), false);
+        let r = simulate_tree(&cfg, &w, &dedicated(2));
+        let com: f64 = r.per_pe.iter().map(|b| b.t_com).sum();
+        // 100 × 50 kB = 5 MB at 1.25 MB/s = 4 s of wire time.
+        assert!(com > 3.0, "com {com}");
+    }
+
+    #[test]
+    fn overloaded_pe_sheds_work() {
+        let w = UniformLoop::new(400, 100_000);
+        let mut traces = dedicated(2);
+        traces[1] = LoadTrace::paper_overloaded();
+        let cfg = TreeSimConfig::new(ClusterSpec::paper_mix(2, 0), false);
+        let r = simulate_tree(&cfg, &w, &traces);
+        assert!(
+            r.iterations[0] > r.iterations[1] * 2,
+            "loaded PE kept too much: {:?}",
+            r.iterations
+        );
+    }
+
+    #[test]
+    fn deterministic() {
+        let cfg = TreeSimConfig::new(ClusterSpec::paper_p8(), true);
+        let w = SyntheticWorkload::new((1..=200).map(|i| (i % 23 + 1) * 2000).collect());
+        let a = simulate_tree(&cfg, &w, &dedicated(8));
+        let b = simulate_tree(&cfg, &w, &dedicated(8));
+        assert_eq!(a.t_p, b.t_p);
+        assert_eq!(a.iterations, b.iterations);
+    }
+
+    #[test]
+    fn empty_workload() {
+        let cfg = TreeSimConfig::new(ClusterSpec::paper_mix(2, 0), false);
+        let w = UniformLoop::new(0, 1);
+        let r = simulate_tree(&cfg, &w, &dedicated(2));
+        assert_eq!(r.iterations, vec![0, 0]);
+    }
+
+    #[test]
+    fn breakdown_sums_to_tp() {
+        let cfg = TreeSimConfig::new(ClusterSpec::paper_mix(1, 2), false);
+        let w = UniformLoop::new(150, 80_000);
+        let r = simulate_tree(&cfg, &w, &dedicated(3));
+        for b in &r.per_pe {
+            assert!(
+                b.total() <= r.t_p * 1.02 + 1e-6,
+                "breakdown {} exceeds t_p {}",
+                b.total(),
+                r.t_p
+            );
+        }
+    }
+}

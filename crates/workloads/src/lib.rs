@@ -1,0 +1,137 @@
+//! # lss-workloads — parallel-loop workloads for scheduling experiments
+//!
+//! The paper evaluates its schedulers on the **Mandelbrot set**
+//! computation — chosen because it is an *unpredictable irregular
+//! loop*, "the most severe test for a scheduling scheme" (§2.1). This
+//! crate provides that workload plus the full taxonomy of parallel-loop
+//! styles from §2.1 (uniform, linearly increasing/decreasing,
+//! conditional, irregular), the iteration-reordering **sampling**
+//! technique (`S_f`), and the matrix-addition background load used to
+//! create the *non-dedicated* experimental condition.
+//!
+//! Everything is expressed through the [`Workload`] trait: a loop of
+//! `len()` independent iterations, each with an abstract *cost* (basic
+//! operation count — what the simulator charges) and an *execution*
+//! (what the real runtime actually runs).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod kernels;
+pub mod loop_styles;
+pub mod mandelbrot;
+pub mod matrix;
+pub mod ordering;
+pub mod sampling;
+
+pub use loop_styles::{
+    ConditionalLoop, DecreasingLoop, IncreasingLoop, RandomLoop, SyntheticWorkload, UniformLoop,
+};
+pub use kernels::{AdjointConvolution, MatVec, SparseMatVec};
+pub use mandelbrot::{Mandelbrot, MandelbrotParams};
+pub use ordering::SortedWorkload;
+pub use matrix::MatrixAddLoad;
+pub use sampling::{sampled_order, SampledWorkload};
+
+/// A parallel loop: `len()` independent iterations that can run in any
+/// order (no inter-iteration dependencies).
+///
+/// In the paper's terms each iteration is a *task* — for the Mandelbrot
+/// experiments, the computation of one image column. `cost` is the
+/// iteration's size in *basic computations* (the Y axis of the paper's
+/// Figure 1); the simulator divides it by a PE's speed to get compute
+/// time, while the real runtime calls [`Workload::execute`].
+pub trait Workload: Send + Sync {
+    /// Number of iterations `I` in the loop.
+    fn len(&self) -> u64;
+
+    /// Whether the loop has no iterations.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Abstract cost (basic-operation count) of iteration `i`.
+    ///
+    /// Must be deterministic: the simulator and analysis tools may call
+    /// it repeatedly.
+    fn cost(&self, i: u64) -> u64;
+
+    /// Actually executes iteration `i`, returning an opaque checksum
+    /// (so the optimizer cannot discard the work and tests can verify
+    /// that reordered executions compute the same thing).
+    fn execute(&self, i: u64) -> u64;
+
+    /// Bytes of result data iteration `i` produces (drives the
+    /// communication model: results are piggy-backed to the master).
+    fn result_bytes(&self, i: u64) -> u64;
+
+    /// Human-readable workload name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Total cost of the whole loop.
+    fn total_cost(&self) -> u64 {
+        (0..self.len()).map(|i| self.cost(i)).sum()
+    }
+
+    /// Materializes the per-iteration cost profile (Figure 1's data).
+    fn cost_profile(&self) -> Vec<u64> {
+        (0..self.len()).map(|i| self.cost(i)).collect()
+    }
+}
+
+impl<W: Workload + ?Sized> Workload for &W {
+    fn len(&self) -> u64 {
+        (**self).len()
+    }
+    fn cost(&self, i: u64) -> u64 {
+        (**self).cost(i)
+    }
+    fn execute(&self, i: u64) -> u64 {
+        (**self).execute(i)
+    }
+    fn result_bytes(&self, i: u64) -> u64 {
+        (**self).result_bytes(i)
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+impl<W: Workload + ?Sized> Workload for std::sync::Arc<W> {
+    fn len(&self) -> u64 {
+        (**self).len()
+    }
+    fn cost(&self, i: u64) -> u64 {
+        (**self).cost(i)
+    }
+    fn execute(&self, i: u64) -> u64 {
+        (**self).execute(i)
+    }
+    fn result_bytes(&self, i: u64) -> u64 {
+        (**self).result_bytes(i)
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trait_object_usable() {
+        let w: Box<dyn Workload> = Box::new(UniformLoop::new(10, 5));
+        assert_eq!(w.len(), 10);
+        assert_eq!(w.total_cost(), 50);
+    }
+
+    #[test]
+    fn arc_and_ref_forward() {
+        let w = std::sync::Arc::new(UniformLoop::new(4, 2));
+        assert_eq!(w.total_cost(), 8);
+        let r: &UniformLoop = &w;
+        assert_eq!(r.total_cost(), 8);
+        assert!(!w.is_empty());
+    }
+}

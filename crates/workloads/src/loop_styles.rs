@@ -1,0 +1,367 @@
+//! The parallel-loop styles of §2.1 of the paper.
+//!
+//! §2.1 classifies parallel loops by the distribution of their
+//! iteration execution times `L(i)`:
+//!
+//! - **uniformly distributed** — every iteration costs the same
+//!   (`DOALL K = 1 TO I: X[K] = X[K] + A`),
+//! - **linearly distributed, increasing** — iteration `K` runs an inner
+//!   serial loop of `K` steps,
+//! - **linearly distributed, decreasing** — inner loop of `I - K + 1`
+//!   steps,
+//! - **conditional** — an `IF` picks one of two blocks, so the cost is
+//!   bimodal and unpredictable,
+//! - **irregular** — cannot be ordered or predicted (the Mandelbrot
+//!   computation of [`crate::mandelbrot`] is the paper's example).
+//!
+//! These synthetic loops execute real (checksummed) arithmetic so they
+//! are usable both by the simulator (via `cost`) and by the real
+//! runtime (via `execute`).
+
+use crate::Workload;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Cost of one "basic computation" unit: a few arithmetic ops on a
+/// rolling checksum. Shared by the synthetic loops' `execute`.
+#[inline]
+fn burn(units: u64, seed: u64) -> u64 {
+    let mut acc = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15).wrapping_add(1);
+    for _ in 0..units {
+        acc ^= acc >> 13;
+        acc = acc.wrapping_mul(0xFF51_AFD7_ED55_8CCD);
+        acc ^= acc >> 33;
+    }
+    acc
+}
+
+/// Uniformly distributed loop: every iteration costs `unit_cost`.
+#[derive(Debug, Clone)]
+pub struct UniformLoop {
+    len: u64,
+    unit_cost: u64,
+}
+
+impl UniformLoop {
+    /// A loop of `len` iterations, each costing `unit_cost` basic ops.
+    pub fn new(len: u64, unit_cost: u64) -> Self {
+        assert!(unit_cost >= 1, "unit cost must be at least 1");
+        UniformLoop { len, unit_cost }
+    }
+}
+
+impl Workload for UniformLoop {
+    fn len(&self) -> u64 {
+        self.len
+    }
+    fn cost(&self, _i: u64) -> u64 {
+        self.unit_cost
+    }
+    fn execute(&self, i: u64) -> u64 {
+        burn(self.unit_cost, i)
+    }
+    fn result_bytes(&self, _i: u64) -> u64 {
+        8
+    }
+    fn name(&self) -> &'static str {
+        "uniform"
+    }
+}
+
+/// Linearly increasing loop: iteration `i` costs `base + slope·i`
+/// (the paper's triangular `DOALL`/serial-`DO` nest).
+#[derive(Debug, Clone)]
+pub struct IncreasingLoop {
+    len: u64,
+    base: u64,
+    slope: u64,
+}
+
+impl IncreasingLoop {
+    /// A loop whose `i`-th iteration costs `base + slope·i`.
+    pub fn new(len: u64, base: u64, slope: u64) -> Self {
+        assert!(base >= 1, "base cost must be at least 1");
+        IncreasingLoop { len, base, slope }
+    }
+}
+
+impl Workload for IncreasingLoop {
+    fn len(&self) -> u64 {
+        self.len
+    }
+    fn cost(&self, i: u64) -> u64 {
+        self.base + self.slope * i
+    }
+    fn execute(&self, i: u64) -> u64 {
+        burn(self.cost(i), i)
+    }
+    fn result_bytes(&self, _i: u64) -> u64 {
+        8
+    }
+    fn name(&self) -> &'static str {
+        "increasing"
+    }
+}
+
+/// Linearly decreasing loop: iteration `i` costs
+/// `base + slope·(len - 1 - i)`.
+#[derive(Debug, Clone)]
+pub struct DecreasingLoop {
+    len: u64,
+    base: u64,
+    slope: u64,
+}
+
+impl DecreasingLoop {
+    /// A loop whose `i`-th iteration costs `base + slope·(len-1-i)`.
+    pub fn new(len: u64, base: u64, slope: u64) -> Self {
+        assert!(base >= 1, "base cost must be at least 1");
+        DecreasingLoop { len, base, slope }
+    }
+}
+
+impl Workload for DecreasingLoop {
+    fn len(&self) -> u64 {
+        self.len
+    }
+    fn cost(&self, i: u64) -> u64 {
+        self.base + self.slope * (self.len.saturating_sub(1) - i.min(self.len.saturating_sub(1)))
+    }
+    fn execute(&self, i: u64) -> u64 {
+        burn(self.cost(i), i)
+    }
+    fn result_bytes(&self, _i: u64) -> u64 {
+        8
+    }
+    fn name(&self) -> &'static str {
+        "decreasing"
+    }
+}
+
+/// Conditional loop: a deterministic pseudo-random predicate picks the
+/// cheap (`else_cost`) or expensive (`then_cost`) branch per iteration
+/// — the paper's `IF(Expression1) THEN Block1 ELSE Block2` style.
+#[derive(Debug, Clone)]
+pub struct ConditionalLoop {
+    len: u64,
+    then_cost: u64,
+    else_cost: u64,
+    /// Probability (in 1/256ths) of the THEN branch.
+    then_p256: u8,
+    seed: u64,
+}
+
+impl ConditionalLoop {
+    /// A conditional loop taking the `then` branch with probability
+    /// `then_probability` (clamped to `[0, 1]`).
+    pub fn new(len: u64, then_cost: u64, else_cost: u64, then_probability: f64, seed: u64) -> Self {
+        assert!(then_cost >= 1 && else_cost >= 1, "branch costs must be at least 1");
+        let p = (then_probability.clamp(0.0, 1.0) * 256.0) as u16;
+        ConditionalLoop {
+            len,
+            then_cost,
+            else_cost,
+            then_p256: p.min(255) as u8,
+            seed,
+        }
+    }
+
+    #[inline]
+    fn takes_then(&self, i: u64) -> bool {
+        // Deterministic per-iteration coin flip.
+        let h = burn(1, i ^ self.seed);
+        (h & 0xFF) as u8 <= self.then_p256
+    }
+}
+
+impl Workload for ConditionalLoop {
+    fn len(&self) -> u64 {
+        self.len
+    }
+    fn cost(&self, i: u64) -> u64 {
+        if self.takes_then(i) {
+            self.then_cost
+        } else {
+            self.else_cost
+        }
+    }
+    fn execute(&self, i: u64) -> u64 {
+        burn(self.cost(i), i)
+    }
+    fn result_bytes(&self, _i: u64) -> u64 {
+        8
+    }
+    fn name(&self) -> &'static str {
+        "conditional"
+    }
+}
+
+/// Irregular loop with uniformly random per-iteration cost in
+/// `[min_cost, max_cost]` — a stand-in for unpredictable loops when
+/// the full Mandelbrot workload is overkill.
+#[derive(Debug, Clone)]
+pub struct RandomLoop {
+    costs: Vec<u64>,
+}
+
+impl RandomLoop {
+    /// Builds a random loop; the cost vector is materialized up front
+    /// so `cost` is deterministic and O(1).
+    pub fn new(len: u64, min_cost: u64, max_cost: u64, seed: u64) -> Self {
+        assert!(min_cost >= 1, "minimum cost must be at least 1");
+        assert!(max_cost >= min_cost, "max_cost < min_cost");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let costs = (0..len).map(|_| rng.gen_range(min_cost..=max_cost)).collect();
+        RandomLoop { costs }
+    }
+}
+
+impl Workload for RandomLoop {
+    fn len(&self) -> u64 {
+        self.costs.len() as u64
+    }
+    fn cost(&self, i: u64) -> u64 {
+        self.costs[i as usize]
+    }
+    fn execute(&self, i: u64) -> u64 {
+        burn(self.cost(i), i)
+    }
+    fn result_bytes(&self, _i: u64) -> u64 {
+        8
+    }
+    fn name(&self) -> &'static str {
+        "random"
+    }
+}
+
+/// A workload with an explicit per-iteration cost vector — the
+/// workhorse of unit tests and targeted simulator scenarios.
+#[derive(Debug, Clone)]
+pub struct SyntheticWorkload {
+    costs: Vec<u64>,
+    bytes_per_iter: u64,
+}
+
+impl SyntheticWorkload {
+    /// Builds a workload from explicit costs (8 result bytes/iter).
+    pub fn new(costs: Vec<u64>) -> Self {
+        Self::with_result_bytes(costs, 8)
+    }
+
+    /// Builds a workload from explicit costs and result size.
+    pub fn with_result_bytes(costs: Vec<u64>, bytes_per_iter: u64) -> Self {
+        assert!(costs.iter().all(|&c| c >= 1), "all costs must be at least 1");
+        SyntheticWorkload {
+            costs,
+            bytes_per_iter,
+        }
+    }
+}
+
+impl Workload for SyntheticWorkload {
+    fn len(&self) -> u64 {
+        self.costs.len() as u64
+    }
+    fn cost(&self, i: u64) -> u64 {
+        self.costs[i as usize]
+    }
+    fn execute(&self, i: u64) -> u64 {
+        burn(self.cost(i), i)
+    }
+    fn result_bytes(&self, _i: u64) -> u64 {
+        self.bytes_per_iter
+    }
+    fn name(&self) -> &'static str {
+        "synthetic"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_cost_constant() {
+        let w = UniformLoop::new(100, 7);
+        assert!((0..100).all(|i| w.cost(i) == 7));
+        assert_eq!(w.total_cost(), 700);
+    }
+
+    #[test]
+    fn increasing_is_monotone() {
+        let w = IncreasingLoop::new(50, 1, 3);
+        assert_eq!(w.cost(0), 1);
+        assert_eq!(w.cost(49), 1 + 3 * 49);
+        assert!((1..50).all(|i| w.cost(i) > w.cost(i - 1)));
+    }
+
+    #[test]
+    fn decreasing_is_monotone_and_mirrors_increasing() {
+        let inc = IncreasingLoop::new(50, 1, 3);
+        let dec = DecreasingLoop::new(50, 1, 3);
+        assert!((1..50).all(|i| dec.cost(i) < dec.cost(i - 1)));
+        for i in 0..50 {
+            assert_eq!(dec.cost(i), inc.cost(49 - i));
+        }
+    }
+
+    #[test]
+    fn conditional_is_bimodal() {
+        let w = ConditionalLoop::new(1000, 100, 1, 0.3, 42);
+        let profile = w.cost_profile();
+        assert!(profile.iter().all(|&c| c == 100 || c == 1));
+        let expensive = profile.iter().filter(|&&c| c == 100).count();
+        assert!((150..450).contains(&expensive), "THEN fraction off: {expensive}");
+    }
+
+    #[test]
+    fn conditional_is_deterministic() {
+        let a = ConditionalLoop::new(100, 10, 1, 0.5, 7).cost_profile();
+        let b = ConditionalLoop::new(100, 10, 1, 0.5, 7).cost_profile();
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn random_within_bounds_and_seeded() {
+        let a = RandomLoop::new(500, 10, 90, 1);
+        assert!(a.cost_profile().iter().all(|&c| (10..=90).contains(&c)));
+        let b = RandomLoop::new(500, 10, 90, 1);
+        assert_eq!(a.cost_profile(), b.cost_profile());
+        let c = RandomLoop::new(500, 10, 90, 2);
+        assert_ne!(a.cost_profile(), c.cost_profile());
+    }
+
+    #[test]
+    fn execute_returns_stable_checksums() {
+        let w = UniformLoop::new(10, 100);
+        assert_eq!(w.execute(3), w.execute(3));
+        assert_ne!(w.execute(3), w.execute(4));
+    }
+
+    #[test]
+    fn synthetic_reports_given_costs() {
+        let w = SyntheticWorkload::new(vec![5, 1, 9]);
+        assert_eq!(w.len(), 3);
+        assert_eq!(w.cost(2), 9);
+        assert_eq!(w.total_cost(), 15);
+    }
+
+    #[test]
+    #[should_panic]
+    fn synthetic_rejects_zero_cost() {
+        SyntheticWorkload::new(vec![1, 0]);
+    }
+
+    #[test]
+    fn burn_scales_with_units() {
+        use std::time::Instant;
+        let t0 = Instant::now();
+        let a = burn(1_000, 1);
+        let short = t0.elapsed();
+        let t1 = Instant::now();
+        let b = burn(1_000_000, 1);
+        let long = t1.elapsed();
+        assert_ne!(a, b);
+        assert!(long >= short);
+    }
+}

@@ -1,0 +1,106 @@
+//! The background load used for the *non-dedicated* experiments.
+//!
+//! §5.1: *"we started resource expensive processes on some slaves. Two
+//! such processes are started. Each one adds two random matrices of
+//! size 1000."* This module provides that exact computation — both as
+//! a real, runnable hog (for `lss-runtime`'s non-dedicated mode) and as
+//! an abstract cost (for `lss-sim`'s run-queue model).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A matrix-addition load generator: repeatedly adds two random
+/// `n × n` matrices, exactly like the paper's background processes.
+#[derive(Debug)]
+pub struct MatrixAddLoad {
+    n: usize,
+    a: Vec<f64>,
+    b: Vec<f64>,
+    out: Vec<f64>,
+}
+
+impl MatrixAddLoad {
+    /// Prepares a load of `n × n` random matrices (paper: `n = 1000`).
+    pub fn new(n: usize, seed: u64) -> Self {
+        assert!(n >= 1, "matrix dimension must be at least 1");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let a: Vec<f64> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        let b: Vec<f64> = (0..n * n).map(|_| rng.gen_range(-1.0..1.0)).collect();
+        MatrixAddLoad {
+            n,
+            a,
+            b,
+            out: vec![0.0; n * n],
+        }
+    }
+
+    /// The paper's configuration: two random 1000 × 1000 matrices.
+    pub fn paper_load(seed: u64) -> Self {
+        Self::new(1000, seed)
+    }
+
+    /// Matrix dimension.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// Performs one full matrix addition; returns a checksum so the
+    /// work cannot be optimized away.
+    pub fn run_once(&mut self) -> f64 {
+        for ((o, &x), &y) in self.out.iter_mut().zip(&self.a).zip(&self.b) {
+            *o = x + y;
+        }
+        // Touch a few elements to defeat dead-code elimination.
+        self.out[0] + self.out[self.n * self.n / 2] + self.out[self.n * self.n - 1]
+    }
+
+    /// Abstract cost of one addition in basic operations (one add +
+    /// two loads + one store per element ≈ `n²` basic ops on the
+    /// paper's machines, which the simulator charges to the run queue).
+    pub fn cost(&self) -> u64 {
+        (self.n * self.n) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn addition_is_correct() {
+        let mut l = MatrixAddLoad::new(8, 42);
+        l.run_once();
+        for i in 0..64 {
+            assert!((l.out[i] - (l.a[i] + l.b[i])).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn checksum_is_finite_and_stable() {
+        let mut l = MatrixAddLoad::new(16, 1);
+        let c1 = l.run_once();
+        let c2 = l.run_once();
+        assert!(c1.is_finite());
+        assert_eq!(c1, c2, "same matrices → same sum");
+    }
+
+    #[test]
+    fn cost_is_quadratic() {
+        assert_eq!(MatrixAddLoad::new(10, 0).cost(), 100);
+        assert_eq!(MatrixAddLoad::new(100, 0).cost(), 10_000);
+    }
+
+    #[test]
+    fn seeded_reproducibility() {
+        let a = MatrixAddLoad::new(4, 7);
+        let b = MatrixAddLoad::new(4, 7);
+        assert_eq!(a.a, b.a);
+        assert_eq!(a.b, b.b);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_dimension_rejected() {
+        MatrixAddLoad::new(0, 0);
+    }
+}

@@ -1,0 +1,137 @@
+//! Reordering for *predictable* loops (§2.1 of the paper).
+//!
+//! §2.1 classifies loops by how much is known about iteration sizes:
+//! compile-time-known, **predictable** ("we cannot determine the
+//! iteration sizes, but they can be ordered"), and irregular. For
+//! predictable loops the classic play is longest-processing-time-first
+//! (LPT): schedule expensive iterations early so stragglers cannot
+//! appear at the end. This module provides that ordering as a
+//! [`crate::Workload`] adapter — the counterpart of the sampling
+//! reorder used for irregular loops.
+
+use crate::Workload;
+
+/// A workload presented in decreasing (or increasing) cost order.
+///
+/// Like [`crate::SampledWorkload`], position `j` maps to a fixed
+/// permutation of the inner workload, so results are unchanged — only
+/// the schedule-visible order differs.
+#[derive(Debug, Clone)]
+pub struct SortedWorkload<W> {
+    inner: W,
+    /// Permutation: position → original index.
+    order: Vec<u64>,
+    decreasing: bool,
+}
+
+impl<W: Workload> SortedWorkload<W> {
+    /// Presents `inner` in decreasing cost order (LPT).
+    pub fn decreasing(inner: W) -> Self {
+        Self::build(inner, true)
+    }
+
+    /// Presents `inner` in increasing cost order (the adversarial
+    /// order for self-scheduling: the big ones land last).
+    pub fn increasing(inner: W) -> Self {
+        Self::build(inner, false)
+    }
+
+    fn build(inner: W, decreasing: bool) -> Self {
+        let mut order: Vec<u64> = (0..inner.len()).collect();
+        // Stable sort keeps equal-cost iterations in original order,
+        // making the permutation deterministic.
+        if decreasing {
+            order.sort_by_key(|&i| std::cmp::Reverse(inner.cost(i)));
+        } else {
+            order.sort_by_key(|&i| inner.cost(i));
+        }
+        SortedWorkload {
+            inner,
+            order,
+            decreasing,
+        }
+    }
+
+    /// Whether the order is decreasing (LPT).
+    pub fn is_decreasing(&self) -> bool {
+        self.decreasing
+    }
+
+    /// Original iteration index for position `j`.
+    pub fn original_index(&self, j: u64) -> u64 {
+        self.order[j as usize]
+    }
+
+    /// The wrapped workload.
+    pub fn inner(&self) -> &W {
+        &self.inner
+    }
+}
+
+impl<W: Workload> Workload for SortedWorkload<W> {
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+    fn cost(&self, i: u64) -> u64 {
+        self.inner.cost(self.order[i as usize])
+    }
+    fn execute(&self, i: u64) -> u64 {
+        self.inner.execute(self.order[i as usize])
+    }
+    fn result_bytes(&self, i: u64) -> u64 {
+        self.inner.result_bytes(self.order[i as usize])
+    }
+    fn name(&self) -> &'static str {
+        if self.decreasing {
+            "sorted-decreasing"
+        } else {
+            "sorted-increasing"
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loop_styles::{IncreasingLoop, SyntheticWorkload};
+
+    #[test]
+    fn decreasing_profile_is_monotone() {
+        let w = SortedWorkload::decreasing(SyntheticWorkload::new(vec![3, 9, 1, 7, 7]));
+        assert_eq!(w.cost_profile(), vec![9, 7, 7, 3, 1]);
+        assert!(w.is_decreasing());
+    }
+
+    #[test]
+    fn increasing_profile_is_monotone() {
+        let w = SortedWorkload::increasing(SyntheticWorkload::new(vec![3, 9, 1, 7, 7]));
+        assert_eq!(w.cost_profile(), vec![1, 3, 7, 7, 9]);
+    }
+
+    #[test]
+    fn order_is_a_permutation_with_same_results() {
+        let inner = IncreasingLoop::new(50, 1, 3);
+        let w = SortedWorkload::decreasing(inner.clone());
+        let mut orig: Vec<u64> = (0..50).map(|i| inner.execute(i)).collect();
+        let mut sorted: Vec<u64> = (0..50).map(|j| w.execute(j)).collect();
+        orig.sort_unstable();
+        sorted.sort_unstable();
+        assert_eq!(orig, sorted);
+        assert_eq!(w.total_cost(), inner.total_cost());
+    }
+
+    #[test]
+    fn equal_costs_keep_original_order() {
+        let w = SortedWorkload::decreasing(SyntheticWorkload::new(vec![5, 5, 5]));
+        assert_eq!(
+            (0..3).map(|j| w.original_index(j)).collect::<Vec<_>>(),
+            vec![0, 1, 2]
+        );
+    }
+
+    #[test]
+    fn empty_workload() {
+        let w = SortedWorkload::decreasing(SyntheticWorkload::new(vec![]));
+        assert_eq!(w.len(), 0);
+    }
+}

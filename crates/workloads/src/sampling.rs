@@ -1,0 +1,205 @@
+//! Iteration reordering by *sampling* (§2.1 of the paper).
+//!
+//! §2.1: *"For a loop with I iterations, a sampling frequency `S_f` is
+//! given. We sample the loop `S_f` times, taking first the iterations
+//! whose index `i` satisfies `i mod S_f = 0`, then the iterations with
+//! `i mod S_f = 1`, and so on. After sampling, the `S_f` samples are
+//! placed in a sequence. Since no data dependency is assumed between
+//! iterations, computing the sampled loops will produce the same result
+//! as the original one."*
+//!
+//! The effect (the paper's Figure 1): a strongly clustered cost profile
+//! — like Mandelbrot's, where expensive columns sit together over the
+//! set's interior — is spread out so consecutive chunks have more
+//! uniform total cost. The paper's experiments all use `S_f = 4`.
+
+use crate::Workload;
+
+/// The sampled iteration order: position `j` of the reordered loop maps
+/// to original iteration `sampled_order(I, sf)[j]`.
+///
+/// For `I = 10`, `S_f = 4`: `[0, 4, 8, 1, 5, 9, 2, 6, 3, 7]`.
+///
+/// # Panics
+/// If `sf == 0`.
+pub fn sampled_order(total: u64, sf: u64) -> Vec<u64> {
+    assert!(sf >= 1, "sampling frequency must be at least 1");
+    let mut order = Vec::with_capacity(total as usize);
+    for residue in 0..sf.min(total.max(1)) {
+        let mut i = residue;
+        while i < total {
+            order.push(i);
+            i += sf;
+        }
+    }
+    order
+}
+
+/// A [`Workload`] adapter that presents another workload in sampled
+/// (reordered) iteration order.
+///
+/// Index `j` of the adapter corresponds to index `order[j]` of the
+/// inner workload; costs, execution and result sizes all follow the
+/// permutation, so schedulers see the *reordered* cost profile while
+/// the computed results are those of the original loop.
+/// # Example
+///
+/// ```
+/// use lss_workloads::{sampled_order, SampledWorkload, SyntheticWorkload, Workload};
+///
+/// assert_eq!(sampled_order(8, 4), vec![0, 4, 1, 5, 2, 6, 3, 7]);
+/// let inner = SyntheticWorkload::new(vec![1, 2, 3, 4, 5, 6, 7, 8]);
+/// let sampled = SampledWorkload::new(inner, 4);
+/// assert_eq!(sampled.cost(1), 5); // position 1 → original index 4
+/// ```
+#[derive(Debug, Clone)]
+pub struct SampledWorkload<W> {
+    inner: W,
+    /// Permutation: reordered position → original index.
+    order: Vec<u64>,
+    sf: u64,
+}
+
+impl<W: Workload> SampledWorkload<W> {
+    /// Wraps `inner` with sampling frequency `sf`.
+    pub fn new(inner: W, sf: u64) -> Self {
+        let order = sampled_order(inner.len(), sf);
+        SampledWorkload { inner, order, sf }
+    }
+
+    /// The sampling frequency `S_f`.
+    pub fn sampling_frequency(&self) -> u64 {
+        self.sf
+    }
+
+    /// Original iteration index for reordered position `j`.
+    pub fn original_index(&self, j: u64) -> u64 {
+        self.order[j as usize]
+    }
+
+    /// The wrapped workload.
+    pub fn inner(&self) -> &W {
+        &self.inner
+    }
+}
+
+impl<W: Workload> Workload for SampledWorkload<W> {
+    fn len(&self) -> u64 {
+        self.inner.len()
+    }
+    fn cost(&self, i: u64) -> u64 {
+        self.inner.cost(self.order[i as usize])
+    }
+    fn execute(&self, i: u64) -> u64 {
+        self.inner.execute(self.order[i as usize])
+    }
+    fn result_bytes(&self, i: u64) -> u64 {
+        self.inner.result_bytes(self.order[i as usize])
+    }
+    fn name(&self) -> &'static str {
+        "sampled"
+    }
+}
+
+/// Measures how uniform a cost profile is over windows of `window`
+/// consecutive iterations: the ratio `max window cost / min window
+/// cost` (1.0 = perfectly uniform). Sampling should shrink this for
+/// clustered profiles — the property Figure 1 illustrates.
+pub fn windowed_imbalance(profile: &[u64], window: usize) -> f64 {
+    assert!(window >= 1, "window must be at least 1");
+    let sums: Vec<u64> = profile
+        .chunks(window)
+        .filter(|c| c.len() == window)
+        .map(|c| c.iter().sum())
+        .collect();
+    if sums.is_empty() {
+        return 1.0;
+    }
+    let max = *sums.iter().max().unwrap() as f64;
+    let min = (*sums.iter().min().unwrap()).max(1) as f64;
+    max / min
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::loop_styles::{IncreasingLoop, SyntheticWorkload};
+
+    #[test]
+    fn order_matches_paper_description() {
+        assert_eq!(sampled_order(10, 4), vec![0, 4, 8, 1, 5, 9, 2, 6, 3, 7]);
+        assert_eq!(sampled_order(6, 2), vec![0, 2, 4, 1, 3, 5]);
+    }
+
+    #[test]
+    fn sf_one_is_identity() {
+        assert_eq!(sampled_order(5, 1), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn sf_at_least_total_is_identity() {
+        assert_eq!(sampled_order(4, 4), vec![0, 1, 2, 3]);
+        assert_eq!(sampled_order(4, 9), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn order_is_a_permutation() {
+        for (total, sf) in [(100u64, 4u64), (97, 3), (1000, 7), (5, 2)] {
+            let mut o = sampled_order(total, sf);
+            o.sort_unstable();
+            let expected: Vec<u64> = (0..total).collect();
+            assert_eq!(o, expected, "I={total}, sf={sf}");
+        }
+    }
+
+    #[test]
+    fn empty_loop_empty_order() {
+        assert!(sampled_order(0, 4).is_empty());
+    }
+
+    #[test]
+    fn sampled_workload_permutes_costs() {
+        let inner = SyntheticWorkload::new(vec![10, 20, 30, 40, 50, 60, 70, 80]);
+        let s = SampledWorkload::new(inner, 4);
+        // Order: 0 4 1 5 2 6 3 7 → costs 10 50 20 60 30 70 40 80.
+        assert_eq!(s.cost_profile(), vec![10, 50, 20, 60, 30, 70, 40, 80]);
+        assert_eq!(s.total_cost(), 360);
+    }
+
+    #[test]
+    fn sampled_results_match_original() {
+        let inner = IncreasingLoop::new(20, 1, 5);
+        let s = SampledWorkload::new(inner.clone(), 4);
+        let mut original: Vec<u64> = (0..20).map(|i| inner.execute(i)).collect();
+        let mut sampled: Vec<u64> = (0..20).map(|j| s.execute(j)).collect();
+        original.sort_unstable();
+        sampled.sort_unstable();
+        assert_eq!(original, sampled, "same multiset of results");
+    }
+
+    #[test]
+    fn sampling_flattens_linear_profile() {
+        // A linearly increasing loop is maximally clustered; S_f = 4
+        // must reduce the windowed imbalance.
+        let inner = IncreasingLoop::new(1000, 1, 10);
+        let before = windowed_imbalance(&inner.cost_profile(), 50);
+        let s = SampledWorkload::new(inner, 4);
+        let after = windowed_imbalance(&s.cost_profile(), 50);
+        assert!(
+            after < before / 2.0,
+            "sampling should flatten: before {before:.1}, after {after:.1}"
+        );
+    }
+
+    #[test]
+    fn windowed_imbalance_uniform_is_one() {
+        let profile = vec![5u64; 100];
+        assert!((windowed_imbalance(&profile, 10) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_sf_rejected() {
+        sampled_order(10, 0);
+    }
+}

@@ -1,0 +1,82 @@
+//! Compare every scheduling scheme on the paper's simulated cluster —
+//! Mandelbrot on 3 fast + 5 slow PEs — in one table.
+//!
+//! ```sh
+//! cargo run --release --example mandelbrot_cluster [width height]
+//! ```
+
+use loop_self_scheduling::prelude::*;
+use lss_metrics::table::TextTable;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let width: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(1200);
+    let height: u32 = args.next().and_then(|s| s.parse().ok()).unwrap_or(600);
+
+    let workload = SampledWorkload::new(
+        Mandelbrot::new(MandelbrotParams::paper_domain(width, height)),
+        4,
+    );
+    let traces = vec![LoadTrace::dedicated(); 8];
+    println!(
+        "Mandelbrot {width}x{height} (S_f = 4), {} column-tasks, total cost {} ops",
+        workload.len(),
+        workload.total_cost()
+    );
+    let t1 = lss_sim::engine::sequential_time(&workload, lss_sim::cluster::FAST_SPEED);
+    println!("sequential time on one fast PE: {t1:.1} s\n");
+
+    let schemes = [
+        SchemeKind::Static,
+        SchemeKind::Css { k: 32 },
+        SchemeKind::Gss { min_chunk: 1 },
+        SchemeKind::Tss,
+        SchemeKind::Fss,
+        SchemeKind::Fiss { sigma: 4 },
+        SchemeKind::Tfss,
+        SchemeKind::Wf,
+        SchemeKind::Dtss,
+        SchemeKind::Dfss,
+        SchemeKind::Dfiss { sigma: 4 },
+        SchemeKind::Dtfss,
+    ];
+
+    let mut table = TextTable::new(vec![
+        "scheme".into(),
+        "T_p (s)".into(),
+        "speedup".into(),
+        "steps".into(),
+        "comp imbalance".into(),
+        "overhead (s)".into(),
+    ]);
+    for scheme in schemes {
+        let cfg = SimConfig::new(ClusterSpec::paper_p8(), scheme);
+        let r = simulate(&cfg, &workload, &traces);
+        table.push_row(vec![
+            r.scheme.clone(),
+            format!("{:.1}", r.t_p),
+            format!("{:.2}", t1 / r.t_p),
+            r.scheduling_steps.to_string(),
+            format!("{:.3}", r.comp_imbalance()),
+            format!("{:.1}", r.total_overhead()),
+        ]);
+    }
+    // Tree scheduling rounds out the comparison.
+    for (label, weighted) in [("TreeS", false), ("TreeS-w", true)] {
+        let r = simulate_tree(
+            &TreeSimConfig::new(ClusterSpec::paper_p8(), weighted),
+            &workload,
+            &traces,
+        );
+        table.push_row(vec![
+            label.into(),
+            format!("{:.1}", r.t_p),
+            format!("{:.2}", t1 / r.t_p),
+            r.scheduling_steps.to_string(),
+            format!("{:.3}", r.comp_imbalance()),
+            format!("{:.1}", r.total_overhead()),
+        ]);
+    }
+    println!("{}", table.render());
+    println!("(dedicated cluster: 3 fast + 5 slow slaves; fast ≈ 2.65× slow)");
+}

@@ -1,0 +1,122 @@
+//! Interactive chunk-sequence explorer: print the chunks any scheme
+//! would dispense for a given loop size and PE count — a generalized
+//! Table 1.
+//!
+//! ```sh
+//! cargo run --example scheme_explorer -- tfss 1000 4
+//! cargo run --example scheme_explorer -- dtss 1000 "2.65,2.65,1,1"
+//! cargo run --example scheme_explorer -- all 1000 4
+//! ```
+
+use loop_self_scheduling::prelude::*;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: scheme_explorer <scheme> <I> <p | power-list>\n\
+         schemes: s ss css:<k> gss gss:<k> tss fss fiss:<sigma> tfss wf\n\
+                  dtss dfss dfiss:<sigma> dtfss all\n\
+         the third argument is either a PE count (homogeneous) or a\n\
+         comma-separated virtual-power list, e.g. \"2.65,2.65,1,1\""
+    );
+    std::process::exit(2);
+}
+
+fn parse_scheme(s: &str) -> Option<SchemeKind> {
+    let (name, param) = match s.split_once(':') {
+        Some((n, p)) => (n, Some(p)),
+        None => (s, None),
+    };
+    let num = |d: u64| param.and_then(|p| p.parse().ok()).unwrap_or(d);
+    Some(match name {
+        "s" => SchemeKind::Static,
+        "ss" => SchemeKind::Pure,
+        "css" => SchemeKind::Css { k: num(1) },
+        "gss" => SchemeKind::Gss { min_chunk: num(1) },
+        "tss" => SchemeKind::Tss,
+        "fss" => SchemeKind::Fss,
+        "fiss" => SchemeKind::Fiss { sigma: num(3) as u32 },
+        "tfss" => SchemeKind::Tfss,
+        "wf" => SchemeKind::Wf,
+        "dtss" => SchemeKind::Dtss,
+        "dfss" => SchemeKind::Dfss,
+        "dfiss" => SchemeKind::Dfiss { sigma: num(3) as u32 },
+        "dtfss" => SchemeKind::Dtfss,
+        _ => return None,
+    })
+}
+
+fn show(scheme: SchemeKind, total: u64, powers: &[VirtualPower]) {
+    let cfg = MasterConfig {
+        scheme,
+        total,
+        powers: powers.to_vec(),
+        initial_q: vec![1; powers.len()],
+        acp: AcpConfig::PAPER,
+    };
+    let mut master = Master::new(cfg);
+    let p = powers.len();
+    let mut rows: Vec<Vec<u64>> = vec![Vec::new(); p];
+    let mut order = Vec::new();
+    let mut w = 0usize;
+    loop {
+        match master.handle_request(w % p, 1) {
+            Assignment::Chunk(c) => {
+                rows[w % p].push(c.len);
+                order.push(c.len);
+            }
+            Assignment::Retry => {}
+            Assignment::Finished => break,
+        }
+        w += 1;
+    }
+    println!("{} (I = {total}, p = {p}):", scheme.name());
+    println!("  sequence: {}", order.iter().map(|s| s.to_string()).collect::<Vec<_>>().join(" "));
+    for (i, r) in rows.iter().enumerate() {
+        println!(
+            "  PE{} (V={:.2}): {} chunks, {} iterations",
+            i + 1,
+            powers[i].get(),
+            r.len(),
+            r.iter().sum::<u64>()
+        );
+    }
+    println!("  scheduling steps: {}\n", order.len());
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.len() != 3 {
+        usage();
+    }
+    let total: u64 = args[1].parse().unwrap_or_else(|_| usage());
+    let powers: Vec<VirtualPower> = if args[2].contains(',') {
+        args[2]
+            .split(',')
+            .map(|s| VirtualPower::new(s.trim().parse().unwrap_or_else(|_| usage())))
+            .collect()
+    } else {
+        let p: usize = args[2].parse().unwrap_or_else(|_| usage());
+        vec![VirtualPower::new(1.0); p]
+    };
+
+    if args[0] == "all" {
+        for s in [
+            SchemeKind::Static,
+            SchemeKind::Gss { min_chunk: 1 },
+            SchemeKind::Tss,
+            SchemeKind::Fss,
+            SchemeKind::Fiss { sigma: 3 },
+            SchemeKind::Tfss,
+            SchemeKind::Wf,
+            SchemeKind::Dtss,
+            SchemeKind::Dfss,
+            SchemeKind::Dfiss { sigma: 3 },
+            SchemeKind::Dtfss,
+        ] {
+            show(s, total, &powers);
+        }
+    } else {
+        let scheme = parse_scheme(&args[0]).unwrap_or_else(|| usage());
+        show(scheme, total, &powers);
+    }
+}

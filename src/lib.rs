@@ -1,0 +1,67 @@
+//! # loop-self-scheduling
+//!
+//! A Rust reproduction of *"A Class of Loop Self-Scheduling for
+//! Heterogeneous Clusters"* (Chronopoulos, Andonie, Benche, Grosu —
+//! IEEE CLUSTER 2001): every simple self-scheduling scheme the paper
+//! reviews (CSS, GSS, TSS, FSS, FISS), its new **TFSS** scheme, the
+//! ACP-based distributed schemes (DTSS, DFSS, DFISS, DTFSS), the
+//! tree-scheduling and weighted-factoring baselines, a discrete-event
+//! heterogeneous-cluster simulator, a real threaded master–worker
+//! runtime, the Mandelbrot workload, and harnesses regenerating every
+//! table and figure of the paper.
+//!
+//! This crate is a facade re-exporting the workspace members:
+//!
+//! - [`lss_core`] (re-exported as `core`) — the schemes and master logic,
+//! - [`lss_workloads`] — Mandelbrot, loop styles, kernels, sampling,
+//! - [`lss_sim`] — the cluster simulator,
+//! - [`lss_runtime`] — real threads + channels/TCP transport,
+//! - [`lss_metrics`] — breakdowns, speedups, tables, plots.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use loop_self_scheduling::prelude::*;
+//! use std::sync::Arc;
+//!
+//! // Schedule an irregular Mandelbrot loop (small window to keep
+//! // doctests quick) on an emulated 1-fast + 2-slow cluster, with the
+//! // paper's new TFSS scheme.
+//! let workload = Arc::new(Mandelbrot::new(MandelbrotParams::paper_domain(64, 64)));
+//! let cfg = HarnessConfig::paper_mix(SchemeKind::Tfss, 1, 2);
+//! let out = run_scheduled_loop(&cfg, workload);
+//! assert_eq!(out.results.len(), 64); // one result per column
+//! ```
+
+pub use lss_core as core;
+pub use lss_metrics as metrics;
+pub use lss_runtime as runtime;
+pub use lss_sim as sim;
+pub use lss_workloads as workloads;
+
+/// The common imports for applications.
+pub mod prelude {
+    pub use lss_core::chunk::{Chunk, ChunkDispenser};
+    pub use lss_core::distributed::{DistKind, DistributedScheduler, Grant};
+    pub use lss_core::master::{Assignment, Master, MasterConfig, SchemeKind};
+    pub use lss_core::power::{Acp, AcpConfig, VirtualPower};
+    pub use lss_core::scheme::{
+        ChunkSelfSched, ChunkSizer, FactoringSelfSched, FixedIncreaseSelfSched, GuidedSelfSched,
+        PureSelfSched, StaticSched, TrapezoidFactoringSelfSched, TrapezoidSelfSched,
+        WeightedFactoring,
+    };
+    pub use lss_core::tree::TreeScheduler;
+    pub use lss_metrics::breakdown::{RunReport, TimeBreakdown};
+    pub use lss_metrics::speedup::SpeedupSeries;
+    pub use lss_runtime::harness::{
+        run_scheduled_loop, HarnessConfig, HarnessOutcome, Transport, WorkerSpec,
+    };
+    pub use lss_runtime::load::LoadState;
+    pub use lss_sim::{
+        simulate, simulate_tree, ClusterSpec, LoadTrace, SimConfig, SimTime, TreeSimConfig,
+    };
+    pub use lss_workloads::{
+        sampled_order, Mandelbrot, MandelbrotParams, SampledWorkload, SortedWorkload,
+        SyntheticWorkload, UniformLoop, Workload,
+    };
+}

@@ -1,0 +1,173 @@
+//! Property-based invariants of the distributed schemes (DTSS, DFSS,
+//! DFISS, DTFSS) under arbitrary heterogeneity and load reports.
+
+use loop_self_scheduling::prelude::*;
+use lss_core::chunk::validate_tiling;
+use proptest::prelude::*;
+
+fn kinds() -> Vec<DistKind> {
+    vec![
+        DistKind::Dtss,
+        DistKind::Dfss,
+        DistKind::Dfiss { sigma: 3 },
+        DistKind::Dtfss,
+    ]
+}
+
+fn powers_strategy() -> impl Strategy<Value = Vec<f64>> {
+    prop::collection::vec(0.5f64..5.0, 1..10)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn every_kind_tiles_under_round_robin(
+        total in 0u64..50_000,
+        powers in powers_strategy(),
+    ) {
+        let vp: Vec<VirtualPower> = powers.iter().map(|&v| VirtualPower::new(v)).collect();
+        for kind in kinds() {
+            let mut s = DistributedScheduler::dedicated(kind, total, &vp, AcpConfig::PAPER);
+            let p = vp.len();
+            let mut chunks = Vec::new();
+            let mut w = 0usize;
+            loop {
+                match s.request(w % p, 1) {
+                    Grant::Chunk(c) => chunks.push(c),
+                    Grant::Unavailable => unreachable!("dedicated workers are available"),
+                    Grant::Finished => break,
+                }
+                w += 1;
+            }
+            validate_tiling(&chunks, total)
+                .map_err(|e| TestCaseError::fail(format!("{}: {e}", kind.name())))?;
+        }
+    }
+
+    #[test]
+    fn tiles_under_biased_request_order(
+        total in 1u64..20_000,
+        powers in powers_strategy(),
+        bias in 0usize..5,
+    ) {
+        // One worker requests `bias + 1` times as often as the others —
+        // tiling must survive any interleaving.
+        let vp: Vec<VirtualPower> = powers.iter().map(|&v| VirtualPower::new(v)).collect();
+        let p = vp.len();
+        for kind in kinds() {
+            let mut s = DistributedScheduler::dedicated(kind, total, &vp, AcpConfig::PAPER);
+            let mut chunks = Vec::new();
+            let mut i = 0usize;
+            loop {
+                let w = if i.is_multiple_of(bias + 2) { 0 } else { i % p };
+                match s.request(w, 1) {
+                    Grant::Chunk(c) => chunks.push(c),
+                    Grant::Unavailable => unreachable!(),
+                    Grant::Finished => break,
+                }
+                i += 1;
+            }
+            validate_tiling(&chunks, total)
+                .map_err(|e| TestCaseError::fail(format!("{}: {e}", kind.name())))?;
+        }
+    }
+
+    #[test]
+    fn tiles_under_fluctuating_load(
+        total in 1u64..20_000,
+        powers in powers_strategy(),
+        seed in 0u64..1_000,
+    ) {
+        // Run-queue lengths wobble between 1 and 4 per request; the
+        // scheduler must still terminate and tile exactly (re-planning
+        // included).
+        let vp: Vec<VirtualPower> = powers.iter().map(|&v| VirtualPower::new(v)).collect();
+        let p = vp.len();
+        for kind in kinds() {
+            let mut s = DistributedScheduler::dedicated(kind, total, &vp, AcpConfig::PAPER);
+            let mut chunks = Vec::new();
+            let mut w = 0usize;
+            let mut x = seed.wrapping_add(1);
+            let mut guard = 0u64;
+            loop {
+                x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+                let q = 1 + ((x >> 33) % 4) as u32;
+                match s.request(w % p, q) {
+                    Grant::Chunk(c) => chunks.push(c),
+                    Grant::Unavailable => {}
+                    Grant::Finished => break,
+                }
+                w += 1;
+                guard += 1;
+                prop_assert!(guard < total * 4 + 10_000, "{} livelocked", kind.name());
+            }
+            validate_tiling(&chunks, total)
+                .map_err(|e| TestCaseError::fail(format!("{}: {e}", kind.name())))?;
+        }
+    }
+
+    #[test]
+    fn share_tracks_power(ratio in 1.5f64..4.0, total in 10_000u64..80_000) {
+        // A worker `ratio`× as powerful receives roughly `ratio`× the
+        // iterations under every distributed scheme.
+        let vp = vec![VirtualPower::new(ratio), VirtualPower::new(1.0)];
+        for kind in kinds() {
+            let mut s = DistributedScheduler::dedicated(kind, total, &vp, AcpConfig::PAPER);
+            let mut got = [0u64; 2];
+            let mut w = 0usize;
+            loop {
+                match s.request(w % 2, 1) {
+                    Grant::Chunk(c) => got[w % 2] += c.len,
+                    Grant::Unavailable => unreachable!(),
+                    Grant::Finished => break,
+                }
+                w += 1;
+            }
+            let measured = got[0] as f64 / got[1].max(1) as f64;
+            prop_assert!(
+                measured > ratio * 0.5 && measured < ratio * 2.2,
+                "{}: power ratio {ratio:.2} but share ratio {measured:.2} ({got:?})",
+                kind.name()
+            );
+        }
+    }
+
+    #[test]
+    fn acp_scaling_never_starves_available_clusters(
+        powers in powers_strategy(),
+        queues in prop::collection::vec(1u32..6, 1..10),
+    ) {
+        // With the paper's scale-10 rule, any finite load leaves the
+        // cluster schedulable (the §5.2(I) repair, generalized).
+        prop_assume!(powers.len() == queues.len());
+        let vp: Vec<VirtualPower> = powers.iter().map(|&v| VirtualPower::new(v)).collect();
+        let s = DistributedScheduler::new(DistKind::Dtss, 100, &vp, &queues, AcpConfig::PAPER);
+        prop_assert!(s.planned_total_acp() > 0);
+    }
+}
+
+#[test]
+fn replanning_preserves_tiling_exactly_at_threshold() {
+    // Drive a DTSS master through repeated forced re-plans and verify
+    // accounting never drifts.
+    let vp = vec![VirtualPower::new(1.0); 4];
+    let mut s = DistributedScheduler::dedicated(DistKind::Dtss, 10_000, &vp, AcpConfig::PAPER);
+    let mut chunks = Vec::new();
+    let mut w = 0usize;
+    let mut q = 1u32;
+    loop {
+        // Every 4 requests, flip everyone's load to force a re-plan.
+        if w.is_multiple_of(4) {
+            q = if q == 1 { 3 } else { 1 };
+        }
+        match s.request(w % 4, q) {
+            Grant::Chunk(c) => chunks.push(c),
+            Grant::Unavailable => {}
+            Grant::Finished => break,
+        }
+        w += 1;
+    }
+    lss_core::chunk::validate_tiling(&chunks, 10_000).unwrap();
+    assert!(s.plans_made() > 2, "expected repeated re-planning");
+}

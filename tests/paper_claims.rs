@@ -1,0 +1,201 @@
+//! The paper's headline claims, as executable assertions.
+//!
+//! These are the qualitative results a reader takes away from the
+//! paper; each test reproduces one on the simulated cluster (scaled
+//! down enough to run in a test suite).
+
+use loop_self_scheduling::prelude::*;
+use lss_sim::cluster::FAST_SPEED;
+
+/// A scaled-down Table 2/3 workload (same domain, S_f = 4).
+fn workload() -> SampledWorkload<Mandelbrot> {
+    SampledWorkload::new(Mandelbrot::new(MandelbrotParams::paper_domain(800, 400)), 4)
+}
+
+fn dedicated() -> Vec<LoadTrace> {
+    vec![LoadTrace::dedicated(); 8]
+}
+
+fn nondedicated() -> Vec<LoadTrace> {
+    let mut t = dedicated();
+    t[0] = LoadTrace::paper_overloaded();
+    for tr in t.iter_mut().take(6).skip(3) {
+        *tr = LoadTrace::paper_overloaded();
+    }
+    t
+}
+
+fn run(scheme: SchemeKind, traces: &[LoadTrace]) -> lss_metrics::RunReport {
+    let runs: Vec<_> = (0..3)
+        .map(|seed| {
+            let cfg = SimConfig::new(ClusterSpec::paper_p8(), scheme)
+                .with_jitter(SimTime::from_millis(20), seed);
+            simulate(&cfg, &workload(), traces)
+        })
+        .collect();
+    lss_metrics::breakdown::average_reports(&runs)
+}
+
+#[test]
+fn table1_chunk_sequences_match_paper_digit_for_digit() {
+    use lss_core::scheme::*;
+    let gss = ChunkDispenser::new(1000, GuidedSelfSched::new(4)).into_sizes();
+    assert_eq!(
+        gss,
+        vec![250, 188, 141, 106, 79, 59, 45, 33, 25, 19, 14, 11, 8, 6, 4, 3, 3, 2, 1, 1, 1, 1]
+    );
+    let tss = TrapezoidSelfSched::new(1000, 4).formula_sequence();
+    assert_eq!(tss, vec![125, 117, 109, 101, 93, 85, 77, 69, 61, 53, 45, 37, 29, 21, 13, 5]);
+    let tfss = TrapezoidFactoringSelfSched::new(1000, 4);
+    assert_eq!(tfss.stage_chunks(), &[113, 81, 49, 17]);
+    let fiss = ChunkDispenser::new(1000, FixedIncreaseSelfSched::new(1000, 4, 3)).into_sizes();
+    assert_eq!(fiss[..4], [50; 4]);
+    assert_eq!(fiss[4..8], [83; 4]);
+    assert_eq!(fiss[8..12], [117; 4]);
+}
+
+#[test]
+fn distributed_schemes_balance_computation_on_heterogeneous_clusters() {
+    // §6.1: "The execution is well-balanced, in terms of the
+    // computation times" for the distributed schemes — unlike §5.1's
+    // simple schemes.
+    let pairs = [
+        (SchemeKind::Tss, SchemeKind::Dtss),
+        (SchemeKind::Fss, SchemeKind::Dfss),
+        (SchemeKind::Fiss { sigma: 4 }, SchemeKind::Dfiss { sigma: 4 }),
+        (SchemeKind::Tfss, SchemeKind::Dtfss),
+    ];
+    for (simple, dist) in pairs {
+        let rs = run(simple, &dedicated());
+        let rd = run(dist, &dedicated());
+        assert!(
+            rd.comp_imbalance() < rs.comp_imbalance(),
+            "{}: imbalance {:.3} !< {} {:.3}",
+            rd.scheme,
+            rd.comp_imbalance(),
+            rs.scheme,
+            rs.comp_imbalance()
+        );
+    }
+}
+
+#[test]
+fn distributed_schemes_cut_overhead_and_makespan() {
+    // Table 3 vs Table 2: communication/waiting much reduced, T_p lower.
+    for (simple, dist) in [
+        (SchemeKind::Tss, SchemeKind::Dtss),
+        (SchemeKind::Fss, SchemeKind::Dfss),
+    ] {
+        let rs = run(simple, &dedicated());
+        let rd = run(dist, &dedicated());
+        assert!(rd.t_p < rs.t_p, "{} {:.1} !< {} {:.1}", rd.scheme, rd.t_p, rs.scheme, rs.t_p);
+        assert!(
+            rd.total_overhead() < rs.total_overhead(),
+            "{} overhead !< {}",
+            rd.scheme,
+            rs.scheme
+        );
+    }
+}
+
+#[test]
+fn nondedicated_load_hurts_simple_more_than_distributed() {
+    // The conclusions: the distributed schemes "take into account the
+    // computer processing speeds and their actual loads", maintaining
+    // balance when loads change.
+    let simple_pen = run(SchemeKind::Tfss, &nondedicated()).t_p / run(SchemeKind::Tfss, &dedicated()).t_p;
+    let dist_pen = run(SchemeKind::Dtfss, &nondedicated()).t_p / run(SchemeKind::Dtfss, &dedicated()).t_p;
+    assert!(
+        dist_pen < simple_pen,
+        "DTFSS degradation {dist_pen:.2} !< TFSS {simple_pen:.2}"
+    );
+}
+
+#[test]
+fn dtss_is_the_best_distributed_scheme() {
+    // §6.1 / Conclusions: "The DTSS ... were the most efficient
+    // amongst all the distributed schemes."
+    let dtss = run(SchemeKind::Dtss, &dedicated()).t_p;
+    for other in [
+        SchemeKind::Dfss,
+        SchemeKind::Dfiss { sigma: 4 },
+        SchemeKind::Dtfss,
+    ] {
+        let tp = run(other, &dedicated()).t_p;
+        assert!(
+            dtss <= tp * 1.05,
+            "DTSS {dtss:.1} should not lose to {} {tp:.1}",
+            other.name()
+        );
+    }
+}
+
+#[test]
+fn tss_and_tfss_lead_the_simple_schemes_dedicated() {
+    // Table 2 dedicated: "TSS performed best, followed by TFSS."
+    let tss = run(SchemeKind::Tss, &dedicated()).t_p;
+    let tfss = run(SchemeKind::Tfss, &dedicated()).t_p;
+    let fss = run(SchemeKind::Fss, &dedicated()).t_p;
+    let fiss = run(SchemeKind::Fiss { sigma: 4 }, &dedicated()).t_p;
+    let leaders = tss.min(tfss);
+    assert!(
+        leaders <= fss * 1.02 && leaders <= fiss * 1.02,
+        "TSS {tss:.1}/TFSS {tfss:.1} should lead FSS {fss:.1}, FISS {fiss:.1}"
+    );
+}
+
+#[test]
+fn speedup_respects_the_power_bound() {
+    // §6.1: with 3 fast ≈ 3× and 5 slow PEs, S_p ≤ ~4.5 even with zero
+    // overhead; the simulation must never exceed the exact bound.
+    let w = workload();
+    let t1 = lss_sim::engine::sequential_time(&w, FAST_SPEED);
+    let bound = (3.0 * 2.65 + 5.0) / 2.65;
+    for scheme in [SchemeKind::Dtss, SchemeKind::Tss] {
+        let r = simulate(
+            &SimConfig::new(ClusterSpec::paper_p8(), scheme),
+            &w,
+            &dedicated(),
+        );
+        let sp = t1 / r.t_p;
+        assert!(sp <= bound, "{}: S_p {sp:.2} exceeds bound {bound:.2}", scheme.name());
+    }
+}
+
+#[test]
+fn sampling_reorder_computes_the_same_loop() {
+    // §2.1: "computing the sampled loops will produce the same result
+    // as the original one."
+    let base = Mandelbrot::new(MandelbrotParams::paper_domain(100, 80));
+    let sampled = SampledWorkload::new(base.clone(), 4);
+    let mut original: Vec<u64> = (0..100).map(|i| base.execute(i)).collect();
+    let mut reordered: Vec<u64> = (0..100).map(|j| sampled.execute(j)).collect();
+    original.sort_unstable();
+    reordered.sort_unstable();
+    assert_eq!(original, reordered);
+}
+
+#[test]
+fn original_dtss_rule_starves_where_the_fix_survives() {
+    // §5.2(I), end to end through the Master API.
+    let cfg = MasterConfig {
+        scheme: SchemeKind::Dtss,
+        total: 100,
+        powers: vec![VirtualPower::new(1.0), VirtualPower::new(3.0)],
+        initial_q: vec![2, 4],
+        acp: AcpConfig::PAPER,
+    };
+    let mut m = Master::new(cfg);
+    assert!(matches!(m.handle_request(1, 4), Assignment::Chunk(_)));
+
+    let res = std::panic::catch_unwind(|| {
+        Master::new(MasterConfig {
+            scheme: SchemeKind::Dtss,
+            total: 100,
+            powers: vec![VirtualPower::new(1.0), VirtualPower::new(3.0)],
+            initial_q: vec![2, 4],
+            acp: AcpConfig::ORIGINAL_DTSS,
+        })
+    });
+    assert!(res.is_err(), "original integer ACP rule must starve");
+}

@@ -1,0 +1,161 @@
+//! Property-based invariants of the simple self-scheduling schemes.
+//!
+//! Whatever the loop size, PE count and parameters, every scheme must
+//! tile the iteration space exactly (no loss, no overlap, no empty
+//! chunks) and respect its published structural properties.
+
+use loop_self_scheduling::prelude::*;
+use lss_core::chunk::validate_tiling;
+use lss_core::scheme::{
+    ChunkSelfSched, ChunkSizer, FactoringSelfSched, FixedIncreaseSelfSched, GuidedSelfSched,
+    PureSelfSched, StaticSched, TrapezoidFactoringSelfSched, TrapezoidSelfSched,
+};
+use proptest::prelude::*;
+
+fn drain<S: ChunkSizer>(total: u64, sizer: S) -> Vec<Chunk> {
+    ChunkDispenser::new(total, sizer).collect()
+}
+
+proptest! {
+    #[test]
+    fn static_tiles(total in 0u64..100_000, p in 1u32..64) {
+        validate_tiling(&drain(total, StaticSched::new(total, p)), total).unwrap();
+    }
+
+    #[test]
+    fn pure_tiles(total in 0u64..5_000) {
+        validate_tiling(&drain(total, PureSelfSched::new()), total).unwrap();
+    }
+
+    #[test]
+    fn css_tiles(total in 0u64..100_000, k in 1u64..10_000) {
+        validate_tiling(&drain(total, ChunkSelfSched::new(k)), total).unwrap();
+    }
+
+    #[test]
+    fn gss_tiles_and_decreases(total in 0u64..100_000, p in 1u32..64, k in 1u64..100) {
+        let chunks = drain(total, GuidedSelfSched::with_min_chunk(p, k));
+        validate_tiling(&chunks, total).unwrap();
+        // GSS chunk sizes never increase.
+        let sizes: Vec<u64> = chunks.iter().map(|c| c.len).collect();
+        prop_assert!(sizes.windows(2).all(|w| w[0] >= w[1]), "sizes {sizes:?}");
+    }
+
+    #[test]
+    fn tss_tiles_and_decreases(total in 0u64..100_000, p in 1u32..64) {
+        let chunks = drain(total, TrapezoidSelfSched::new(total, p));
+        validate_tiling(&chunks, total).unwrap();
+        let sizes: Vec<u64> = chunks.iter().map(|c| c.len).collect();
+        prop_assert!(sizes.windows(2).all(|w| w[0] >= w[1]), "sizes {sizes:?}");
+    }
+
+    #[test]
+    fn tss_with_bounds_tiles(total in 1u64..100_000, f in 1u64..5_000, l in 1u64..100) {
+        let chunks = drain(total, TrapezoidSelfSched::with_bounds(total, f, l));
+        validate_tiling(&chunks, total).unwrap();
+    }
+
+    #[test]
+    fn fss_tiles_with_stage_structure(total in 0u64..100_000, p in 1u32..64) {
+        let chunks = drain(total, FactoringSelfSched::new(p));
+        validate_tiling(&chunks, total).unwrap();
+    }
+
+    #[test]
+    fn fss_alpha_tiles(total in 0u64..50_000, p in 1u32..32, alpha in 1.1f64..8.0) {
+        let chunks = drain(total, FactoringSelfSched::with_alpha(p, alpha));
+        validate_tiling(&chunks, total).unwrap();
+    }
+
+    #[test]
+    fn fiss_tiles_and_grows(total in 0u64..100_000, p in 1u32..64, sigma in 2u32..10) {
+        let chunks = drain(total, FixedIncreaseSelfSched::new(total, p, sigma));
+        validate_tiling(&chunks, total).unwrap();
+        // Up to the final clamped chunk, sizes never decrease.
+        let sizes: Vec<u64> = chunks.iter().map(|c| c.len).collect();
+        if sizes.len() > 2 {
+            prop_assert!(
+                sizes[..sizes.len() - 1].windows(2).all(|w| w[0] <= w[1]),
+                "sizes {sizes:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn tfss_tiles(total in 0u64..100_000, p in 1u32..64) {
+        let chunks = drain(total, TrapezoidFactoringSelfSched::new(total, p));
+        validate_tiling(&chunks, total).unwrap();
+    }
+
+    #[test]
+    fn tfss_stage_sizes_linearly_decrease(total in 100u64..100_000, p in 1u32..32) {
+        let tfss = TrapezoidFactoringSelfSched::new(total, p);
+        let stages = tfss.stage_chunks();
+        // Stage sizes follow TSS's linear decrease: non-increasing, and
+        // consecutive differences equal up to rounding of the stage sum.
+        prop_assert!(stages.windows(2).all(|w| w[0] >= w[1]), "stages {stages:?}");
+    }
+
+    #[test]
+    fn tfss_has_no_more_steps_than_fss(total in 1u64..50_000, p in 1u32..32) {
+        let tfss = drain(total, TrapezoidFactoringSelfSched::new(total, p)).len();
+        let fss = drain(total, FactoringSelfSched::new(p)).len();
+        // §4: TFSS was designed for fewer scheduling steps than FSS's
+        // geometric halving (ties possible on tiny loops).
+        prop_assert!(tfss <= fss + p as usize, "TFSS {tfss} vs FSS {fss}");
+    }
+
+    #[test]
+    fn master_serves_all_schemes_identically_to_dispenser(
+        total in 1u64..20_000,
+        p in 1usize..16,
+    ) {
+        // The Master wrapper must not alter the chunk stream of a
+        // simple scheme: compare against a bare dispenser.
+        let mut master = Master::new(MasterConfig::homogeneous(SchemeKind::Tfss, total, p));
+        let mut from_master = Vec::new();
+        let mut w = 0usize;
+        loop {
+            match master.handle_request(w % p, 1) {
+                Assignment::Chunk(c) => from_master.push(c),
+                Assignment::Retry => {}
+                Assignment::Finished => break,
+            }
+            w += 1;
+        }
+        let direct: Vec<Chunk> = ChunkDispenser::new(
+            total,
+            TrapezoidFactoringSelfSched::new(total, p as u32),
+        )
+        .collect();
+        prop_assert_eq!(from_master, direct);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn weighted_factoring_is_weight_monotone(
+        total in 1_000u64..50_000,
+        w1 in 1.0f64..4.0,
+        w2 in 1.0f64..4.0,
+    ) {
+        // The heavier worker never ends up with fewer iterations when
+        // both drain the loop in strict alternation.
+        prop_assume!((w1 - w2).abs() > 0.2);
+        let mut wf = WeightedFactoring::new(total, &[w1, w2]);
+        let mut got = [0u64; 2];
+        let mut turn = 0;
+        while let Some(c) = wf.next_chunk(turn % 2) {
+            got[turn % 2] += c.len;
+            turn += 1;
+        }
+        prop_assert_eq!(got[0] + got[1], total);
+        if w1 > w2 {
+            prop_assert!(got[0] >= got[1]);
+        } else {
+            prop_assert!(got[1] >= got[0]);
+        }
+    }
+}

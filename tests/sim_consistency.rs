@@ -1,0 +1,189 @@
+//! Consistency between the three execution paths — bare master drain,
+//! discrete-event simulation, and the real threaded runtime — plus
+//! structural checks on the simulator's accounting.
+
+use std::sync::Arc;
+
+use loop_self_scheduling::prelude::*;
+
+#[test]
+fn sim_serves_every_iteration_exactly_once() {
+    let w = SyntheticWorkload::new((1..=777).map(|i| i % 97 + 1).collect());
+    for scheme in [
+        SchemeKind::Tss,
+        SchemeKind::Fss,
+        SchemeKind::Tfss,
+        SchemeKind::Dtss,
+        SchemeKind::Dtfss,
+    ] {
+        let cfg = SimConfig::new(ClusterSpec::paper_mix(2, 3), scheme);
+        let r = simulate(&cfg, &w, &vec![LoadTrace::dedicated(); 5]);
+        assert_eq!(
+            r.iterations.iter().sum::<u64>(),
+            777,
+            "{} lost/duplicated iterations",
+            scheme.name()
+        );
+    }
+}
+
+#[test]
+fn sim_and_runtime_agree_on_total_work_distribution_shape() {
+    // Both paths must give the fast PE more iterations than the slow
+    // one under the same scheme and a heterogeneity ratio of ~2.65/3.
+    let w = Arc::new(UniformLoop::new(600, 4_000));
+    let runtime_out = run_scheduled_loop(
+        &HarnessConfig::paper_mix(SchemeKind::Fss, 1, 1),
+        Arc::clone(&w),
+    );
+    let sim_r = simulate(
+        &SimConfig::new(ClusterSpec::paper_mix(1, 1), SchemeKind::Fss),
+        w.as_ref(),
+        &vec![LoadTrace::dedicated(); 2],
+    );
+    assert!(runtime_out.report.iterations[0] > runtime_out.report.iterations[1]);
+    assert!(sim_r.iterations[0] > sim_r.iterations[1]);
+}
+
+#[test]
+fn sim_accounting_is_conservative() {
+    // For every PE: t_com + t_wait + t_comp ≈ t_p (within event slop),
+    // and t_p ≥ the critical path lower bound total_cost / Σ speeds.
+    let w = SyntheticWorkload::new(vec![50_000; 500]);
+    let cluster = ClusterSpec::paper_p8();
+    let agg_speed: f64 = cluster.slaves.iter().map(|s| s.speed).sum();
+    let lower_bound = w.total_cost() as f64 / agg_speed;
+    let cfg = SimConfig::new(cluster, SchemeKind::Dtss);
+    let r = simulate(&cfg, &w, &vec![LoadTrace::dedicated(); 8]);
+    assert!(r.t_p >= lower_bound, "t_p {} below physical bound {lower_bound}", r.t_p);
+    for (i, b) in r.per_pe.iter().enumerate() {
+        let diff = (b.total() - r.t_p).abs();
+        assert!(diff < 0.10 * r.t_p + 0.01, "PE{} accounting drift: {} vs {}", i + 1, b.total(), r.t_p);
+    }
+}
+
+#[test]
+fn jitter_changes_details_but_not_totals() {
+    let w = SyntheticWorkload::new((1..=500).map(|i| i % 61 + 10).collect());
+    let traces = vec![LoadTrace::dedicated(); 8];
+    let base = SimConfig::new(ClusterSpec::paper_p8(), SchemeKind::Tfss);
+    let a = simulate(&base.clone().with_jitter(SimTime::from_millis(20), 1), &w, &traces);
+    let b = simulate(&base.clone().with_jitter(SimTime::from_millis(20), 2), &w, &traces);
+    // Different seeds → different chunk races…
+    assert_ne!(a.iterations, b.iterations, "jitter seeds should alter races");
+    // …but nothing is lost either way.
+    assert_eq!(a.iterations.iter().sum::<u64>(), 500);
+    assert_eq!(b.iterations.iter().sum::<u64>(), 500);
+    // And the same seed reproduces exactly.
+    let a2 = simulate(&base.with_jitter(SimTime::from_millis(20), 1), &w, &traces);
+    assert_eq!(a.t_p, a2.t_p);
+    assert_eq!(a.iterations, a2.iterations);
+}
+
+#[test]
+fn overloaded_trace_slows_only_its_pe() {
+    let w = SyntheticWorkload::new(vec![80_000; 200]);
+    let mut traces = vec![LoadTrace::dedicated(); 2];
+    traces[1] = LoadTrace::paper_overloaded();
+    let cfg = SimConfig::new(ClusterSpec::paper_mix(2, 0), SchemeKind::Css { k: 10 });
+    let r = simulate(&cfg, &w, &traces);
+    // The loaded PE computes ~3× slower, so it handles far fewer chunks.
+    assert!(
+        r.iterations[0] > 2 * r.iterations[1],
+        "iterations {:?}",
+        r.iterations
+    );
+}
+
+#[test]
+fn tree_sim_conserves_iterations_and_results() {
+    let w = SyntheticWorkload::with_result_bytes(vec![10_000; 300], 512);
+    for weighted in [false, true] {
+        let cfg = TreeSimConfig::new(ClusterSpec::paper_p8(), weighted);
+        let r = simulate_tree(&cfg, &w, &vec![LoadTrace::dedicated(); 8]);
+        assert_eq!(r.iterations.iter().sum::<u64>(), 300);
+        let com: f64 = r.per_pe.iter().map(|b| b.t_com).sum();
+        assert!(com > 0.0, "result pushes must show up as communication");
+    }
+}
+
+#[test]
+fn master_contention_grows_with_cluster_size() {
+    // More slaves → more queueing at the serial master (per-PE wait
+    // should not shrink when the cluster doubles and the work scales).
+    let mk = |p: usize| {
+        let w = SyntheticWorkload::new(vec![20_000; 100 * p]);
+        let cfg = SimConfig::new(ClusterSpec::paper_mix(p, 0), SchemeKind::Css { k: 2 });
+        let r = simulate(&cfg, &w, &vec![LoadTrace::dedicated(); p]);
+        r.scheduling_steps
+    };
+    // CSS(2) on 100·p iterations: steps scale with the loop, giving the
+    // master proportionally more messages to serialize.
+    assert!(mk(8) > mk(2));
+}
+
+mod sim_properties {
+    use super::*;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(proptest::test_runner::Config::with_cases(24))]
+
+        /// Whatever the workload, cluster mix, scheme and load pattern,
+        /// the simulator conserves iterations and reports consistent
+        /// accounting.
+        #[test]
+        fn simulation_conserves_iterations(
+            costs in proptest::collection::vec(1u64..50_000, 1..300),
+            fast in 1usize..4,
+            slow in 0usize..5,
+            scheme_pick in 0usize..6,
+            overload in proptest::collection::vec(any::<bool>(), 9),
+            seed in 0u64..100,
+        ) {
+            let p = fast + slow;
+            let total = costs.len() as u64;
+            let w = SyntheticWorkload::new(costs);
+            let scheme = [
+                SchemeKind::Tss,
+                SchemeKind::Fss,
+                SchemeKind::Tfss,
+                SchemeKind::Dtss,
+                SchemeKind::Dfss,
+                SchemeKind::Dtfss,
+            ][scheme_pick];
+            let traces: Vec<LoadTrace> = (0..p)
+                .map(|i| if overload[i] { LoadTrace::paper_overloaded() } else { LoadTrace::dedicated() })
+                .collect();
+            let cfg = SimConfig::new(ClusterSpec::paper_mix(fast, slow), scheme)
+                .with_jitter(SimTime::from_millis(10), seed);
+            let r = simulate(&cfg, &w, &traces);
+            prop_assert_eq!(r.iterations.iter().sum::<u64>(), total);
+            prop_assert!(r.t_p >= 0.0);
+            // Accounting: every PE's buckets sum to ~t_p.
+            for b in &r.per_pe {
+                prop_assert!((b.total() - r.t_p).abs() < 0.12 * r.t_p + 0.01);
+            }
+        }
+
+        /// Tree scheduling conserves iterations under the same chaos.
+        #[test]
+        fn tree_simulation_conserves_iterations(
+            costs in proptest::collection::vec(1u64..50_000, 1..300),
+            fast in 1usize..4,
+            slow in 0usize..5,
+            weighted in any::<bool>(),
+            overload in proptest::collection::vec(any::<bool>(), 9),
+        ) {
+            let p = fast + slow;
+            let total = costs.len() as u64;
+            let w = SyntheticWorkload::new(costs);
+            let traces: Vec<LoadTrace> = (0..p)
+                .map(|i| if overload[i] { LoadTrace::paper_overloaded() } else { LoadTrace::dedicated() })
+                .collect();
+            let cfg = TreeSimConfig::new(ClusterSpec::paper_mix(fast, slow), weighted);
+            let r = simulate_tree(&cfg, &w, &traces);
+            prop_assert_eq!(r.iterations.iter().sum::<u64>(), total);
+        }
+    }
+}

@@ -1,0 +1,83 @@
+//! Property-based invariants of tree scheduling: work conservation
+//! under arbitrary interleavings of takes and steals.
+
+use loop_self_scheduling::prelude::*;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn weighted_allocation_tiles(
+        total in 0u64..100_000,
+        powers in prop::collection::vec(0.5f64..5.0, 1..12),
+    ) {
+        let vp: Vec<VirtualPower> = powers.iter().map(|&v| VirtualPower::new(v)).collect();
+        let t = TreeScheduler::new_weighted(total, &vp);
+        let sum: u64 = (0..vp.len()).map(|w| t.remaining(w)).sum();
+        prop_assert_eq!(sum, total);
+        prop_assert_eq!(t.total_remaining(), total);
+    }
+
+    #[test]
+    fn random_interleaving_conserves_work(
+        total in 1u64..20_000,
+        p in 1usize..10,
+        grain in 1u64..50,
+        seed in 0u64..10_000,
+    ) {
+        let mut t = TreeScheduler::new_equal(total, p);
+        let mut consumed = vec![0u64; p];
+        let mut covered = vec![false; total as usize];
+        let mut x = seed.wrapping_add(7);
+        let mut idle_sweeps = 0;
+        while t.total_remaining() > 0 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let w = ((x >> 33) as usize) % p;
+            match t.take(w, grain) {
+                Some(chunk) => {
+                    idle_sweeps = 0;
+                    consumed[w] += chunk.len;
+                    for i in chunk.iter() {
+                        prop_assert!(!covered[i as usize], "iteration {i} computed twice");
+                        covered[i as usize] = true;
+                    }
+                }
+                None => {
+                    let _ = t.steal(w, 1);
+                    idle_sweeps += 1;
+                    // Everyone empty except unstealable singletons: let
+                    // their owners drain them.
+                    if idle_sweeps > 4 * p {
+                        for (v, done) in consumed.iter_mut().enumerate() {
+                            while let Some(chunk) = t.take(v, grain) {
+                                *done += chunk.len;
+                                for i in chunk.iter() {
+                                    prop_assert!(!covered[i as usize]);
+                                    covered[i as usize] = true;
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        prop_assert_eq!(consumed.iter().sum::<u64>(), total);
+        prop_assert!(covered.iter().all(|&c| c), "some iteration never computed");
+    }
+
+    #[test]
+    fn steal_halves_victims(total in 100u64..50_000, p in 2usize..10) {
+        let mut t = TreeScheduler::new_equal(total, p);
+        // Drain worker 0 then steal once; the victim loses exactly the
+        // back half (rounded down to its benefit).
+        while t.take(0, 64).is_some() {}
+        let before: Vec<u64> = (0..p).map(|w| t.remaining(w)).collect();
+        if let Some(steal) = t.steal(0, 1) {
+            let after_victim = t.remaining(steal.victim);
+            prop_assert_eq!(after_victim, before[steal.victim] / 2);
+            prop_assert_eq!(t.remaining(0), before[steal.victim] - before[steal.victim] / 2);
+            prop_assert_eq!(steal.moved.len, t.remaining(0));
+        }
+    }
+}
