@@ -8,7 +8,7 @@ use lss_core::power::{AcpConfig, VirtualPower};
 use lss_metrics::table::TextTable;
 use lss_runtime::harness::{run_scheduled_loop, HarnessConfig, Transport, WorkerSpec};
 use lss_runtime::load::LoadState;
-use lss_runtime::master::run_master;
+use lss_runtime::master::run_resilient_master;
 use lss_runtime::protocol::Request;
 use lss_runtime::transport::tcp::{tcp_listen_on, TcpWorker};
 use lss_runtime::worker::{run_worker, WorkerConfig};
@@ -330,7 +330,9 @@ pub fn cmd_master(args: &Args) -> Result<String, ArgError> {
     });
     let transport = listener.accept_workers(n).map_err(|e| ArgError(e.to_string()))?;
     let t0 = std::time::Instant::now();
-    let outcome = run_master(transport, &mut master, n).map_err(|e| ArgError(e.to_string()))?;
+    let outcome =
+        run_resilient_master(transport, &mut master, n, std::time::Duration::from_millis(2))
+            .map_err(|e| ArgError(e.to_string()))?;
     let missing = outcome.results.iter().filter(|r| r.is_none()).count();
     let mut out = format!(
         "master: served {} requests in {:.3}s; failed workers {:?}; {} of {} results collected\n",
@@ -342,6 +344,10 @@ pub fn cmd_master(args: &Args) -> Result<String, ArgError> {
     );
     for w in 0..n {
         out.push_str(&format!("  worker {w}: {} iterations\n", master.iterations_served(w)));
+    }
+    if !outcome.faults.is_empty() {
+        out.push_str("fault log:\n");
+        out.push_str(&outcome.faults.render());
     }
     Ok(out)
 }
@@ -357,11 +363,9 @@ pub fn cmd_worker(args: &Args) -> Result<String, ArgError> {
     let slowdown: u32 = args.get_or("slowdown", 1)?;
     let workload = workload_from(args, 600, 300)?;
     let cfg = WorkerConfig {
-        id,
         slowdown: slowdown.max(1),
-        load: LoadState::dedicated(),
-        retry_backoff: std::time::Duration::from_millis(5),
-        fail_after_chunks: None,
+        heartbeat_every: Some(std::time::Duration::from_millis(100)),
+        ..WorkerConfig::fast(id)
     };
     let first = Request { worker: id, q: 1, result: None };
     let transport = TcpWorker::connect(addr, first).map_err(|e| ArgError(e.to_string()))?;

@@ -1,0 +1,621 @@
+//! Fault model shared by the simulator and the real runtime.
+//!
+//! The paper's master–slave protocol assumes slaves never fail: DTSS
+//! handles *slow* workers through the ACP model, but a crashed, hung or
+//! partitioned worker strands its chunk forever. This module adds the
+//! two pieces both execution engines share:
+//!
+//! - [`FaultPlan`] — a declarative chaos-injection plan for one worker
+//!   (crash-after-N, hang, degradation, disconnect/reconnect, lossy
+//!   messaging), driven by a seeded deterministic RNG ([`ChaosRng`]) so
+//!   every chaos experiment is replayable;
+//! - [`LeaseTable`] — chunk *leases*: every outstanding chunk carries a
+//!   deadline derived from its size and the holder's observed pace
+//!   (ACP-style estimate). Expired leases are requeued; near the end of
+//!   the loop still-outstanding chunks may additionally be
+//!   *speculatively* re-executed by idle workers, with first-result-wins
+//!   dedup preserving exactly-once iteration accounting (the
+//!   [`crate::master::Master`] owns the completion bitmap).
+//!
+//! Time is an abstract `u64` tick count (both engines use nanoseconds:
+//! the runtime from a wall-clock epoch, the simulator from its virtual
+//! clock), keeping `lss-core` free of any clock dependency.
+
+use crate::chunk::Chunk;
+
+/// SplitMix64 — small, seedable, replayable chaos/jitter stream.
+#[derive(Debug, Clone)]
+pub struct ChaosRng {
+    state: u64,
+}
+
+impl ChaosRng {
+    /// A stream seeded with `seed` (same seed ⇒ same decisions).
+    pub fn new(seed: u64) -> Self {
+        ChaosRng { state: seed }
+    }
+
+    /// Next raw 64-bit word.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        if p <= 0.0 {
+            return false;
+        }
+        if p >= 1.0 {
+            return true;
+        }
+        (self.next_u64() >> 11) as f64 / ((1u64 << 53) as f64) < p
+    }
+
+    /// Uniform draw from `[0, bound)`; 0 when `bound == 0`.
+    pub fn below(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            0
+        } else {
+            self.next_u64() % bound
+        }
+    }
+}
+
+/// Message-level fault injection: what a flaky network does to the
+/// request/reply stream of one worker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct NetFaults {
+    /// Probability that an outbound message is silently lost.
+    pub drop_prob: f64,
+    /// Probability that an outbound message is delivered twice.
+    pub dup_prob: f64,
+    /// Maximum extra delivery delay in ticks (uniform in `[0, delay)`).
+    pub delay_ticks: u64,
+}
+
+impl NetFaults {
+    /// A perfectly reliable network.
+    pub const NONE: NetFaults = NetFaults { drop_prob: 0.0, dup_prob: 0.0, delay_ticks: 0 };
+
+    /// Whether any knob is active.
+    pub fn is_active(&self) -> bool {
+        self.drop_prob > 0.0 || self.dup_prob > 0.0 || self.delay_ticks > 0
+    }
+}
+
+impl Default for NetFaults {
+    fn default() -> Self {
+        NetFaults::NONE
+    }
+}
+
+/// Performance degradation: from chunk `after_chunks` on, every
+/// iteration takes `factor` times longer (a thermal throttle, a noisy
+/// neighbour, a failing disk — anything that slows but does not kill).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Degradation {
+    /// Chunks computed at full speed before the slowdown sets in.
+    pub after_chunks: u64,
+    /// Slowdown multiplier (≥ 1).
+    pub factor: u32,
+}
+
+/// A planned mid-run disconnect: after `after_chunks` chunks the worker
+/// drops its transport, stays dark for `outage_ticks`, then reconnects
+/// (the runtime redials with backoff; the simulator re-registers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DisconnectPlan {
+    /// Chunks completed before the link drops.
+    pub after_chunks: u64,
+    /// How long the worker stays dark before redialling.
+    pub outage_ticks: u64,
+}
+
+/// Everything that can go wrong with one worker — the generalization of
+/// the old `WorkerSpec::failing_after` crash knob.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultPlan {
+    /// Crash (vanish without reporting) after computing this many
+    /// chunks. `Some(0)` crashes on receipt of the first chunk.
+    pub crash_after_chunks: Option<u64>,
+    /// Hang after being *granted* this many chunks: accept the chunk,
+    /// never reply, never heartbeat — the stalled-worker pathology a
+    /// clean TCP disconnect does not produce.
+    pub hang_after_chunks: Option<u64>,
+    /// Slow down ×factor after N chunks.
+    pub degrade: Option<Degradation>,
+    /// Drop the link mid-run and reconnect after an outage.
+    pub disconnect: Option<DisconnectPlan>,
+    /// Lossy-network behaviour for this worker's messages.
+    pub net: NetFaults,
+    /// Seed for all randomized decisions of this plan.
+    pub seed: u64,
+}
+
+impl FaultPlan {
+    /// A worker with no faults at all.
+    pub fn healthy() -> Self {
+        FaultPlan {
+            crash_after_chunks: None,
+            hang_after_chunks: None,
+            degrade: None,
+            disconnect: None,
+            net: NetFaults::NONE,
+            seed: 0,
+        }
+    }
+
+    /// Crash after `n` computed chunks.
+    pub fn crash_after(n: u64) -> Self {
+        FaultPlan { crash_after_chunks: Some(n), ..Self::healthy() }
+    }
+
+    /// Hang (accept chunk, never reply) after `n` granted chunks.
+    pub fn hang_after(n: u64) -> Self {
+        FaultPlan { hang_after_chunks: Some(n), ..Self::healthy() }
+    }
+
+    /// Degrade ×`factor` after `n` chunks.
+    pub fn degrade_after(n: u64, factor: u32) -> Self {
+        assert!(factor >= 1, "degradation factor must be ≥ 1");
+        FaultPlan {
+            degrade: Some(Degradation { after_chunks: n, factor }),
+            ..Self::healthy()
+        }
+    }
+
+    /// Disconnect after `n` chunks, stay dark `outage_ticks`, redial.
+    pub fn reconnect_after(n: u64, outage_ticks: u64) -> Self {
+        FaultPlan {
+            disconnect: Some(DisconnectPlan { after_chunks: n, outage_ticks }),
+            ..Self::healthy()
+        }
+    }
+
+    /// Adds lossy-network behaviour.
+    pub fn with_net(mut self, net: NetFaults) -> Self {
+        self.net = net;
+        self
+    }
+
+    /// Sets the seed for randomized decisions.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Whether this plan injects anything at all.
+    pub fn is_healthy(&self) -> bool {
+        self.crash_after_chunks.is_none()
+            && self.hang_after_chunks.is_none()
+            && self.degrade.is_none()
+            && self.disconnect.is_none()
+            && !self.net.is_active()
+    }
+
+    /// The effective compute multiplier at chunk number `chunk_idx`
+    /// (0-based): 1 before degradation kicks in, `factor` after.
+    pub fn degrade_factor(&self, chunk_idx: u64) -> u32 {
+        match self.degrade {
+            Some(d) if chunk_idx >= d.after_chunks => d.factor.max(1),
+            _ => 1,
+        }
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        Self::healthy()
+    }
+}
+
+/// Lease policy: how deadlines are derived and when a silent worker is
+/// declared dead.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LeaseConfig {
+    /// Fixed floor added to every lease (covers transport latency and
+    /// the first chunk, before any pace estimate exists).
+    pub base_ticks: u64,
+    /// Pace assumed for a worker with no completed chunk yet, in ticks
+    /// per iteration (0 = rely on `base_ticks` alone).
+    pub default_ticks_per_iter: u64,
+    /// Safety multiplier on the estimated compute time: a lease expires
+    /// only when the worker is `grace` times slower than its own
+    /// history predicts.
+    pub grace: f64,
+    /// After a lease expires, the worker is declared *dead* (and no
+    /// longer waited for) if it stays completely silent — no request,
+    /// result or heartbeat — for this many further ticks.
+    pub dead_after_ticks: u64,
+    /// Upper bound on concurrent speculative copies of one chunk.
+    pub max_speculations: u32,
+}
+
+impl LeaseConfig {
+    /// Generous defaults for real-time execution (ticks = nanoseconds):
+    /// 5 s floor, 8× pace grace, dead 2 s after lease expiry.
+    pub const RUNTIME_DEFAULT: LeaseConfig = LeaseConfig {
+        base_ticks: 5_000_000_000,
+        default_ticks_per_iter: 0,
+        grace: 8.0,
+        dead_after_ticks: 2_000_000_000,
+        max_speculations: 2,
+    };
+}
+
+impl Default for LeaseConfig {
+    fn default() -> Self {
+        Self::RUNTIME_DEFAULT
+    }
+}
+
+/// One outstanding chunk grant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lease {
+    /// The worker holding the grant.
+    pub worker: usize,
+    /// The granted chunk.
+    pub chunk: Chunk,
+    /// When the grant was made.
+    pub granted_at: u64,
+    /// When it expires.
+    pub deadline: u64,
+    /// Whether this grant is a speculative re-execution of a chunk
+    /// already outstanding elsewhere.
+    pub speculative: bool,
+}
+
+/// What [`LeaseTable::expire`] found.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExpiredLease {
+    /// The lapsed lease.
+    pub lease: Lease,
+    /// Whether the holder is now declared dead (silent past the grace
+    /// window) rather than merely suspect.
+    pub holder_dead: bool,
+}
+
+/// Per-worker lease bookkeeping plus an ACP-style pace estimator.
+///
+/// The table never decides *scheduling* — it only answers "which grants
+/// have outlived their deadline" and "what would a sensible deadline
+/// be"; the [`crate::master::Master`] folds the answers into its
+/// requeue pool and completion bitmap.
+#[derive(Debug, Clone)]
+pub struct LeaseTable {
+    cfg: LeaseConfig,
+    /// Outstanding grant per worker (a worker holds at most one chunk).
+    leases: Vec<Option<Lease>>,
+    /// EWMA of observed ticks per iteration, per worker.
+    pace: Vec<Option<f64>>,
+    /// Last tick each worker was heard from (request/result/heartbeat).
+    last_heard: Vec<u64>,
+    /// Workers declared dead (lease expired + silence past grace).
+    dead: Vec<bool>,
+    /// Speculative copies in flight per chunk start (sparse, tiny).
+    spec_counts: Vec<(u64, u32)>,
+}
+
+impl LeaseTable {
+    /// A table for `p` workers.
+    pub fn new(p: usize, cfg: LeaseConfig) -> Self {
+        LeaseTable {
+            cfg,
+            leases: vec![None; p],
+            pace: vec![None; p],
+            last_heard: vec![0; p],
+            dead: vec![false; p],
+            spec_counts: Vec::new(),
+        }
+    }
+
+    /// The active policy.
+    pub fn config(&self) -> &LeaseConfig {
+        &self.cfg
+    }
+
+    /// Replaces the policy (tests and the simulator tighten deadlines).
+    pub fn set_config(&mut self, cfg: LeaseConfig) {
+        self.cfg = cfg;
+    }
+
+    /// Deadline for granting `chunk` to `worker` at `now`, given the
+    /// worker's reported run-queue length `q` (a loaded machine is
+    /// proportionally slower, so its lease is proportionally longer).
+    fn deadline_for(&self, worker: usize, chunk: Chunk, now: u64, q: u32) -> u64 {
+        let per_iter = self.pace[worker]
+            .unwrap_or(self.cfg.default_ticks_per_iter as f64)
+            .max(0.0);
+        let est = per_iter * chunk.len as f64 * q.max(1) as f64 * self.cfg.grace;
+        now.saturating_add(self.cfg.base_ticks)
+            .saturating_add(est as u64)
+    }
+
+    /// Records a grant. Returns the chunk of a *different* previously
+    /// outstanding lease of this worker, if any — the caller must
+    /// requeue it (it can only exist when a reply was lost in flight).
+    pub fn grant(
+        &mut self,
+        worker: usize,
+        chunk: Chunk,
+        now: u64,
+        q: u32,
+        speculative: bool,
+    ) -> Option<Chunk> {
+        self.heard_from(worker, now);
+        let deadline = self.deadline_for(worker, chunk, now, q);
+        let old = self.leases[worker].replace(Lease {
+            worker,
+            chunk,
+            granted_at: now,
+            deadline,
+            speculative,
+        });
+        if speculative {
+            self.bump_spec(chunk.start);
+        }
+        match old {
+            Some(l) if l.chunk != chunk => Some(l.chunk),
+            _ => None,
+        }
+    }
+
+    /// The chunk `worker` currently holds, if any.
+    pub fn held_by(&self, worker: usize) -> Option<Chunk> {
+        self.leases[worker].map(|l| l.chunk)
+    }
+
+    /// Clears `worker`'s lease (chunk completed or worker gone) and
+    /// updates the pace estimate when a completion time is available.
+    pub fn complete(&mut self, worker: usize, chunk: Chunk, now: u64) {
+        self.heard_from(worker, now);
+        if let Some(l) = self.leases[worker] {
+            if l.chunk == chunk {
+                self.leases[worker] = None;
+                if l.speculative {
+                    self.drop_spec(chunk.start);
+                }
+                if chunk.len > 0 && now > l.granted_at {
+                    let obs = (now - l.granted_at) as f64 / chunk.len as f64;
+                    let blended = match self.pace[worker] {
+                        Some(old) => 0.5 * old + 0.5 * obs,
+                        None => obs,
+                    };
+                    self.pace[worker] = Some(blended);
+                }
+            }
+        }
+    }
+
+    /// Drops `worker`'s lease without a completion (disconnect path);
+    /// returns the chunk it held.
+    pub fn revoke(&mut self, worker: usize) -> Option<Chunk> {
+        let l = self.leases[worker].take()?;
+        if l.speculative {
+            self.drop_spec(l.chunk.start);
+        }
+        Some(l.chunk)
+    }
+
+    /// Notes a sign of life (request, piggy-backed result, heartbeat).
+    /// A heartbeat also pushes the worker's lease deadline out to at
+    /// least `now + base_ticks` — progress reports buy time.
+    pub fn heard_from(&mut self, worker: usize, now: u64) {
+        self.last_heard[worker] = self.last_heard[worker].max(now);
+        self.dead[worker] = false;
+    }
+
+    /// Extends `worker`'s lease on a heartbeat.
+    pub fn heartbeat(&mut self, worker: usize, now: u64) {
+        self.heard_from(worker, now);
+        if let Some(l) = &mut self.leases[worker] {
+            l.deadline = l.deadline.max(now.saturating_add(self.cfg.base_ticks));
+        }
+    }
+
+    /// Expires overdue leases at `now`, removing them from the table.
+    /// The caller requeues each returned chunk. A holder silent for
+    /// `dead_after_ticks` past its deadline is also flagged dead.
+    pub fn expire(&mut self, now: u64) -> Vec<ExpiredLease> {
+        let mut out = Vec::new();
+        for w in 0..self.leases.len() {
+            let Some(l) = self.leases[w] else { continue };
+            if now < l.deadline {
+                continue;
+            }
+            self.leases[w] = None;
+            if l.speculative {
+                self.drop_spec(l.chunk.start);
+            }
+            let silent_for = now.saturating_sub(self.last_heard[w].max(l.granted_at));
+            let holder_dead = silent_for >= self.cfg.dead_after_ticks;
+            if holder_dead {
+                self.dead[w] = true;
+            }
+            out.push(ExpiredLease { lease: l, holder_dead });
+        }
+        out
+    }
+
+    /// Declares a worker dead outright (observed disconnect).
+    pub fn mark_dead(&mut self, worker: usize) {
+        self.dead[worker] = true;
+    }
+
+    /// Whether `worker` has been declared dead.
+    pub fn is_dead(&self, worker: usize) -> bool {
+        self.dead[worker]
+    }
+
+    /// The earliest deadline among outstanding leases, if any — the
+    /// master's next wake-up time.
+    pub fn next_deadline(&self) -> Option<u64> {
+        self.leases.iter().flatten().map(|l| l.deadline).min()
+    }
+
+    /// Whether any lease is outstanding.
+    pub fn any_outstanding(&self) -> bool {
+        self.leases.iter().any(|l| l.is_some())
+    }
+
+    /// Picks a chunk for speculative re-execution by `idle_worker`: the
+    /// outstanding lease with the earliest deadline that is held by a
+    /// *different* worker, has consumed more than half of its lease
+    /// window (an *age gate* — a chunk granted a moment ago is not yet
+    /// suspect, so fail-free runs never speculate), and has fewer than
+    /// `max_speculations` copies in flight. Near the end of the loop
+    /// this is what keeps one straggler from gating completion.
+    pub fn speculation_candidate(&self, idle_worker: usize, now: u64) -> Option<Chunk> {
+        self.leases
+            .iter()
+            .flatten()
+            .filter(|l| l.worker != idle_worker && !l.speculative)
+            .filter(|l| now >= l.granted_at + (l.deadline.saturating_sub(l.granted_at)) / 2)
+            .filter(|l| self.spec_count(l.chunk.start) < self.cfg.max_speculations)
+            .min_by_key(|l| l.deadline)
+            .map(|l| l.chunk)
+    }
+
+    fn spec_count(&self, start: u64) -> u32 {
+        self.spec_counts
+            .iter()
+            .find(|(s, _)| *s == start)
+            .map_or(0, |(_, c)| *c)
+    }
+
+    fn bump_spec(&mut self, start: u64) {
+        match self.spec_counts.iter_mut().find(|(s, _)| *s == start) {
+            Some((_, c)) => *c += 1,
+            None => self.spec_counts.push((start, 1)),
+        }
+    }
+
+    fn drop_spec(&mut self, start: u64) {
+        if let Some(i) = self.spec_counts.iter().position(|(s, _)| *s == start) {
+            self.spec_counts[i].1 = self.spec_counts[i].1.saturating_sub(1);
+            if self.spec_counts[i].1 == 0 {
+                self.spec_counts.swap_remove(i);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const TIGHT: LeaseConfig = LeaseConfig {
+        base_ticks: 100,
+        default_ticks_per_iter: 0,
+        grace: 2.0,
+        dead_after_ticks: 50,
+        max_speculations: 1,
+    };
+
+    #[test]
+    fn chaos_rng_is_deterministic_and_fair() {
+        let mut a = ChaosRng::new(9);
+        let mut b = ChaosRng::new(9);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut rng = ChaosRng::new(1);
+        let hits = (0..10_000).filter(|_| rng.chance(0.25)).count();
+        assert!((2_000..3_000).contains(&hits), "{hits}");
+        assert!(!ChaosRng::new(2).chance(0.0));
+        assert!(ChaosRng::new(2).chance(1.0));
+    }
+
+    #[test]
+    fn lease_expires_and_flags_dead() {
+        let mut t = LeaseTable::new(2, TIGHT);
+        let c = Chunk::new(0, 10);
+        assert_eq!(t.grant(0, c, 0, 1, false), None);
+        assert!(t.expire(99).is_empty());
+        let exp = t.expire(200);
+        assert_eq!(exp.len(), 1);
+        assert_eq!(exp[0].lease.chunk, c);
+        assert!(exp[0].holder_dead, "silent for 200 > 50 past deadline");
+        assert!(t.is_dead(0));
+        assert!(!t.any_outstanding());
+    }
+
+    #[test]
+    fn heartbeat_extends_lease_and_defers_death() {
+        let mut t = LeaseTable::new(1, TIGHT);
+        t.grant(0, Chunk::new(0, 4), 0, 1, false);
+        t.heartbeat(0, 90); // deadline pushed to ≥ 190
+        assert!(t.expire(150).is_empty(), "heartbeat bought time past 100");
+        let exp = t.expire(195);
+        assert_eq!(exp.len(), 1);
+        // Last heard at 90, silent for 105 ≥ 50 past grace: dead.
+        assert!(exp[0].holder_dead);
+    }
+
+    #[test]
+    fn completion_trains_pace_and_scales_deadlines() {
+        let mut t = LeaseTable::new(1, TIGHT);
+        t.grant(0, Chunk::new(0, 10), 0, 1, false);
+        t.complete(0, Chunk::new(0, 10), 1000); // 100 ticks/iter
+        t.grant(0, Chunk::new(10, 10), 1000, 1, false);
+        // deadline = 1000 + base 100 + 100·10·2.0 = 3100.
+        assert!(t.expire(3000).is_empty());
+        assert_eq!(t.expire(3200).len(), 1);
+    }
+
+    #[test]
+    fn loaded_workers_get_longer_leases() {
+        let mut t = LeaseTable::new(2, TIGHT);
+        t.grant(0, Chunk::new(0, 10), 0, 1, false);
+        t.complete(0, Chunk::new(0, 10), 1000);
+        t.grant(0, Chunk::new(10, 10), 1000, 3, false); // q = 3 → 3× window
+        assert!(t.expire(5000).is_empty());
+        assert_eq!(t.expire(8000).len(), 1);
+    }
+
+    #[test]
+    fn regrant_of_a_different_chunk_returns_the_old_one() {
+        let mut t = LeaseTable::new(1, TIGHT);
+        let a = Chunk::new(0, 5);
+        let b = Chunk::new(5, 5);
+        assert_eq!(t.grant(0, a, 0, 1, false), None);
+        // Same chunk again (lost-reply retransmit): nothing to requeue.
+        assert_eq!(t.grant(0, a, 10, 1, false), None);
+        // Different chunk: the old grant must be surfaced for requeue.
+        assert_eq!(t.grant(0, b, 20, 1, false), Some(a));
+    }
+
+    #[test]
+    fn speculation_candidate_respects_cap_ownership_and_age() {
+        let mut t = LeaseTable::new(3, TIGHT);
+        let c = Chunk::new(0, 8);
+        t.grant(0, c, 0, 1, false); // deadline 100, midpoint 50
+        // The holder itself is never offered its own chunk.
+        assert_eq!(t.speculation_candidate(0, 60), None);
+        // Too young: the holder has not burned half its lease yet.
+        assert_eq!(t.speculation_candidate(1, 10), None);
+        assert_eq!(t.speculation_candidate(1, 60), Some(c));
+        t.grant(1, c, 5, 1, true);
+        // Cap is 1 concurrent speculation: no further copies.
+        assert_eq!(t.speculation_candidate(2, 60), None);
+        // The speculative copy completing frees the slot again.
+        t.complete(1, c, 50);
+        assert_eq!(t.speculation_candidate(2, 60), Some(c));
+    }
+
+    #[test]
+    fn fault_plan_builders() {
+        assert!(FaultPlan::healthy().is_healthy());
+        assert!(!FaultPlan::crash_after(2).is_healthy());
+        assert!(!FaultPlan::healthy()
+            .with_net(NetFaults { drop_prob: 0.1, ..NetFaults::NONE })
+            .is_healthy());
+        let d = FaultPlan::degrade_after(3, 4);
+        assert_eq!(d.degrade_factor(2), 1);
+        assert_eq!(d.degrade_factor(3), 4);
+    }
+}

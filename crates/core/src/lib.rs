@@ -49,11 +49,13 @@
 pub mod analysis;
 pub mod chunk;
 pub mod distributed;
+pub mod fault;
 pub mod master;
 pub mod power;
 pub mod scheme;
 pub mod tree;
 
 pub use chunk::{Chunk, ChunkDispenser};
-pub use master::{Assignment, Master, MasterConfig, SchemeKind};
+pub use fault::{ChaosRng, FaultPlan, LeaseConfig, LeaseTable, NetFaults};
+pub use master::{Assignment, CompletionOutcome, Master, MasterConfig, SchemeKind};
 pub use power::{Acp, AcpConfig, VirtualPower, WorkerPower};

@@ -16,6 +16,7 @@
 
 use crate::chunk::{Chunk, ChunkDispenser};
 use crate::distributed::{DistKind, DistributedScheduler, Grant, WorkerId};
+use crate::fault::{ExpiredLease, LeaseConfig, LeaseTable};
 use crate::power::{AcpConfig, VirtualPower};
 use crate::scheme::{
     ChunkSelfSched, ChunkSizer, FactoringSelfSched, FixedIncreaseSelfSched, GuidedSelfSched,
@@ -199,6 +200,18 @@ enum MasterInner {
     Dist(DistributedScheduler),
 }
 
+/// What [`Master::record_completion`] did with a reported result.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompletionOutcome {
+    /// Iterations of the chunk that were completed for the *first*
+    /// time by this report.
+    pub newly_completed: u64,
+    /// Whether any part of the chunk had already been completed by an
+    /// earlier report (a speculative copy or a retransmitted result);
+    /// those iterations are deduplicated, not double-counted.
+    pub duplicate: bool,
+}
+
 /// The master state machine: owns the scheme, serves requests, and
 /// keeps per-worker accounting.
 pub struct Master {
@@ -212,6 +225,14 @@ pub struct Master {
     /// Chunks returned by [`Master::requeue`] (e.g. a worker died
     /// holding them); served before fresh scheme chunks.
     requeued: std::collections::VecDeque<Chunk>,
+    /// Chunk leases plus per-worker liveness (fault-tolerant path).
+    leases: LeaseTable,
+    /// Completion bitmap over `[0, total)`: first-result-wins dedup.
+    completed: Vec<u64>,
+    /// Number of set bits in `completed`.
+    completed_count: u64,
+    /// Speculative grants handed out (re-executions of leased chunks).
+    speculated: u64,
 }
 
 impl Master {
@@ -285,6 +306,10 @@ impl Master {
             chunks_granted: vec![0; p],
             total: cfg.total,
             requeued: std::collections::VecDeque::new(),
+            leases: LeaseTable::new(p, LeaseConfig::RUNTIME_DEFAULT),
+            completed: vec![0u64; (cfg.total as usize).div_ceil(64)],
+            completed_count: 0,
+            speculated: 0,
         }
     }
 
@@ -390,6 +415,208 @@ impl Master {
     /// Total number of scheduling steps (master round-trips) so far.
     pub fn total_scheduling_steps(&self) -> u64 {
         self.chunks_granted.iter().sum()
+    }
+
+    // ------------------------------------------------------------------
+    // Fault-tolerant path: chunk leases, dedup, speculation.
+    //
+    // `handle_request` above is the paper's original fail-free protocol
+    // and stays untouched; the methods below are the lease-aware variant
+    // both engines use when faults are possible. Time is an abstract
+    // `u64` tick count supplied by the caller (see [`crate::fault`]).
+    // ------------------------------------------------------------------
+
+    /// Replaces the lease policy (defaults to
+    /// [`LeaseConfig::RUNTIME_DEFAULT`]).
+    pub fn set_lease_config(&mut self, cfg: LeaseConfig) {
+        self.leases.set_config(cfg);
+    }
+
+    /// Read access to the lease table (deadlines, liveness).
+    pub fn lease_table(&self) -> &LeaseTable {
+        &self.leases
+    }
+
+    /// The earliest outstanding lease deadline — the caller's next
+    /// wake-up time for [`Master::poll_leases`].
+    pub fn next_lease_deadline(&self) -> Option<u64> {
+        self.leases.next_deadline()
+    }
+
+    /// Serves one request on the lease-aware path.
+    ///
+    /// Differences from [`Master::handle_request`]:
+    /// - every grant is recorded as a lease expiring at a deadline
+    ///   derived from the chunk size and the worker's observed pace;
+    /// - a worker that still holds a lease is re-sent the *same* chunk
+    ///   (its previous reply was lost in flight) without double
+    ///   accounting — grants are idempotent;
+    /// - requeued chunks whose iterations have all since been completed
+    ///   (a speculative copy won) are silently dropped;
+    /// - when the scheme is exhausted but leases are still outstanding,
+    ///   an idle worker may be handed a *speculative* copy of a leased
+    ///   chunk (first result wins) instead of `Finished`;
+    /// - `Finished` is only returned once **every** iteration has been
+    ///   completed, not merely assigned.
+    pub fn grant_with_lease(&mut self, worker: WorkerId, q: u32, now: u64) -> Assignment {
+        assert!(worker < self.served.len(), "unknown worker {worker}");
+        self.leases.heard_from(worker, now);
+
+        // Lost-reply retransmit: the worker still owes us this chunk.
+        if let Some(held) = self.leases.held_by(worker) {
+            if !self.chunk_fully_complete(held) {
+                self.leases.grant(worker, held, now, q, false);
+                return Assignment::Chunk(held);
+            }
+            // A speculative copy already finished it; release and fall
+            // through to a fresh grant.
+            self.leases.revoke(worker);
+        }
+
+        // Re-granted work first — oldest unfinished part of the loop.
+        while let Some(chunk) = self.requeued.pop_front() {
+            if self.chunk_fully_complete(chunk) {
+                continue;
+            }
+            self.served[worker] += chunk.len;
+            self.chunks_granted[worker] += 1;
+            self.leases.grant(worker, chunk, now, q, false);
+            return Assignment::Chunk(chunk);
+        }
+
+        let assignment = match &mut self.inner {
+            MasterInner::Simple(d) => match d.next_chunk() {
+                Some(c) => Assignment::Chunk(c),
+                None => Assignment::Finished,
+            },
+            MasterInner::Wf(wf) => match wf.next_chunk(worker) {
+                Some(c) => Assignment::Chunk(c),
+                None => Assignment::Finished,
+            },
+            MasterInner::Dist(d) => match d.request(worker, q) {
+                Grant::Chunk(c) => Assignment::Chunk(c),
+                Grant::Unavailable => Assignment::Retry,
+                Grant::Finished => Assignment::Finished,
+            },
+        };
+        match assignment {
+            Assignment::Chunk(c) => {
+                self.served[worker] += c.len;
+                self.chunks_granted[worker] += 1;
+                self.leases.grant(worker, c, now, q, false);
+                Assignment::Chunk(c)
+            }
+            Assignment::Retry => Assignment::Retry,
+            Assignment::Finished => {
+                if self.all_complete() {
+                    return Assignment::Finished;
+                }
+                // End-of-loop: everything is assigned but not all of it
+                // has come back. Put this idle worker on a speculative
+                // copy of the most-overdue outstanding chunk.
+                if let Some(c) = self.leases.speculation_candidate(worker, now) {
+                    self.speculated += 1;
+                    self.leases.grant(worker, c, now, q, true);
+                    return Assignment::Chunk(c);
+                }
+                // Nothing to speculate on (cap reached, or the worker
+                // itself holds the straggler): ask again later.
+                Assignment::Retry
+            }
+        }
+    }
+
+    /// Records a completed chunk reported by `worker`, with
+    /// first-result-wins dedup against the completion bitmap.
+    pub fn record_completion(&mut self, worker: WorkerId, chunk: Chunk, now: u64) -> CompletionOutcome {
+        assert!(chunk.end() <= self.total, "completed chunk out of range");
+        self.leases.complete(worker, chunk, now);
+        let newly = self.mark_completed(chunk);
+        CompletionOutcome {
+            newly_completed: newly,
+            duplicate: newly < chunk.len,
+        }
+    }
+
+    /// Notes a heartbeat from `worker`: refreshes liveness and extends
+    /// its lease deadline.
+    pub fn note_heartbeat(&mut self, worker: WorkerId, now: u64) {
+        self.leases.heartbeat(worker, now);
+    }
+
+    /// Expires overdue leases at `now`. Each expired chunk whose
+    /// iterations are still incomplete is requeued; holders that have
+    /// also gone silent past the grace window are flagged dead (see
+    /// [`LeaseTable::is_dead`]). Returns what expired so the caller can
+    /// log fault events.
+    pub fn poll_leases(&mut self, now: u64) -> Vec<ExpiredLease> {
+        let expired = self.leases.expire(now);
+        for e in &expired {
+            if !self.chunk_fully_complete(e.lease.chunk) {
+                self.requeued.push_back(e.lease.chunk);
+            }
+        }
+        expired
+    }
+
+    /// Handles an observed disconnect of `worker`: revokes its lease,
+    /// requeues the chunk it held (if still incomplete) and marks the
+    /// worker dead until it is heard from again. Returns the requeued
+    /// chunk, if any.
+    pub fn worker_disconnected(&mut self, worker: WorkerId) -> Option<Chunk> {
+        self.leases.mark_dead(worker);
+        let chunk = self.leases.revoke(worker)?;
+        if self.chunk_fully_complete(chunk) {
+            return None;
+        }
+        self.requeued.push_back(chunk);
+        Some(chunk)
+    }
+
+    /// Whether `worker` is currently considered dead (disconnected, or
+    /// lease-expired and silent). Any sign of life clears the flag.
+    pub fn worker_is_dead(&self, worker: WorkerId) -> bool {
+        self.leases.is_dead(worker)
+    }
+
+    /// Iterations completed (each counted once, regardless of how many
+    /// copies were executed).
+    pub fn iterations_completed(&self) -> u64 {
+        self.completed_count
+    }
+
+    /// Whether every iteration in `[0, total)` has been completed at
+    /// least once — the fault-tolerant termination condition.
+    pub fn all_complete(&self) -> bool {
+        self.completed_count == self.total
+    }
+
+    /// Speculative (duplicate) grants handed out so far.
+    pub fn speculative_grants(&self) -> u64 {
+        self.speculated
+    }
+
+    /// Whether iteration `i` has been completed.
+    pub fn iteration_completed(&self, i: u64) -> bool {
+        debug_assert!(i < self.total);
+        self.completed[(i / 64) as usize] & (1u64 << (i % 64)) != 0
+    }
+
+    fn chunk_fully_complete(&self, chunk: Chunk) -> bool {
+        (chunk.start..chunk.end()).all(|i| self.iteration_completed(i))
+    }
+
+    fn mark_completed(&mut self, chunk: Chunk) -> u64 {
+        let mut newly = 0;
+        for i in chunk.start..chunk.end() {
+            let (word, bit) = ((i / 64) as usize, i % 64);
+            if self.completed[word] & (1u64 << bit) == 0 {
+                self.completed[word] |= 1u64 << bit;
+                newly += 1;
+            }
+        }
+        self.completed_count += newly;
+        newly
     }
 }
 
@@ -540,5 +767,197 @@ mod requeue_tests {
     fn requeue_rejects_foreign_chunks() {
         let mut m = Master::new(MasterConfig::homogeneous(SchemeKind::Tss, 100, 2));
         m.requeue(Chunk::new(90, 20));
+    }
+}
+
+#[cfg(test)]
+mod lease_tests {
+    use super::*;
+    use crate::fault::LeaseConfig;
+
+    const TIGHT: LeaseConfig = LeaseConfig {
+        base_ticks: 100,
+        default_ticks_per_iter: 0,
+        grace: 2.0,
+        dead_after_ticks: 50,
+        max_speculations: 2,
+    };
+
+    fn master(scheme: SchemeKind, total: u64, p: usize) -> Master {
+        let mut m = Master::new(MasterConfig::homogeneous(scheme, total, p));
+        m.set_lease_config(TIGHT);
+        m
+    }
+
+    fn chunk_of(a: Assignment) -> Chunk {
+        match a {
+            Assignment::Chunk(c) => c,
+            other => panic!("expected chunk, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lease_expiry_requeues_and_another_worker_finishes() {
+        let mut m = master(SchemeKind::Css { k: 50 }, 100, 2);
+        let c0 = chunk_of(m.grant_with_lease(0, 1, 0));
+        // Worker 0 goes silent; its lease lapses and the chunk requeues.
+        let expired = m.poll_leases(500);
+        assert_eq!(expired.len(), 1);
+        assert_eq!(expired[0].lease.chunk, c0);
+        assert!(expired[0].holder_dead);
+        assert!(m.worker_is_dead(0));
+        // Worker 1 picks up the requeued chunk first.
+        let c1 = chunk_of(m.grant_with_lease(1, 1, 600));
+        assert_eq!(c1, c0);
+        let out = m.record_completion(1, c1, 700);
+        assert_eq!(out.newly_completed, 50);
+        assert!(!out.duplicate);
+        // Drain the rest through worker 1.
+        loop {
+            match m.grant_with_lease(1, 1, 800) {
+                Assignment::Chunk(c) => {
+                    m.record_completion(1, c, 900);
+                }
+                Assignment::Retry => {}
+                Assignment::Finished => break,
+            }
+        }
+        assert!(m.all_complete());
+        assert_eq!(m.iterations_completed(), 100);
+    }
+
+    #[test]
+    fn duplicate_results_are_deduplicated() {
+        let mut m = master(SchemeKind::Css { k: 10 }, 20, 2);
+        let c = chunk_of(m.grant_with_lease(0, 1, 0));
+        let first = m.record_completion(0, c, 10);
+        assert_eq!(first.newly_completed, 10);
+        let again = m.record_completion(1, c, 20);
+        assert_eq!(again.newly_completed, 0);
+        assert!(again.duplicate);
+        assert_eq!(m.iterations_completed(), 10);
+    }
+
+    #[test]
+    fn retransmit_regrants_the_same_chunk_without_double_accounting() {
+        let mut m = master(SchemeKind::Css { k: 10 }, 40, 1);
+        let c = chunk_of(m.grant_with_lease(0, 1, 0));
+        let served = m.iterations_served(0);
+        let steps = m.total_scheduling_steps();
+        // The reply got lost; the worker asks again without a result.
+        let c2 = chunk_of(m.grant_with_lease(0, 1, 5));
+        assert_eq!(c2, c);
+        assert_eq!(m.iterations_served(0), served);
+        assert_eq!(m.total_scheduling_steps(), steps);
+    }
+
+    #[test]
+    fn end_of_loop_speculation_first_result_wins() {
+        let mut m = master(SchemeKind::Css { k: 50 }, 100, 2);
+        let c0 = chunk_of(m.grant_with_lease(0, 1, 0));
+        let c1 = chunk_of(m.grant_with_lease(1, 1, 0));
+        m.record_completion(1, c1, 50);
+        // Scheme is exhausted; worker 1 is idle while worker 0 still
+        // holds c0 → worker 1 gets a speculative copy of c0.
+        let spec = chunk_of(m.grant_with_lease(1, 1, 60));
+        assert_eq!(spec, c0);
+        assert_eq!(m.speculative_grants(), 1);
+        // The speculative copy lands first...
+        let out = m.record_completion(1, spec, 80);
+        assert_eq!(out.newly_completed, 50);
+        // ...then the original straggler reports: pure duplicate.
+        let dup = m.record_completion(0, c0, 90);
+        assert_eq!(dup.newly_completed, 0);
+        assert!(dup.duplicate);
+        assert!(m.all_complete());
+        assert_eq!(m.grant_with_lease(0, 1, 95), Assignment::Finished);
+        assert_eq!(m.grant_with_lease(1, 1, 95), Assignment::Finished);
+    }
+
+    #[test]
+    fn disconnect_revokes_and_requeues() {
+        let mut m = master(SchemeKind::Css { k: 25 }, 100, 2);
+        let c0 = chunk_of(m.grant_with_lease(0, 1, 0));
+        assert_eq!(m.worker_disconnected(0), Some(c0));
+        assert!(m.worker_is_dead(0));
+        // The requeued chunk goes to the next requester.
+        assert_eq!(chunk_of(m.grant_with_lease(1, 1, 10)), c0);
+        // The worker reconnecting (any sign of life) clears the flag.
+        let _ = m.grant_with_lease(0, 1, 20);
+        assert!(!m.worker_is_dead(0));
+    }
+
+    #[test]
+    fn requeued_chunk_already_completed_by_speculation_is_dropped() {
+        let mut m = master(SchemeKind::Css { k: 50 }, 100, 3);
+        let c0 = chunk_of(m.grant_with_lease(0, 1, 0));
+        let c1 = chunk_of(m.grant_with_lease(1, 1, 0));
+        m.record_completion(1, c1, 10);
+        // Worker 1 speculates on c0 (past the age gate at half of c0's
+        // lease window) and wins.
+        let spec = chunk_of(m.grant_with_lease(1, 1, 60));
+        assert_eq!(spec, c0);
+        m.record_completion(1, spec, 70);
+        // Worker 0's lease now lapses; c0 must NOT be requeued (done).
+        let _ = m.poll_leases(10_000);
+        assert_eq!(m.grant_with_lease(2, 1, 10_001), Assignment::Finished);
+        assert!(m.all_complete());
+    }
+
+    #[test]
+    fn finished_only_after_all_iterations_complete() {
+        let mut m = master(SchemeKind::Css { k: 100 }, 100, 2);
+        let c = chunk_of(m.grant_with_lease(0, 1, 0));
+        // All work is assigned, but worker 1 cannot be told Finished.
+        // Before the holder has burned half its lease the age gate
+        // keeps the idle worker on Retry; after that it gets a
+        // speculative copy of the outstanding chunk.
+        assert_eq!(m.grant_with_lease(1, 1, 10), Assignment::Retry);
+        let spec = chunk_of(m.grant_with_lease(1, 1, 60));
+        assert_eq!(spec, c);
+        m.record_completion(0, c, 80);
+        assert!(m.all_complete());
+        assert_eq!(m.grant_with_lease(1, 1, 90), Assignment::Finished);
+    }
+
+    #[test]
+    fn lease_path_tiles_the_loop_for_every_scheme() {
+        for scheme in [
+            SchemeKind::Static,
+            SchemeKind::Pure,
+            SchemeKind::Css { k: 7 },
+            SchemeKind::Gss { min_chunk: 1 },
+            SchemeKind::Tss,
+            SchemeKind::Fss,
+            SchemeKind::Fiss { sigma: 3 },
+            SchemeKind::Tfss,
+            SchemeKind::Wf,
+            SchemeKind::Dtss,
+            SchemeKind::Dfss,
+            SchemeKind::Dfiss { sigma: 3 },
+            SchemeKind::Dtfss,
+        ] {
+            let mut m = master(scheme, 500, 4);
+            let mut now = 0u64;
+            let mut finished = [false; 4];
+            while !finished.iter().all(|f| *f) {
+                for w in 0..4 {
+                    if finished[w] {
+                        continue;
+                    }
+                    now += 1;
+                    match m.grant_with_lease(w, 1, now) {
+                        Assignment::Chunk(c) => {
+                            now += 1;
+                            m.record_completion(w, c, now);
+                        }
+                        Assignment::Retry => {}
+                        Assignment::Finished => finished[w] = true,
+                    }
+                }
+            }
+            assert!(m.all_complete(), "{}", scheme.name());
+            assert_eq!(m.iterations_completed(), 500, "{}", scheme.name());
+        }
     }
 }

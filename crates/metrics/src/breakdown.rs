@@ -5,6 +5,7 @@
 //! the master, and computing), plus `T_p`, "the total time measured on
 //! the Master PE".
 
+use crate::fault::FaultLog;
 use crate::stats;
 
 /// One slave's accumulated times, in seconds.
@@ -54,6 +55,8 @@ pub struct RunReport {
     /// Plans made by a distributed master (0 = non-distributed scheme,
     /// 1 = only the initial plan, >1 = re-planning fired).
     pub plans: u32,
+    /// Fault activity during the run (empty when nothing failed).
+    pub faults: FaultLog,
 }
 
 impl RunReport {
@@ -72,6 +75,7 @@ impl RunReport {
             scheduling_steps,
             iterations,
             plans: 0,
+            faults: FaultLog::new(),
         };
         assert_eq!(r.per_pe.len(), r.iterations.len(), "per-PE vectors disagree");
         r
@@ -81,6 +85,17 @@ impl RunReport {
     pub fn with_plans(mut self, plans: u32) -> Self {
         self.plans = plans;
         self
+    }
+
+    /// Attaches the run's fault-event log.
+    pub fn with_faults(mut self, faults: FaultLog) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Whether any fault activity was observed.
+    pub fn had_faults(&self) -> bool {
+        !self.faults.is_empty()
     }
 
     /// Number of slaves.
@@ -156,6 +171,9 @@ pub fn average_reports(reports: &[RunReport]) -> RunReport {
             .round() as u64,
         iterations,
         plans: (reports.iter().map(|r| r.plans as u64).sum::<u64>() as f64 / n).round() as u32,
+        // Averaging replica times makes sense; averaging event logs
+        // does not — keep the first replica's log for reference.
+        faults: reports[0].faults.clone(),
     }
 }
 

@@ -1,0 +1,241 @@
+//! Typed fault-event log — the observability side of the
+//! fault-tolerance layer.
+//!
+//! Both execution engines (the threaded runtime and the discrete-event
+//! simulator) emit a [`FaultEvent`] whenever the self-healing machinery
+//! acts: a lease expires, a chunk is requeued or speculatively
+//! re-executed, a worker crashes, hangs, reconnects, or a duplicate
+//! result is dropped by the first-result-wins dedup. A run's ordered
+//! [`FaultLog`] is attached to its [`crate::RunReport`], so chaos
+//! experiments can assert on *how* a run survived, not just that it
+//! produced correct results.
+
+use std::fmt;
+
+/// What happened.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// A chunk lease outlived its deadline.
+    LeaseExpired,
+    /// A chunk went back to the master's pool for re-execution.
+    Requeued,
+    /// A speculative duplicate of an outstanding chunk was granted.
+    Speculated,
+    /// A duplicate result was discarded by first-result-wins dedup.
+    DuplicateDropped,
+    /// A worker's transport disconnected.
+    Disconnected,
+    /// A worker was declared dead (lease expiry + silence, or an
+    /// unrecoverable disconnect).
+    WorkerDead,
+    /// A previously dead or disconnected worker was heard from again.
+    Recovered,
+    /// An injected fault fired (chaos plan: crash, hang, slowdown,
+    /// message drop/duplication/delay).
+    Injected,
+}
+
+impl FaultKind {
+    /// Short lowercase label, stable for logs and table output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            FaultKind::LeaseExpired => "lease-expired",
+            FaultKind::Requeued => "requeued",
+            FaultKind::Speculated => "speculated",
+            FaultKind::DuplicateDropped => "dup-dropped",
+            FaultKind::Disconnected => "disconnected",
+            FaultKind::WorkerDead => "worker-dead",
+            FaultKind::Recovered => "recovered",
+            FaultKind::Injected => "injected",
+        }
+    }
+}
+
+impl fmt::Display for FaultKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One entry in the fault log.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FaultEvent {
+    /// Seconds since the start of the run (wall clock in the runtime,
+    /// virtual time in the simulator).
+    pub at: f64,
+    /// The worker involved, if the event concerns one.
+    pub worker: Option<usize>,
+    /// The iteration interval involved as `(start, len)`, if any.
+    pub chunk: Option<(u64, u64)>,
+    /// What happened.
+    pub kind: FaultKind,
+    /// Free-form detail (e.g. `"crash-after-2"`, `"outage 50ms"`).
+    pub detail: String,
+}
+
+impl FaultEvent {
+    /// Builds an event with no worker/chunk attribution.
+    pub fn new(at: f64, kind: FaultKind, detail: impl Into<String>) -> Self {
+        FaultEvent { at, worker: None, chunk: None, kind, detail: detail.into() }
+    }
+
+    /// Attributes the event to a worker.
+    pub fn on_worker(mut self, worker: usize) -> Self {
+        self.worker = Some(worker);
+        self
+    }
+
+    /// Attributes the event to a chunk.
+    pub fn on_chunk(mut self, start: u64, len: u64) -> Self {
+        self.chunk = Some((start, len));
+        self
+    }
+}
+
+impl fmt::Display for FaultEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>10.6}s] {:<13}", self.at, self.kind.label())?;
+        if let Some(w) = self.worker {
+            write!(f, " worker={w}")?;
+        }
+        if let Some((s, l)) = self.chunk {
+            write!(f, " chunk={s}+{l}")?;
+        }
+        if !self.detail.is_empty() {
+            write!(f, " {}", self.detail)?;
+        }
+        Ok(())
+    }
+}
+
+/// An ordered log of fault events for one run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultLog {
+    events: Vec<FaultEvent>,
+}
+
+impl FaultLog {
+    /// An empty log.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends an event.
+    pub fn push(&mut self, event: FaultEvent) {
+        self.events.push(event);
+    }
+
+    /// All events, in emission order.
+    pub fn events(&self) -> &[FaultEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the run saw no fault activity at all.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Number of events of `kind`.
+    pub fn count(&self, kind: FaultKind) -> usize {
+        self.events.iter().filter(|e| e.kind == kind).count()
+    }
+
+    /// Events concerning `worker`.
+    pub fn for_worker(&self, worker: usize) -> impl Iterator<Item = &FaultEvent> {
+        self.events.iter().filter(move |e| e.worker == Some(worker))
+    }
+
+    /// Whether the log contains, in order (not necessarily adjacent),
+    /// the given kinds — the shape assertions chaos tests make, e.g.
+    /// lease expiry → requeue → recovery.
+    pub fn contains_sequence(&self, kinds: &[FaultKind]) -> bool {
+        let mut want = kinds.iter();
+        let mut next = want.next();
+        for e in &self.events {
+            match next {
+                None => return true,
+                Some(k) if *k == e.kind => next = want.next(),
+                Some(_) => {}
+            }
+        }
+        next.is_none()
+    }
+
+    /// Merges another log, keeping global time order.
+    pub fn merge(&mut self, other: FaultLog) {
+        self.events.extend(other.events);
+        self.events
+            .sort_by(|a, b| a.at.partial_cmp(&b.at).unwrap_or(std::cmp::Ordering::Equal));
+    }
+
+    /// Renders the log as one line per event.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            out.push_str(&e.to_string());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> FaultLog {
+        let mut log = FaultLog::new();
+        log.push(FaultEvent::new(0.5, FaultKind::Injected, "crash-after-1").on_worker(2));
+        log.push(FaultEvent::new(1.0, FaultKind::LeaseExpired, "").on_worker(2).on_chunk(10, 5));
+        log.push(FaultEvent::new(1.0, FaultKind::Requeued, "").on_chunk(10, 5));
+        log.push(FaultEvent::new(2.0, FaultKind::Recovered, "").on_worker(2));
+        log
+    }
+
+    #[test]
+    fn counts_and_filters() {
+        let log = sample();
+        assert_eq!(log.len(), 4);
+        assert_eq!(log.count(FaultKind::Requeued), 1);
+        assert_eq!(log.for_worker(2).count(), 3);
+        assert!(!log.is_empty());
+    }
+
+    #[test]
+    fn sequence_matching() {
+        let log = sample();
+        assert!(log.contains_sequence(&[
+            FaultKind::LeaseExpired,
+            FaultKind::Requeued,
+            FaultKind::Recovered,
+        ]));
+        assert!(!log.contains_sequence(&[FaultKind::Requeued, FaultKind::LeaseExpired]));
+        assert!(log.contains_sequence(&[]));
+    }
+
+    #[test]
+    fn display_renders_attribution() {
+        let e = FaultEvent::new(1.25, FaultKind::Speculated, "copy 2").on_worker(3).on_chunk(0, 7);
+        let s = e.to_string();
+        assert!(s.contains("speculated"), "{s}");
+        assert!(s.contains("worker=3"), "{s}");
+        assert!(s.contains("chunk=0+7"), "{s}");
+        assert!(s.contains("copy 2"), "{s}");
+    }
+
+    #[test]
+    fn merge_keeps_time_order() {
+        let mut a = FaultLog::new();
+        a.push(FaultEvent::new(3.0, FaultKind::Requeued, ""));
+        let mut b = FaultLog::new();
+        b.push(FaultEvent::new(1.0, FaultKind::Injected, ""));
+        a.merge(b);
+        assert_eq!(a.events()[0].kind, FaultKind::Injected);
+        assert_eq!(a.events()[1].kind, FaultKind::Requeued);
+    }
+}

@@ -18,10 +18,12 @@
 #![forbid(unsafe_code)]
 
 pub mod breakdown;
+pub mod fault;
 pub mod plot;
 pub mod speedup;
 pub mod stats;
 pub mod table;
 
 pub use breakdown::{RunReport, TimeBreakdown};
+pub use fault::{FaultEvent, FaultKind, FaultLog};
 pub use speedup::SpeedupSeries;

@@ -1,0 +1,124 @@
+//! Capped exponential backoff with jitter.
+//!
+//! Used by the worker loop in two places: pacing re-requests after a
+//! retry notice (ACP 0 — the paper's "backoff and ask again"), and
+//! re-dialling the master after a transport disconnect. The jitter
+//! decorrelates workers so a restarted master is not hit by `p`
+//! simultaneous reconnects; the cap bounds the worst-case reaction
+//! time; the attempt bound makes "the master is really gone" a
+//! detectable condition instead of an infinite loop.
+
+use std::time::Duration;
+
+use lss_core::fault::ChaosRng;
+
+/// A backoff schedule: equal-jitter capped exponential delays.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BackoffPolicy {
+    /// Delay before the first retry (doubled each further attempt).
+    pub base: Duration,
+    /// Upper bound on any single delay.
+    pub cap: Duration,
+    /// Maximum number of attempts; 0 = unbounded.
+    pub max_attempts: u32,
+}
+
+impl BackoffPolicy {
+    /// Pacing for retry notices: quick first re-ask, settling at a
+    /// modest cap, never giving up (the master decides termination).
+    pub fn retry_default() -> Self {
+        BackoffPolicy {
+            base: Duration::from_millis(2),
+            cap: Duration::from_millis(100),
+            max_attempts: 0,
+        }
+    }
+
+    /// Pacing for reconnecting a dropped link: patient cap, bounded
+    /// attempts so an orphaned worker eventually gives up.
+    pub fn reconnect_default() -> Self {
+        BackoffPolicy {
+            base: Duration::from_millis(5),
+            cap: Duration::from_millis(500),
+            max_attempts: 30,
+        }
+    }
+
+    /// Whether `attempt` (0-based) is still within the bound.
+    pub fn allows(&self, attempt: u32) -> bool {
+        self.max_attempts == 0 || attempt < self.max_attempts
+    }
+
+    /// The delay before retry number `attempt` (0-based): half of the
+    /// capped exponential deterministic, half uniformly random —
+    /// "equal jitter", so delays neither collapse to zero nor
+    /// synchronize across workers.
+    pub fn delay(&self, attempt: u32, rng: &mut ChaosRng) -> Duration {
+        let base = self.base.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let cap = self.cap.as_nanos().min(u128::from(u64::MAX)) as u64;
+        let exp = base.saturating_mul(1u64.checked_shl(attempt.min(63)).unwrap_or(u64::MAX));
+        let d = exp.min(cap).max(1);
+        let jittered = d / 2 + rng.below(d / 2 + 1);
+        Duration::from_nanos(jittered)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn policy() -> BackoffPolicy {
+        BackoffPolicy {
+            base: Duration::from_millis(2),
+            cap: Duration::from_millis(64),
+            max_attempts: 5,
+        }
+    }
+
+    #[test]
+    fn delays_grow_then_cap() {
+        let p = policy();
+        let mut rng = ChaosRng::new(7);
+        // Lower bound of each delay is half the capped exponential.
+        assert!(p.delay(0, &mut rng) >= Duration::from_millis(1));
+        assert!(p.delay(3, &mut rng) >= Duration::from_millis(8));
+        for attempt in [10, 30, 63, 200] {
+            let d = p.delay(attempt, &mut rng);
+            assert!(d <= p.cap, "attempt {attempt}: {d:?} beyond cap");
+            assert!(d >= p.cap / 2, "attempt {attempt}: {d:?} under capped floor");
+        }
+    }
+
+    #[test]
+    fn jitter_varies_but_stays_bounded() {
+        let p = policy();
+        let mut rng = ChaosRng::new(1);
+        let delays: Vec<Duration> = (0..32).map(|_| p.delay(2, &mut rng)).collect();
+        let lo = Duration::from_millis(4); // half of 8 ms
+        let hi = Duration::from_millis(8);
+        assert!(delays.iter().all(|d| *d >= lo && *d <= hi), "{delays:?}");
+        assert!(delays.iter().any(|d| *d != delays[0]), "no jitter at all");
+    }
+
+    #[test]
+    fn attempt_bound() {
+        let p = policy();
+        assert!(p.allows(0));
+        assert!(p.allows(4));
+        assert!(!p.allows(5));
+        let unbounded = BackoffPolicy { max_attempts: 0, ..p };
+        assert!(unbounded.allows(1_000_000));
+    }
+
+    #[test]
+    fn huge_attempts_do_not_overflow() {
+        let p = BackoffPolicy {
+            base: Duration::from_secs(1),
+            cap: Duration::from_secs(3600),
+            max_attempts: 0,
+        };
+        let mut rng = ChaosRng::new(3);
+        let d = p.delay(u32::MAX, &mut rng);
+        assert!(d <= p.cap);
+    }
+}

@@ -1,17 +1,27 @@
 //! One-call end-to-end runs: spawn a master and `p` emulated-
 //! heterogeneous workers, execute the loop for real, and report the
 //! same metrics the simulator produces.
+//!
+//! Every harness run goes through the *resilient* master loop
+//! ([`crate::master::run_resilient_master`]): chunk leases, heartbeat
+//! liveness, speculative re-execution and first-result-wins dedup are
+//! always armed. On a healthy cluster they never fire (the report's
+//! fault log stays empty); with [`WorkerSpec::fault`] plans injected,
+//! the run completes anyway and the log shows how.
 
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+use lss_core::fault::{FaultPlan, LeaseConfig};
 use lss_core::master::{Master, MasterConfig, SchemeKind};
 use lss_core::power::{AcpConfig, VirtualPower};
 use lss_metrics::breakdown::{RunReport, TimeBreakdown};
+use lss_metrics::FaultLog;
 use lss_workloads::Workload;
 
+use crate::backoff::BackoffPolicy;
 use crate::load::LoadState;
-use crate::master::run_master;
+use crate::master::run_resilient_master;
 use crate::protocol::Request;
 use crate::transport::channels::channel_transport;
 use crate::transport::tcp::{tcp_listen, TcpWorker};
@@ -20,7 +30,7 @@ use crate::worker::{run_worker, WorkerConfig, WorkerStats};
 /// Which transport the harness wires up.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Transport {
-    /// In-process crossbeam channels (fast, default).
+    /// In-process channels (fast, default).
     Channels,
     /// Localhost TCP sockets with framed messages.
     Tcp,
@@ -34,8 +44,8 @@ pub struct WorkerSpec {
     /// Shared, mutable run-queue state; keep a clone to change the
     /// load mid-run (the non-dedicated condition).
     pub load: LoadState,
-    /// Failure injection: crash after computing this many chunks.
-    pub fail_after_chunks: Option<u64>,
+    /// Chaos plan for this worker (default: healthy).
+    pub fault: FaultPlan,
 }
 
 impl WorkerSpec {
@@ -44,7 +54,7 @@ impl WorkerSpec {
         WorkerSpec {
             slowdown: 1,
             load: LoadState::dedicated(),
-            fail_after_chunks: None,
+            fault: FaultPlan::healthy(),
         }
     }
 
@@ -53,17 +63,20 @@ impl WorkerSpec {
         WorkerSpec {
             slowdown: 3,
             load: LoadState::dedicated(),
-            fail_after_chunks: None,
+            fault: FaultPlan::healthy(),
         }
     }
 
-    /// A fast PE that crashes after computing `n` chunks (failure
-    /// injection for the fault-tolerance path).
+    /// A fast PE that crashes after computing `n` chunks (the original
+    /// failure-injection knob, now a [`FaultPlan`] shorthand).
     pub fn failing_after(n: u64) -> Self {
-        WorkerSpec {
-            fail_after_chunks: Some(n),
-            ..Self::fast()
-        }
+        Self::fast().with_fault(FaultPlan::crash_after(n))
+    }
+
+    /// Attaches an arbitrary chaos plan.
+    pub fn with_fault(mut self, fault: FaultPlan) -> Self {
+        self.fault = fault;
+        self
     }
 }
 
@@ -76,10 +89,22 @@ pub struct HarnessConfig {
     pub workers: Vec<WorkerSpec>,
     /// ACP rule for the distributed schemes.
     pub acp: AcpConfig,
-    /// Worker back-off after a retry notice.
-    pub retry_backoff: Duration,
+    /// Worker pacing after a retry notice (capped exponential backoff
+    /// with jitter — replaces the old fixed sleep).
+    pub retry: BackoffPolicy,
+    /// Worker pacing when redialling a dropped link.
+    pub reconnect: BackoffPolicy,
     /// Transport to use.
     pub transport: Transport,
+    /// Lease policy for the master's fault detector.
+    pub lease: LeaseConfig,
+    /// Heartbeat interval while computing (`None` = no heartbeats).
+    pub heartbeat_every: Option<Duration>,
+    /// Worker-side reply patience before retransmitting its request
+    /// (`None` = block; lossy net plans then use a built-in default).
+    pub reply_timeout: Option<Duration>,
+    /// Master wake-up bound for lease polling.
+    pub poll_interval: Duration,
 }
 
 impl HarnessConfig {
@@ -89,8 +114,13 @@ impl HarnessConfig {
             scheme,
             workers,
             acp: AcpConfig::PAPER,
-            retry_backoff: Duration::from_millis(5),
+            retry: BackoffPolicy::retry_default(),
+            reconnect: BackoffPolicy::reconnect_default(),
             transport: Transport::Channels,
+            lease: LeaseConfig::RUNTIME_DEFAULT,
+            heartbeat_every: Some(Duration::from_millis(100)),
+            reply_timeout: None,
+            poll_interval: Duration::from_millis(2),
         }
     }
 
@@ -116,22 +146,32 @@ impl HarnessConfig {
 /// Everything a run produced.
 #[derive(Debug)]
 pub struct HarnessOutcome {
-    /// Table-style report (wall-clock times).
+    /// Table-style report (wall-clock times), fault log included.
     pub report: RunReport,
-    /// Per-iteration results collected at the master.
+    /// Per-iteration results collected at the master (first result
+    /// wins under speculation).
     pub results: Vec<u64>,
     /// Raw per-worker stats.
     pub worker_stats: Vec<WorkerStats>,
-    /// Workers that crashed mid-run (their chunks were re-granted).
+    /// Workers that never reached clean termination (crashed, hung, or
+    /// declared dead).
     pub failed_workers: Vec<usize>,
+    /// Fault-handling decisions, in time order (same data as
+    /// `report.faults`).
+    pub faults: FaultLog,
+    /// Speculative re-executions granted near end-of-loop.
+    pub speculative_grants: u64,
+    /// Results dropped by first-result-wins dedup.
+    pub duplicates_dropped: u64,
 }
 
 /// Executes the full loop under the configured scheme and cluster.
 ///
 /// # Panics
-/// On internal errors (a worker or the master dying mid-run) and when
-/// any iteration's result fails to arrive — both indicate bugs, not
-/// recoverable conditions.
+/// On internal errors (the master dying, a *healthy-plan* worker
+/// failing) and when any iteration's result fails to arrive — the loop
+/// is completable as long as one worker survives; a run where every
+/// worker dies is a configuration bug in this harness's eyes.
 pub fn run_scheduled_loop<W: Workload + 'static>(
     cfg: &HarnessConfig,
     workload: Arc<W>,
@@ -146,6 +186,7 @@ pub fn run_scheduled_loop<W: Workload + 'static>(
         initial_q,
         acp: cfg.acp,
     });
+    master.set_lease_config(cfg.lease);
 
     let worker_cfgs: Vec<WorkerConfig> = cfg
         .workers
@@ -155,10 +196,25 @@ pub fn run_scheduled_loop<W: Workload + 'static>(
             id,
             slowdown: spec.slowdown,
             load: spec.load.clone(),
-            retry_backoff: cfg.retry_backoff,
-            fail_after_chunks: spec.fail_after_chunks,
+            retry: cfg.retry,
+            reconnect: cfg.reconnect,
+            fault: spec.fault.clone(),
+            heartbeat_every: cfg.heartbeat_every,
+            reply_timeout: cfg.reply_timeout,
         })
         .collect();
+
+    // A worker with an injected fault may legitimately end in a
+    // transport error (e.g. it gave up redialling); a healthy worker
+    // may not.
+    let finish = |wcfg: &WorkerConfig, res: Result<WorkerStats, _>| match res {
+        Ok(stats) => stats,
+        Err(e) if !wcfg.fault.is_healthy() => {
+            let _ = e;
+            WorkerStats::default()
+        }
+        Err(e) => panic!("healthy worker {} failed: {e}", wcfg.id),
+    };
 
     let t0 = Instant::now();
     let (outcome, stats) = match cfg.transport {
@@ -170,13 +226,20 @@ pub fn run_scheduled_loop<W: Workload + 'static>(
                 .map(|(wt, wcfg)| {
                     let wl = Arc::clone(&workload);
                     std::thread::spawn(move || {
-                        run_worker(wt, &wcfg, wl.as_ref(), false).expect("worker failed")
+                        let res = run_worker(wt, &wcfg, wl.as_ref(), false);
+                        (wcfg, res)
                     })
                 })
                 .collect();
-            let outcome = run_master(mt, &mut master, p).expect("master failed");
-            let stats: Vec<WorkerStats> =
-                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect();
+            let outcome = run_resilient_master(mt, &mut master, p, cfg.poll_interval)
+                .expect("master failed");
+            let stats: Vec<WorkerStats> = handles
+                .into_iter()
+                .map(|h| {
+                    let (wcfg, res) = h.join().expect("worker panicked");
+                    finish(&wcfg, res)
+                })
+                .collect();
             (outcome, stats)
         }
         Transport::Tcp => {
@@ -194,15 +257,22 @@ pub fn run_scheduled_loop<W: Workload + 'static>(
                             q: wcfg.load.q(),
                             result: None,
                         };
-                        let wt = TcpWorker::connect(addr, first).expect("connect failed");
-                        run_worker(wt, &wcfg, wl.as_ref(), true).expect("worker failed")
+                        let res = TcpWorker::connect(addr, first)
+                            .and_then(|wt| run_worker(wt, &wcfg, wl.as_ref(), true));
+                        (wcfg, res)
                     })
                 })
                 .collect();
             let mt = listener.accept_workers(p).expect("accept failed");
-            let outcome = run_master(mt, &mut master, p).expect("master failed");
-            let stats: Vec<WorkerStats> =
-                handles.into_iter().map(|h| h.join().expect("worker panicked")).collect();
+            let outcome = run_resilient_master(mt, &mut master, p, cfg.poll_interval)
+                .expect("master failed");
+            let stats: Vec<WorkerStats> = handles
+                .into_iter()
+                .map(|h| {
+                    let (wcfg, res) = h.join().expect("worker panicked");
+                    finish(&wcfg, res)
+                })
+                .collect();
             (outcome, stats)
         }
     };
@@ -238,12 +308,16 @@ pub fn run_scheduled_loop<W: Workload + 'static>(
         t_p,
         master.total_scheduling_steps(),
         iterations,
-    );
+    )
+    .with_faults(outcome.faults.clone());
     HarnessOutcome {
         report,
         results,
         worker_stats: stats,
         failed_workers: outcome.failed_workers,
+        faults: outcome.faults,
+        speculative_grants: outcome.speculative_grants,
+        duplicates_dropped: outcome.duplicates_dropped,
     }
 }
 
@@ -262,6 +336,8 @@ mod tests {
             assert_eq!(out.results[i as usize], w.execute(i), "iteration {i}");
         }
         assert_eq!(out.report.iterations.iter().sum::<u64>(), 200);
+        assert!(out.faults.is_empty(), "healthy run logged faults:\n{}", out.faults.render());
+        assert!(!out.report.had_faults());
     }
 
     #[test]
@@ -274,6 +350,7 @@ mod tests {
         for i in 0..60u64 {
             assert_eq!(out.results[i as usize], w.execute(i));
         }
+        assert!(out.faults.is_empty(), "{}", out.faults.render());
     }
 
     #[test]
@@ -329,5 +406,19 @@ mod tests {
                 scheme.name()
             );
         }
+    }
+
+    #[test]
+    fn crashing_worker_does_not_stop_the_loop() {
+        let w = Arc::new(UniformLoop::new(120, 400));
+        let mut cfg = HarnessConfig::paper_mix(SchemeKind::Css { k: 10 }, 2, 0);
+        cfg.workers.push(WorkerSpec::failing_after(1));
+        let out = run_scheduled_loop(&cfg, Arc::clone(&w));
+        assert_eq!(out.results.len(), 120);
+        for i in 0..120u64 {
+            assert_eq!(out.results[i as usize], w.execute(i));
+        }
+        assert_eq!(out.failed_workers, vec![2]);
+        assert!(out.faults.len() >= 1, "crash must be visible in the log");
     }
 }

@@ -9,13 +9,19 @@
 //!   previous chunk's results** (§5's key optimization) and carry the
 //!   worker's current run-queue length; replies that carry an iteration
 //!   interval or a terminate notice.
-//! - [`transport`] — message transports: in-process crossbeam
+//! - [`transport`] — message transports: in-process std-mpsc
 //!   [`transport::channels`] (the default; "MPI bindings thin,
 //!   channels/tcp workable") and localhost [`transport::tcp`] with
 //!   length-prefixed frames, demonstrating the same protocol across a
-//!   real socket.
+//!   real socket. Both support timed receives, piggy-backed heartbeats
+//!   and worker-initiated reconnection.
 //! - [`worker`] / [`master`] — the two loop roles, directly mirroring
-//!   the paper's slave/master algorithms (§3.1).
+//!   the paper's slave/master algorithms (§3.1), plus the self-healing
+//!   [`master::run_resilient_master`] loop (chunk leases, speculative
+//!   re-execution, first-result-wins dedup) and chaos injection in the
+//!   worker driven by [`lss_core::FaultPlan`].
+//! - [`backoff`] — capped exponential backoff with jitter, shared by
+//!   retry pacing and link redialling.
 //! - [`load`] — heterogeneity and non-dedication emulation: a worker
 //!   with slowdown `s` and run-queue `Q` re-executes each iteration
 //!   `s·Q` times (the equal-share model made concrete), plus an
@@ -26,6 +32,7 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod backoff;
 pub mod harness;
 pub mod load;
 pub mod master;
@@ -33,5 +40,8 @@ pub mod protocol;
 pub mod transport;
 pub mod worker;
 
-pub use harness::{run_scheduled_loop, HarnessConfig, HarnessOutcome, WorkerSpec};
+pub use backoff::BackoffPolicy;
+pub use harness::{run_scheduled_loop, HarnessConfig, HarnessOutcome, Transport, WorkerSpec};
 pub use load::LoadState;
+pub use master::{run_master, run_resilient_master, MasterOutcome, ResilientOutcome};
+pub use transport::TransportError;

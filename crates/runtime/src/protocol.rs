@@ -6,8 +6,13 @@
 //! the distributed schemes), and — on every request but the first —
 //! the results of the previous chunk. The master's reply is an
 //! iteration interval, a retry notice (ACP 0), or a terminate notice.
+//!
+//! The fault-tolerance layer adds one message kind on top:
+//! [`WireMsg::Heartbeat`], a fire-and-forget liveness signal a worker
+//! emits while computing a long chunk. It rides the same framed stream
+//! as requests (no extra round-trips in the happy path) and never
+//! receives a reply.
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
 use lss_core::chunk::Chunk;
 use lss_core::master::Assignment;
 
@@ -46,48 +51,71 @@ pub struct Reply {
     pub assignment: Assignment,
 }
 
+// Little codec helpers over a cursor into a byte slice.
+
+fn take<'a>(buf: &mut &'a [u8], n: usize) -> Option<&'a [u8]> {
+    if buf.len() < n {
+        return None;
+    }
+    let (head, rest) = buf.split_at(n);
+    *buf = rest;
+    Some(head)
+}
+
+fn get_u8(buf: &mut &[u8]) -> Option<u8> {
+    take(buf, 1).map(|b| b[0])
+}
+
+fn get_u32(buf: &mut &[u8]) -> Option<u32> {
+    take(buf, 4).map(|b| u32::from_be_bytes(b.try_into().unwrap()))
+}
+
+fn get_u64(buf: &mut &[u8]) -> Option<u64> {
+    take(buf, 8).map(|b| u64::from_be_bytes(b.try_into().unwrap()))
+}
+
 impl Request {
     /// Serializes the request into a frame payload.
-    pub fn encode(&self) -> Bytes {
-        let mut b = BytesMut::with_capacity(32 + self.result.as_ref().map_or(0, |r| 8 * r.values.len()));
-        b.put_u32(self.worker as u32);
-        b.put_u32(self.q);
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b =
+            Vec::with_capacity(32 + self.result.as_ref().map_or(0, |r| 8 * r.values.len()));
+        b.extend_from_slice(&(self.worker as u32).to_be_bytes());
+        b.extend_from_slice(&self.q.to_be_bytes());
         match &self.result {
-            None => b.put_u8(0),
+            None => b.push(0),
             Some(r) => {
-                b.put_u8(1);
-                b.put_u64(r.chunk.start);
-                b.put_u64(r.chunk.len);
+                b.push(1);
+                b.extend_from_slice(&r.chunk.start.to_be_bytes());
+                b.extend_from_slice(&r.chunk.len.to_be_bytes());
                 for &v in &r.values {
-                    b.put_u64(v);
+                    b.extend_from_slice(&v.to_be_bytes());
                 }
             }
         }
-        b.freeze()
+        b
     }
 
     /// Deserializes a frame payload; `None` on malformed input.
     pub fn decode(mut buf: &[u8]) -> Option<Request> {
-        if buf.remaining() < 9 {
-            return None;
-        }
-        let worker = buf.get_u32() as usize;
-        let q = buf.get_u32();
-        let has_result = buf.get_u8();
-        let result = match has_result {
-            0 => None,
-            1 => {
-                if buf.remaining() < 16 {
-                    return None;
+        let buf = &mut buf;
+        let worker = get_u32(buf)? as usize;
+        let q = get_u32(buf)?;
+        let result = match get_u8(buf)? {
+            0 => {
+                if !buf.is_empty() {
+                    return None; // trailing garbage
                 }
-                let start = buf.get_u64();
-                let len = buf.get_u64();
+                None
+            }
+            1 => {
+                let start = get_u64(buf)?;
+                let len = get_u64(buf)?;
                 // Adversarial lengths must not overflow the size check.
                 let expected = len.checked_mul(8)?;
-                if buf.remaining() as u64 != expected {
+                if buf.len() as u64 != expected {
                     return None;
                 }
-                let values = (0..len).map(|_| buf.get_u64()).collect();
+                let values = (0..len).map(|_| get_u64(buf).unwrap()).collect();
                 Some(ChunkResult::new(Chunk::new(start, len), values))
             }
             _ => return None,
@@ -102,39 +130,88 @@ const TAG_FINISHED: u8 = 2;
 
 impl Reply {
     /// Serializes the reply into a frame payload.
-    pub fn encode(&self) -> Bytes {
-        let mut b = BytesMut::with_capacity(17);
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(17);
         match self.assignment {
             Assignment::Chunk(c) => {
-                b.put_u8(TAG_CHUNK);
-                b.put_u64(c.start);
-                b.put_u64(c.len);
+                b.push(TAG_CHUNK);
+                b.extend_from_slice(&c.start.to_be_bytes());
+                b.extend_from_slice(&c.len.to_be_bytes());
             }
-            Assignment::Retry => b.put_u8(TAG_RETRY),
-            Assignment::Finished => b.put_u8(TAG_FINISHED),
+            Assignment::Retry => b.push(TAG_RETRY),
+            Assignment::Finished => b.push(TAG_FINISHED),
         }
-        b.freeze()
+        b
     }
 
     /// Deserializes a frame payload; `None` on malformed input.
     pub fn decode(mut buf: &[u8]) -> Option<Reply> {
-        if buf.remaining() < 1 {
-            return None;
-        }
-        let assignment = match buf.get_u8() {
+        let buf = &mut buf;
+        let assignment = match get_u8(buf)? {
             TAG_CHUNK => {
-                if buf.remaining() < 16 {
-                    return None;
-                }
-                let start = buf.get_u64();
-                let len = buf.get_u64();
+                let start = get_u64(buf)?;
+                let len = get_u64(buf)?;
                 Assignment::Chunk(Chunk::new(start, len))
             }
             TAG_RETRY => Assignment::Retry,
             TAG_FINISHED => Assignment::Finished,
             _ => return None,
         };
+        if !buf.is_empty() {
+            return None;
+        }
         Some(Reply { assignment })
+    }
+}
+
+const TAG_MSG_REQUEST: u8 = 0;
+const TAG_MSG_HEARTBEAT: u8 = 1;
+
+/// The slave→master stream envelope: a request, or a heartbeat.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum WireMsg {
+    /// A scheduling request (possibly with piggy-backed results).
+    Request(Request),
+    /// A liveness heartbeat — no reply is sent.
+    Heartbeat {
+        /// The worker reporting in.
+        worker: usize,
+    },
+}
+
+impl WireMsg {
+    /// Serializes the envelope into a frame payload.
+    pub fn encode(&self) -> Vec<u8> {
+        match self {
+            WireMsg::Request(req) => {
+                let mut b = Vec::with_capacity(1 + 32);
+                b.push(TAG_MSG_REQUEST);
+                b.extend_from_slice(&req.encode());
+                b
+            }
+            WireMsg::Heartbeat { worker } => {
+                let mut b = Vec::with_capacity(5);
+                b.push(TAG_MSG_HEARTBEAT);
+                b.extend_from_slice(&(*worker as u32).to_be_bytes());
+                b
+            }
+        }
+    }
+
+    /// Deserializes a frame payload; `None` on malformed input.
+    pub fn decode(buf: &[u8]) -> Option<WireMsg> {
+        let (&tag, rest) = buf.split_first()?;
+        match tag {
+            TAG_MSG_REQUEST => Request::decode(rest).map(WireMsg::Request),
+            TAG_MSG_HEARTBEAT => {
+                if rest.len() != 4 {
+                    return None;
+                }
+                let worker = u32::from_be_bytes(rest.try_into().unwrap()) as usize;
+                Some(WireMsg::Heartbeat { worker })
+            }
+            _ => None,
+        }
     }
 }
 
@@ -171,6 +248,19 @@ mod tests {
     }
 
     #[test]
+    fn wire_msg_roundtrips() {
+        let req = Request {
+            worker: 2,
+            q: 3,
+            result: Some(ChunkResult::new(Chunk::new(0, 2), vec![9, 8])),
+        };
+        let m = WireMsg::Request(req);
+        assert_eq!(WireMsg::decode(&m.encode()), Some(m));
+        let hb = WireMsg::Heartbeat { worker: 17 };
+        assert_eq!(WireMsg::decode(&hb.encode()), Some(hb));
+    }
+
+    #[test]
     fn malformed_inputs_rejected() {
         assert_eq!(Request::decode(&[]), None);
         assert_eq!(Request::decode(&[0, 0, 0, 1]), None);
@@ -178,14 +268,17 @@ mod tests {
         assert_eq!(Reply::decode(&[9]), None);
         // Truncated chunk reply.
         assert_eq!(Reply::decode(&[TAG_CHUNK, 0, 0]), None);
+        // Truncated heartbeat.
+        assert_eq!(WireMsg::decode(&[TAG_MSG_HEARTBEAT, 0]), None);
+        assert_eq!(WireMsg::decode(&[]), None);
+        assert_eq!(WireMsg::decode(&[42]), None);
         // Result length lies about the payload size.
         let mut bad = Request {
             worker: 0,
             q: 1,
             result: Some(ChunkResult::new(Chunk::new(0, 2), vec![1, 2])),
         }
-        .encode()
-        .to_vec();
+        .encode();
         bad.truncate(bad.len() - 8);
         assert_eq!(Request::decode(&bad), None);
     }
@@ -221,6 +314,21 @@ mod proptests {
         }
 
         #[test]
+        fn wire_msgs_roundtrip(
+            worker in 0usize..10_000,
+            q in 1u32..1000,
+            result in prop::option::of(chunk_result_strategy()),
+            heartbeat in any::<bool>(),
+        ) {
+            let m = if heartbeat {
+                WireMsg::Heartbeat { worker }
+            } else {
+                WireMsg::Request(Request { worker, q, result })
+            };
+            prop_assert_eq!(WireMsg::decode(&m.encode()), Some(m));
+        }
+
+        #[test]
         fn reply_roundtrips(start in any::<u64>(), len in 0u64..u64::MAX / 2) {
             let r = Reply { assignment: Assignment::Chunk(Chunk::new(start, len)) };
             prop_assert_eq!(Reply::decode(&r.encode()), Some(r));
@@ -238,7 +346,7 @@ mod proptests {
                 q: 1,
                 result: Some(ChunkResult::new(Chunk::new(0, len), values)),
             };
-            let mut bytes = req.encode().to_vec();
+            let mut bytes = req.encode();
             bytes.truncate(cut.min(bytes.len()));
             // Must return None or a consistent value — never panic.
             let _ = Request::decode(&bytes);
@@ -248,6 +356,7 @@ mod proptests {
         fn garbage_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..128)) {
             let _ = Request::decode(&bytes);
             let _ = Reply::decode(&bytes);
+            let _ = WireMsg::decode(&bytes);
         }
     }
 }

@@ -1,116 +1,192 @@
-//! In-process transport over crossbeam channels.
+//! In-process transport over std mpsc channels.
 //!
-//! Each worker gets its own request channel so the master can detect a
-//! worker's death the moment its sender drops (crossbeam reports the
-//! disconnect on that channel), instead of stalling forever on a shared
-//! inbox — the hook the fault-tolerant master loop relies on.
+//! All workers funnel their events into one master inbox (a single
+//! `mpsc` channel carrying typed [`Inbound`] values), mirroring the
+//! paper's single MPI receive loop. Replies travel over per-worker
+//! channels. A worker endpoint announces its own death on drop — so a
+//! crashed worker thread is an *event* the master observes, not a
+//! silent stall — and can sever and re-establish its link mid-run to
+//! exercise the reconnect path without sockets.
 
-use crossbeam::channel::{unbounded, Receiver, Select, Sender};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
 
 use super::{Inbound, MasterTransport, TransportError, WorkerTransport};
 use crate::protocol::{Reply, Request};
 
-/// Master endpoint: one request inbox per worker, one reply line per
-/// worker.
+/// Reply lines, swappable on reconnect.
+struct Hub {
+    replies: Mutex<Vec<Sender<Reply>>>,
+}
+
+/// Master endpoint: one funnel inbox, one reply line per worker.
 pub struct ChannelMaster {
-    inboxes: Vec<Receiver<Request>>,
-    replies: Vec<Sender<Reply>>,
-    /// Workers whose disconnect has already been reported.
-    reported_dead: Vec<bool>,
+    inbox: Receiver<Inbound>,
+    hub: Arc<Hub>,
 }
 
 /// Worker endpoint.
 pub struct ChannelWorker {
-    outbox: Sender<Request>,
+    id: usize,
+    events: Sender<Inbound>,
     replies: Receiver<Reply>,
+    hub: Arc<Hub>,
+    /// Whether the link is currently severed (chaos / planned outage).
+    severed: bool,
 }
 
 /// Creates a connected master endpoint plus `p` worker endpoints.
 pub fn channel_transport(p: usize) -> (ChannelMaster, Vec<ChannelWorker>) {
     assert!(p >= 1, "need at least one worker");
-    let mut inboxes = Vec::with_capacity(p);
+    let (event_tx, event_rx) = channel::<Inbound>();
     let mut reply_txs = Vec::with_capacity(p);
-    let mut workers = Vec::with_capacity(p);
+    let mut reply_rxs = Vec::with_capacity(p);
     for _ in 0..p {
-        let (req_tx, req_rx) = unbounded::<Request>();
-        let (rep_tx, rep_rx) = unbounded::<Reply>();
-        inboxes.push(req_rx);
-        reply_txs.push(rep_tx);
-        workers.push(ChannelWorker {
-            outbox: req_tx,
-            replies: rep_rx,
-        });
+        let (tx, rx) = channel::<Reply>();
+        reply_txs.push(tx);
+        reply_rxs.push(rx);
     }
-    (
-        ChannelMaster {
-            inboxes,
-            replies: reply_txs,
-            reported_dead: vec![false; p],
-        },
-        workers,
-    )
+    let hub = Arc::new(Hub { replies: Mutex::new(reply_txs) });
+    let workers = reply_rxs
+        .into_iter()
+        .enumerate()
+        .map(|(id, replies)| ChannelWorker {
+            id,
+            events: event_tx.clone(),
+            replies,
+            hub: Arc::clone(&hub),
+            severed: false,
+        })
+        .collect();
+    drop(event_tx); // workers hold the only senders: all-dead is observable
+    (ChannelMaster { inbox: event_rx, hub }, workers)
+}
+
+impl Drop for ChannelMaster {
+    fn drop(&mut self) {
+        // Drop every reply sender so workers blocked on their reply
+        // stream observe a disconnect — a hung worker's thread must
+        // still be joinable after the master gives up on it. (Workers
+        // hold the hub `Arc` too, so without this their own handle
+        // would keep their reply line open forever.)
+        if let Ok(mut replies) = self.hub.replies.lock() {
+            replies.clear();
+        }
+    }
 }
 
 impl MasterTransport for ChannelMaster {
     fn recv(&mut self) -> Result<Inbound, TransportError> {
-        use crossbeam::channel::TryRecvError;
-        // Fast path: drain queued requests; a drained-and-disconnected
-        // channel reports the death exactly once.
-        for w in 0..self.inboxes.len() {
-            if self.reported_dead[w] {
-                continue;
-            }
-            match self.inboxes[w].try_recv() {
-                Ok(req) => return Ok(Inbound::Request(req)),
-                Err(TryRecvError::Empty) => {}
-                Err(TryRecvError::Disconnected) => {
-                    self.reported_dead[w] = true;
-                    return Ok(Inbound::Disconnected(w));
-                }
-            }
-        }
-        // Block until any live channel has activity.
-        let live: Vec<usize> = (0..self.inboxes.len())
-            .filter(|&w| !self.reported_dead[w])
-            .collect();
-        if live.is_empty() {
-            return Err(TransportError("all workers disconnected".into()));
-        }
-        let mut sel = Select::new();
-        for &w in &live {
-            sel.recv(&self.inboxes[w]);
-        }
-        let op = sel.select();
-        let w = live[op.index()];
-        match op.recv(&self.inboxes[w]) {
-            Ok(req) => Ok(Inbound::Request(req)),
-            Err(_) => {
-                self.reported_dead[w] = true;
-                Ok(Inbound::Disconnected(w))
+        self.inbox
+            .recv()
+            .map_err(|_| TransportError::Disconnected("all workers disconnected".into()))
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Inbound>, TransportError> {
+        match self.inbox.recv_timeout(timeout) {
+            Ok(ev) => Ok(Some(ev)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => {
+                Err(TransportError::Disconnected("all workers disconnected".into()))
             }
         }
     }
 
     fn send(&mut self, worker: usize, reply: Reply) -> Result<(), TransportError> {
-        self.replies
+        let replies = self.hub.replies.lock().expect("hub lock");
+        replies
             .get(worker)
-            .ok_or_else(|| TransportError(format!("unknown worker {worker}")))?
+            .ok_or(TransportError::UnknownWorker(worker))?
             .send(reply)
-            .map_err(|e| TransportError(format!("worker {worker} gone: {e}")))
+            .map_err(|_| TransportError::Disconnected(format!("worker {worker} gone")))
+    }
+}
+
+impl ChannelWorker {
+    /// This endpoint's worker id.
+    pub fn id(&self) -> usize {
+        self.id
     }
 }
 
 impl WorkerTransport for ChannelWorker {
     fn send_request(&mut self, req: Request) -> Result<(), TransportError> {
-        self.outbox
-            .send(req)
-            .map_err(|e| TransportError(format!("master gone: {e}")))
+        if self.severed {
+            return Err(TransportError::Disconnected("link severed".into()));
+        }
+        self.events
+            .send(Inbound::Request(req))
+            .map_err(|_| TransportError::Disconnected("master gone".into()))
     }
 
     fn recv_reply(&mut self) -> Result<Reply, TransportError> {
+        if self.severed {
+            return Err(TransportError::Disconnected("link severed".into()));
+        }
         self.replies
             .recv()
-            .map_err(|e| TransportError(format!("master gone: {e}")))
+            .map_err(|_| TransportError::Disconnected("master gone".into()))
+    }
+
+    fn recv_reply_timeout(&mut self, timeout: Duration) -> Result<Option<Reply>, TransportError> {
+        if self.severed {
+            return Err(TransportError::Disconnected("link severed".into()));
+        }
+        match self.replies.recv_timeout(timeout) {
+            Ok(r) => Ok(Some(r)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => {
+                Err(TransportError::Disconnected("master gone".into()))
+            }
+        }
+    }
+
+    fn send_heartbeat(&mut self, worker: usize) -> Result<(), TransportError> {
+        if self.severed {
+            return Err(TransportError::Disconnected("link severed".into()));
+        }
+        self.events
+            .send(Inbound::Heartbeat { worker })
+            .map_err(|_| TransportError::Disconnected("master gone".into()))
+    }
+
+    fn drop_link(&mut self) {
+        if !self.severed {
+            self.severed = true;
+            // Announce the disconnect; any queued replies are dead.
+            let _ = self.events.send(Inbound::Disconnected(self.id));
+        }
+    }
+
+    fn reconnect(&mut self, hello: &Request) -> Result<(), TransportError> {
+        // Install a fresh reply line (stale replies on the old one are
+        // lost, exactly like a new socket) and re-announce ourselves.
+        let (tx, rx) = channel::<Reply>();
+        {
+            let mut replies = self.hub.replies.lock().expect("hub lock");
+            let slot = replies
+                .get_mut(self.id)
+                .ok_or(TransportError::UnknownWorker(self.id))?;
+            *slot = tx;
+        }
+        self.replies = rx;
+        self.severed = false;
+        self.events
+            .send(Inbound::Reconnected(self.id))
+            .map_err(|_| TransportError::Disconnected("master gone".into()))?;
+        self.send_request(hello.clone())
+    }
+}
+
+impl Drop for ChannelWorker {
+    fn drop(&mut self) {
+        // A dropped endpoint is a crashed worker as far as the master
+        // is concerned (also fires on clean exit; the master loop
+        // ignores disconnects from workers it already finished).
+        if !self.severed {
+            let _ = self.events.send(Inbound::Disconnected(self.id));
+        }
     }
 }
 
@@ -154,11 +230,14 @@ mod tests {
     #[test]
     fn unknown_worker_errors() {
         let (mut master, _workers) = channel_transport(1);
-        assert!(master.send(5, Reply { assignment: Assignment::Retry }).is_err());
+        assert_eq!(
+            master.send(5, Reply { assignment: Assignment::Retry }),
+            Err(TransportError::UnknownWorker(5))
+        );
     }
 
     #[test]
-    fn disconnect_is_reported_once() {
+    fn disconnect_is_reported() {
         let (mut master, mut workers) = channel_transport(2);
         // Worker 1 sends one request then dies.
         workers[1]
@@ -174,10 +253,57 @@ mod tests {
             .send_request(Request { worker: 0, q: 1, result: None })
             .unwrap();
         assert_eq!(expect_request(&mut master).worker, 0);
-        // After the last worker dies, recv errors.
+        // After the last worker dies, recv drains its notice then errors.
         drop(workers);
         assert_eq!(master.recv().unwrap(), Inbound::Disconnected(0));
         assert!(master.recv().is_err());
+    }
+
+    #[test]
+    fn recv_timeout_times_out_and_delivers() {
+        let (mut master, mut workers) = channel_transport(1);
+        assert_eq!(master.recv_timeout(Duration::from_millis(5)).unwrap(), None);
+        workers[0].send_heartbeat(0).unwrap();
+        assert_eq!(
+            master.recv_timeout(Duration::from_millis(100)).unwrap(),
+            Some(Inbound::Heartbeat { worker: 0 })
+        );
+    }
+
+    #[test]
+    fn sever_and_reconnect() {
+        let (mut master, mut workers) = channel_transport(1);
+        let w = &mut workers[0];
+        w.drop_link();
+        assert!(w.send_request(Request { worker: 0, q: 1, result: None }).is_err());
+        assert_eq!(master.recv().unwrap(), Inbound::Disconnected(0));
+        // A reply sent while severed lands on the old line and is lost
+        // once the worker reconnects.
+        master.send(0, Reply { assignment: Assignment::Retry }).unwrap();
+        w.reconnect(&Request { worker: 0, q: 2, result: None }).unwrap();
+        assert_eq!(master.recv().unwrap(), Inbound::Reconnected(0));
+        let req = expect_request(&mut master);
+        assert_eq!(req.q, 2);
+        master.send(0, Reply { assignment: Assignment::Finished }).unwrap();
+        assert_eq!(w.recv_reply().unwrap().assignment, Assignment::Finished);
+    }
+
+    #[test]
+    fn worker_reply_timeout() {
+        let (mut master, mut workers) = channel_transport(1);
+        assert_eq!(
+            workers[0].recv_reply_timeout(Duration::from_millis(5)).unwrap(),
+            None
+        );
+        master.send(0, Reply { assignment: Assignment::Retry }).unwrap();
+        assert_eq!(
+            workers[0]
+                .recv_reply_timeout(Duration::from_millis(100))
+                .unwrap()
+                .unwrap()
+                .assignment,
+            Assignment::Retry
+        );
     }
 
     #[test]

@@ -3,24 +3,59 @@
 //! Two interchangeable implementations of the same request/reply
 //! protocol:
 //!
-//! - [`channels`] — crossbeam channels within one process (fast,
+//! - [`channels`] — std mpsc channels within one process (fast,
 //!   deterministic; the default for tests and benches);
 //! - [`tcp`] — localhost TCP sockets with length-prefixed frames
 //!   (demonstrates the protocol across a real network stack, standing
 //!   in for the paper's MPI-over-Ethernet).
+//!
+//! Both support the fault-tolerant protocol extensions: timed receives
+//! (so the master can poll chunk leases), piggy-backed heartbeats, and
+//! worker-initiated reconnection after a disconnect.
 
 pub mod channels;
 pub mod tcp;
 
+use std::time::Duration;
+
 use crate::protocol::{Reply, Request};
 
-/// Transport error (disconnected peer, I/O failure, malformed frame).
-#[derive(Debug)]
-pub struct TransportError(pub String);
+/// Typed transport failure. Library paths return these instead of
+/// panicking, so a dead peer is an event the caller handles, not a
+/// crash.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransportError {
+    /// The peer is gone: socket EOF/reset, or all channel ends dropped.
+    Disconnected(String),
+    /// An OS-level I/O failure (bind, connect, read, write).
+    Io(String),
+    /// A frame or payload that does not decode, or exceeds size caps.
+    Malformed(String),
+    /// A message addressed to (or claiming) a worker id the transport
+    /// does not know.
+    UnknownWorker(usize),
+    /// The operation is not supported by this transport (e.g.
+    /// reconnection on a scripted test transport).
+    Unsupported(&'static str),
+}
+
+impl TransportError {
+    /// Whether the error means the peer is gone (as opposed to a local
+    /// or protocol problem).
+    pub fn is_disconnect(&self) -> bool {
+        matches!(self, TransportError::Disconnected(_))
+    }
+}
 
 impl std::fmt::Display for TransportError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "transport error: {}", self.0)
+        match self {
+            TransportError::Disconnected(d) => write!(f, "peer disconnected: {d}"),
+            TransportError::Io(d) => write!(f, "transport I/O error: {d}"),
+            TransportError::Malformed(d) => write!(f, "malformed message: {d}"),
+            TransportError::UnknownWorker(w) => write!(f, "unknown worker {w}"),
+            TransportError::Unsupported(op) => write!(f, "unsupported transport operation: {op}"),
+        }
     }
 }
 
@@ -31,17 +66,33 @@ impl std::error::Error for TransportError {}
 pub enum Inbound {
     /// A worker's request.
     Request(Request),
+    /// A lightweight liveness signal from a worker computing a long
+    /// chunk (no reply is expected or sent).
+    Heartbeat {
+        /// The worker reporting in.
+        worker: usize,
+    },
     /// A worker's connection dropped (thread exit, socket EOF, crash).
-    /// Reported exactly once per worker; the master should requeue any
-    /// chunk that worker still held.
+    /// The master should requeue any chunk that worker still held.
     Disconnected(usize),
+    /// A previously connected worker re-established its link; its next
+    /// message will be a fresh request.
+    Reconnected(usize),
 }
 
-/// The master's view: receive any worker's request, reply to a worker.
+/// The master's view: receive any worker's event, reply to a worker.
 pub trait MasterTransport: Send {
     /// Blocks for the next inbound event from any worker.
     fn recv(&mut self) -> Result<Inbound, TransportError>;
-    /// Sends a reply to a specific worker.
+
+    /// Waits up to `timeout` for an inbound event; `Ok(None)` when the
+    /// timeout elapses with nothing to deliver. This is what lets the
+    /// fault-tolerant master loop wake up to poll chunk leases.
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Inbound>, TransportError>;
+
+    /// Sends a reply to a specific worker. An error for one worker
+    /// (e.g. it died between request and reply) must not poison the
+    /// transport for the others.
     fn send(&mut self, worker: usize, reply: Reply) -> Result<(), TransportError>;
 }
 
@@ -49,6 +100,35 @@ pub trait MasterTransport: Send {
 pub trait WorkerTransport: Send {
     /// Sends a request to the master.
     fn send_request(&mut self, req: Request) -> Result<(), TransportError>;
+
     /// Blocks for the master's reply.
     fn recv_reply(&mut self) -> Result<Reply, TransportError>;
+
+    /// Waits up to `timeout` for a reply; `Ok(None)` on timeout. The
+    /// default simply blocks (adequate for transports that cannot lose
+    /// messages); lossy transports should honour the timeout so the
+    /// worker can retransmit its request.
+    fn recv_reply_timeout(&mut self, timeout: Duration) -> Result<Option<Reply>, TransportError> {
+        let _ = timeout;
+        self.recv_reply().map(Some)
+    }
+
+    /// Sends a liveness heartbeat (fire-and-forget; no reply). The
+    /// default is a no-op for transports without a heartbeat path.
+    fn send_heartbeat(&mut self, worker: usize) -> Result<(), TransportError> {
+        let _ = worker;
+        Ok(())
+    }
+
+    /// Deliberately severs the link (chaos injection / planned outage).
+    /// The master observes a disconnect. The default is a no-op.
+    fn drop_link(&mut self) {}
+
+    /// Re-establishes a severed link and delivers `hello` as the first
+    /// request of the new connection. Transports that cannot reconnect
+    /// return [`TransportError::Unsupported`].
+    fn reconnect(&mut self, hello: &Request) -> Result<(), TransportError> {
+        let _ = hello;
+        Err(TransportError::Unsupported("reconnect"))
+    }
 }

@@ -2,26 +2,27 @@
 //!
 //! The master binds an ephemeral port; each worker opens one
 //! connection. Frames are `u32` big-endian length + payload, carrying
-//! the [`crate::protocol`] encodings. Per-connection reader threads
-//! funnel decoded requests into one crossbeam channel so the master
-//! sees the same serialized request stream as with the in-process
-//! transport — the moral equivalent of the paper's single MPI receive
-//! loop.
+//! the [`crate::protocol`] encodings wrapped in a [`WireMsg`] envelope
+//! (requests and heartbeats share the stream). Per-connection reader
+//! threads funnel decoded messages into one channel so the master sees
+//! the same serialized event stream as with the in-process transport —
+//! the moral equivalent of the paper's single MPI receive loop.
+//!
+//! Fault tolerance: the acceptor thread stays alive for the whole run,
+//! so a worker whose connection died (its process restarted, the
+//! network blipped) can redial and re-handshake under the same worker
+//! id. Stale disconnect notices from the replaced connection are
+//! filtered by per-connection generation numbers.
 
-use std::io::{Read, Write};
+use std::io::{ErrorKind, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
-
-use crossbeam::channel::{unbounded, Receiver};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
 use super::{Inbound, MasterTransport, TransportError, WorkerTransport};
-use crate::protocol::{Reply, Request};
-
-fn write_frame(stream: &mut TcpStream, payload: &[u8]) -> std::io::Result<()> {
-    let len = u32::try_from(payload.len()).expect("frame too large");
-    stream.write_all(&len.to_be_bytes())?;
-    stream.write_all(payload)?;
-    stream.flush()
-}
+use crate::protocol::{Reply, Request, WireMsg};
 
 /// Upper bound on a frame payload (a full 4000-column Mandelbrot
 /// result is ~32 MB of checksums; anything bigger is a corrupt or
@@ -29,7 +30,22 @@ fn write_frame(stream: &mut TcpStream, payload: &[u8]) -> std::io::Result<()> {
 /// attempting the allocation).
 const MAX_FRAME_BYTES: usize = 64 * 1024 * 1024;
 
-fn read_frame(stream: &mut TcpStream) -> std::io::Result<Vec<u8>> {
+fn write_frame(stream: &mut TcpStream, payload: &[u8]) -> Result<(), TransportError> {
+    let len = u32::try_from(payload.len())
+        .map_err(|_| TransportError::Malformed(format!("frame of {} bytes", payload.len())))?;
+    let io = |e: std::io::Error| match e.kind() {
+        ErrorKind::BrokenPipe | ErrorKind::ConnectionReset | ErrorKind::ConnectionAborted
+        | ErrorKind::NotConnected => TransportError::Disconnected(e.to_string()),
+        _ => TransportError::Io(e.to_string()),
+    };
+    stream.write_all(&len.to_be_bytes()).map_err(io)?;
+    stream.write_all(payload).map_err(io)?;
+    stream.flush().map_err(io)
+}
+
+/// Blocking whole-frame read (used by reader threads, which own their
+/// stream and want to park in `read`).
+fn read_frame_blocking(stream: &mut TcpStream) -> std::io::Result<Vec<u8>> {
     let mut len_buf = [0u8; 4];
     stream.read_exact(&mut len_buf)?;
     let len = u32::from_be_bytes(len_buf) as usize;
@@ -44,24 +60,81 @@ fn read_frame(stream: &mut TcpStream) -> std::io::Result<Vec<u8>> {
     Ok(payload)
 }
 
+/// Byte accumulator for timeout-safe framing: partial reads survive
+/// across timed-out attempts, so a slow frame is never corrupted.
+#[derive(Default)]
+struct FrameBuf {
+    buf: Vec<u8>,
+}
+
+impl FrameBuf {
+    /// Extracts one complete frame if the buffer holds one.
+    fn try_extract(&mut self) -> Result<Option<Vec<u8>>, TransportError> {
+        if self.buf.len() < 4 {
+            return Ok(None);
+        }
+        let len = u32::from_be_bytes(self.buf[..4].try_into().unwrap()) as usize;
+        if len > MAX_FRAME_BYTES {
+            return Err(TransportError::Malformed(format!(
+                "frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
+            )));
+        }
+        if self.buf.len() < 4 + len {
+            return Ok(None);
+        }
+        let payload = self.buf[4..4 + len].to_vec();
+        self.buf.drain(..4 + len);
+        Ok(Some(payload))
+    }
+}
+
+/// Shared master-side connection state.
+struct Shared {
+    /// Write halves, indexed by worker id.
+    streams: Mutex<Vec<Option<TcpStream>>>,
+    /// Connection generation per worker; a reader thread only reports
+    /// a disconnect if its generation is still current (a replaced
+    /// connection dying later is stale news).
+    gens: Mutex<Vec<u64>>,
+    /// Count of worker ids that have connected at least once, plus the
+    /// condvar `accept_workers` waits on.
+    connected: Mutex<usize>,
+    connected_cv: Condvar,
+    /// Set when the master endpoint drops; stops the acceptor thread.
+    shutdown: AtomicBool,
+}
+
 /// Master endpoint over TCP.
 pub struct TcpMaster {
     inbox: Receiver<Inbound>,
-    /// Write halves, indexed by worker id.
-    streams: Vec<TcpStream>,
+    shared: Arc<Shared>,
+}
+
+impl Drop for TcpMaster {
+    fn drop(&mut self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        // Close every worker socket so blocked workers observe EOF —
+        // a hung worker's thread must still be joinable after the
+        // master gives up on it.
+        if let Ok(mut streams) = self.shared.streams.lock() {
+            for slot in streams.iter_mut() {
+                if let Some(s) = slot.take() {
+                    let _ = s.shutdown(std::net::Shutdown::Both);
+                }
+            }
+        }
+    }
 }
 
 /// Worker endpoint over TCP.
 pub struct TcpWorker {
     stream: TcpStream,
+    rbuf: FrameBuf,
+    addr: SocketAddr,
 }
 
-/// Binds a listener, hands out its address, then accepts exactly `p`
-/// workers (identified by the worker id in their first frame, which is
-/// re-queued as a normal request).
-///
-/// Returns `(master, addr_handle)` where workers connect via
-/// [`TcpWorker::connect`] to `addr_handle`.
+/// Binds a listener, hands out its address; workers connect via
+/// [`TcpWorker::connect`] to `addr`.
 pub struct TcpListenerHandle {
     listener: TcpListener,
     /// The address workers should dial.
@@ -77,85 +150,199 @@ pub fn tcp_listen() -> Result<TcpListenerHandle, TransportError> {
 /// the `lss master` command so separate worker *processes* can dial in.
 pub fn tcp_listen_on(host: &str, port: u16) -> Result<TcpListenerHandle, TransportError> {
     let listener = TcpListener::bind((host, port))
-        .map_err(|e| TransportError(format!("bind {host}:{port} failed: {e}")))?;
+        .map_err(|e| TransportError::Io(format!("bind {host}:{port} failed: {e}")))?;
     let addr = listener
         .local_addr()
-        .map_err(|e| TransportError(format!("no local addr: {e}")))?;
+        .map_err(|e| TransportError::Io(format!("no local addr: {e}")))?;
     Ok(TcpListenerHandle { listener, addr })
 }
 
-impl TcpListenerHandle {
-    /// Accepts `p` worker connections and builds the master endpoint.
-    ///
-    /// Each accepted connection must first send a normal request frame
-    /// (its `worker` field identifies the connection); that request is
-    /// delivered through the inbox like any other.
-    pub fn accept_workers(self, p: usize) -> Result<TcpMaster, TransportError> {
-        assert!(p >= 1, "need at least one worker");
-        let (tx, rx) = unbounded::<Inbound>();
-        let mut streams: Vec<Option<TcpStream>> = (0..p).map(|_| None).collect();
-        let mut pending = Vec::new();
-        for _ in 0..p {
-            let (mut stream, _) = self
-                .listener
-                .accept()
-                .map_err(|e| TransportError(format!("accept failed: {e}")))?;
-            // First frame identifies the worker.
-            let payload = read_frame(&mut stream)
-                .map_err(|e| TransportError(format!("handshake read failed: {e}")))?;
-            let req = Request::decode(&payload)
-                .ok_or_else(|| TransportError("malformed handshake request".into()))?;
-            let id = req.worker;
-            if id >= p || streams[id].is_some() {
-                return Err(TransportError(format!("bad worker id {id} in handshake")));
-            }
-            streams[id] = Some(
-                stream
-                    .try_clone()
-                    .map_err(|e| TransportError(format!("clone failed: {e}")))?,
-            );
-            pending.push(req);
-            // Reader thread for subsequent requests on this connection;
-            // socket EOF / errors surface as a disconnect notice so the
-            // master can requeue the worker's outstanding chunk.
-            let tx = tx.clone();
-            std::thread::spawn(move || {
-                while let Ok(payload) = read_frame(&mut stream) {
-                    match Request::decode(&payload) {
-                        Some(req) => {
-                            if tx.send(Inbound::Request(req)).is_err() {
-                                return; // master gone; nobody to notify
-                            }
+/// Performs one connection handshake: reads the first frame, which must
+/// be a request identifying the worker. Returns the hello request.
+fn handshake(stream: &mut TcpStream, p: usize) -> Result<Request, TransportError> {
+    stream
+        .set_read_timeout(Some(Duration::from_secs(10)))
+        .map_err(|e| TransportError::Io(e.to_string()))?;
+    let payload = read_frame_blocking(stream)
+        .map_err(|e| TransportError::Io(format!("handshake read failed: {e}")))?;
+    stream
+        .set_read_timeout(None)
+        .map_err(|e| TransportError::Io(e.to_string()))?;
+    let req = match WireMsg::decode(&payload) {
+        Some(WireMsg::Request(req)) => req,
+        _ => return Err(TransportError::Malformed("malformed handshake".into())),
+    };
+    if req.worker >= p {
+        return Err(TransportError::UnknownWorker(req.worker));
+    }
+    Ok(req)
+}
+
+/// Spawns the per-connection reader thread.
+fn spawn_reader(mut stream: TcpStream, id: usize, my_gen: u64, tx: Sender<Inbound>, shared: Arc<Shared>) {
+    std::thread::spawn(move || {
+        loop {
+            match read_frame_blocking(&mut stream) {
+                Ok(payload) => match WireMsg::decode(&payload) {
+                    Some(WireMsg::Request(req)) => {
+                        if tx.send(Inbound::Request(req)).is_err() {
+                            return; // master gone; nobody to notify
                         }
-                        None => break, // malformed frame: treat as dead
                     }
-                }
-                let _ = tx.send(Inbound::Disconnected(id));
-            });
+                    Some(WireMsg::Heartbeat { worker }) => {
+                        if tx.send(Inbound::Heartbeat { worker }).is_err() {
+                            return;
+                        }
+                    }
+                    None => break, // malformed frame: treat connection as dead
+                },
+                Err(_) => break, // EOF or I/O error
+            }
         }
-        // Deliver the handshake requests in arrival order.
-        for req in pending {
-            tx.send(Inbound::Request(req))
-                .map_err(|e| TransportError(format!("inbox closed: {e}")))?;
+        // Only current connections get to report their death; if the
+        // worker already re-handshook, this notice is stale.
+        let current = {
+            let gens = shared.gens.lock().expect("gens lock");
+            gens[id] == my_gen
+        };
+        if current {
+            let _ = tx.send(Inbound::Disconnected(id));
         }
-        Ok(TcpMaster {
-            inbox: rx,
-            streams: streams.into_iter().map(|s| s.expect("all slots filled")).collect(),
-        })
+    });
+}
+
+/// The acceptor loop: accepts connections (initial and re-dials) until
+/// the master shuts down.
+fn acceptor_loop(listener: TcpListener, p: usize, tx: Sender<Inbound>, shared: Arc<Shared>) {
+    listener
+        .set_nonblocking(true)
+        .expect("listener nonblocking");
+    let mut ever_connected = vec![false; p];
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        let (mut stream, _) = match listener.accept() {
+            Ok(conn) => conn,
+            Err(e) if e.kind() == ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(2));
+                continue;
+            }
+            Err(_) => return,
+        };
+        if stream.set_nodelay(true).is_err() {
+            continue;
+        }
+        // Handshakes are short; do them inline. A worker that connects
+        // and stalls for 10 s forfeits the slot, nothing more.
+        if stream.set_nonblocking(false).is_err() {
+            continue;
+        }
+        let req = match handshake(&mut stream, p) {
+            Ok(req) => req,
+            Err(_) => continue, // bad client; keep serving the others
+        };
+        let id = req.worker;
+        let write_half = match stream.try_clone() {
+            Ok(s) => s,
+            Err(_) => continue,
+        };
+        let my_gen = {
+            let mut gens = shared.gens.lock().expect("gens lock");
+            gens[id] += 1;
+            gens[id]
+        };
+        let reconnected = {
+            let mut streams = shared.streams.lock().expect("streams lock");
+            let had = streams[id].is_some() || ever_connected[id];
+            streams[id] = Some(write_half);
+            had
+        };
+        if reconnected {
+            if tx.send(Inbound::Reconnected(id)).is_err() {
+                return;
+            }
+        }
+        // Deliver the hello BEFORE the reader thread starts: otherwise
+        // a frame the worker pipelined right behind its hello (say a
+        // heartbeat) could reach the inbox first, reordering the
+        // stream.
+        if tx.send(Inbound::Request(req)).is_err() {
+            return;
+        }
+        spawn_reader(stream, id, my_gen, tx.clone(), Arc::clone(&shared));
+        if !ever_connected[id] {
+            ever_connected[id] = true;
+            let mut connected = shared.connected.lock().expect("connected lock");
+            *connected += 1;
+            shared.connected_cv.notify_all();
+        }
+    }
+}
+
+impl TcpListenerHandle {
+    /// Builds the master endpoint and waits until all `p` workers have
+    /// connected and handshaken (each sends a normal request frame
+    /// whose `worker` field identifies the connection; that request is
+    /// delivered through the inbox like any other).
+    ///
+    /// The acceptor keeps running for the lifetime of the master, so
+    /// workers may drop their connection and redial mid-run.
+    pub fn accept_workers(self, p: usize) -> Result<TcpMaster, TransportError> {
+        self.accept_workers_within(p, Duration::from_secs(30))
+    }
+
+    /// [`TcpListenerHandle::accept_workers`] with an explicit deadline
+    /// for the initial full complement.
+    pub fn accept_workers_within(self, p: usize, timeout: Duration) -> Result<TcpMaster, TransportError> {
+        assert!(p >= 1, "need at least one worker");
+        let (tx, rx) = channel::<Inbound>();
+        let shared = Arc::new(Shared {
+            streams: Mutex::new((0..p).map(|_| None).collect()),
+            gens: Mutex::new(vec![0; p]),
+            connected: Mutex::new(0),
+            connected_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let listener = self.listener;
+        {
+            let shared = Arc::clone(&shared);
+            std::thread::spawn(move || acceptor_loop(listener, p, tx, shared));
+        }
+        // Wait for the full complement.
+        let deadline = Instant::now() + timeout;
+        let mut connected = shared.connected.lock().expect("connected lock");
+        while *connected < p {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                shared.shutdown.store(true, Ordering::SeqCst);
+                return Err(TransportError::Io(format!(
+                    "only {connected}/{p} workers connected within {timeout:?}"
+                )));
+            }
+            let (guard, _timed_out) = shared
+                .connected_cv
+                .wait_timeout(connected, left.min(Duration::from_millis(50)))
+                .expect("condvar wait");
+            connected = guard;
+        }
+        drop(connected);
+        Ok(TcpMaster { inbox: rx, shared })
     }
 }
 
 impl TcpWorker {
     /// Connects to the master and sends the identifying first request.
     pub fn connect(addr: SocketAddr, first: Request) -> Result<Self, TransportError> {
+        let stream = Self::dial(addr, &first)?;
+        Ok(TcpWorker { stream, rbuf: FrameBuf::default(), addr })
+    }
+
+    fn dial(addr: SocketAddr, hello: &Request) -> Result<TcpStream, TransportError> {
         let mut stream = TcpStream::connect(addr)
-            .map_err(|e| TransportError(format!("connect failed: {e}")))?;
+            .map_err(|e| TransportError::Io(format!("connect failed: {e}")))?;
         stream
             .set_nodelay(true)
-            .map_err(|e| TransportError(format!("nodelay failed: {e}")))?;
-        write_frame(&mut stream, &first.encode())
-            .map_err(|e| TransportError(format!("handshake send failed: {e}")))?;
-        Ok(TcpWorker { stream })
+            .map_err(|e| TransportError::Io(format!("nodelay failed: {e}")))?;
+        write_frame(&mut stream, &WireMsg::Request(hello.clone()).encode())?;
+        Ok(stream)
     }
 }
 
@@ -163,29 +350,117 @@ impl MasterTransport for TcpMaster {
     fn recv(&mut self) -> Result<Inbound, TransportError> {
         self.inbox
             .recv()
-            .map_err(|e| TransportError(format!("all workers disconnected: {e}")))
+            .map_err(|_| TransportError::Disconnected("all workers disconnected".into()))
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Inbound>, TransportError> {
+        match self.inbox.recv_timeout(timeout) {
+            Ok(ev) => Ok(Some(ev)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => {
+                Err(TransportError::Disconnected("all workers disconnected".into()))
+            }
+        }
     }
 
     fn send(&mut self, worker: usize, reply: Reply) -> Result<(), TransportError> {
-        let stream = self
-            .streams
+        let mut streams = self.shared.streams.lock().expect("streams lock");
+        let slot = streams
             .get_mut(worker)
-            .ok_or_else(|| TransportError(format!("unknown worker {worker}")))?;
-        write_frame(stream, &reply.encode())
-            .map_err(|e| TransportError(format!("send to {worker} failed: {e}")))
+            .ok_or(TransportError::UnknownWorker(worker))?;
+        let stream = slot
+            .as_mut()
+            .ok_or_else(|| TransportError::Disconnected(format!("worker {worker} not connected")))?;
+        match write_frame(stream, &reply.encode()) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                // A write failure means this connection is dead; drop
+                // the write half so later sends fail fast. The reader
+                // thread reports the disconnect event.
+                *slot = None;
+                Err(e)
+            }
+        }
     }
 }
 
 impl WorkerTransport for TcpWorker {
     fn send_request(&mut self, req: Request) -> Result<(), TransportError> {
-        write_frame(&mut self.stream, &req.encode())
-            .map_err(|e| TransportError(format!("request send failed: {e}")))
+        write_frame(&mut self.stream, &WireMsg::Request(req).encode())
     }
 
     fn recv_reply(&mut self) -> Result<Reply, TransportError> {
-        let payload = read_frame(&mut self.stream)
-            .map_err(|e| TransportError(format!("reply read failed: {e}")))?;
-        Reply::decode(&payload).ok_or_else(|| TransportError("malformed reply".into()))
+        self.stream
+            .set_read_timeout(None)
+            .map_err(|e| TransportError::Io(e.to_string()))?;
+        loop {
+            if let Some(payload) = self.rbuf.try_extract()? {
+                return Reply::decode(&payload)
+                    .ok_or_else(|| TransportError::Malformed("malformed reply".into()));
+            }
+            self.fill(None)?;
+        }
+    }
+
+    fn recv_reply_timeout(&mut self, timeout: Duration) -> Result<Option<Reply>, TransportError> {
+        let deadline = Instant::now() + timeout;
+        loop {
+            if let Some(payload) = self.rbuf.try_extract()? {
+                return Reply::decode(&payload)
+                    .map(Some)
+                    .ok_or_else(|| TransportError::Malformed("malformed reply".into()));
+            }
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                return Ok(None);
+            }
+            if !self.fill(Some(left))? {
+                return Ok(None); // timed out mid-frame; state preserved
+            }
+        }
+    }
+
+    fn send_heartbeat(&mut self, worker: usize) -> Result<(), TransportError> {
+        write_frame(&mut self.stream, &WireMsg::Heartbeat { worker }.encode())
+    }
+
+    fn drop_link(&mut self) {
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+    }
+
+    fn reconnect(&mut self, hello: &Request) -> Result<(), TransportError> {
+        self.drop_link();
+        self.stream = Self::dial(self.addr, hello)?;
+        self.rbuf = FrameBuf::default();
+        Ok(())
+    }
+}
+
+impl TcpWorker {
+    /// Reads more bytes into the frame buffer. With a timeout, returns
+    /// `Ok(false)` when the read timed out; blocking mode always reads
+    /// at least one byte or errors.
+    fn fill(&mut self, timeout: Option<Duration>) -> Result<bool, TransportError> {
+        if timeout.is_some() {
+            self.stream
+                .set_read_timeout(timeout)
+                .map_err(|e| TransportError::Io(e.to_string()))?;
+        }
+        let mut chunk = [0u8; 16 * 1024];
+        match self.stream.read(&mut chunk) {
+            Ok(0) => Err(TransportError::Disconnected("master closed the connection".into())),
+            Ok(n) => {
+                self.rbuf.buf.extend_from_slice(&chunk[..n]);
+                Ok(true)
+            }
+            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
+                Ok(false)
+            }
+            Err(e) if e.kind() == ErrorKind::ConnectionReset || e.kind() == ErrorKind::ConnectionAborted => {
+                Err(TransportError::Disconnected(e.to_string()))
+            }
+            Err(e) => Err(TransportError::Io(e.to_string())),
+        }
     }
 }
 
@@ -194,6 +469,15 @@ mod tests {
     use super::*;
     use lss_core::chunk::Chunk;
     use lss_core::master::Assignment;
+
+    fn next_request(m: &mut TcpMaster) -> Request {
+        loop {
+            match m.recv().unwrap() {
+                Inbound::Request(r) => return r,
+                _ => {}
+            }
+        }
+    }
 
     #[test]
     fn tcp_roundtrip_two_workers() {
@@ -225,12 +509,6 @@ mod tests {
             .collect();
 
         let mut master = handle.accept_workers(2).unwrap();
-        let next_request = |m: &mut TcpMaster| loop {
-            match m.recv().unwrap() {
-                Inbound::Request(r) => return r,
-                Inbound::Disconnected(_) => {}
-            }
-        };
         // Serve the two handshake requests with chunks.
         for k in 0..2 {
             let req = next_request(&mut master);
@@ -258,15 +536,132 @@ mod tests {
     }
 
     #[test]
-    fn bad_handshake_id_rejected() {
+    fn bad_handshake_id_is_ignored_but_good_one_accepted() {
+        let handle = tcp_listen().unwrap();
+        let addr = handle.addr;
+        let bad = std::thread::spawn(move || {
+            // Claims worker id 9 but only 1 slot exists: the acceptor
+            // drops the connection and keeps serving.
+            let _ = TcpWorker::connect(addr, Request { worker: 9, q: 1, result: None });
+        });
+        let good = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            let mut w =
+                TcpWorker::connect(addr, Request { worker: 0, q: 1, result: None }).unwrap();
+            w.recv_reply().unwrap()
+        });
+        let mut master = handle.accept_workers(1).unwrap();
+        let req = next_request(&mut master);
+        assert_eq!(req.worker, 0);
+        master.send(0, Reply { assignment: Assignment::Finished }).unwrap();
+        assert_eq!(good.join().unwrap().assignment, Assignment::Finished);
+        bad.join().unwrap();
+    }
+
+    #[test]
+    fn heartbeats_flow_to_master() {
         let handle = tcp_listen().unwrap();
         let addr = handle.addr;
         let t = std::thread::spawn(move || {
-            // Claims worker id 9 but only 1 slot exists.
-            let _w = TcpWorker::connect(addr, Request { worker: 9, q: 1, result: None });
+            let mut w =
+                TcpWorker::connect(addr, Request { worker: 0, q: 1, result: None }).unwrap();
+            w.send_heartbeat(0).unwrap();
+            w.recv_reply().unwrap()
         });
-        let res = handle.accept_workers(1);
-        assert!(res.is_err());
+        let mut master = handle.accept_workers(1).unwrap();
+        let mut saw_heartbeat = false;
+        loop {
+            match master.recv().unwrap() {
+                Inbound::Heartbeat { worker } => {
+                    assert_eq!(worker, 0);
+                    saw_heartbeat = true;
+                }
+                Inbound::Request(_) => {
+                    master.send(0, Reply { assignment: Assignment::Finished }).unwrap();
+                    if saw_heartbeat {
+                        break;
+                    }
+                }
+                _ => {}
+            }
+            if saw_heartbeat {
+                break;
+            }
+        }
+        t.join().unwrap();
+        assert!(saw_heartbeat);
+    }
+
+    #[test]
+    fn worker_reconnects_under_same_id() {
+        let handle = tcp_listen().unwrap();
+        let addr = handle.addr;
+        let t = std::thread::spawn(move || {
+            let mut w =
+                TcpWorker::connect(addr, Request { worker: 0, q: 1, result: None }).unwrap();
+            let r1 = w.recv_reply().unwrap();
+            // Sever and redial with a fresh hello.
+            w.reconnect(&Request { worker: 0, q: 5, result: None }).unwrap();
+            let r2 = w.recv_reply().unwrap();
+            (r1, r2)
+        });
+        let mut master = handle.accept_workers(1).unwrap();
+        let req = next_request(&mut master);
+        assert_eq!(req.q, 1);
+        master.send(0, Reply { assignment: Assignment::Retry }).unwrap();
+        // Either order: the disconnect notice (if the reader saw EOF
+        // before the re-handshake bumped the generation) and/or the
+        // Reconnected notice, then the new hello request.
+        let req2 = loop {
+            match master.recv().unwrap() {
+                Inbound::Request(r) => break r,
+                Inbound::Disconnected(0) | Inbound::Reconnected(0) => {}
+                other => panic!("unexpected {other:?}"),
+            }
+        };
+        assert_eq!(req2.q, 5, "hello of the new connection");
+        master.send(0, Reply { assignment: Assignment::Finished }).unwrap();
+        let (r1, r2) = t.join().unwrap();
+        assert_eq!(r1.assignment, Assignment::Retry);
+        assert_eq!(r2.assignment, Assignment::Finished);
+    }
+
+    #[test]
+    fn reply_timeout_preserves_partial_frames() {
+        let handle = tcp_listen().unwrap();
+        let addr = handle.addr;
+        let t = std::thread::spawn(move || {
+            let mut w =
+                TcpWorker::connect(addr, Request { worker: 0, q: 1, result: None }).unwrap();
+            // Nothing sent yet: timed wait returns None.
+            assert_eq!(w.recv_reply_timeout(Duration::from_millis(20)).unwrap(), None);
+            // Then a real reply arrives.
+            let r = w.recv_reply_timeout(Duration::from_secs(5)).unwrap();
+            r.unwrap()
+        });
+        let mut master = handle.accept_workers(1).unwrap();
+        let _ = next_request(&mut master);
+        std::thread::sleep(Duration::from_millis(40));
+        master.send(0, Reply { assignment: Assignment::Finished }).unwrap();
+        assert_eq!(t.join().unwrap().assignment, Assignment::Finished);
+    }
+
+    #[test]
+    fn send_to_never_connected_worker_fails_cleanly() {
+        let handle = tcp_listen().unwrap();
+        let addr = handle.addr;
+        let t = std::thread::spawn(move || {
+            let mut w =
+                TcpWorker::connect(addr, Request { worker: 0, q: 1, result: None }).unwrap();
+            w.recv_reply().unwrap()
+        });
+        let mut master = handle.accept_workers(1).unwrap();
+        let _ = next_request(&mut master);
+        assert!(matches!(
+            master.send(5, Reply { assignment: Assignment::Retry }),
+            Err(TransportError::UnknownWorker(5))
+        ));
+        master.send(0, Reply { assignment: Assignment::Finished }).unwrap();
         t.join().unwrap();
     }
 }

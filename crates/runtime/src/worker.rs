@@ -11,15 +11,38 @@
 //! iteration `s` times; non-dedication multiplies that by the current
 //! run-queue length `Q` (the equal-share assumption made mechanical, so
 //! a `Q = 3` worker really takes 3× longer per iteration).
+//!
+//! ## Chaos injection
+//!
+//! The loop interprets a [`FaultPlan`]: it can crash (vanish without a
+//! word), hang (accept a chunk and never reply), degrade (iterations
+//! slow by ×k mid-run), deliberately drop its link and redial after an
+//! outage, and subject its own messages to seeded drop/duplication/
+//! delay. Everything is driven by the plan's [`ChaosRng`], so a chaos
+//! run replays exactly from its seed. Recovery mechanics — request
+//! retransmission on reply timeout, capped exponential backoff with
+//! jitter for retries and reconnects, heartbeats during long chunks —
+//! are always active; with a healthy plan they simply never fire.
 
+use std::collections::HashMap;
 use std::time::{Duration, Instant};
 
+use lss_core::fault::{ChaosRng, FaultPlan};
 use lss_core::master::Assignment;
 use lss_workloads::Workload;
 
+use crate::backoff::BackoffPolicy;
 use crate::load::LoadState;
 use crate::protocol::{ChunkResult, Reply, Request};
 use crate::transport::{TransportError, WorkerTransport};
+
+/// Default patience before retransmitting a request when message loss
+/// is possible (lossy net faults active, or the caller asked for it).
+const DEFAULT_REPLY_TIMEOUT: Duration = Duration::from_millis(250);
+
+/// How often a hung worker polls its (ignored) reply stream, waiting
+/// for the master to go away so its thread can be joined.
+const HANG_POLL: Duration = Duration::from_millis(25);
 
 /// Static configuration of one worker.
 #[derive(Debug, Clone)]
@@ -31,22 +54,33 @@ pub struct WorkerConfig {
     pub slowdown: u32,
     /// Shared run-queue state.
     pub load: LoadState,
-    /// Back-off before re-requesting after a retry notice.
-    pub retry_backoff: Duration,
-    /// Failure injection: crash (return without reporting) after
-    /// computing this many chunks. `None` = healthy worker.
-    pub fail_after_chunks: Option<u64>,
+    /// Pacing of re-requests after a retry notice.
+    pub retry: BackoffPolicy,
+    /// Pacing of redial attempts after a dropped link.
+    pub reconnect: BackoffPolicy,
+    /// Chaos plan (default: healthy).
+    pub fault: FaultPlan,
+    /// Emit a liveness heartbeat at this interval while computing a
+    /// chunk (`None` = no heartbeats).
+    pub heartbeat_every: Option<Duration>,
+    /// Wait at most this long for a reply before retransmitting the
+    /// request. `None` = block forever unless the plan's net faults are
+    /// active (then [`DEFAULT_REPLY_TIMEOUT`] applies).
+    pub reply_timeout: Option<Duration>,
 }
 
 impl WorkerConfig {
-    /// A dedicated full-speed worker.
+    /// A dedicated full-speed worker with no faults.
     pub fn fast(id: usize) -> Self {
         WorkerConfig {
             id,
             slowdown: 1,
             load: LoadState::dedicated(),
-            retry_backoff: Duration::from_millis(10),
-            fail_after_chunks: None,
+            retry: BackoffPolicy::retry_default(),
+            reconnect: BackoffPolicy::reconnect_default(),
+            fault: FaultPlan::healthy(),
+            heartbeat_every: None,
+            reply_timeout: None,
         }
     }
 }
@@ -65,6 +99,10 @@ pub struct WorkerStats {
     pub iterations: u64,
     /// Chunks received.
     pub chunks: u64,
+    /// Requests retransmitted after a reply timeout.
+    pub retransmits: u64,
+    /// Successful mid-run reconnects.
+    pub reconnects: u64,
 }
 
 /// Runs the slave loop to completion.
@@ -72,6 +110,10 @@ pub struct WorkerStats {
 /// `first_request_sent` is true when the transport's connection
 /// handshake already delivered the initial request (the TCP transport
 /// does this); the loop then starts by awaiting the reply.
+///
+/// Returns `Ok` both on normal termination and on an *injected* crash
+/// or hang (the stats describe what was done before the fault); a
+/// transport failure the plan did not script surfaces as `Err`.
 pub fn run_worker<T: WorkerTransport>(
     mut transport: T,
     cfg: &WorkerConfig,
@@ -82,54 +124,185 @@ pub fn run_worker<T: WorkerTransport>(
     let mut stats = WorkerStats::default();
     let mut pending_result: Option<ChunkResult> = None;
     let mut skip_send = first_request_sent;
+    let mut rng = ChaosRng::new(cfg.fault.seed ^ (cfg.id as u64).wrapping_mul(0x9E37));
+    let mut retry_attempt = 0u32;
+    let mut last_request: Option<Request> = None;
+    let mut disconnect_done = false;
+    // Results of chunks already computed, by chunk start: a re-grant of
+    // the same chunk (lost-reply retransmit, or a requeue that circles
+    // back) is answered from here instead of recomputed. Values are
+    // deterministic per iteration, so the cache is always valid.
+    let mut computed: HashMap<u64, Vec<u64>> = HashMap::new();
+    let reply_timeout = cfg
+        .reply_timeout
+        .or_else(|| cfg.fault.net.is_active().then_some(DEFAULT_REPLY_TIMEOUT));
 
     loop {
         if !skip_send {
             let q = cfg.load.q();
+            let req = Request { worker: cfg.id, q, result: pending_result.take() };
             let t0 = Instant::now();
-            transport.send_request(Request {
-                worker: cfg.id,
-                q,
-                result: pending_result.take(),
-            })?;
+            send_with_net_faults(&mut transport, &req, &cfg.fault, &mut rng)?;
             stats.t_com += t0.elapsed();
+            last_request = Some(req);
         } else {
             skip_send = false;
         }
 
         let t1 = Instant::now();
-        let Reply { assignment } = transport.recv_reply()?;
+        let assignment = match reply_timeout {
+            None => transport.recv_reply()?.assignment,
+            Some(timeout) => {
+                // Lossy links: wait, retransmit, wait again — the
+                // master's grants are idempotent, so retransmitted
+                // requests are safe.
+                loop {
+                    match transport.recv_reply_timeout(timeout)? {
+                        Some(Reply { assignment }) => break assignment,
+                        None => {
+                            if let Some(req) = &last_request {
+                                stats.retransmits += 1;
+                                send_with_net_faults(&mut transport, req, &cfg.fault, &mut rng)?;
+                            }
+                        }
+                    }
+                }
+            }
+        };
         stats.t_wait += t1.elapsed();
 
         match assignment {
             Assignment::Chunk(chunk) => {
-                if cfg.fail_after_chunks == Some(stats.chunks) {
+                if cfg.fault.crash_after_chunks == Some(stats.chunks) {
                     // Injected crash: vanish mid-run without reporting.
                     // Dropping the transport is what the master sees.
                     return Ok(stats);
                 }
-                let t2 = Instant::now();
-                let reps = cfg.slowdown as u64 * cfg.load.q() as u64;
-                let values: Vec<u64> = chunk
-                    .iter()
-                    .map(|i| {
-                        let v = workload.execute(i);
-                        for _ in 1..reps {
-                            std::hint::black_box(workload.execute(i));
-                        }
-                        v
-                    })
-                    .collect();
-                stats.t_comp += t2.elapsed();
-                stats.iterations += chunk.len;
+                if cfg.fault.hang_after_chunks == Some(stats.chunks) {
+                    return hang_forever(transport, stats);
+                }
+                retry_attempt = 0;
+                let values = match computed.get(&chunk.start) {
+                    Some(v) if v.len() == chunk.len as usize => v.clone(),
+                    _ => {
+                        let t2 = Instant::now();
+                        let reps = u64::from(cfg.slowdown)
+                            * u64::from(cfg.load.q())
+                            * u64::from(cfg.fault.degrade_factor(stats.chunks));
+                        let mut last_hb = Instant::now();
+                        let values: Vec<u64> = chunk
+                            .iter()
+                            .map(|i| {
+                                let v = workload.execute(i);
+                                for _ in 1..reps {
+                                    std::hint::black_box(workload.execute(i));
+                                }
+                                if let Some(every) = cfg.heartbeat_every {
+                                    if last_hb.elapsed() >= every {
+                                        // Fire-and-forget: a failed
+                                        // heartbeat is not fatal.
+                                        let _ = transport.send_heartbeat(cfg.id);
+                                        last_hb = Instant::now();
+                                    }
+                                }
+                                v
+                            })
+                            .collect();
+                        stats.t_comp += t2.elapsed();
+                        stats.iterations += chunk.len;
+                        computed.insert(chunk.start, values.clone());
+                        values
+                    }
+                };
                 stats.chunks += 1;
                 pending_result = Some(ChunkResult::new(chunk, values));
+
+                // Planned outage: drop the link, stay dark, redial.
+                if let Some(plan) = cfg.fault.disconnect {
+                    if !disconnect_done && stats.chunks >= plan.after_chunks.max(1) {
+                        disconnect_done = true;
+                        // The in-flight result is lost with the link
+                        // (the master requeues via lease/disconnect).
+                        pending_result = None;
+                        transport.drop_link();
+                        std::thread::sleep(Duration::from_nanos(plan.outage_ticks));
+                        reconnect_with_backoff(&mut transport, cfg, &mut rng)?;
+                        stats.reconnects += 1;
+                        last_request = None;
+                        skip_send = true; // the hello was the request
+                    }
+                }
             }
             Assignment::Retry => {
-                std::thread::sleep(cfg.retry_backoff);
-                stats.t_wait += cfg.retry_backoff;
+                let pause = cfg.retry.delay(retry_attempt, &mut rng);
+                retry_attempt = retry_attempt.saturating_add(1);
+                std::thread::sleep(pause);
+                stats.t_wait += pause;
             }
             Assignment::Finished => return Ok(stats),
+        }
+    }
+}
+
+/// Sends a request subject to the plan's network faults: possibly
+/// delayed, possibly silently dropped, possibly delivered twice.
+fn send_with_net_faults<T: WorkerTransport>(
+    transport: &mut T,
+    req: &Request,
+    fault: &FaultPlan,
+    rng: &mut ChaosRng,
+) -> Result<(), TransportError> {
+    let net = fault.net;
+    if net.delay_ticks > 0 {
+        std::thread::sleep(Duration::from_nanos(rng.below(net.delay_ticks)));
+    }
+    if net.drop_prob > 0.0 && rng.chance(net.drop_prob) {
+        return Ok(()); // lost in flight; the reply timeout recovers
+    }
+    transport.send_request(req.clone())?;
+    if net.dup_prob > 0.0 && rng.chance(net.dup_prob) {
+        transport.send_request(req.clone())?;
+    }
+    Ok(())
+}
+
+/// The injected-hang terminal state: the worker accepted a chunk and
+/// never speaks again — but its thread must stay joinable, so it idles
+/// on the reply stream (ignoring everything) until the master side
+/// disappears.
+fn hang_forever<T: WorkerTransport>(
+    mut transport: T,
+    stats: WorkerStats,
+) -> Result<WorkerStats, TransportError> {
+    loop {
+        match transport.recv_reply_timeout(HANG_POLL) {
+            Ok(_) => {}            // swallow replies; never answer
+            Err(_) => return Ok(stats), // master gone: unblock the join
+        }
+    }
+}
+
+/// Redials a dropped link with bounded, jittered backoff. The hello
+/// request of the new connection carries no result (whatever was in
+/// flight died with the old link).
+fn reconnect_with_backoff<T: WorkerTransport>(
+    transport: &mut T,
+    cfg: &WorkerConfig,
+    rng: &mut ChaosRng,
+) -> Result<(), TransportError> {
+    let hello = Request { worker: cfg.id, q: cfg.load.q(), result: None };
+    let mut attempt = 0u32;
+    loop {
+        match transport.reconnect(&hello) {
+            Ok(()) => return Ok(()),
+            Err(e @ TransportError::Unsupported(_)) => return Err(e),
+            Err(e) => {
+                if !cfg.reconnect.allows(attempt + 1) {
+                    return Err(e);
+                }
+                std::thread::sleep(cfg.reconnect.delay(attempt, rng));
+                attempt += 1;
+            }
         }
     }
 }
@@ -154,7 +327,7 @@ mod tests {
         }
         fn recv_reply(&mut self) -> Result<Reply, TransportError> {
             if self.replies.is_empty() {
-                return Err(TransportError("script exhausted".into()));
+                return Err(TransportError::Disconnected("script exhausted".into()));
             }
             Ok(self.replies.remove(0))
         }
@@ -205,10 +378,14 @@ mod tests {
         };
         let w = UniformLoop::new(1, 1);
         let mut cfg = WorkerConfig::fast(0);
-        cfg.retry_backoff = Duration::from_millis(1);
+        cfg.retry = BackoffPolicy {
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(2),
+            max_attempts: 0,
+        };
         let stats = run_worker(script, &cfg, &w, false).unwrap();
         assert_eq!(stats.iterations, 0);
-        assert!(stats.t_wait >= Duration::from_millis(1));
+        assert!(stats.t_wait >= Duration::from_micros(500), "{:?}", stats.t_wait);
     }
 
     #[test]
@@ -222,13 +399,8 @@ mod tests {
                 ],
                 sent: Vec::new(),
             };
-            let cfg = WorkerConfig {
-                id: 0,
-                slowdown,
-                load: LoadState::dedicated(),
-                retry_backoff: Duration::from_millis(1),
-                fail_after_chunks: None,
-            };
+            let mut cfg = WorkerConfig::fast(0);
+            cfg.slowdown = slowdown;
             run_worker(script, &cfg, &w, false).unwrap().t_comp
         };
         let fast = run(1);
@@ -238,9 +410,116 @@ mod tests {
     }
 
     #[test]
+    fn degradation_multiplies_compute_time_mid_run() {
+        let w = UniformLoop::new(128, 20_000);
+        let run = |fault: FaultPlan| {
+            let script = Script {
+                replies: vec![
+                    Reply { assignment: Assignment::Chunk(Chunk::new(0, 64)) },
+                    Reply { assignment: Assignment::Chunk(Chunk::new(64, 64)) },
+                    Reply { assignment: Assignment::Finished },
+                ],
+                sent: Vec::new(),
+            };
+            let mut cfg = WorkerConfig::fast(0);
+            cfg.fault = fault;
+            run_worker(script, &cfg, &w, false).unwrap().t_comp
+        };
+        let healthy = run(FaultPlan::healthy());
+        // Degrades ×6 from the second chunk on.
+        let degraded = run(FaultPlan::degrade_after(1, 6));
+        let ratio = degraded.as_secs_f64() / healthy.as_secs_f64().max(1e-9);
+        assert!(ratio > 1.8, "mid-run degradation should slow the run, got {ratio:.2}");
+    }
+
+    #[test]
+    fn injected_crash_returns_cleanly() {
+        let script = Script {
+            replies: vec![
+                Reply { assignment: Assignment::Chunk(Chunk::new(0, 4)) },
+                Reply { assignment: Assignment::Chunk(Chunk::new(4, 4)) },
+            ],
+            sent: Vec::new(),
+        };
+        let w = UniformLoop::new(8, 10);
+        let mut cfg = WorkerConfig::fast(0);
+        cfg.fault = FaultPlan::crash_after(1);
+        let stats = run_worker(script, &cfg, &w, false).unwrap();
+        // Computed one chunk, crashed on receipt of the second.
+        assert_eq!(stats.chunks, 1);
+        assert_eq!(stats.iterations, 4);
+    }
+
+    #[test]
+    fn regranted_chunk_is_answered_from_cache() {
+        // The master re-grants chunk 0 (a lost-reply retransmit): the
+        // worker resends the result without recomputing.
+        let script = Script {
+            replies: vec![
+                Reply { assignment: Assignment::Chunk(Chunk::new(0, 4)) },
+                Reply { assignment: Assignment::Chunk(Chunk::new(0, 4)) },
+                Reply { assignment: Assignment::Finished },
+            ],
+            sent: Vec::new(),
+        };
+        let w = UniformLoop::new(4, 10);
+        let cfg = WorkerConfig::fast(0);
+        let mut recorded = Vec::new();
+        struct Tap<'a>(Script, &'a mut Vec<Request>);
+        impl WorkerTransport for Tap<'_> {
+            fn send_request(&mut self, req: Request) -> Result<(), TransportError> {
+                self.1.push(req.clone());
+                self.0.send_request(req)
+            }
+            fn recv_reply(&mut self) -> Result<Reply, TransportError> {
+                self.0.recv_reply()
+            }
+        }
+        let stats = run_worker(Tap(script, &mut recorded), &cfg, &w, false).unwrap();
+        assert_eq!(stats.iterations, 4, "computed once");
+        assert_eq!(stats.chunks, 2, "but acknowledged twice");
+        let second = recorded[2].result.as_ref().expect("re-sent result");
+        assert_eq!(second.chunk, Chunk::new(0, 4));
+    }
+
+    #[test]
     fn transport_failure_surfaces() {
         let script = Script { replies: vec![], sent: Vec::new() };
         let w = UniformLoop::new(1, 1);
         assert!(run_worker(script, &WorkerConfig::fast(0), &w, false).is_err());
+    }
+
+    #[test]
+    fn dropped_requests_are_retransmitted() {
+        /// A transport that loses every request until `deliveries`
+        /// attempts have been made, then replies Finished.
+        struct Flaky {
+            attempts: u32,
+            needed: u32,
+        }
+        impl WorkerTransport for Flaky {
+            fn send_request(&mut self, _req: Request) -> Result<(), TransportError> {
+                self.attempts += 1;
+                Ok(())
+            }
+            fn recv_reply(&mut self) -> Result<Reply, TransportError> {
+                unreachable!("timeout path only")
+            }
+            fn recv_reply_timeout(
+                &mut self,
+                _timeout: Duration,
+            ) -> Result<Option<Reply>, TransportError> {
+                if self.attempts >= self.needed {
+                    Ok(Some(Reply { assignment: Assignment::Finished }))
+                } else {
+                    Ok(None)
+                }
+            }
+        }
+        let w = UniformLoop::new(1, 1);
+        let mut cfg = WorkerConfig::fast(0);
+        cfg.reply_timeout = Some(Duration::from_millis(1));
+        let stats = run_worker(Flaky { attempts: 0, needed: 3 }, &cfg, &w, false).unwrap();
+        assert!(stats.retransmits >= 2, "{}", stats.retransmits);
     }
 }

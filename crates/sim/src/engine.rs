@@ -24,10 +24,12 @@ use std::cmp::Reverse;
 use std::collections::{BinaryHeap, VecDeque};
 
 use lss_core::chunk::Chunk;
+use lss_core::fault::{ChaosRng, FaultPlan, LeaseConfig};
 use lss_core::master::{Assignment, Master, MasterConfig};
 use lss_core::power::AcpConfig;
 use lss_core::SchemeKind;
 use lss_metrics::breakdown::{RunReport, TimeBreakdown};
+use lss_metrics::fault::{FaultEvent, FaultKind, FaultLog};
 use lss_workloads::Workload;
 
 use crate::cluster::{ClusterSpec, Network};
@@ -70,6 +72,13 @@ pub struct SimConfig {
     pub jitter: SimTime,
     /// Seed for the jitter stream.
     pub seed: u64,
+    /// Per-slave chaos plans (empty = every slave healthy). When any
+    /// plan injects a fault the master switches to its lease/requeue
+    /// path and the report carries a [`FaultLog`].
+    pub faults: Vec<FaultPlan>,
+    /// Lease policy override for chaos runs (`None` = derived from the
+    /// workload's mean iteration cost and the slowest PE).
+    pub lease: Option<LeaseConfig>,
 }
 
 impl SimConfig {
@@ -87,6 +96,8 @@ impl SimConfig {
             startup_delay: SimTime::from_millis(100),
             jitter: SimTime::ZERO,
             seed: 0,
+            faults: Vec::new(),
+            lease: None,
         }
     }
 
@@ -95,6 +106,18 @@ impl SimConfig {
     pub fn with_jitter(mut self, jitter: SimTime, seed: u64) -> Self {
         self.jitter = jitter;
         self.seed = seed;
+        self
+    }
+
+    /// Injects per-slave chaos (one [`FaultPlan`] per slave).
+    pub fn with_faults(mut self, faults: Vec<FaultPlan>) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Overrides the lease policy used when faults are injected.
+    pub fn with_lease(mut self, lease: LeaseConfig) -> Self {
+        self.lease = Some(lease);
         self
     }
 }
@@ -119,6 +142,11 @@ enum Event {
     ComputeDone(usize),
     /// An unavailable slave's back-off timer fired.
     RetryFire(usize),
+    /// A computing slave's liveness heartbeat reached the master
+    /// (chaos runs only).
+    HeartbeatArrive(usize),
+    /// The master's periodic lease audit fired (chaos runs only).
+    LeaseCheck,
 }
 
 #[derive(Debug, Default, Clone)]
@@ -130,12 +158,26 @@ struct SlaveState {
     arrival: SimTime,
     /// Piggy-backed payload bytes on the in-flight request.
     inbound_piggy: u64,
-    /// Reply content in flight towards the slave.
-    pending: Option<Assignment>,
+    /// Reply contents in flight towards the slave (a duplicated
+    /// request draws two replies).
+    pending: VecDeque<Assignment>,
     /// Chunk currently being computed.
     current_chunk: Option<Chunk>,
     finished: bool,
     finish_time: SimTime,
+    /// Chunks this slave has finished computing (chaos bookkeeping).
+    chunks_done: u64,
+    /// Completed chunks whose results ride on upcoming requests (a
+    /// duplicated request carries the same completion twice).
+    piggy_chunks: VecDeque<Chunk>,
+    /// Crashed or hung: emits no further events, ignores replies.
+    down: bool,
+    /// A heartbeat chain is already scheduled for this slave.
+    hb_active: bool,
+    /// The one-shot disconnect plan has already fired.
+    disconnect_done: bool,
+    /// Degradation onset has been logged.
+    degrade_logged: bool,
 }
 
 /// One chunk's life on a PE: which iterations computed when. The
@@ -174,6 +216,16 @@ pub fn simulate_with_timeline(
     let p = cfg.cluster.num_slaves();
     assert_eq!(traces.len(), p, "need one load trace per slave");
 
+    let plans: Vec<FaultPlan> = if cfg.faults.is_empty() {
+        vec![FaultPlan::healthy(); p]
+    } else {
+        assert_eq!(cfg.faults.len(), p, "need one fault plan per slave");
+        cfg.faults.clone()
+    };
+    // Chaos runs use the lease-audited master path; healthy runs keep
+    // the legacy grant path bit-for-bit (simulator regression parity).
+    let chaos = plans.iter().any(|f| !f.is_healthy());
+
     let initial_q: Vec<u32> = traces.iter().map(|t| t.q_at(SimTime::ZERO)).collect();
     let mut master = Master::new(MasterConfig {
         scheme: cfg.scheme,
@@ -184,6 +236,38 @@ pub fn simulate_with_timeline(
     });
     if let Some(t) = cfg.replan_threshold {
         master.set_replan_threshold(t);
+    }
+    let mut faults = FaultLog::new();
+    let mut rngs: Vec<ChaosRng> = plans
+        .iter()
+        .enumerate()
+        .map(|(i, f)| ChaosRng::new(f.seed ^ (i as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)))
+        .collect();
+    // Half a lease base between liveness pings, like the runtime's
+    // compute-loop heartbeats.
+    let lease_cfg = cfg.lease.unwrap_or_else(|| {
+        let slowest = cfg
+            .cluster
+            .slaves
+            .iter()
+            .map(|s| s.speed)
+            .fold(f64::INFINITY, f64::min);
+        let mean_cost = if workload.len() == 0 {
+            0.0
+        } else {
+            workload.total_cost() as f64 / workload.len() as f64
+        };
+        LeaseConfig {
+            base_ticks: 2_000_000_000,
+            default_ticks_per_iter: ((mean_cost / slowest * 1e9).ceil() as u64).max(1),
+            grace: 8.0,
+            dead_after_ticks: 2_000_000_000,
+            max_speculations: 2,
+        }
+    });
+    let hb_every = SimTime(lease_cfg.base_ticks / 2);
+    if chaos {
+        master.set_lease_config(lease_cfg);
     }
 
     let mut slaves = vec![SlaveState::default(); p];
@@ -223,6 +307,8 @@ pub fn simulate_with_timeline(
     let mut master_busy = false;
     let mut master_queue: VecDeque<usize> = VecDeque::new();
     let mut timeline: Vec<ChunkSpan> = Vec::new();
+    // Earliest scheduled lease audit, so grants don't flood the heap.
+    let mut lease_check_at: Option<SimTime> = None;
 
     while let Some(Reverse((now, _, event))) = heap.pop() {
         assert!(
@@ -243,7 +329,52 @@ pub fn simulate_with_timeline(
             }
             Event::ServiceDone(s) => {
                 let q = traces[s].q_at(now);
-                let assignment = master.handle_request(s, q);
+                let assignment = if chaos {
+                    let nowns = now.as_nanos();
+                    let was_dead = master.worker_is_dead(s);
+                    if let Some(c) = slaves[s].piggy_chunks.pop_front() {
+                        let outcome = master.record_completion(s, c, nowns);
+                        if outcome.duplicate {
+                            faults.push(
+                                FaultEvent::new(
+                                    now.as_secs_f64(),
+                                    FaultKind::DuplicateDropped,
+                                    "result already delivered; dropped",
+                                )
+                                .on_worker(s)
+                                .on_chunk(c.start, c.len),
+                            );
+                        }
+                    }
+                    let spec_before = master.speculative_grants();
+                    let a = master.grant_with_lease(s, q, nowns);
+                    if was_dead {
+                        faults.push(
+                            FaultEvent::new(
+                                now.as_secs_f64(),
+                                FaultKind::Recovered,
+                                "presumed-dead slave reported back",
+                            )
+                            .on_worker(s),
+                        );
+                    }
+                    if master.speculative_grants() > spec_before {
+                        if let Assignment::Chunk(c) = a {
+                            faults.push(
+                                FaultEvent::new(
+                                    now.as_secs_f64(),
+                                    FaultKind::Speculated,
+                                    "speculative re-execution near end of loop",
+                                )
+                                .on_worker(s)
+                                .on_chunk(c.start, c.len),
+                            );
+                        }
+                    }
+                    a
+                } else {
+                    master.handle_request(s, q)
+                };
                 // Queueing + receive + service all count as waiting on
                 // the master.
                 let queued = now - slaves[s].arrival;
@@ -251,8 +382,17 @@ pub fn simulate_with_timeline(
                 let (arrival, com) = net.transfer(&cfg.cluster.slaves[s], cfg.reply_bytes, now);
                 let j = jit(&mut jseq);
                 slaves[s].t_com += com + j;
-                slaves[s].pending = Some(assignment);
+                slaves[s].pending.push_back(assignment);
                 push(&mut heap, arrival + j, Event::ReplyArrive(s), &mut seq);
+                if chaos {
+                    if let Some(d) = master.next_lease_deadline() {
+                        let t = SimTime(d.saturating_add(1));
+                        if lease_check_at.map_or(true, |at| t < at || at <= now) {
+                            lease_check_at = Some(t);
+                            push(&mut heap, t, Event::LeaseCheck, &mut seq);
+                        }
+                    }
+                }
                 // Serve the next queued request, if any.
                 if let Some(next) = master_queue.pop_front() {
                     let dur = cfg.cluster.master.occupancy(slaves[next].inbound_piggy);
@@ -262,14 +402,64 @@ pub fn simulate_with_timeline(
                 }
             }
             Event::ReplyArrive(s) => {
-                match slaves[s].pending.take().expect("reply without assignment") {
+                let assignment = slaves[s].pending.pop_front().expect("reply without assignment");
+                // A down slave hears nothing; a busy slave drops the
+                // extra reply a duplicated request drew (the lease makes
+                // the re-grant idempotent, so nothing is lost).
+                if slaves[s].down || (chaos && (slaves[s].current_chunk.is_some() || slaves[s].finished)) {
+                    continue;
+                }
+                match assignment {
                     Assignment::Chunk(c) => {
-                        let cost: u64 = c.iter().map(|i| workload.cost(i)).sum();
+                        let plan = &plans[s];
+                        if plan.crash_after_chunks == Some(slaves[s].chunks_done) {
+                            slaves[s].down = true;
+                            faults.push(
+                                FaultEvent::new(
+                                    now.as_secs_f64(),
+                                    FaultKind::Injected,
+                                    "slave crashed on chunk receipt",
+                                )
+                                .on_worker(s)
+                                .on_chunk(c.start, c.len),
+                            );
+                            continue;
+                        }
+                        if plan.hang_after_chunks == Some(slaves[s].chunks_done) {
+                            slaves[s].down = true;
+                            faults.push(
+                                FaultEvent::new(
+                                    now.as_secs_f64(),
+                                    FaultKind::Injected,
+                                    "slave hung holding the chunk",
+                                )
+                                .on_worker(s)
+                                .on_chunk(c.start, c.len),
+                            );
+                            continue;
+                        }
+                        let factor = plan.degrade_factor(slaves[s].chunks_done) as u64;
+                        if factor > 1 && !slaves[s].degrade_logged {
+                            slaves[s].degrade_logged = true;
+                            faults.push(
+                                FaultEvent::new(
+                                    now.as_secs_f64(),
+                                    FaultKind::Injected,
+                                    format!("slave degraded x{factor}"),
+                                )
+                                .on_worker(s),
+                            );
+                        }
+                        let cost: u64 = c.iter().map(|i| workload.cost(i)).sum::<u64>() * factor;
                         let fin = traces[s].compute_finish(now, cost, cfg.cluster.slaves[s].speed);
                         slaves[s].t_comp += fin - now;
                         slaves[s].current_chunk = Some(c);
                         timeline.push(ChunkSpan { pe: s, chunk: c, start: now, end: fin });
                         push(&mut heap, fin, Event::ComputeDone(s), &mut seq);
+                        if chaos && !slaves[s].hb_active {
+                            slaves[s].hb_active = true;
+                            push(&mut heap, now + hb_every, Event::HeartbeatArrive(s), &mut seq);
+                        }
                     }
                     Assignment::Retry => {
                         slaves[s].t_wait += cfg.retry_interval;
@@ -283,13 +473,79 @@ pub fn simulate_with_timeline(
             }
             Event::ComputeDone(s) => {
                 let c = slaves[s].current_chunk.take().expect("no chunk computed");
+                slaves[s].chunks_done += 1;
+                if chaos {
+                    slaves[s].piggy_chunks.push_back(c);
+                }
+                let plan = &plans[s];
+                // A planned mid-run disconnect: the result in flight is
+                // lost with the link; the slave sits dark through the
+                // outage, then rejoins with a bare request. The master
+                // recovers the chunk through lease expiry + requeue.
+                if let Some(d) = plan.disconnect {
+                    if !slaves[s].disconnect_done && slaves[s].chunks_done >= d.after_chunks.max(1)
+                    {
+                        slaves[s].disconnect_done = true;
+                        slaves[s].piggy_chunks.pop_back();
+                        faults.push(
+                            FaultEvent::new(
+                                now.as_secs_f64(),
+                                FaultKind::Injected,
+                                "link dropped; result lost; redialling after outage",
+                            )
+                            .on_worker(s)
+                            .on_chunk(c.start, c.len),
+                        );
+                        let outage = SimTime(d.outage_ticks.max(1));
+                        slaves[s].t_wait += outage;
+                        let (arrival, com) =
+                            net.transfer(&cfg.cluster.slaves[s], cfg.request_bytes, now + outage);
+                        let j = jit(&mut jseq);
+                        slaves[s].t_com += com + j;
+                        slaves[s].inbound_piggy = 0;
+                        push(&mut heap, arrival + j, Event::RequestArrive(s), &mut seq);
+                        continue;
+                    }
+                }
                 let piggy: u64 = c.iter().map(|i| workload.result_bytes(i)).sum();
                 let (arrival, com) =
                     net.transfer(&cfg.cluster.slaves[s], cfg.request_bytes + piggy, now);
                 let j = jit(&mut jseq);
                 slaves[s].t_com += com + j;
                 slaves[s].inbound_piggy = piggy;
-                push(&mut heap, arrival + j, Event::RequestArrive(s), &mut seq);
+                let mut at = arrival + j;
+                if plan.net.delay_ticks > 0 {
+                    at += SimTime(rngs[s].below(plan.net.delay_ticks));
+                }
+                if plan.net.drop_prob > 0.0 && rngs[s].chance(plan.net.drop_prob) {
+                    // Lost on the wire; the slave times out and
+                    // retransmits (result payload intact).
+                    faults.push(
+                        FaultEvent::new(
+                            now.as_secs_f64(),
+                            FaultKind::Injected,
+                            "request dropped; retransmitted after timeout",
+                        )
+                        .on_worker(s),
+                    );
+                    slaves[s].t_wait += cfg.retry_interval;
+                    at += cfg.retry_interval;
+                }
+                if plan.net.dup_prob > 0.0 && rngs[s].chance(plan.net.dup_prob) {
+                    // Delivered twice: the copy carries the same result
+                    // payload, which the master must dedup.
+                    faults.push(
+                        FaultEvent::new(
+                            now.as_secs_f64(),
+                            FaultKind::Injected,
+                            "request duplicated in flight",
+                        )
+                        .on_worker(s),
+                    );
+                    slaves[s].piggy_chunks.push_back(c);
+                    push(&mut heap, at + SimTime(1), Event::RequestArrive(s), &mut seq);
+                }
+                push(&mut heap, at, Event::RequestArrive(s), &mut seq);
             }
             Event::RetryFire(s) => {
                 let (arrival, com) =
@@ -299,18 +555,80 @@ pub fn simulate_with_timeline(
                 slaves[s].inbound_piggy = 0;
                 push(&mut heap, arrival + j, Event::RequestArrive(s), &mut seq);
             }
+            Event::HeartbeatArrive(s) => {
+                // Liveness ping from a computing slave; down slaves and
+                // idle slaves let the chain lapse.
+                if slaves[s].down || slaves[s].current_chunk.is_none() {
+                    slaves[s].hb_active = false;
+                } else {
+                    master.note_heartbeat(s, now.as_nanos());
+                    push(&mut heap, now + hb_every, Event::HeartbeatArrive(s), &mut seq);
+                }
+            }
+            Event::LeaseCheck => {
+                lease_check_at = None;
+                for e in master.poll_leases(now.as_nanos()) {
+                    let c = e.lease.chunk;
+                    faults.push(
+                        FaultEvent::new(
+                            now.as_secs_f64(),
+                            FaultKind::LeaseExpired,
+                            format!("lease lapsed on slave {}", e.lease.worker),
+                        )
+                        .on_worker(e.lease.worker)
+                        .on_chunk(c.start, c.len),
+                    );
+                    if (c.start..c.end()).any(|i| !master.iteration_completed(i)) {
+                        faults.push(
+                            FaultEvent::new(
+                                now.as_secs_f64(),
+                                FaultKind::Requeued,
+                                "chunk requeued for reassignment",
+                            )
+                            .on_worker(e.lease.worker)
+                            .on_chunk(c.start, c.len),
+                        );
+                    }
+                    if e.holder_dead {
+                        faults.push(
+                            FaultEvent::new(
+                                now.as_secs_f64(),
+                                FaultKind::WorkerDead,
+                                "slave silent past the grace window; declared dead",
+                            )
+                            .on_worker(e.lease.worker),
+                        );
+                    }
+                }
+                if let Some(d) = master.next_lease_deadline() {
+                    let t = SimTime(d.saturating_add(1));
+                    if lease_check_at.map_or(true, |at| t < at) {
+                        lease_check_at = Some(t);
+                        push(&mut heap, t, Event::LeaseCheck, &mut seq);
+                    }
+                }
+            }
         }
     }
 
-    debug_assert!(slaves.iter().all(|s| s.finished), "slave never terminated");
+    debug_assert!(
+        slaves
+            .iter()
+            .zip(&plans)
+            .all(|(s, f)| s.finished || !f.is_healthy()),
+        "healthy slave never terminated"
+    );
     let t_p = slaves
         .iter()
+        .filter(|s| s.finished)
         .map(|s| s.finish_time)
         .max()
         .unwrap_or(SimTime::ZERO);
     // Early finishers idle until the master sees the last termination.
     for s in &mut slaves {
-        s.t_wait += t_p.saturating_sub(s.finish_time);
+        if s.finished {
+            s.t_wait += t_p.saturating_sub(s.finish_time);
+        }
     }
 
     let per_pe = slaves
@@ -329,7 +647,8 @@ pub fn simulate_with_timeline(
         master.total_scheduling_steps(),
         iterations,
     )
-    .with_plans(master.plans_made());
+    .with_plans(master.plans_made())
+    .with_faults(faults);
     (report, timeline)
 }
 
@@ -539,6 +858,203 @@ mod debug_tests {
             }
         }
         let _ = w.total_cost();
+    }
+}
+
+#[cfg(test)]
+mod chaos_tests {
+    use super::*;
+    use crate::cluster::ClusterSpec;
+    use lss_core::fault::NetFaults;
+    use lss_core::SchemeKind;
+    use lss_workloads::UniformLoop;
+
+    fn dedicated(p: usize) -> Vec<LoadTrace> {
+        vec![LoadTrace::dedicated(); p]
+    }
+
+    /// A tight lease: expire at 2x the predicted compute time. Healthy
+    /// slaves stay safe through heartbeats (which extend the deadline),
+    /// so only truly silent holders lapse.
+    fn tight_lease() -> LeaseConfig {
+        LeaseConfig {
+            base_ticks: 2_000_000_000,
+            default_ticks_per_iter: 50_000_000,
+            grace: 2.0,
+            dead_after_ticks: 1_000_000_000,
+            max_speculations: 2,
+        }
+    }
+
+    /// Every iteration appears in at least one computed span (the
+    /// requeue path recovered whatever the faulty slave dropped).
+    fn assert_covered(spans: &[ChunkSpan], total: u64) {
+        let mut seen = vec![false; total as usize];
+        for s in spans {
+            for i in s.chunk.iter() {
+                seen[i as usize] = true;
+            }
+        }
+        let missing: Vec<usize> =
+            seen.iter().enumerate().filter(|(_, &x)| !x).map(|(i, _)| i).collect();
+        assert!(missing.is_empty(), "iterations never computed: {missing:?}");
+    }
+
+    #[test]
+    fn crashed_slave_chunk_is_requeued_and_recovered() {
+        let cfg = SimConfig::new(ClusterSpec::paper_mix(3, 0), SchemeKind::Tss)
+            .with_faults(vec![
+                FaultPlan::healthy(),
+                FaultPlan::healthy(),
+                FaultPlan::crash_after(1),
+            ])
+            .with_lease(tight_lease());
+        // Enough work that the survivors are still busy when the lease
+        // lapses — recovery must come from requeue, not end-of-loop
+        // speculation.
+        let w = UniformLoop::new(3000, 100_000);
+        let (report, spans) = simulate_with_timeline(&cfg, &w, &dedicated(3));
+        assert_covered(&spans, 3000);
+        assert!(report.had_faults());
+        assert!(
+            report.faults.contains_sequence(&[FaultKind::LeaseExpired, FaultKind::Requeued]),
+            "no expiry->requeue in:\n{}",
+            report.faults.render()
+        );
+        assert!(report.faults.count(FaultKind::Injected) >= 1);
+    }
+
+    #[test]
+    fn hung_slave_is_declared_dead() {
+        let cfg = SimConfig::new(ClusterSpec::paper_mix(2, 1), SchemeKind::Fss)
+            .with_faults(vec![
+                FaultPlan::healthy(),
+                FaultPlan::hang_after(0),
+                FaultPlan::healthy(),
+            ]);
+        let w = UniformLoop::new(200, 100_000);
+        let (report, spans) = simulate_with_timeline(&cfg, &w, &dedicated(3));
+        assert_covered(&spans, 200);
+        assert!(
+            report.faults.count(FaultKind::WorkerDead) >= 1,
+            "hung slave never declared dead:\n{}",
+            report.faults.render()
+        );
+    }
+
+    #[test]
+    fn disconnected_slave_rejoins_and_its_lost_result_is_recomputed() {
+        let cfg = SimConfig::new(ClusterSpec::paper_mix(2, 0), SchemeKind::Tss).with_faults(vec![
+            FaultPlan::healthy(),
+            // Dark long past the lease deadline, with enough remaining
+            // work that the survivor hits the requeued chunk before the
+            // speculative end-game.
+            FaultPlan::reconnect_after(1, 60_000_000_000),
+        ])
+        .with_lease(tight_lease());
+        let w = UniformLoop::new(4000, 100_000);
+        let (report, spans) = simulate_with_timeline(&cfg, &w, &dedicated(2));
+        assert_covered(&spans, 4000);
+        assert!(
+            report.faults.contains_sequence(&[FaultKind::LeaseExpired, FaultKind::Requeued]),
+            "lost result never requeued:\n{}",
+            report.faults.render()
+        );
+        assert!(
+            report.faults.count(FaultKind::Recovered) >= 1,
+            "rejoin never recorded:\n{}",
+            report.faults.render()
+        );
+    }
+
+    #[test]
+    fn duplicated_requests_are_deduplicated() {
+        let cfg = SimConfig::new(ClusterSpec::paper_mix(2, 0), SchemeKind::Css { k: 10 })
+            .with_faults(vec![
+                FaultPlan::healthy().with_net(NetFaults {
+                    drop_prob: 0.0,
+                    dup_prob: 1.0,
+                    delay_ticks: 0,
+                }),
+                FaultPlan::healthy(),
+            ]);
+        let w = UniformLoop::new(100, 50_000);
+        let (report, spans) = simulate_with_timeline(&cfg, &w, &dedicated(2));
+        assert_covered(&spans, 100);
+        assert!(
+            report.faults.count(FaultKind::DuplicateDropped) >= 1,
+            "no dedup recorded:\n{}",
+            report.faults.render()
+        );
+    }
+
+    #[test]
+    fn dropped_requests_are_retransmitted_not_lost() {
+        let cfg = SimConfig::new(ClusterSpec::paper_mix(2, 1), SchemeKind::Dtss).with_faults(vec![
+            FaultPlan::healthy()
+                .with_net(NetFaults { drop_prob: 0.4, dup_prob: 0.0, delay_ticks: 2_000_000 })
+                .with_seed(7),
+            FaultPlan::healthy(),
+            FaultPlan::healthy(),
+        ]);
+        let w = UniformLoop::new(250, 80_000);
+        let (_, spans) = simulate_with_timeline(&cfg, &w, &dedicated(3));
+        assert_covered(&spans, 250);
+    }
+
+    #[test]
+    fn degraded_slave_slows_but_nothing_is_lost() {
+        let cfg = SimConfig::new(ClusterSpec::paper_mix(2, 0), SchemeKind::Tfss).with_faults(vec![
+            FaultPlan::healthy(),
+            FaultPlan::degrade_after(1, 4),
+        ]);
+        let w = UniformLoop::new(300, 100_000);
+        let (report, spans) = simulate_with_timeline(&cfg, &w, &dedicated(2));
+        assert_covered(&spans, 300);
+        assert!(report.faults.count(FaultKind::Injected) >= 1);
+        // The healthy slave absorbs the imbalance.
+        assert!(report.iterations[0] > report.iterations[1], "{:?}", report.iterations);
+    }
+
+    #[test]
+    fn chaos_runs_are_deterministic() {
+        let mk = || {
+            SimConfig::new(ClusterSpec::paper_p8(), SchemeKind::Dtfss).with_faults(vec![
+                FaultPlan::crash_after(2),
+                FaultPlan::healthy()
+                    .with_net(NetFaults { drop_prob: 0.2, dup_prob: 0.2, delay_ticks: 1_000_000 })
+                    .with_seed(42),
+                FaultPlan::hang_after(3),
+                FaultPlan::degrade_after(2, 3),
+                FaultPlan::healthy(),
+                FaultPlan::healthy(),
+                FaultPlan::healthy(),
+                FaultPlan::reconnect_after(1, 3_000_000_000),
+            ])
+        };
+        let w = UniformLoop::new(600, 60_000);
+        let a = simulate(&mk(), &w, &dedicated(8));
+        let b = simulate(&mk(), &w, &dedicated(8));
+        assert_eq!(a.t_p, b.t_p);
+        assert_eq!(a.iterations, b.iterations);
+        assert_eq!(a.faults.len(), b.faults.len());
+    }
+
+    #[test]
+    fn healthy_runs_carry_no_fault_log() {
+        let cfg = SimConfig::new(ClusterSpec::paper_mix(2, 1), SchemeKind::Tss);
+        let w = UniformLoop::new(120, 50_000);
+        let report = simulate(&cfg, &w, &dedicated(3));
+        assert!(!report.had_faults());
+        assert!(report.faults.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "one fault plan per slave")]
+    fn fault_plan_count_checked() {
+        let cfg = SimConfig::new(ClusterSpec::paper_mix(2, 0), SchemeKind::Tss)
+            .with_faults(vec![FaultPlan::healthy()]);
+        simulate(&cfg, &UniformLoop::new(10, 10), &dedicated(2));
     }
 }
 

@@ -43,6 +43,9 @@ pub use lss_workloads as workloads;
 pub mod prelude {
     pub use lss_core::chunk::{Chunk, ChunkDispenser};
     pub use lss_core::distributed::{DistKind, DistributedScheduler, Grant};
+    pub use lss_core::fault::{
+        ChaosRng, DisconnectPlan, FaultPlan, LeaseConfig, NetFaults,
+    };
     pub use lss_core::master::{Assignment, Master, MasterConfig, SchemeKind};
     pub use lss_core::power::{Acp, AcpConfig, VirtualPower};
     pub use lss_core::scheme::{
@@ -52,7 +55,9 @@ pub mod prelude {
     };
     pub use lss_core::tree::TreeScheduler;
     pub use lss_metrics::breakdown::{RunReport, TimeBreakdown};
+    pub use lss_metrics::fault::{FaultEvent, FaultKind, FaultLog};
     pub use lss_metrics::speedup::SpeedupSeries;
+    pub use lss_runtime::backoff::BackoffPolicy;
     pub use lss_runtime::harness::{
         run_scheduled_loop, HarnessConfig, HarnessOutcome, Transport, WorkerSpec,
     };

@@ -1,0 +1,176 @@
+//! Property-based invariants of the fault-tolerant master: under
+//! arbitrary per-worker fault plans (crashes, hangs, lossy links), as
+//! long as one worker stays healthy every iteration in `[0, I)` is
+//! computed at least once and accounted exactly once after first-
+//! result-wins dedup — across every scheme family of the paper.
+
+use loop_self_scheduling::prelude::*;
+use proptest::prelude::*;
+
+/// The paper's scheme families: the five reviewed simple schemes, the
+/// new TFSS, weighted factoring, and the four distributed variants.
+fn all_schemes() -> Vec<SchemeKind> {
+    vec![
+        SchemeKind::Css { k: 7 },
+        SchemeKind::Gss { min_chunk: 1 },
+        SchemeKind::Tss,
+        SchemeKind::Fss,
+        SchemeKind::Fiss { sigma: 3 },
+        SchemeKind::Tfss,
+        SchemeKind::Wf,
+        SchemeKind::Dtss,
+        SchemeKind::Dfss,
+        SchemeKind::Dfiss { sigma: 3 },
+        SchemeKind::Dtfss,
+    ]
+}
+
+/// Decodes a fault plan from an arbitrary integer. Roughly a quarter
+/// of workers stay healthy; the rest crash, hang, or suffer a lossy
+/// link at pseudo-random points.
+fn decode_plan(code: u64) -> FaultPlan {
+    match code % 4 {
+        0 => FaultPlan::healthy(),
+        1 => FaultPlan::crash_after((code / 4) % 3),
+        2 => FaultPlan::hang_after((code / 4) % 3),
+        _ => FaultPlan::healthy()
+            .with_net(NetFaults { drop_prob: 0.3, dup_prob: 0.3, delay_ticks: 0 })
+            .with_seed(code),
+    }
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum WState {
+    Idle,
+    Holding,
+    Down,
+    Finished,
+}
+
+/// Drives the master state machine round-robin in logical ticks: idle
+/// workers request, holding workers complete one chunk per round (with
+/// drop/dup injection on the result report), crashed and hung workers
+/// go permanently silent while still holding their lease. Returns
+/// (per-iteration compute counts, newly-accounted total).
+fn drive(scheme: SchemeKind, total: u64, plans: &[FaultPlan]) -> (Vec<u32>, u64, Master) {
+    let p = plans.len();
+    let mut master = Master::new(MasterConfig {
+        scheme,
+        total,
+        powers: vec![VirtualPower::new(1.0); p],
+        initial_q: vec![1; p],
+        acp: AcpConfig::PAPER,
+    });
+    master.set_lease_config(LeaseConfig {
+        base_ticks: 10,
+        default_ticks_per_iter: 1,
+        grace: 2.0,
+        dead_after_ticks: 5,
+        max_speculations: 2,
+    });
+    let mut rngs: Vec<ChaosRng> = plans
+        .iter()
+        .enumerate()
+        .map(|(i, f)| ChaosRng::new(f.seed ^ (i as u64).wrapping_mul(0x9E37)))
+        .collect();
+    let mut computed = vec![0u32; total as usize];
+    let mut accounted = 0u64;
+    let mut state = vec![WState::Idle; p];
+    let mut held: Vec<Option<Chunk>> = vec![None; p];
+    let mut chunks_done = vec![0u64; p];
+    let mut now = 0u64;
+    for round in 0..200_000u64 {
+        assert!(round < 199_999, "driver livelocked: {scheme:?} total {total}");
+        for w in 0..p {
+            match state[w] {
+                WState::Down | WState::Finished => continue,
+                WState::Idle => match master.grant_with_lease(w, 1, now) {
+                    Assignment::Chunk(c) => {
+                        let plan = &plans[w];
+                        if plan.crash_after_chunks == Some(chunks_done[w])
+                            || plan.hang_after_chunks == Some(chunks_done[w])
+                        {
+                            // Vanishes holding the lease; recovery must
+                            // come from expiry + requeue.
+                            state[w] = WState::Down;
+                        } else {
+                            held[w] = Some(c);
+                            state[w] = WState::Holding;
+                        }
+                    }
+                    Assignment::Retry => {}
+                    Assignment::Finished => state[w] = WState::Finished,
+                },
+                WState::Holding => {
+                    let c = held[w].expect("holding without chunk");
+                    let plan = &plans[w];
+                    if plan.net.drop_prob > 0.0 && rngs[w].chance(plan.net.drop_prob) {
+                        // Result lost on the wire; retransmitted next
+                        // round (the lease stays held meanwhile).
+                        continue;
+                    }
+                    for i in c.iter() {
+                        computed[i as usize] += 1;
+                    }
+                    accounted += master.record_completion(w, c, now).newly_completed;
+                    if plan.net.dup_prob > 0.0 && rngs[w].chance(plan.net.dup_prob) {
+                        // Duplicate delivery: must dedup to zero new.
+                        let dup = master.record_completion(w, c, now);
+                        assert_eq!(dup.newly_completed, 0, "dup double-counted");
+                    }
+                    chunks_done[w] += 1;
+                    held[w] = None;
+                    state[w] = WState::Idle;
+                }
+            }
+        }
+        now += 3;
+        master.poll_leases(now);
+        if state
+            .iter()
+            .all(|s| matches!(s, WState::Down | WState::Finished))
+        {
+            break;
+        }
+    }
+    (computed, accounted, master)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn faulty_runs_compute_everything_exactly_once(
+        total in 0u64..1500,
+        codes in prop::collection::vec(0u64..10_000, 0..5),
+    ) {
+        // Worker 0 is always healthy so completion stays reachable.
+        let mut plans = vec![FaultPlan::healthy()];
+        plans.extend(codes.iter().map(|&c| decode_plan(c)));
+        for scheme in all_schemes() {
+            let (computed, accounted, master) = drive(scheme, total, &plans);
+            prop_assert!(master.all_complete(), "{}: loop never completed", scheme.name());
+            prop_assert_eq!(accounted, total);
+            for (i, &n) in computed.iter().enumerate() {
+                prop_assert!(n >= 1, "{}: iteration {i} never computed", scheme.name());
+            }
+        }
+    }
+
+    #[test]
+    fn all_healthy_runs_never_duplicate_work(
+        total in 1u64..1500,
+        p in 1usize..6,
+    ) {
+        let plans = vec![FaultPlan::healthy(); p];
+        for scheme in all_schemes() {
+            let (computed, accounted, master) = drive(scheme, total, &plans);
+            prop_assert!(master.all_complete());
+            prop_assert_eq!(accounted, total);
+            prop_assert_eq!(master.speculative_grants(), 0);
+            for (i, &n) in computed.iter().enumerate() {
+                prop_assert!(n == 1, "{}: iteration {i} computed {n} times", scheme.name());
+            }
+        }
+    }
+}

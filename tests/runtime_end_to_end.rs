@@ -201,6 +201,139 @@ fn crash_over_tcp_is_survivable() {
     verify_results(&out, w.as_ref());
 }
 
+/// Lease policy tight enough for sub-second chaos tests: healthy
+/// workers are protected by 100 ms heartbeats (which extend a lease to
+/// `now + base`), so only genuinely silent workers lapse.
+fn chaos_lease() -> LeaseConfig {
+    LeaseConfig {
+        base_ticks: 400_000_000,
+        default_ticks_per_iter: 0,
+        grace: 8.0,
+        dead_after_ticks: 250_000_000,
+        // Keep recovery on the deterministic lease-expiry -> requeue
+        // path (speculation has its own unit tests).
+        max_speculations: 0,
+    }
+}
+
+/// The acceptance scenario: an 8-worker cluster computing a real
+/// Mandelbrot loop with one worker crashing, one hanging forever, and
+/// one dropping its link mid-run and redialling. The loop must finish
+/// with every column computed exactly once and the fault log must show
+/// the lease-expiry -> requeue -> recovery chain.
+fn eight_worker_chaos(transport: Transport) {
+    let w = Arc::new(Mandelbrot::new(MandelbrotParams::paper_domain(96, 64)));
+    let mut workers = vec![WorkerSpec::fast(); 5];
+    workers.push(WorkerSpec::failing_after(1)); // worker 5: crash
+    workers.push(WorkerSpec::fast().with_fault(FaultPlan::hang_after(1))); // worker 6: hang
+    workers.push(WorkerSpec::fast().with_fault(FaultPlan::reconnect_after(1, 150_000_000))); // worker 7
+    let mut cfg = HarnessConfig::new(SchemeKind::Fss, workers);
+    cfg.transport = transport;
+    cfg.lease = chaos_lease();
+    let out = run_scheduled_loop(&cfg, Arc::clone(&w));
+    verify_results(&out, w.as_ref());
+    assert!(out.failed_workers.contains(&5), "crashed worker not reported: {:?}", out.failed_workers);
+    assert!(out.failed_workers.contains(&6), "hung worker not reported: {:?}", out.failed_workers);
+    assert!(!out.faults.is_empty(), "no fault events recorded");
+    assert!(
+        out.faults.contains_sequence(&[FaultKind::LeaseExpired, FaultKind::Requeued]),
+        "no lease-expiry -> requeue in:\n{}",
+        out.faults.render()
+    );
+    assert_eq!(out.duplicates_dropped, 0, "dedup miscounted a single-copy run");
+}
+
+#[test]
+fn eight_worker_chaos_over_channels() {
+    eight_worker_chaos(Transport::Channels);
+}
+
+#[test]
+fn eight_worker_chaos_over_tcp() {
+    eight_worker_chaos(Transport::Tcp);
+}
+
+#[test]
+fn hung_worker_is_detected_and_its_chunk_requeued() {
+    let w = Arc::new(UniformLoop::new(300, 3_000));
+    let mut cfg = HarnessConfig::new(
+        SchemeKind::Tss,
+        vec![
+            WorkerSpec::fast(),
+            WorkerSpec::fast(),
+            WorkerSpec::fast().with_fault(FaultPlan::hang_after(0)),
+        ],
+    );
+    cfg.lease = chaos_lease();
+    let out = run_scheduled_loop(&cfg, Arc::clone(&w));
+    verify_results(&out, w.as_ref());
+    assert_eq!(out.failed_workers, vec![2]);
+    assert!(
+        out.faults.contains_sequence(&[FaultKind::LeaseExpired, FaultKind::Requeued]),
+        "{}",
+        out.faults.render()
+    );
+}
+
+#[test]
+fn reconnecting_worker_rejoins_and_finishes() {
+    // A short outage against a long enough loop that the master is
+    // still running when the worker redials.
+    let w = Arc::new(UniformLoop::new(1500, 60_000));
+    let mut cfg = HarnessConfig::new(
+        SchemeKind::Dtss,
+        vec![
+            WorkerSpec::fast(),
+            WorkerSpec::fast().with_fault(FaultPlan::reconnect_after(1, 10_000_000)),
+        ],
+    );
+    cfg.lease = chaos_lease();
+    let out = run_scheduled_loop(&cfg, Arc::clone(&w));
+    verify_results(&out, w.as_ref());
+    let s = &out.worker_stats[1];
+    assert!(s.reconnects >= 1, "worker never redialled: {s:?}");
+}
+
+#[test]
+fn degraded_worker_sheds_load_to_healthy_peers() {
+    let w = Arc::new(UniformLoop::new(600, 3_000));
+    let cfg = HarnessConfig::new(
+        SchemeKind::Fss,
+        vec![
+            WorkerSpec::fast(),
+            WorkerSpec::fast().with_fault(FaultPlan::degrade_after(1, 8)),
+        ],
+    );
+    let out = run_scheduled_loop(&cfg, Arc::clone(&w));
+    verify_results(&out, w.as_ref());
+    assert!(
+        out.report.iterations[0] > out.report.iterations[1],
+        "degraded worker kept equal share: {:?}",
+        out.report.iterations
+    );
+}
+
+#[test]
+fn lossy_network_does_not_lose_iterations() {
+    let w = Arc::new(SyntheticWorkload::new((1..=120).collect()));
+    for seed in [1u64, 7, 1234] {
+        let mut cfg = HarnessConfig::new(
+            SchemeKind::Tfss,
+            vec![
+                WorkerSpec::fast().with_fault(
+                    FaultPlan::healthy()
+                        .with_net(NetFaults { drop_prob: 0.3, dup_prob: 0.2, delay_ticks: 1_000_000 })
+                        .with_seed(seed),
+                ),
+                WorkerSpec::fast(),
+            ],
+        );
+        cfg.lease = chaos_lease();
+        let out = run_scheduled_loop(&cfg, Arc::clone(&w));
+        verify_results(&out, w.as_ref());
+    }
+}
+
 #[test]
 fn chaos_random_crashes_never_lose_work() {
     // Randomized failure injection: any subset of workers (never all)

@@ -1,0 +1,180 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no registry access, so the workspace vendors
+//! the slice of criterion's API its benches use: `Criterion`,
+//! `benchmark_group`, `bench_function`, `Bencher::iter`, `BenchmarkId`,
+//! `black_box`, and the `criterion_group!`/`criterion_main!` macros.
+//! Measurement is a plain median-of-samples wall clock — adequate for
+//! "did this get slower by 2×" smoke checks, not for microsecond-level
+//! statistics. Swap back to real criterion when a registry is
+//! available.
+
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, re-exported for bench code.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// A benchmark identifier: `name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds `name/parameter`.
+    pub fn new(name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", name.into(), parameter) }
+    }
+}
+
+/// Anything usable as a benchmark name.
+#[derive(Debug, Clone)]
+pub struct BenchName(String);
+
+impl From<&str> for BenchName {
+    fn from(s: &str) -> Self {
+        BenchName(s.to_owned())
+    }
+}
+
+impl From<String> for BenchName {
+    fn from(s: String) -> Self {
+        BenchName(s)
+    }
+}
+
+impl From<BenchmarkId> for BenchName {
+    fn from(id: BenchmarkId) -> Self {
+        BenchName(id.id)
+    }
+}
+
+/// Timing loop handle passed to bench closures.
+pub struct Bencher {
+    samples: usize,
+    /// Median per-iteration time of the last run.
+    last: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, recording a median over `samples` batches.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // One warm-up call, then `samples` timed calls.
+        black_box(f());
+        let mut times: Vec<Duration> = (0..self.samples)
+            .map(|_| {
+                let t0 = Instant::now();
+                black_box(f());
+                t0.elapsed()
+            })
+            .collect();
+        times.sort_unstable();
+        self.last = times[times.len() / 2];
+    }
+}
+
+fn run_one(name: &str, samples: usize, f: &mut dyn FnMut(&mut Bencher)) {
+    let mut b = Bencher { samples, last: Duration::ZERO };
+    f(&mut b);
+    println!("bench {name:<48} median {:>12.3?}  ({samples} samples)", b.last);
+}
+
+/// Top-level bench driver (a much-simplified `criterion::Criterion`).
+pub struct Criterion {
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion { samples: 10 }
+    }
+}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<BenchName>,
+        mut f: F,
+    ) -> &mut Self {
+        run_one(&name.into().0, self.samples, &mut f);
+        self
+    }
+
+    /// Opens a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { prefix: name.into(), samples: self.samples, _parent: self }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    prefix: String,
+    samples: usize,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        name: impl Into<BenchName>,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.prefix, name.into().0);
+        run_one(&full, self.samples, &mut f);
+        self
+    }
+
+    /// Ends the group (kept for API compatibility).
+    pub fn finish(self) {}
+}
+
+/// Declares a group-runner function invoking each bench function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny(c: &mut Criterion) {
+        c.bench_function("tiny", |b| b.iter(|| black_box(1 + 1)));
+        let mut g = c.benchmark_group("grp");
+        g.sample_size(3);
+        g.bench_function(BenchmarkId::new("x", 7), |b| b.iter(|| black_box(2 * 2)));
+        g.finish();
+    }
+
+    criterion_group!(benches, tiny);
+
+    #[test]
+    fn runner_executes() {
+        benches();
+    }
+}
