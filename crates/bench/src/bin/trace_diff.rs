@@ -1,0 +1,106 @@
+//! Trace-derived wait-profile diff across every scheme variant.
+//!
+//! For each of the eleven scheme variants, the 8-slave paper cluster
+//! runs the same Mandelbrot window twice — dedicated and non-dedicated
+//! — with the trace sink recording. Everything in the table is computed
+//! *from the trace* (not from the engine's own report): per-worker wait
+//! totals, idle-gap counts, serialized time and makespan. A final
+//! column confirms the trace-derived `T_wait` reconciles with the
+//! engine's `TimeBreakdown` exactly — the tracing subsystem's core
+//! invariant, exercised at table scale.
+//!
+//! ```sh
+//! cargo run --release -p lss-bench --bin trace_diff
+//! ```
+
+use lss_bench::experiments::{table_traces, write_artifact};
+use lss_core::SchemeKind;
+use lss_metrics::breakdown::TimeBreakdown;
+use lss_metrics::table::TextTable;
+use lss_sim::{simulate_traced, ClusterSpec, SimConfig};
+use lss_trace::{critical_path, idle_gaps, Trace};
+use lss_workloads::{Mandelbrot, MandelbrotParams, SampledWorkload, Workload};
+
+fn all_schemes() -> Vec<SchemeKind> {
+    vec![
+        SchemeKind::Css { k: 7 },
+        SchemeKind::Gss { min_chunk: 1 },
+        SchemeKind::Tss,
+        SchemeKind::Fss,
+        SchemeKind::Fiss { sigma: 3 },
+        SchemeKind::Tfss,
+        SchemeKind::Wf,
+        SchemeKind::Dtss,
+        SchemeKind::Dfss,
+        SchemeKind::Dfiss { sigma: 3 },
+        SchemeKind::Dtfss,
+    ]
+}
+
+struct Profile {
+    wait_total: f64,
+    wait_max: f64,
+    gaps: usize,
+    gap_s: f64,
+    serialized_s: f64,
+    makespan_s: f64,
+    reconciled: bool,
+}
+
+fn profile(trace: &Trace, report_pe: &[TimeBreakdown]) -> Profile {
+    let derived = TimeBreakdown::all_from_trace(trace);
+    let reconciled = derived
+        .iter()
+        .zip(report_pe)
+        .all(|(d, r)| d.t_com == r.t_com && d.t_wait == r.t_wait && d.t_comp == r.t_comp);
+    let gaps = idle_gaps(trace);
+    let cp = critical_path(trace);
+    Profile {
+        wait_total: derived.iter().map(|b| b.t_wait).sum(),
+        wait_max: derived.iter().map(|b| b.t_wait).fold(0.0, f64::max),
+        gaps: gaps.len(),
+        gap_s: gaps.iter().map(|g| g.dur_ns()).sum::<u64>() as f64 / 1e9,
+        serialized_s: cp.serialized_ns as f64 / 1e9,
+        makespan_s: cp.makespan_s,
+        reconciled,
+    }
+}
+
+fn main() {
+    let workload = SampledWorkload::new(
+        Mandelbrot::new(MandelbrotParams::paper_domain(800, 400)),
+        4,
+    );
+    let mut table = TextTable::new(vec![
+        "scheme".into(),
+        "SumT_wait ded/nded".into(),
+        "maxT_wait ded/nded".into(),
+        "gaps ded/nded".into(),
+        "serial_s ded/nded".into(),
+        "T_p ded/nded".into(),
+        "trace==report".into(),
+    ]);
+    println!("trace-derived wait profiles, 8 slaves, {} iterations", workload.len());
+    for scheme in all_schemes() {
+        let mut per_cond = Vec::new();
+        for nondedicated in [false, true] {
+            let cfg = SimConfig::new(ClusterSpec::paper_mix(3, 5), scheme);
+            let (report, _spans, trace) =
+                simulate_traced(&cfg, &workload, &table_traces(nondedicated));
+            per_cond.push(profile(&trace, &report.per_pe));
+        }
+        let (d, n) = (&per_cond[0], &per_cond[1]);
+        table.push_row(vec![
+            scheme.name().to_string(),
+            format!("{:.2}/{:.2}", d.wait_total, n.wait_total),
+            format!("{:.2}/{:.2}", d.wait_max, n.wait_max),
+            format!("{}({:.1}s)/{}({:.1}s)", d.gaps, d.gap_s, n.gaps, n.gap_s),
+            format!("{:.2}/{:.2}", d.serialized_s, n.serialized_s),
+            format!("{:.2}/{:.2}", d.makespan_s, n.makespan_s),
+            if d.reconciled && n.reconciled { "exact".into() } else { "MISMATCH".into() },
+        ]);
+    }
+    let out = table.render();
+    println!("{out}");
+    write_artifact("trace_diff.txt", out.as_bytes());
+}

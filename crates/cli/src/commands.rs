@@ -12,8 +12,10 @@ use lss_runtime::master::run_resilient_master;
 use lss_runtime::protocol::Request;
 use lss_runtime::transport::tcp::{tcp_listen_on, TcpWorker};
 use lss_runtime::worker::{run_worker, WorkerConfig};
-use lss_sim::{simulate, simulate_tree, ClusterSpec, LoadTrace, SimConfig, TreeSimConfig};
-use lss_workloads::{Mandelbrot, MandelbrotParams, SampledWorkload, Workload};
+use lss_sim::{
+    simulate, simulate_traced, simulate_tree, ClusterSpec, LoadTrace, SimConfig, TreeSimConfig,
+};
+use lss_workloads::{Mandelbrot, MandelbrotParams, SampledWorkload, UniformLoop, Workload};
 
 use crate::args::{ArgError, Args};
 
@@ -37,6 +39,14 @@ USAGE:
       Join a master as worker I (workload flags must match the master's).
   lss predict <scheme> [--iters I] [--pes p]
       Closed-form prediction: scheduling steps, chunk statistics.
+  lss trace [--scheme S] [--workload mandelbrot|uniform] [--out FILE]
+      [--format chrome|prom|summary] [--runtime] [--tcp] [--nondedicated]
+      [--fast F] [--slow S] [--width W] [--height H] [--sf S] [--seed N]
+      Record a run's chunk-lifecycle timeline (simulator by default,
+      --runtime/--tcp for a real threaded run) and export it as a
+      Chrome/Perfetto trace.json, Prometheus text, or an ASCII summary.
+  lss trace --validate FILE
+      Check that FILE is a well-formed Chrome trace.
   lss schemes
       List every supported scheme name.
 
@@ -381,6 +391,170 @@ pub fn cmd_worker(args: &Args) -> Result<String, ArgError> {
     ))
 }
 
+/// Records a trace from either engine, keeping the run report for the
+/// reconciliation line.
+fn record_trace<W: Workload + Send + Sync + 'static>(
+    args: &Args,
+    scheme: SchemeKind,
+    fast: usize,
+    slow: usize,
+    workload: W,
+) -> Result<(lss_metrics::RunReport, lss_trace::Trace), ArgError> {
+    if args.has("runtime") || args.has("tcp") {
+        let mut cfg = HarnessConfig::paper_mix(scheme, fast, slow).traced();
+        if args.has("tcp") {
+            cfg.transport = Transport::Tcp;
+        }
+        if args.has("nondedicated") {
+            cfg.workers[0] = WorkerSpec {
+                load: LoadState::with_q(3),
+                ..cfg.workers[0].clone()
+            };
+        }
+        let out = run_scheduled_loop(&cfg, Arc::new(workload));
+        let trace = out.trace.expect("harness tracing was enabled");
+        Ok((out.report, trace))
+    } else {
+        let p = fast + slow;
+        let cluster = ClusterSpec::paper_mix(fast, slow);
+        let mut loads = vec![LoadTrace::dedicated(); p];
+        if args.has("nondedicated") {
+            loads[0] = LoadTrace::paper_overloaded();
+        }
+        let seed: u64 = args.get_or("seed", 0)?;
+        let cfg = SimConfig::new(cluster, scheme)
+            .with_jitter(lss_sim::SimTime::from_millis(20), seed);
+        let (report, _spans, trace) = simulate_traced(&cfg, &workload, &loads);
+        Ok((report, trace))
+    }
+}
+
+/// `lss trace ...` — records a run's event timeline and exports it.
+pub fn cmd_trace(args: &Args) -> Result<String, ArgError> {
+    if let Some(path) = args.get("validate") {
+        let json = std::fs::read_to_string(path)
+            .map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
+        let n = lss_trace::validate_chrome_trace(&json).map_err(ArgError)?;
+        return Ok(format!("{path}: well-formed Chrome trace, {n} events\n"));
+    }
+
+    let scheme = parse_scheme(args.get("scheme").unwrap_or("tfss"))?;
+    let fast: usize = args.get_or("fast", 2)?;
+    let slow: usize = args.get_or("slow", 2)?;
+    if fast + slow == 0 {
+        return Err(ArgError("need at least one worker".into()));
+    }
+    let (report, trace) = match args.get("workload").unwrap_or("mandelbrot") {
+        "mandelbrot" => {
+            let w = workload_from(args, 400, 200)?;
+            record_trace(args, scheme, fast, slow, w)?
+        }
+        "uniform" => {
+            let iters: u64 = args.get_or("iters", 1000)?;
+            let cost: u64 = args.get_or("cost", 20_000)?;
+            record_trace(args, scheme, fast, slow, UniformLoop::new(iters, cost))?
+        }
+        other => {
+            return Err(ArgError(format!(
+                "unknown workload {other:?} (expected mandelbrot or uniform)"
+            )))
+        }
+    };
+
+    let format = args.get("format").unwrap_or("chrome");
+    let rendered = match format {
+        "chrome" => lss_trace::to_chrome_json(&trace),
+        "prom" => lss_trace::to_prometheus_text(&trace),
+        "summary" => render_trace_summary(&report, &trace),
+        other => {
+            return Err(ArgError(format!(
+                "unknown format {other:?} (expected chrome, prom or summary)"
+            )))
+        }
+    };
+
+    match args.get("out") {
+        None => Ok(rendered),
+        Some(path) => {
+            std::fs::write(path, rendered.as_bytes())
+                .map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
+            let mut out = format!(
+                "{}: {} events ({} clock, {} dropped) -> {path} [{format}]\n",
+                trace.meta.scheme,
+                trace.len(),
+                trace.meta.clock.label(),
+                trace.dropped,
+            );
+            if format == "chrome" {
+                let n = lss_trace::validate_chrome_trace(&rendered).map_err(ArgError)?;
+                out.push_str(&format!(
+                    "validated: {n} Chrome trace events; open at https://ui.perfetto.dev\n"
+                ));
+            }
+            Ok(out)
+        }
+    }
+}
+
+/// Human-readable trace digest: per-worker lanes, reconciled
+/// breakdowns, idle gaps and the critical-path summary.
+fn render_trace_summary(report: &lss_metrics::RunReport, trace: &lss_trace::Trace) -> String {
+    use lss_metrics::breakdown::TimeBreakdown;
+    let mut out = format!(
+        "scheme {} | {} workers | {} iterations | {} events ({} clock)\n\n",
+        trace.meta.scheme,
+        trace.meta.workers,
+        trace.meta.total_iterations,
+        trace.len(),
+        trace.meta.clock.label(),
+    );
+    out.push_str(&lss_trace::render_gantt(trace, 64));
+    out.push('\n');
+
+    let derived = TimeBreakdown::all_from_trace(trace);
+    let mut t = TextTable::new(vec![
+        "PE".into(),
+        "T_com (trace/report)".into(),
+        "T_wait (trace/report)".into(),
+        "T_comp (trace/report)".into(),
+    ]);
+    for (i, d) in derived.iter().enumerate() {
+        let r = report.per_pe.get(i).copied().unwrap_or_default();
+        t.push_row(vec![
+            format!("{}", i + 1),
+            format!("{:.3}/{:.3}", d.t_com, r.t_com),
+            format!("{:.3}/{:.3}", d.t_wait, r.t_wait),
+            format!("{:.3}/{:.3}", d.t_comp, r.t_comp),
+        ]);
+    }
+    out.push_str(&t.render());
+
+    let cp = lss_trace::critical_path(trace);
+    let imb = lss_trace::imbalance(trace);
+    let gaps = lss_trace::idle_gaps(trace);
+    let gap_total: u64 = gaps.iter().map(|g| g.dur_ns()).sum();
+    out.push_str(&format!(
+        "\nmakespan {:.3}s | serialized {:.3}s | busy CoV {:.3} | idle gaps {} ({:.3}s) | speculative {} | requeues {}\n",
+        cp.makespan_s,
+        cp.serialized_ns as f64 / 1e9,
+        imb.cov,
+        gaps.len(),
+        gap_total as f64 / 1e9,
+        cp.speculative_grants,
+        cp.requeues,
+    ));
+    if let Some(s) = &cp.last_span {
+        out.push_str(&format!(
+            "last span: worker {} chunk {} ({:.3}s..{:.3}s)\n",
+            s.worker,
+            s.chunk,
+            s.start_ns as f64 / 1e9,
+            s.end_ns as f64 / 1e9,
+        ));
+    }
+    out
+}
+
 /// Dispatches a parsed command line.
 pub fn dispatch(args: &Args) -> Result<String, ArgError> {
     match args.command.as_deref() {
@@ -392,6 +566,7 @@ pub fn dispatch(args: &Args) -> Result<String, ArgError> {
         Some("master") => cmd_master(args),
         Some("worker") => cmd_worker(args),
         Some("predict") => cmd_predict(args),
+        Some("trace") => cmd_trace(args),
         Some(other) => Err(ArgError(format!("unknown command {other:?}\n\n{USAGE}"))),
     }
 }
@@ -497,6 +672,65 @@ mod tests {
         assert!(out.contains("first 113"), "{out}");
         let out = cmd_predict(&args("predict tss --iters 1000 --pes 4")).unwrap();
         assert!(out.contains("closed-form steps: 16"), "{out}");
+    }
+
+    #[test]
+    fn trace_sim_writes_a_valid_chrome_trace() {
+        let dir = std::env::temp_dir().join(format!("lss-trace-test-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("trace.json");
+        let out = cmd_trace(&args(&format!(
+            "trace --scheme tfss --workload mandelbrot --width 120 --height 60 --out {}",
+            path.display()
+        )))
+        .unwrap();
+        assert!(out.contains("TFSS"), "{out}");
+        assert!(out.contains("validated:"), "{out}");
+        // The validate mode accepts its own output.
+        let check =
+            cmd_trace(&args(&format!("trace --validate {}", path.display()))).unwrap();
+        assert!(check.contains("well-formed Chrome trace"), "{check}");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn trace_summary_reconciles_breakdowns() {
+        let out = cmd_trace(&args(
+            "trace --scheme gss --workload uniform --iters 200 --cost 10000 --format summary",
+        ))
+        .unwrap();
+        assert!(out.contains("makespan"), "{out}");
+        assert!(out.contains("T_com (trace/report)"), "{out}");
+        // In the simulator the reconciliation is exact, so the two
+        // halves of every cell render identically.
+        for line in out.lines().filter(|l| l.contains('/') && l.contains('.')) {
+            for cell in line.split_whitespace().filter(|c| c.contains('/')) {
+                if let Some((a, b)) = cell.split_once('/') {
+                    if a.parse::<f64>().is_ok() && b.parse::<f64>().is_ok() {
+                        assert_eq!(a, b, "trace/report cells differ: {cell} in {line}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn trace_runtime_emits_monotonic_clock() {
+        let out = cmd_trace(&args(
+            "trace --scheme css:8 --workload uniform --iters 60 --cost 200 --runtime \
+             --fast 1 --slow 1 --format prom",
+        ))
+        .unwrap();
+        assert!(out.contains("lss_trace_events_total"), "{out}");
+        assert!(out.contains("clock=\"monotonic\"") || out.contains("monotonic"), "{out}");
+    }
+
+    #[test]
+    fn trace_rejects_bad_flags() {
+        assert!(cmd_trace(&args("trace --workload bogus")).is_err());
+        assert!(cmd_trace(&args("trace --format bogus")).is_err());
+        assert!(cmd_trace(&args("trace --validate /nonexistent/file.json")).is_err());
+        assert!(cmd_trace(&args("trace --fast 0 --slow 0")).is_err());
     }
 
     #[test]

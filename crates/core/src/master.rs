@@ -23,6 +23,7 @@ use crate::scheme::{
     PureSelfSched, StaticSched, TrapezoidFactoringSelfSched, TrapezoidSelfSched,
     WeightedFactoring,
 };
+use lss_trace::{EventKind, NoopSink, TraceEvent, TraceSink};
 
 /// Every scheduling scheme in the paper, by name.
 ///
@@ -233,6 +234,9 @@ pub struct Master {
     completed_count: u64,
     /// Speculative grants handed out (re-executions of leased chunks).
     speculated: u64,
+    /// Lifecycle event sink for the lease-aware (timestamped) path;
+    /// [`NoopSink`] unless installed via [`Master::set_trace_sink`].
+    trace: Box<dyn TraceSink + Send>,
 }
 
 impl Master {
@@ -310,6 +314,34 @@ impl Master {
             completed: vec![0u64; (cfg.total as usize).div_ceil(64)],
             completed_count: 0,
             speculated: 0,
+            trace: Box::new(NoopSink),
+        }
+    }
+
+    /// Installs a trace sink. The master emits chunk-lifecycle events
+    /// (`planned`, `granted`, `deduped`, `lapsed`, `requeued`,
+    /// `worker-dead`, `replanned`) on the *timestamped* lease-aware
+    /// path only — [`Master::handle_request`] takes no clock, so
+    /// engines driving it emit their own grant events instead.
+    pub fn set_trace_sink(&mut self, sink: Box<dyn TraceSink + Send>) {
+        self.trace = sink;
+    }
+
+    fn trace_granted(
+        &mut self,
+        now: u64,
+        worker: WorkerId,
+        chunk: Chunk,
+        speculative: bool,
+        requeued: bool,
+        retransmit: bool,
+    ) {
+        if self.trace.enabled() {
+            self.trace.record(
+                TraceEvent::new(now, EventKind::Granted { speculative, requeued, retransmit })
+                    .on_worker(worker)
+                    .on_chunk(chunk.start, chunk.len),
+            );
         }
     }
 
@@ -466,6 +498,7 @@ impl Master {
         if let Some(held) = self.leases.held_by(worker) {
             if !self.chunk_fully_complete(held) {
                 self.leases.grant(worker, held, now, q, false);
+                self.trace_granted(now, worker, held, false, false, true);
                 return Assignment::Chunk(held);
             }
             // A speculative copy already finished it; release and fall
@@ -481,9 +514,11 @@ impl Master {
             self.served[worker] += chunk.len;
             self.chunks_granted[worker] += 1;
             self.leases.grant(worker, chunk, now, q, false);
+            self.trace_granted(now, worker, chunk, false, true, false);
             return Assignment::Chunk(chunk);
         }
 
+        let plans_before = self.plans_made();
         let assignment = match &mut self.inner {
             MasterInner::Simple(d) => match d.next_chunk() {
                 Some(c) => Assignment::Chunk(c),
@@ -499,11 +534,24 @@ impl Master {
                 Grant::Finished => Assignment::Finished,
             },
         };
+        let plans_after = self.plans_made();
+        if plans_after != plans_before && self.trace.enabled() {
+            self.trace.record(
+                TraceEvent::new(now, EventKind::Replanned { plan: plans_after })
+                    .on_worker(worker),
+            );
+        }
         match assignment {
             Assignment::Chunk(c) => {
                 self.served[worker] += c.len;
                 self.chunks_granted[worker] += 1;
                 self.leases.grant(worker, c, now, q, false);
+                if self.trace.enabled() {
+                    self.trace.record(
+                        TraceEvent::new(now, EventKind::Planned).on_chunk(c.start, c.len),
+                    );
+                }
+                self.trace_granted(now, worker, c, false, false, false);
                 Assignment::Chunk(c)
             }
             Assignment::Retry => Assignment::Retry,
@@ -517,6 +565,7 @@ impl Master {
                 if let Some(c) = self.leases.speculation_candidate(worker, now) {
                     self.speculated += 1;
                     self.leases.grant(worker, c, now, q, true);
+                    self.trace_granted(now, worker, c, true, false, false);
                     return Assignment::Chunk(c);
                 }
                 // Nothing to speculate on (cap reached, or the worker
@@ -532,10 +581,15 @@ impl Master {
         assert!(chunk.end() <= self.total, "completed chunk out of range");
         self.leases.complete(worker, chunk, now);
         let newly = self.mark_completed(chunk);
-        CompletionOutcome {
-            newly_completed: newly,
-            duplicate: newly < chunk.len,
+        let duplicate = newly < chunk.len;
+        if duplicate && self.trace.enabled() {
+            self.trace.record(
+                TraceEvent::new(now, EventKind::Deduped)
+                    .on_worker(worker)
+                    .on_chunk(chunk.start, chunk.len),
+            );
         }
+        CompletionOutcome { newly_completed: newly, duplicate }
     }
 
     /// Notes a heartbeat from `worker`: refreshes liveness and extends
@@ -552,8 +606,27 @@ impl Master {
     pub fn poll_leases(&mut self, now: u64) -> Vec<ExpiredLease> {
         let expired = self.leases.expire(now);
         for e in &expired {
-            if !self.chunk_fully_complete(e.lease.chunk) {
-                self.requeued.push_back(e.lease.chunk);
+            let c = e.lease.chunk;
+            if self.trace.enabled() {
+                self.trace.record(
+                    TraceEvent::new(now, EventKind::Lapsed)
+                        .on_worker(e.lease.worker)
+                        .on_chunk(c.start, c.len),
+                );
+                if e.holder_dead {
+                    self.trace
+                        .record(TraceEvent::new(now, EventKind::WorkerDead).on_worker(e.lease.worker));
+                }
+            }
+            if !self.chunk_fully_complete(c) {
+                self.requeued.push_back(c);
+                if self.trace.enabled() {
+                    self.trace.record(
+                        TraceEvent::new(now, EventKind::Requeued)
+                            .on_worker(e.lease.worker)
+                            .on_chunk(c.start, c.len),
+                    );
+                }
             }
         }
         expired

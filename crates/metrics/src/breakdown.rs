@@ -36,6 +36,39 @@ impl TimeBreakdown {
     pub fn cell(&self) -> String {
         format!("{:.1}/{:.1}/{:.1}", self.t_com, self.t_wait, self.t_comp)
     }
+
+    /// Rebuilds one worker's breakdown from a trace's accounting
+    /// deltas (`comm`/`wait`/`comp` events).
+    ///
+    /// Both engines attribute every accounted nanosecond to exactly one
+    /// delta event, so each component is an exact integer-nanosecond
+    /// sum converted to seconds once — a traced run's breakdown equals
+    /// the engine's own `TimeBreakdown` to the last bit (the engines
+    /// accumulate in integer nanoseconds too), not merely within
+    /// floating-point noise.
+    pub fn from_trace(trace: &lss_trace::Trace, worker: usize) -> Self {
+        let per_worker = lss_trace::breakdowns(trace);
+        let b = per_worker.get(worker).copied().unwrap_or_default();
+        // `/ 1e9`, not `* 1e-9`: the same rounding the engines use to
+        // convert their own integer-nanosecond accumulators.
+        TimeBreakdown {
+            t_com: b.com_ns as f64 / 1e9,
+            t_wait: b.wait_ns as f64 / 1e9,
+            t_comp: b.comp_ns as f64 / 1e9,
+        }
+    }
+
+    /// [`TimeBreakdown::from_trace`] for every worker in the trace.
+    pub fn all_from_trace(trace: &lss_trace::Trace) -> Vec<Self> {
+        lss_trace::breakdowns(trace)
+            .into_iter()
+            .map(|b| TimeBreakdown {
+                t_com: b.com_ns as f64 / 1e9,
+                t_wait: b.wait_ns as f64 / 1e9,
+                t_comp: b.comp_ns as f64 / 1e9,
+            })
+            .collect()
+    }
 }
 
 /// The outcome of one scheduled loop execution: what one column of
@@ -255,6 +288,36 @@ mod tests {
         assert_eq!(avg.per_pe[0].t_com, 2.0);
         assert_eq!(avg.scheduling_steps, 5);
         assert_eq!(avg.iterations, vec![150]);
+    }
+
+    #[test]
+    fn from_trace_sums_accounting_deltas_exactly() {
+        use lss_trace::{ClockDomain, EventKind, Trace, TraceEvent, TraceMeta};
+        let events = vec![
+            TraceEvent::new(10, EventKind::Comm { ns: 1_000_000_001 }).on_worker(0),
+            TraceEvent::new(20, EventKind::Comm { ns: 2 }).on_worker(0),
+            TraceEvent::new(30, EventKind::Wait { ns: 500_000_000 }).on_worker(0),
+            TraceEvent::new(40, EventKind::Comp { ns: 250 }).on_worker(1),
+        ];
+        let trace = Trace::new(
+            TraceMeta {
+                scheme: "GSS".into(),
+                workers: 2,
+                total_iterations: 10,
+                clock: ClockDomain::Logical,
+            },
+            events,
+            0,
+        );
+        let b0 = TimeBreakdown::from_trace(&trace, 0);
+        assert_eq!(b0.t_com, 1_000_000_003u64 as f64 / 1e9);
+        assert_eq!(b0.t_wait, 0.5);
+        assert_eq!(b0.t_comp, 0.0);
+        let all = TimeBreakdown::all_from_trace(&trace);
+        assert_eq!(all.len(), 2);
+        assert_eq!(all[1].t_comp, 250u64 as f64 / 1e9);
+        // Out-of-range worker yields a zero breakdown.
+        assert_eq!(TimeBreakdown::from_trace(&trace, 9), TimeBreakdown::zero());
     }
 
     #[test]

@@ -90,6 +90,35 @@ impl FaultEvent {
         self.chunk = Some((start, len));
         self
     }
+
+    /// Folds this fault-log entry onto a trace timeline, or `None` for
+    /// kinds the traced master already emits as first-class lifecycle
+    /// events ([`FaultKind::LeaseExpired`], [`FaultKind::Requeued`],
+    /// [`FaultKind::Speculated`], [`FaultKind::DuplicateDropped`],
+    /// [`FaultKind::WorkerDead`]) — mapping those too would double
+    /// every lapse and requeue on the timeline.
+    pub fn to_trace(&self) -> Option<lss_trace::TraceEvent> {
+        use lss_trace::EventKind;
+        let kind = match self.kind {
+            FaultKind::Disconnected => EventKind::WorkerDisconnected,
+            FaultKind::Recovered => EventKind::WorkerRecovered,
+            FaultKind::Injected => EventKind::Fault { label: self.kind.label() },
+            FaultKind::LeaseExpired
+            | FaultKind::Requeued
+            | FaultKind::Speculated
+            | FaultKind::DuplicateDropped
+            | FaultKind::WorkerDead => return None,
+        };
+        let at_ns = (self.at.max(0.0) * 1e9).round() as u64;
+        let mut ev = lss_trace::TraceEvent::new(at_ns, kind);
+        if let Some(w) = self.worker {
+            ev = ev.on_worker(w);
+        }
+        if let Some((s, l)) = self.chunk {
+            ev = ev.on_chunk(s, l);
+        }
+        Some(ev)
+    }
 }
 
 impl fmt::Display for FaultEvent {
@@ -237,5 +266,32 @@ mod tests {
         a.merge(b);
         assert_eq!(a.events()[0].kind, FaultKind::Injected);
         assert_eq!(a.events()[1].kind, FaultKind::Requeued);
+    }
+
+    #[test]
+    fn folding_onto_trace_maps_membership_and_injections() {
+        use lss_trace::EventKind;
+        let ev = FaultEvent::new(0.5, FaultKind::Disconnected, "").on_worker(2);
+        let t = ev.to_trace().unwrap();
+        assert_eq!(t.kind, EventKind::WorkerDisconnected);
+        assert_eq!(t.at_ns, 500_000_000);
+        assert_eq!(t.worker, Some(2));
+
+        let t = FaultEvent::new(1.0, FaultKind::Injected, "crash").to_trace().unwrap();
+        assert_eq!(t.kind, EventKind::Fault { label: "injected" });
+
+        let t = FaultEvent::new(2.0, FaultKind::Recovered, "").on_worker(1).to_trace().unwrap();
+        assert_eq!(t.kind, EventKind::WorkerRecovered);
+
+        // Kinds the traced master already emits are not re-mapped.
+        for kind in [
+            FaultKind::LeaseExpired,
+            FaultKind::Requeued,
+            FaultKind::Speculated,
+            FaultKind::DuplicateDropped,
+            FaultKind::WorkerDead,
+        ] {
+            assert!(FaultEvent::new(1.0, kind, "").to_trace().is_none(), "{kind:?}");
+        }
     }
 }

@@ -17,11 +17,12 @@ use lss_core::master::{Master, MasterConfig, SchemeKind};
 use lss_core::power::{AcpConfig, VirtualPower};
 use lss_metrics::breakdown::{RunReport, TimeBreakdown};
 use lss_metrics::FaultLog;
+use lss_trace::{ClockDomain, SharedSink, Trace, TraceMeta};
 use lss_workloads::Workload;
 
 use crate::backoff::BackoffPolicy;
 use crate::load::LoadState;
-use crate::master::run_resilient_master;
+use crate::master::run_resilient_master_traced;
 use crate::protocol::Request;
 use crate::transport::channels::channel_transport;
 use crate::transport::tcp::{tcp_listen, TcpWorker};
@@ -105,6 +106,11 @@ pub struct HarnessConfig {
     pub reply_timeout: Option<Duration>,
     /// Master wake-up bound for lease polling.
     pub poll_interval: Duration,
+    /// Trace sink: [`SharedSink::disabled`] (the default) records
+    /// nothing; an enabled sink is shared by the master loop and every
+    /// worker thread, and the run's [`Trace`] lands in
+    /// [`HarnessOutcome::trace`].
+    pub trace: SharedSink,
 }
 
 impl HarnessConfig {
@@ -121,7 +127,14 @@ impl HarnessConfig {
             heartbeat_every: Some(Duration::from_millis(100)),
             reply_timeout: None,
             poll_interval: Duration::from_millis(2),
+            trace: SharedSink::disabled(),
         }
+    }
+
+    /// Turns on tracing with a fresh default-capacity sink.
+    pub fn traced(mut self) -> Self {
+        self.trace = SharedSink::recording();
+        self
     }
 
     /// The paper's p-slave mix: fast PEs first, then slow (3 fast +
@@ -163,6 +176,8 @@ pub struct HarnessOutcome {
     pub speculative_grants: u64,
     /// Results dropped by first-result-wins dedup.
     pub duplicates_dropped: u64,
+    /// The run's event timeline (`None` when tracing was off).
+    pub trace: Option<Trace>,
 }
 
 /// Executes the full loop under the configured scheme and cluster.
@@ -201,6 +216,7 @@ pub fn run_scheduled_loop<W: Workload + 'static>(
             fault: spec.fault.clone(),
             heartbeat_every: cfg.heartbeat_every,
             reply_timeout: cfg.reply_timeout,
+            trace: cfg.trace.clone(),
         })
         .collect();
 
@@ -231,8 +247,14 @@ pub fn run_scheduled_loop<W: Workload + 'static>(
                     })
                 })
                 .collect();
-            let outcome = run_resilient_master(mt, &mut master, p, cfg.poll_interval)
-                .expect("master failed");
+            let outcome = run_resilient_master_traced(
+                mt,
+                &mut master,
+                p,
+                cfg.poll_interval,
+                cfg.trace.clone(),
+            )
+            .expect("master failed");
             let stats: Vec<WorkerStats> = handles
                 .into_iter()
                 .map(|h| {
@@ -264,8 +286,14 @@ pub fn run_scheduled_loop<W: Workload + 'static>(
                 })
                 .collect();
             let mt = listener.accept_workers(p).expect("accept failed");
-            let outcome = run_resilient_master(mt, &mut master, p, cfg.poll_interval)
-                .expect("master failed");
+            let outcome = run_resilient_master_traced(
+                mt,
+                &mut master,
+                p,
+                cfg.poll_interval,
+                cfg.trace.clone(),
+            )
+            .expect("master failed");
             let stats: Vec<WorkerStats> = handles
                 .into_iter()
                 .map(|h| {
@@ -310,6 +338,14 @@ pub fn run_scheduled_loop<W: Workload + 'static>(
         iterations,
     )
     .with_faults(outcome.faults.clone());
+    let trace = cfg.trace.enabled().then(|| {
+        cfg.trace.take(TraceMeta {
+            scheme: cfg.scheme.name().to_string(),
+            workers: p,
+            total_iterations: workload.len(),
+            clock: ClockDomain::Monotonic,
+        })
+    });
     HarnessOutcome {
         report,
         results,
@@ -318,6 +354,7 @@ pub fn run_scheduled_loop<W: Workload + 'static>(
         faults: outcome.faults,
         speculative_grants: outcome.speculative_grants,
         duplicates_dropped: outcome.duplicates_dropped,
+        trace,
     }
 }
 
@@ -406,6 +443,74 @@ mod tests {
                 scheme.name()
             );
         }
+    }
+
+    #[test]
+    fn traced_channels_run_reconciles_with_worker_stats() {
+        let w = Arc::new(UniformLoop::new(200, 2_000));
+        let cfg = HarnessConfig::paper_mix(SchemeKind::Tfss, 2, 2).traced();
+        let out = run_scheduled_loop(&cfg, Arc::clone(&w));
+        let trace = out.trace.expect("tracing was on");
+        assert_eq!(trace.meta.clock, ClockDomain::Monotonic);
+        assert_eq!(trace.meta.scheme, "TFSS");
+        assert_eq!(trace.meta.workers, 4);
+        assert_eq!(trace.dropped, 0, "paper-scale run must fit the ring");
+
+        // Trace-derived breakdowns equal the workers' own stats. The
+        // nanosecond sums are identical; only the final ns→s conversion
+        // differs (Duration::as_secs_f64 vs ns/1e9), so compare at a
+        // float-rounding tolerance.
+        let derived = TimeBreakdown::all_from_trace(&trace);
+        assert_eq!(derived.len(), 4);
+        for (s, d) in out.worker_stats.iter().zip(&derived) {
+            assert!((s.t_com.as_secs_f64() - d.t_com).abs() < 1e-6, "{s:?} vs {d:?}");
+            assert!((s.t_wait.as_secs_f64() - d.t_wait).abs() < 1e-6, "{s:?} vs {d:?}");
+            assert!((s.t_comp.as_secs_f64() - d.t_comp).abs() < 1e-6, "{s:?} vs {d:?}");
+        }
+
+        // Lifecycle completeness: every chunk the master served shows
+        // up as a grant, and every worker connected exactly once.
+        let grants = trace.count_kind(|k| matches!(k, lss_trace::EventKind::Granted { .. }));
+        assert_eq!(grants as u64, out.report.scheduling_steps);
+        let connects =
+            trace.count_kind(|k| matches!(k, lss_trace::EventKind::WorkerConnected));
+        assert_eq!(connects, 4);
+        let completed = trace.count_kind(|k| matches!(k, lss_trace::EventKind::Completed));
+        assert!(completed >= 1 && completed <= grants);
+
+        // The timeline is monotone and reconstructable into lanes.
+        let lanes = lss_trace::gantt(&trace);
+        assert_eq!(lanes.len(), 4);
+        assert_eq!(
+            lanes.iter().map(|l| l.spans.len()).sum::<usize>(),
+            completed,
+            "every completion pairs with a start"
+        );
+        assert!(lanes.iter().all(|l| l.unfinished.is_empty()));
+    }
+
+    #[test]
+    fn traced_tcp_run_produces_the_same_schema() {
+        let w = Arc::new(UniformLoop::new(60, 500));
+        let mut cfg = HarnessConfig::paper_mix(SchemeKind::Gss { min_chunk: 1 }, 2, 0).traced();
+        cfg.transport = Transport::Tcp;
+        let out = run_scheduled_loop(&cfg, Arc::clone(&w));
+        let trace = out.trace.expect("tracing was on");
+        assert_eq!(trace.meta.clock, ClockDomain::Monotonic);
+        assert!(trace.count_kind(|k| matches!(k, lss_trace::EventKind::Granted { .. })) > 0);
+        assert!(trace.count_kind(|k| matches!(k, lss_trace::EventKind::Completed)) > 0);
+        // Same schema as the simulator: the Chrome exporter accepts it.
+        let json = lss_trace::to_chrome_json(&trace);
+        let n = lss_trace::validate_chrome_trace(&json).expect("valid Chrome trace");
+        assert!(n > 0);
+    }
+
+    #[test]
+    fn untraced_run_reports_no_trace() {
+        let w = Arc::new(UniformLoop::new(40, 200));
+        let cfg = HarnessConfig::paper_mix(SchemeKind::Css { k: 5 }, 1, 1);
+        let out = run_scheduled_loop(&cfg, w);
+        assert!(out.trace.is_none());
     }
 
     #[test]

@@ -43,5 +43,8 @@ pub mod worker;
 pub use backoff::BackoffPolicy;
 pub use harness::{run_scheduled_loop, HarnessConfig, HarnessOutcome, Transport, WorkerSpec};
 pub use load::LoadState;
-pub use master::{run_master, run_resilient_master, MasterOutcome, ResilientOutcome};
+pub use master::{
+    run_master, run_resilient_master, run_resilient_master_traced, MasterOutcome,
+    ResilientOutcome,
+};
 pub use transport::TransportError;

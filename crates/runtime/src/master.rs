@@ -21,9 +21,23 @@ use std::time::{Duration, Instant};
 use lss_core::chunk::Chunk;
 use lss_core::master::{Assignment, Master};
 use lss_metrics::{FaultEvent, FaultKind, FaultLog};
+use lss_trace::{EventKind as TraceKind, SharedSink, TraceEvent};
 
 use crate::protocol::Reply;
 use crate::transport::{Inbound, MasterTransport, TransportError};
+
+/// Appends to the fault log and mirrors the entry onto the trace
+/// timeline. Kinds the traced core master already emits as first-class
+/// lifecycle events map to `None` and are not mirrored (see
+/// [`FaultEvent::to_trace`]).
+fn log_fault(faults: &mut FaultLog, trace: &SharedSink, ev: FaultEvent) {
+    if trace.enabled() {
+        if let Some(t) = ev.to_trace() {
+            trace.record(t);
+        }
+    }
+    faults.push(ev);
+}
 
 /// What the master loop produced.
 #[derive(Debug)]
@@ -174,15 +188,48 @@ pub struct ResilientOutcome {
 /// leases; the effective wake-up is the earlier of it and the next
 /// lease deadline.
 pub fn run_resilient_master<T: MasterTransport>(
-    mut transport: T,
+    transport: T,
     master: &mut Master,
     p: usize,
     poll_interval: Duration,
 ) -> Result<ResilientOutcome, TransportError> {
+    run_resilient_master_traced(transport, master, p, poll_interval, SharedSink::disabled())
+}
+
+/// [`run_resilient_master`] with a trace sink attached: the full chunk
+/// lifecycle (grants, starts, completions, lapses, requeues, dedups)
+/// plus worker membership and heartbeats land on one timeline.
+///
+/// When `trace` is enabled its epoch becomes the loop's time base, so
+/// master-side events share the clock of every worker thread stamping
+/// through clones of the same sink; the core [`Master`] is given the
+/// sink too and emits the lease-path lifecycle events itself. With a
+/// disabled sink this is exactly the untraced loop.
+pub fn run_resilient_master_traced<T: MasterTransport>(
+    mut transport: T,
+    master: &mut Master,
+    p: usize,
+    poll_interval: Duration,
+    trace: SharedSink,
+) -> Result<ResilientOutcome, TransportError> {
     assert!(p >= 1, "need at least one worker");
     let epoch = Instant::now();
-    let now_ns = || epoch.elapsed().as_nanos() as u64;
+    let traced = trace.enabled();
+    if traced {
+        master.set_trace_sink(Box::new(trace.clone()));
+    }
+    let now_ns = {
+        let trace = trace.clone();
+        move || {
+            if traced {
+                trace.now_ns()
+            } else {
+                epoch.elapsed().as_nanos() as u64
+            }
+        }
+    };
     let secs = |ns: u64| ns as f64 / 1e9;
+    let mut seen = vec![false; p];
 
     let mut results: Vec<Option<u64>> = vec![None; master.total() as usize];
     let mut requests_served = 0u64;
@@ -203,7 +250,7 @@ pub fn run_resilient_master<T: MasterTransport>(
         // long-silent holders dead.
         for exp in master.poll_leases(now) {
             let l = exp.lease;
-            faults.push(
+            log_fault(&mut faults, &trace,
                 FaultEvent::new(secs(now), FaultKind::LeaseExpired, "lease deadline passed")
                     .on_worker(l.worker)
                     .on_chunk(l.chunk.start, l.chunk.len),
@@ -211,14 +258,14 @@ pub fn run_resilient_master<T: MasterTransport>(
             let incomplete =
                 (l.chunk.start..l.chunk.end()).any(|i| !master.iteration_completed(i));
             if incomplete {
-                faults.push(
+                log_fault(&mut faults, &trace,
                     FaultEvent::new(secs(now), FaultKind::Requeued, "chunk returned to pool")
                         .on_worker(l.worker)
                         .on_chunk(l.chunk.start, l.chunk.len),
                 );
             }
             if exp.holder_dead {
-                faults.push(
+                log_fault(&mut faults, &trace,
                     FaultEvent::new(secs(now), FaultKind::WorkerDead, "silent past grace window")
                         .on_worker(l.worker),
                 );
@@ -263,6 +310,15 @@ pub fn run_resilient_master<T: MasterTransport>(
                 let now = now_ns();
                 last_seen[worker] = now;
                 master.note_heartbeat(worker, now);
+                if traced {
+                    if !seen[worker] {
+                        seen[worker] = true;
+                        trace.record(
+                            TraceEvent::new(now, TraceKind::WorkerConnected).on_worker(worker),
+                        );
+                    }
+                    trace.record(TraceEvent::new(now, TraceKind::Heartbeat).on_worker(worker));
+                }
             }
             Some(Inbound::Disconnected(w)) => {
                 if w >= p {
@@ -271,12 +327,12 @@ pub fn run_resilient_master<T: MasterTransport>(
                 if !done[w] && !link_down[w] {
                     let now = now_ns();
                     link_down[w] = true;
-                    faults.push(
+                    log_fault(&mut faults, &trace,
                         FaultEvent::new(secs(now), FaultKind::Disconnected, "link lost")
                             .on_worker(w),
                     );
                     if let Some(chunk) = master.worker_disconnected(w) {
-                        faults.push(
+                        log_fault(&mut faults, &trace,
                             FaultEvent::new(
                                 secs(now),
                                 FaultKind::Requeued,
@@ -295,7 +351,7 @@ pub fn run_resilient_master<T: MasterTransport>(
                 let now = now_ns();
                 link_down[w] = false;
                 last_seen[w] = now;
-                faults.push(
+                log_fault(&mut faults, &trace,
                     FaultEvent::new(secs(now), FaultKind::Recovered, "worker reconnected")
                         .on_worker(w),
                 );
@@ -307,10 +363,14 @@ pub fn run_resilient_master<T: MasterTransport>(
                 }
                 requests_served += 1;
                 let now = now_ns();
+                if traced && !seen[w] {
+                    seen[w] = true;
+                    trace.record(TraceEvent::new(now, TraceKind::WorkerConnected).on_worker(w));
+                }
                 if master.worker_is_dead(w) {
                     // Back from the dead (e.g. a hang that unwedged, or
                     // a reconnect after being declared lost).
-                    faults.push(
+                    log_fault(&mut faults, &trace,
                         FaultEvent::new(
                             secs(now),
                             FaultKind::Recovered,
@@ -339,7 +399,7 @@ pub fn run_resilient_master<T: MasterTransport>(
                     let out = master.record_completion(w, res.chunk, now);
                     if out.duplicate {
                         duplicates_dropped += 1;
-                        faults.push(
+                        log_fault(&mut faults, &trace,
                             FaultEvent::new(
                                 secs(now),
                                 FaultKind::DuplicateDropped,
@@ -355,7 +415,7 @@ pub fn run_resilient_master<T: MasterTransport>(
                 let assignment = master.grant_with_lease(w, req.q, now);
                 if master.speculative_grants() > spec_before {
                     if let Assignment::Chunk(c) = assignment {
-                        faults.push(
+                        log_fault(&mut faults, &trace,
                             FaultEvent::new(
                                 secs(now),
                                 FaultKind::Speculated,
@@ -376,12 +436,12 @@ pub fn run_resilient_master<T: MasterTransport>(
                     let now = now_ns();
                     done[w] = false;
                     link_down[w] = true;
-                    faults.push(
+                    log_fault(&mut faults, &trace,
                         FaultEvent::new(secs(now), FaultKind::Disconnected, "reply undeliverable")
                             .on_worker(w),
                     );
                     if let Some(chunk) = master.worker_disconnected(w) {
-                        faults.push(
+                        log_fault(&mut faults, &trace,
                             FaultEvent::new(
                                 secs(now),
                                 FaultKind::Requeued,

@@ -29,6 +29,7 @@ use std::time::{Duration, Instant};
 
 use lss_core::fault::{ChaosRng, FaultPlan};
 use lss_core::master::Assignment;
+use lss_trace::{EventKind, SharedSink, TraceEvent};
 use lss_workloads::Workload;
 
 use crate::backoff::BackoffPolicy;
@@ -67,6 +68,10 @@ pub struct WorkerConfig {
     /// request. `None` = block forever unless the plan's net faults are
     /// active (then [`DEFAULT_REPLY_TIMEOUT`] applies).
     pub reply_timeout: Option<Duration>,
+    /// Trace sink shared with the master loop (default: disabled). All
+    /// threads of a run must share one sink so timestamps share one
+    /// epoch.
+    pub trace: SharedSink,
 }
 
 impl WorkerConfig {
@@ -81,6 +86,7 @@ impl WorkerConfig {
             fault: FaultPlan::healthy(),
             heartbeat_every: None,
             reply_timeout: None,
+            trace: SharedSink::disabled(),
         }
     }
 }
@@ -143,7 +149,14 @@ pub fn run_worker<T: WorkerTransport>(
             let req = Request { worker: cfg.id, q, result: pending_result.take() };
             let t0 = Instant::now();
             send_with_net_faults(&mut transport, &req, &cfg.fault, &mut rng)?;
-            stats.t_com += t0.elapsed();
+            let spent = t0.elapsed();
+            stats.t_com += spent;
+            if cfg.trace.enabled() {
+                cfg.trace.record_now(
+                    TraceEvent::new(0, EventKind::Comm { ns: spent.as_nanos() as u64 })
+                        .on_worker(cfg.id),
+                );
+            }
             last_request = Some(req);
         } else {
             skip_send = false;
@@ -169,7 +182,14 @@ pub fn run_worker<T: WorkerTransport>(
                 }
             }
         };
-        stats.t_wait += t1.elapsed();
+        let waited = t1.elapsed();
+        stats.t_wait += waited;
+        if cfg.trace.enabled() {
+            cfg.trace.record_now(
+                TraceEvent::new(0, EventKind::Wait { ns: waited.as_nanos() as u64 })
+                    .on_worker(cfg.id),
+            );
+        }
 
         match assignment {
             Assignment::Chunk(chunk) => {
@@ -185,6 +205,13 @@ pub fn run_worker<T: WorkerTransport>(
                 let values = match computed.get(&chunk.start) {
                     Some(v) if v.len() == chunk.len as usize => v.clone(),
                     _ => {
+                        if cfg.trace.enabled() {
+                            cfg.trace.record_now(
+                                TraceEvent::new(0, EventKind::Started)
+                                    .on_worker(cfg.id)
+                                    .on_chunk(chunk.start, chunk.len),
+                            );
+                        }
                         let t2 = Instant::now();
                         let reps = u64::from(cfg.slowdown)
                             * u64::from(cfg.load.q())
@@ -208,8 +235,24 @@ pub fn run_worker<T: WorkerTransport>(
                                 v
                             })
                             .collect();
-                        stats.t_comp += t2.elapsed();
+                        let computed_for = t2.elapsed();
+                        stats.t_comp += computed_for;
                         stats.iterations += chunk.len;
+                        if cfg.trace.enabled() {
+                            cfg.trace.record_now(
+                                TraceEvent::new(
+                                    0,
+                                    EventKind::Comp { ns: computed_for.as_nanos() as u64 },
+                                )
+                                .on_worker(cfg.id)
+                                .on_chunk(chunk.start, chunk.len),
+                            );
+                            cfg.trace.record_now(
+                                TraceEvent::new(0, EventKind::Completed)
+                                    .on_worker(cfg.id)
+                                    .on_chunk(chunk.start, chunk.len),
+                            );
+                        }
                         computed.insert(chunk.start, values.clone());
                         values
                     }
@@ -238,6 +281,12 @@ pub fn run_worker<T: WorkerTransport>(
                 retry_attempt = retry_attempt.saturating_add(1);
                 std::thread::sleep(pause);
                 stats.t_wait += pause;
+                if cfg.trace.enabled() {
+                    cfg.trace.record_now(
+                        TraceEvent::new(0, EventKind::Wait { ns: pause.as_nanos() as u64 })
+                            .on_worker(cfg.id),
+                    );
+                }
             }
             Assignment::Finished => return Ok(stats),
         }
@@ -480,6 +529,75 @@ mod tests {
         assert_eq!(stats.chunks, 2, "but acknowledged twice");
         let second = recorded[2].result.as_ref().expect("re-sent result");
         assert_eq!(second.chunk, Chunk::new(0, 4));
+    }
+
+    #[test]
+    fn traced_worker_mirrors_every_stats_accumulation() {
+        let script = Script {
+            replies: vec![
+                Reply { assignment: Assignment::Chunk(Chunk::new(0, 8)) },
+                Reply { assignment: Assignment::Retry },
+                Reply { assignment: Assignment::Chunk(Chunk::new(8, 8)) },
+                Reply { assignment: Assignment::Finished },
+            ],
+            sent: Vec::new(),
+        };
+        let w = UniformLoop::new(16, 2_000);
+        let mut cfg = WorkerConfig::fast(0);
+        cfg.retry = BackoffPolicy {
+            base: Duration::from_millis(1),
+            cap: Duration::from_millis(1),
+            max_attempts: 0,
+        };
+        cfg.trace = SharedSink::recording();
+        let sink = cfg.trace.clone();
+        let stats = run_worker(script, &cfg, &w, false).unwrap();
+        let trace = sink.take(lss_trace::TraceMeta {
+            scheme: "CSS".into(),
+            workers: 1,
+            total_iterations: 16,
+            clock: lss_trace::ClockDomain::Monotonic,
+        });
+        // Every stats accumulation has a matching accounting delta, so
+        // the nanosecond sums agree exactly.
+        let b = lss_trace::breakdowns(&trace)[0];
+        assert_eq!(u128::from(b.com_ns), stats.t_com.as_nanos());
+        assert_eq!(u128::from(b.wait_ns), stats.t_wait.as_nanos());
+        assert_eq!(u128::from(b.comp_ns), stats.t_comp.as_nanos());
+        // One Started + one Completed per computed chunk.
+        assert_eq!(trace.count_kind(|k| matches!(k, EventKind::Started)), 2);
+        assert_eq!(trace.count_kind(|k| matches!(k, EventKind::Completed)), 2);
+        // Timestamps are monotone per worker (shared-epoch clock).
+        let times: Vec<u64> = trace.events().iter().map(|e| e.at_ns).collect();
+        assert!(times.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn regranted_chunk_does_not_emit_a_second_completion() {
+        // Cache-hit re-acknowledgement resends the result but computes
+        // nothing — the timeline must show one compute span, not two.
+        let script = Script {
+            replies: vec![
+                Reply { assignment: Assignment::Chunk(Chunk::new(0, 4)) },
+                Reply { assignment: Assignment::Chunk(Chunk::new(0, 4)) },
+                Reply { assignment: Assignment::Finished },
+            ],
+            sent: Vec::new(),
+        };
+        let w = UniformLoop::new(4, 10);
+        let mut cfg = WorkerConfig::fast(0);
+        cfg.trace = SharedSink::recording();
+        let sink = cfg.trace.clone();
+        let stats = run_worker(script, &cfg, &w, false).unwrap();
+        assert_eq!(stats.chunks, 2);
+        let trace = sink.take(lss_trace::TraceMeta {
+            scheme: "CSS".into(),
+            workers: 1,
+            total_iterations: 4,
+            clock: lss_trace::ClockDomain::Monotonic,
+        });
+        assert_eq!(trace.count_kind(|k| matches!(k, EventKind::Started)), 1);
+        assert_eq!(trace.count_kind(|k| matches!(k, EventKind::Completed)), 1);
     }
 
     #[test]

@@ -30,6 +30,9 @@ use lss_core::power::AcpConfig;
 use lss_core::SchemeKind;
 use lss_metrics::breakdown::{RunReport, TimeBreakdown};
 use lss_metrics::fault::{FaultEvent, FaultKind, FaultLog};
+use lss_trace::{
+    ClockDomain, EventKind as TraceKind, SharedSink, Trace, TraceEvent, TraceMeta,
+};
 use lss_workloads::Workload;
 
 use crate::cluster::{ClusterSpec, Network};
@@ -194,6 +197,17 @@ pub struct ChunkSpan {
     pub end: SimTime,
 }
 
+/// Appends a fault event to the log and mirrors it onto the trace
+/// timeline (for the kinds the traced master does not already emit).
+fn log_fault(faults: &mut FaultLog, sink: &SharedSink, ev: FaultEvent) {
+    if sink.enabled() {
+        if let Some(t) = ev.to_trace() {
+            sink.record(t);
+        }
+    }
+    faults.push(ev);
+}
+
 /// Runs one scheduled loop execution and reports the paper's metrics.
 ///
 /// `traces[i]` is slave `i`'s run-queue trace (use
@@ -213,6 +227,29 @@ pub fn simulate_with_timeline(
     workload: &dyn Workload,
     traces: &[LoadTrace],
 ) -> (RunReport, Vec<ChunkSpan>) {
+    let (report, spans, _) = simulate_inner(cfg, workload, traces, SharedSink::disabled());
+    (report, spans)
+}
+
+/// Like [`simulate_with_timeline`], additionally recording the full
+/// chunk-lifecycle event stream ([`ClockDomain::Logical`] timestamps
+/// from the virtual clock). The trace's accounting deltas sum to the
+/// report's `T_com/T_wait/T_comp` exactly — both sides accumulate the
+/// same integer nanoseconds and convert to seconds once.
+pub fn simulate_traced(
+    cfg: &SimConfig,
+    workload: &dyn Workload,
+    traces: &[LoadTrace],
+) -> (RunReport, Vec<ChunkSpan>, Trace) {
+    simulate_inner(cfg, workload, traces, SharedSink::recording())
+}
+
+fn simulate_inner(
+    cfg: &SimConfig,
+    workload: &dyn Workload,
+    traces: &[LoadTrace],
+    sink: SharedSink,
+) -> (RunReport, Vec<ChunkSpan>, Trace) {
     let p = cfg.cluster.num_slaves();
     assert_eq!(traces.len(), p, "need one load trace per slave");
 
@@ -236,6 +273,12 @@ pub fn simulate_with_timeline(
     });
     if let Some(t) = cfg.replan_threshold {
         master.set_replan_threshold(t);
+    }
+    if sink.enabled() {
+        // The master emits grant/dedup/lapse events itself on the
+        // lease-aware (chaos) path; engine-side emission below covers
+        // the healthy legacy path.
+        master.set_trace_sink(Box::new(sink.clone()));
     }
     let mut faults = FaultLog::new();
     let mut rngs: Vec<ChaosRng> = plans
@@ -301,6 +344,24 @@ pub fn simulate_with_timeline(
         slave.t_wait += start; // not yet joined — counts as idle
         slave.t_com += com + j;
         slave.inbound_piggy = 0;
+        if sink.enabled() {
+            sink.record(
+                TraceEvent::new(start.as_nanos(), TraceKind::WorkerConnected).on_worker(s),
+            );
+            if start.as_nanos() > 0 {
+                sink.record(
+                    TraceEvent::new(start.as_nanos(), TraceKind::Wait { ns: start.as_nanos() })
+                        .on_worker(s),
+                );
+            }
+            sink.record(
+                TraceEvent::new(
+                    (arrival + j).as_nanos(),
+                    TraceKind::Comm { ns: (com + j).as_nanos() },
+                )
+                .on_worker(s),
+            );
+        }
         push(&mut heap, arrival + j, Event::RequestArrive(s), &mut seq);
     }
 
@@ -335,7 +396,9 @@ pub fn simulate_with_timeline(
                     if let Some(c) = slaves[s].piggy_chunks.pop_front() {
                         let outcome = master.record_completion(s, c, nowns);
                         if outcome.duplicate {
-                            faults.push(
+                            log_fault(
+                                &mut faults,
+                                &sink,
                                 FaultEvent::new(
                                     now.as_secs_f64(),
                                     FaultKind::DuplicateDropped,
@@ -349,7 +412,9 @@ pub fn simulate_with_timeline(
                     let spec_before = master.speculative_grants();
                     let a = master.grant_with_lease(s, q, nowns);
                     if was_dead {
-                        faults.push(
+                        log_fault(
+                            &mut faults,
+                            &sink,
                             FaultEvent::new(
                                 now.as_secs_f64(),
                                 FaultKind::Recovered,
@@ -360,7 +425,9 @@ pub fn simulate_with_timeline(
                     }
                     if master.speculative_grants() > spec_before {
                         if let Assignment::Chunk(c) = a {
-                            faults.push(
+                            log_fault(
+                                &mut faults,
+                                &sink,
                                 FaultEvent::new(
                                     now.as_secs_f64(),
                                     FaultKind::Speculated,
@@ -373,7 +440,41 @@ pub fn simulate_with_timeline(
                     }
                     a
                 } else {
-                    master.handle_request(s, q)
+                    // Healthy legacy path: the master takes no clock
+                    // here, so the engine emits the grant events.
+                    let plans_before = master.plans_made();
+                    let a = master.handle_request(s, q);
+                    if sink.enabled() {
+                        let plans_after = master.plans_made();
+                        if plans_after != plans_before {
+                            sink.record(
+                                TraceEvent::new(
+                                    now.as_nanos(),
+                                    TraceKind::Replanned { plan: plans_after },
+                                )
+                                .on_worker(s),
+                            );
+                        }
+                        if let Assignment::Chunk(c) = a {
+                            sink.record(
+                                TraceEvent::new(now.as_nanos(), TraceKind::Planned)
+                                    .on_chunk(c.start, c.len),
+                            );
+                            sink.record(
+                                TraceEvent::new(
+                                    now.as_nanos(),
+                                    TraceKind::Granted {
+                                        speculative: false,
+                                        requeued: false,
+                                        retransmit: false,
+                                    },
+                                )
+                                .on_worker(s)
+                                .on_chunk(c.start, c.len),
+                            );
+                        }
+                    }
+                    a
                 };
                 // Queueing + receive + service all count as waiting on
                 // the master.
@@ -382,6 +483,22 @@ pub fn simulate_with_timeline(
                 let (arrival, com) = net.transfer(&cfg.cluster.slaves[s], cfg.reply_bytes, now);
                 let j = jit(&mut jseq);
                 slaves[s].t_com += com + j;
+                if sink.enabled() {
+                    if queued.as_nanos() > 0 {
+                        sink.record(
+                            TraceEvent::new(now.as_nanos(), TraceKind::Wait {
+                                ns: queued.as_nanos(),
+                            })
+                            .on_worker(s),
+                        );
+                    }
+                    sink.record(
+                        TraceEvent::new((arrival + j).as_nanos(), TraceKind::Comm {
+                            ns: (com + j).as_nanos(),
+                        })
+                        .on_worker(s),
+                    );
+                }
                 slaves[s].pending.push_back(assignment);
                 push(&mut heap, arrival + j, Event::ReplyArrive(s), &mut seq);
                 if chaos {
@@ -414,7 +531,9 @@ pub fn simulate_with_timeline(
                         let plan = &plans[s];
                         if plan.crash_after_chunks == Some(slaves[s].chunks_done) {
                             slaves[s].down = true;
-                            faults.push(
+                            log_fault(
+                                &mut faults,
+                                &sink,
                                 FaultEvent::new(
                                     now.as_secs_f64(),
                                     FaultKind::Injected,
@@ -427,7 +546,9 @@ pub fn simulate_with_timeline(
                         }
                         if plan.hang_after_chunks == Some(slaves[s].chunks_done) {
                             slaves[s].down = true;
-                            faults.push(
+                            log_fault(
+                                &mut faults,
+                                &sink,
                                 FaultEvent::new(
                                     now.as_secs_f64(),
                                     FaultKind::Injected,
@@ -441,7 +562,9 @@ pub fn simulate_with_timeline(
                         let factor = plan.degrade_factor(slaves[s].chunks_done) as u64;
                         if factor > 1 && !slaves[s].degrade_logged {
                             slaves[s].degrade_logged = true;
-                            faults.push(
+                            log_fault(
+                                &mut faults,
+                                &sink,
                                 FaultEvent::new(
                                     now.as_secs_f64(),
                                     FaultKind::Injected,
@@ -455,6 +578,19 @@ pub fn simulate_with_timeline(
                         slaves[s].t_comp += fin - now;
                         slaves[s].current_chunk = Some(c);
                         timeline.push(ChunkSpan { pe: s, chunk: c, start: now, end: fin });
+                        if sink.enabled() {
+                            sink.record(
+                                TraceEvent::new(now.as_nanos(), TraceKind::Started)
+                                    .on_worker(s)
+                                    .on_chunk(c.start, c.len),
+                            );
+                            sink.record(
+                                TraceEvent::new(fin.as_nanos(), TraceKind::Comp {
+                                    ns: (fin - now).as_nanos(),
+                                })
+                                .on_worker(s),
+                            );
+                        }
                         push(&mut heap, fin, Event::ComputeDone(s), &mut seq);
                         if chaos && !slaves[s].hb_active {
                             slaves[s].hb_active = true;
@@ -463,6 +599,14 @@ pub fn simulate_with_timeline(
                     }
                     Assignment::Retry => {
                         slaves[s].t_wait += cfg.retry_interval;
+                        if sink.enabled() {
+                            sink.record(
+                                TraceEvent::new(now.as_nanos(), TraceKind::Wait {
+                                    ns: cfg.retry_interval.as_nanos(),
+                                })
+                                .on_worker(s),
+                            );
+                        }
                         push(&mut heap, now + cfg.retry_interval, Event::RetryFire(s), &mut seq);
                     }
                     Assignment::Finished => {
@@ -477,6 +621,13 @@ pub fn simulate_with_timeline(
                 if chaos {
                     slaves[s].piggy_chunks.push_back(c);
                 }
+                if sink.enabled() {
+                    sink.record(
+                        TraceEvent::new(now.as_nanos(), TraceKind::Completed)
+                            .on_worker(s)
+                            .on_chunk(c.start, c.len),
+                    );
+                }
                 let plan = &plans[s];
                 // A planned mid-run disconnect: the result in flight is
                 // lost with the link; the slave sits dark through the
@@ -487,7 +638,9 @@ pub fn simulate_with_timeline(
                     {
                         slaves[s].disconnect_done = true;
                         slaves[s].piggy_chunks.pop_back();
-                        faults.push(
+                        log_fault(
+                            &mut faults,
+                            &sink,
                             FaultEvent::new(
                                 now.as_secs_f64(),
                                 FaultKind::Injected,
@@ -496,6 +649,12 @@ pub fn simulate_with_timeline(
                             .on_worker(s)
                             .on_chunk(c.start, c.len),
                         );
+                        if sink.enabled() {
+                            sink.record(
+                                TraceEvent::new(now.as_nanos(), TraceKind::WorkerDisconnected)
+                                    .on_worker(s),
+                            );
+                        }
                         let outage = SimTime(d.outage_ticks.max(1));
                         slaves[s].t_wait += outage;
                         let (arrival, com) =
@@ -503,6 +662,27 @@ pub fn simulate_with_timeline(
                         let j = jit(&mut jseq);
                         slaves[s].t_com += com + j;
                         slaves[s].inbound_piggy = 0;
+                        if sink.enabled() {
+                            sink.record(
+                                TraceEvent::new((now + outage).as_nanos(), TraceKind::Wait {
+                                    ns: outage.as_nanos(),
+                                })
+                                .on_worker(s),
+                            );
+                            sink.record(
+                                TraceEvent::new(
+                                    (now + outage).as_nanos(),
+                                    TraceKind::WorkerRecovered,
+                                )
+                                .on_worker(s),
+                            );
+                            sink.record(
+                                TraceEvent::new((arrival + j).as_nanos(), TraceKind::Comm {
+                                    ns: (com + j).as_nanos(),
+                                })
+                                .on_worker(s),
+                            );
+                        }
                         push(&mut heap, arrival + j, Event::RequestArrive(s), &mut seq);
                         continue;
                     }
@@ -513,6 +693,14 @@ pub fn simulate_with_timeline(
                 let j = jit(&mut jseq);
                 slaves[s].t_com += com + j;
                 slaves[s].inbound_piggy = piggy;
+                if sink.enabled() {
+                    sink.record(
+                        TraceEvent::new((arrival + j).as_nanos(), TraceKind::Comm {
+                            ns: (com + j).as_nanos(),
+                        })
+                        .on_worker(s),
+                    );
+                }
                 let mut at = arrival + j;
                 if plan.net.delay_ticks > 0 {
                     at += SimTime(rngs[s].below(plan.net.delay_ticks));
@@ -520,7 +708,9 @@ pub fn simulate_with_timeline(
                 if plan.net.drop_prob > 0.0 && rngs[s].chance(plan.net.drop_prob) {
                     // Lost on the wire; the slave times out and
                     // retransmits (result payload intact).
-                    faults.push(
+                    log_fault(
+                        &mut faults,
+                        &sink,
                         FaultEvent::new(
                             now.as_secs_f64(),
                             FaultKind::Injected,
@@ -529,12 +719,22 @@ pub fn simulate_with_timeline(
                         .on_worker(s),
                     );
                     slaves[s].t_wait += cfg.retry_interval;
+                    if sink.enabled() {
+                        sink.record(
+                            TraceEvent::new(now.as_nanos(), TraceKind::Wait {
+                                ns: cfg.retry_interval.as_nanos(),
+                            })
+                            .on_worker(s),
+                        );
+                    }
                     at += cfg.retry_interval;
                 }
                 if plan.net.dup_prob > 0.0 && rngs[s].chance(plan.net.dup_prob) {
                     // Delivered twice: the copy carries the same result
                     // payload, which the master must dedup.
-                    faults.push(
+                    log_fault(
+                        &mut faults,
+                        &sink,
                         FaultEvent::new(
                             now.as_secs_f64(),
                             FaultKind::Injected,
@@ -553,6 +753,14 @@ pub fn simulate_with_timeline(
                 let j = jit(&mut jseq);
                 slaves[s].t_com += com + j;
                 slaves[s].inbound_piggy = 0;
+                if sink.enabled() {
+                    sink.record(
+                        TraceEvent::new((arrival + j).as_nanos(), TraceKind::Comm {
+                            ns: (com + j).as_nanos(),
+                        })
+                        .on_worker(s),
+                    );
+                }
                 push(&mut heap, arrival + j, Event::RequestArrive(s), &mut seq);
             }
             Event::HeartbeatArrive(s) => {
@@ -562,14 +770,24 @@ pub fn simulate_with_timeline(
                     slaves[s].hb_active = false;
                 } else {
                     master.note_heartbeat(s, now.as_nanos());
+                    if sink.enabled() {
+                        sink.record(
+                            TraceEvent::new(now.as_nanos(), TraceKind::Heartbeat).on_worker(s),
+                        );
+                    }
                     push(&mut heap, now + hb_every, Event::HeartbeatArrive(s), &mut seq);
                 }
             }
             Event::LeaseCheck => {
                 lease_check_at = None;
+                // NB: the traced master emits Lapsed/Requeued/WorkerDead
+                // itself inside poll_leases; log_fault maps these kinds
+                // to None so the timeline carries each exactly once.
                 for e in master.poll_leases(now.as_nanos()) {
                     let c = e.lease.chunk;
-                    faults.push(
+                    log_fault(
+                        &mut faults,
+                        &sink,
                         FaultEvent::new(
                             now.as_secs_f64(),
                             FaultKind::LeaseExpired,
@@ -579,7 +797,9 @@ pub fn simulate_with_timeline(
                         .on_chunk(c.start, c.len),
                     );
                     if (c.start..c.end()).any(|i| !master.iteration_completed(i)) {
-                        faults.push(
+                        log_fault(
+                            &mut faults,
+                            &sink,
                             FaultEvent::new(
                                 now.as_secs_f64(),
                                 FaultKind::Requeued,
@@ -590,7 +810,9 @@ pub fn simulate_with_timeline(
                         );
                     }
                     if e.holder_dead {
-                        faults.push(
+                        log_fault(
+                            &mut faults,
+                            &sink,
                             FaultEvent::new(
                                 now.as_secs_f64(),
                                 FaultKind::WorkerDead,
@@ -625,9 +847,16 @@ pub fn simulate_with_timeline(
         .max()
         .unwrap_or(SimTime::ZERO);
     // Early finishers idle until the master sees the last termination.
-    for s in &mut slaves {
+    for (i, s) in slaves.iter_mut().enumerate() {
         if s.finished {
-            s.t_wait += t_p.saturating_sub(s.finish_time);
+            let tail = t_p.saturating_sub(s.finish_time);
+            s.t_wait += tail;
+            if sink.enabled() && tail.as_nanos() > 0 {
+                sink.record(
+                    TraceEvent::new(t_p.as_nanos(), TraceKind::Wait { ns: tail.as_nanos() })
+                        .on_worker(i),
+                );
+            }
         }
     }
 
@@ -649,7 +878,13 @@ pub fn simulate_with_timeline(
     )
     .with_plans(master.plans_made())
     .with_faults(faults);
-    (report, timeline)
+    let trace = sink.take(TraceMeta {
+        scheme: cfg.scheme.name().to_string(),
+        workers: p,
+        total_iterations: workload.len(),
+        clock: ClockDomain::Logical,
+    });
+    (report, timeline, trace)
 }
 
 /// The sequential baseline `T_1`: the whole loop on one dedicated PE of
@@ -1055,6 +1290,93 @@ mod chaos_tests {
         let cfg = SimConfig::new(ClusterSpec::paper_mix(2, 0), SchemeKind::Tss)
             .with_faults(vec![FaultPlan::healthy()]);
         simulate(&cfg, &UniformLoop::new(10, 10), &dedicated(2));
+    }
+}
+
+#[cfg(test)]
+mod traced_tests {
+    use super::*;
+    use crate::cluster::ClusterSpec;
+    use lss_core::fault::{FaultPlan, NetFaults};
+    use lss_core::SchemeKind;
+    use lss_workloads::UniformLoop;
+
+    #[test]
+    fn traced_run_reconciles_with_report_exactly() {
+        let cfg = SimConfig::new(ClusterSpec::paper_mix(2, 2), SchemeKind::Tfss);
+        let w = UniformLoop::new(300, 40_000);
+        let loads = vec![LoadTrace::dedicated(); 4];
+        let (report, spans, trace) = simulate_traced(&cfg, &w, &loads);
+        assert_eq!(trace.meta.workers, 4);
+        assert_eq!(trace.meta.clock, ClockDomain::Logical);
+        assert_eq!(trace.dropped, 0);
+
+        // Satellite: trace-derived aggregates equal the report within
+        // 1e-9 (they are in fact identical — same integer-ns sums).
+        let derived = TimeBreakdown::all_from_trace(&trace);
+        assert_eq!(derived.len(), report.per_pe.len());
+        for (b, d) in report.per_pe.iter().zip(&derived) {
+            assert!((b.t_com - d.t_com).abs() < 1e-9, "com {} vs {}", b.t_com, d.t_com);
+            assert!((b.t_wait - d.t_wait).abs() < 1e-9, "wait {} vs {}", b.t_wait, d.t_wait);
+            assert!((b.t_comp - d.t_comp).abs() < 1e-9, "comp {} vs {}", b.t_comp, d.t_comp);
+        }
+
+        // The trace's Started/Completed pairs reconstruct exactly the
+        // ChunkSpan timeline.
+        let lanes = lss_trace::gantt(&trace);
+        assert_eq!(lanes.iter().map(|l| l.spans.len()).sum::<usize>(), spans.len());
+        for span in &spans {
+            let lane = &lanes[span.pe];
+            assert!(
+                lane.spans.iter().any(|s| s.chunk.start == span.chunk.start
+                    && s.chunk.len == span.chunk.len
+                    && s.start_ns == span.start.as_nanos()
+                    && s.end_ns == span.end.as_nanos()),
+                "span {span:?} missing from trace lanes"
+            );
+        }
+
+        // Tracing must not perturb the simulated result.
+        let (plain, plain_spans) = simulate_with_timeline(&cfg, &w, &loads);
+        assert_eq!(plain.t_p, report.t_p);
+        assert_eq!(plain.iterations, report.iterations);
+        assert_eq!(plain_spans.len(), spans.len());
+    }
+
+    #[test]
+    fn chaos_trace_reconciles_and_carries_fault_marks() {
+        let cfg = SimConfig::new(ClusterSpec::paper_mix(3, 0), SchemeKind::Tss).with_faults(vec![
+            FaultPlan::healthy(),
+            FaultPlan::healthy()
+                .with_net(NetFaults { drop_prob: 0.3, dup_prob: 0.3, delay_ticks: 1_000_000 })
+                .with_seed(11),
+            FaultPlan::crash_after(1),
+        ]);
+        let w = UniformLoop::new(900, 80_000);
+        let loads = vec![LoadTrace::dedicated(); 3];
+        let (report, _, trace) = simulate_traced(&cfg, &w, &loads);
+        assert!(report.had_faults());
+        // Injected chaos faults land on the same timeline…
+        assert!(
+            trace.count_kind(|k| matches!(k, lss_trace::EventKind::Fault { .. })) >= 1,
+            "no injected-fault marks on the timeline"
+        );
+        // …and lease lapses appear exactly once (master-emitted).
+        let lapses = trace.count_kind(|k| matches!(k, lss_trace::EventKind::Lapsed));
+        let log_lapses = report
+            .faults
+            .events()
+            .iter()
+            .filter(|e| e.kind == lss_metrics::fault::FaultKind::LeaseExpired)
+            .count();
+        assert_eq!(lapses, log_lapses, "timeline lapses disagree with the fault log");
+        // Accounting still reconciles under chaos.
+        let derived = TimeBreakdown::all_from_trace(&trace);
+        for (b, d) in report.per_pe.iter().zip(&derived) {
+            assert!((b.t_com - d.t_com).abs() < 1e-9);
+            assert!((b.t_wait - d.t_wait).abs() < 1e-9);
+            assert!((b.t_comp - d.t_comp).abs() < 1e-9);
+        }
     }
 }
 

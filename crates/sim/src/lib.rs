@@ -37,7 +37,7 @@ pub mod time;
 pub mod tree_engine;
 
 pub use cluster::{ClusterSpec, LinkSpec, MasterSpec, PeSpec};
-pub use engine::{simulate, SimConfig};
+pub use engine::{simulate, simulate_traced, simulate_with_timeline, ChunkSpan, SimConfig};
 pub use load::LoadTrace;
 pub use time::SimTime;
 pub use tree_engine::{simulate_tree, TreeSimConfig};

@@ -1,0 +1,392 @@
+//! Analysis passes over a finished [`Trace`]: Gantt reconstruction,
+//! idle-gap / imbalance extraction, per-worker time breakdowns, and a
+//! critical-path summary.
+
+use std::collections::HashMap;
+
+use crate::event::{ChunkRef, EventKind, Trace};
+#[cfg(test)]
+use crate::event::TraceEvent;
+
+/// One computed interval on a worker's lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Span {
+    /// Worker that computed the chunk.
+    pub worker: usize,
+    /// The chunk computed.
+    pub chunk: ChunkRef,
+    /// `Started` timestamp.
+    pub start_ns: u64,
+    /// `Completed` timestamp (`>= start_ns`).
+    pub end_ns: u64,
+}
+
+impl Span {
+    /// Busy nanoseconds of the span.
+    pub fn dur_ns(&self) -> u64 {
+        self.end_ns - self.start_ns
+    }
+}
+
+/// A worker's reconstructed lane: its spans in start order.
+#[derive(Debug, Clone, Default)]
+pub struct Lane {
+    /// Completed spans, sorted by start time.
+    pub spans: Vec<Span>,
+    /// `Started` events that never saw a matching `Completed` (e.g. a
+    /// worker crashed mid-chunk); reported, not silently dropped.
+    pub unfinished: Vec<(ChunkRef, u64)>,
+}
+
+impl Lane {
+    /// Total busy nanoseconds over all completed spans.
+    pub fn busy_ns(&self) -> u64 {
+        self.spans.iter().map(Span::dur_ns).sum()
+    }
+}
+
+/// Per-worker Gantt lanes reconstructed from `Started`/`Completed`
+/// pairs. Lane index = worker id; workers that never started a chunk
+/// get an empty lane.
+pub fn gantt(trace: &Trace) -> Vec<Lane> {
+    let mut lanes: Vec<Lane> = (0..trace.meta.workers).map(|_| Lane::default()).collect();
+    // Key on (worker, chunk) so a speculative re-execution of the same
+    // chunk on another worker pairs with its own Started.
+    let mut open: HashMap<(usize, ChunkRef), u64> = HashMap::new();
+    for ev in trace.events() {
+        let (Some(w), Some(c)) = (ev.worker, ev.chunk) else { continue };
+        match ev.kind {
+            EventKind::Started => {
+                open.insert((w, c), ev.at_ns);
+            }
+            EventKind::Completed => {
+                if let Some(start_ns) = open.remove(&(w, c)) {
+                    if w >= lanes.len() {
+                        lanes.resize_with(w + 1, Lane::default);
+                    }
+                    lanes[w].spans.push(Span { worker: w, chunk: c, start_ns, end_ns: ev.at_ns });
+                }
+            }
+            _ => {}
+        }
+    }
+    for ((w, c), start_ns) in open {
+        if w >= lanes.len() {
+            lanes.resize_with(w + 1, Lane::default);
+        }
+        lanes[w].unfinished.push((c, start_ns));
+    }
+    for lane in &mut lanes {
+        lane.spans.sort_by_key(|s| (s.start_ns, s.chunk.start));
+        lane.unfinished.sort_by_key(|&(c, at)| (at, c.start));
+    }
+    lanes
+}
+
+/// An idle interval on a worker's lane.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IdleGap {
+    /// The idle worker.
+    pub worker: usize,
+    /// Gap start (end of the previous span, or 0 for the lead-in).
+    pub from_ns: u64,
+    /// Gap end (start of the next span, or the trace end for tail idle).
+    pub to_ns: u64,
+}
+
+impl IdleGap {
+    /// Idle nanoseconds of the gap.
+    pub fn dur_ns(&self) -> u64 {
+        self.to_ns - self.from_ns
+    }
+}
+
+/// Idle gaps per worker: the lead-in before its first span, every gap
+/// between consecutive spans, and the tail after its last span up to
+/// the run's makespan. Zero-length gaps are omitted.
+pub fn idle_gaps(trace: &Trace) -> Vec<IdleGap> {
+    let lanes = gantt(trace);
+    let horizon = makespan_ns(&lanes);
+    let mut gaps = Vec::new();
+    for (w, lane) in lanes.iter().enumerate() {
+        let mut cursor = 0u64;
+        for s in &lane.spans {
+            if s.start_ns > cursor {
+                gaps.push(IdleGap { worker: w, from_ns: cursor, to_ns: s.start_ns });
+            }
+            cursor = cursor.max(s.end_ns);
+        }
+        if horizon > cursor {
+            gaps.push(IdleGap { worker: w, from_ns: cursor, to_ns: horizon });
+        }
+    }
+    gaps
+}
+
+/// Load-imbalance summary over the reconstructed lanes.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Imbalance {
+    /// Busy time of the busiest worker, seconds.
+    pub max_busy_s: f64,
+    /// Busy time of the least busy worker, seconds.
+    pub min_busy_s: f64,
+    /// Mean busy time, seconds.
+    pub mean_busy_s: f64,
+    /// Coefficient of variation of busy time (0 = perfectly balanced).
+    pub cov: f64,
+}
+
+/// Computes busy-time imbalance across workers.
+pub fn imbalance(trace: &Trace) -> Imbalance {
+    let lanes = gantt(trace);
+    if lanes.is_empty() {
+        return Imbalance { max_busy_s: 0.0, min_busy_s: 0.0, mean_busy_s: 0.0, cov: 0.0 };
+    }
+    let busy: Vec<f64> = lanes.iter().map(|l| l.busy_ns() as f64 * 1e-9).collect();
+    let n = busy.len() as f64;
+    let mean = busy.iter().sum::<f64>() / n;
+    let var = busy.iter().map(|b| (b - mean) * (b - mean)).sum::<f64>() / n;
+    let cov = if mean > 0.0 { var.sqrt() / mean } else { 0.0 };
+    Imbalance {
+        max_busy_s: busy.iter().cloned().fold(0.0, f64::max),
+        min_busy_s: busy.iter().cloned().fold(f64::INFINITY, f64::min),
+        mean_busy_s: mean,
+        cov,
+    }
+}
+
+/// Exact per-worker time decomposition summed from the trace's
+/// accounting deltas, in integer nanoseconds. Converting each total
+/// once reproduces the engines' own `T_com/T_wait/T_comp` without
+/// floating-point summation drift.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct BreakdownNs {
+    /// Communication nanoseconds (`Comm` deltas).
+    pub com_ns: u64,
+    /// Idle nanoseconds (`Wait` deltas).
+    pub wait_ns: u64,
+    /// Compute nanoseconds (`Comp` deltas).
+    pub comp_ns: u64,
+}
+
+/// Per-worker accounting totals; index = worker id.
+pub fn breakdowns(trace: &Trace) -> Vec<BreakdownNs> {
+    let mut out: Vec<BreakdownNs> = vec![BreakdownNs::default(); trace.meta.workers];
+    for ev in trace.events() {
+        let Some(w) = ev.worker else { continue };
+        if w >= out.len() {
+            out.resize(w + 1, BreakdownNs::default());
+        }
+        match ev.kind {
+            EventKind::Comm { ns } => out[w].com_ns += ns,
+            EventKind::Wait { ns } => out[w].wait_ns += ns,
+            EventKind::Comp { ns } => out[w].comp_ns += ns,
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Critical-path summary of a run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CriticalPath {
+    /// Makespan: the latest `Completed` timestamp, seconds.
+    pub makespan_s: f64,
+    /// The last span to finish, if any chunk completed.
+    pub last_span: Option<Span>,
+    /// Nanoseconds during which exactly one worker was busy — the
+    /// serialized tail/head a better schedule could parallelize.
+    pub serialized_ns: u64,
+    /// The single longest span (the chunk a finer scheme would split).
+    pub longest_span: Option<Span>,
+    /// Count of speculative grants on the path's run.
+    pub speculative_grants: usize,
+    /// Count of requeue events on the path's run.
+    pub requeues: usize,
+}
+
+fn makespan_ns(lanes: &[Lane]) -> u64 {
+    lanes.iter().flat_map(|l| l.spans.iter()).map(|s| s.end_ns).max().unwrap_or(0)
+}
+
+/// Summarizes the run's critical path from its Gantt lanes.
+pub fn critical_path(trace: &Trace) -> CriticalPath {
+    let lanes = gantt(trace);
+    let spans: Vec<Span> = lanes.iter().flat_map(|l| l.spans.iter().copied()).collect();
+    let last_span = spans.iter().copied().max_by_key(|s| (s.end_ns, s.start_ns));
+    let longest_span = spans.iter().copied().max_by_key(|s| s.dur_ns());
+    CriticalPath {
+        makespan_s: makespan_ns(&lanes) as f64 * 1e-9,
+        last_span,
+        serialized_ns: serialized_ns(&spans),
+        longest_span,
+        speculative_grants: trace
+            .count_kind(|k| matches!(k, EventKind::Granted { speculative: true, .. })),
+        requeues: trace.count_kind(|k| matches!(k, EventKind::Requeued)),
+    }
+}
+
+/// Sweep-line over span boundaries: total time with exactly one busy
+/// worker.
+fn serialized_ns(spans: &[Span]) -> u64 {
+    let mut edges: Vec<(u64, i64)> = Vec::with_capacity(spans.len() * 2);
+    for s in spans {
+        if s.end_ns > s.start_ns {
+            edges.push((s.start_ns, 1));
+            edges.push((s.end_ns, -1));
+        }
+    }
+    edges.sort();
+    let mut busy = 0i64;
+    let mut prev = 0u64;
+    let mut solo = 0u64;
+    for (at, d) in edges {
+        if busy == 1 {
+            solo += at - prev;
+        }
+        busy += d;
+        prev = at;
+    }
+    solo
+}
+
+/// Renders the lanes as a fixed-width ASCII Gantt chart, one row per
+/// worker — a quick terminal view before reaching for Perfetto.
+pub fn render_gantt(trace: &Trace, width: usize) -> String {
+    let lanes = gantt(trace);
+    let horizon = makespan_ns(&lanes).max(1);
+    let width = width.max(10);
+    let mut out = String::new();
+    for (w, lane) in lanes.iter().enumerate() {
+        let mut row = vec![b'.'; width];
+        for s in &lane.spans {
+            let a = (s.start_ns as u128 * width as u128 / horizon as u128) as usize;
+            let b = (s.end_ns as u128 * width as u128 / horizon as u128) as usize;
+            for cell in row.iter_mut().take(b.min(width).max(a + 1)).skip(a.min(width - 1)) {
+                *cell = b'#';
+            }
+        }
+        out.push_str(&format!("P{w:<3} |{}|\n", String::from_utf8_lossy(&row)));
+    }
+    out.push_str(&format!(
+        "      0{:>w$}\n",
+        format!("{:.3}s", horizon as f64 * 1e-9),
+        w = width
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{ClockDomain, TraceMeta};
+
+    fn granted() -> EventKind {
+        EventKind::Granted { speculative: false, requeued: false, retransmit: false }
+    }
+
+    fn demo_trace() -> Trace {
+        // Worker 0: [10,30] and [40,60]; worker 1: [10,50]; horizon 60.
+        let events = vec![
+            TraceEvent::new(0, EventKind::Planned).on_chunk(0, 4),
+            TraceEvent::new(0, granted()).on_worker(0).on_chunk(0, 4),
+            TraceEvent::new(10, EventKind::Started).on_worker(0).on_chunk(0, 4),
+            TraceEvent::new(30, EventKind::Completed).on_worker(0).on_chunk(0, 4),
+            TraceEvent::new(40, EventKind::Started).on_worker(0).on_chunk(4, 2),
+            TraceEvent::new(60, EventKind::Completed).on_worker(0).on_chunk(4, 2),
+            TraceEvent::new(10, EventKind::Started).on_worker(1).on_chunk(6, 4),
+            TraceEvent::new(50, EventKind::Completed).on_worker(1).on_chunk(6, 4),
+            TraceEvent::new(30, EventKind::Comm { ns: 5 }).on_worker(0),
+            TraceEvent::new(30, EventKind::Wait { ns: 10 }).on_worker(0),
+            TraceEvent::new(60, EventKind::Comp { ns: 40 }).on_worker(0),
+        ];
+        Trace::new(
+            TraceMeta {
+                scheme: "TSS".into(),
+                workers: 2,
+                total_iterations: 10,
+                clock: ClockDomain::Logical,
+            },
+            events,
+            0,
+        )
+    }
+
+    #[test]
+    fn gantt_pairs_started_completed() {
+        let lanes = gantt(&demo_trace());
+        assert_eq!(lanes.len(), 2);
+        assert_eq!(lanes[0].spans.len(), 2);
+        assert_eq!(lanes[1].spans.len(), 1);
+        assert_eq!(lanes[0].busy_ns(), 40);
+        assert_eq!(lanes[1].busy_ns(), 40);
+        assert!(lanes[0].unfinished.is_empty());
+    }
+
+    #[test]
+    fn idle_gaps_cover_leadin_between_and_tail() {
+        let gaps = idle_gaps(&demo_trace());
+        // Worker 0: lead-in [0,10], between [30,40]. Worker 1: lead-in
+        // [0,10], tail [50,60].
+        let w0: Vec<_> = gaps.iter().filter(|g| g.worker == 0).collect();
+        let w1: Vec<_> = gaps.iter().filter(|g| g.worker == 1).collect();
+        assert_eq!(w0.len(), 2);
+        assert_eq!(w0[0].dur_ns(), 10);
+        assert_eq!(w0[1].dur_ns(), 10);
+        assert_eq!(w1.len(), 2);
+        assert_eq!(w1[1].from_ns, 50);
+        assert_eq!(w1[1].to_ns, 60);
+    }
+
+    #[test]
+    fn breakdowns_sum_accounting_deltas() {
+        let b = breakdowns(&demo_trace());
+        assert_eq!(b[0], BreakdownNs { com_ns: 5, wait_ns: 10, comp_ns: 40 });
+        assert_eq!(b[1], BreakdownNs::default());
+    }
+
+    #[test]
+    fn critical_path_summary() {
+        let cp = critical_path(&demo_trace());
+        assert!((cp.makespan_s - 60e-9).abs() < 1e-15);
+        assert_eq!(cp.last_span.unwrap().chunk, ChunkRef::new(4, 2));
+        assert_eq!(cp.longest_span.unwrap().dur_ns(), 40);
+        // Solo-busy time: [30,40] (w1 only) + [50,60] (w0 only) = 20.
+        assert_eq!(cp.serialized_ns, 20);
+        assert_eq!(cp.speculative_grants, 0);
+        assert_eq!(cp.requeues, 0);
+    }
+
+    #[test]
+    fn imbalance_of_balanced_lanes_is_zero() {
+        let im = imbalance(&demo_trace());
+        assert!(im.cov.abs() < 1e-12, "{im:?}");
+        assert!((im.max_busy_s - im.min_busy_s).abs() < 1e-15);
+    }
+
+    #[test]
+    fn gantt_render_has_one_row_per_worker() {
+        let s = render_gantt(&demo_trace(), 40);
+        assert_eq!(s.lines().count(), 3);
+        assert!(s.contains("P0"));
+        assert!(s.contains('#'));
+    }
+
+    #[test]
+    fn unfinished_starts_are_reported() {
+        let events = vec![TraceEvent::new(5, EventKind::Started).on_worker(0).on_chunk(0, 3)];
+        let t = Trace::new(
+            TraceMeta {
+                scheme: "SS".into(),
+                workers: 1,
+                total_iterations: 3,
+                clock: ClockDomain::Logical,
+            },
+            events,
+            0,
+        );
+        let lanes = gantt(&t);
+        assert!(lanes[0].spans.is_empty());
+        assert_eq!(lanes[0].unfinished, vec![(ChunkRef::new(0, 3), 5)]);
+    }
+}

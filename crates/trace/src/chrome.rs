@@ -1,0 +1,489 @@
+//! Chrome Trace Event / Perfetto exporter and schema validator.
+//!
+//! Emits the JSON Object Format understood by `chrome://tracing` and
+//! <https://ui.perfetto.dev>: `"traceEvents"` holding `ph:"M"` thread
+//! metadata, `ph:"X"` complete spans (one per computed chunk) and
+//! `ph:"i"` instants (lifecycle, membership and fault marks).
+//! Timestamps are microseconds (`ts = at_ns / 1000`, fractional part
+//! kept), one process per run, one thread per worker.
+//!
+//! [`validate_chrome_trace`] re-parses an emitted file with a small
+//! built-in JSON reader and checks the structural invariants the
+//! viewers rely on; CI runs it against the traced-sim artifact.
+
+use std::fmt::Write as _;
+
+use crate::analysis::gantt;
+use crate::event::{EventKind, Trace};
+
+/// Thread id used for master-side events with no worker attribution.
+const MASTER_TID: usize = 0;
+
+fn tid_of(worker: Option<usize>) -> usize {
+    // Worker w gets tid w+1; the master lane is tid 0.
+    worker.map_or(MASTER_TID, |w| w + 1)
+}
+
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn us(at_ns: u64) -> String {
+    // Microseconds with ns precision preserved as a decimal fraction.
+    format!("{}.{:03}", at_ns / 1_000, at_ns % 1_000)
+}
+
+/// Serializes a trace into Chrome Trace Event JSON.
+pub fn to_chrome_json(trace: &Trace) -> String {
+    let mut out = String::with_capacity(4096 + trace.len() * 96);
+    out.push_str("{\n\"displayTimeUnit\": \"ms\",\n\"otherData\": {");
+    let _ = write!(
+        out,
+        "\"scheme\": \"{}\", \"workers\": {}, \"totalIterations\": {}, \"clock\": \"{}\", \"dropped\": {}",
+        esc(&trace.meta.scheme),
+        trace.meta.workers,
+        trace.meta.total_iterations,
+        trace.meta.clock.label(),
+        trace.dropped
+    );
+    out.push_str("},\n\"traceEvents\": [\n");
+
+    let mut events: Vec<String> = Vec::new();
+
+    // Process + thread naming metadata.
+    events.push(format!(
+        "{{\"ph\": \"M\", \"pid\": 1, \"tid\": 0, \"name\": \"process_name\", \"args\": {{\"name\": \"lss {}\"}}}}",
+        esc(&trace.meta.scheme)
+    ));
+    events.push(
+        "{\"ph\": \"M\", \"pid\": 1, \"tid\": 0, \"name\": \"thread_name\", \"args\": {\"name\": \"master\"}}"
+            .to_string(),
+    );
+    for w in 0..trace.meta.workers {
+        events.push(format!(
+            "{{\"ph\": \"M\", \"pid\": 1, \"tid\": {}, \"name\": \"thread_name\", \"args\": {{\"name\": \"worker {w}\"}}}}",
+            w + 1
+        ));
+    }
+
+    // One complete (ph:"X") span per computed chunk.
+    for lane in gantt(trace) {
+        for s in &lane.spans {
+            events.push(format!(
+                "{{\"ph\": \"X\", \"pid\": 1, \"tid\": {}, \"ts\": {}, \"dur\": {}, \"name\": \"chunk {}\", \"args\": {{\"start\": {}, \"len\": {}}}}}",
+                tid_of(Some(s.worker)),
+                us(s.start_ns),
+                us(s.dur_ns()),
+                s.chunk,
+                s.chunk.start,
+                s.chunk.len
+            ));
+        }
+    }
+
+    // Instants for everything except the span-forming pair and the
+    // high-volume accounting deltas (those stay analysis-only).
+    for ev in trace.events() {
+        match ev.kind {
+            EventKind::Started
+            | EventKind::Completed
+            | EventKind::Comm { .. }
+            | EventKind::Wait { .. }
+            | EventKind::Comp { .. } => continue,
+            _ => {}
+        }
+        let mut args = String::new();
+        if let Some(c) = ev.chunk {
+            let _ = write!(args, "\"start\": {}, \"len\": {}", c.start, c.len);
+        }
+        if let EventKind::Replanned { plan } = ev.kind {
+            if !args.is_empty() {
+                args.push_str(", ");
+            }
+            let _ = write!(args, "\"plan\": {plan}");
+        }
+        events.push(format!(
+            "{{\"ph\": \"i\", \"pid\": 1, \"tid\": {}, \"ts\": {}, \"s\": \"t\", \"name\": \"{}\", \"args\": {{{args}}}}}",
+            tid_of(ev.worker),
+            us(ev.at_ns),
+            esc(ev.kind.label())
+        ));
+    }
+
+    out.push_str(&events.join(",\n"));
+    out.push_str("\n]\n}\n");
+    out
+}
+
+// --------------------------------------------------------------------
+// Minimal JSON reader — only what the validator needs.
+// --------------------------------------------------------------------
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object (insertion-ordered pairs; duplicate keys keep last).
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Object field lookup.
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().rev().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_num(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err(&self, msg: &str) -> String {
+        format!("json error at byte {}: {msg}", self.pos)
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), String> {
+        self.skip_ws();
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.err(&format!("expected '{}'", b as char)))
+        }
+    }
+
+    fn value(&mut self) -> Result<Json, String> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'{') => self.object(),
+            Some(b'[') => self.array(),
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b't') => self.literal("true", Json::Bool(true)),
+            Some(b'f') => self.literal("false", Json::Bool(false)),
+            Some(b'n') => self.literal("null", Json::Null),
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            _ => Err(self.err("expected a value")),
+        }
+    }
+
+    fn literal(&mut self, lit: &str, v: Json) -> Result<Json, String> {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            Ok(v)
+        } else {
+            Err(self.err(&format!("expected '{lit}'")))
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        while matches!(
+            self.peek(),
+            Some(b'-' | b'+' | b'.' | b'e' | b'E') | Some(b'0'..=b'9')
+        ) {
+            self.pos += 1;
+        }
+        std::str::from_utf8(&self.bytes[start..self.pos])
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .map(Json::Num)
+            .ok_or_else(|| self.err("bad number"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .and_then(|h| std::str::from_utf8(h).ok())
+                                .and_then(|h| u32::from_str_radix(h, 16).ok())
+                                .ok_or_else(|| self.err("bad \\u escape"))?;
+                            out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                            self.pos += 4;
+                        }
+                        _ => return Err(self.err("bad escape")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.err("invalid utf-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn array(&mut self) -> Result<Json, String> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Json::Arr(items));
+        }
+        loop {
+            items.push(self.value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                _ => return Err(self.err("expected ',' or ']'")),
+            }
+        }
+    }
+
+    fn object(&mut self) -> Result<Json, String> {
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Json::Obj(pairs));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.string()?;
+            self.expect(b':')?;
+            let val = self.value()?;
+            pairs.push((key, val));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                _ => return Err(self.err("expected ',' or '}'")),
+            }
+        }
+    }
+}
+
+/// Parses a JSON document.
+pub fn parse_json(text: &str) -> Result<Json, String> {
+    let mut p = Parser { bytes: text.as_bytes(), pos: 0 };
+    let v = p.value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(p.err("trailing data"));
+    }
+    Ok(v)
+}
+
+/// Validates that `text` is a structurally sound Chrome trace as this
+/// crate emits it. Returns the number of `traceEvents` on success.
+pub fn validate_chrome_trace(text: &str) -> Result<usize, String> {
+    let root = parse_json(text)?;
+    let events = root
+        .get("traceEvents")
+        .ok_or("missing traceEvents")?
+        .as_arr()
+        .ok_or("traceEvents is not an array")?;
+    if events.is_empty() {
+        return Err("traceEvents is empty".into());
+    }
+    let other = root.get("otherData").ok_or("missing otherData")?;
+    for key in ["scheme", "clock"] {
+        if other.get(key).and_then(Json::as_str).is_none() {
+            return Err(format!("otherData.{key} missing or not a string"));
+        }
+    }
+    if other.get("workers").and_then(Json::as_num).is_none() {
+        return Err("otherData.workers missing or not a number".into());
+    }
+    let mut named_threads = false;
+    for (i, ev) in events.iter().enumerate() {
+        let ph = ev
+            .get("ph")
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("event {i}: missing ph"))?;
+        let need_name = ev.get("name").and_then(Json::as_str).is_none();
+        if need_name {
+            return Err(format!("event {i}: missing name"));
+        }
+        if ev.get("pid").and_then(Json::as_num).is_none()
+            || ev.get("tid").and_then(Json::as_num).is_none()
+        {
+            return Err(format!("event {i}: missing pid/tid"));
+        }
+        match ph {
+            "M" => {
+                named_threads = true;
+            }
+            "X" => {
+                let ts = ev.get("ts").and_then(Json::as_num);
+                let dur = ev.get("dur").and_then(Json::as_num);
+                match (ts, dur) {
+                    (Some(ts), Some(dur)) if ts >= 0.0 && dur >= 0.0 => {}
+                    _ => return Err(format!("event {i}: X event needs ts/dur >= 0")),
+                }
+            }
+            "i" => {
+                if ev.get("ts").and_then(Json::as_num).is_none() {
+                    return Err(format!("event {i}: i event needs ts"));
+                }
+            }
+            other => return Err(format!("event {i}: unexpected ph {other:?}")),
+        }
+    }
+    if !named_threads {
+        return Err("no thread_name metadata events".into());
+    }
+    Ok(events.len())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{ClockDomain, EventKind, TraceEvent, TraceMeta};
+
+    fn demo() -> Trace {
+        let g = EventKind::Granted { speculative: false, requeued: false, retransmit: false };
+        Trace::new(
+            TraceMeta {
+                scheme: "GSS".into(),
+                workers: 1,
+                total_iterations: 8,
+                clock: ClockDomain::Logical,
+            },
+            vec![
+                TraceEvent::new(0, EventKind::Planned).on_chunk(0, 8),
+                TraceEvent::new(0, g).on_worker(0).on_chunk(0, 8),
+                TraceEvent::new(1_500, EventKind::Started).on_worker(0).on_chunk(0, 8),
+                TraceEvent::new(9_000, EventKind::Completed).on_worker(0).on_chunk(0, 8),
+                TraceEvent::new(9_500, EventKind::Fault { label: "injected" }).on_worker(0),
+            ],
+            0,
+        )
+    }
+
+    #[test]
+    fn export_roundtrips_through_validator() {
+        let json = to_chrome_json(&demo());
+        let n = validate_chrome_trace(&json).expect("valid trace");
+        // 2 meta (process+master) + 1 worker meta + 1 X span + 3 instants.
+        assert_eq!(n, 7, "{json}");
+    }
+
+    #[test]
+    fn spans_use_microseconds() {
+        let json = to_chrome_json(&demo());
+        // start 1500ns -> ts 1.500us; dur 7500ns -> 7.500us.
+        assert!(json.contains("\"ts\": 1.500"), "{json}");
+        assert!(json.contains("\"dur\": 7.500"), "{json}");
+    }
+
+    #[test]
+    fn validator_rejects_garbage() {
+        assert!(validate_chrome_trace("{}").is_err());
+        assert!(validate_chrome_trace("{\"traceEvents\": []}").is_err());
+        assert!(validate_chrome_trace("not json").is_err());
+        assert!(
+            validate_chrome_trace(
+                "{\"otherData\": {\"scheme\": \"x\", \"clock\": \"logical\", \"workers\": 1},
+                  \"traceEvents\": [{\"ph\": \"X\", \"pid\": 1, \"tid\": 0, \"name\": \"c\"}]}"
+            )
+            .is_err()
+        );
+    }
+
+    #[test]
+    fn json_parser_handles_escapes_and_nesting() {
+        let v = parse_json(r#"{"a": [1, -2.5e1, "x\nyA"], "b": {"c": true, "d": null}}"#)
+            .unwrap();
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[1].as_num(), Some(-25.0));
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap()[2].as_str(), Some("x\nyA"));
+        assert_eq!(v.get("b").unwrap().get("c"), Some(&Json::Bool(true)));
+        assert!(parse_json("[1,]").is_err());
+        assert!(parse_json("{\"a\": 1} trailing").is_err());
+    }
+}

@@ -1,0 +1,350 @@
+//! The trace schema: one event type shared by both execution engines.
+//!
+//! A trace is a time-ordered stream of [`TraceEvent`]s over one run.
+//! Timestamps are `u64` nanoseconds in a per-run [`ClockDomain`]: the
+//! simulator stamps events with its virtual clock, the threaded/TCP
+//! runtime with a monotonic wall clock anchored at the run's epoch —
+//! so the *same* schema (and the same exporters and analysis passes)
+//! comes out of both engines.
+
+use std::fmt;
+
+/// Which clock produced a trace's timestamps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ClockDomain {
+    /// The simulator's virtual clock ([`SimTime`] nanoseconds).
+    ///
+    /// [`SimTime`]: https://docs.rs/lss-sim
+    Logical,
+    /// Monotonic wall-clock nanoseconds since the run's epoch.
+    Monotonic,
+}
+
+impl ClockDomain {
+    /// Stable lowercase label for exporters.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ClockDomain::Logical => "logical",
+            ClockDomain::Monotonic => "monotonic",
+        }
+    }
+}
+
+/// An iteration interval, decoupled from `lss-core`'s `Chunk` so this
+/// crate sits below every other workspace member.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ChunkRef {
+    /// First iteration of the interval.
+    pub start: u64,
+    /// Number of iterations.
+    pub len: u64,
+}
+
+impl ChunkRef {
+    /// Builds a reference to `[start, start + len)`.
+    pub fn new(start: u64, len: u64) -> Self {
+        ChunkRef { start, len }
+    }
+}
+
+impl fmt::Display for ChunkRef {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}+{}", self.start, self.len)
+    }
+}
+
+/// What happened at one instant of a run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum EventKind {
+    // ---- chunk lifecycle -------------------------------------------
+    /// The master's scheme decided this fresh chunk's boundaries.
+    Planned,
+    /// The chunk was handed to a worker. `speculative` marks an
+    /// end-of-loop duplicate of a straggler's chunk; `requeued` a
+    /// re-grant of work reclaimed from a failed worker; `retransmit`
+    /// an idempotent re-send after a lost reply.
+    Granted {
+        /// End-of-loop duplicate of an outstanding chunk.
+        speculative: bool,
+        /// Re-grant of a chunk reclaimed from a failed worker.
+        requeued: bool,
+        /// Idempotent re-send of a grant whose reply was lost.
+        retransmit: bool,
+    },
+    /// The worker began computing the chunk.
+    Started,
+    /// A liveness heartbeat from a worker holding a chunk.
+    Heartbeat,
+    /// The worker finished computing the chunk.
+    Completed,
+    /// A reported result whose iterations were already complete was
+    /// discarded by first-result-wins dedup.
+    Deduped,
+    /// The chunk's lease outlived its deadline.
+    Lapsed,
+    /// The chunk went back to the master's pool for re-execution.
+    Requeued,
+    // ---- worker membership -----------------------------------------
+    /// A worker joined the run.
+    WorkerConnected,
+    /// A worker's link dropped.
+    WorkerDisconnected,
+    /// A worker was declared dead (silent past the grace window).
+    WorkerDead,
+    /// A dead or disconnected worker was heard from again.
+    WorkerRecovered,
+    // ---- master decisions ------------------------------------------
+    /// A distributed master recomputed its plan (`plan` = new count).
+    Replanned {
+        /// Total plans made so far, including the initial one.
+        plan: u32,
+    },
+    // ---- accounting deltas -----------------------------------------
+    /// `ns` nanoseconds spent on the wire (requests, replies,
+    /// piggy-backed results). Sums to the worker's `T_com` exactly.
+    Comm {
+        /// Wire nanoseconds attributed at this instant.
+        ns: u64,
+    },
+    /// `ns` nanoseconds spent idle (master queueing, retry back-off,
+    /// startup, terminal idling). Sums to `T_wait` exactly.
+    Wait {
+        /// Idle nanoseconds attributed at this instant.
+        ns: u64,
+    },
+    /// `ns` nanoseconds spent computing iterations. Sums to `T_comp`
+    /// exactly.
+    Comp {
+        /// Compute nanoseconds attributed at this instant.
+        ns: u64,
+    },
+    // ---- folded fault-log entries ----------------------------------
+    /// A fault-log entry with no dedicated lifecycle kind (e.g. an
+    /// injected chaos fault), folded onto the same timeline.
+    Fault {
+        /// The fault kind's stable label (e.g. `"injected"`).
+        label: &'static str,
+    },
+}
+
+impl EventKind {
+    /// Short stable name for exporters and rendering.
+    pub fn label(&self) -> &'static str {
+        match self {
+            EventKind::Planned => "planned",
+            EventKind::Granted { speculative: true, .. } => "granted-speculative",
+            EventKind::Granted { requeued: true, .. } => "granted-requeued",
+            EventKind::Granted { retransmit: true, .. } => "granted-retransmit",
+            EventKind::Granted { .. } => "granted",
+            EventKind::Started => "started",
+            EventKind::Heartbeat => "heartbeat",
+            EventKind::Completed => "completed",
+            EventKind::Deduped => "deduped",
+            EventKind::Lapsed => "lapsed",
+            EventKind::Requeued => "requeued",
+            EventKind::WorkerConnected => "worker-connected",
+            EventKind::WorkerDisconnected => "worker-disconnected",
+            EventKind::WorkerDead => "worker-dead",
+            EventKind::WorkerRecovered => "worker-recovered",
+            EventKind::Replanned { .. } => "replanned",
+            EventKind::Comm { .. } => "comm",
+            EventKind::Wait { .. } => "wait",
+            EventKind::Comp { .. } => "comp",
+            EventKind::Fault { label } => label,
+        }
+    }
+
+    /// Whether this kind is part of the chunk lifecycle (as opposed to
+    /// membership, decisions or accounting).
+    pub fn is_lifecycle(&self) -> bool {
+        matches!(
+            self,
+            EventKind::Planned
+                | EventKind::Granted { .. }
+                | EventKind::Started
+                | EventKind::Heartbeat
+                | EventKind::Completed
+                | EventKind::Deduped
+                | EventKind::Lapsed
+                | EventKind::Requeued
+        )
+    }
+}
+
+/// One timestamped event.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEvent {
+    /// Nanoseconds since the run's epoch, in the trace's clock domain.
+    pub at_ns: u64,
+    /// The worker involved, if any.
+    pub worker: Option<usize>,
+    /// The chunk involved, if any.
+    pub chunk: Option<ChunkRef>,
+    /// What happened.
+    pub kind: EventKind,
+}
+
+impl TraceEvent {
+    /// Builds an unattributed event.
+    pub fn new(at_ns: u64, kind: EventKind) -> Self {
+        TraceEvent { at_ns, worker: None, chunk: None, kind }
+    }
+
+    /// Attributes the event to a worker.
+    pub fn on_worker(mut self, worker: usize) -> Self {
+        self.worker = Some(worker);
+        self
+    }
+
+    /// Attributes the event to a chunk.
+    pub fn on_chunk(mut self, start: u64, len: u64) -> Self {
+        self.chunk = Some(ChunkRef::new(start, len));
+        self
+    }
+}
+
+impl fmt::Display for TraceEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{:>14}ns] {:<20}", self.at_ns, self.kind.label())?;
+        if let Some(w) = self.worker {
+            write!(f, " worker={w}")?;
+        }
+        if let Some(c) = self.chunk {
+            write!(f, " chunk={c}")?;
+        }
+        match self.kind {
+            EventKind::Comm { ns } | EventKind::Wait { ns } | EventKind::Comp { ns } => {
+                write!(f, " {ns}ns")?
+            }
+            EventKind::Replanned { plan } => write!(f, " plan={plan}")?,
+            _ => {}
+        }
+        Ok(())
+    }
+}
+
+/// Immutable metadata describing one run's trace.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceMeta {
+    /// Scheme name as used in the paper's tables (e.g. `"TFSS"`).
+    pub scheme: String,
+    /// Number of workers (slaves) in the run.
+    pub workers: usize,
+    /// Total loop size `I`.
+    pub total_iterations: u64,
+    /// Which clock stamped the events.
+    pub clock: ClockDomain,
+}
+
+/// A finished run's event stream, sorted by timestamp.
+#[derive(Debug, Clone)]
+pub struct Trace {
+    /// Run metadata.
+    pub meta: TraceMeta,
+    /// Events overwritten by the bounded ring before the run finished.
+    pub dropped: u64,
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Builds a trace, sorting events by time (ties keep emission
+    /// order, so causally ordered same-instant events stay ordered).
+    pub fn new(meta: TraceMeta, mut events: Vec<TraceEvent>, dropped: u64) -> Self {
+        events.sort_by_key(|e| e.at_ns);
+        Trace { meta, dropped, events }
+    }
+
+    /// The events, in time order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The latest timestamp in the trace (0 for an empty trace).
+    pub fn span_ns(&self) -> u64 {
+        self.events.last().map_or(0, |e| e.at_ns)
+    }
+
+    /// Events of the chunk lifecycle only.
+    pub fn lifecycle(&self) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(|e| e.kind.is_lifecycle())
+    }
+
+    /// Events concerning `worker`.
+    pub fn for_worker(&self, worker: usize) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.worker == Some(worker))
+    }
+
+    /// Number of events matching a predicate on the kind.
+    pub fn count_kind(&self, pred: impl Fn(&EventKind) -> bool) -> usize {
+        self.events.iter().filter(|e| pred(&e.kind)).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn meta() -> TraceMeta {
+        TraceMeta {
+            scheme: "TFSS".into(),
+            workers: 2,
+            total_iterations: 100,
+            clock: ClockDomain::Logical,
+        }
+    }
+
+    #[test]
+    fn trace_sorts_by_time_stably() {
+        let events = vec![
+            TraceEvent::new(5, EventKind::Completed).on_worker(0).on_chunk(0, 10),
+            TraceEvent::new(1, EventKind::Planned).on_chunk(0, 10),
+            TraceEvent::new(1, EventKind::Granted {
+                speculative: false,
+                requeued: false,
+                retransmit: false,
+            })
+            .on_worker(0)
+            .on_chunk(0, 10),
+        ];
+        let t = Trace::new(meta(), events, 0);
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.events()[0].kind, EventKind::Planned);
+        assert!(matches!(t.events()[1].kind, EventKind::Granted { .. }));
+        assert_eq!(t.span_ns(), 5);
+        assert_eq!(t.for_worker(0).count(), 2);
+        assert_eq!(t.count_kind(|k| matches!(k, EventKind::Planned)), 1);
+    }
+
+    #[test]
+    fn labels_are_stable() {
+        assert_eq!(EventKind::Planned.label(), "planned");
+        assert_eq!(
+            EventKind::Granted { speculative: true, requeued: false, retransmit: false }.label(),
+            "granted-speculative"
+        );
+        assert_eq!(EventKind::Fault { label: "injected" }.label(), "injected");
+        assert!(EventKind::Lapsed.is_lifecycle());
+        assert!(!EventKind::WorkerDead.is_lifecycle());
+        assert_eq!(ClockDomain::Logical.label(), "logical");
+    }
+
+    #[test]
+    fn display_renders_attribution() {
+        let e = TraceEvent::new(1_000, EventKind::Comm { ns: 42 }).on_worker(3).on_chunk(7, 5);
+        let s = e.to_string();
+        assert!(s.contains("comm"), "{s}");
+        assert!(s.contains("worker=3"), "{s}");
+        assert!(s.contains("chunk=7+5"), "{s}");
+        assert!(s.contains("42ns"), "{s}");
+    }
+}

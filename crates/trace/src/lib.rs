@@ -1,0 +1,41 @@
+//! # lss-trace — chunk-lifecycle tracing for loop self-scheduling
+//!
+//! A dependency-free observability layer shared by the discrete-event
+//! simulator and the threaded/TCP runtime. Both engines emit the same
+//! [`TraceEvent`] stream — `planned → granted → started → heartbeat →
+//! completed | lapsed | requeued | deduped`, plus worker membership,
+//! master decisions, folded fault-log entries, and exact integer-ns
+//! accounting deltas — into a lock-cheap bounded ring behind the
+//! zero-cost [`TraceSink`] trait.
+//!
+//! On top of the raw stream:
+//! - [`analysis`]: per-worker Gantt lanes, idle gaps, busy-time
+//!   imbalance, exact `T_com/T_wait/T_comp` reconstruction, and a
+//!   critical-path summary;
+//! - [`chrome`]: Chrome/Perfetto `trace.json` export plus a schema
+//!   validator (used by CI and `lss trace --validate`);
+//! - [`prom`]: a Prometheus text-exposition snapshot.
+//!
+//! The simulator stamps events with its logical clock
+//! ([`ClockDomain::Logical`]); the runtime with monotonic wall-clock
+//! nanoseconds from one shared epoch ([`ClockDomain::Monotonic`]) —
+//! the schema is identical, so every exporter and analysis pass works
+//! on either engine's output.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod analysis;
+pub mod chrome;
+pub mod event;
+pub mod prom;
+pub mod sink;
+
+pub use analysis::{
+    breakdowns, critical_path, gantt, idle_gaps, imbalance, render_gantt, BreakdownNs,
+    CriticalPath, IdleGap, Imbalance, Lane, Span,
+};
+pub use chrome::{to_chrome_json, validate_chrome_trace};
+pub use event::{ChunkRef, ClockDomain, EventKind, Trace, TraceEvent, TraceMeta};
+pub use prom::to_prometheus_text;
+pub use sink::{NoopSink, RingSink, SharedSink, TraceSink, DEFAULT_CAPACITY};

@@ -1,0 +1,163 @@
+//! Prometheus text-exposition snapshot of a finished trace.
+//!
+//! Renders the trace's aggregates in the classic `# HELP` / `# TYPE` /
+//! sample format so a run's numbers can be pushed to a textfile
+//! collector or diffed between schemes with plain text tools.
+
+use std::fmt::Write as _;
+
+use crate::analysis::{breakdowns, critical_path, gantt, imbalance};
+use crate::event::{EventKind, Trace};
+
+fn header(out: &mut String, name: &str, help: &str, kind: &str) {
+    let _ = writeln!(out, "# HELP {name} {help}");
+    let _ = writeln!(out, "# TYPE {name} {kind}");
+}
+
+/// Serializes a trace's aggregates into Prometheus text format.
+pub fn to_prometheus_text(trace: &Trace) -> String {
+    let scheme = trace.meta.scheme.replace('"', "");
+    let lanes = gantt(trace);
+    let per_worker = breakdowns(trace);
+    let cp = critical_path(trace);
+    let im = imbalance(trace);
+    let mut out = String::with_capacity(2048);
+
+    header(&mut out, "lss_trace_events_total", "Events recorded in the trace ring.", "counter");
+    let _ = writeln!(
+        out,
+        "lss_trace_events_total{{scheme=\"{scheme}\",clock=\"{}\"}} {}",
+        trace.meta.clock.label(),
+        trace.len()
+    );
+
+    header(
+        &mut out,
+        "lss_trace_events_dropped_total",
+        "Events overwritten by the bounded ring.",
+        "counter",
+    );
+    let _ = writeln!(out, "lss_trace_events_dropped_total{{scheme=\"{scheme}\"}} {}", trace.dropped);
+
+    header(
+        &mut out,
+        "lss_chunks_completed_total",
+        "Chunks computed to completion, per worker.",
+        "counter",
+    );
+    for (w, lane) in lanes.iter().enumerate() {
+        let _ = writeln!(
+            out,
+            "lss_chunks_completed_total{{scheme=\"{scheme}\",worker=\"{w}\"}} {}",
+            lane.spans.len()
+        );
+    }
+
+    header(
+        &mut out,
+        "lss_time_seconds",
+        "Per-worker time decomposition (component: com|wait|comp).",
+        "gauge",
+    );
+    for (w, b) in per_worker.iter().enumerate() {
+        for (component, ns) in
+            [("com", b.com_ns), ("wait", b.wait_ns), ("comp", b.comp_ns)]
+        {
+            let _ = writeln!(
+                out,
+                "lss_time_seconds{{scheme=\"{scheme}\",worker=\"{w}\",component=\"{component}\"}} {:.9}",
+                ns as f64 * 1e-9
+            );
+        }
+    }
+
+    header(&mut out, "lss_makespan_seconds", "Latest chunk completion time.", "gauge");
+    let _ = writeln!(out, "lss_makespan_seconds{{scheme=\"{scheme}\"}} {:.9}", cp.makespan_s);
+
+    header(
+        &mut out,
+        "lss_serialized_seconds",
+        "Time during which exactly one worker was busy.",
+        "gauge",
+    );
+    let _ = writeln!(
+        out,
+        "lss_serialized_seconds{{scheme=\"{scheme}\"}} {:.9}",
+        cp.serialized_ns as f64 * 1e-9
+    );
+
+    header(
+        &mut out,
+        "lss_busy_imbalance_cov",
+        "Coefficient of variation of per-worker busy time.",
+        "gauge",
+    );
+    let _ = writeln!(out, "lss_busy_imbalance_cov{{scheme=\"{scheme}\"}} {:.6}", im.cov);
+
+    header(
+        &mut out,
+        "lss_lifecycle_events_total",
+        "Lifecycle / membership / fault events by kind.",
+        "counter",
+    );
+    let mut counts: Vec<(&'static str, usize)> = Vec::new();
+    for ev in trace.events() {
+        if matches!(
+            ev.kind,
+            EventKind::Comm { .. } | EventKind::Wait { .. } | EventKind::Comp { .. }
+        ) {
+            continue;
+        }
+        let label = ev.kind.label();
+        match counts.iter_mut().find(|(l, _)| *l == label) {
+            Some((_, n)) => *n += 1,
+            None => counts.push((label, 1)),
+        }
+    }
+    counts.sort_by_key(|&(l, _)| l);
+    for (label, n) in counts {
+        let _ = writeln!(
+            out,
+            "lss_lifecycle_events_total{{scheme=\"{scheme}\",kind=\"{label}\"}} {n}"
+        );
+    }
+
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{ClockDomain, EventKind, TraceEvent, TraceMeta};
+
+    #[test]
+    fn snapshot_has_expected_families() {
+        let g = EventKind::Granted { speculative: false, requeued: false, retransmit: false };
+        let t = Trace::new(
+            TraceMeta {
+                scheme: "FSS".into(),
+                workers: 1,
+                total_iterations: 4,
+                clock: ClockDomain::Logical,
+            },
+            vec![
+                TraceEvent::new(0, EventKind::Planned).on_chunk(0, 4),
+                TraceEvent::new(0, g).on_worker(0).on_chunk(0, 4),
+                TraceEvent::new(10, EventKind::Started).on_worker(0).on_chunk(0, 4),
+                TraceEvent::new(50, EventKind::Completed).on_worker(0).on_chunk(0, 4),
+                TraceEvent::new(50, EventKind::Comp { ns: 40 }).on_worker(0),
+                TraceEvent::new(50, EventKind::Wait { ns: 10 }).on_worker(0),
+            ],
+            0,
+        );
+        let text = to_prometheus_text(&t);
+        assert!(text.contains("# TYPE lss_time_seconds gauge"), "{text}");
+        assert!(text.contains("clock=\"logical\""), "{text}");
+        assert!(text.contains("lss_chunks_completed_total{scheme=\"FSS\",worker=\"0\"} 1"));
+        assert!(text.contains("component=\"comp\"} 0.000000040"));
+        assert!(text.contains("lss_makespan_seconds{scheme=\"FSS\"} 0.000000050"));
+        assert!(text.contains("kind=\"planned\"} 1"));
+        // Accounting deltas are aggregated, not listed by kind.
+        assert!(!text.contains("kind=\"comp\""));
+    }
+}

@@ -1,0 +1,276 @@
+//! Event sinks: where instrumented code hands its events.
+//!
+//! The engines are instrumented against [`TraceSink`]; the default
+//! [`NoopSink`] compiles to an `enabled()` check and a return, so an
+//! untraced run pays (almost) nothing. [`RingSink`] is the bounded
+//! in-memory recorder; [`SharedSink`] wraps it in `Arc<Mutex<..>>` so
+//! worker threads, the master loop and the harness can all append to
+//! one ring and share one wall-clock epoch.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+use crate::event::{Trace, TraceEvent, TraceMeta};
+
+/// Default ring capacity: enough for every chunk of the paper-scale
+/// experiments (~hundreds of chunks × ~10 events each) with headroom.
+pub const DEFAULT_CAPACITY: usize = 1 << 16;
+
+/// Something that accepts trace events.
+///
+/// Instrumented code should guard any non-trivial event construction
+/// with [`TraceSink::enabled`]; `record` on a disabled sink is a no-op.
+pub trait TraceSink {
+    /// Whether events handed to this sink are retained. Callers use
+    /// this to skip building events entirely on the hot path.
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    /// Accepts one event. Disabled sinks discard it.
+    fn record(&mut self, _ev: TraceEvent) {}
+}
+
+/// The zero-cost default sink: records nothing.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopSink;
+
+impl TraceSink for NoopSink {}
+
+/// A bounded ring buffer of events. When full, the oldest event is
+/// overwritten and [`RingSink::dropped`] counts the loss, so a runaway
+/// run degrades to "recent history" instead of unbounded memory.
+#[derive(Debug)]
+pub struct RingSink {
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    dropped: u64,
+}
+
+impl RingSink {
+    /// A ring holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        RingSink { capacity, events: VecDeque::with_capacity(capacity.min(1024)), dropped: 0 }
+    }
+
+    /// Number of events currently held.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the ring holds no events.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Events overwritten so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Consumes the ring into a finished [`Trace`].
+    pub fn into_trace(self, meta: TraceMeta) -> Trace {
+        Trace::new(meta, self.events.into(), self.dropped)
+    }
+
+    /// Drains the ring into a finished [`Trace`], leaving it empty and
+    /// resetting the drop counter (used by the shared sink's `take`).
+    pub fn drain_into_trace(&mut self, meta: TraceMeta) -> Trace {
+        let events: Vec<TraceEvent> = self.events.drain(..).collect();
+        let dropped = self.dropped;
+        self.dropped = 0;
+        Trace::new(meta, events, dropped)
+    }
+}
+
+impl Default for RingSink {
+    fn default() -> Self {
+        RingSink::new(DEFAULT_CAPACITY)
+    }
+}
+
+impl TraceSink for RingSink {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, ev: TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(ev);
+    }
+}
+
+struct SharedInner {
+    /// The run's wall-clock epoch; every thread stamps events relative
+    /// to this one `Instant` so timelines from different threads line
+    /// up without cross-thread clock skew.
+    epoch: Instant,
+    ring: Mutex<RingSink>,
+}
+
+/// A cloneable handle to one shared ring, or a disabled stub.
+///
+/// The disabled form (`SharedSink::disabled()`, also `Default`) holds
+/// no allocation and makes `enabled()` false, so configs can embed a
+/// `SharedSink` field without cost when tracing is off.
+#[derive(Clone, Default)]
+pub struct SharedSink {
+    inner: Option<Arc<SharedInner>>,
+}
+
+impl std::fmt::Debug for SharedSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match &self.inner {
+            None => write!(f, "SharedSink(disabled)"),
+            Some(inner) => {
+                let ring = inner.ring.lock().unwrap();
+                write!(f, "SharedSink(events={}, dropped={})", ring.len(), ring.dropped())
+            }
+        }
+    }
+}
+
+impl SharedSink {
+    /// A sink that records nothing (the default).
+    pub fn disabled() -> Self {
+        SharedSink { inner: None }
+    }
+
+    /// An enabled sink over a fresh ring of `capacity` events, with
+    /// its epoch set to "now".
+    pub fn bounded(capacity: usize) -> Self {
+        SharedSink {
+            inner: Some(Arc::new(SharedInner {
+                epoch: Instant::now(),
+                ring: Mutex::new(RingSink::new(capacity)),
+            })),
+        }
+    }
+
+    /// An enabled sink with the default capacity.
+    pub fn recording() -> Self {
+        SharedSink::bounded(DEFAULT_CAPACITY)
+    }
+
+    /// Whether this handle records events.
+    pub fn enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Monotonic nanoseconds since this sink's epoch (0 if disabled).
+    /// All threads of one run must stamp through the same sink so
+    /// their timestamps share the epoch.
+    pub fn now_ns(&self) -> u64 {
+        match &self.inner {
+            Some(inner) => inner.epoch.elapsed().as_nanos() as u64,
+            None => 0,
+        }
+    }
+
+    /// Appends an event (no-op when disabled).
+    pub fn record(&self, ev: TraceEvent) {
+        if let Some(inner) = &self.inner {
+            inner.ring.lock().unwrap().record(ev);
+        }
+    }
+
+    /// Stamps and appends in one call: the event's `at_ns` is set to
+    /// [`SharedSink::now_ns`] before recording.
+    pub fn record_now(&self, mut ev: TraceEvent) {
+        if let Some(inner) = &self.inner {
+            ev.at_ns = inner.epoch.elapsed().as_nanos() as u64;
+            inner.ring.lock().unwrap().record(ev);
+        }
+    }
+
+    /// Drains everything recorded so far into a [`Trace`]. Returns an
+    /// empty trace if the sink is disabled.
+    pub fn take(&self, meta: TraceMeta) -> Trace {
+        match &self.inner {
+            Some(inner) => inner.ring.lock().unwrap().drain_into_trace(meta),
+            None => Trace::new(meta, Vec::new(), 0),
+        }
+    }
+}
+
+impl TraceSink for SharedSink {
+    fn enabled(&self) -> bool {
+        SharedSink::enabled(self)
+    }
+
+    fn record(&mut self, ev: TraceEvent) {
+        SharedSink::record(self, ev);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::{ClockDomain, EventKind};
+
+    fn meta() -> TraceMeta {
+        TraceMeta {
+            scheme: "GSS".into(),
+            workers: 1,
+            total_iterations: 10,
+            clock: ClockDomain::Monotonic,
+        }
+    }
+
+    #[test]
+    fn noop_sink_is_disabled() {
+        let mut s = NoopSink;
+        assert!(!s.enabled());
+        s.record(TraceEvent::new(0, EventKind::Planned));
+    }
+
+    #[test]
+    fn ring_drops_oldest_when_full() {
+        let mut ring = RingSink::new(3);
+        for i in 0..5 {
+            ring.record(TraceEvent::new(i, EventKind::Heartbeat));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.dropped(), 2);
+        let t = ring.into_trace(meta());
+        assert_eq!(t.dropped, 2);
+        assert_eq!(t.events()[0].at_ns, 2);
+        assert_eq!(t.span_ns(), 4);
+    }
+
+    #[test]
+    fn shared_sink_disabled_is_free() {
+        let s = SharedSink::disabled();
+        assert!(!s.enabled());
+        assert_eq!(s.now_ns(), 0);
+        s.record(TraceEvent::new(7, EventKind::Planned));
+        assert!(s.take(meta()).is_empty());
+    }
+
+    #[test]
+    fn shared_sink_clones_share_one_ring() {
+        let a = SharedSink::bounded(16);
+        let b = a.clone();
+        a.record(TraceEvent::new(1, EventKind::Planned));
+        b.record(TraceEvent::new(2, EventKind::Completed));
+        let t = a.take(meta());
+        assert_eq!(t.len(), 2);
+        // take() drained the shared ring.
+        assert!(b.take(meta()).is_empty());
+    }
+
+    #[test]
+    fn record_now_stamps_monotonically() {
+        let s = SharedSink::recording();
+        s.record_now(TraceEvent::new(0, EventKind::Planned));
+        s.record_now(TraceEvent::new(0, EventKind::Completed));
+        let t = s.take(meta());
+        assert_eq!(t.len(), 2);
+        assert!(t.events()[0].at_ns <= t.events()[1].at_ns);
+    }
+}

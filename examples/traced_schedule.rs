@@ -1,0 +1,90 @@
+//! Where does the waiting go? GSS vs TFSS, traced.
+//!
+//! The paper's Tables 2–3 show *that* TFSS beats GSS on a heterogeneous
+//! cluster; a trace shows *where*: GSS front-loads huge chunks, so when
+//! a slow (or overloaded) PE draws one early, everyone else drains the
+//! queue and then idles behind the straggler. TFSS's trapezoid decrease
+//! keeps the last chunks small, so the tail packs tightly.
+//!
+//! This example simulates the same Mandelbrot window under both schemes
+//! on the paper's 3-fast + 5-slow cluster, dedicated and non-dedicated,
+//! entirely through the tracing subsystem: per-worker Gantt lanes,
+//! idle-gap accounting and trace-derived wait totals — then runs TFSS
+//! once for real (threads + channels) and writes a Chrome/Perfetto
+//! `trace.json` with the identical schema.
+//!
+//! ```sh
+//! cargo run --release --example traced_schedule
+//! ```
+
+use std::sync::Arc;
+
+use loop_self_scheduling::prelude::*;
+
+fn wait_profile(trace: &Trace) -> (f64, f64, usize, f64) {
+    let waits: Vec<f64> = TimeBreakdown::all_from_trace(trace)
+        .iter()
+        .map(|b| b.t_wait)
+        .collect();
+    let gaps = idle_gaps(trace);
+    let gap_s = gaps.iter().map(|g| g.dur_ns()).sum::<u64>() as f64 / 1e9;
+    (
+        waits.iter().sum(),
+        waits.iter().cloned().fold(0.0, f64::max),
+        gaps.len(),
+        gap_s,
+    )
+}
+
+fn main() {
+    let workload = SampledWorkload::new(
+        Mandelbrot::new(MandelbrotParams::paper_domain(800, 400)),
+        4,
+    );
+
+    for nondedicated in [false, true] {
+        let condition = if nondedicated { "non-dedicated" } else { "dedicated" };
+        println!("=== {condition} cluster (3 fast + 5 slow) ===\n");
+        let mut loads = vec![LoadTrace::dedicated(); 8];
+        if nondedicated {
+            // The paper's overload set: 1 fast + 3 slow slaves busy.
+            loads[0] = LoadTrace::paper_overloaded();
+            for l in loads.iter_mut().take(6).skip(3) {
+                *l = LoadTrace::paper_overloaded();
+            }
+        }
+        for scheme in [SchemeKind::Gss { min_chunk: 1 }, SchemeKind::Tfss] {
+            let cfg = SimConfig::new(ClusterSpec::paper_mix(3, 5), scheme);
+            let (report, _spans, trace) = simulate_traced(&cfg, &workload, &loads);
+            let (wait_sum, wait_max, gap_count, gap_s) = wait_profile(&trace);
+            let cp = critical_path(&trace);
+            println!(
+                "{}: T_p {:.2}s | SumT_wait {:.2}s (max {:.2}s) | {} idle gaps ({:.2}s) | serialized {:.2}s",
+                report.scheme, report.t_p, wait_sum, wait_max, gap_count, gap_s,
+                cp.serialized_ns as f64 / 1e9,
+            );
+            println!("{}", render_gantt(&trace, 64));
+        }
+    }
+
+    // Same schema from a real threaded run: trace TFSS end-to-end and
+    // drop a Perfetto-loadable file.
+    let workload = Arc::new(SampledWorkload::new(
+        Mandelbrot::new(MandelbrotParams::paper_domain(300, 150)),
+        4,
+    ));
+    let cfg = HarnessConfig::paper_mix(SchemeKind::Tfss, 2, 2).traced();
+    let out = run_scheduled_loop(&cfg, workload);
+    let trace = out.trace.expect("tracing was on");
+    let json = to_chrome_json(&trace);
+    let events = validate_chrome_trace(&json).expect("schema holds for the runtime too");
+    let path = std::env::temp_dir().join("lss_traced_schedule.json");
+    std::fs::write(&path, json).expect("write trace");
+    println!(
+        "real TFSS run ({} clock): {} trace events -> {}",
+        trace.meta.clock.label(),
+        events,
+        path.display()
+    );
+    println!("open it at https://ui.perfetto.dev (Open trace file)");
+}

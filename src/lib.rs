@@ -37,6 +37,7 @@ pub use lss_core as core;
 pub use lss_metrics as metrics;
 pub use lss_runtime as runtime;
 pub use lss_sim as sim;
+pub use lss_trace as trace;
 pub use lss_workloads as workloads;
 
 /// The common imports for applications.
@@ -63,7 +64,13 @@ pub mod prelude {
     };
     pub use lss_runtime::load::LoadState;
     pub use lss_sim::{
-        simulate, simulate_tree, ClusterSpec, LoadTrace, SimConfig, SimTime, TreeSimConfig,
+        simulate, simulate_traced, simulate_tree, ClusterSpec, LoadTrace, SimConfig, SimTime,
+        TreeSimConfig,
+    };
+    pub use lss_trace::{
+        breakdowns, critical_path, gantt, idle_gaps, imbalance, render_gantt, to_chrome_json,
+        to_prometheus_text, validate_chrome_trace, ClockDomain, EventKind as TraceEventKind,
+        SharedSink, Trace, TraceEvent, TraceSink,
     };
     pub use lss_workloads::{
         sampled_order, Mandelbrot, MandelbrotParams, SampledWorkload, SortedWorkload,
