@@ -47,6 +47,12 @@ USAGE:
       Chrome/Perfetto trace.json, Prometheus text, or an ASCII summary.
   lss trace --validate FILE
       Check that FILE is a well-formed Chrome trace.
+  lss verify [--all | --certify | --explore | --lint] [--iters I]
+      [--pes p] [--interleavings N] [--json FILE]
+      Static verification: certify every scheme's chunk algebra over a
+      bounded domain (default I<=4096, p<=16), explore bounded fault
+      interleavings of the lease protocol, and run the repo lint rules.
+      Default is --all. --json writes machine-readable certificates.
   lss schemes
       List every supported scheme name.
 
@@ -555,6 +561,121 @@ fn render_trace_summary(report: &lss_metrics::RunReport, trace: &lss_trace::Trac
     out
 }
 
+/// `lss verify` — runs the static verification engines and renders a
+/// human-readable summary (optionally writing JSON certificates).
+pub fn cmd_verify(args: &Args) -> Result<String, ArgError> {
+    use lss_verify::certify::Domain;
+    use lss_verify::explore::ExploreConfig;
+
+    let run_all = args.has("all")
+        || !(args.has("certify") || args.has("explore") || args.has("lint"));
+    let mut out = String::new();
+    let mut failed = false;
+
+    if run_all || args.has("certify") {
+        let domain = Domain {
+            max_iters: args.get_or("iters", Domain::PAPER.max_iters)?,
+            max_p: args.get_or("pes", Domain::PAPER.max_p)?,
+        };
+        let certs = lss_verify::certify_all(&domain);
+        let mut table = TextTable::new(vec![
+            "scheme".into(),
+            "verdict".into(),
+            "configs".into(),
+            "chunks".into(),
+            "checks".into(),
+            "properties".into(),
+        ]);
+        for cert in &certs {
+            failed |= !cert.holds();
+            table.push_row(vec![
+                cert.scheme.to_string(),
+                if cert.holds() { "certified".into() } else { "FAILED".into() },
+                cert.configs.to_string(),
+                cert.chunks.to_string(),
+                cert.total_checks().to_string(),
+                cert.properties.len().to_string(),
+            ]);
+        }
+        out.push_str(&format!(
+            "Scheme certification over I <= {}, p <= {}:\n{}",
+            domain.max_iters,
+            domain.max_p,
+            table.render()
+        ));
+        for cert in &certs {
+            for prop in &cert.properties {
+                if prop.violations > 0 {
+                    out.push_str(&format!(
+                        "  {} / {}: {} violation(s), e.g. {}\n",
+                        cert.scheme,
+                        prop.name,
+                        prop.violations,
+                        prop.samples.first().map_or("<none>", |s| s.as_str())
+                    ));
+                }
+            }
+        }
+        if let Some(path) = args.get("json") {
+            let json = lss_verify::json_certificates(&certs);
+            std::fs::write(path, json)
+                .map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
+            out.push_str(&format!("certificates written to {path}\n"));
+        }
+    }
+
+    if run_all || args.has("explore") {
+        let mut cfg = ExploreConfig::chaos_default();
+        cfg.max_interleavings = args.get_or("interleavings", cfg.max_interleavings)?;
+        let report = lss_verify::explore(&cfg);
+        failed |= !report.holds();
+        out.push_str(&format!(
+            "\nInterleaving exploration ({} workers, I = {}, {}):\n  \
+             {} schedules explored ({} terminal, {} depth-bounded), \
+             {} assertions, {} trace events checked — {}\n",
+            cfg.workers,
+            cfg.total,
+            cfg.scheme.name(),
+            report.interleavings,
+            report.terminal,
+            report.depth_bounded,
+            report.checks,
+            report.events_checked,
+            if report.holds() { "no violations" } else { "VIOLATIONS" },
+        ));
+        for v in &report.violations {
+            out.push_str(&format!("  violation: {v}\n"));
+        }
+    }
+
+    if run_all || args.has("lint") {
+        let root = std::env::current_dir()
+            .map_err(|e| ArgError(format!("cannot determine working directory: {e}")))?;
+        match lss_verify::lint_repo(&root) {
+            Ok(report) => {
+                failed |= !report.holds();
+                out.push_str(&format!(
+                    "\nRepo lint ({}): {}\n",
+                    report.rules.join(", "),
+                    if report.holds() { "clean" } else { "VIOLATIONS" }
+                ));
+                for f in &report.findings {
+                    out.push_str(&format!("  {f}\n"));
+                }
+            }
+            Err(e) => out.push_str(&format!(
+                "\nRepo lint skipped: {e} (run from the repo root to enable)\n"
+            )),
+        }
+    }
+
+    if failed {
+        return Err(ArgError(format!("{out}\nverification FAILED")));
+    }
+    out.push_str("\nverification OK\n");
+    Ok(out)
+}
+
 /// Dispatches a parsed command line.
 pub fn dispatch(args: &Args) -> Result<String, ArgError> {
     match args.command.as_deref() {
@@ -567,6 +688,7 @@ pub fn dispatch(args: &Args) -> Result<String, ArgError> {
         Some("worker") => cmd_worker(args),
         Some("predict") => cmd_predict(args),
         Some("trace") => cmd_trace(args),
+        Some("verify") => cmd_verify(args),
         Some(other) => Err(ArgError(format!("unknown command {other:?}\n\n{USAGE}"))),
     }
 }

@@ -95,9 +95,20 @@ impl<S: ChunkSizer> ChunkDispenser<S> {
         }
         let proposed = self.sizer.next_chunk_size(self.remaining);
         let len = proposed.clamp(1, self.remaining);
+        // Eq. 1's accounting invariant, the contract every scheme and
+        // the certifier (`lss-verify`) rely on: a dispensed chunk is
+        // never empty and never exceeds the remaining iterations.
+        debug_assert!(
+            (1..=self.remaining).contains(&len),
+            "clamp broke 1 <= C_i <= R: proposed {proposed}, len {len}, remaining {}",
+            self.remaining
+        );
         let chunk = Chunk::new(self.next_start, len);
         self.next_start += len;
         self.remaining -= len;
+        // Bookkeeping stays exact: start cursor + remaining always sum
+        // to the loop total handed to `new`.
+        debug_assert_eq!(chunk.end(), self.next_start, "cursor drifted from chunk end");
         Some(chunk)
     }
 

@@ -1014,8 +1014,8 @@ mod lease_tests {
             let mut now = 0u64;
             let mut finished = [false; 4];
             while !finished.iter().all(|f| *f) {
-                for w in 0..4 {
-                    if finished[w] {
+                for (w, done) in finished.iter_mut().enumerate() {
+                    if *done {
                         continue;
                     }
                     now += 1;
@@ -1025,7 +1025,7 @@ mod lease_tests {
                             m.record_completion(w, c, now);
                         }
                         Assignment::Retry => {}
-                        Assignment::Finished => finished[w] = true,
+                        Assignment::Finished => *done = true,
                     }
                 }
             }

@@ -310,12 +310,12 @@ mod tests {
             0,
         );
         let b0 = TimeBreakdown::from_trace(&trace, 0);
-        assert_eq!(b0.t_com, 1_000_000_003u64 as f64 / 1e9);
+        assert_eq!(b0.t_com, 1_000_000_003_f64 / 1e9);
         assert_eq!(b0.t_wait, 0.5);
         assert_eq!(b0.t_comp, 0.0);
         let all = TimeBreakdown::all_from_trace(&trace);
         assert_eq!(all.len(), 2);
-        assert_eq!(all[1].t_comp, 250u64 as f64 / 1e9);
+        assert_eq!(all[1].t_comp, 250_f64 / 1e9);
         // Out-of-range worker yields a zero breakdown.
         assert_eq!(TimeBreakdown::from_trace(&trace, 9), TimeBreakdown::zero());
     }

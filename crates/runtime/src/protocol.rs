@@ -67,11 +67,13 @@ fn get_u8(buf: &mut &[u8]) -> Option<u8> {
 }
 
 fn get_u32(buf: &mut &[u8]) -> Option<u32> {
-    take(buf, 4).map(|b| u32::from_be_bytes(b.try_into().unwrap()))
+    let bytes: [u8; 4] = take(buf, 4)?.try_into().ok()?;
+    Some(u32::from_be_bytes(bytes))
 }
 
 fn get_u64(buf: &mut &[u8]) -> Option<u64> {
-    take(buf, 8).map(|b| u64::from_be_bytes(b.try_into().unwrap()))
+    let bytes: [u8; 8] = take(buf, 8)?.try_into().ok()?;
+    Some(u64::from_be_bytes(bytes))
 }
 
 impl Request {
@@ -115,7 +117,7 @@ impl Request {
                 if buf.len() as u64 != expected {
                     return None;
                 }
-                let values = (0..len).map(|_| get_u64(buf).unwrap()).collect();
+                let values = (0..len).map(|_| get_u64(buf)).collect::<Option<Vec<_>>>()?;
                 Some(ChunkResult::new(Chunk::new(start, len), values))
             }
             _ => return None,
@@ -204,11 +206,8 @@ impl WireMsg {
         match tag {
             TAG_MSG_REQUEST => Request::decode(rest).map(WireMsg::Request),
             TAG_MSG_HEARTBEAT => {
-                if rest.len() != 4 {
-                    return None;
-                }
-                let worker = u32::from_be_bytes(rest.try_into().unwrap()) as usize;
-                Some(WireMsg::Heartbeat { worker })
+                let bytes: [u8; 4] = rest.try_into().ok()?;
+                Some(WireMsg::Heartbeat { worker: u32::from_be_bytes(bytes) as usize })
             }
             _ => None,
         }

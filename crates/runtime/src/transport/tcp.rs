@@ -73,7 +73,10 @@ impl FrameBuf {
         if self.buf.len() < 4 {
             return Ok(None);
         }
-        let len = u32::from_be_bytes(self.buf[..4].try_into().unwrap()) as usize;
+        let header: [u8; 4] = self.buf[..4]
+            .try_into()
+            .map_err(|_| TransportError::Malformed("frame header unreadable".into()))?;
+        let len = u32::from_be_bytes(header) as usize;
         if len > MAX_FRAME_BYTES {
             return Err(TransportError::Malformed(format!(
                 "frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
@@ -181,22 +184,20 @@ fn handshake(stream: &mut TcpStream, p: usize) -> Result<Request, TransportError
 /// Spawns the per-connection reader thread.
 fn spawn_reader(mut stream: TcpStream, id: usize, my_gen: u64, tx: Sender<Inbound>, shared: Arc<Shared>) {
     std::thread::spawn(move || {
-        loop {
-            match read_frame_blocking(&mut stream) {
-                Ok(payload) => match WireMsg::decode(&payload) {
-                    Some(WireMsg::Request(req)) => {
-                        if tx.send(Inbound::Request(req)).is_err() {
-                            return; // master gone; nobody to notify
-                        }
+        // Until EOF or an I/O error ends the connection:
+        while let Ok(payload) = read_frame_blocking(&mut stream) {
+            match WireMsg::decode(&payload) {
+                Some(WireMsg::Request(req)) => {
+                    if tx.send(Inbound::Request(req)).is_err() {
+                        return; // master gone; nobody to notify
                     }
-                    Some(WireMsg::Heartbeat { worker }) => {
-                        if tx.send(Inbound::Heartbeat { worker }).is_err() {
-                            return;
-                        }
+                }
+                Some(WireMsg::Heartbeat { worker }) => {
+                    if tx.send(Inbound::Heartbeat { worker }).is_err() {
+                        return;
                     }
-                    None => break, // malformed frame: treat connection as dead
-                },
-                Err(_) => break, // EOF or I/O error
+                }
+                None => break, // malformed frame: treat connection as dead
             }
         }
         // Only current connections get to report their death; if the
@@ -255,11 +256,10 @@ fn acceptor_loop(listener: TcpListener, p: usize, tx: Sender<Inbound>, shared: A
             streams[id] = Some(write_half);
             had
         };
-        if reconnected {
-            if tx.send(Inbound::Reconnected(id)).is_err() {
+        if reconnected
+            && tx.send(Inbound::Reconnected(id)).is_err() {
                 return;
             }
-        }
         // Deliver the hello BEFORE the reader thread starts: otherwise
         // a frame the worker pipelined right behind its hello (say a
         // heartbeat) could reach the inbox first, reordering the
@@ -472,10 +472,7 @@ mod tests {
 
     fn next_request(m: &mut TcpMaster) -> Request {
         loop {
-            match m.recv().unwrap() {
-                Inbound::Request(r) => return r,
-                _ => {}
-            }
+            if let Inbound::Request(r) = m.recv().unwrap() { return r }
         }
     }
 

@@ -295,7 +295,7 @@ fn simulate_inner(
             .iter()
             .map(|s| s.speed)
             .fold(f64::INFINITY, f64::min);
-        let mean_cost = if workload.len() == 0 {
+        let mean_cost = if workload.is_empty() {
             0.0
         } else {
             workload.total_cost() as f64 / workload.len() as f64
@@ -504,7 +504,7 @@ fn simulate_inner(
                 if chaos {
                     if let Some(d) = master.next_lease_deadline() {
                         let t = SimTime(d.saturating_add(1));
-                        if lease_check_at.map_or(true, |at| t < at || at <= now) {
+                        if lease_check_at.is_none_or(|at| t < at || at <= now) {
                             lease_check_at = Some(t);
                             push(&mut heap, t, Event::LeaseCheck, &mut seq);
                         }
@@ -824,7 +824,7 @@ fn simulate_inner(
                 }
                 if let Some(d) = master.next_lease_deadline() {
                     let t = SimTime(d.saturating_add(1));
-                    if lease_check_at.map_or(true, |at| t < at) {
+                    if lease_check_at.is_none_or(|at| t < at) {
                         lease_check_at = Some(t);
                         push(&mut heap, t, Event::LeaseCheck, &mut seq);
                     }

@@ -1,0 +1,1177 @@
+//! Engine 1 — the exhaustive scheme certifier.
+//!
+//! Every chunk-size rule in `lss-core` is re-implemented here as an
+//! *independent* replica of its published formula, then both the
+//! replica and the real scheme are swept over a bounded parameter
+//! domain ([`Domain`]): every loop size `I ≤ max_iters`, every PE count
+//! `p ≤ max_p`, and (for the distributed schemes) a fixed set of
+//! heterogeneous power/run-queue vectors. For every configuration the
+//! certifier checks, chunk by chunk:
+//!
+//! - **clamping** — `1 ≤ C_i ≤ R_{i-1}` (eq. 1's accounting),
+//! - **coverage** — the chunks tile `[0, I)` contiguously, no overlap,
+//!   no gap, no stranded tail,
+//! - **formula fidelity** — the dispensed sequence equals the replica's
+//!   prediction exactly (not statistically),
+//! - scheme-specific structure — TSS/GSS monotone non-increase,
+//!   FSS/FISS/TFSS stage structure (groups of `p` equal chunks), TFSS
+//!   stage totals equal to the mean of the next `p` TSS formula chunks,
+//!   DTSS's closed form, DFSS/DFISS/DTFSS per-worker shares within
+//!   rounding of `SC_k · A_j / A`, and the §5.2 fractional-ACP fix.
+//!
+//! The output is a machine-readable [`Certificate`] per scheme family:
+//! how many configurations and chunks were checked, and per property
+//! the check/violation counts with up to eight violation samples.
+
+use lss_core::chunk::{Chunk, ChunkDispenser};
+use lss_core::distributed::{DistKind, DistributedScheduler, Grant};
+use lss_core::power::{AcpConfig, VirtualPower};
+use lss_core::scheme::{
+    ChunkSelfSched, ChunkSizer, FactoringSelfSched, FixedIncreaseSelfSched, GuidedSelfSched,
+    PureSelfSched, StaticSched, TrapezoidFactoringSelfSched, TrapezoidSelfSched, WeightedFactoring,
+};
+
+/// Maximum number of violation samples kept per property.
+const MAX_SAMPLES: usize = 8;
+
+/// Rounds to nearest, ties to even — an independent copy of the
+/// rounding mode `lss-core` uses for FSS (kept local so the certifier
+/// does not certify a formula against itself).
+fn round_half_even(x: f64) -> u64 {
+    let floor = x.floor();
+    let frac = x - floor;
+    let f = floor as u64;
+    if frac > 0.5 || (frac == 0.5 && !f.is_multiple_of(2)) {
+        f + 1
+    } else {
+        f
+    }
+}
+
+/// The bounded parameter domain a certificate quantifies over.
+#[derive(Debug, Clone, Copy)]
+pub struct Domain {
+    /// Largest loop size `I` swept (every `1..=max_iters` is checked).
+    pub max_iters: u64,
+    /// Largest PE count `p` swept (every `1..=max_p` is checked).
+    pub max_p: u32,
+}
+
+impl Domain {
+    /// The domain from the PR acceptance criteria: `I ≤ 4096`, `p ≤ 16`.
+    pub const PAPER: Domain = Domain { max_iters: 4096, max_p: 16 };
+
+    /// A small domain for debug-profile unit tests.
+    pub fn quick() -> Domain {
+        Domain { max_iters: 160, max_p: 5 }
+    }
+}
+
+/// One verified property inside a [`Certificate`]: a named claim, how
+/// many times it was checked, and how often it failed.
+#[derive(Debug, Clone)]
+pub struct Property {
+    /// Human-readable name of the claim.
+    pub name: &'static str,
+    /// Number of individual checks performed.
+    pub checks: u64,
+    /// Number of failed checks.
+    pub violations: u64,
+    /// Up to [`MAX_SAMPLES`] descriptions of failing configurations.
+    pub samples: Vec<String>,
+}
+
+impl Property {
+    fn new(name: &'static str) -> Self {
+        Property { name, checks: 0, violations: 0, samples: Vec::new() }
+    }
+
+    /// Records one check; `detail` is only rendered on failure.
+    fn check<F: FnOnce() -> String>(&mut self, ok: bool, detail: F) {
+        self.checks += 1;
+        if !ok {
+            if self.samples.len() < MAX_SAMPLES {
+                self.samples.push(detail());
+            }
+            self.violations += 1;
+        }
+    }
+
+    /// Whether the property held over every check.
+    pub fn holds(&self) -> bool {
+        self.violations == 0 && self.checks > 0
+    }
+}
+
+/// The machine-readable result of certifying one scheme family.
+#[derive(Debug, Clone)]
+pub struct Certificate {
+    /// Scheme label, e.g. `"TSS"` or `"DTSS"`.
+    pub scheme: &'static str,
+    /// Description of the parameter sweep this certificate covers.
+    pub variant: String,
+    /// Number of `(I, p, params)` configurations evaluated.
+    pub configs: u64,
+    /// Total chunks dispensed and checked across all configurations.
+    pub chunks: u64,
+    /// The individual properties proved (or refuted).
+    pub properties: Vec<Property>,
+}
+
+impl Certificate {
+    /// Whether every property held over a non-empty sweep.
+    pub fn holds(&self) -> bool {
+        self.configs > 0 && self.properties.iter().all(Property::holds)
+    }
+
+    /// Sum of individual checks across all properties.
+    pub fn total_checks(&self) -> u64 {
+        self.properties.iter().map(|p| p.checks).sum()
+    }
+}
+
+/// The scheme families the certifier knows how to certify.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchemeFamily {
+    /// Static scheduling `S`: one `⌈I/p⌉` block per PE.
+    Static,
+    /// Pure self-scheduling `SS`: one iteration per request.
+    Pure,
+    /// Chunk self-scheduling `CSS(k)`: fixed chunk size.
+    Css,
+    /// Guided self-scheduling `GSS`.
+    Gss,
+    /// Guided self-scheduling with a minimum chunk, `GSS(k)`.
+    GssMin,
+    /// Trapezoid self-scheduling with default bounds.
+    Tss,
+    /// Trapezoid self-scheduling with explicit `(F, L)` bounds.
+    TssBounds,
+    /// Factoring self-scheduling with fixed `α = 2`.
+    Fss,
+    /// Factoring with the Hummel–Schonberg–Flynn adaptive `α`.
+    FssAdaptive,
+    /// Fixed-increase self-scheduling `FISS(σ)`.
+    Fiss,
+    /// The paper's trapezoid-factoring scheme `TFSS`.
+    Tfss,
+    /// Weighted factoring `WF` (per-worker static weights).
+    Wf,
+    /// Distributed trapezoid self-scheduling (closed form over ACP).
+    Dtss,
+    /// Distributed factoring self-scheduling.
+    Dfss,
+    /// Distributed fixed-increase self-scheduling.
+    Dfiss,
+    /// Distributed trapezoid-factoring self-scheduling.
+    Dtfss,
+    /// The §5.2 fractional-ACP `×10` fix.
+    FractionalAcp,
+}
+
+impl SchemeFamily {
+    /// The 11 `ChunkSizer` configurations named by the PR acceptance
+    /// criteria.
+    pub const CORE: [SchemeFamily; 11] = [
+        SchemeFamily::Static,
+        SchemeFamily::Pure,
+        SchemeFamily::Css,
+        SchemeFamily::Gss,
+        SchemeFamily::GssMin,
+        SchemeFamily::Tss,
+        SchemeFamily::TssBounds,
+        SchemeFamily::Fss,
+        SchemeFamily::FssAdaptive,
+        SchemeFamily::Fiss,
+        SchemeFamily::Tfss,
+    ];
+
+    /// The auxiliary certificates: the per-worker schemes (WF, the
+    /// distributed family) and the ACP arithmetic itself.
+    pub const AUXILIARY: [SchemeFamily; 6] = [
+        SchemeFamily::Wf,
+        SchemeFamily::Dtss,
+        SchemeFamily::Dfss,
+        SchemeFamily::Dfiss,
+        SchemeFamily::Dtfss,
+        SchemeFamily::FractionalAcp,
+    ];
+
+    /// Display label used in certificates and CLI tables.
+    pub fn label(self) -> &'static str {
+        match self {
+            SchemeFamily::Static => "S",
+            SchemeFamily::Pure => "SS",
+            SchemeFamily::Css => "CSS(k)",
+            SchemeFamily::Gss => "GSS",
+            SchemeFamily::GssMin => "GSS(k)",
+            SchemeFamily::Tss => "TSS",
+            SchemeFamily::TssBounds => "TSS(F,L)",
+            SchemeFamily::Fss => "FSS",
+            SchemeFamily::FssAdaptive => "FSS(adaptive)",
+            SchemeFamily::Fiss => "FISS",
+            SchemeFamily::Tfss => "TFSS",
+            SchemeFamily::Wf => "WF",
+            SchemeFamily::Dtss => "DTSS",
+            SchemeFamily::Dfss => "DFSS",
+            SchemeFamily::Dfiss => "DFISS",
+            SchemeFamily::Dtfss => "DTFSS",
+            SchemeFamily::FractionalAcp => "ACP(x10)",
+        }
+    }
+
+    /// Whether this family is one of the 11 core `ChunkSizer` configs.
+    pub fn is_core(self) -> bool {
+        SchemeFamily::CORE.contains(&self)
+    }
+}
+
+/// Streams a dispenser, checking the clamp and coverage invariants and
+/// collecting the dispensed sizes into `sizes` (cleared first).
+fn stream<S: ChunkSizer>(
+    total: u64,
+    sizer: S,
+    clamp: &mut Property,
+    cover: &mut Property,
+    sizes: &mut Vec<u64>,
+) {
+    sizes.clear();
+    let mut d = ChunkDispenser::new(total, sizer);
+    let mut cursor = 0u64;
+    let mut remaining_before = total;
+    let mut count = 0u64;
+    while let Some(c) = d.next_chunk() {
+        count += 1;
+        if count > total {
+            // More chunks than iterations is unreachable if clamping
+            // holds; guard against a non-terminating formula anyway.
+            cover.check(false, || format!("I={total}: dispensed more chunks than iterations"));
+            return;
+        }
+        clamp.check(c.len >= 1 && c.len <= remaining_before, || {
+            format!("I={total}: chunk #{count} len {} outside 1..={remaining_before}", c.len)
+        });
+        cover.check(c.start == cursor, || {
+            format!("I={total}: chunk #{count} starts at {} but cursor is {cursor}", c.start)
+        });
+        cursor = c.end();
+        remaining_before = remaining_before.saturating_sub(c.len);
+        sizes.push(c.len);
+    }
+    cover.check(cursor == total, || format!("I={total}: chunks cover [0,{cursor}) of {total}"));
+}
+
+/// Applies the dispenser clamp to a replica's proposal stream,
+/// producing the predicted dispensed sequence.
+fn clamp_replay<F: FnMut(u64) -> u64>(total: u64, mut propose: F) -> Vec<u64> {
+    let mut out = Vec::new();
+    let mut rem = total;
+    while rem > 0 {
+        let len = propose(rem).clamp(1, rem);
+        out.push(len);
+        rem -= len;
+    }
+    out
+}
+
+fn certify_static(d: &Domain) -> Certificate {
+    let mut clamp = Property::new("clamp 1 <= C_i <= R_{i-1}");
+    let mut cover = Property::new("exact coverage, no overlap");
+    let mut formula = Property::new("C_i = ceil(I/p) for exactly p proposals, then exhausted");
+    let mut count = Property::new("chunk count = ceil(I / ceil(I/p)) <= p");
+    let (mut configs, mut chunks) = (0u64, 0u64);
+    let mut sizes = Vec::new();
+    for p in 1..=d.max_p {
+        for total in 1..=d.max_iters {
+            configs += 1;
+            stream(total, StaticSched::new(total, p), &mut clamp, &mut cover, &mut sizes);
+            chunks += sizes.len() as u64;
+            let ceil = total.div_ceil(p as u64);
+            let mut handed = 0u32;
+            let expect = clamp_replay(total, |_| {
+                let c = if handed < p { ceil } else { 0 };
+                handed += 1;
+                c
+            });
+            formula.check(sizes == expect, || {
+                format!("I={total},p={p}: dispensed {sizes:?} != replica {expect:?}")
+            });
+            count.check(sizes.len() as u64 == total.div_ceil(ceil), || {
+                format!("I={total},p={p}: {} chunks", sizes.len())
+            });
+        }
+    }
+    Certificate {
+        scheme: "S",
+        variant: format!("I in 1..={}, p in 1..={}", d.max_iters, d.max_p),
+        configs,
+        chunks,
+        properties: vec![clamp, cover, formula, count],
+    }
+}
+
+fn certify_pure(d: &Domain) -> Certificate {
+    let mut clamp = Property::new("clamp 1 <= C_i <= R_{i-1}");
+    let mut cover = Property::new("exact coverage, no overlap");
+    let mut formula = Property::new("every chunk is a singleton; exactly I chunks");
+    let (mut configs, mut chunks) = (0u64, 0u64);
+    let mut sizes = Vec::new();
+    for total in 1..=d.max_iters {
+        configs += 1;
+        stream(total, PureSelfSched::new(), &mut clamp, &mut cover, &mut sizes);
+        chunks += sizes.len() as u64;
+        formula.check(sizes.len() as u64 == total && sizes.iter().all(|&s| s == 1), || {
+            format!("I={total}: {} chunks, max {}", sizes.len(), sizes.iter().max().copied().unwrap_or(0))
+        });
+    }
+    Certificate {
+        scheme: "SS",
+        variant: format!("I in 1..={} (p-independent)", d.max_iters),
+        configs,
+        chunks,
+        properties: vec![clamp, cover, formula],
+    }
+}
+
+fn certify_css(d: &Domain) -> Certificate {
+    let mut clamp = Property::new("clamp 1 <= C_i <= R_{i-1}");
+    let mut cover = Property::new("exact coverage, no overlap");
+    let mut formula = Property::new("C_i = k except a final clamped tail of I mod k");
+    let (mut configs, mut chunks) = (0u64, 0u64);
+    let mut sizes = Vec::new();
+    let ks: Vec<u64> = (1..=d.max_p as u64).chain([64, 1000]).collect();
+    for &k in &ks {
+        for total in 1..=d.max_iters {
+            configs += 1;
+            stream(total, ChunkSelfSched::new(k), &mut clamp, &mut cover, &mut sizes);
+            chunks += sizes.len() as u64;
+            let expect = clamp_replay(total, |_| k);
+            formula.check(sizes == expect, || {
+                format!("I={total},k={k}: dispensed {sizes:?} != replica {expect:?}")
+            });
+        }
+    }
+    Certificate {
+        scheme: "CSS(k)",
+        variant: format!("I in 1..={}, k in {ks:?}", d.max_iters),
+        configs,
+        chunks,
+        properties: vec![clamp, cover, formula],
+    }
+}
+
+fn certify_gss(d: &Domain, min_chunk: bool) -> Certificate {
+    let mut clamp = Property::new("clamp 1 <= C_i <= R_{i-1}");
+    let mut cover = Property::new("exact coverage, no overlap");
+    let mut formula = Property::new("C_i = max(ceil(R/p), k)");
+    let mut mono = Property::new("chunk sizes monotone non-increasing");
+    let mut floor = Property::new("all but the final chunk >= k");
+    let (mut configs, mut chunks) = (0u64, 0u64);
+    let mut sizes = Vec::new();
+    let ks: &[u64] = if min_chunk { &[2, 4, 8] } else { &[1] };
+    for &k in ks {
+        for p in 1..=d.max_p {
+            for total in 1..=d.max_iters {
+                configs += 1;
+                let sizer = if min_chunk {
+                    GuidedSelfSched::with_min_chunk(p, k)
+                } else {
+                    GuidedSelfSched::new(p)
+                };
+                stream(total, sizer, &mut clamp, &mut cover, &mut sizes);
+                chunks += sizes.len() as u64;
+                let expect = clamp_replay(total, |rem| rem.div_ceil(p as u64).max(k));
+                formula.check(sizes == expect, || {
+                    format!("I={total},p={p},k={k}: dispensed {sizes:?} != replica {expect:?}")
+                });
+                mono.check(sizes.windows(2).all(|w| w[0] >= w[1]), || {
+                    format!("I={total},p={p},k={k}: sizes increased: {sizes:?}")
+                });
+                if min_chunk && sizes.len() > 1 {
+                    floor.check(sizes[..sizes.len() - 1].iter().all(|&s| s >= k), || {
+                        format!("I={total},p={p},k={k}: non-final chunk below k: {sizes:?}")
+                    });
+                }
+            }
+        }
+    }
+    let mut properties = vec![clamp, cover, formula, mono];
+    if min_chunk {
+        properties.push(floor);
+    }
+    Certificate {
+        scheme: if min_chunk { "GSS(k)" } else { "GSS" },
+        variant: format!("I in 1..={}, p in 1..={}, k in {ks:?}", d.max_iters, d.max_p),
+        configs,
+        chunks,
+        properties,
+    }
+}
+
+/// Independent replica of the TSS parameter derivation (`Tzen & Ni`,
+/// with the ceil reading of `N` documented in `scheme::tss`).
+fn tss_params(total: u64, first: u64, last: u64) -> (u64, u64, u64) {
+    let first = first.max(last);
+    let steps = (2 * total).div_ceil(first + last).max(2);
+    let decrement = (first - last) / (steps - 1);
+    (first, steps, decrement)
+}
+
+/// Independent replica of the TSS formula sequence `F, F-D, …`.
+fn tss_formula(first: u64, last: u64, decrement: u64) -> Vec<u64> {
+    let mut v = Vec::new();
+    let mut c = first;
+    let floor = last.max(1);
+    loop {
+        v.push(c);
+        if decrement == 0 || c < floor + decrement {
+            break;
+        }
+        c -= decrement;
+    }
+    v
+}
+
+fn certify_tss(d: &Domain, explicit_bounds: bool) -> Certificate {
+    let mut clamp = Property::new("clamp 1 <= C_i <= R_{i-1}");
+    let mut cover = Property::new("exact coverage, no overlap");
+    let mut params = Property::new("F, N, D match the Tzen-Ni derivation");
+    let mut formula = Property::new("C_{i+1} = max(C_i - D, L) until the clamped tail");
+    let mut mono = Property::new("chunk sizes monotone non-increasing (linear decrease)");
+    let mut floor = Property::new("all but the final chunk >= L");
+    let (mut configs, mut chunks) = (0u64, 0u64);
+    let mut sizes = Vec::new();
+    let ls: &[u64] = if explicit_bounds { &[2, 5] } else { &[1] };
+    for &l in ls {
+        for p in 1..=d.max_p {
+            for total in 1..=d.max_iters {
+                configs += 1;
+                let (sizer, f0) = if explicit_bounds {
+                    let f = (total / p as u64).max(1);
+                    (TrapezoidSelfSched::with_bounds(total, f, l), f)
+                } else {
+                    (TrapezoidSelfSched::new(total, p), (total / (2 * p as u64)).max(1))
+                };
+                let (first, steps, decr) = tss_params(total, f0, l);
+                params.check(
+                    sizer.first() == first
+                        && sizer.last() == l
+                        && sizer.planned_steps() == steps
+                        && sizer.decrement() == decr,
+                    || {
+                        format!(
+                            "I={total},p={p},L={l}: scheme (F={},N={},D={}) vs replica (F={first},N={steps},D={decr})",
+                            sizer.first(), sizer.planned_steps(), sizer.decrement()
+                        )
+                    },
+                );
+                stream(total, sizer, &mut clamp, &mut cover, &mut sizes);
+                chunks += sizes.len() as u64;
+                let mut current = first;
+                let expect = clamp_replay(total, |_| {
+                    let c = current;
+                    current = current.saturating_sub(decr).max(l).max(1);
+                    c
+                });
+                formula.check(sizes == expect, || {
+                    format!("I={total},p={p},L={l}: dispensed {sizes:?} != replica {expect:?}")
+                });
+                mono.check(sizes.windows(2).all(|w| w[0] >= w[1]), || {
+                    format!("I={total},p={p},L={l}: sizes increased: {sizes:?}")
+                });
+                if sizes.len() > 1 {
+                    floor.check(sizes[..sizes.len() - 1].iter().all(|&s| s >= l), || {
+                        format!("I={total},p={p},L={l}: non-final chunk below L: {sizes:?}")
+                    });
+                }
+            }
+        }
+    }
+    Certificate {
+        scheme: if explicit_bounds { "TSS(F,L)" } else { "TSS" },
+        variant: if explicit_bounds {
+            format!("I in 1..={}, p in 1..={}, F=I/p, L in {ls:?}", d.max_iters, d.max_p)
+        } else {
+            format!("I in 1..={}, p in 1..={}, F=I/2p, L=1", d.max_iters, d.max_p)
+        },
+        configs,
+        chunks,
+        properties: vec![clamp, cover, params, formula, mono, floor],
+    }
+}
+
+/// Checks the FSS-style stage structure of a dispensed sequence:
+/// every group of `p` consecutive chunks not touching the final
+/// (possibly clamped) chunk is uniform, and stage sizes are monotone —
+/// non-increasing (`increasing = false`) or non-decreasing.
+fn check_stages<F: Fn() -> String>(
+    sizes: &[u64],
+    p: u32,
+    increasing: bool,
+    stage: &mut Property,
+    mono: &mut Property,
+    ctx: F,
+) {
+    let n = sizes.len();
+    let p = p as usize;
+    let mut prev: Option<u64> = None;
+    let mut k = 0usize;
+    while (k + 1) * p < n {
+        let g = &sizes[k * p..(k + 1) * p];
+        stage.check(g.windows(2).all(|w| w[0] == w[1]), || {
+            format!("{}: uneven stage #{k}: {g:?}", ctx())
+        });
+        if let Some(prev) = prev {
+            let cur = g[0];
+            let ok = if increasing { prev <= cur } else { prev >= cur };
+            mono.check(ok, || format!("{}: stage size {prev} -> {cur} breaks monotonicity", ctx()));
+        }
+        prev = Some(g[0]);
+        k += 1;
+    }
+}
+
+fn certify_fss(d: &Domain, adaptive: bool) -> Certificate {
+    let mut clamp = Property::new("clamp 1 <= C_i <= R_{i-1}");
+    let mut cover = Property::new("exact coverage, no overlap");
+    let mut formula = Property::new("stage chunk = round_half_even(R / (alpha p)), held for p chunks");
+    let mut stage = Property::new("stage structure: p equal chunks per full stage");
+    let mut mono = Property::new("stage chunks monotone non-increasing");
+    let mut alpha_ok = Property::new("factoring parameter alpha >= 1 at every stage");
+    let (mut configs, mut chunks) = (0u64, 0u64);
+    let mut sizes = Vec::new();
+    // (mean, sigma) pairs for the adaptive variant; alpha values for
+    // the fixed variant.
+    let fixed_alphas: &[f64] = &[2.0, 4.0];
+    let dists: &[(f64, f64)] = &[(10.0, 4.0), (10.0, 12.0)];
+    let variants = if adaptive { dists.len() } else { fixed_alphas.len() };
+    for v in 0..variants {
+        for p in 1..=d.max_p {
+            for total in 1..=d.max_iters {
+                configs += 1;
+                let sizer = if adaptive {
+                    FactoringSelfSched::adaptive(p, dists[v].0, dists[v].1)
+                } else {
+                    FactoringSelfSched::with_alpha(p, fixed_alphas[v])
+                };
+                stream(total, sizer, &mut clamp, &mut cover, &mut sizes);
+                chunks += sizes.len() as u64;
+                // Replica of the stage machine with an independent
+                // alpha computation.
+                let mut in_stage = 0u32;
+                let mut stage_chunk = 0u64;
+                let expect = clamp_replay(total, |rem| {
+                    if in_stage == 0 {
+                        let alpha = if adaptive {
+                            let (mean, sd) = dists[v];
+                            let b = p as f64 * sd / (2.0 * (rem as f64).sqrt() * mean);
+                            1.0 + b * b + b * (b * b + 2.0).sqrt()
+                        } else {
+                            fixed_alphas[v]
+                        };
+                        alpha_ok.check(alpha >= 1.0, || {
+                            format!("I={total},p={p}: alpha {alpha} < 1 at R={rem}")
+                        });
+                        stage_chunk = round_half_even(rem as f64 / (alpha * p as f64)).max(1);
+                    }
+                    in_stage += 1;
+                    if in_stage == p {
+                        in_stage = 0;
+                    }
+                    stage_chunk
+                });
+                formula.check(sizes == expect, || {
+                    format!("I={total},p={p},v={v}: dispensed {sizes:?} != replica {expect:?}")
+                });
+                // Full stages (groups of p not touching the final,
+                // possibly clamped, chunk) are uniform and their sizes
+                // never increase across stage boundaries.
+                check_stages(&sizes, p, false, &mut stage, &mut mono, || {
+                    format!("I={total},p={p},v={v}")
+                });
+            }
+        }
+    }
+    let mut properties = vec![clamp, cover, formula, stage, mono];
+    if adaptive {
+        properties.push(alpha_ok);
+    }
+    Certificate {
+        scheme: if adaptive { "FSS(adaptive)" } else { "FSS" },
+        variant: if adaptive {
+            format!("I in 1..={}, p in 1..={}, (mu,sigma) in {dists:?}", d.max_iters, d.max_p)
+        } else {
+            format!("I in 1..={}, p in 1..={}, alpha in {fixed_alphas:?}", d.max_iters, d.max_p)
+        },
+        configs,
+        chunks,
+        properties,
+    }
+}
+
+fn certify_fiss(d: &Domain) -> Certificate {
+    let mut clamp = Property::new("clamp 1 <= C_i <= R_{i-1}");
+    let mut cover = Property::new("exact coverage, no overlap");
+    let mut formula = Property::new("stage k chunk = round(C_0 + k*B), C_0 = I/(Xp), X = sigma+2");
+    let mut stage = Property::new("stage structure: p equal chunks per full stage");
+    let mut mono = Property::new("stage chunks monotone non-decreasing (linear increase)");
+    let (mut configs, mut chunks) = (0u64, 0u64);
+    let mut sizes = Vec::new();
+    let sigmas: &[u32] = &[2, 3, 5];
+    for &sigma in sigmas {
+        for p in 1..=d.max_p {
+            for total in 1..=d.max_iters {
+                configs += 1;
+                stream(
+                    total,
+                    FixedIncreaseSelfSched::new(total, p, sigma),
+                    &mut clamp,
+                    &mut cover,
+                    &mut sizes,
+                );
+                chunks += sizes.len() as u64;
+                // Independent replica of the Philip & Das parameters.
+                let x = sigma + 2;
+                let c0 = (total / (x as u64 * p as u64)).max(1);
+                let bump = 2.0 * total as f64 * (1.0 - sigma as f64 / x as f64)
+                    / (p as f64 * sigma as f64 * (sigma as f64 - 1.0));
+                let mut k = 0u32;
+                let mut in_stage = 0u32;
+                let expect = clamp_replay(total, |_| {
+                    let c = ((c0 as f64 + k as f64 * bump).round() as u64).max(1);
+                    in_stage += 1;
+                    if in_stage == p {
+                        in_stage = 0;
+                        k += 1;
+                    }
+                    c
+                });
+                formula.check(sizes == expect, || {
+                    format!("I={total},p={p},s={sigma}: dispensed {sizes:?} != replica {expect:?}")
+                });
+                check_stages(&sizes, p, true, &mut stage, &mut mono, || {
+                    format!("I={total},p={p},s={sigma}")
+                });
+            }
+        }
+    }
+    Certificate {
+        scheme: "FISS",
+        variant: format!("I in 1..={}, p in 1..={}, sigma in {sigmas:?}", d.max_iters, d.max_p),
+        configs,
+        chunks,
+        properties: vec![clamp, cover, formula, stage, mono],
+    }
+}
+
+fn certify_tfss(d: &Domain) -> Certificate {
+    let mut clamp = Property::new("clamp 1 <= C_i <= R_{i-1}");
+    let mut cover = Property::new("exact coverage, no overlap");
+    let mut totals_prop =
+        Property::new("stage total = round(sum of next p TSS formula chunks / p), min 1");
+    let mut formula = Property::new("dispensed = stage chunks held p-wide, then guided fallback");
+    let mut stage = Property::new("stage structure: p equal chunks per full stage");
+    let mut mono = Property::new("stage chunks monotone non-increasing (inherits TSS decrease)");
+    let (mut configs, mut chunks) = (0u64, 0u64);
+    let mut sizes = Vec::new();
+    for p in 1..=d.max_p {
+        for total in 1..=d.max_iters {
+            configs += 1;
+            let tfss = TrapezoidFactoringSelfSched::new(total, p);
+            // Independent replica: TSS default parameters, formula
+            // sequence grouped p-at-a-time, each stage the rounded mean.
+            let f0 = (total / (2 * p as u64)).max(1);
+            let (first, _, decr) = tss_params(total, f0, 1);
+            let seq = tss_formula(first, 1, decr);
+            let stage_chunks: Vec<u64> = seq
+                .chunks(p as usize)
+                .map(|g| ((g.iter().sum::<u64>() as f64 / p as f64).round() as u64).max(1))
+                .collect();
+            totals_prop.check(tfss.stage_chunks() == stage_chunks.as_slice(), || {
+                format!(
+                    "I={total},p={p}: scheme stages {:?} != replica {stage_chunks:?}",
+                    tfss.stage_chunks()
+                )
+            });
+            stream(total, tfss, &mut clamp, &mut cover, &mut sizes);
+            chunks += sizes.len() as u64;
+            let mut k = 0usize;
+            let mut in_stage = 0u32;
+            let expect = clamp_replay(total, |rem| {
+                let c = stage_chunks.get(k).copied().unwrap_or_else(|| rem.div_ceil(p as u64));
+                in_stage += 1;
+                if in_stage == p {
+                    in_stage = 0;
+                    k += 1;
+                }
+                c
+            });
+            formula.check(sizes == expect, || {
+                format!("I={total},p={p}: dispensed {sizes:?} != replica {expect:?}")
+            });
+            // Stage structure only holds over the *planned* stages; the
+            // guided-style fallback tail (formula exhausted early, e.g.
+            // D = 0 truncates the TSS sequence) re-sizes per request.
+            let planned_region = (stage_chunks.len() * p as usize).min(sizes.len());
+            check_stages(&sizes[..planned_region], p, false, &mut stage, &mut mono, || {
+                format!("I={total},p={p}")
+            });
+        }
+    }
+    Certificate {
+        scheme: "TFSS",
+        variant: format!("I in 1..={}, p in 1..={}", d.max_iters, d.max_p),
+        configs,
+        chunks,
+        properties: vec![clamp, cover, totals_prop, formula, stage, mono],
+    }
+}
+
+fn certify_wf(d: &Domain) -> Certificate {
+    let mut cover = Property::new("exact coverage, no overlap (round-robin drain)");
+    let mut formula = Property::new("chunk = round((R_k/alpha) * w_j/W) clamped, R_k deterministic");
+    let mut geometry = Property::new("stage remaining R_{k+1} = R_k - min(round(R_k/2), R_k)");
+    let (mut configs, mut chunks) = (0u64, 0u64);
+    for p in 1..=d.max_p as usize {
+        // Homogeneous and a deterministic heterogeneous ramp.
+        let homog = vec![1.0f64; p];
+        let ramp: Vec<f64> = (0..p).map(|i| 1.0 + 0.5 * (i % 4) as f64).collect();
+        for weights in [&homog, &ramp] {
+            let total_weight: f64 = weights.iter().sum();
+            for total in 1..=d.max_iters {
+                configs += 1;
+                let mut wf = WeightedFactoring::new(total, weights);
+                // Independent replica of the WF state machine.
+                let mut stage_remaining: Vec<u64> = vec![total];
+                let mut worker_stage = vec![0usize; p];
+                let mut rem = total;
+                let mut cursor = 0u64;
+                let mut w = 0usize;
+                let mut mismatch = false;
+                while rem > 0 {
+                    let worker = w % p;
+                    w += 1;
+                    let k = worker_stage[worker];
+                    worker_stage[worker] += 1;
+                    while stage_remaining.len() <= k {
+                        let r = *stage_remaining.last().unwrap_or(&total);
+                        let t = ((r as f64 / 2.0).round() as u64).min(r);
+                        stage_remaining.push(r - t);
+                    }
+                    let r_k = stage_remaining[k];
+                    let share = (r_k as f64 / 2.0) * weights[worker] / total_weight;
+                    let len = (share.round() as u64).clamp(1, rem);
+                    let expect = Chunk::new(cursor, len);
+                    cursor += len;
+                    rem -= len;
+                    chunks += 1;
+                    let got = wf.next_chunk(worker);
+                    formula.check(got == Some(expect), || {
+                        format!("I={total},p={p},w={worker}: got {got:?}, replica {expect:?}")
+                    });
+                    if got != Some(expect) {
+                        mismatch = true;
+                        break;
+                    }
+                }
+                if !mismatch {
+                    cover.check(cursor == total && wf.next_chunk(0).is_none(), || {
+                        format!("I={total},p={p}: covered [0,{cursor}) of {total}")
+                    });
+                    geometry.check(wf.remaining() == 0, || {
+                        format!("I={total},p={p}: scheme reports {} remaining", wf.remaining())
+                    });
+                }
+            }
+        }
+    }
+    Certificate {
+        scheme: "WF",
+        variant: format!(
+            "I in 1..={}, p in 1..={}, homogeneous + 1/1.5/2/2.5 ramp weights",
+            d.max_iters, d.max_p
+        ),
+        configs,
+        chunks,
+        properties: vec![cover, formula, geometry],
+    }
+}
+
+/// The heterogeneous `(virtual power, run queue)` vectors the
+/// distributed certificates sweep. Queues are fixed per drain, so the
+/// plan made at construction stays valid and the closed-form replicas
+/// below predict every grant exactly.
+fn dist_vectors(d: &Domain) -> Vec<(Vec<f64>, Vec<u32>)> {
+    let p = d.max_p as usize;
+    vec![
+        (vec![1.0], vec![1]),
+        (vec![1.0; 4], vec![1; 4]),
+        (vec![2.65, 1.0], vec![1, 1]),
+        // The paper's §5.2(I) example: A_1 = 5, A_2 = 7, A = 12.
+        (vec![1.0, 3.0], vec![2, 4]),
+        (vec![3.0, 1.0, 1.5], vec![1, 1, 1]),
+        // One overloaded worker that must be refused, never granted.
+        (vec![1.0, 1.0], vec![1, 100]),
+        // Full-width deterministic heterogeneous cluster.
+        (
+            (0..p).map(|i| 1.0 + 0.5 * (i % 4) as f64).collect(),
+            (0..p).map(|i| 1 + (i % 3) as u32).collect(),
+        ),
+    ]
+}
+
+fn certify_distributed(d: &Domain, kind: DistKind) -> Certificate {
+    let mut clamp = Property::new("clamp 1 <= C_i <= R_{i-1}");
+    let mut cover = Property::new("exact coverage, no overlap (round-robin drain)");
+    let mut avail = Property::new("grant is Unavailable iff A_j = 0");
+    let mut share = Property::new(match kind {
+        DistKind::Dtss => "chunk = floor(A_j * (F - D*(S + (A_j-1)/2))), min 1",
+        _ => "chunk = round(SC_k * A_j / A), min 1",
+    });
+    let mut acp_prop = Property::new("planned total ACP = sum of floor(10 V_i / Q_i)");
+    let (mut configs, mut chunks) = (0u64, 0u64);
+    let cfg = AcpConfig::PAPER;
+    for (powers_f, queues) in dist_vectors(d) {
+        let powers: Vec<VirtualPower> = powers_f.iter().map(|&v| VirtualPower::new(v)).collect();
+        // Independent ACP replica: floor(scale * v / q).
+        let acps: Vec<u64> = powers_f
+            .iter()
+            .zip(&queues)
+            .map(|(&v, &q)| (10.0 * v / q.max(1) as f64).floor() as u64)
+            .collect();
+        let a_total: u64 = acps.iter().sum();
+        let p = powers.len();
+        for total in 1..=d.max_iters {
+            configs += 1;
+            let mut s = DistributedScheduler::new(kind, total, &powers, &queues, cfg);
+            acp_prop.check(s.planned_total_acp() == a_total, || {
+                format!(
+                    "I={total},V={powers_f:?},Q={queues:?}: scheme A={} replica A={a_total}",
+                    s.planned_total_acp()
+                )
+            });
+            // Replica plan state.
+            let (f, dd) = match kind {
+                DistKind::Dtss => {
+                    let f = (total as f64 / (2.0 * a_total.max(1) as f64)).max(1.0);
+                    let n = (2.0 * total as f64 / (f + 1.0)).max(2.0);
+                    (f, (f - 1.0) / (n - 1.0))
+                }
+                _ => (0.0, 0.0),
+            };
+            let mut s_consumed = 0u64;
+            let mut stage_totals: Vec<u64> = Vec::new();
+            let mut worker_stage = vec![0usize; p];
+            // DFISS / DTFSS fixed stage parameters.
+            let (sc0, bump) = match kind {
+                DistKind::Dfiss { sigma } => {
+                    let sigma = sigma.max(2);
+                    let x = sigma + 2;
+                    let sc0 = (total / x as u64).max(1);
+                    let bump = 2.0 * total as f64 * (1.0 - sigma as f64 / x as f64)
+                        / (sigma as f64 * (sigma as f64 - 1.0));
+                    (sc0, bump)
+                }
+                _ => (0, 0.0),
+            };
+            let groups: Vec<u64> = match kind {
+                DistKind::Dtfss => {
+                    let a32 = u32::try_from(a_total.max(1).min(u32::MAX as u64)).unwrap_or(1);
+                    TrapezoidSelfSched::new(total, a32)
+                        .formula_sequence()
+                        .chunks(a_total.max(1) as usize)
+                        .map(|g| g.iter().sum::<u64>())
+                        .collect()
+                }
+                _ => Vec::new(),
+            };
+            let mut rem = total;
+            let mut cursor = 0u64;
+            let mut w = 0usize;
+            let mut idle = 0usize;
+            let mut ok = true;
+            while ok {
+                let worker = w % p;
+                w += 1;
+                match s.request(worker, queues[worker]) {
+                    Grant::Finished => {
+                        cover.check(rem == 0 && cursor == total, || {
+                            format!(
+                                "I={total},V={powers_f:?}: Finished with replica rem={rem}, cursor={cursor}"
+                            )
+                        });
+                        break;
+                    }
+                    Grant::Unavailable => {
+                        avail.check(acps[worker] == 0, || {
+                            format!("I={total},V={powers_f:?},w={worker}: refused with A_j={}", acps[worker])
+                        });
+                        idle += 1;
+                        if idle > p {
+                            cover.check(false, || {
+                                format!("I={total},V={powers_f:?}: all workers refused with {rem} left")
+                            });
+                            break;
+                        }
+                    }
+                    Grant::Chunk(c) => {
+                        idle = 0;
+                        chunks += 1;
+                        avail.check(acps[worker] > 0, || {
+                            format!("I={total},V={powers_f:?},w={worker}: granted with A_j=0")
+                        });
+                        let a_j = acps[worker] as f64;
+                        let proposed = match kind {
+                            DistKind::Dtss => {
+                                let sv = s_consumed as f64;
+                                let c = a_j * (f - dd * (sv + (a_j - 1.0) / 2.0));
+                                s_consumed += acps[worker];
+                                c.floor().max(1.0) as u64
+                            }
+                            _ => {
+                                let k = worker_stage[worker];
+                                worker_stage[worker] += 1;
+                                while stage_totals.len() <= k {
+                                    let next = match kind {
+                                        DistKind::Dfss => ((rem as f64 / 2.0).round() as u64)
+                                            .clamp(1, rem.max(1)),
+                                        DistKind::Dfiss { .. } => {
+                                            let kk = stage_totals.len() as f64;
+                                            ((sc0 as f64 + kk * bump).round() as u64).max(1)
+                                        }
+                                        DistKind::Dtfss => match groups.get(stage_totals.len()) {
+                                            Some(&g) => g,
+                                            None => ((rem as f64 / 2.0).round() as u64)
+                                                .clamp(1, rem.max(1)),
+                                        },
+                                        DistKind::Dtss => unreachable!("handled above"),
+                                    };
+                                    stage_totals.push(next);
+                                }
+                                let sc_k = stage_totals[k];
+                                ((sc_k as f64 * a_j / a_total.max(1) as f64).round() as u64).max(1)
+                            }
+                        };
+                        let len = proposed.clamp(1, rem);
+                        clamp.check(c.len >= 1 && c.len <= rem, || {
+                            format!("I={total},V={powers_f:?}: chunk len {} with {rem} left", c.len)
+                        });
+                        share.check(c == Chunk::new(cursor, len), || {
+                            format!(
+                                "I={total},V={powers_f:?},w={worker}: got {c:?}, replica {:?}",
+                                Chunk::new(cursor, len)
+                            )
+                        });
+                        if c != Chunk::new(cursor, len) {
+                            ok = false;
+                        }
+                        cursor += len;
+                        rem -= len;
+                    }
+                }
+            }
+        }
+    }
+    Certificate {
+        scheme: match kind {
+            DistKind::Dtss => "DTSS",
+            DistKind::Dfss => "DFSS",
+            DistKind::Dfiss { .. } => "DFISS",
+            DistKind::Dtfss => "DTFSS",
+        },
+        variant: format!(
+            "I in 1..={}, {} power/queue vectors (fixed q, scale 10)",
+            d.max_iters,
+            dist_vectors(d).len()
+        ),
+        configs,
+        chunks,
+        properties: vec![clamp, cover, avail, share, acp_prop],
+    }
+}
+
+/// Certifies the §5.2 fractional-ACP arithmetic. Float-safety note:
+/// properties on the *tenths* grid use strict inequalities only —
+/// `V = t/10` is not exactly representable in binary floating point,
+/// so at the exact boundary `t = q` the implementation may legally
+/// land on either side (e.g. `V = 0.3, Q = 3` floors to 0). The exact
+/// iff-characterization is asserted only on integer-power grids, where
+/// the boundary quotients (`10·1/10`, `10·2/20`, …) are exact.
+fn certify_acp(d: &Domain) -> Certificate {
+    let _ = d; // the ACP grids are fixed by the satellite spec (Q <= 32)
+    let paper = AcpConfig::PAPER;
+    let orig = AcpConfig::ORIGINAL_DTSS;
+    let mut int_grid = Property::new("integer V grid: A >= 1 iff 10V >= Q (never starves for Q <= 10V)");
+    let mut tenths = Property::new("tenths grid: t > Q => A >= 1, t < Q => A = 0 (V = t/10)");
+    let mut dominance = Property::new("scale dominance: floor(10 V/Q) >= floor(V/Q), fix never loses a PE");
+    let mut exact = Property::new("A = floor(10 V/Q) exactly on integer-V grids");
+    let mut threshold = Property::new("A_min threshold: A < A_min reported as unavailable (0)");
+    let mut examples = Property::new("paper worked examples (5.2(I): 5+7=12; 5.2(II): V=3.4,Q=4 -> 8)");
+    let (mut configs, mut checks) = (0u64, 0u64);
+
+    // Integer virtual powers 1..=32, run queues 1..=32.
+    for v in 1..=32u64 {
+        for q in 1..=32u32 {
+            configs += 1;
+            let a = paper.acp(VirtualPower::new(v as f64), q).get() as u64;
+            let a1 = orig.acp(VirtualPower::new(v as f64), q).get() as u64;
+            int_grid.check((a >= 1) == (10 * v >= q as u64), || {
+                format!("V={v},Q={q}: A={a} vs 10V={} Q={q}", 10 * v)
+            });
+            exact.check(a == 10 * v / q as u64, || {
+                format!("V={v},Q={q}: A={a} != floor(10V/Q)={}", 10 * v / q as u64)
+            });
+            dominance.check(a >= a1, || format!("V={v},Q={q}: scaled A={a} < original {a1}"));
+            checks += 3;
+        }
+    }
+
+    // Fractional powers on the tenths grid: V = t/10, t in 1..=320.
+    for t in 1..=320u64 {
+        for q in 1..=32u32 {
+            configs += 1;
+            let v = VirtualPower::new(t as f64 / 10.0);
+            let a = paper.acp(v, q).get() as u64;
+            let a1 = orig.acp(v, q).get() as u64;
+            if t > q as u64 {
+                tenths.check(a >= 1, || format!("V={}/10,Q={q}: A=0 though t > Q", t));
+            } else if t < q as u64 {
+                tenths.check(a == 0, || format!("V={}/10,Q={q}: A={a} though t < Q", t));
+            } else {
+                // Exact boundary t = q: either side is legal (float).
+                tenths.check(a <= 1, || format!("V={}/10,Q={q}: boundary A={a} > 1", t));
+            }
+            dominance.check(a >= a1, || format!("V={}/10,Q={q}: scaled A={a} < original {a1}", t));
+            checks += 2;
+        }
+    }
+
+    // A_min threshold sweep.
+    for a_min in 1..=12u32 {
+        let cfg = AcpConfig::new(10, a_min);
+        for v in 1..=8u64 {
+            for q in 1..=16u32 {
+                configs += 1;
+                let raw = 10 * v / q as u64;
+                let a = cfg.acp(VirtualPower::new(v as f64), q).get() as u64;
+                let expect = if raw < a_min as u64 { 0 } else { raw };
+                threshold.check(a == expect, || {
+                    format!("V={v},Q={q},A_min={a_min}: A={a}, expected {expect}")
+                });
+                checks += 1;
+            }
+        }
+    }
+
+    // The paper's worked examples.
+    examples.check(paper.acp(VirtualPower::new(1.0), 2).get() == 5, || "5.2(I) A_1".into());
+    examples.check(paper.acp(VirtualPower::new(3.0), 4).get() == 7, || "5.2(I) A_2".into());
+    examples.check(paper.acp(VirtualPower::new(3.4), 4).get() == 8, || "5.2(II) V=3.4".into());
+    examples.check(orig.acp(VirtualPower::new(1.0), 2).get() == 0, || "original starves A_1".into());
+    examples.check(orig.acp(VirtualPower::new(3.0), 4).get() == 0, || "original starves A_2".into());
+    checks += 5;
+
+    Certificate {
+        scheme: "ACP(x10)",
+        variant: "V in 1..=32 and t/10 (t <= 320), Q in 1..=32, A_min in 1..=12".to_string(),
+        configs,
+        chunks: checks,
+        properties: vec![int_grid, tenths, dominance, exact, threshold, examples],
+    }
+}
+
+/// Certifies one scheme family over `domain`.
+pub fn certify_scheme(family: SchemeFamily, domain: &Domain) -> Certificate {
+    match family {
+        SchemeFamily::Static => certify_static(domain),
+        SchemeFamily::Pure => certify_pure(domain),
+        SchemeFamily::Css => certify_css(domain),
+        SchemeFamily::Gss => certify_gss(domain, false),
+        SchemeFamily::GssMin => certify_gss(domain, true),
+        SchemeFamily::Tss => certify_tss(domain, false),
+        SchemeFamily::TssBounds => certify_tss(domain, true),
+        SchemeFamily::Fss => certify_fss(domain, false),
+        SchemeFamily::FssAdaptive => certify_fss(domain, true),
+        SchemeFamily::Fiss => certify_fiss(domain),
+        SchemeFamily::Tfss => certify_tfss(domain),
+        SchemeFamily::Wf => certify_wf(domain),
+        SchemeFamily::Dtss => certify_distributed(domain, DistKind::Dtss),
+        SchemeFamily::Dfss => certify_distributed(domain, DistKind::Dfss),
+        SchemeFamily::Dfiss => certify_distributed(domain, DistKind::Dfiss { sigma: 4 }),
+        SchemeFamily::Dtfss => certify_distributed(domain, DistKind::Dtfss),
+        SchemeFamily::FractionalAcp => certify_acp(domain),
+    }
+}
+
+/// Certifies every family — the 11 core `ChunkSizer` configurations
+/// followed by the 6 auxiliary certificates — over `domain`.
+pub fn certify_all(domain: &Domain) -> Vec<Certificate> {
+    SchemeFamily::CORE
+        .iter()
+        .chain(SchemeFamily::AUXILIARY.iter())
+        .map(|&f| certify_scheme(f, domain))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn core_families_count_is_eleven() {
+        assert_eq!(SchemeFamily::CORE.len(), 11);
+        assert!(SchemeFamily::CORE.iter().all(|f| f.is_core()));
+        assert!(SchemeFamily::AUXILIARY.iter().all(|f| !f.is_core()));
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let mut labels: Vec<&str> = SchemeFamily::CORE
+            .iter()
+            .chain(SchemeFamily::AUXILIARY.iter())
+            .map(|f| f.label())
+            .collect();
+        let n = labels.len();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), n);
+    }
+
+    #[test]
+    fn quick_domain_certifies_all_families() {
+        let d = Domain::quick();
+        for cert in certify_all(&d) {
+            assert!(
+                cert.holds(),
+                "{} failed: {:#?}",
+                cert.scheme,
+                cert.properties
+                    .iter()
+                    .filter(|p| !p.holds())
+                    .collect::<Vec<_>>()
+            );
+            assert!(cert.configs > 0 && cert.total_checks() > 0);
+        }
+    }
+
+    #[test]
+    fn certificates_cover_all_seventeen_families() {
+        let d = Domain::quick();
+        let certs = certify_all(&d);
+        assert_eq!(certs.len(), 17);
+        assert_eq!(certs.iter().filter(|c| SchemeFamily::CORE.iter().any(|f| f.label() == c.scheme)).count(), 11);
+    }
+
+    #[test]
+    fn property_records_violations_with_samples() {
+        let mut p = Property::new("demo");
+        p.check(true, || unreachable!());
+        for i in 0..20 {
+            p.check(false, || format!("failure {i}"));
+        }
+        assert!(!p.holds());
+        assert_eq!(p.checks, 21);
+        assert_eq!(p.violations, 20);
+        assert_eq!(p.samples.len(), super::MAX_SAMPLES);
+    }
+}

@@ -1,0 +1,43 @@
+//! # lss-verify — static analysis for the scheduling stack
+//!
+//! Three engines that *certify* properties of the codebase without
+//! running the simulator or the real runtime:
+//!
+//! 1. [`certify`] — an exhaustive **scheme certifier**: every
+//!    [`ChunkSizer`](lss_core::scheme::ChunkSizer) configuration is
+//!    evaluated over a bounded parameter domain (`I ≤ 4096`, `p ≤ 16`,
+//!    heterogeneous ACP vectors) and the chunk algebra of eq. 1 is
+//!    proved chunk by chunk: exact iteration coverage with no overlap,
+//!    clamping `1 ≤ C_i ≤ R_{i-1}`, TSS/GSS monotone non-increase,
+//!    FSS/TFSS/FISS stage structure, TFSS stage totals equal to the
+//!    sum of the next `p` TSS chunks, DTSS/DFSS/DTFSS per-worker
+//!    shares within rounding of `SC_k · A_j/A`, and the §5.2
+//!    fractional-ACP fix never collapsing to zero. Each scheme gets a
+//!    machine-readable [`certify::Certificate`].
+//! 2. [`explore`] — a deterministic **interleaving explorer** over the
+//!    lease-aware master protocol: a loom-style depth-first search
+//!    over bounded message / lease-lapse / crash interleavings of
+//!    [`Master`](lss_core::master::Master), replayed from scratch per
+//!    schedule (stateless model checking), asserting exactly-once
+//!    completion, no lost chunks and trace-grammar validity via
+//!    `lss-trace` events. Fault budgets reuse
+//!    [`FaultPlan`](lss_core::fault::FaultPlan) schedules.
+//! 3. [`lint`] — the repo's **custom lint rules** (shared with
+//!    `scripts/lint.rs`): schemes stay pure formulas, `core`/`sim`
+//!    never touch wall clocks, runtime hot paths carry no `unwrap()`.
+//!
+//! The `lss verify` CLI subcommand drives all three.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod certify;
+pub mod explore;
+pub mod lint;
+pub mod report;
+
+pub use certify::{certify_all, certify_scheme, Certificate, Domain, SchemeFamily};
+pub use explore::{explore, ExploreConfig, ExploreReport};
+pub use lint::{lint_repo, LintReport};
+pub use report::{json_certificates, json_exploration, json_lint};

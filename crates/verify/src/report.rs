@@ -1,0 +1,141 @@
+//! Machine-readable reports: hand-rolled JSON serialisation for
+//! certificates, exploration reports and lint findings (the workspace
+//! carries no serde dependency by design).
+
+use crate::certify::Certificate;
+use crate::explore::ExploreReport;
+use crate::lint::LintReport;
+
+/// Escapes a string for inclusion in a JSON document.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Serialises certificates as a JSON array, one object per scheme with
+/// per-property check/violation counts and sampled counterexamples.
+pub fn json_certificates(certs: &[Certificate]) -> String {
+    let mut out = String::from("[\n");
+    for (i, cert) in certs.iter().enumerate() {
+        if i > 0 {
+            out.push_str(",\n");
+        }
+        out.push_str(&format!(
+            "  {{\"scheme\": \"{}\", \"variant\": \"{}\", \"holds\": {}, \
+             \"configs\": {}, \"chunks\": {}, \"properties\": [",
+            esc(cert.scheme),
+            esc(&cert.variant),
+            cert.holds(),
+            cert.configs,
+            cert.chunks
+        ));
+        for (j, p) in cert.properties.iter().enumerate() {
+            if j > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&format!(
+                "{{\"name\": \"{}\", \"checks\": {}, \"violations\": {}, \"samples\": [{}]}}",
+                esc(p.name),
+                p.checks,
+                p.violations,
+                p.samples
+                    .iter()
+                    .map(|s| format!("\"{}\"", esc(s)))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ));
+        }
+        out.push_str("]}");
+    }
+    out.push_str("\n]\n");
+    out
+}
+
+/// Serialises an exploration report as a JSON object.
+pub fn json_exploration(report: &ExploreReport) -> String {
+    format!(
+        "{{\"holds\": {}, \"interleavings\": {}, \"terminal\": {}, \
+         \"depth_bounded\": {}, \"checks\": {}, \"events_checked\": {}, \
+         \"violation_count\": {}, \"violations\": [{}]}}\n",
+        report.holds(),
+        report.interleavings,
+        report.terminal,
+        report.depth_bounded,
+        report.checks,
+        report.events_checked,
+        report.violation_count,
+        report
+            .violations
+            .iter()
+            .map(|v| format!("\"{}\"", esc(v)))
+            .collect::<Vec<_>>()
+            .join(", ")
+    )
+}
+
+/// Serialises a lint report as a JSON object.
+pub fn json_lint(report: &LintReport) -> String {
+    format!(
+        "{{\"holds\": {}, \"rules\": [{}], \"findings\": [{}]}}\n",
+        report.holds(),
+        report
+            .rules
+            .iter()
+            .map(|r| format!("\"{}\"", esc(r)))
+            .collect::<Vec<_>>()
+            .join(", "),
+        report
+            .findings
+            .iter()
+            .map(|f| format!(
+                "{{\"rule\": \"{}\", \"file\": \"{}\", \"line\": {}, \"pattern\": \"{}\"}}",
+                esc(f.rule),
+                esc(&f.file),
+                f.line,
+                esc(f.pattern)
+            ))
+            .collect::<Vec<_>>()
+            .join(", ")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::certify::{certify_scheme, Domain, SchemeFamily};
+
+    #[test]
+    fn certificate_json_is_well_formed() {
+        let cert = certify_scheme(SchemeFamily::Pure, &Domain::quick());
+        let json = json_certificates(&[cert]);
+        assert!(json.starts_with("[\n"));
+        assert!(json.contains("\"scheme\": \"SS\""));
+        assert!(json.contains("\"holds\": true"));
+        // Balanced braces/brackets is a cheap structural smoke check.
+        assert_eq!(
+            json.matches('{').count(),
+            json.matches('}').count()
+        );
+        assert_eq!(
+            json.matches('[').count(),
+            json.matches(']').count()
+        );
+    }
+
+    #[test]
+    fn escaping_handles_quotes_and_controls() {
+        assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(esc("\u{1}"), "\\u0001");
+    }
+}

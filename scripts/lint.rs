@@ -1,0 +1,184 @@
+//! Repo-specific lint rules, shared between the standalone script
+//! (`rustc scripts/lint.rs -o /tmp/lss-lint && /tmp/lss-lint .`) and
+//! `lss-verify`'s lint engine (which includes this file via `#[path]`).
+//!
+//! Three rules, each encoding an architectural invariant the compiler
+//! cannot express:
+//!
+//! 1. **scheme-purity** — files under `crates/core/src/scheme/` are
+//!    pure chunk-size formulas: no clocks, threads, filesystem,
+//!    network, or console I/O outside `#[cfg(test)]` regions.
+//! 2. **no-wall-clock** — `crates/core/src` and `crates/sim/src` model
+//!    logical/virtual time only; `Instant::now` / `SystemTime::now`
+//!    would make simulations non-reproducible.
+//! 3. **no-unwrap-runtime** — `crates/runtime/src` non-test code must
+//!    not call `.unwrap()`; a master must degrade, not panic, when a
+//!    worker misbehaves (the lease/self-healing design depends on it).
+//!
+//! Rules scan the *non-test region* of each file: everything before the
+//! first `#[cfg(test)]` line, with `//` comments stripped.
+
+use std::fmt;
+use std::fs;
+use std::path::{Path, PathBuf};
+
+/// One rule violation at a specific file/line.
+#[derive(Debug, Clone)]
+pub struct LintFinding {
+    /// Rule identifier (e.g. `scheme-purity`).
+    pub rule: &'static str,
+    /// Path relative to the repo root.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The forbidden pattern that matched.
+    pub pattern: &'static str,
+    /// The offending source line, trimmed.
+    pub excerpt: String,
+}
+
+impl fmt::Display for LintFinding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}:{}: [{}] forbidden `{}`: {}",
+            self.file, self.line, self.rule, self.pattern, self.excerpt
+        )
+    }
+}
+
+/// A directory subtree plus the patterns its non-test code must avoid.
+struct Rule {
+    name: &'static str,
+    roots: &'static [&'static str],
+    forbidden: &'static [&'static str],
+}
+
+const RULES: &[Rule] = &[
+    Rule {
+        name: "scheme-purity",
+        roots: &["crates/core/src/scheme"],
+        forbidden: &[
+            "std::time",
+            "Instant::now",
+            "SystemTime",
+            "std::thread",
+            "std::fs::",
+            "std::net",
+            "println!",
+            "eprintln!",
+        ],
+    },
+    Rule {
+        name: "no-wall-clock",
+        roots: &["crates/core/src", "crates/sim/src"],
+        forbidden: &["Instant::now", "SystemTime::now"],
+    },
+    Rule {
+        name: "no-unwrap-runtime",
+        roots: &["crates/runtime/src"],
+        forbidden: &[".unwrap()"],
+    },
+];
+
+/// Strips `//` line comments (naive: does not track string literals,
+/// which is fine for pattern denial — a pattern hidden in a string
+/// would be reported, and none legitimately appear in one).
+fn strip_comment(line: &str) -> &str {
+    match line.find("//") {
+        Some(idx) => &line[..idx],
+        None => line,
+    }
+}
+
+/// Scans one file's non-test region against a rule's patterns.
+fn scan_file(rule: &Rule, root: &Path, path: &Path, findings: &mut Vec<LintFinding>) {
+    let Ok(text) = fs::read_to_string(path) else {
+        return;
+    };
+    let rel = path
+        .strip_prefix(root)
+        .unwrap_or(path)
+        .to_string_lossy()
+        .replace('\\', "/");
+    for (idx, raw) in text.lines().enumerate() {
+        if raw.trim_start().starts_with("#[cfg(test)]") {
+            break;
+        }
+        let line = strip_comment(raw);
+        for pat in rule.forbidden {
+            if line.contains(pat) {
+                findings.push(LintFinding {
+                    rule: rule.name,
+                    file: rel.clone(),
+                    line: idx + 1,
+                    pattern: pat,
+                    excerpt: raw.trim().to_string(),
+                });
+            }
+        }
+    }
+}
+
+/// Recursively collects `.rs` files under `dir`.
+fn rust_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            rust_files(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Runs every rule against the repo rooted at `repo_root`.
+pub fn run_lints(repo_root: &Path) -> Result<Vec<LintFinding>, String> {
+    if !repo_root.join("Cargo.toml").is_file() {
+        return Err(format!(
+            "{} does not look like the repo root (no Cargo.toml)",
+            repo_root.display()
+        ));
+    }
+    let mut findings = Vec::new();
+    for rule in RULES {
+        for sub in rule.roots {
+            let dir = repo_root.join(sub);
+            let mut files = Vec::new();
+            rust_files(&dir, &mut files);
+            for file in &files {
+                scan_file(rule, repo_root, file, &mut findings);
+            }
+        }
+    }
+    Ok(findings)
+}
+
+/// Names of all rules, for reporting.
+pub fn rule_names() -> Vec<&'static str> {
+    RULES.iter().map(|r| r.name).collect()
+}
+
+fn main() {
+    let root = std::env::args().nth(1).unwrap_or_else(|| ".".to_string());
+    match run_lints(Path::new(&root)) {
+        Ok(findings) if findings.is_empty() => {
+            println!("lint: OK ({} rules clean)", rule_names().len());
+        }
+        Ok(findings) => {
+            for f in &findings {
+                eprintln!("{f}");
+            }
+            eprintln!("lint: {} violation(s)", findings.len());
+            std::process::exit(1);
+        }
+        Err(e) => {
+            eprintln!("lint: {e}");
+            std::process::exit(2);
+        }
+    }
+}

@@ -68,7 +68,7 @@ fn check_lifecycle(trace: &Trace, chaos: bool) -> Result<(), String> {
             }
             TraceEventKind::Granted { speculative, requeued, retransmit } => {
                 let (w, c) = attributed(ev)?;
-                if !(speculative || requeued || retransmit) && !planned.contains(&c) {
+                if !(speculative || requeued || retransmit || planned.contains(&c)) {
                     return Err(format!("fresh grant of an unplanned chunk: {ev}"));
                 }
                 let n = grants.entry(c).or_insert(0);

@@ -128,6 +128,7 @@ macro_rules! __proptest_impl {
      $($rest:tt)*
     ) => {
         $(#[$meta])*
+        #[allow(clippy::redundant_closure_call)]
         fn $name() {
             let config: $crate::test_runner::Config = $cfg;
             let mut rng = $crate::test_runner::TestRng::for_test(concat!(
@@ -267,7 +268,6 @@ mod tests {
     #[should_panic(expected = "proptest")]
     fn failing_case_panics() {
         proptest! {
-            #[test]
             fn inner(x in 0u64..10) {
                 prop_assert!(x > 100, "x was {}", x);
             }
