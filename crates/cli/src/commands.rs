@@ -53,6 +53,20 @@ USAGE:
       bounded domain (default I<=4096, p<=16), explore bounded fault
       interleavings of the lease protocol, and run the repo lint rules.
       Default is --all. --json writes machine-readable certificates.
+  lss serve [--port P] [--workers N] [--local-workers] [--batch K]
+      [--queue-cap Q] [--max-active M] [--jobs-limit J] [--trace-out FILE]
+      Run the multi-job scheduling service over TCP: clients submit loop
+      jobs (lss submit), the service fair-shares the worker pool across
+      them by priority. --local-workers attaches N loopback worker
+      threads; --jobs-limit exits after J completed jobs (otherwise
+      `lss jobs --drain` stops it once work retires).
+  lss submit <scheme> --connect HOST:PORT [--priority W] [--count N]
+      [--iters I --cost C | --width W --height H --sf S] [--wait]
+      Submit N copies of a job (uniform loop when --iters is given,
+      Mandelbrot otherwise). --wait polls until they finish and prints
+      per-job latency.
+  lss jobs --connect HOST:PORT [--drain]
+      List the service's job table; --drain asks it to finish up & exit.
   lss schemes
       List every supported scheme name.
 
@@ -676,6 +690,206 @@ pub fn cmd_verify(args: &Args) -> Result<String, ArgError> {
     Ok(out)
 }
 
+/// Builds a [`WorkloadSpec`] from submit-style flags: a uniform loop
+/// when `--iters` is given, the paper's Mandelbrot window otherwise.
+fn workload_spec_from(args: &Args) -> Result<lss_runtime::protocol::serve::WorkloadSpec, ArgError> {
+    use lss_runtime::protocol::serve::WorkloadSpec;
+    if args.has("iters") {
+        let iters: u64 = args.get_or("iters", 1000)?;
+        let cost: u64 = args.get_or("cost", 20_000)?;
+        Ok(WorkloadSpec::Uniform { iters, cost: cost.max(1) })
+    } else {
+        let width: u32 = args.get_or("width", 400)?;
+        let height: u32 = args.get_or("height", 200)?;
+        let sf: u64 = args.get_or("sf", 4)?;
+        if width == 0 || height == 0 {
+            return Err(ArgError("window must be non-empty".into()));
+        }
+        Ok(WorkloadSpec::Mandelbrot { width, height, sf: sf.max(1) })
+    }
+}
+
+fn serve_addr_from(args: &Args, cmd: &str) -> Result<std::net::SocketAddr, ArgError> {
+    args.get("connect")
+        .ok_or_else(|| ArgError(format!("{cmd}: missing --connect HOST:PORT")))?
+        .parse()
+        .map_err(|e| ArgError(format!("invalid --connect address: {e}")))
+}
+
+/// `lss serve ...` — hosts the multi-job scheduling service.
+pub fn cmd_serve(args: &Args) -> Result<String, ArgError> {
+    use lss_serve::{run_serve_worker, ServeConfig, ServeWorkerConfig, TcpLink};
+
+    let workers: usize = args.get_or("workers", 4)?;
+    if workers == 0 {
+        return Err(ArgError("need at least one worker".into()));
+    }
+    let port: u16 = args.get_or("port", 0)?;
+    let mut cfg = ServeConfig::new(workers);
+    cfg.batch_k = args.get_or("batch", cfg.batch_k)?.max(1);
+    cfg.queue_capacity = args.get_or("queue-cap", cfg.queue_capacity)?;
+    cfg.max_active = args.get_or("max-active", cfg.max_active)?.max(1);
+    if let Some(limit) = args.get("jobs-limit") {
+        let n: u64 = limit
+            .parse()
+            .map_err(|_| ArgError(format!("invalid --jobs-limit {limit:?}")))?;
+        cfg.exit_after_jobs = Some(n.max(1));
+    }
+    let trace_out = args.get("trace-out").map(String::from);
+    if trace_out.is_some() {
+        cfg.trace = lss_trace::SharedSink::recording();
+    }
+    let handle =
+        lss_serve::serve_tcp(cfg, "127.0.0.1", port).map_err(|e| ArgError(e.to_string()))?;
+    let addr = handle.addr.ok_or_else(|| ArgError("service has no address".into()))?;
+    eprintln!("serve: listening on {addr} ({workers} workers)");
+
+    let local: Vec<_> = if args.has("local-workers") {
+        (0..workers)
+            .map(|w| {
+                std::thread::spawn(move || {
+                    let mut link = TcpLink::connect(addr)?;
+                    run_serve_worker(&mut link, &ServeWorkerConfig::healthy(w))
+                })
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+
+    let report = handle.join();
+    for t in local {
+        t.join()
+            .map_err(|_| ArgError("local worker panicked".into()))?
+            .map_err(|e| ArgError(e.to_string()))?;
+    }
+
+    let mut out = format!(
+        "serve: {} jobs completed, {} rejected | {} requests, {} grants, {} replans\n",
+        report.jobs_completed,
+        report.jobs_rejected,
+        report.requests_served,
+        report.grants_sent,
+        report.replans,
+    );
+    for job in &report.jobs {
+        let latency = job
+            .finished_ns
+            .map(|f| format!("{:.3}s", f.saturating_sub(job.submitted_ns) as f64 / 1e9))
+            .unwrap_or_else(|| "-".into());
+        out.push_str(&format!(
+            "  job {} [{}] priority {} — {}/{} iterations, latency {latency}\n",
+            job.job,
+            job.state.label(),
+            job.priority,
+            job.completed,
+            job.total,
+        ));
+    }
+    if let Some(path) = trace_out {
+        let trace = report
+            .trace
+            .ok_or_else(|| ArgError("tracing was enabled but no trace returned".into()))?;
+        let json = lss_trace::to_chrome_json(&trace);
+        std::fs::write(&path, json.as_bytes())
+            .map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
+        out.push_str(&format!(
+            "trace: {} events ({} jobs) -> {path}\n",
+            trace.len(),
+            trace.job_ids().len(),
+        ));
+    }
+    Ok(out)
+}
+
+/// `lss submit ...` — submits jobs to a running service.
+pub fn cmd_submit(args: &Args) -> Result<String, ArgError> {
+    use lss_runtime::protocol::serve::{JobSpec, JobState};
+    use lss_serve::ServeClient;
+
+    let addr = serve_addr_from(args, "submit")?;
+    let scheme = parse_scheme(args.positional.first().map_or("dtss", |s| s.as_str()))?;
+    let priority: u32 = args.get_or("priority", 1)?;
+    let count: usize = args.get_or("count", 1)?;
+    if count == 0 {
+        return Err(ArgError("--count must be at least 1".into()));
+    }
+    let workload = workload_spec_from(args)?;
+    let mut client = ServeClient::connect(addr).map_err(|e| ArgError(e.to_string()))?;
+    let mut out = String::new();
+    let mut ids = Vec::with_capacity(count);
+    for _ in 0..count {
+        let spec = JobSpec { workload, scheme, priority };
+        let id = client.submit(spec).map_err(|e| ArgError(e.to_string()))?;
+        out.push_str(&format!(
+            "submitted job {id}: {} x{} iterations, priority {priority}\n",
+            scheme.name(),
+            workload.len(),
+        ));
+        ids.push(id);
+    }
+    if args.has("wait") {
+        loop {
+            let jobs = match client.jobs() {
+                Ok(jobs) => jobs,
+                // A service that exits after its job limit closes the
+                // link; everything we submitted is done by then.
+                Err(lss_serve::ServeError::Transport(_)) => {
+                    out.push_str("service exited while waiting (all jobs retired)\n");
+                    break;
+                }
+                Err(e) => return Err(ArgError(e.to_string())),
+            };
+            let mine: Vec<_> =
+                jobs.iter().filter(|j| ids.contains(&j.job)).collect();
+            if mine.len() == ids.len() && mine.iter().all(|j| j.state == JobState::Done) {
+                for j in mine {
+                    out.push_str(&format!(
+                        "job {} done: {} iterations in {:.3}s\n",
+                        j.job,
+                        j.completed,
+                        j.finished_ns.unwrap_or(j.submitted_ns).saturating_sub(j.submitted_ns)
+                            as f64
+                            / 1e9,
+                    ));
+                }
+                break;
+            }
+            std::thread::sleep(std::time::Duration::from_millis(20));
+        }
+    }
+    Ok(out)
+}
+
+/// `lss jobs ...` — queries (and optionally drains) a running service.
+pub fn cmd_jobs(args: &Args) -> Result<String, ArgError> {
+    use lss_serve::ServeClient;
+
+    let addr = serve_addr_from(args, "jobs")?;
+    let mut client = ServeClient::connect(addr).map_err(|e| ArgError(e.to_string()))?;
+    let jobs = client.jobs().map_err(|e| ArgError(e.to_string()))?;
+    let mut t = TextTable::new(vec![
+        "job".into(),
+        "state".into(),
+        "priority".into(),
+        "progress".into(),
+    ]);
+    for j in &jobs {
+        t.push_row(vec![
+            j.job.to_string(),
+            j.state.label().to_string(),
+            j.priority.to_string(),
+            format!("{}/{}", j.completed, j.total),
+        ]);
+    }
+    let mut out = format!("{} job(s)\n{}", jobs.len(), t.render());
+    if args.has("drain") {
+        client.drain().map_err(|e| ArgError(e.to_string()))?;
+        out.push_str("drain requested: service exits once remaining work retires\n");
+    }
+    Ok(out)
+}
+
 /// Dispatches a parsed command line.
 pub fn dispatch(args: &Args) -> Result<String, ArgError> {
     match args.command.as_deref() {
@@ -689,6 +903,9 @@ pub fn dispatch(args: &Args) -> Result<String, ArgError> {
         Some("predict") => cmd_predict(args),
         Some("trace") => cmd_trace(args),
         Some("verify") => cmd_verify(args),
+        Some("serve") => cmd_serve(args),
+        Some("submit") => cmd_submit(args),
+        Some("jobs") => cmd_jobs(args),
         Some(other) => Err(ArgError(format!("unknown command {other:?}\n\n{USAGE}"))),
     }
 }
@@ -859,6 +1076,58 @@ mod tests {
     fn worker_rejects_bad_address() {
         assert!(cmd_worker(&args("worker --connect nonsense --id 0")).is_err());
         assert!(cmd_worker(&args("worker --id 0")).is_err());
+    }
+
+    #[test]
+    fn serve_submit_jobs_over_loopback_tcp() {
+        let port = {
+            let l = std::net::TcpListener::bind(("127.0.0.1", 0)).unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let sargs = args(&format!(
+            "serve --port {port} --workers 2 --local-workers --jobs-limit 3 --batch 4"
+        ));
+        let server = std::thread::spawn(move || cmd_serve(&sargs).unwrap());
+        std::thread::sleep(std::time::Duration::from_millis(150));
+        let sout = cmd_submit(&args(&format!(
+            "submit dtss --connect 127.0.0.1:{port} --iters 400 --cost 5 --count 3 --wait"
+        )))
+        .unwrap();
+        assert!(sout.contains("submitted job 1"), "{sout}");
+        assert!(sout.contains("submitted job 3"), "{sout}");
+        let out = server.join().unwrap();
+        assert!(out.contains("3 jobs completed"), "{out}");
+        assert!(out.contains("job 1 [done]"), "{out}");
+    }
+
+    #[test]
+    fn jobs_command_lists_and_drains() {
+        let port = {
+            let l = std::net::TcpListener::bind(("127.0.0.1", 0)).unwrap();
+            l.local_addr().unwrap().port()
+        };
+        let sargs = args(&format!("serve --port {port} --workers 1 --local-workers"));
+        let server = std::thread::spawn(move || cmd_serve(&sargs).unwrap());
+        std::thread::sleep(std::time::Duration::from_millis(150));
+        let connect = format!("127.0.0.1:{port}");
+        cmd_submit(&args(&format!(
+            "submit dtss --connect {connect} --iters 2000 --cost 5 --priority 3"
+        )))
+        .unwrap();
+        let jout = cmd_jobs(&args(&format!("jobs --connect {connect}"))).unwrap();
+        assert!(jout.contains("1 job(s)"), "{jout}");
+        assert!(jout.contains('3'), "{jout}");
+        let dout = cmd_jobs(&args(&format!("jobs --connect {connect} --drain"))).unwrap();
+        assert!(dout.contains("drain requested"), "{dout}");
+        let out = server.join().unwrap();
+        assert!(out.contains("1 jobs completed"), "{out}");
+    }
+
+    #[test]
+    fn submit_rejects_bad_flags() {
+        assert!(cmd_submit(&args("submit dtss")).is_err(), "missing --connect");
+        assert!(cmd_submit(&args("submit bogus --connect 127.0.0.1:1")).is_err());
+        assert!(cmd_jobs(&args("jobs")).is_err(), "missing --connect");
     }
 
     #[test]

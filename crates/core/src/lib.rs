@@ -53,6 +53,7 @@ pub mod fault;
 pub mod master;
 pub mod power;
 pub mod scheme;
+pub mod share;
 pub mod tree;
 
 pub use chunk::{Chunk, ChunkDispenser};

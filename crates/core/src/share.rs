@@ -1,0 +1,215 @@
+//! Fair-share partitioning of available computing power across jobs.
+//!
+//! The serving layer multiplexes many concurrent loop jobs over one
+//! heterogeneous worker pool. Each worker still has a single available
+//! computing power `A_i = ⌊scale · V_i / Q_i⌋` (§5.2); what is new is
+//! that `A_i` must be *split* between the active jobs in proportion to
+//! their priority weights, so a priority-4 job receives four times the
+//! computing power of a priority-1 job on every worker.
+//!
+//! Two pieces live here, both pure and replayable:
+//!
+//! - [`partition_acp`] — integer apportionment of one `A_i` across job
+//!   weights by the largest-remainder method (exact quota rounding, so
+//!   the shares always sum to `A_i` and never drift by more than one
+//!   unit from the real-valued proportional split);
+//! - [`ReplanTrigger`] — the DTSS re-plan rule lifted to the service:
+//!   re-partition only when more than a threshold fraction (default
+//!   one half, the paper's §5.2 trigger) of the per-worker `A_i` have
+//!   changed since the last partition, so a single load blip does not
+//!   thrash every job's share.
+
+/// Splits an integer capacity `acp` across `weights` proportionally,
+/// using the largest-remainder (Hamilton) method.
+///
+/// Returns one share per weight, summing exactly to `acp`. Zero
+/// weights receive zero. Ties in the remainders are broken by position
+/// (earlier entries win), which keeps the result deterministic.
+///
+/// An empty weight list, an all-zero weight list, or `acp == 0` yields
+/// all-zero shares.
+pub fn partition_acp(acp: u32, weights: &[u64]) -> Vec<u32> {
+    let total_w: u64 = weights.iter().sum();
+    if total_w == 0 || acp == 0 {
+        return vec![0; weights.len()];
+    }
+    // Integer quotas plus remainders scaled by total_w (avoids floats:
+    // quota_j = acp * w_j / total_w, remainder_j = acp * w_j mod total_w).
+    let mut shares: Vec<u32> = Vec::with_capacity(weights.len());
+    let mut remainders: Vec<(u64, usize)> = Vec::with_capacity(weights.len());
+    let mut assigned: u32 = 0;
+    for (j, &w) in weights.iter().enumerate() {
+        let num = u64::from(acp) * w;
+        let q = (num / total_w) as u32;
+        shares.push(q);
+        assigned += q;
+        remainders.push((num % total_w, j));
+    }
+    // Hand the leftover units to the largest remainders.
+    let mut leftover = acp - assigned;
+    remainders.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+    for (rem, j) in remainders {
+        if leftover == 0 {
+            break;
+        }
+        if rem == 0 && weights[j] == 0 {
+            continue; // never give capacity to a zero-weight job
+        }
+        shares[j] += 1;
+        leftover -= 1;
+    }
+    shares
+}
+
+/// The DTSS re-plan rule applied to per-worker ACP observations.
+///
+/// The service records each worker's freshly derived `A_i` via
+/// [`ReplanTrigger::observe`]; [`ReplanTrigger::should_replan`] fires
+/// when more than `threshold` (a fraction, default `0.5`) of the
+/// workers' values differ from those captured at the last
+/// [`ReplanTrigger::commit`]. Forced re-partitions (job arrived or
+/// finished) simply call `commit` with the current observations.
+#[derive(Debug, Clone)]
+pub struct ReplanTrigger {
+    /// `A_i` captured at the last commit.
+    committed: Vec<u32>,
+    /// Latest observation per worker.
+    current: Vec<u32>,
+    /// Fraction of workers whose `A_i` must change to trigger.
+    threshold: f64,
+    /// Partitions committed so far.
+    replans: u32,
+}
+
+impl ReplanTrigger {
+    /// The paper's §5.2 trigger: more than half the values changed.
+    pub const DEFAULT_THRESHOLD: f64 = 0.5;
+
+    /// A trigger over `p` workers with the default threshold. All
+    /// observations start at 0 (unknown).
+    pub fn new(p: usize) -> Self {
+        Self::with_threshold(p, Self::DEFAULT_THRESHOLD)
+    }
+
+    /// A trigger with an explicit change-fraction threshold. A
+    /// threshold `>= 1.0` never fires on its own (forced commits only).
+    pub fn with_threshold(p: usize, threshold: f64) -> Self {
+        assert!(p >= 1, "need at least one worker");
+        assert!(threshold >= 0.0 && threshold.is_finite(), "bad threshold {threshold}");
+        ReplanTrigger {
+            committed: vec![0; p],
+            current: vec![0; p],
+            threshold,
+            replans: 0,
+        }
+    }
+
+    /// Records `worker`'s freshly derived `A_i`.
+    pub fn observe(&mut self, worker: usize, acp: u32) {
+        self.current[worker] = acp;
+    }
+
+    /// The latest observation for `worker`.
+    pub fn acp(&self, worker: usize) -> u32 {
+        self.current[worker]
+    }
+
+    /// Number of workers whose observation differs from the committed
+    /// snapshot.
+    pub fn changed(&self) -> usize {
+        self.committed
+            .iter()
+            .zip(&self.current)
+            .filter(|(a, b)| a != b)
+            .count()
+    }
+
+    /// Whether enough `A_i` changed to warrant a re-partition: strictly
+    /// more than `threshold · p` workers differ from the snapshot.
+    pub fn should_replan(&self) -> bool {
+        (self.changed() as f64) > self.threshold * self.committed.len() as f64
+    }
+
+    /// Accepts the current observations as the new baseline and counts
+    /// a re-partition.
+    pub fn commit(&mut self) {
+        self.committed.copy_from_slice(&self.current);
+        self.replans += 1;
+    }
+
+    /// Partitions committed so far (the initial partition counts).
+    pub fn replans(&self) -> u32 {
+        self.replans
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_sums_exactly_and_tracks_weights() {
+        for acp in [1u32, 7, 10, 33, 100] {
+            for weights in [vec![1u64], vec![1, 1], vec![1, 2, 4], vec![5, 3, 2, 7]] {
+                let shares = partition_acp(acp, &weights);
+                assert_eq!(shares.iter().sum::<u32>(), acp, "acp={acp} w={weights:?}");
+                // Largest-remainder stays within one unit of the quota.
+                let tw: u64 = weights.iter().sum();
+                for (j, &s) in shares.iter().enumerate() {
+                    let quota = u64::from(acp) as f64 * weights[j] as f64 / tw as f64;
+                    assert!(
+                        (f64::from(s) - quota).abs() <= 1.0,
+                        "share {s} vs quota {quota} (acp={acp} w={weights:?})"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn partition_degenerate_inputs() {
+        assert_eq!(partition_acp(10, &[]), Vec::<u32>::new());
+        assert_eq!(partition_acp(10, &[0, 0]), vec![0, 0]);
+        assert_eq!(partition_acp(0, &[1, 2]), vec![0, 0]);
+        // Zero-weight jobs get nothing even when units are left over.
+        assert_eq!(partition_acp(3, &[1, 0, 1]), vec![2, 0, 1]);
+    }
+
+    #[test]
+    fn partition_is_deterministic_on_ties() {
+        // Equal weights, capacity not divisible: earlier jobs win the
+        // remainder units, every time.
+        assert_eq!(partition_acp(5, &[1, 1, 1]), vec![2, 2, 1]);
+        assert_eq!(partition_acp(5, &[1, 1, 1]), vec![2, 2, 1]);
+    }
+
+    #[test]
+    fn replan_fires_past_half() {
+        let mut t = ReplanTrigger::new(4);
+        for w in 0..4 {
+            t.observe(w, 10);
+        }
+        t.commit();
+        assert_eq!(t.replans(), 1);
+        assert!(!t.should_replan());
+        // Two of four changed: exactly half, not MORE than half.
+        t.observe(0, 5);
+        t.observe(1, 5);
+        assert_eq!(t.changed(), 2);
+        assert!(!t.should_replan());
+        // Third change crosses the trigger.
+        t.observe(2, 7);
+        assert!(t.should_replan());
+        t.commit();
+        assert!(!t.should_replan());
+        assert_eq!(t.acp(0), 5);
+    }
+
+    #[test]
+    fn threshold_one_never_self_fires() {
+        let mut t = ReplanTrigger::with_threshold(2, 1.0);
+        t.observe(0, 3);
+        t.observe(1, 9);
+        assert!(!t.should_replan());
+    }
+}

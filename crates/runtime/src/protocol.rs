@@ -13,6 +13,8 @@
 //! as requests (no extra round-trips in the happy path) and never
 //! receives a reply.
 
+pub mod serve;
+
 use lss_core::chunk::Chunk;
 use lss_core::master::Assignment;
 
@@ -30,6 +32,12 @@ impl ChunkResult {
     pub fn new(chunk: Chunk, values: Vec<u64>) -> Self {
         assert_eq!(chunk.len as usize, values.len(), "result/chunk length mismatch");
         ChunkResult { chunk, values }
+    }
+
+    /// An all-zero result for `chunk` — for tests and scheduling-only
+    /// harnesses that never execute real iterations.
+    pub fn zeroed(chunk: Chunk) -> Self {
+        ChunkResult { values: vec![0; chunk.len as usize], chunk }
     }
 }
 

@@ -1,0 +1,806 @@
+//! Version-2 wire protocol of the multi-job scheduling service.
+//!
+//! The one-shot protocol in the parent module has no version byte and
+//! no way to carry more than one chunk or one job per message. The
+//! serving layer needs both, so every serve frame opens with a fixed
+//! preamble:
+//!
+//! ```text
+//! [ 0xA5 magic | version | tag | payload... ]
+//! ```
+//!
+//! The magic byte is disjoint from every legacy tag (legacy envelopes
+//! start with `0` or `1`), which makes version negotiation a total
+//! function over both protocols: a serve master reading a legacy hello
+//! sees a first byte that is not `0xA5` and answers with a typed
+//! [`ServeFrame::Rejected`]; a legacy worker reading that rejection
+//! finds no legacy reply tag `0xA5` and surfaces a typed decode error
+//! instead of panicking. [`ServeFrame::decode`] classifies the
+//! failure ([`ServeDecodeError::Legacy`] vs
+//! [`ServeDecodeError::Version`] vs [`ServeDecodeError::Malformed`])
+//! so handshakes can reject with a precise reason.
+//!
+//! The headline extension is the **batched grant**
+//! ([`ServeFrame::Grants`]): one round trip delivers up to `k` chunks
+//! — one per active job the worker serves — amortizing `T_com` across
+//! jobs exactly as decoupling chunk calculation from chunk assignment
+//! amortizes it in the distributed-chunk-calculation approach.
+//! Results flow back the same way: a [`ServeRequest`] piggy-backs any
+//! number of job-tagged chunk results.
+
+use lss_core::chunk::Chunk;
+use lss_core::master::SchemeKind;
+
+use super::{get_u32, get_u64, get_u8, take, ChunkResult};
+
+/// First byte of every serve frame; never a valid legacy tag.
+pub const SERVE_MAGIC: u8 = 0xA5;
+
+/// Current serve protocol version.
+pub const SERVE_PROTOCOL_VERSION: u8 = 2;
+
+/// How a serve frame failed to decode.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeDecodeError {
+    /// The first byte is not the serve magic: the peer speaks the
+    /// legacy (version-1, single-job) protocol.
+    Legacy,
+    /// Serve magic present but the version byte is not ours.
+    Version(u8),
+    /// Magic and version fine; the payload does not decode.
+    Malformed,
+}
+
+impl std::fmt::Display for ServeDecodeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeDecodeError::Legacy => {
+                write!(f, "legacy (unversioned) protocol frame; serve requires v{SERVE_PROTOCOL_VERSION}")
+            }
+            ServeDecodeError::Version(v) => {
+                write!(f, "serve protocol version {v} not supported (want {SERVE_PROTOCOL_VERSION})")
+            }
+            ServeDecodeError::Malformed => write!(f, "malformed serve frame"),
+        }
+    }
+}
+
+impl std::error::Error for ServeDecodeError {}
+
+/// A workload description small enough to travel in a grant, so
+/// workers can instantiate jobs they have never seen before.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum WorkloadSpec {
+    /// `iters` iterations of identical `cost`.
+    Uniform {
+        /// Number of iterations.
+        iters: u64,
+        /// Basic-operation count per iteration.
+        cost: u64,
+    },
+    /// A Mandelbrot window over the paper's domain, reordered with
+    /// sampling frequency `sf` (1 = original order).
+    Mandelbrot {
+        /// Window width in pixels (= loop iterations).
+        width: u32,
+        /// Window height in pixels.
+        height: u32,
+        /// Sampling frequency `S_f`.
+        sf: u64,
+    },
+}
+
+impl WorkloadSpec {
+    /// Number of loop iterations the workload generates.
+    pub fn len(&self) -> u64 {
+        match self {
+            WorkloadSpec::Uniform { iters, .. } => *iters,
+            WorkloadSpec::Mandelbrot { width, .. } => u64::from(*width),
+        }
+    }
+
+    /// Whether the loop is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn encode_into(&self, b: &mut Vec<u8>) {
+        match self {
+            WorkloadSpec::Uniform { iters, cost } => {
+                b.push(0);
+                b.extend_from_slice(&iters.to_be_bytes());
+                b.extend_from_slice(&cost.to_be_bytes());
+            }
+            WorkloadSpec::Mandelbrot { width, height, sf } => {
+                b.push(1);
+                b.extend_from_slice(&width.to_be_bytes());
+                b.extend_from_slice(&height.to_be_bytes());
+                b.extend_from_slice(&sf.to_be_bytes());
+            }
+        }
+    }
+
+    fn decode_from(buf: &mut &[u8]) -> Option<WorkloadSpec> {
+        Some(match get_u8(buf)? {
+            0 => WorkloadSpec::Uniform { iters: get_u64(buf)?, cost: get_u64(buf)? },
+            1 => WorkloadSpec::Mandelbrot {
+                width: get_u32(buf)?,
+                height: get_u32(buf)?,
+                sf: get_u64(buf)?,
+            },
+            _ => return None,
+        })
+    }
+}
+
+fn encode_scheme(s: &SchemeKind, b: &mut Vec<u8>) {
+    match s {
+        SchemeKind::Static => b.push(0),
+        SchemeKind::Pure => b.push(1),
+        SchemeKind::Css { k } => {
+            b.push(2);
+            b.extend_from_slice(&k.to_be_bytes());
+        }
+        SchemeKind::Gss { min_chunk } => {
+            b.push(3);
+            b.extend_from_slice(&min_chunk.to_be_bytes());
+        }
+        SchemeKind::Tss => b.push(4),
+        SchemeKind::TssWith { first, last } => {
+            b.push(5);
+            b.extend_from_slice(&first.to_be_bytes());
+            b.extend_from_slice(&last.to_be_bytes());
+        }
+        SchemeKind::Fss => b.push(6),
+        SchemeKind::FssAdaptive { mean_cost, std_dev } => {
+            b.push(7);
+            b.extend_from_slice(&mean_cost.to_bits().to_be_bytes());
+            b.extend_from_slice(&std_dev.to_bits().to_be_bytes());
+        }
+        SchemeKind::Fiss { sigma } => {
+            b.push(8);
+            b.extend_from_slice(&sigma.to_be_bytes());
+        }
+        SchemeKind::Tfss => b.push(9),
+        SchemeKind::Wf => b.push(10),
+        SchemeKind::Dtss => b.push(11),
+        SchemeKind::Dfss => b.push(12),
+        SchemeKind::Dfiss { sigma } => {
+            b.push(13);
+            b.extend_from_slice(&sigma.to_be_bytes());
+        }
+        SchemeKind::Dtfss => b.push(14),
+    }
+}
+
+fn decode_scheme(buf: &mut &[u8]) -> Option<SchemeKind> {
+    Some(match get_u8(buf)? {
+        0 => SchemeKind::Static,
+        1 => SchemeKind::Pure,
+        2 => SchemeKind::Css { k: get_u64(buf)? },
+        3 => SchemeKind::Gss { min_chunk: get_u64(buf)? },
+        4 => SchemeKind::Tss,
+        5 => SchemeKind::TssWith { first: get_u64(buf)?, last: get_u64(buf)? },
+        6 => SchemeKind::Fss,
+        7 => SchemeKind::FssAdaptive {
+            mean_cost: f64::from_bits(get_u64(buf)?),
+            std_dev: f64::from_bits(get_u64(buf)?),
+        },
+        8 => SchemeKind::Fiss { sigma: get_u32(buf)? },
+        9 => SchemeKind::Tfss,
+        10 => SchemeKind::Wf,
+        11 => SchemeKind::Dtss,
+        12 => SchemeKind::Dfss,
+        13 => SchemeKind::Dfiss { sigma: get_u32(buf)? },
+        14 => SchemeKind::Dtfss,
+        _ => return None,
+    })
+}
+
+fn encode_str(s: &str, b: &mut Vec<u8>) {
+    b.extend_from_slice(&(s.len() as u32).to_be_bytes());
+    b.extend_from_slice(s.as_bytes());
+}
+
+fn decode_str(buf: &mut &[u8]) -> Option<String> {
+    let len = get_u32(buf)? as usize;
+    let bytes = take(buf, len)?;
+    String::from_utf8(bytes.to_vec()).ok()
+}
+
+/// Everything a client must say to get a loop scheduled.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSpec {
+    /// The loop to run.
+    pub workload: WorkloadSpec,
+    /// Scheduling scheme for this job's chunks.
+    pub scheme: SchemeKind,
+    /// Fair-share weight (≥ 1): a priority-4 job receives 4× the
+    /// computing power of a priority-1 job while both are active.
+    pub priority: u32,
+}
+
+impl JobSpec {
+    fn encode_into(&self, b: &mut Vec<u8>) {
+        self.workload.encode_into(b);
+        encode_scheme(&self.scheme, b);
+        b.extend_from_slice(&self.priority.to_be_bytes());
+    }
+
+    fn decode_from(buf: &mut &[u8]) -> Option<JobSpec> {
+        Some(JobSpec {
+            workload: WorkloadSpec::decode_from(buf)?,
+            scheme: decode_scheme(buf)?,
+            priority: get_u32(buf)?,
+        })
+    }
+}
+
+/// Where a job is in its service lifecycle.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum JobState {
+    /// Admitted but waiting for an active slot.
+    Queued,
+    /// Receiving grants.
+    Active,
+    /// Every iteration completed.
+    Done,
+}
+
+impl JobState {
+    /// Stable lowercase label.
+    pub fn label(&self) -> &'static str {
+        match self {
+            JobState::Queued => "queued",
+            JobState::Active => "active",
+            JobState::Done => "done",
+        }
+    }
+}
+
+/// One row of the service's job table, as reported to clients.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobStatus {
+    /// Service-assigned job id.
+    pub job: u64,
+    /// The job's fair-share weight.
+    pub priority: u32,
+    /// Total loop size `I`.
+    pub total: u64,
+    /// Iterations completed so far (each counted once).
+    pub completed: u64,
+    /// Lifecycle state.
+    pub state: JobState,
+    /// Submission time, service-epoch nanoseconds.
+    pub submitted_ns: u64,
+    /// Completion time, if done.
+    pub finished_ns: Option<u64>,
+}
+
+impl JobStatus {
+    fn encode_into(&self, b: &mut Vec<u8>) {
+        b.extend_from_slice(&self.job.to_be_bytes());
+        b.extend_from_slice(&self.priority.to_be_bytes());
+        b.extend_from_slice(&self.total.to_be_bytes());
+        b.extend_from_slice(&self.completed.to_be_bytes());
+        b.push(match self.state {
+            JobState::Queued => 0,
+            JobState::Active => 1,
+            JobState::Done => 2,
+        });
+        b.extend_from_slice(&self.submitted_ns.to_be_bytes());
+        match self.finished_ns {
+            None => b.push(0),
+            Some(t) => {
+                b.push(1);
+                b.extend_from_slice(&t.to_be_bytes());
+            }
+        }
+    }
+
+    fn decode_from(buf: &mut &[u8]) -> Option<JobStatus> {
+        let job = get_u64(buf)?;
+        let priority = get_u32(buf)?;
+        let total = get_u64(buf)?;
+        let completed = get_u64(buf)?;
+        let state = match get_u8(buf)? {
+            0 => JobState::Queued,
+            1 => JobState::Active,
+            2 => JobState::Done,
+            _ => return None,
+        };
+        let submitted_ns = get_u64(buf)?;
+        let finished_ns = match get_u8(buf)? {
+            0 => None,
+            1 => Some(get_u64(buf)?),
+            _ => return None,
+        };
+        Some(JobStatus { job, priority, total, completed, state, submitted_ns, finished_ns })
+    }
+}
+
+/// One chunk of one job, granted to a worker.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct JobGrant {
+    /// Which job the chunk belongs to.
+    pub job: u64,
+    /// The job's workload, so a worker meeting this job for the first
+    /// time can instantiate it without a second round trip.
+    pub workload: WorkloadSpec,
+    /// The iteration interval to execute.
+    pub chunk: Chunk,
+}
+
+/// A completed chunk's results, tagged with its job.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobChunkResult {
+    /// Which job the result belongs to.
+    pub job: u64,
+    /// The chunk and its per-iteration checksums.
+    pub result: ChunkResult,
+}
+
+/// A worker's scheduling request: identity, fresh run-queue length,
+/// and any number of piggy-backed job-tagged results.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ServeRequest {
+    /// Dense worker id.
+    pub worker: usize,
+    /// Current run-queue length `Q_i`.
+    pub q: u32,
+    /// Results of chunks computed since the last request.
+    pub results: Vec<JobChunkResult>,
+}
+
+fn encode_chunk_result(r: &ChunkResult, b: &mut Vec<u8>) {
+    b.extend_from_slice(&r.chunk.start.to_be_bytes());
+    b.extend_from_slice(&r.chunk.len.to_be_bytes());
+    for &v in &r.values {
+        b.extend_from_slice(&v.to_be_bytes());
+    }
+}
+
+fn decode_chunk_result(buf: &mut &[u8]) -> Option<ChunkResult> {
+    let start = get_u64(buf)?;
+    let len = get_u64(buf)?;
+    let need = usize::try_from(len.checked_mul(8)?).ok()?;
+    if buf.len() < need {
+        return None;
+    }
+    let values = (0..len).map(|_| get_u64(buf)).collect::<Option<Vec<_>>>()?;
+    Some(ChunkResult::new(Chunk::new(start, len), values))
+}
+
+const TAG_HELLO_WORKER: u8 = 0;
+const TAG_HELLO_CLIENT: u8 = 1;
+const TAG_REQUEST: u8 = 2;
+const TAG_HEARTBEAT: u8 = 3;
+const TAG_GRANTS: u8 = 4;
+const TAG_RETRY: u8 = 5;
+const TAG_SHUTDOWN: u8 = 6;
+const TAG_REJECTED: u8 = 7;
+const TAG_SUBMIT: u8 = 8;
+const TAG_JOBS_QUERY: u8 = 9;
+const TAG_ACCEPTED: u8 = 10;
+const TAG_JOB_LIST: u8 = 11;
+const TAG_DRAIN: u8 = 12;
+const TAG_ACK: u8 = 13;
+
+/// Every message of the serve protocol, in one envelope.
+///
+/// Workers send `HelloWorker`, then `Request`/`Heartbeat`; they
+/// receive `Grants`, `Retry`, `Shutdown` or `Rejected`. Clients send
+/// `HelloClient`, then `Submit`/`JobsQuery`/`Drain`; they receive
+/// `Accepted`, `Rejected`, `JobList` or `Ack`.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeFrame {
+    /// A worker's connection handshake.
+    HelloWorker {
+        /// Dense worker id.
+        worker: usize,
+        /// Initial run-queue length.
+        q: u32,
+    },
+    /// A client's connection handshake.
+    HelloClient,
+    /// A worker's scheduling request (with piggy-backed results).
+    Request(ServeRequest),
+    /// A worker's liveness heartbeat (no reply).
+    Heartbeat {
+        /// The worker reporting in.
+        worker: usize,
+    },
+    /// A batch of chunks, at most one per job (the batched grant).
+    Grants(Vec<JobGrant>),
+    /// Nothing to hand out right now; ask again after a backoff.
+    Retry,
+    /// The service is done with this worker; terminate.
+    Shutdown,
+    /// Typed refusal (admission control, handshake failures).
+    Rejected {
+        /// Human-readable refusal reason.
+        reason: String,
+    },
+    /// A client submits a job.
+    Submit(JobSpec),
+    /// A client asks for the job table.
+    JobsQuery,
+    /// The job was admitted under this id.
+    Accepted {
+        /// Service-assigned job id.
+        job: u64,
+    },
+    /// The job table.
+    JobList(Vec<JobStatus>),
+    /// A client asks the service to finish active jobs and exit.
+    Drain,
+    /// Generic acknowledgement (reply to `Drain`).
+    Ack,
+}
+
+impl ServeFrame {
+    /// Serializes the frame (magic and version included).
+    pub fn encode(&self) -> Vec<u8> {
+        let mut b = Vec::with_capacity(64);
+        b.push(SERVE_MAGIC);
+        b.push(SERVE_PROTOCOL_VERSION);
+        match self {
+            ServeFrame::HelloWorker { worker, q } => {
+                b.push(TAG_HELLO_WORKER);
+                b.extend_from_slice(&(*worker as u32).to_be_bytes());
+                b.extend_from_slice(&q.to_be_bytes());
+            }
+            ServeFrame::HelloClient => b.push(TAG_HELLO_CLIENT),
+            ServeFrame::Request(req) => {
+                b.push(TAG_REQUEST);
+                b.extend_from_slice(&(req.worker as u32).to_be_bytes());
+                b.extend_from_slice(&req.q.to_be_bytes());
+                b.extend_from_slice(&(req.results.len() as u32).to_be_bytes());
+                for r in &req.results {
+                    b.extend_from_slice(&r.job.to_be_bytes());
+                    encode_chunk_result(&r.result, &mut b);
+                }
+            }
+            ServeFrame::Heartbeat { worker } => {
+                b.push(TAG_HEARTBEAT);
+                b.extend_from_slice(&(*worker as u32).to_be_bytes());
+            }
+            ServeFrame::Grants(grants) => {
+                b.push(TAG_GRANTS);
+                b.extend_from_slice(&(grants.len() as u32).to_be_bytes());
+                for g in grants {
+                    b.extend_from_slice(&g.job.to_be_bytes());
+                    g.workload.encode_into(&mut b);
+                    b.extend_from_slice(&g.chunk.start.to_be_bytes());
+                    b.extend_from_slice(&g.chunk.len.to_be_bytes());
+                }
+            }
+            ServeFrame::Retry => b.push(TAG_RETRY),
+            ServeFrame::Shutdown => b.push(TAG_SHUTDOWN),
+            ServeFrame::Rejected { reason } => {
+                b.push(TAG_REJECTED);
+                encode_str(reason, &mut b);
+            }
+            ServeFrame::Submit(spec) => {
+                b.push(TAG_SUBMIT);
+                spec.encode_into(&mut b);
+            }
+            ServeFrame::JobsQuery => b.push(TAG_JOBS_QUERY),
+            ServeFrame::Accepted { job } => {
+                b.push(TAG_ACCEPTED);
+                b.extend_from_slice(&job.to_be_bytes());
+            }
+            ServeFrame::JobList(jobs) => {
+                b.push(TAG_JOB_LIST);
+                b.extend_from_slice(&(jobs.len() as u32).to_be_bytes());
+                for j in jobs {
+                    j.encode_into(&mut b);
+                }
+            }
+            ServeFrame::Drain => b.push(TAG_DRAIN),
+            ServeFrame::Ack => b.push(TAG_ACK),
+        }
+        b
+    }
+
+    /// Deserializes a frame payload, classifying failures so callers
+    /// can reject a legacy or mis-versioned peer with a typed reason.
+    pub fn decode(mut buf: &[u8]) -> Result<ServeFrame, ServeDecodeError> {
+        let buf = &mut buf;
+        match get_u8(buf) {
+            Some(SERVE_MAGIC) => {}
+            Some(_) => return Err(ServeDecodeError::Legacy),
+            None => return Err(ServeDecodeError::Malformed),
+        }
+        match get_u8(buf) {
+            Some(SERVE_PROTOCOL_VERSION) => {}
+            Some(v) => return Err(ServeDecodeError::Version(v)),
+            None => return Err(ServeDecodeError::Malformed),
+        }
+        let tag = get_u8(buf).ok_or(ServeDecodeError::Malformed)?;
+        let frame = match tag {
+            TAG_HELLO_WORKER => ServeFrame::HelloWorker {
+                worker: get_u32(buf).ok_or(ServeDecodeError::Malformed)? as usize,
+                q: get_u32(buf).ok_or(ServeDecodeError::Malformed)?,
+            },
+            TAG_HELLO_CLIENT => ServeFrame::HelloClient,
+            TAG_REQUEST => {
+                let worker = get_u32(buf).ok_or(ServeDecodeError::Malformed)? as usize;
+                let q = get_u32(buf).ok_or(ServeDecodeError::Malformed)?;
+                let n = get_u32(buf).ok_or(ServeDecodeError::Malformed)?;
+                let mut results = Vec::with_capacity(n.min(1024) as usize);
+                for _ in 0..n {
+                    let job = get_u64(buf).ok_or(ServeDecodeError::Malformed)?;
+                    let result =
+                        decode_chunk_result(buf).ok_or(ServeDecodeError::Malformed)?;
+                    results.push(JobChunkResult { job, result });
+                }
+                ServeFrame::Request(ServeRequest { worker, q, results })
+            }
+            TAG_HEARTBEAT => ServeFrame::Heartbeat {
+                worker: get_u32(buf).ok_or(ServeDecodeError::Malformed)? as usize,
+            },
+            TAG_GRANTS => {
+                let n = get_u32(buf).ok_or(ServeDecodeError::Malformed)?;
+                let mut grants = Vec::with_capacity(n.min(1024) as usize);
+                for _ in 0..n {
+                    let job = get_u64(buf).ok_or(ServeDecodeError::Malformed)?;
+                    let workload =
+                        WorkloadSpec::decode_from(buf).ok_or(ServeDecodeError::Malformed)?;
+                    let start = get_u64(buf).ok_or(ServeDecodeError::Malformed)?;
+                    let len = get_u64(buf).ok_or(ServeDecodeError::Malformed)?;
+                    grants.push(JobGrant { job, workload, chunk: Chunk::new(start, len) });
+                }
+                ServeFrame::Grants(grants)
+            }
+            TAG_RETRY => ServeFrame::Retry,
+            TAG_SHUTDOWN => ServeFrame::Shutdown,
+            TAG_REJECTED => ServeFrame::Rejected {
+                reason: decode_str(buf).ok_or(ServeDecodeError::Malformed)?,
+            },
+            TAG_SUBMIT => ServeFrame::Submit(
+                JobSpec::decode_from(buf).ok_or(ServeDecodeError::Malformed)?,
+            ),
+            TAG_JOBS_QUERY => ServeFrame::JobsQuery,
+            TAG_ACCEPTED => ServeFrame::Accepted {
+                job: get_u64(buf).ok_or(ServeDecodeError::Malformed)?,
+            },
+            TAG_JOB_LIST => {
+                let n = get_u32(buf).ok_or(ServeDecodeError::Malformed)?;
+                let mut jobs = Vec::with_capacity(n.min(1024) as usize);
+                for _ in 0..n {
+                    jobs.push(JobStatus::decode_from(buf).ok_or(ServeDecodeError::Malformed)?);
+                }
+                ServeFrame::JobList(jobs)
+            }
+            TAG_DRAIN => ServeFrame::Drain,
+            TAG_ACK => ServeFrame::Ack,
+            _ => return Err(ServeDecodeError::Malformed),
+        };
+        if !buf.is_empty() {
+            return Err(ServeDecodeError::Malformed);
+        }
+        Ok(frame)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(f: ServeFrame) {
+        let bytes = f.encode();
+        assert_eq!(ServeFrame::decode(&bytes), Ok(f));
+    }
+
+    #[test]
+    fn all_frames_roundtrip() {
+        roundtrip(ServeFrame::HelloWorker { worker: 3, q: 2 });
+        roundtrip(ServeFrame::HelloClient);
+        roundtrip(ServeFrame::Request(ServeRequest {
+            worker: 1,
+            q: 4,
+            results: vec![
+                JobChunkResult {
+                    job: 9,
+                    result: ChunkResult::new(Chunk::new(0, 3), vec![1, 2, 3]),
+                },
+                JobChunkResult {
+                    job: 2,
+                    result: ChunkResult::new(Chunk::new(10, 0), vec![]),
+                },
+            ],
+        }));
+        roundtrip(ServeFrame::Heartbeat { worker: 7 });
+        roundtrip(ServeFrame::Grants(vec![
+            JobGrant {
+                job: 1,
+                workload: WorkloadSpec::Uniform { iters: 100, cost: 50 },
+                chunk: Chunk::new(0, 10),
+            },
+            JobGrant {
+                job: 2,
+                workload: WorkloadSpec::Mandelbrot { width: 400, height: 200, sf: 4 },
+                chunk: Chunk::new(5, 7),
+            },
+        ]));
+        roundtrip(ServeFrame::Retry);
+        roundtrip(ServeFrame::Shutdown);
+        roundtrip(ServeFrame::Rejected { reason: "queue full (8 jobs queued)".into() });
+        roundtrip(ServeFrame::Submit(JobSpec {
+            workload: WorkloadSpec::Uniform { iters: 64, cost: 10 },
+            scheme: SchemeKind::Tfss,
+            priority: 4,
+        }));
+        roundtrip(ServeFrame::JobsQuery);
+        roundtrip(ServeFrame::Accepted { job: 42 });
+        roundtrip(ServeFrame::JobList(vec![JobStatus {
+            job: 1,
+            priority: 2,
+            total: 100,
+            completed: 37,
+            state: JobState::Active,
+            submitted_ns: 12345,
+            finished_ns: None,
+        }]));
+        roundtrip(ServeFrame::Drain);
+        roundtrip(ServeFrame::Ack);
+    }
+
+    #[test]
+    fn every_scheme_roundtrips_in_a_submit() {
+        for scheme in [
+            SchemeKind::Static,
+            SchemeKind::Pure,
+            SchemeKind::Css { k: 16 },
+            SchemeKind::Gss { min_chunk: 2 },
+            SchemeKind::Tss,
+            SchemeKind::TssWith { first: 100, last: 4 },
+            SchemeKind::Fss,
+            SchemeKind::FssAdaptive { mean_cost: 1.5, std_dev: 0.25 },
+            SchemeKind::Fiss { sigma: 3 },
+            SchemeKind::Tfss,
+            SchemeKind::Wf,
+            SchemeKind::Dtss,
+            SchemeKind::Dfss,
+            SchemeKind::Dfiss { sigma: 5 },
+            SchemeKind::Dtfss,
+        ] {
+            roundtrip(ServeFrame::Submit(JobSpec {
+                workload: WorkloadSpec::Uniform { iters: 10, cost: 1 },
+                scheme,
+                priority: 1,
+            }));
+        }
+    }
+
+    #[test]
+    fn legacy_frames_classified_not_panicking() {
+        use crate::protocol::{Request, WireMsg};
+        // A legacy worker hello, as a serve master would read it.
+        let legacy = WireMsg::Request(Request { worker: 0, q: 1, result: None }).encode();
+        assert_eq!(ServeFrame::decode(&legacy), Err(ServeDecodeError::Legacy));
+        // A legacy heartbeat too.
+        let hb = WireMsg::Heartbeat { worker: 3 }.encode();
+        assert_eq!(ServeFrame::decode(&hb), Err(ServeDecodeError::Legacy));
+        // And the reverse: a serve rejection does not decode as any
+        // legacy message (the old worker gets a typed Malformed error,
+        // never a panic).
+        let rejection = ServeFrame::Rejected { reason: "legacy protocol".into() }.encode();
+        assert_eq!(crate::protocol::Reply::decode(&rejection), None);
+        assert_eq!(WireMsg::decode(&rejection), None);
+    }
+
+    #[test]
+    fn version_mismatch_is_typed() {
+        let mut bytes = ServeFrame::Retry.encode();
+        bytes[1] = 99;
+        assert_eq!(ServeFrame::decode(&bytes), Err(ServeDecodeError::Version(99)));
+        assert_eq!(ServeFrame::decode(&[]), Err(ServeDecodeError::Malformed));
+        assert_eq!(ServeFrame::decode(&[SERVE_MAGIC]), Err(ServeDecodeError::Malformed));
+        let msg = ServeDecodeError::Version(99).to_string();
+        assert!(msg.contains("99"), "{msg}");
+    }
+
+    #[test]
+    fn trailing_garbage_rejected() {
+        let mut bytes = ServeFrame::Ack.encode();
+        bytes.push(0);
+        assert_eq!(ServeFrame::decode(&bytes), Err(ServeDecodeError::Malformed));
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn spec_strategy() -> impl Strategy<Value = WorkloadSpec> {
+        (any::<bool>(), 1u64..10_000, 1u64..100_000, 1u32..5_000, 1u32..5_000, 1u64..16)
+            .prop_map(|(uniform, iters, cost, width, height, sf)| {
+                if uniform {
+                    WorkloadSpec::Uniform { iters, cost }
+                } else {
+                    WorkloadSpec::Mandelbrot { width, height, sf }
+                }
+            })
+    }
+
+    proptest! {
+        #[test]
+        fn grants_roundtrip(
+            jobs in prop::collection::vec((0u64..100, spec_strategy(), 0u64..10_000, 0u64..512), 0..16),
+        ) {
+            let grants: Vec<JobGrant> = jobs
+                .into_iter()
+                .map(|(job, workload, start, len)| JobGrant {
+                    job,
+                    workload,
+                    chunk: lss_core::chunk::Chunk::new(start, len),
+                })
+                .collect();
+            let f = ServeFrame::Grants(grants);
+            prop_assert_eq!(ServeFrame::decode(&f.encode()), Ok(f));
+        }
+
+        #[test]
+        fn requests_roundtrip(
+            worker in 0usize..64,
+            q in 1u32..100,
+            results in prop::collection::vec(
+                (0u64..16, 0u64..10_000, prop::collection::vec(any::<u64>(), 0..32)),
+                0..8,
+            ),
+        ) {
+            let results: Vec<JobChunkResult> = results
+                .into_iter()
+                .map(|(job, start, values)| JobChunkResult {
+                    job,
+                    result: ChunkResult::new(
+                        lss_core::chunk::Chunk::new(start, values.len() as u64),
+                        values,
+                    ),
+                })
+                .collect();
+            let f = ServeFrame::Request(ServeRequest { worker, q, results });
+            prop_assert_eq!(ServeFrame::decode(&f.encode()), Ok(f));
+        }
+
+        #[test]
+        fn garbage_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..256)) {
+            let _ = ServeFrame::decode(&bytes);
+        }
+
+        #[test]
+        fn truncation_never_panics(frame_pick in 0usize..4, cut in 0usize..64) {
+            let frame = match frame_pick {
+                0 => ServeFrame::Grants(vec![JobGrant {
+                    job: 1,
+                    workload: WorkloadSpec::Uniform { iters: 8, cost: 2 },
+                    chunk: lss_core::chunk::Chunk::new(0, 8),
+                }]),
+                1 => ServeFrame::Rejected { reason: "queue full".into() },
+                2 => ServeFrame::Request(ServeRequest {
+                    worker: 0,
+                    q: 1,
+                    results: vec![JobChunkResult {
+                        job: 3,
+                        result: ChunkResult::new(lss_core::chunk::Chunk::new(0, 2), vec![1, 2]),
+                    }],
+                }),
+                _ => ServeFrame::JobList(vec![JobStatus {
+                    job: 1,
+                    priority: 1,
+                    total: 10,
+                    completed: 10,
+                    state: JobState::Done,
+                    submitted_ns: 5,
+                    finished_ns: Some(9),
+                }]),
+            };
+            let mut bytes = frame.encode();
+            bytes.truncate(cut.min(bytes.len()));
+            let _ = ServeFrame::decode(&bytes);
+        }
+    }
+}

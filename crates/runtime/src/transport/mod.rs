@@ -14,6 +14,7 @@
 //! worker-initiated reconnection after a disconnect.
 
 pub mod channels;
+pub mod frame;
 pub mod tcp;
 
 use std::time::Duration;

@@ -14,82 +14,16 @@
 //! id. Stale disconnect notices from the replaced connection are
 //! filtered by per-connection generation numbers.
 
-use std::io::{ErrorKind, Read, Write};
+use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
+use super::frame::{fill_from, read_frame_blocking, write_frame, FrameBuf};
 use super::{Inbound, MasterTransport, TransportError, WorkerTransport};
 use crate::protocol::{Reply, Request, WireMsg};
-
-/// Upper bound on a frame payload (a full 4000-column Mandelbrot
-/// result is ~32 MB of checksums; anything bigger is a corrupt or
-/// hostile length prefix, not a message — reject it instead of
-/// attempting the allocation).
-const MAX_FRAME_BYTES: usize = 64 * 1024 * 1024;
-
-fn write_frame(stream: &mut TcpStream, payload: &[u8]) -> Result<(), TransportError> {
-    let len = u32::try_from(payload.len())
-        .map_err(|_| TransportError::Malformed(format!("frame of {} bytes", payload.len())))?;
-    let io = |e: std::io::Error| match e.kind() {
-        ErrorKind::BrokenPipe | ErrorKind::ConnectionReset | ErrorKind::ConnectionAborted
-        | ErrorKind::NotConnected => TransportError::Disconnected(e.to_string()),
-        _ => TransportError::Io(e.to_string()),
-    };
-    stream.write_all(&len.to_be_bytes()).map_err(io)?;
-    stream.write_all(payload).map_err(io)?;
-    stream.flush().map_err(io)
-}
-
-/// Blocking whole-frame read (used by reader threads, which own their
-/// stream and want to park in `read`).
-fn read_frame_blocking(stream: &mut TcpStream) -> std::io::Result<Vec<u8>> {
-    let mut len_buf = [0u8; 4];
-    stream.read_exact(&mut len_buf)?;
-    let len = u32::from_be_bytes(len_buf) as usize;
-    if len > MAX_FRAME_BYTES {
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::InvalidData,
-            format!("frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"),
-        ));
-    }
-    let mut payload = vec![0u8; len];
-    stream.read_exact(&mut payload)?;
-    Ok(payload)
-}
-
-/// Byte accumulator for timeout-safe framing: partial reads survive
-/// across timed-out attempts, so a slow frame is never corrupted.
-#[derive(Default)]
-struct FrameBuf {
-    buf: Vec<u8>,
-}
-
-impl FrameBuf {
-    /// Extracts one complete frame if the buffer holds one.
-    fn try_extract(&mut self) -> Result<Option<Vec<u8>>, TransportError> {
-        if self.buf.len() < 4 {
-            return Ok(None);
-        }
-        let header: [u8; 4] = self.buf[..4]
-            .try_into()
-            .map_err(|_| TransportError::Malformed("frame header unreadable".into()))?;
-        let len = u32::from_be_bytes(header) as usize;
-        if len > MAX_FRAME_BYTES {
-            return Err(TransportError::Malformed(format!(
-                "frame of {len} bytes exceeds the {MAX_FRAME_BYTES}-byte cap"
-            )));
-        }
-        if self.buf.len() < 4 + len {
-            return Ok(None);
-        }
-        let payload = self.buf[4..4 + len].to_vec();
-        self.buf.drain(..4 + len);
-        Ok(Some(payload))
-    }
-}
 
 /// Shared master-side connection state.
 struct Shared {
@@ -107,25 +41,46 @@ struct Shared {
     shutdown: AtomicBool,
 }
 
-/// Master endpoint over TCP.
-pub struct TcpMaster {
-    inbox: Receiver<Inbound>,
-    shared: Arc<Shared>,
-}
-
-impl Drop for TcpMaster {
-    fn drop(&mut self) {
-        self.shared.shutdown.store(true, Ordering::SeqCst);
-        // Close every worker socket so blocked workers observe EOF —
-        // a hung worker's thread must still be joinable after the
-        // master gives up on it.
-        if let Ok(mut streams) = self.shared.streams.lock() {
+impl Shared {
+    /// Initiates a full teardown: stops the acceptor (it polls the
+    /// flag) and closes every worker socket so reader threads parked
+    /// in `read` observe EOF and exit instead of leaking. Safe to call
+    /// more than once.
+    fn begin_shutdown(&self) {
+        self.shutdown.store(true, Ordering::SeqCst);
+        if let Ok(mut streams) = self.streams.lock() {
             for slot in streams.iter_mut() {
                 if let Some(s) = slot.take() {
                     let _ = s.shutdown(std::net::Shutdown::Both);
                 }
             }
         }
+    }
+}
+
+/// Master endpoint over TCP.
+pub struct TcpMaster {
+    inbox: Receiver<Inbound>,
+    shared: Arc<Shared>,
+}
+
+impl TcpMaster {
+    /// Gracefully shuts the endpoint down: the acceptor loop exits and
+    /// every live worker socket is closed, so blocked workers observe
+    /// EOF and their reader threads unwind instead of staying parked.
+    /// Subsequent `send`s fail with [`TransportError::Disconnected`].
+    /// Dropping the master does the same implicitly.
+    pub fn shutdown(&self) {
+        self.shared.begin_shutdown();
+    }
+}
+
+impl Drop for TcpMaster {
+    fn drop(&mut self) {
+        // Close every worker socket so blocked workers observe EOF —
+        // a hung worker's thread must still be joinable after the
+        // master gives up on it.
+        self.shared.begin_shutdown();
     }
 }
 
@@ -278,6 +233,13 @@ fn acceptor_loop(listener: TcpListener, p: usize, tx: Sender<Inbound>, shared: A
 }
 
 impl TcpListenerHandle {
+    /// Surrenders the raw listener — for servers that run their own
+    /// accept loop (the serving layer) but want the bind/address
+    /// handling above.
+    pub fn into_listener(self) -> TcpListener {
+        self.listener
+    }
+
     /// Builds the master endpoint and waits until all `p` workers have
     /// connected and handshaken (each sends a normal request frame
     /// whose `worker` field identifies the connection; that request is
@@ -312,10 +274,13 @@ impl TcpListenerHandle {
         while *connected < p {
             let left = deadline.saturating_duration_since(Instant::now());
             if left.is_zero() {
-                shared.shutdown.store(true, Ordering::SeqCst);
-                return Err(TransportError::Io(format!(
-                    "only {connected}/{p} workers connected within {timeout:?}"
-                )));
+                let msg = format!("only {connected}/{p} workers connected within {timeout:?}");
+                drop(connected);
+                // Full teardown, not just the flag: any worker that DID
+                // connect has a reader thread parked in `read`; closing
+                // its socket lets that thread exit instead of leaking.
+                shared.begin_shutdown();
+                return Err(TransportError::Io(msg));
             }
             let (guard, _timed_out) = shared
                 .connected_cv
@@ -446,21 +411,7 @@ impl TcpWorker {
                 .set_read_timeout(timeout)
                 .map_err(|e| TransportError::Io(e.to_string()))?;
         }
-        let mut chunk = [0u8; 16 * 1024];
-        match self.stream.read(&mut chunk) {
-            Ok(0) => Err(TransportError::Disconnected("master closed the connection".into())),
-            Ok(n) => {
-                self.rbuf.buf.extend_from_slice(&chunk[..n]);
-                Ok(true)
-            }
-            Err(e) if e.kind() == ErrorKind::WouldBlock || e.kind() == ErrorKind::TimedOut => {
-                Ok(false)
-            }
-            Err(e) if e.kind() == ErrorKind::ConnectionReset || e.kind() == ErrorKind::ConnectionAborted => {
-                Err(TransportError::Disconnected(e.to_string()))
-            }
-            Err(e) => Err(TransportError::Io(e.to_string())),
-        }
+        fill_from(&mut self.stream, &mut self.rbuf)
     }
 }
 
@@ -641,6 +592,46 @@ mod tests {
         std::thread::sleep(Duration::from_millis(40));
         master.send(0, Reply { assignment: Assignment::Finished }).unwrap();
         assert_eq!(t.join().unwrap().assignment, Assignment::Finished);
+    }
+
+    #[test]
+    fn explicit_shutdown_unblocks_workers() {
+        let handle = tcp_listen().unwrap();
+        let addr = handle.addr;
+        let t = std::thread::spawn(move || {
+            let mut w =
+                TcpWorker::connect(addr, Request { worker: 0, q: 1, result: None }).unwrap();
+            // Blocks until the master shuts down; must observe a typed
+            // disconnect, not hang.
+            w.recv_reply()
+        });
+        let mut master = handle.accept_workers(1).unwrap();
+        let _ = next_request(&mut master);
+        master.shutdown();
+        let err = t.join().unwrap().unwrap_err();
+        assert!(err.is_disconnect(), "{err:?}");
+        // Sends after shutdown fail fast.
+        assert!(master.send(0, Reply { assignment: Assignment::Retry }).is_err());
+    }
+
+    #[test]
+    fn accept_timeout_tears_down_partial_connections() {
+        let handle = tcp_listen().unwrap();
+        let addr = handle.addr;
+        // One of two workers connects; the accept deadline expires.
+        let t = std::thread::spawn(move || {
+            let mut w =
+                TcpWorker::connect(addr, Request { worker: 0, q: 1, result: None }).unwrap();
+            w.recv_reply()
+        });
+        match handle.accept_workers_within(2, Duration::from_millis(200)) {
+            Err(TransportError::Io(_)) => {}
+            Err(other) => panic!("unexpected error {other:?}"),
+            Ok(_) => panic!("accept should have timed out"),
+        }
+        // The teardown closed the connected worker's socket, so its
+        // blocked read observes EOF instead of parking forever.
+        assert!(t.join().unwrap().is_err());
     }
 
     #[test]

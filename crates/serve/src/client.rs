@@ -1,0 +1,108 @@
+//! A client of the scheduling service: submit jobs, list them, drain.
+
+use std::fmt;
+use std::net::SocketAddr;
+
+use lss_runtime::protocol::serve::{JobSpec, JobStatus, ServeFrame};
+use lss_runtime::transport::TransportError;
+
+use crate::link::{LocalLink, ServeLink, TcpLink};
+
+/// Why a client operation failed.
+#[derive(Debug)]
+pub enum ServeError {
+    /// The service refused the request (admission control, draining,
+    /// malformed spec) and said why.
+    Rejected(String),
+    /// The link to the service broke.
+    Transport(TransportError),
+    /// The service answered with a frame the operation does not expect.
+    Protocol(String),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Rejected(reason) => write!(f, "rejected: {reason}"),
+            ServeError::Transport(e) => write!(f, "transport: {e}"),
+            ServeError::Protocol(what) => write!(f, "protocol violation: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<TransportError> for ServeError {
+    fn from(e: TransportError) -> Self {
+        ServeError::Transport(e)
+    }
+}
+
+/// A handle for talking to a running service, in-process or over TCP.
+pub struct ServeClient {
+    link: Box<dyn ServeLink>,
+}
+
+impl ServeClient {
+    /// One client round trip. A `Shutdown` reply means the service is
+    /// exiting (drained, or its job limit reached) — surfaced as a
+    /// disconnect, the same thing a dead link reports.
+    fn call(&mut self, frame: ServeFrame) -> Result<ServeFrame, ServeError> {
+        match self.link.call(frame)? {
+            ServeFrame::Shutdown => Err(ServeError::Transport(TransportError::Disconnected(
+                "service shut down".into(),
+            ))),
+            other => Ok(other),
+        }
+    }
+    /// A client over an in-process link (from
+    /// [`crate::ServeHandle::client`]).
+    pub fn local(link: LocalLink) -> Self {
+        ServeClient { link: Box::new(link) }
+    }
+
+    /// Dials a TCP service and performs the client handshake, so a
+    /// version or protocol mismatch surfaces here, typed, not later.
+    pub fn connect(addr: SocketAddr) -> Result<Self, ServeError> {
+        let mut link = TcpLink::connect(addr)?;
+        match link.call(ServeFrame::HelloClient)? {
+            ServeFrame::Ack => Ok(ServeClient { link: Box::new(link) }),
+            ServeFrame::Rejected { reason } => Err(ServeError::Rejected(reason)),
+            other => Err(ServeError::Protocol(format!(
+                "expected Ack to client hello, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Submits a job; `Ok` carries the service-assigned job id.
+    pub fn submit(&mut self, spec: JobSpec) -> Result<u64, ServeError> {
+        match self.call(ServeFrame::Submit(spec))? {
+            ServeFrame::Accepted { job } => Ok(job),
+            ServeFrame::Rejected { reason } => Err(ServeError::Rejected(reason)),
+            other => Err(ServeError::Protocol(format!(
+                "expected Accepted/Rejected, got {other:?}"
+            ))),
+        }
+    }
+
+    /// The current job table: queued, active (live progress), done.
+    pub fn jobs(&mut self) -> Result<Vec<JobStatus>, ServeError> {
+        match self.call(ServeFrame::JobsQuery)? {
+            ServeFrame::JobList(jobs) => Ok(jobs),
+            ServeFrame::Rejected { reason } => Err(ServeError::Rejected(reason)),
+            other => Err(ServeError::Protocol(format!(
+                "expected JobList, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Asks the service to stop accepting jobs and exit once the
+    /// remaining work retires.
+    pub fn drain(&mut self) -> Result<(), ServeError> {
+        match self.call(ServeFrame::Drain)? {
+            ServeFrame::Ack => Ok(()),
+            ServeFrame::Rejected { reason } => Err(ServeError::Rejected(reason)),
+            other => Err(ServeError::Protocol(format!("expected Ack, got {other:?}"))),
+        }
+    }
+}

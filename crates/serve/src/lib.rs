@@ -1,0 +1,82 @@
+//! # lss-serve — a multi-job scheduling service for heterogeneous clusters
+//!
+//! The one-shot master of `lss-runtime` schedules exactly one loop and
+//! exits. This crate turns it into a long-running **scheduler daemon**:
+//! clients submit loop jobs over the TCP transport (or in-process), the
+//! service keeps them in a bounded priority queue with admission
+//! control, and drives many jobs *concurrently* over one worker pool.
+//!
+//! Three ideas, all extensions of the paper's §5 machinery:
+//!
+//! - **Fair-share ACP partitioning** — each worker still derives a
+//!   single available computing power `A_i = ⌊scale · V_i / Q_i⌋`; the
+//!   service splits it across the active jobs in proportion to their
+//!   priority weights ([`lss_core::share::partition_acp`]), and
+//!   re-partitions on the DTSS replan trigger (more than half the
+//!   `A_i` changed — [`lss_core::share::ReplanTrigger`]). A job's
+//!   share is fed back into its scheduler as an *effective run-queue
+//!   length*, so ACP-adaptive schemes (DTSS, DFSS, …) size their
+//!   chunks proportionally to the share.
+//! - **Batched grants** — one round trip delivers up to `k` chunks per
+//!   worker, one per active job
+//!   ([`lss_runtime::protocol::serve::ServeFrame::Grants`]), amortizing
+//!   `T_com` across jobs; results ride back piggy-backed and
+//!   job-tagged the same way.
+//! - **Per-job exactly-once** — every active job owns its own
+//!   [`lss_core::Master`], so the chunk-lease table and first-result-
+//!   wins dedup bitmap introduced for fault tolerance hold *per job*;
+//!   each master traces through a [`lss_trace::JobScopedSink`] so
+//!   every event carries its `job` id.
+//!
+//! Admission control is typed: a full queue (or a draining service)
+//! answers `Rejected { reason }`, never a dropped connection. The wire
+//! protocol is versioned (magic byte + version byte), so a legacy
+//! worker dialing a serve master — or vice versa — fails with a typed
+//! error instead of a deserialization panic.
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+#![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
+
+pub mod client;
+pub mod link;
+pub mod queue;
+pub mod scheduler;
+pub mod service;
+pub mod worker;
+
+use lss_runtime::protocol::serve::WorkloadSpec;
+use lss_workloads::{Mandelbrot, MandelbrotParams, SampledWorkload, UniformLoop, Workload};
+
+pub use client::{ServeClient, ServeError};
+pub use link::{LocalLink, ServeLink, TcpLink};
+pub use queue::{JobQueue, QueuedJob};
+pub use scheduler::{FairSnapshot, MultiJobScheduler, SchedulerConfig};
+pub use service::{serve, serve_tcp, ServeConfig, ServeHandle, ServeReport};
+pub use worker::{run_serve_worker, ServeWorkerConfig, ServeWorkerStats};
+
+/// Materializes the workload a [`WorkloadSpec`] describes. Both the
+/// service (for loop sizes) and the workers (for execution) build from
+/// the same spec, so a job's identity travels in a few bytes.
+pub fn instantiate(spec: &WorkloadSpec) -> Box<dyn Workload> {
+    match *spec {
+        WorkloadSpec::Uniform { iters, cost } => Box::new(UniformLoop::new(iters, cost)),
+        WorkloadSpec::Mandelbrot { width, height, sf } => Box::new(SampledWorkload::new(
+            Mandelbrot::new(MandelbrotParams::paper_domain(width, height)),
+            sf,
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn instantiate_matches_spec_len() {
+        let u = instantiate(&WorkloadSpec::Uniform { iters: 64, cost: 5 });
+        assert_eq!(u.len(), 64);
+        let m = instantiate(&WorkloadSpec::Mandelbrot { width: 40, height: 30, sf: 4 });
+        assert_eq!(m.len(), 40);
+    }
+}

@@ -1,0 +1,121 @@
+//! Connection abstraction between the service and its peers.
+//!
+//! The serve protocol is strict request/reply (heartbeats excepted),
+//! so a connection reduces to two operations: [`ServeLink::call`]
+//! (send a frame, block for the reply) and [`ServeLink::post`] (send
+//! with no reply expected). Two implementations:
+//!
+//! - [`LocalLink`] — an in-process channel straight into the service
+//!   event loop (tests, benches, and the in-process worker threads of
+//!   `lss serve`);
+//! - [`TcpLink`] — a framed socket, sharing the length-prefixed
+//!   framing of the one-shot transport.
+
+use std::net::{SocketAddr, TcpStream};
+use std::sync::mpsc::{channel, Sender};
+
+use lss_runtime::protocol::serve::ServeFrame;
+use lss_runtime::transport::frame::{read_frame_blocking, write_frame};
+use lss_runtime::transport::TransportError;
+
+use crate::service::Event;
+
+/// A request/reply connection to the service.
+pub trait ServeLink: Send {
+    /// Sends `frame` and blocks for the service's reply.
+    fn call(&mut self, frame: ServeFrame) -> Result<ServeFrame, TransportError>;
+
+    /// Sends `frame` without expecting a reply (heartbeats).
+    fn post(&mut self, frame: ServeFrame) -> Result<(), TransportError>;
+
+    /// Severs and re-establishes the link (chaos injection). Links
+    /// that cannot reconnect return [`TransportError::Unsupported`].
+    fn reconnect(&mut self) -> Result<(), TransportError> {
+        Err(TransportError::Unsupported("reconnect"))
+    }
+}
+
+/// An in-process link: frames travel over the service's event channel.
+///
+/// Dropping a worker's `LocalLink` mid-run is the in-process analogue
+/// of a TCP connection dying: the service receives a disconnect notice
+/// and requeues whatever the worker held.
+pub struct LocalLink {
+    tx: Sender<Event>,
+    /// `Some(id)` for worker links — a disconnect notice is emitted on
+    /// drop so the scheduler can requeue leased chunks.
+    worker: Option<usize>,
+}
+
+impl LocalLink {
+    pub(crate) fn new(tx: Sender<Event>, worker: Option<usize>) -> Self {
+        LocalLink { tx, worker }
+    }
+}
+
+impl ServeLink for LocalLink {
+    fn call(&mut self, frame: ServeFrame) -> Result<ServeFrame, TransportError> {
+        let (rtx, rrx) = channel();
+        self.tx
+            .send(Event::Frame { frame, reply: rtx })
+            .map_err(|_| TransportError::Disconnected("service stopped".into()))?;
+        rrx.recv()
+            .map_err(|_| TransportError::Disconnected("service stopped".into()))
+    }
+
+    fn post(&mut self, frame: ServeFrame) -> Result<(), TransportError> {
+        self.tx
+            .send(Event::Post(frame))
+            .map_err(|_| TransportError::Disconnected("service stopped".into()))
+    }
+}
+
+impl Drop for LocalLink {
+    fn drop(&mut self) {
+        if let Some(worker) = self.worker {
+            let _ = self.tx.send(Event::WorkerGone(worker));
+        }
+    }
+}
+
+/// A framed TCP link speaking the serve protocol.
+pub struct TcpLink {
+    stream: TcpStream,
+    addr: SocketAddr,
+}
+
+impl TcpLink {
+    /// Dials the service.
+    pub fn connect(addr: SocketAddr) -> Result<Self, TransportError> {
+        let stream = TcpStream::connect(addr)
+            .map_err(|e| TransportError::Io(format!("connect {addr} failed: {e}")))?;
+        stream
+            .set_nodelay(true)
+            .map_err(|e| TransportError::Io(format!("nodelay failed: {e}")))?;
+        Ok(TcpLink { stream, addr })
+    }
+}
+
+impl ServeLink for TcpLink {
+    fn call(&mut self, frame: ServeFrame) -> Result<ServeFrame, TransportError> {
+        write_frame(&mut self.stream, &frame.encode())?;
+        let payload = read_frame_blocking(&mut self.stream).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+                TransportError::Disconnected("service closed the connection".into())
+            } else {
+                TransportError::Io(e.to_string())
+            }
+        })?;
+        ServeFrame::decode(&payload).map_err(|e| TransportError::Malformed(e.to_string()))
+    }
+
+    fn post(&mut self, frame: ServeFrame) -> Result<(), TransportError> {
+        write_frame(&mut self.stream, &frame.encode())
+    }
+
+    fn reconnect(&mut self) -> Result<(), TransportError> {
+        let _ = self.stream.shutdown(std::net::Shutdown::Both);
+        *self = Self::connect(self.addr)?;
+        Ok(())
+    }
+}

@@ -1,0 +1,127 @@
+//! The bounded priority job queue behind admission control.
+//!
+//! The waiting room between *accepted* and *active*: a job the
+//! scheduler has no slot for sits here until one frees up. The queue
+//! is bounded — a full queue is backpressure, answered with a typed
+//! `Rejected { reason }` rather than unbounded memory growth — and
+//! priority-ordered: the highest-priority job activates first, FIFO
+//! among equals (no starvation *within* a priority class; across
+//! classes, priority is the contract).
+
+use lss_runtime::protocol::serve::JobSpec;
+
+/// A job admitted but not yet active.
+#[derive(Debug, Clone)]
+pub struct QueuedJob {
+    /// Service-assigned id.
+    pub id: u64,
+    /// What the client asked for.
+    pub spec: JobSpec,
+    /// Submission time (service-epoch nanoseconds).
+    pub submitted_ns: u64,
+}
+
+/// Bounded, priority-ordered FIFO of waiting jobs.
+#[derive(Debug)]
+pub struct JobQueue {
+    capacity: usize,
+    items: Vec<QueuedJob>,
+}
+
+impl JobQueue {
+    /// An empty queue admitting at most `capacity` waiting jobs.
+    pub fn new(capacity: usize) -> Self {
+        JobQueue { capacity, items: Vec::new() }
+    }
+
+    /// Jobs currently waiting.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether nothing is waiting.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The admission bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Admits a job, or refuses with a reason when the queue is full.
+    pub fn offer(&mut self, job: QueuedJob) -> Result<(), String> {
+        if self.items.len() >= self.capacity {
+            return Err(format!(
+                "queue full ({} jobs waiting, capacity {})",
+                self.items.len(),
+                self.capacity
+            ));
+        }
+        self.items.push(job);
+        Ok(())
+    }
+
+    /// Removes and returns the highest-priority job (FIFO among
+    /// equals), if any is waiting.
+    pub fn pop_highest(&mut self) -> Option<QueuedJob> {
+        let best = self
+            .items
+            .iter()
+            .enumerate()
+            .max_by(|(ia, a), (ib, b)| {
+                a.spec
+                    .priority
+                    .cmp(&b.spec.priority)
+                    // On equal priority prefer the EARLIER entry: compare
+                    // reversed indices so max_by picks the smaller index.
+                    .then(ib.cmp(ia))
+            })
+            .map(|(i, _)| i)?;
+        Some(self.items.remove(best))
+    }
+
+    /// Snapshot of the waiting jobs (activation order not guaranteed).
+    pub fn iter(&self) -> impl Iterator<Item = &QueuedJob> {
+        self.items.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lss_core::master::SchemeKind;
+    use lss_runtime::protocol::serve::WorkloadSpec;
+
+    fn job(id: u64, priority: u32) -> QueuedJob {
+        QueuedJob {
+            id,
+            spec: JobSpec {
+                workload: WorkloadSpec::Uniform { iters: 10, cost: 1 },
+                scheme: SchemeKind::Tss,
+                priority,
+            },
+            submitted_ns: id,
+        }
+    }
+
+    #[test]
+    fn priority_order_fifo_among_equals() {
+        let mut q = JobQueue::new(8);
+        for (id, pr) in [(1, 1), (2, 4), (3, 2), (4, 4), (5, 1)] {
+            q.offer(job(id, pr)).expect("capacity");
+        }
+        let order: Vec<u64> = std::iter::from_fn(|| q.pop_highest().map(|j| j.id)).collect();
+        assert_eq!(order, vec![2, 4, 3, 1, 5]);
+    }
+
+    #[test]
+    fn full_queue_refuses_with_reason() {
+        let mut q = JobQueue::new(2);
+        q.offer(job(1, 1)).expect("capacity");
+        q.offer(job(2, 1)).expect("capacity");
+        let err = q.offer(job(3, 1)).expect_err("full");
+        assert!(err.contains("queue full"), "{err}");
+        assert_eq!(q.len(), 2);
+    }
+}

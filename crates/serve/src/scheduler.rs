@@ -1,0 +1,505 @@
+//! Fair-share multiplexing of many jobs over one worker pool.
+//!
+//! Every active job owns a full [`Master`] — scheme state, chunk
+//! leases, dedup bitmap, job-scoped trace sink — so the exactly-once
+//! guarantees of the fault-tolerance layer hold *per job* with no new
+//! bookkeeping. What this module adds is the layer above: deciding
+//! **which jobs** a requesting worker serves and **how much** of the
+//! worker's computing power each one sees.
+//!
+//! The mechanism is the paper's ACP model, partitioned. A request from
+//! worker `i` carries its run-queue length `Q_i`; the scheduler derives
+//! `A_i = ⌊scale · V_i / Q_i⌋` and splits it across active jobs in
+//! proportion to priority weights ([`partition_acp`]). Job `j`'s share
+//! `s_j` is handed to its master as an *effective run-queue length*
+//! `q_eff = round(scale_job · V_i / s_j)`, so the job's own ACP
+//! derivation lands on `s_j` — ACP-adaptive schemes (DTSS, DFSS, …)
+//! then size chunks proportionally to the share without knowing other
+//! jobs exist. Shares are recomputed on the DTSS replan trigger
+//! ([`ReplanTrigger`]: more than half the `A_i` changed) and whenever
+//! the active-job set changes.
+//!
+//! Batch assembly walks jobs in *deficit order* (lowest
+//! `completed / weight` first — the job furthest behind its fair share)
+//! and takes at most one chunk per job (a worker holds at most one
+//! lease per master), up to the batch bound `k`. If share-filtering
+//! leaves nothing grantable, a fallback grant from the most-deficient
+//! job keeps every worker progressing.
+
+use lss_core::master::{Assignment, Master, MasterConfig};
+use lss_core::power::{AcpConfig, VirtualPower};
+use lss_core::share::{partition_acp, ReplanTrigger};
+use lss_core::Chunk;
+use lss_runtime::protocol::serve::{
+    JobChunkResult, JobGrant, JobSpec, JobState, JobStatus, WorkloadSpec,
+};
+use lss_trace::{EventKind, JobScopedSink, SharedSink, TraceEvent};
+
+/// ACP scale used *inside* each job's master. The round trip
+/// `q_eff = round(scale_job · V / s)` then `A = ⌊scale_job · V / q_eff⌋`
+/// loses about `s² / (2 · scale_job)` units, so the scale must dwarf
+/// the square of any pool-level share. Pool shares live in the
+/// hundreds (pool scale ~1000), making the loss at most one unit here.
+pub const JOB_ACP_SCALE: u32 = 1_000_000;
+
+/// Static configuration of the multi-job scheduler.
+#[derive(Debug, Clone)]
+pub struct SchedulerConfig {
+    /// Size of the worker pool.
+    pub workers: usize,
+    /// Virtual power of each worker.
+    pub powers: Vec<VirtualPower>,
+    /// ACP derivation rule for the *pool-level* `A_i` that gets
+    /// partitioned. A larger scale gives finer fair-share granularity.
+    pub acp: AcpConfig,
+    /// Chunk-lease parameters applied to every job's master.
+    pub lease: lss_core::LeaseConfig,
+    /// Maximum grants per batch (`k`): one round trip delivers up to
+    /// `k` chunks, one per job.
+    pub batch_k: usize,
+}
+
+/// One job being actively scheduled.
+struct ActiveJob {
+    id: u64,
+    priority: u32,
+    workload: WorkloadSpec,
+    master: Master,
+    submitted_ns: u64,
+}
+
+/// Cross-job progress captured at the instant a job completes — the
+/// raw material for fairness verification: while jobs compete, their
+/// completed iterations should track their priority weights.
+#[derive(Debug, Clone)]
+pub struct FairSnapshot {
+    /// The job that just completed.
+    pub completed_job: u64,
+    /// When (service-epoch nanoseconds).
+    pub at_ns: u64,
+    /// `(job, priority, iterations_completed)` for every job active at
+    /// that instant, the completed one included.
+    pub progress: Vec<(u64, u32, u64)>,
+}
+
+/// The fair-share multiplexer: per-job masters plus the partition
+/// machinery.
+pub struct MultiJobScheduler {
+    cfg: SchedulerConfig,
+    jobs: Vec<ActiveJob>,
+    done: Vec<JobStatus>,
+    trigger: ReplanTrigger,
+    /// Committed share of each worker's ACP per active job
+    /// (`shares[worker][job_index]`), recomputed on the replan trigger
+    /// or when the job set changes.
+    shares: Vec<Vec<u32>>,
+    needs_partition: bool,
+    worker_seen: Vec<bool>,
+    sink: SharedSink,
+    snapshots: Vec<FairSnapshot>,
+    grants_sent: u64,
+}
+
+impl MultiJobScheduler {
+    /// A scheduler with no jobs yet. `sink` is shared with the service
+    /// so every job's events land in one stream (job-tagged).
+    pub fn new(cfg: SchedulerConfig, sink: SharedSink) -> Self {
+        assert!(cfg.workers >= 1, "need at least one worker");
+        assert_eq!(cfg.powers.len(), cfg.workers, "one power per worker");
+        assert!(cfg.batch_k >= 1, "batch bound must be at least 1");
+        let workers = cfg.workers;
+        MultiJobScheduler {
+            cfg,
+            jobs: Vec::new(),
+            done: Vec::new(),
+            trigger: ReplanTrigger::new(workers),
+            shares: vec![Vec::new(); workers],
+            needs_partition: false,
+            worker_seen: vec![false; workers],
+            sink,
+            snapshots: Vec::new(),
+            grants_sent: 0,
+        }
+    }
+
+    /// Number of jobs currently being scheduled.
+    pub fn active_len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// Whether no job is active.
+    pub fn is_idle(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Total batched grants handed out so far.
+    pub fn grants_sent(&self) -> u64 {
+        self.grants_sent
+    }
+
+    /// Promotes a job to active: builds its master (scheme state +
+    /// leases + dedup) with a job-scoped trace sink.
+    pub fn activate(&mut self, id: u64, spec: &JobSpec, submitted_ns: u64) {
+        let total = spec.workload.len();
+        let mut master = Master::new(MasterConfig {
+            scheme: spec.scheme,
+            total,
+            powers: self.cfg.powers.clone(),
+            initial_q: vec![1; self.cfg.workers],
+            acp: AcpConfig::new(JOB_ACP_SCALE, self.cfg.acp.a_min),
+        });
+        master.set_lease_config(self.cfg.lease);
+        master.set_trace_sink(Box::new(JobScopedSink::new(id, self.sink.clone())));
+        self.jobs.push(ActiveJob {
+            id,
+            priority: spec.priority.max(1),
+            workload: spec.workload,
+            master,
+            submitted_ns,
+        });
+        self.needs_partition = true;
+    }
+
+    /// Records a worker's piggy-backed results. Completed jobs are
+    /// retired (with a fairness snapshot and a `JobCompleted` trace
+    /// event) and their ids returned. Results for unknown or already
+    /// retired jobs are ignored — late duplicates, not errors.
+    pub fn record_results(
+        &mut self,
+        worker: usize,
+        results: &[JobChunkResult],
+        now: u64,
+    ) -> Vec<u64> {
+        for r in results {
+            if let Some(job) = self.jobs.iter_mut().find(|j| j.id == r.job) {
+                let chunk = r.result.chunk;
+                let outcome = job.master.record_completion(worker, chunk, now);
+                // The core master traces grants, dedups and requeues;
+                // acceptance is decided here, so the `Completed` event
+                // is ours to emit. Only first-time-complete chunks get
+                // one — job-scoped traces then prove exactly-once by
+                // exact partition: no overlap, union = [0, total).
+                if outcome.newly_completed == chunk.len {
+                    self.sink.record(
+                        TraceEvent::new(now, EventKind::Completed)
+                            .on_worker(worker)
+                            .on_chunk(chunk.start, chunk.len)
+                            .on_job(job.id),
+                    );
+                }
+            }
+        }
+        self.retire_completed(now)
+    }
+
+    fn retire_completed(&mut self, now: u64) -> Vec<u64> {
+        let mut completed = Vec::new();
+        while let Some(pos) = self.jobs.iter().position(|j| j.master.all_complete()) {
+            // Snapshot cross-job progress at the instant of completion,
+            // before the job leaves the active set.
+            self.snapshots.push(FairSnapshot {
+                completed_job: self.jobs[pos].id,
+                at_ns: now,
+                progress: self
+                    .jobs
+                    .iter()
+                    .map(|j| (j.id, j.priority, j.master.iterations_completed()))
+                    .collect(),
+            });
+            let job = self.jobs.remove(pos);
+            self.sink.record(
+                TraceEvent::new(now, EventKind::JobCompleted).on_job(job.id),
+            );
+            self.done.push(JobStatus {
+                job: job.id,
+                priority: job.priority,
+                total: job.master.total(),
+                completed: job.master.iterations_completed(),
+                state: JobState::Done,
+                submitted_ns: job.submitted_ns,
+                finished_ns: Some(now),
+            });
+            completed.push(job.id);
+            self.needs_partition = true;
+        }
+        completed
+    }
+
+    /// Re-partitions every worker's ACP across the active jobs if the
+    /// job set changed or the replan trigger fired.
+    fn ensure_partition(&mut self) {
+        if !self.needs_partition && !self.trigger.should_replan() {
+            return;
+        }
+        let weights: Vec<u64> = self.jobs.iter().map(|j| u64::from(j.priority)).collect();
+        for w in 0..self.cfg.workers {
+            self.shares[w] = partition_acp(self.trigger.acp(w), &weights);
+        }
+        self.trigger.commit();
+        self.needs_partition = false;
+    }
+
+    /// Active-job indices in deficit order: the job furthest behind its
+    /// fair share (lowest `completed / weight`) first.
+    fn deficit_order(&self) -> Vec<usize> {
+        let mut order: Vec<usize> = (0..self.jobs.len()).collect();
+        order.sort_by(|&a, &b| {
+            let ja = &self.jobs[a];
+            let jb = &self.jobs[b];
+            // completed_a / w_a  <  completed_b / w_b, in integers:
+            let lhs = u128::from(ja.master.iterations_completed()) * u128::from(jb.priority);
+            let rhs = u128::from(jb.master.iterations_completed()) * u128::from(ja.priority);
+            lhs.cmp(&rhs).then(ja.id.cmp(&jb.id))
+        });
+        order
+    }
+
+    /// Assembles a batched grant for a requesting worker: observe its
+    /// fresh `Q_i`, re-partition if warranted, then walk jobs in
+    /// deficit order taking one chunk from each share-eligible job, up
+    /// to `k`. An empty result means "retry later" unless no job is
+    /// active at all.
+    pub fn grants_for(&mut self, worker: usize, q: u32, now: u64) -> Vec<JobGrant> {
+        if self.jobs.is_empty() {
+            return Vec::new();
+        }
+        let q = q.max(1);
+        let power = self.cfg.powers[worker];
+        let a_i = self.cfg.acp.acp(power, q);
+        self.trigger.observe(worker, a_i.get());
+        if !self.worker_seen[worker] {
+            // First contact: fold this worker into the partition right
+            // away instead of waiting for the >half trigger.
+            self.worker_seen[worker] = true;
+            self.needs_partition = true;
+        }
+        self.ensure_partition();
+
+        let order = self.deficit_order();
+        let mut grants = Vec::new();
+        for &ji in &order {
+            if grants.len() >= self.cfg.batch_k {
+                break;
+            }
+            let share = self.shares[worker].get(ji).copied().unwrap_or(0);
+            if share == 0 {
+                continue;
+            }
+            let q_eff = effective_q(power, share);
+            if let Assignment::Chunk(c) = self.jobs[ji].master.grant_with_lease(worker, q_eff, now)
+            {
+                grants.push(self.grant(ji, c));
+            }
+        }
+        if grants.is_empty() {
+            // Share-filtering (or zero shares for an unseen pool state)
+            // left nothing: grant one chunk from the most-deficient job
+            // that still has work, so no worker ever starves.
+            for &ji in &order {
+                let share = self.shares[worker].get(ji).copied().unwrap_or(0).max(1);
+                let q_eff = effective_q(power, share);
+                if let Assignment::Chunk(c) =
+                    self.jobs[ji].master.grant_with_lease(worker, q_eff, now)
+                {
+                    grants.push(self.grant(ji, c));
+                    break;
+                }
+            }
+        }
+        self.grants_sent += grants.len() as u64;
+        grants
+    }
+
+    fn grant(&self, ji: usize, chunk: Chunk) -> JobGrant {
+        JobGrant { job: self.jobs[ji].id, workload: self.jobs[ji].workload, chunk }
+    }
+
+    /// Feeds a worker heartbeat to every active job's lease table.
+    pub fn heartbeat(&mut self, worker: usize, now: u64) {
+        for job in &mut self.jobs {
+            job.master.note_heartbeat(worker, now);
+        }
+    }
+
+    /// Expires overdue chunk leases in every active job.
+    pub fn poll(&mut self, now: u64) {
+        for job in &mut self.jobs {
+            job.master.poll_leases(now);
+        }
+    }
+
+    /// A worker's connection died: requeue whatever it held, in every
+    /// job.
+    pub fn worker_disconnected(&mut self, worker: usize) {
+        for job in &mut self.jobs {
+            job.master.worker_disconnected(worker);
+        }
+    }
+
+    /// Job table: active jobs first (live progress), then retired ones.
+    pub fn statuses(&self) -> Vec<JobStatus> {
+        let mut out: Vec<JobStatus> = self
+            .jobs
+            .iter()
+            .map(|j| JobStatus {
+                job: j.id,
+                priority: j.priority,
+                total: j.master.total(),
+                completed: j.master.iterations_completed(),
+                state: JobState::Active,
+                submitted_ns: j.submitted_ns,
+                finished_ns: None,
+            })
+            .collect();
+        out.extend(self.done.iter().cloned());
+        out
+    }
+
+    /// Fairness snapshots captured at each job completion.
+    pub fn snapshots(&self) -> &[FairSnapshot] {
+        &self.snapshots
+    }
+
+    /// Number of partitions committed (the initial one included).
+    pub fn replans(&self) -> u32 {
+        self.trigger.replans()
+    }
+}
+
+/// Inverts a share back into the run-queue length that makes a job's
+/// master derive `A ≈ share` under [`JOB_ACP_SCALE`].
+fn effective_q(power: VirtualPower, share: u32) -> u32 {
+    let scaled = f64::from(JOB_ACP_SCALE) * power.get();
+    let q = (scaled / f64::from(share.max(1))).round();
+    if q < 1.0 {
+        1
+    } else if q >= f64::from(u32::MAX) {
+        u32::MAX
+    } else {
+        q as u32
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lss_core::master::SchemeKind;
+
+    fn spec(priority: u32, iters: u64) -> JobSpec {
+        JobSpec {
+            workload: WorkloadSpec::Uniform { iters, cost: 10 },
+            scheme: SchemeKind::Dtss,
+            priority,
+        }
+    }
+
+    fn sched(workers: usize, batch_k: usize) -> MultiJobScheduler {
+        MultiJobScheduler::new(
+            SchedulerConfig {
+                workers,
+                powers: vec![VirtualPower::new(1.0); workers],
+                acp: AcpConfig::new(700, 0),
+                lease: lss_core::LeaseConfig::RUNTIME_DEFAULT,
+                batch_k,
+            },
+            SharedSink::disabled(),
+        )
+    }
+
+    /// Drives the scheduler with perfect in-process workers until all
+    /// jobs retire; returns the snapshots.
+    fn drive(mut s: MultiJobScheduler, workers: usize) -> Vec<FairSnapshot> {
+        let mut now = 0u64;
+        let mut pending: Vec<Vec<JobChunkResult>> = vec![Vec::new(); workers];
+        for _round in 0..100_000 {
+            if s.is_idle() {
+                return s.snapshots().to_vec();
+            }
+            for (w, slot) in pending.iter_mut().enumerate() {
+                now += 1;
+                let results = std::mem::take(slot);
+                s.record_results(w, &results, now);
+                for g in s.grants_for(w, 1, now) {
+                    slot.push(JobChunkResult {
+                        job: g.job,
+                        result: lss_runtime::protocol::ChunkResult::zeroed(g.chunk),
+                    });
+                }
+            }
+        }
+        panic!("scheduler did not converge");
+    }
+
+    #[test]
+    fn single_job_runs_to_completion() {
+        let mut s = sched(4, 4);
+        s.activate(1, &spec(1, 500), 0);
+        let snaps = drive(s, 4);
+        assert_eq!(snaps.len(), 1);
+        assert_eq!(snaps[0].completed_job, 1);
+        assert_eq!(snaps[0].progress, vec![(1, 1, 500)]);
+    }
+
+    #[test]
+    fn fair_share_tracks_priorities() {
+        let mut s = sched(8, 4);
+        s.activate(1, &spec(1, 8000), 0);
+        s.activate(2, &spec(2, 8000), 0);
+        s.activate(3, &spec(4, 8000), 0);
+        let snaps = drive(s, 8);
+        // The priority-4 job finishes first; at that instant the
+        // others' progress should track 2:1.
+        let first = &snaps[0];
+        assert_eq!(first.completed_job, 3, "highest priority retires first");
+        let c1 = first.progress.iter().find(|p| p.0 == 1).map(|p| p.2).unwrap_or(0) as f64;
+        let c2 = first.progress.iter().find(|p| p.0 == 2).map(|p| p.2).unwrap_or(0) as f64;
+        let ratio = c2 / c1;
+        assert!(
+            (ratio - 2.0).abs() / 2.0 < 0.10,
+            "priority 2 vs 1 progress ratio {ratio:.3} strays >10% from 2.0 (c2={c2} c1={c1})"
+        );
+    }
+
+    #[test]
+    fn batch_bound_respected_and_batches_span_jobs() {
+        let mut s = sched(2, 2);
+        for id in 1..=3 {
+            s.activate(id, &spec(1, 1000), 0);
+        }
+        let grants = s.grants_for(0, 1, 1);
+        assert!(!grants.is_empty() && grants.len() <= 2, "got {}", grants.len());
+        let mut jobs: Vec<u64> = grants.iter().map(|g| g.job).collect();
+        jobs.dedup();
+        assert_eq!(jobs.len(), grants.len(), "at most one chunk per job per batch");
+    }
+
+    #[test]
+    fn results_for_retired_jobs_ignored() {
+        let mut s = sched(1, 4);
+        s.activate(7, &spec(1, 10), 0);
+        let grants = s.grants_for(0, 1, 1);
+        assert_eq!(grants.len(), 1);
+        let done = s.record_results(
+            0,
+            &[JobChunkResult {
+                job: 7,
+                result: lss_runtime::protocol::ChunkResult::zeroed(grants[0].chunk),
+            }],
+            2,
+        );
+        // Depending on chunking the job may not be done yet; drain it.
+        let _ = done;
+        let snaps = drive(s, 1);
+        assert_eq!(snaps.last().map(|s| s.completed_job), Some(7));
+    }
+
+    #[test]
+    fn effective_q_inverts_share() {
+        for share in [1u32, 14, 29, 57, 100, 400, 700] {
+            let q = effective_q(VirtualPower::new(1.0), share);
+            let derived = AcpConfig::new(JOB_ACP_SCALE, 0).acp(VirtualPower::new(1.0), q).get();
+            let err = (i64::from(derived) - i64::from(share)).abs();
+            assert!(err <= 1, "share {share} -> q {q} -> acp {derived}");
+        }
+    }
+}

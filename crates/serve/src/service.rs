@@ -1,0 +1,674 @@
+//! The scheduler daemon: event loop, admission control, lifecycle.
+//!
+//! One thread owns all scheduling state ([`MultiJobScheduler`] +
+//! [`JobQueue`]) and serializes every interaction — worker requests,
+//! client submissions, disconnect notices, lease polls — through one
+//! event channel, exactly as the one-shot master serializes its
+//! transport inbox. Connections are threads that pump frames into that
+//! channel and write the replies back out; an in-process peer skips
+//! the socket and sends events directly ([`crate::LocalLink`]).
+//!
+//! Lifecycle: the service runs until asked to drain (client `Drain`
+//! frame) and all work retires, or until `exit_after_jobs` jobs have
+//! completed (the CI smoke-test knob). From then on every worker
+//! request is answered with `Shutdown` and every submission with a
+//! typed `Rejected`; the loop exits once each connected worker has
+//! been told, so no thread is left parked on a socket.
+
+use std::net::{SocketAddr, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use lss_core::power::{AcpConfig, VirtualPower};
+use lss_core::LeaseConfig;
+use lss_runtime::protocol::serve::{
+    JobState, JobStatus, ServeFrame, ServeRequest,
+};
+use lss_runtime::transport::frame::{read_frame_blocking, write_frame};
+use lss_runtime::transport::tcp::tcp_listen_on;
+use lss_runtime::transport::TransportError;
+use lss_trace::{ClockDomain, EventKind, SharedSink, Trace, TraceEvent, TraceMeta};
+
+use crate::client::ServeClient;
+use crate::link::LocalLink;
+use crate::queue::{JobQueue, QueuedJob};
+use crate::scheduler::{FairSnapshot, MultiJobScheduler, SchedulerConfig};
+
+/// Static configuration of the serving daemon.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Size of the worker pool (dense ids `0..workers`).
+    pub workers: usize,
+    /// Virtual power of each worker.
+    pub powers: Vec<VirtualPower>,
+    /// Bound on *waiting* jobs; a submission past it is rejected.
+    pub queue_capacity: usize,
+    /// Bound on concurrently *active* jobs.
+    pub max_active: usize,
+    /// Batched-grant bound `k`: chunks per round trip per worker.
+    pub batch_k: usize,
+    /// Pool-level ACP derivation (partitioned across jobs). The
+    /// default scale is finer than the paper's 10 so fair shares keep
+    /// their proportions after integer apportionment.
+    pub acp: AcpConfig,
+    /// Chunk-lease parameters for every job's master.
+    pub lease: LeaseConfig,
+    /// How long the event loop waits for events before polling leases.
+    pub poll_interval: Duration,
+    /// Trace sink; job lifecycle and every master's chunk events land
+    /// here, job-tagged.
+    pub trace: SharedSink,
+    /// Exit automatically once this many jobs completed (`None` = run
+    /// until drained).
+    pub exit_after_jobs: Option<u64>,
+}
+
+impl ServeConfig {
+    /// Defaults for a pool of `workers` equal machines.
+    pub fn new(workers: usize) -> Self {
+        ServeConfig {
+            workers,
+            powers: vec![VirtualPower::new(1.0); workers],
+            queue_capacity: 64,
+            max_active: 8,
+            batch_k: 4,
+            acp: AcpConfig::new(1000, 0),
+            lease: LeaseConfig::RUNTIME_DEFAULT,
+            poll_interval: Duration::from_millis(5),
+            trace: SharedSink::disabled(),
+            exit_after_jobs: None,
+        }
+    }
+}
+
+/// An event on the service's single serialized queue.
+pub(crate) enum Event {
+    /// A frame expecting a reply.
+    Frame {
+        /// The decoded frame.
+        frame: ServeFrame,
+        /// Where the reply goes (connection thread or local link).
+        reply: Sender<ServeFrame>,
+    },
+    /// A frame with no reply (heartbeats).
+    Post(ServeFrame),
+    /// A worker's connection died.
+    WorkerGone(usize),
+}
+
+/// Everything the service learned, returned by [`ServeHandle::join`].
+#[derive(Debug)]
+pub struct ServeReport {
+    /// Final job table (done, active-at-exit, and queued-at-exit).
+    pub jobs: Vec<JobStatus>,
+    /// Cross-job progress at each job completion (fairness evidence).
+    pub snapshots: Vec<FairSnapshot>,
+    /// Worker scheduling round trips served (hellos included).
+    pub requests_served: u64,
+    /// Chunks granted across all batches.
+    pub grants_sent: u64,
+    /// Jobs that ran to completion.
+    pub jobs_completed: u64,
+    /// Submissions refused by admission control.
+    pub jobs_rejected: u64,
+    /// ACP partitions committed (initial one included).
+    pub replans: u32,
+    /// The job-tagged event stream, when tracing was enabled.
+    pub trace: Option<Trace>,
+}
+
+/// A running service: the handle spawns clients and in-process worker
+/// links, and joins the daemon for its report.
+pub struct ServeHandle {
+    tx: Sender<Event>,
+    thread: JoinHandle<ServeReport>,
+    accept_stop: Option<Arc<AtomicBool>>,
+    /// Dial address, when listening on TCP.
+    pub addr: Option<SocketAddr>,
+}
+
+impl ServeHandle {
+    /// An in-process client (submissions, job queries, drain).
+    pub fn client(&self) -> ServeClient {
+        ServeClient::local(LocalLink::new(self.tx.clone(), None))
+    }
+
+    /// An in-process link for worker `id` — hand it to
+    /// [`crate::run_serve_worker`].
+    pub fn worker_link(&self, worker: usize) -> LocalLink {
+        LocalLink::new(self.tx.clone(), Some(worker))
+    }
+
+    /// Waits for the service to finish (drain requested and work
+    /// retired, or the job limit reached) and returns its report.
+    ///
+    /// The TCP acceptor keeps listening until the service itself exits
+    /// (its thread flips the stop flag) — joining must not refuse
+    /// peers that have not dialed yet.
+    pub fn join(self) -> ServeReport {
+        let ServeHandle { tx, thread, accept_stop, .. } = self;
+        drop(tx);
+        let report = match thread.join() {
+            Ok(report) => report,
+            Err(_) => panic!("service thread panicked"),
+        };
+        if let Some(stop) = &accept_stop {
+            stop.store(true, Ordering::SeqCst);
+        }
+        report
+    }
+}
+
+/// Starts an in-process service (no sockets). Peers attach through
+/// [`ServeHandle::client`] and [`ServeHandle::worker_link`].
+pub fn serve(cfg: ServeConfig) -> ServeHandle {
+    let (tx, rx) = channel();
+    let service = Service::new(cfg);
+    let thread = std::thread::spawn(move || service.run(rx));
+    ServeHandle { tx, thread, accept_stop: None, addr: None }
+}
+
+/// Starts a service listening on TCP (`port` 0 = ephemeral). Workers
+/// and clients dial the returned handle's `addr` and are told apart by
+/// their hello frame; a peer speaking the legacy unversioned protocol
+/// is refused with a typed `Rejected` frame.
+pub fn serve_tcp(cfg: ServeConfig, host: &str, port: u16) -> Result<ServeHandle, TransportError> {
+    let listener_handle = tcp_listen_on(host, port)?;
+    let addr = listener_handle.addr;
+    let listener = listener_handle.into_listener();
+    listener
+        .set_nonblocking(true)
+        .map_err(|e| TransportError::Io(format!("nonblocking listener: {e}")))?;
+    let (tx, rx) = channel::<Event>();
+    let service = Service::new(cfg);
+    let stop = Arc::new(AtomicBool::new(false));
+    let thread = {
+        let stop = Arc::clone(&stop);
+        std::thread::spawn(move || {
+            let report = service.run(rx);
+            // Service is gone: stop accepting so dials fail fast
+            // instead of parking a connection nobody will answer.
+            stop.store(true, Ordering::SeqCst);
+            report
+        })
+    };
+    {
+        let stop = Arc::clone(&stop);
+        let tx = tx.clone();
+        std::thread::spawn(move || {
+            while !stop.load(Ordering::SeqCst) {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        if stream.set_nodelay(true).is_err()
+                            || stream.set_nonblocking(false).is_err()
+                        {
+                            continue;
+                        }
+                        let tx = tx.clone();
+                        std::thread::spawn(move || connection_loop(stream, tx));
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(Duration::from_millis(2));
+                    }
+                    Err(_) => return,
+                }
+            }
+        });
+    }
+    Ok(ServeHandle { tx, thread, accept_stop: Some(stop), addr: Some(addr) })
+}
+
+/// Pumps one TCP connection: handshake, then frame → event → reply.
+fn connection_loop(mut stream: TcpStream, tx: Sender<Event>) {
+    let Ok(first) = read_frame_blocking(&mut stream) else { return };
+    let mut frame = match ServeFrame::decode(&first) {
+        Ok(f @ (ServeFrame::HelloWorker { .. } | ServeFrame::HelloClient)) => f,
+        Ok(_) => {
+            let reject = ServeFrame::Rejected { reason: "handshake required".into() };
+            let _ = write_frame(&mut stream, &reject.encode());
+            return;
+        }
+        Err(e) => {
+            // A legacy (unversioned) or mis-versioned peer gets a typed
+            // refusal it can surface, never a deserialization panic.
+            let reject = ServeFrame::Rejected { reason: e.to_string() };
+            let _ = write_frame(&mut stream, &reject.encode());
+            return;
+        }
+    };
+    let worker_id = match &frame {
+        ServeFrame::HelloWorker { worker, .. } => Some(*worker),
+        _ => None,
+    };
+    loop {
+        if matches!(frame, ServeFrame::Heartbeat { .. }) {
+            if tx.send(Event::Post(frame)).is_err() {
+                let _ = write_frame(&mut stream, &ServeFrame::Shutdown.encode());
+                return;
+            }
+        } else {
+            let (rtx, rrx) = channel();
+            if tx.send(Event::Frame { frame, reply: rtx }).is_err() {
+                // Service already exited: tell the peer to stop.
+                let _ = write_frame(&mut stream, &ServeFrame::Shutdown.encode());
+                return;
+            }
+            let Ok(resp) = rrx.recv() else {
+                let _ = write_frame(&mut stream, &ServeFrame::Shutdown.encode());
+                return;
+            };
+            let was_shutdown = matches!(resp, ServeFrame::Shutdown);
+            if write_frame(&mut stream, &resp.encode()).is_err() {
+                break;
+            }
+            if was_shutdown {
+                return; // orderly exit; no disconnect notice
+            }
+        }
+        match read_frame_blocking(&mut stream).ok().and_then(|p| ServeFrame::decode(&p).ok()) {
+            Some(f) => frame = f,
+            None => break,
+        }
+    }
+    if let Some(worker) = worker_id {
+        let _ = tx.send(Event::WorkerGone(worker));
+    }
+}
+
+/// The single-threaded service state machine.
+struct Service {
+    cfg: ServeConfig,
+    scheduler: MultiJobScheduler,
+    queue: JobQueue,
+    epoch: Instant,
+    next_job: u64,
+    draining: bool,
+    completed: u64,
+    rejected: u64,
+    requests: u64,
+    seen: Vec<bool>,
+    told_shutdown: Vec<bool>,
+    total_iterations: u64,
+}
+
+impl Service {
+    fn new(cfg: ServeConfig) -> Self {
+        let scheduler = MultiJobScheduler::new(
+            SchedulerConfig {
+                workers: cfg.workers,
+                powers: cfg.powers.clone(),
+                acp: cfg.acp,
+                lease: cfg.lease,
+                batch_k: cfg.batch_k,
+            },
+            cfg.trace.clone(),
+        );
+        let queue = JobQueue::new(cfg.queue_capacity);
+        let workers = cfg.workers;
+        Service {
+            cfg,
+            scheduler,
+            queue,
+            epoch: Instant::now(),
+            next_job: 1,
+            draining: false,
+            completed: 0,
+            rejected: 0,
+            requests: 0,
+            seen: vec![false; workers],
+            told_shutdown: vec![false; workers],
+            total_iterations: 0,
+        }
+    }
+
+    /// Service-epoch nanoseconds, aligned with the trace sink's epoch
+    /// when tracing is on.
+    fn now(&self) -> u64 {
+        if self.cfg.trace.enabled() {
+            self.cfg.trace.now_ns()
+        } else {
+            self.epoch.elapsed().as_nanos() as u64
+        }
+    }
+
+    /// Whether the service has no more scheduling to do.
+    fn done(&self) -> bool {
+        let drained = self.draining && self.queue.is_empty() && self.scheduler.is_idle();
+        let limit = self.cfg.exit_after_jobs.is_some_and(|n| self.completed >= n);
+        drained || limit
+    }
+
+    /// Done, and every worker that ever connected has been told.
+    fn finished(&self) -> bool {
+        self.done()
+            && self
+                .seen
+                .iter()
+                .zip(&self.told_shutdown)
+                .all(|(seen, told)| !seen || *told)
+    }
+
+    fn run(mut self, rx: Receiver<Event>) -> ServeReport {
+        loop {
+            if self.finished() {
+                break;
+            }
+            match rx.recv_timeout(self.cfg.poll_interval) {
+                Ok(Event::Frame { frame, reply }) => {
+                    let resp = self.handle(frame);
+                    let _ = reply.send(resp);
+                }
+                Ok(Event::Post(ServeFrame::Heartbeat { worker })) => {
+                    if worker < self.cfg.workers {
+                        let now = self.now();
+                        self.scheduler.heartbeat(worker, now);
+                    }
+                }
+                Ok(Event::Post(_)) => {}
+                Ok(Event::WorkerGone(worker)) => {
+                    if worker < self.cfg.workers {
+                        self.scheduler.worker_disconnected(worker);
+                        // No link left to say goodbye on: a gone worker
+                        // must not hold the service open waiting for a
+                        // `Shutdown` it can never receive. A redial
+                        // re-enters via `Hello` and re-marks `seen`.
+                        self.seen[worker] = false;
+                        self.told_shutdown[worker] = false;
+                    }
+                }
+                Err(RecvTimeoutError::Timeout) => {
+                    let now = self.now();
+                    self.scheduler.poll(now);
+                    let retired = self.scheduler_retired(now);
+                    self.completed += retired;
+                }
+                Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        self.report()
+    }
+
+    /// Lease expiry alone cannot complete a job, but a requeued chunk
+    /// re-granted and completed via a piggy-backed result can retire
+    /// one between requests; sweep for completions after polls too.
+    fn scheduler_retired(&mut self, now: u64) -> u64 {
+        let retired = self.scheduler.record_results(usize::MAX, &[], now);
+        let n = retired.len() as u64;
+        if n > 0 {
+            self.activate_from_queue();
+        }
+        n
+    }
+
+    fn handle(&mut self, frame: ServeFrame) -> ServeFrame {
+        match frame {
+            ServeFrame::HelloWorker { worker, q } => self.worker_request(worker, q, Vec::new()),
+            ServeFrame::Request(ServeRequest { worker, q, results }) => {
+                self.worker_request(worker, q, results)
+            }
+            ServeFrame::Heartbeat { worker } => {
+                if worker < self.cfg.workers {
+                    let now = self.now();
+                    self.scheduler.heartbeat(worker, now);
+                }
+                ServeFrame::Ack
+            }
+            ServeFrame::Submit(spec) => self.submit(spec),
+            ServeFrame::JobsQuery => ServeFrame::JobList(self.statuses()),
+            ServeFrame::Drain => {
+                self.draining = true;
+                ServeFrame::Ack
+            }
+            ServeFrame::HelloClient => ServeFrame::Ack,
+            _ => ServeFrame::Rejected { reason: "unexpected frame".into() },
+        }
+    }
+
+    fn worker_request(
+        &mut self,
+        worker: usize,
+        q: u32,
+        results: Vec<lss_runtime::protocol::serve::JobChunkResult>,
+    ) -> ServeFrame {
+        if worker >= self.cfg.workers {
+            return ServeFrame::Rejected {
+                reason: format!("unknown worker {worker} (pool size {})", self.cfg.workers),
+            };
+        }
+        self.seen[worker] = true;
+        self.requests += 1;
+        let now = self.now();
+        let retired = self.scheduler.record_results(worker, &results, now);
+        self.completed += retired.len() as u64;
+        self.activate_from_queue();
+        if self.done() {
+            self.told_shutdown[worker] = true;
+            return ServeFrame::Shutdown;
+        }
+        let grants = self.scheduler.grants_for(worker, q, now);
+        if grants.is_empty() {
+            ServeFrame::Retry
+        } else {
+            ServeFrame::Grants(grants)
+        }
+    }
+
+    fn submit(&mut self, spec: lss_runtime::protocol::serve::JobSpec) -> ServeFrame {
+        let id = self.next_job;
+        self.next_job += 1;
+        let now = self.now();
+        self.cfg
+            .trace
+            .record(TraceEvent::new(now, EventKind::JobSubmitted).on_job(id));
+        let reject = |svc: &mut Service, reason: String| {
+            svc.rejected += 1;
+            svc.cfg
+                .trace
+                .record(TraceEvent::new(svc.now(), EventKind::JobRejected).on_job(id));
+            ServeFrame::Rejected { reason }
+        };
+        if self.draining || self.done() {
+            return reject(self, "service is draining; not accepting jobs".into());
+        }
+        if spec.priority == 0 {
+            return reject(self, "priority must be at least 1".into());
+        }
+        if spec.workload.is_empty() {
+            return reject(self, "empty loop: nothing to schedule".into());
+        }
+        let iters = spec.workload.len();
+        if self.scheduler.active_len() < self.cfg.max_active {
+            self.scheduler.activate(id, &spec, now);
+        } else if let Err(reason) =
+            self.queue.offer(QueuedJob { id, spec, submitted_ns: now })
+        {
+            return reject(self, reason);
+        }
+        self.total_iterations += iters;
+        self.cfg
+            .trace
+            .record(TraceEvent::new(self.now(), EventKind::JobAdmitted).on_job(id));
+        ServeFrame::Accepted { job: id }
+    }
+
+    fn activate_from_queue(&mut self) {
+        while self.scheduler.active_len() < self.cfg.max_active {
+            match self.queue.pop_highest() {
+                Some(job) => self.scheduler.activate(job.id, &job.spec, job.submitted_ns),
+                None => break,
+            }
+        }
+    }
+
+    fn statuses(&self) -> Vec<JobStatus> {
+        let mut out: Vec<JobStatus> = self
+            .queue
+            .iter()
+            .map(|qj| JobStatus {
+                job: qj.id,
+                priority: qj.spec.priority,
+                total: qj.spec.workload.len(),
+                completed: 0,
+                state: JobState::Queued,
+                submitted_ns: qj.submitted_ns,
+                finished_ns: None,
+            })
+            .collect();
+        out.extend(self.scheduler.statuses());
+        out.sort_by_key(|j| j.job);
+        out
+    }
+
+    fn report(self) -> ServeReport {
+        let trace = if self.cfg.trace.enabled() {
+            Some(self.cfg.trace.take(TraceMeta {
+                scheme: "serve".into(),
+                workers: self.cfg.workers,
+                total_iterations: self.total_iterations,
+                clock: ClockDomain::Monotonic,
+            }))
+        } else {
+            None
+        };
+        ServeReport {
+            jobs: self.statuses(),
+            snapshots: self.scheduler.snapshots().to_vec(),
+            requests_served: self.requests,
+            grants_sent: self.scheduler.grants_sent(),
+            jobs_completed: self.completed,
+            jobs_rejected: self.rejected,
+            replans: self.scheduler.replans(),
+            trace,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::worker::{run_serve_worker, ServeWorkerConfig};
+    use lss_core::master::SchemeKind;
+    use lss_runtime::protocol::serve::{JobSpec, WorkloadSpec};
+
+    fn uniform(priority: u32, iters: u64) -> JobSpec {
+        JobSpec {
+            workload: WorkloadSpec::Uniform { iters, cost: 5 },
+            scheme: SchemeKind::Dtss,
+            priority,
+        }
+    }
+
+    fn spawn_workers(handle: &ServeHandle, n: usize) -> Vec<std::thread::JoinHandle<()>> {
+        (0..n)
+            .map(|w| {
+                let mut link = handle.worker_link(w);
+                std::thread::spawn(move || {
+                    let cfg = ServeWorkerConfig::healthy(w);
+                    run_serve_worker(&mut link, &cfg).expect("worker failed");
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn in_process_jobs_run_to_completion() {
+        let handle = serve(ServeConfig::new(4));
+        let mut client = handle.client();
+        let a = client.submit(uniform(1, 300)).expect("submit a");
+        let b = client.submit(uniform(2, 300)).expect("submit b");
+        let c = client.submit(uniform(4, 300)).expect("submit c");
+        assert_eq!((a, b, c), (1, 2, 3), "service assigns dense job ids");
+        let workers = spawn_workers(&handle, 4);
+        client.drain().expect("drain");
+        drop(client);
+        let report = handle.join();
+        for w in workers {
+            w.join().expect("worker thread");
+        }
+        assert_eq!(report.jobs_completed, 3);
+        assert_eq!(report.jobs.len(), 3);
+        for job in &report.jobs {
+            assert_eq!(job.state, JobState::Done, "job {} not done", job.job);
+            assert_eq!(job.completed, job.total);
+            assert!(job.finished_ns.is_some());
+        }
+        assert!(report.requests_served > 0);
+        assert!(report.grants_sent >= 3, "at least one grant per job");
+    }
+
+    #[test]
+    fn admission_control_rejects_when_full_with_typed_reason() {
+        let mut cfg = ServeConfig::new(2);
+        cfg.max_active = 1;
+        cfg.queue_capacity = 1;
+        let handle = serve(cfg);
+        let mut client = handle.client();
+        client.submit(uniform(1, 200)).expect("first fills the active slot");
+        client.submit(uniform(1, 200)).expect("second fills the queue");
+        let err = client.submit(uniform(1, 200)).expect_err("third must be rejected");
+        match err {
+            crate::ServeError::Rejected(reason) => {
+                assert!(reason.contains("queue full"), "reason: {reason}")
+            }
+            other => panic!("expected Rejected, got {other}"),
+        }
+        // Invalid specs are rejected before touching the queue.
+        let err = client.submit(uniform(0, 100)).expect_err("priority 0");
+        assert!(matches!(err, crate::ServeError::Rejected(_)));
+        let err = client.submit(uniform(1, 0)).expect_err("empty loop");
+        assert!(matches!(err, crate::ServeError::Rejected(_)));
+        let workers = spawn_workers(&handle, 2);
+        client.drain().expect("drain");
+        drop(client);
+        let report = handle.join();
+        for w in workers {
+            w.join().expect("worker thread");
+        }
+        assert_eq!(report.jobs_completed, 2);
+        assert_eq!(report.jobs_rejected, 3);
+    }
+
+    #[test]
+    fn drain_refuses_new_jobs() {
+        let handle = serve(ServeConfig::new(1));
+        let mut client = handle.client();
+        // Keep one job in flight so the draining service stays up long
+        // enough to answer the refused submission with a typed reason.
+        client.submit(uniform(1, 5000)).expect("submit before drain");
+        client.drain().expect("drain");
+        let err = client.submit(uniform(1, 10)).expect_err("draining");
+        assert!(matches!(err, crate::ServeError::Rejected(_)));
+        let workers = spawn_workers(&handle, 1);
+        drop(client);
+        let report = handle.join();
+        for w in workers {
+            w.join().expect("worker thread");
+        }
+        assert_eq!(report.jobs_completed, 1);
+        assert_eq!(report.jobs_rejected, 1);
+    }
+
+    #[test]
+    fn jobs_query_reports_queued_active_done() {
+        let mut cfg = ServeConfig::new(1);
+        cfg.max_active = 1;
+        let handle = serve(cfg);
+        let mut client = handle.client();
+        client.submit(uniform(1, 100)).expect("submit 1");
+        client.submit(uniform(1, 100)).expect("submit 2");
+        let jobs = client.jobs().expect("jobs");
+        assert_eq!(jobs.len(), 2);
+        assert_eq!(jobs[0].state, JobState::Active);
+        assert_eq!(jobs[1].state, JobState::Queued);
+        let workers = spawn_workers(&handle, 1);
+        client.drain().expect("drain");
+        drop(client);
+        handle.join();
+        for w in workers {
+            w.join().expect("worker thread");
+        }
+    }
+}

@@ -110,6 +110,12 @@ pub fn to_chrome_json(trace: &Trace) -> String {
         if let Some(c) = ev.chunk {
             let _ = write!(args, "\"start\": {}, \"len\": {}", c.start, c.len);
         }
+        if let Some(j) = ev.job {
+            if !args.is_empty() {
+                args.push_str(", ");
+            }
+            let _ = write!(args, "\"job\": {j}");
+        }
         if let EventKind::Replanned { plan } = ev.kind {
             if !args.is_empty() {
                 args.push_str(", ");

@@ -125,6 +125,15 @@ pub enum EventKind {
         /// The fault kind's stable label (e.g. `"injected"`).
         label: &'static str,
     },
+    // ---- job lifecycle (the multi-job serving layer) ---------------
+    /// A job arrived at the service and entered the queue.
+    JobSubmitted,
+    /// A queued job was activated and began receiving grants.
+    JobAdmitted,
+    /// A job was refused admission (queue full / service draining).
+    JobRejected,
+    /// Every iteration of a job has been completed at least once.
+    JobCompleted,
 }
 
 impl EventKind {
@@ -151,6 +160,10 @@ impl EventKind {
             EventKind::Wait { .. } => "wait",
             EventKind::Comp { .. } => "comp",
             EventKind::Fault { label } => label,
+            EventKind::JobSubmitted => "job-submitted",
+            EventKind::JobAdmitted => "job-admitted",
+            EventKind::JobRejected => "job-rejected",
+            EventKind::JobCompleted => "job-completed",
         }
     }
 
@@ -180,6 +193,9 @@ pub struct TraceEvent {
     pub worker: Option<usize>,
     /// The chunk involved, if any.
     pub chunk: Option<ChunkRef>,
+    /// The job this event belongs to, if the run multiplexes several
+    /// loop jobs (the serving layer); `None` for single-loop runs.
+    pub job: Option<u64>,
     /// What happened.
     pub kind: EventKind,
 }
@@ -187,7 +203,7 @@ pub struct TraceEvent {
 impl TraceEvent {
     /// Builds an unattributed event.
     pub fn new(at_ns: u64, kind: EventKind) -> Self {
-        TraceEvent { at_ns, worker: None, chunk: None, kind }
+        TraceEvent { at_ns, worker: None, chunk: None, job: None, kind }
     }
 
     /// Attributes the event to a worker.
@@ -201,6 +217,12 @@ impl TraceEvent {
         self.chunk = Some(ChunkRef::new(start, len));
         self
     }
+
+    /// Attributes the event to a job.
+    pub fn on_job(mut self, job: u64) -> Self {
+        self.job = Some(job);
+        self
+    }
 }
 
 impl fmt::Display for TraceEvent {
@@ -211,6 +233,9 @@ impl fmt::Display for TraceEvent {
         }
         if let Some(c) = self.chunk {
             write!(f, " chunk={c}")?;
+        }
+        if let Some(j) = self.job {
+            write!(f, " job={j}")?;
         }
         match self.kind {
             EventKind::Comm { ns } | EventKind::Wait { ns } | EventKind::Comp { ns } => {
@@ -284,6 +309,20 @@ impl Trace {
         self.events.iter().filter(move |e| e.worker == Some(worker))
     }
 
+    /// Events concerning `job` (the multi-job serving layer stamps
+    /// every per-job event with its job id).
+    pub fn for_job(&self, job: u64) -> impl Iterator<Item = &TraceEvent> {
+        self.events.iter().filter(move |e| e.job == Some(job))
+    }
+
+    /// The distinct job ids appearing in the trace, ascending.
+    pub fn job_ids(&self) -> Vec<u64> {
+        let mut ids: Vec<u64> = self.events.iter().filter_map(|e| e.job).collect();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
     /// Number of events matching a predicate on the kind.
     pub fn count_kind(&self, pred: impl Fn(&EventKind) -> bool) -> usize {
         self.events.iter().filter(|e| pred(&e.kind)).count()
@@ -336,6 +375,25 @@ mod tests {
         assert!(EventKind::Lapsed.is_lifecycle());
         assert!(!EventKind::WorkerDead.is_lifecycle());
         assert_eq!(ClockDomain::Logical.label(), "logical");
+        assert_eq!(EventKind::JobSubmitted.label(), "job-submitted");
+        assert_eq!(EventKind::JobCompleted.label(), "job-completed");
+        assert!(!EventKind::JobAdmitted.is_lifecycle());
+    }
+
+    #[test]
+    fn job_attribution_filters_and_renders() {
+        let events = vec![
+            TraceEvent::new(0, EventKind::JobSubmitted).on_job(1),
+            TraceEvent::new(1, EventKind::Planned).on_job(1).on_chunk(0, 10),
+            TraceEvent::new(2, EventKind::Planned).on_job(2).on_chunk(0, 10),
+            TraceEvent::new(3, EventKind::Heartbeat).on_worker(0),
+        ];
+        let t = Trace::new(meta(), events, 0);
+        assert_eq!(t.for_job(1).count(), 2);
+        assert_eq!(t.for_job(2).count(), 1);
+        assert_eq!(t.job_ids(), vec![1, 2]);
+        let s = t.events()[0].to_string();
+        assert!(s.contains("job=1"), "{s}");
     }
 
     #[test]

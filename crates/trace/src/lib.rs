@@ -38,4 +38,4 @@ pub use analysis::{
 pub use chrome::{to_chrome_json, validate_chrome_trace};
 pub use event::{ChunkRef, ClockDomain, EventKind, Trace, TraceEvent, TraceMeta};
 pub use prom::to_prometheus_text;
-pub use sink::{NoopSink, RingSink, SharedSink, TraceSink, DEFAULT_CAPACITY};
+pub use sink::{JobScopedSink, NoopSink, RingSink, SharedSink, TraceSink, DEFAULT_CAPACITY};

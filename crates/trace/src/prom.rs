@@ -39,6 +39,23 @@ pub fn to_prometheus_text(trace: &Trace) -> String {
     );
     let _ = writeln!(out, "lss_trace_events_dropped_total{{scheme=\"{scheme}\"}} {}", trace.dropped);
 
+    let jobs = trace.job_ids();
+    if !jobs.is_empty() {
+        header(
+            &mut out,
+            "lss_job_events_total",
+            "Events attributed to each job of a multi-job run.",
+            "counter",
+        );
+        for j in jobs {
+            let _ = writeln!(
+                out,
+                "lss_job_events_total{{scheme=\"{scheme}\",job=\"{j}\"}} {}",
+                trace.for_job(j).count()
+            );
+        }
+    }
+
     header(
         &mut out,
         "lss_chunks_completed_total",

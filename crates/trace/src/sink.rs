@@ -208,6 +208,46 @@ impl TraceSink for SharedSink {
     }
 }
 
+/// A sink wrapper that stamps every event with one job id before
+/// forwarding to a shared ring.
+///
+/// The multi-job serving layer hands each per-job master its own
+/// `JobScopedSink` over the service's one [`SharedSink`], so the
+/// single merged timeline stays attributable per job without the
+/// instrumented code knowing jobs exist. An event that already carries
+/// a job id keeps it.
+#[derive(Debug, Clone)]
+pub struct JobScopedSink {
+    job: u64,
+    inner: SharedSink,
+}
+
+impl JobScopedSink {
+    /// Wraps `inner`, attributing everything recorded through this
+    /// handle to `job`.
+    pub fn new(job: u64, inner: SharedSink) -> Self {
+        JobScopedSink { job, inner }
+    }
+
+    /// The job id this handle stamps.
+    pub fn job(&self) -> u64 {
+        self.job
+    }
+}
+
+impl TraceSink for JobScopedSink {
+    fn enabled(&self) -> bool {
+        self.inner.enabled()
+    }
+
+    fn record(&mut self, mut ev: TraceEvent) {
+        if ev.job.is_none() {
+            ev.job = Some(self.job);
+        }
+        self.inner.record(ev);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -262,6 +302,24 @@ mod tests {
         assert_eq!(t.len(), 2);
         // take() drained the shared ring.
         assert!(b.take(meta()).is_empty());
+    }
+
+    #[test]
+    fn job_scoped_sink_stamps_without_clobbering() {
+        let shared = SharedSink::bounded(16);
+        let mut scoped = JobScopedSink::new(7, shared.clone());
+        assert!(scoped.enabled());
+        assert_eq!(scoped.job(), 7);
+        scoped.record(TraceEvent::new(1, EventKind::Planned));
+        // An explicit job id wins over the scope.
+        scoped.record(TraceEvent::new(2, EventKind::Planned).on_job(3));
+        let t = shared.take(meta());
+        assert_eq!(t.events()[0].job, Some(7));
+        assert_eq!(t.events()[1].job, Some(3));
+        // A disabled scope stays free.
+        let mut off = JobScopedSink::new(1, SharedSink::disabled());
+        assert!(!off.enabled());
+        off.record(TraceEvent::new(0, EventKind::Planned));
     }
 
     #[test]

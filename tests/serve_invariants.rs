@@ -1,0 +1,371 @@
+//! Invariants of the multi-job scheduling service (`lss-serve`):
+//!
+//! - **Per-job exactly-once** — while several jobs share one worker
+//!   pool and workers crash or reconnect mid-run, every job's
+//!   iteration space is completed in an exact partition: the job's
+//!   `Completed` trace events never overlap and their union covers
+//!   `[0, total)`. Checked over in-process links and loopback TCP.
+//! - **Fair share** — concurrently active jobs receive iterations in
+//!   proportion to their priority weights (within 10%).
+//! - **Typed admission control** — a full queue refuses submissions
+//!   with a reason, never a dropped connection; a legacy (unversioned)
+//!   worker dialing the serve port gets a typed rejection frame.
+
+use lss_core::fault::FaultPlan;
+use lss_core::master::SchemeKind;
+use lss_core::power::AcpConfig;
+use lss_runtime::protocol::serve::{JobSpec, JobState, ServeFrame, WorkloadSpec};
+use lss_serve::{
+    run_serve_worker, serve, serve_tcp, ServeConfig, ServeReport, ServeWorkerConfig, TcpLink,
+};
+use lss_trace::{EventKind, SharedSink, Trace};
+
+fn uniform(priority: u32, iters: u64) -> JobSpec {
+    JobSpec {
+        workload: WorkloadSpec::Uniform { iters, cost: 40 },
+        scheme: SchemeKind::Dtss,
+        priority,
+    }
+}
+
+fn mandelbrot(priority: u32) -> JobSpec {
+    JobSpec {
+        workload: WorkloadSpec::Mandelbrot { width: 96, height: 64, sf: 8 },
+        scheme: SchemeKind::Dtfss,
+        priority,
+    }
+}
+
+/// Proves per-job exactly-once from the job-scoped trace: `Completed`
+/// chunk events form an exact partition of `[0, total)`.
+fn assert_exactly_once(trace: &Trace, job: u64, total: u64) {
+    let mut covered = vec![false; total as usize];
+    for ev in trace.for_job(job) {
+        if ev.kind != EventKind::Completed {
+            continue;
+        }
+        let c = ev.chunk.unwrap_or_else(|| panic!("job {job}: completed event without chunk"));
+        for i in c.start..c.start + c.len {
+            assert!(
+                i < total,
+                "job {job}: completed iteration {i} outside [0, {total})"
+            );
+            assert!(
+                !covered[i as usize],
+                "job {job}: iteration {i} completed twice (overlapping chunks)"
+            );
+            covered[i as usize] = true;
+        }
+    }
+    let missing = covered.iter().filter(|c| !**c).count();
+    assert_eq!(missing, 0, "job {job}: {missing} of {total} iterations never completed");
+}
+
+/// Checks the full lifecycle trail and the exact partition for every
+/// completed job in the report.
+fn assert_report_exactly_once(report: &ServeReport) {
+    let trace = report.trace.as_ref().expect("tracing was enabled");
+    for job in &report.jobs {
+        assert_eq!(job.state, JobState::Done, "job {} did not finish", job.job);
+        assert_eq!(job.completed, job.total, "job {} progress mismatch", job.job);
+        assert_exactly_once(trace, job.job, job.total);
+        for kind in [EventKind::JobSubmitted, EventKind::JobAdmitted, EventKind::JobCompleted] {
+            assert!(
+                trace.for_job(job.job).any(|e| e.kind == kind),
+                "job {}: no {kind:?} event in trace",
+                job.job
+            );
+        }
+    }
+}
+
+fn traced_config(workers: usize) -> ServeConfig {
+    let mut cfg = ServeConfig::new(workers);
+    cfg.trace = SharedSink::bounded(1 << 17);
+    cfg
+}
+
+/// In-process chaos: 3 jobs over 8 workers; one worker crashes without
+/// reporting its last batch (its chunks must be requeued and finished
+/// by the others), exactly-once must hold per job.
+#[test]
+fn exactly_once_under_crash_local_links() {
+    let handle = serve(traced_config(8));
+    let workers: Vec<_> = (0..8)
+        .map(|w| {
+            let mut link = handle.worker_link(w);
+            std::thread::spawn(move || {
+                let mut cfg = ServeWorkerConfig::healthy(w);
+                if w == 2 {
+                    cfg.fault = FaultPlan::crash_after(2);
+                }
+                run_serve_worker(&mut link, &cfg).expect("worker loop failed")
+            })
+        })
+        .collect();
+    let mut client = handle.client();
+    for (priority, iters) in [(1, 2000), (2, 2000), (4, 2000)] {
+        client.submit(uniform(priority, iters)).expect("submit");
+    }
+    client.drain().expect("drain");
+    drop(client);
+    let report = handle.join();
+    for w in workers {
+        w.join().expect("worker thread");
+    }
+    assert_eq!(report.jobs_completed, 3);
+    assert_report_exactly_once(&report);
+}
+
+/// Loopback-TCP chaos: 3 jobs over 8 socket workers; one crashes, one
+/// disconnects with results pending and redials (re-sending those
+/// results, which must dedup). Exactly-once must hold per job.
+#[test]
+fn exactly_once_under_crash_and_reconnect_tcp() {
+    let handle = serve_tcp(traced_config(8), "127.0.0.1", 0).expect("serve_tcp");
+    let addr = handle.addr.expect("tcp service has an address");
+    let workers: Vec<_> = (0..8)
+        .map(|w| {
+            std::thread::spawn(move || {
+                let mut link = TcpLink::connect(addr).expect("dial service");
+                let mut cfg = ServeWorkerConfig::healthy(w);
+                if w == 1 {
+                    cfg.fault = FaultPlan::crash_after(2);
+                }
+                if w == 4 {
+                    cfg.fault = FaultPlan::reconnect_after(2, 1_000_000);
+                }
+                run_serve_worker(&mut link, &cfg).expect("worker loop failed")
+            })
+        })
+        .collect();
+    let mut client = lss_serve::ServeClient::connect(addr).expect("client connect");
+    for (priority, iters) in [(1, 2000), (2, 2000), (4, 2000)] {
+        client.submit(uniform(priority, iters)).expect("submit");
+    }
+    client.drain().expect("drain");
+    drop(client);
+    let report = handle.join();
+    let mut reconnects = 0;
+    for w in workers {
+        reconnects += w.join().expect("worker thread").reconnects;
+    }
+    assert_eq!(reconnects, 1, "the reconnect plan must actually fire");
+    assert_eq!(report.jobs_completed, 3);
+    assert_report_exactly_once(&report);
+}
+
+/// The acceptance bar: one service, 16 concurrently submitted
+/// Mandelbrot jobs over loopback TCP, per-job exactly-once accounting
+/// verified from the job-scoped traces.
+#[test]
+fn sixteen_concurrent_mandelbrot_jobs_over_tcp() {
+    let mut cfg = traced_config(8);
+    cfg.max_active = 16;
+    cfg.queue_capacity = 32;
+    let handle = serve_tcp(cfg, "127.0.0.1", 0).expect("serve_tcp");
+    let addr = handle.addr.expect("tcp service has an address");
+    let workers: Vec<_> = (0..8)
+        .map(|w| {
+            std::thread::spawn(move || {
+                let mut link = TcpLink::connect(addr).expect("dial service");
+                run_serve_worker(&mut link, &ServeWorkerConfig::healthy(w))
+                    .expect("worker loop failed")
+            })
+        })
+        .collect();
+    let mut client = lss_serve::ServeClient::connect(addr).expect("client connect");
+    let mut ids = Vec::new();
+    for i in 0..16u32 {
+        ids.push(client.submit(mandelbrot(1 + i % 4)).expect("submit"));
+    }
+    assert_eq!(ids.len(), 16);
+    client.drain().expect("drain");
+    drop(client);
+    let report = handle.join();
+    for w in workers {
+        w.join().expect("worker thread");
+    }
+    assert_eq!(report.jobs_completed, 16);
+    assert_eq!(report.jobs.len(), 16);
+    assert_report_exactly_once(&report);
+}
+
+/// While jobs of priority 4, 2 and 1 compete for the pool, the
+/// snapshot taken when the first job retires must show iteration
+/// progress tracking the priority weights within 10%.
+#[test]
+fn fair_share_tracks_priorities_through_the_service() {
+    let mut cfg = traced_config(8);
+    // Pool scale divisible by 4+2+1 so integer apportionment is exact.
+    cfg.acp = AcpConfig::new(700, 0);
+    let handle = serve(cfg);
+    // Submit before any worker dials in, so all three jobs compete
+    // from the first grant — this is a proportionality check, not a
+    // head-start race.
+    let mut client = handle.client();
+    let low = client.submit(uniform(1, 8000)).expect("submit low");
+    let mid = client.submit(uniform(2, 8000)).expect("submit mid");
+    let high = client.submit(uniform(4, 8000)).expect("submit high");
+    client.drain().expect("drain");
+    drop(client);
+    let workers: Vec<_> = (0..8)
+        .map(|w| {
+            let mut link = handle.worker_link(w);
+            std::thread::spawn(move || {
+                run_serve_worker(&mut link, &ServeWorkerConfig::healthy(w))
+                    .expect("worker loop failed")
+            })
+        })
+        .collect();
+    let report = handle.join();
+    for w in workers {
+        w.join().expect("worker thread");
+    }
+    assert_eq!(report.jobs_completed, 3);
+    let first = report.snapshots.first().expect("a completion snapshot");
+    assert_eq!(first.completed_job, high, "highest priority job retires first");
+    let progress = |job| {
+        first
+            .progress
+            .iter()
+            .find(|p| p.0 == job)
+            .map(|p| p.2 as f64)
+            .expect("job in snapshot")
+    };
+    let ratio = progress(mid) / progress(low);
+    assert!(
+        (ratio - 2.0).abs() / 2.0 < 0.10,
+        "2:1 priority pair strayed {ratio:.3} (low={} mid={})",
+        progress(low),
+        progress(mid),
+    );
+}
+
+/// A full queue answers `Rejected {{ reason }}`; so do nonsense specs.
+#[test]
+fn admission_control_is_typed_over_tcp() {
+    let mut cfg = ServeConfig::new(2);
+    cfg.max_active = 1;
+    cfg.queue_capacity = 2;
+    let handle = serve_tcp(cfg, "127.0.0.1", 0).expect("serve_tcp");
+    let addr = handle.addr.expect("tcp service has an address");
+    let mut client = lss_serve::ServeClient::connect(addr).expect("client connect");
+    for _ in 0..3 {
+        client.submit(uniform(1, 500)).expect("within capacity");
+    }
+    let err = client.submit(uniform(1, 500)).expect_err("queue full");
+    match err {
+        lss_serve::ServeError::Rejected(reason) => {
+            assert!(reason.contains("queue full"), "reason: {reason}")
+        }
+        other => panic!("expected a typed rejection, got {other}"),
+    }
+    // The service survives rejections: attach workers and finish.
+    let workers: Vec<_> = (0..2)
+        .map(|w| {
+            std::thread::spawn(move || {
+                let mut link = TcpLink::connect(addr).expect("dial service");
+                run_serve_worker(&mut link, &ServeWorkerConfig::healthy(w))
+                    .expect("worker loop failed")
+            })
+        })
+        .collect();
+    client.drain().expect("drain");
+    drop(client);
+    let report = handle.join();
+    for w in workers {
+        w.join().expect("worker thread");
+    }
+    assert_eq!(report.jobs_completed, 3);
+    assert_eq!(report.jobs_rejected, 1);
+}
+
+/// A legacy (pre-versioning) worker dialing the serve port must get a
+/// typed `Rejected` frame it can decode as "not my protocol" — not a
+/// deserialization panic, not a silent hang.
+#[test]
+fn legacy_worker_is_rejected_with_a_typed_frame() {
+    use lss_runtime::protocol::{Request, WireMsg};
+    use lss_runtime::transport::frame::{read_frame_blocking, write_frame};
+
+    let mut cfg = ServeConfig::new(1);
+    cfg.exit_after_jobs = Some(1);
+    let handle = serve_tcp(cfg, "127.0.0.1", 0).expect("serve_tcp");
+    let addr = handle.addr.expect("tcp service has an address");
+
+    let mut stream = std::net::TcpStream::connect(addr).expect("legacy dial");
+    let legacy = WireMsg::Request(Request { worker: 0, q: 1, result: None });
+    write_frame(&mut stream, &legacy.encode()).expect("legacy hello");
+    let reply = read_frame_blocking(&mut stream).expect("a reply frame");
+    match ServeFrame::decode(&reply) {
+        Ok(ServeFrame::Rejected { reason }) => {
+            assert!(
+                reason.contains("legacy") || reason.contains("version"),
+                "reason should name the protocol mismatch: {reason}"
+            );
+        }
+        other => panic!("expected a typed Rejected frame, got {other:?}"),
+    }
+    // The legacy side's own decoder refuses the frame cleanly too: no
+    // panic, just None — the typed failure the versioning layer buys.
+    assert_eq!(lss_runtime::protocol::Reply::decode(&reply), None);
+
+    // Unblock the service: one real worker, one real job.
+    let worker = std::thread::spawn(move || {
+        let mut link = TcpLink::connect(addr).expect("dial service");
+        run_serve_worker(&mut link, &ServeWorkerConfig::healthy(0)).expect("worker loop failed")
+    });
+    let mut client = lss_serve::ServeClient::connect(addr).expect("client connect");
+    client.submit(uniform(1, 100)).expect("submit");
+    drop(client);
+    let report = handle.join();
+    worker.join().expect("worker thread");
+    assert_eq!(report.jobs_completed, 1);
+}
+
+/// The service handle works without any TCP at all — the in-process
+/// path the benches use — and reports batched grants: with `k = 4` and
+/// 4 concurrent jobs, round trips must be far fewer than chunks.
+#[test]
+fn batched_grants_reduce_round_trips() {
+    let run = |batch_k: usize| -> ServeReport {
+        let mut cfg = ServeConfig::new(4);
+        cfg.batch_k = batch_k;
+        let handle = serve(cfg);
+        // All four jobs are live before the first request, so every
+        // batch has four jobs' worth of chunks to draw from.
+        let mut client = handle.client();
+        for _ in 0..4 {
+            client.submit(uniform(1, 3000)).expect("submit");
+        }
+        client.drain().expect("drain");
+        drop(client);
+        let workers: Vec<_> = (0..4)
+            .map(|w| {
+                let mut link = handle.worker_link(w);
+                std::thread::spawn(move || {
+                    run_serve_worker(&mut link, &ServeWorkerConfig::healthy(w))
+                        .expect("worker loop failed")
+                })
+            })
+            .collect();
+        let report = handle.join();
+        for w in workers {
+            w.join().expect("worker thread");
+        }
+        report
+    };
+    let batched = run(4);
+    let serial = run(1);
+    assert_eq!(batched.jobs_completed, 4);
+    assert_eq!(serial.jobs_completed, 4);
+    // Same work, fewer round trips: each batched request can carry up
+    // to 4 chunks, so requests-per-grant must drop measurably.
+    let batched_rpg = batched.requests_served as f64 / batched.grants_sent as f64;
+    let serial_rpg = serial.requests_served as f64 / serial.grants_sent as f64;
+    assert!(
+        batched_rpg < serial_rpg * 0.7,
+        "batching should cut round trips per grant: k=4 {batched_rpg:.2} vs k=1 {serial_rpg:.2}"
+    );
+}
