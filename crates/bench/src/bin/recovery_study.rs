@@ -1,0 +1,175 @@
+//! Robustness economics of the serve daemon: what quarantining a
+//! degraded straggler buys, and what the durable job journal costs.
+//!
+//! Two experiments, both against the in-process service:
+//!
+//! 1. **Quarantine value** — a pool with one worker running 10× slow.
+//!    With health scoring on, the straggler is quarantined, its leased
+//!    chunks are reclaimed and re-granted to healthy workers, and the
+//!    makespan tracks the healthy pool. With scoring off, every lease
+//!    the straggler holds must lapse before its chunks move, and the
+//!    makespan stretches toward the straggler's pace. The harness runs
+//!    both and reports the ratio — quarantine must win.
+//! 2. **Journal overhead** — the same healthy workload with and
+//!    without a write-ahead journal, reporting the makespan ratio (the
+//!    price of crash recoverability on the hot path).
+//!
+//! Results land in `results/BENCH_recovery.json`.
+//!
+//! ```sh
+//! cargo run --release -p lss-bench --bin recovery_study
+//! ```
+
+use lss_bench::experiments::write_artifact;
+use lss_core::SchemeKind;
+use lss_runtime::protocol::serve::{JobSpec, WorkloadSpec};
+use lss_serve::{
+    run_serve_worker, serve, JournalConfig, QuarantineConfig, ServeConfig, ServeWorkerConfig,
+};
+use lss_trace::{EventKind, SharedSink};
+
+const WORKERS: usize = 4;
+const DEGRADED: usize = 3;
+const SLOWDOWN: u32 = 10;
+
+struct Outcome {
+    wall_s: f64,
+    quarantines: u64,
+    readmissions: u64,
+    jobs: u64,
+}
+
+/// One full service run: `jobs` uniform DTSS jobs over 4 workers.
+/// `slow` degrades worker 3 by `SLOWDOWN`×; `quarantine` toggles the
+/// health scorer; `journal` adds a fresh write-ahead journal.
+fn run_once(jobs: usize, iters: u64, slow: bool, quarantine: bool, journal: bool) -> Outcome {
+    let dir = std::env::temp_dir().join(format!(
+        "lss-bench-recovery-{}-{}{}{}",
+        std::process::id(),
+        u8::from(slow),
+        u8::from(quarantine),
+        u8::from(journal)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    let mut cfg = ServeConfig::new(WORKERS);
+    cfg.queue_capacity = jobs + 1;
+    cfg.trace = SharedSink::bounded(1 << 17);
+    if !quarantine {
+        cfg.quarantine = QuarantineConfig::disabled();
+    }
+    if journal {
+        cfg.journal = Some(JournalConfig::fresh(&dir));
+    }
+    let handle = serve(cfg);
+    let worker_threads: Vec<_> = (0..WORKERS)
+        .map(|w| {
+            let mut link = handle.worker_link(w);
+            std::thread::spawn(move || {
+                let mut wcfg = ServeWorkerConfig::healthy(w);
+                if slow && w == DEGRADED {
+                    wcfg.slowdown = SLOWDOWN;
+                }
+                let _ = run_serve_worker(&mut link, &wcfg);
+            })
+        })
+        .collect();
+    let started = std::time::Instant::now();
+    let mut client = handle.client();
+    for i in 0..jobs {
+        client
+            .submit(JobSpec {
+                workload: WorkloadSpec::Uniform { iters, cost: 40 },
+                scheme: SchemeKind::Dtss,
+                priority: 1 + (i % 4) as u32,
+            })
+            .expect("submit");
+    }
+    client.drain().expect("drain");
+    drop(client);
+    let report = handle.join();
+    let wall_s = started.elapsed().as_secs_f64();
+    for t in worker_threads {
+        let _ = t.join();
+    }
+    assert_eq!(report.jobs_completed as usize, jobs, "all jobs must retire");
+    let trace = report.trace.as_ref().expect("trace sink configured");
+    let count = |kind: EventKind| -> u64 {
+        trace.events().iter().filter(|e| e.kind == kind).count() as u64
+    };
+    let _ = std::fs::remove_dir_all(&dir);
+    Outcome {
+        wall_s,
+        quarantines: count(EventKind::WorkerQuarantined),
+        readmissions: count(EventKind::WorkerReadmitted),
+        jobs: report.jobs_completed,
+    }
+}
+
+fn main() {
+    // Even quick mode needs enough work that (a) the health scorer
+    // sees `min_samples` batches from the straggler and (b) the chunks
+    // the straggler holds are a meaningful share of the makespan —
+    // sub-100ms runs are all startup noise.
+    // Both modes use the same regime: shrinking further starves the
+    // health scorer of strikes, while scaling the straggler's
+    // in-flight batches past the run length measures nothing — grants
+    // are not preemptible, so on an oversubscribed host a huge first
+    // batch burns shared CPU for the whole run in both arms.
+    let (jobs, iters) = (4, 1_200_000);
+
+    println!("{:>24} {:>9} {:>12} {:>10}", "scenario", "wall(s)", "quarantines", "readmits");
+    let show = |name: &str, o: &Outcome| {
+        println!("{:>24} {:>9.3} {:>12} {:>10}", name, o.wall_s, o.quarantines, o.readmissions);
+    };
+
+    // Experiment 1: one 10×-degraded worker, scoring on vs off.
+    let with_q = run_once(jobs, iters, true, true, false);
+    show("degraded+quarantine", &with_q);
+    let without_q = run_once(jobs, iters, true, false, false);
+    show("degraded+no-quarantine", &without_q);
+    let speedup = without_q.wall_s / with_q.wall_s;
+    println!("quarantine speedup over lease-lapse reclaim: {speedup:.2}×");
+    assert!(
+        with_q.quarantines >= 1,
+        "the degraded worker was never quarantined"
+    );
+    assert!(
+        speedup > 1.0,
+        "quarantine must beat the no-quarantine baseline \
+         (with: {:.3}s, without: {:.3}s)",
+        with_q.wall_s,
+        without_q.wall_s
+    );
+
+    // Experiment 2: healthy pool, journal on vs off.
+    let plain = run_once(jobs, iters, false, true, false);
+    show("healthy", &plain);
+    let journaled = run_once(jobs, iters, false, true, true);
+    show("healthy+journal", &journaled);
+    let overhead = journaled.wall_s / plain.wall_s;
+    println!("journal makespan overhead: {overhead:.3}×");
+
+    let json = format!(
+        "{{\n  \"bench\": \"recovery_study\",\n  \"workers\": {WORKERS},\n  \
+         \"degraded_worker\": {DEGRADED},\n  \"slowdown\": {SLOWDOWN},\n  \
+         \"jobs\": {jobs},\n  \"iterations_per_job\": {iters},\n  \"scheme\": \"dtss\",\n  \
+         \"quarantine\": {{\n    \
+         \"makespan_s\": {:.4},\n    \"quarantines\": {},\n    \"readmissions\": {},\n    \
+         \"jobs_completed\": {}\n  }},\n  \"no_quarantine\": {{\n    \
+         \"makespan_s\": {:.4},\n    \"jobs_completed\": {}\n  }},\n  \
+         \"quarantine_speedup\": {:.4},\n  \"journal\": {{\n    \
+         \"makespan_plain_s\": {:.4},\n    \"makespan_journaled_s\": {:.4},\n    \
+         \"overhead_ratio\": {:.4}\n  }}\n}}\n",
+        with_q.wall_s,
+        with_q.quarantines,
+        with_q.readmissions,
+        with_q.jobs,
+        without_q.wall_s,
+        without_q.jobs,
+        speedup,
+        plain.wall_s,
+        journaled.wall_s,
+        overhead,
+    );
+    write_artifact("BENCH_recovery.json", json.as_bytes());
+}

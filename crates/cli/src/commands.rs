@@ -55,11 +55,16 @@ USAGE:
       Default is --all. --json writes machine-readable certificates.
   lss serve [--port P] [--workers N] [--local-workers] [--batch K]
       [--queue-cap Q] [--max-active M] [--jobs-limit J] [--trace-out FILE]
+      [--journal DIR | --recover DIR] [--no-quarantine]
       Run the multi-job scheduling service over TCP: clients submit loop
       jobs (lss submit), the service fair-shares the worker pool across
       them by priority. --local-workers attaches N loopback worker
       threads; --jobs-limit exits after J completed jobs (otherwise
-      `lss jobs --drain` stops it once work retires).
+      `lss jobs --drain` stops it once work retires). --journal DIR
+      writes a durable job journal (WAL + checkpoints); --recover DIR
+      replays one after a crash, re-admitting unfinished jobs with only
+      their un-completed iterations. --no-quarantine disables straggler
+      quarantine (on by default).
   lss submit <scheme> --connect HOST:PORT [--priority W] [--count N]
       [--iters I --cost C | --width W --height H --sf S] [--wait]
       Submit N copies of a job (uniform loop when --iters is given,
@@ -738,6 +743,17 @@ pub fn cmd_serve(args: &Args) -> Result<String, ArgError> {
     let trace_out = args.get("trace-out").map(String::from);
     if trace_out.is_some() {
         cfg.trace = lss_trace::SharedSink::recording();
+    }
+    match (args.get("journal"), args.get("recover")) {
+        (Some(_), Some(_)) => {
+            return Err(ArgError("--journal and --recover are mutually exclusive".into()));
+        }
+        (Some(dir), None) => cfg.journal = Some(lss_serve::JournalConfig::fresh(dir)),
+        (None, Some(dir)) => cfg.journal = Some(lss_serve::JournalConfig::recover(dir)),
+        (None, None) => {}
+    }
+    if args.has("no-quarantine") {
+        cfg.quarantine = lss_serve::QuarantineConfig::disabled();
     }
     let handle =
         lss_serve::serve_tcp(cfg, "127.0.0.1", port).map_err(|e| ArgError(e.to_string()))?;

@@ -369,6 +369,12 @@ impl LeaseTable {
         self.leases[worker].map(|l| l.chunk)
     }
 
+    /// The full outstanding lease of `worker`, if any — grant time and
+    /// deadline included, so callers can score per-chunk latency.
+    pub fn lease_of(&self, worker: usize) -> Option<&Lease> {
+        self.leases.get(worker).and_then(|l| l.as_ref())
+    }
+
     /// Clears `worker`'s lease (chunk completed or worker gone) and
     /// updates the pace estimate when a completion time is available.
     pub fn complete(&mut self, worker: usize, chunk: Chunk, now: u64) {

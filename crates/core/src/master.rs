@@ -518,29 +518,37 @@ impl Master {
             return Assignment::Chunk(chunk);
         }
 
-        let plans_before = self.plans_made();
-        let assignment = match &mut self.inner {
-            MasterInner::Simple(d) => match d.next_chunk() {
-                Some(c) => Assignment::Chunk(c),
-                None => Assignment::Finished,
-            },
-            MasterInner::Wf(wf) => match wf.next_chunk(worker) {
-                Some(c) => Assignment::Chunk(c),
-                None => Assignment::Finished,
-            },
-            MasterInner::Dist(d) => match d.request(worker, q) {
-                Grant::Chunk(c) => Assignment::Chunk(c),
-                Grant::Unavailable => Assignment::Retry,
-                Grant::Finished => Assignment::Finished,
-            },
+        let assignment = loop {
+            let plans_before = self.plans_made();
+            let assignment = match &mut self.inner {
+                MasterInner::Simple(d) => match d.next_chunk() {
+                    Some(c) => Assignment::Chunk(c),
+                    None => Assignment::Finished,
+                },
+                MasterInner::Wf(wf) => match wf.next_chunk(worker) {
+                    Some(c) => Assignment::Chunk(c),
+                    None => Assignment::Finished,
+                },
+                MasterInner::Dist(d) => match d.request(worker, q) {
+                    Grant::Chunk(c) => Assignment::Chunk(c),
+                    Grant::Unavailable => Assignment::Retry,
+                    Grant::Finished => Assignment::Finished,
+                },
+            };
+            let plans_after = self.plans_made();
+            if plans_after != plans_before && self.trace.enabled() {
+                self.trace.record(
+                    TraceEvent::new(now, EventKind::Replanned { plan: plans_after })
+                        .on_worker(worker),
+                );
+            }
+            // A fresh chunk every iteration of which was seeded from a
+            // recovered bitmap is done work; dispense the next one.
+            match assignment {
+                Assignment::Chunk(c) if self.chunk_fully_complete(c) => continue,
+                other => break other,
+            }
         };
-        let plans_after = self.plans_made();
-        if plans_after != plans_before && self.trace.enabled() {
-            self.trace.record(
-                TraceEvent::new(now, EventKind::Replanned { plan: plans_after })
-                    .on_worker(worker),
-            );
-        }
         match assignment {
             Assignment::Chunk(c) => {
                 self.served[worker] += c.len;
@@ -578,9 +586,25 @@ impl Master {
     /// Records a completed chunk reported by `worker`, with
     /// first-result-wins dedup against the completion bitmap.
     pub fn record_completion(&mut self, worker: WorkerId, chunk: Chunk, now: u64) -> CompletionOutcome {
+        self.record_completion_ranges(worker, chunk, now).0
+    }
+
+    /// Like [`Master::record_completion`], but also returns the maximal
+    /// sub-ranges of `chunk` completed for the *first* time by this
+    /// report. A caller proving exact-partition coverage (the serving
+    /// layer's per-job traces) emits one `Completed` event per returned
+    /// range, so partial overlap with earlier results — possible when a
+    /// master was re-seeded from a recovered bitmap — never produces
+    /// overlapping or missing completion intervals.
+    pub fn record_completion_ranges(
+        &mut self,
+        worker: WorkerId,
+        chunk: Chunk,
+        now: u64,
+    ) -> (CompletionOutcome, Vec<Chunk>) {
         assert!(chunk.end() <= self.total, "completed chunk out of range");
         self.leases.complete(worker, chunk, now);
-        let newly = self.mark_completed(chunk);
+        let (newly, ranges) = self.mark_completed_ranges(chunk);
         let duplicate = newly < chunk.len;
         if duplicate && self.trace.enabled() {
             self.trace.record(
@@ -589,7 +613,26 @@ impl Master {
                     .on_chunk(chunk.start, chunk.len),
             );
         }
-        CompletionOutcome { newly_completed: newly, duplicate }
+        (CompletionOutcome { newly_completed: newly, duplicate }, ranges)
+    }
+
+    /// Marks `chunk` complete with no lease or trace bookkeeping — the
+    /// recovery path, seeding a freshly built master from completion
+    /// records journaled before a crash. The scheme will still dispense
+    /// the full `[0, total)` tiling; grants covering seeded iterations
+    /// are absorbed by the same first-result-wins dedup that handles
+    /// speculative copies, and fully seeded chunks are skipped. Returns
+    /// how many of the iterations were newly marked.
+    pub fn seed_completed(&mut self, chunk: Chunk) -> u64 {
+        assert!(chunk.end() <= self.total, "seeded chunk out of range");
+        self.mark_completed(chunk)
+    }
+
+    /// The completion bitmap as 64-bit words, bit `i % 64` of word
+    /// `i / 64` set when iteration `i` has completed. This is what a
+    /// checkpoint persists and [`Master::seed_completed`] restores.
+    pub fn completed_words(&self) -> &[u64] {
+        &self.completed
     }
 
     /// Notes a heartbeat from `worker`: refreshes liveness and extends
@@ -680,16 +723,28 @@ impl Master {
     }
 
     fn mark_completed(&mut self, chunk: Chunk) -> u64 {
+        self.mark_completed_ranges(chunk).0
+    }
+
+    fn mark_completed_ranges(&mut self, chunk: Chunk) -> (u64, Vec<Chunk>) {
         let mut newly = 0;
+        let mut ranges: Vec<Chunk> = Vec::new();
+        let mut run_start: Option<u64> = None;
         for i in chunk.start..chunk.end() {
             let (word, bit) = ((i / 64) as usize, i % 64);
             if self.completed[word] & (1u64 << bit) == 0 {
                 self.completed[word] |= 1u64 << bit;
                 newly += 1;
+                run_start.get_or_insert(i);
+            } else if let Some(s) = run_start.take() {
+                ranges.push(Chunk::new(s, i - s));
             }
         }
+        if let Some(s) = run_start {
+            ranges.push(Chunk::new(s, chunk.end() - s));
+        }
         self.completed_count += newly;
-        newly
+        (newly, ranges)
     }
 }
 

@@ -111,6 +111,37 @@ mod tests {
     }
 
     #[test]
+    fn jitter_envelope_holds_across_the_whole_schedule() {
+        // Every delay lies in [e/2, e] for e = min(base·2^a, cap): the
+        // deterministic half floors it, the jitter half bounds it.
+        let p = policy();
+        let mut rng = ChaosRng::new(42);
+        for attempt in 0..12u32 {
+            let exp = p
+                .base
+                .saturating_mul(1u32.checked_shl(attempt).unwrap_or(u32::MAX))
+                .min(p.cap)
+                .max(Duration::from_nanos(1));
+            for _ in 0..16 {
+                let d = p.delay(attempt, &mut rng);
+                assert!(d >= exp / 2, "attempt {attempt}: {d:?} under {exp:?}/2");
+                assert!(d <= exp, "attempt {attempt}: {d:?} over {exp:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn budget_boundary_is_exact() {
+        // With max_attempts = n, exactly attempts 0..n are allowed; the
+        // (n+1)-th request for a retry is the typed give-up point.
+        for n in [1u32, 2, 5, 30] {
+            let p = BackoffPolicy { max_attempts: n, ..policy() };
+            let allowed = (0..n + 3).filter(|&a| p.allows(a)).count() as u32;
+            assert_eq!(allowed, n, "budget {n} admitted {allowed} attempts");
+        }
+    }
+
+    #[test]
     fn huge_attempts_do_not_overflow() {
         let p = BackoffPolicy {
             base: Duration::from_secs(1),

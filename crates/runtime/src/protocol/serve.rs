@@ -36,8 +36,10 @@ use super::{get_u32, get_u64, get_u8, take, ChunkResult};
 /// First byte of every serve frame; never a valid legacy tag.
 pub const SERVE_MAGIC: u8 = 0xA5;
 
-/// Current serve protocol version.
-pub const SERVE_PROTOCOL_VERSION: u8 = 2;
+/// Current serve protocol version. Version 3 added the recovery
+/// lifecycle states ([`JobState::Recovering`], [`JobState::Draining`])
+/// to the job table rows.
+pub const SERVE_PROTOCOL_VERSION: u8 = 3;
 
 /// How a serve frame failed to decode.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -245,6 +247,12 @@ pub enum JobState {
     Active,
     /// Every iteration completed.
     Done,
+    /// Re-admitted from a journal after a daemon crash; becomes
+    /// `Active` at its first post-recovery grant.
+    Recovering,
+    /// Still active while the service drains: no new jobs are admitted
+    /// and the service exits once this finishes.
+    Draining,
 }
 
 impl JobState {
@@ -254,7 +262,14 @@ impl JobState {
             JobState::Queued => "queued",
             JobState::Active => "active",
             JobState::Done => "done",
+            JobState::Recovering => "recovering",
+            JobState::Draining => "draining",
         }
+    }
+
+    /// Whether the job still has (or may still have) work outstanding.
+    pub fn is_open(&self) -> bool {
+        !matches!(self, JobState::Done)
     }
 }
 
@@ -287,6 +302,8 @@ impl JobStatus {
             JobState::Queued => 0,
             JobState::Active => 1,
             JobState::Done => 2,
+            JobState::Recovering => 3,
+            JobState::Draining => 4,
         });
         b.extend_from_slice(&self.submitted_ns.to_be_bytes());
         match self.finished_ns {
@@ -307,6 +324,8 @@ impl JobStatus {
             0 => JobState::Queued,
             1 => JobState::Active,
             2 => JobState::Done,
+            3 => JobState::Recovering,
+            4 => JobState::Draining,
             _ => return None,
         };
         let submitted_ns = get_u64(buf)?;
@@ -643,6 +662,19 @@ mod tests {
             submitted_ns: 12345,
             finished_ns: None,
         }]));
+        for state in
+            [JobState::Queued, JobState::Done, JobState::Recovering, JobState::Draining]
+        {
+            roundtrip(ServeFrame::JobList(vec![JobStatus {
+                job: 2,
+                priority: 1,
+                total: 10,
+                completed: 4,
+                state,
+                submitted_ns: 7,
+                finished_ns: None,
+            }]));
+        }
         roundtrip(ServeFrame::Drain);
         roundtrip(ServeFrame::Ack);
     }

@@ -38,6 +38,24 @@ pub enum TransportError {
     /// The operation is not supported by this transport (e.g.
     /// reconnection on a scripted test transport).
     Unsupported(&'static str),
+    /// A request carried a deadline and the deadline elapsed before the
+    /// peer answered. The link may still be usable; the caller decides
+    /// whether to retry, re-dial, or give up.
+    TimedOut {
+        /// The deadline the request carried.
+        deadline: Duration,
+    },
+    /// A bounded retry budget (see [`crate::backoff::BackoffPolicy`])
+    /// was exhausted without success. Carries the attempt count and the
+    /// last underlying failure, so "the peer is really gone" is a typed
+    /// condition instead of whatever error the final attempt happened
+    /// to produce.
+    RetriesExhausted {
+        /// How many attempts were made before giving up.
+        attempts: u32,
+        /// The last underlying error, rendered.
+        last: String,
+    },
 }
 
 impl TransportError {
@@ -45,6 +63,12 @@ impl TransportError {
     /// or protocol problem).
     pub fn is_disconnect(&self) -> bool {
         matches!(self, TransportError::Disconnected(_))
+    }
+
+    /// Whether the error is a deadline expiry (the peer may still be
+    /// alive; only this request ran out of time).
+    pub fn is_timeout(&self) -> bool {
+        matches!(self, TransportError::TimedOut { .. })
     }
 }
 
@@ -56,6 +80,12 @@ impl std::fmt::Display for TransportError {
             TransportError::Malformed(d) => write!(f, "malformed message: {d}"),
             TransportError::UnknownWorker(w) => write!(f, "unknown worker {w}"),
             TransportError::Unsupported(op) => write!(f, "unsupported transport operation: {op}"),
+            TransportError::TimedOut { deadline } => {
+                write!(f, "request deadline ({deadline:?}) elapsed without a reply")
+            }
+            TransportError::RetriesExhausted { attempts, last } => {
+                write!(f, "retry budget exhausted after {attempts} attempt(s); last error: {last}")
+            }
         }
     }
 }

@@ -333,7 +333,9 @@ fn hang_forever<T: WorkerTransport>(
 
 /// Redials a dropped link with bounded, jittered backoff. The hello
 /// request of the new connection carries no result (whatever was in
-/// flight died with the old link).
+/// flight died with the old link). A spent budget surfaces as the typed
+/// [`TransportError::RetriesExhausted`], not the final attempt's raw
+/// error, so callers can distinguish "gone for good" from one bad dial.
 fn reconnect_with_backoff<T: WorkerTransport>(
     transport: &mut T,
     cfg: &WorkerConfig,
@@ -347,7 +349,10 @@ fn reconnect_with_backoff<T: WorkerTransport>(
             Err(e @ TransportError::Unsupported(_)) => return Err(e),
             Err(e) => {
                 if !cfg.reconnect.allows(attempt + 1) {
-                    return Err(e);
+                    return Err(TransportError::RetriesExhausted {
+                        attempts: attempt + 1,
+                        last: e.to_string(),
+                    });
                 }
                 std::thread::sleep(cfg.reconnect.delay(attempt, rng));
                 attempt += 1;
@@ -605,6 +610,43 @@ mod tests {
         let script = Script { replies: vec![], sent: Vec::new() };
         let w = UniformLoop::new(1, 1);
         assert!(run_worker(script, &WorkerConfig::fast(0), &w, false).is_err());
+    }
+
+    #[test]
+    fn spent_reconnect_budget_is_a_typed_error() {
+        /// A transport whose master never comes back.
+        struct DeadMaster {
+            dials: u32,
+        }
+        impl WorkerTransport for DeadMaster {
+            fn send_request(&mut self, _req: Request) -> Result<(), TransportError> {
+                Ok(())
+            }
+            fn recv_reply(&mut self) -> Result<Reply, TransportError> {
+                Err(TransportError::Disconnected("gone".into()))
+            }
+            fn reconnect(&mut self, _hello: &Request) -> Result<(), TransportError> {
+                self.dials += 1;
+                Err(TransportError::Io("connection refused".into()))
+            }
+        }
+        let mut cfg = WorkerConfig::fast(0);
+        cfg.reconnect = BackoffPolicy {
+            base: Duration::from_micros(10),
+            cap: Duration::from_micros(50),
+            max_attempts: 4,
+        };
+        let mut t = DeadMaster { dials: 0 };
+        let mut rng = ChaosRng::new(1);
+        let err = reconnect_with_backoff(&mut t, &cfg, &mut rng).unwrap_err();
+        match err {
+            TransportError::RetriesExhausted { attempts, ref last } => {
+                assert_eq!(attempts, 4);
+                assert!(last.contains("connection refused"), "{last}");
+            }
+            other => panic!("expected RetriesExhausted, got {other:?}"),
+        }
+        assert_eq!(t.dials, 4, "budget of 4 means exactly 4 dials");
     }
 
     #[test]

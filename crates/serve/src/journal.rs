@@ -1,0 +1,617 @@
+//! Durable job journal: a write-ahead log plus compacted checkpoints,
+//! so the serve daemon survives its own death.
+//!
+//! The daemon's scheduling state is rebuildable from three facts per
+//! job: that it was admitted (id, spec, submission time), which
+//! iterations have completed, and whether it finished. The journal
+//! records exactly those, append-only, in `journal.log` inside the
+//! journal directory:
+//!
+//! ```text
+//! [ u32 payload len | payload | u32 CRC-32 of payload ]
+//! payload = tag (1 admit | 2 complete | 3 finish) + big-endian fields
+//! ```
+//!
+//! The length prefix plus trailing CRC make torn tails — the record a
+//! SIGKILL cut in half — detectable: replay stops at the first record
+//! that fails either check and ignores the rest. Every append is
+//! written straight to the file descriptor (no userspace buffering),
+//! so anything `append_*` returned `Ok` for survives process death.
+//!
+//! Unbounded logs would make recovery cost proportional to history,
+//! not state, so the journal periodically **compacts**: it writes the
+//! full surviving state (open jobs + their completion bitmaps) to
+//! `checkpoint.tmp`, renames it over `checkpoint.bin` (atomic on
+//! POSIX), and truncates the log. Recovery is therefore checkpoint +
+//! log-suffix replay, and replaying any prefix of the log is
+//! idempotent: admits of already-known ids and completions of
+//! already-set bits are no-ops, which is what makes the
+//! crash-between-checkpoint-and-truncate window safe.
+//!
+//! Job specs travel inside the journal as encoded
+//! [`ServeFrame::Submit`] frames — the same versioned encoding the
+//! wire uses — so the journal format never forks from the protocol.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Seek, Write};
+use std::path::{Path, PathBuf};
+
+use lss_core::Chunk;
+use lss_runtime::protocol::serve::{JobSpec, ServeFrame};
+
+/// Checkpoint file magic + format version.
+const CHECKPOINT_MAGIC: &[u8; 4] = b"LSSC";
+const CHECKPOINT_VERSION: u32 = 1;
+
+/// Journal record tags.
+const TAG_ADMIT: u8 = 1;
+const TAG_COMPLETE: u8 = 2;
+const TAG_FINISH: u8 = 3;
+
+/// How the journal is attached to a service.
+#[derive(Debug, Clone)]
+pub struct JournalConfig {
+    /// Directory holding `journal.log` and `checkpoint.bin` (created
+    /// if absent).
+    pub dir: PathBuf,
+    /// Replay any state found in the directory and re-admit unfinished
+    /// jobs. When `false`, stale state is discarded and the journal
+    /// starts empty.
+    pub recover: bool,
+    /// Completion records appended between automatic compactions.
+    pub checkpoint_every: u64,
+}
+
+impl JournalConfig {
+    /// A journal in `dir` that starts fresh (discarding stale state).
+    pub fn fresh(dir: impl Into<PathBuf>) -> Self {
+        JournalConfig { dir: dir.into(), recover: false, checkpoint_every: 256 }
+    }
+
+    /// A journal in `dir` that recovers whatever a previous daemon
+    /// left behind.
+    pub fn recover(dir: impl Into<PathBuf>) -> Self {
+        JournalConfig { dir: dir.into(), recover: true, checkpoint_every: 256 }
+    }
+}
+
+/// One job as the journal knows it: the admission facts plus the
+/// completion bitmap. Doubles as the unit of a checkpoint snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JobSnapshot {
+    /// Service-assigned id.
+    pub id: u64,
+    /// The submitted spec (workload, scheme, priority).
+    pub spec: JobSpec,
+    /// Submission time, service-epoch nanoseconds.
+    pub submitted_ns: u64,
+    /// Completion bitmap, bit `i % 64` of word `i / 64` set when
+    /// iteration `i` completed. Always `ceil(total / 64)` words.
+    pub words: Vec<u64>,
+}
+
+impl JobSnapshot {
+    /// A snapshot with nothing completed (a queued job).
+    pub fn empty(id: u64, spec: JobSpec, submitted_ns: u64) -> Self {
+        let words = vec![0u64; spec.workload.len().div_ceil(64) as usize];
+        JobSnapshot { id, spec, submitted_ns, words }
+    }
+
+    /// Total loop size.
+    pub fn total(&self) -> u64 {
+        self.spec.workload.len()
+    }
+
+    /// Iterations marked complete.
+    pub fn completed_count(&self) -> u64 {
+        let total = self.total();
+        self.words
+            .iter()
+            .enumerate()
+            .map(|(w, bits)| {
+                // Mask tail bits beyond `total` defensively.
+                let hi = total.saturating_sub(w as u64 * 64).min(64);
+                let mask = if hi >= 64 { u64::MAX } else { (1u64 << hi) - 1 };
+                u64::from((bits & mask).count_ones())
+            })
+            .sum()
+    }
+
+    /// Whether every iteration completed (the job only awaited its
+    /// finish record when the daemon died).
+    pub fn is_complete(&self) -> bool {
+        self.completed_count() == self.total()
+    }
+
+    /// The maximal runs of completed iterations, as chunks — what a
+    /// recovered master is seeded with.
+    pub fn completed_ranges(&self) -> Vec<Chunk> {
+        let mut out = Vec::new();
+        let total = self.total();
+        let mut run_start: Option<u64> = None;
+        for i in 0..total {
+            let set = self
+                .words
+                .get((i / 64) as usize)
+                .is_some_and(|w| w & (1u64 << (i % 64)) != 0);
+            match (set, run_start) {
+                (true, None) => run_start = Some(i),
+                (false, Some(s)) => {
+                    out.push(Chunk::new(s, i - s));
+                    run_start = None;
+                }
+                _ => {}
+            }
+        }
+        if let Some(s) = run_start {
+            out.push(Chunk::new(s, total - s));
+        }
+        out
+    }
+
+    /// Sets the bits covered by `chunk` (clamped to the loop bounds).
+    fn mark(&mut self, chunk: Chunk) {
+        let end = chunk.end().min(self.total());
+        for i in chunk.start..end {
+            if let Some(w) = self.words.get_mut((i / 64) as usize) {
+                *w |= 1u64 << (i % 64);
+            }
+        }
+    }
+}
+
+/// Everything a journal replay reconstructs.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecoveredState {
+    /// The next job id the daemon may assign — strictly greater than
+    /// every id it ever admitted, finished jobs included.
+    pub next_job: u64,
+    /// Unfinished jobs, ascending by id.
+    pub jobs: Vec<JobSnapshot>,
+}
+
+/// The journal handle a running service appends to.
+pub struct Journal {
+    log: File,
+    dir: PathBuf,
+    checkpoint_every: u64,
+    appended_since_checkpoint: u64,
+}
+
+impl Journal {
+    /// Opens (creating if needed) the journal in `cfg.dir`. With
+    /// `cfg.recover` the surviving state is replayed and returned;
+    /// otherwise stale files are discarded and the state is empty.
+    /// Either way the directory is immediately compacted — checkpoint
+    /// written, log truncated — so recovery cost stays proportional to
+    /// state, not crash history.
+    pub fn open(cfg: &JournalConfig) -> io::Result<(Journal, RecoveredState)> {
+        std::fs::create_dir_all(&cfg.dir)?;
+        let state = if cfg.recover {
+            let checkpoint = read_optional(&cfg.dir.join("checkpoint.bin"))?;
+            let log = read_optional(&cfg.dir.join("journal.log"))?;
+            replay(checkpoint.as_deref(), log.as_deref().unwrap_or(&[]))
+        } else {
+            RecoveredState { next_job: 1, jobs: Vec::new() }
+        };
+        let log = OpenOptions::new()
+            .create(true)
+            .read(true)
+            .write(true)
+            .truncate(false)
+            .open(cfg.dir.join("journal.log"))?;
+        let mut journal = Journal {
+            log,
+            dir: cfg.dir.clone(),
+            checkpoint_every: cfg.checkpoint_every.max(1),
+            appended_since_checkpoint: 0,
+        };
+        journal.checkpoint(&state)?;
+        Ok((journal, state))
+    }
+
+    /// Journals a job admission. Must return `Ok` before the service
+    /// acknowledges the submission — write-ahead, not write-behind.
+    pub fn append_admit(&mut self, id: u64, submitted_ns: u64, spec: &JobSpec) -> io::Result<()> {
+        let mut payload = vec![TAG_ADMIT];
+        payload.extend_from_slice(&id.to_be_bytes());
+        payload.extend_from_slice(&submitted_ns.to_be_bytes());
+        let frame = ServeFrame::Submit(spec.clone()).encode();
+        payload.extend_from_slice(&(frame.len() as u32).to_be_bytes());
+        payload.extend_from_slice(&frame);
+        self.append(&payload)
+    }
+
+    /// Journals a completed chunk (as reported; duplicate or partially
+    /// overlapping reports are harmless — replay ORs bits).
+    pub fn append_complete(&mut self, job: u64, chunk: Chunk) -> io::Result<()> {
+        let mut payload = vec![TAG_COMPLETE];
+        payload.extend_from_slice(&job.to_be_bytes());
+        payload.extend_from_slice(&chunk.start.to_be_bytes());
+        payload.extend_from_slice(&chunk.len.to_be_bytes());
+        self.appended_since_checkpoint += 1;
+        self.append(&payload)
+    }
+
+    /// Journals a job's retirement.
+    pub fn append_finish(&mut self, job: u64) -> io::Result<()> {
+        let mut payload = vec![TAG_FINISH];
+        payload.extend_from_slice(&job.to_be_bytes());
+        self.append(&payload)
+    }
+
+    /// Whether enough completions accumulated that the caller should
+    /// snapshot its state and [`Journal::checkpoint`].
+    pub fn checkpoint_due(&self) -> bool {
+        self.appended_since_checkpoint >= self.checkpoint_every
+    }
+
+    /// Writes a compacted checkpoint of `state` (atomically, via
+    /// tmp + rename) and truncates the log. On return the directory's
+    /// recovery cost is proportional to `state`, not to history.
+    pub fn checkpoint(&mut self, state: &RecoveredState) -> io::Result<()> {
+        let body = encode_checkpoint(state);
+        let tmp = self.dir.join("checkpoint.tmp");
+        {
+            let mut f = File::create(&tmp)?;
+            f.write_all(&body)?;
+            f.sync_all()?;
+        }
+        std::fs::rename(&tmp, self.dir.join("checkpoint.bin"))?;
+        // Crash window here is safe: the log still holds records the
+        // checkpoint already folded in, and replay is idempotent.
+        self.log.set_len(0)?;
+        self.log.seek(io::SeekFrom::Start(0))?;
+        self.appended_since_checkpoint = 0;
+        Ok(())
+    }
+
+    fn append(&mut self, payload: &[u8]) -> io::Result<()> {
+        let mut record = Vec::with_capacity(payload.len() + 8);
+        record.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+        record.extend_from_slice(payload);
+        record.extend_from_slice(&crc32(payload).to_be_bytes());
+        // One write_all on an unbuffered descriptor: everything this
+        // returned Ok for survives SIGKILL (torn tails are caught by
+        // the length/CRC envelope at replay).
+        self.log.write_all(&record)
+    }
+}
+
+/// Rebuilds state from a checkpoint image plus a log suffix. Tolerant
+/// by construction: an unreadable checkpoint counts as empty, replay
+/// stops at the first torn or corrupt log record, and applying any
+/// *prefix* of a log on top of any checkpoint it extends is idempotent
+/// — admits dedup on id, completions OR bits, finishes remove at most
+/// once.
+pub fn replay(checkpoint: Option<&[u8]>, log: &[u8]) -> RecoveredState {
+    let mut state = checkpoint
+        .and_then(decode_checkpoint)
+        .unwrap_or(RecoveredState { next_job: 1, jobs: Vec::new() });
+    let mut buf = log;
+    while let Some(payload) = next_record(&mut buf) {
+        apply(&mut state, &payload);
+    }
+    state.jobs.sort_by_key(|j| j.id);
+    state
+}
+
+/// Extracts the next valid record's payload, or `None` at the torn
+/// tail / end of log.
+fn next_record(buf: &mut &[u8]) -> Option<Vec<u8>> {
+    if buf.len() < 4 {
+        return None;
+    }
+    let len = u32::from_be_bytes(buf[..4].try_into().ok()?) as usize;
+    if buf.len() < 4 + len + 4 {
+        return None; // torn tail: length prefix outruns the file
+    }
+    let payload = &buf[4..4 + len];
+    let crc = u32::from_be_bytes(buf[4 + len..4 + len + 4].try_into().ok()?);
+    if crc32(payload) != crc {
+        return None; // corrupt record: stop replay here
+    }
+    let out = payload.to_vec();
+    *buf = &buf[4 + len + 4..];
+    Some(out)
+}
+
+fn apply(state: &mut RecoveredState, payload: &[u8]) {
+    let Some((&tag, mut rest)) = payload.split_first() else { return };
+    match tag {
+        TAG_ADMIT => {
+            let Some(id) = take_u64(&mut rest) else { return };
+            let Some(submitted_ns) = take_u64(&mut rest) else { return };
+            let Some(frame_len) = take_u32(&mut rest) else { return };
+            if rest.len() < frame_len as usize {
+                return;
+            }
+            let Ok(ServeFrame::Submit(spec)) = ServeFrame::decode(&rest[..frame_len as usize])
+            else {
+                return;
+            };
+            // Ids below next_job were already folded into the
+            // checkpoint (or finished): ignore, never double-admit.
+            if id >= state.next_job {
+                state.next_job = id + 1;
+                state.jobs.push(JobSnapshot::empty(id, spec, submitted_ns));
+            }
+        }
+        TAG_COMPLETE => {
+            let Some(job) = take_u64(&mut rest) else { return };
+            let Some(start) = take_u64(&mut rest) else { return };
+            let Some(len) = take_u64(&mut rest) else { return };
+            if let Some(j) = state.jobs.iter_mut().find(|j| j.id == job) {
+                j.mark(Chunk::new(start, len));
+            }
+        }
+        TAG_FINISH => {
+            let Some(job) = take_u64(&mut rest) else { return };
+            state.jobs.retain(|j| j.id != job);
+        }
+        _ => {}
+    }
+}
+
+fn encode_checkpoint(state: &RecoveredState) -> Vec<u8> {
+    let mut b = Vec::new();
+    b.extend_from_slice(CHECKPOINT_MAGIC);
+    b.extend_from_slice(&CHECKPOINT_VERSION.to_be_bytes());
+    b.extend_from_slice(&state.next_job.to_be_bytes());
+    b.extend_from_slice(&(state.jobs.len() as u32).to_be_bytes());
+    for j in &state.jobs {
+        b.extend_from_slice(&j.id.to_be_bytes());
+        b.extend_from_slice(&j.submitted_ns.to_be_bytes());
+        let frame = ServeFrame::Submit(j.spec.clone()).encode();
+        b.extend_from_slice(&(frame.len() as u32).to_be_bytes());
+        b.extend_from_slice(&frame);
+        b.extend_from_slice(&(j.words.len() as u32).to_be_bytes());
+        for w in &j.words {
+            b.extend_from_slice(&w.to_be_bytes());
+        }
+    }
+    let crc = crc32(&b);
+    b.extend_from_slice(&crc.to_be_bytes());
+    b
+}
+
+fn decode_checkpoint(bytes: &[u8]) -> Option<RecoveredState> {
+    if bytes.len() < 4 {
+        return None;
+    }
+    let (body, crc_bytes) = bytes.split_at(bytes.len() - 4);
+    let crc = u32::from_be_bytes(crc_bytes.try_into().ok()?);
+    if crc32(body) != crc {
+        return None;
+    }
+    let mut rest = body;
+    if rest.len() < 4 || &rest[..4] != CHECKPOINT_MAGIC {
+        return None;
+    }
+    rest = &rest[4..];
+    if take_u32(&mut rest)? != CHECKPOINT_VERSION {
+        return None;
+    }
+    let next_job = take_u64(&mut rest)?;
+    let count = take_u32(&mut rest)?;
+    let mut jobs = Vec::new();
+    for _ in 0..count {
+        let id = take_u64(&mut rest)?;
+        let submitted_ns = take_u64(&mut rest)?;
+        let frame_len = take_u32(&mut rest)? as usize;
+        if rest.len() < frame_len {
+            return None;
+        }
+        let ServeFrame::Submit(spec) = ServeFrame::decode(&rest[..frame_len]).ok()? else {
+            return None;
+        };
+        rest = &rest[frame_len..];
+        let words_len = take_u32(&mut rest)? as usize;
+        let mut words = Vec::with_capacity(words_len);
+        for _ in 0..words_len {
+            words.push(take_u64(&mut rest)?);
+        }
+        jobs.push(JobSnapshot { id, spec, submitted_ns, words });
+    }
+    Some(RecoveredState { next_job: next_job.max(1), jobs })
+}
+
+fn read_optional(path: &Path) -> io::Result<Option<Vec<u8>>> {
+    match File::open(path) {
+        Ok(mut f) => {
+            let mut bytes = Vec::new();
+            f.read_to_end(&mut bytes)?;
+            Ok(Some(bytes))
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => Ok(None),
+        Err(e) => Err(e),
+    }
+}
+
+fn take_u64(buf: &mut &[u8]) -> Option<u64> {
+    if buf.len() < 8 {
+        return None;
+    }
+    let v = u64::from_be_bytes(buf[..8].try_into().ok()?);
+    *buf = &buf[8..];
+    Some(v)
+}
+
+fn take_u32(buf: &mut &[u8]) -> Option<u32> {
+    if buf.len() < 4 {
+        return None;
+    }
+    let v = u32::from_be_bytes(buf[..4].try_into().ok()?);
+    *buf = &buf[4..];
+    Some(v)
+}
+
+/// CRC-32 (IEEE 802.3 polynomial, reflected), bitwise — no tables, no
+/// dependencies; journal records are small enough that throughput is
+/// irrelevant next to the write syscall.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        crc ^= u32::from(b);
+        for _ in 0..8 {
+            let mask = (crc & 1).wrapping_neg();
+            crc = (crc >> 1) ^ (0xEDB8_8320 & mask);
+        }
+    }
+    !crc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lss_core::master::SchemeKind;
+    use lss_runtime::protocol::serve::WorkloadSpec;
+
+    fn spec(iters: u64) -> JobSpec {
+        JobSpec {
+            workload: WorkloadSpec::Uniform { iters, cost: 5 },
+            scheme: SchemeKind::Dtss,
+            priority: 2,
+        }
+    }
+
+    fn tmpdir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("lss-journal-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        assert_eq!(crc32(b""), 0);
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+    }
+
+    #[test]
+    fn snapshot_ranges_roundtrip_through_bitmap() {
+        let mut s = JobSnapshot::empty(1, spec(200), 0);
+        s.mark(Chunk::new(0, 50));
+        s.mark(Chunk::new(30, 40)); // overlaps: idempotent OR
+        s.mark(Chunk::new(120, 10));
+        s.mark(Chunk::new(199, 1));
+        assert_eq!(s.completed_count(), 81);
+        assert_eq!(
+            s.completed_ranges(),
+            vec![Chunk::new(0, 70), Chunk::new(120, 10), Chunk::new(199, 1)]
+        );
+        assert!(!s.is_complete());
+        s.mark(Chunk::new(0, 200));
+        assert!(s.is_complete());
+    }
+
+    #[test]
+    fn journal_survives_reopen_with_state_intact() {
+        let dir = tmpdir("reopen");
+        {
+            let (mut j, state) = Journal::open(&JournalConfig::fresh(&dir)).unwrap();
+            assert_eq!(state.next_job, 1);
+            j.append_admit(1, 10, &spec(100)).unwrap();
+            j.append_admit(2, 20, &spec(50)).unwrap();
+            j.append_complete(1, Chunk::new(0, 40)).unwrap();
+            j.append_complete(2, Chunk::new(0, 50)).unwrap();
+            j.append_finish(2).unwrap();
+            // No clean shutdown: the daemon just dies here.
+        }
+        let (_j, state) = Journal::open(&JournalConfig::recover(&dir)).unwrap();
+        assert_eq!(state.next_job, 3, "ids never reused, finished jobs included");
+        assert_eq!(state.jobs.len(), 1, "finished job is not re-admitted");
+        let job = &state.jobs[0];
+        assert_eq!(job.id, 1);
+        assert_eq!(job.completed_count(), 40);
+        assert_eq!(job.completed_ranges(), vec![Chunk::new(0, 40)]);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn fresh_open_discards_stale_state() {
+        let dir = tmpdir("fresh");
+        {
+            let (mut j, _) = Journal::open(&JournalConfig::fresh(&dir)).unwrap();
+            j.append_admit(1, 10, &spec(100)).unwrap();
+        }
+        let (_j, state) = Journal::open(&JournalConfig::fresh(&dir)).unwrap();
+        assert_eq!(state, RecoveredState { next_job: 1, jobs: Vec::new() });
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn torn_tail_is_ignored_but_prefix_survives() {
+        let dir = tmpdir("torn");
+        {
+            let (mut j, _) = Journal::open(&JournalConfig::fresh(&dir)).unwrap();
+            j.append_admit(1, 10, &spec(100)).unwrap();
+            j.append_complete(1, Chunk::new(0, 25)).unwrap();
+        }
+        // Simulate a SIGKILL mid-append: a record cut in half.
+        let log_path = dir.join("journal.log");
+        let mut bytes = std::fs::read(&log_path).unwrap();
+        let mut torn = vec![0u8, 0, 0, 40, TAG_COMPLETE, 9, 9];
+        bytes.append(&mut torn);
+        std::fs::write(&log_path, &bytes).unwrap();
+        let (_j, state) = Journal::open(&JournalConfig::recover(&dir)).unwrap();
+        assert_eq!(state.jobs.len(), 1);
+        assert_eq!(state.jobs[0].completed_count(), 25);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_compacts_and_recovery_is_unchanged() {
+        let dir = tmpdir("compact");
+        let state_before;
+        {
+            let (mut j, _) = Journal::open(&JournalConfig::fresh(&dir)).unwrap();
+            j.append_admit(1, 10, &spec(100)).unwrap();
+            j.append_complete(1, Chunk::new(10, 30)).unwrap();
+            let snap = RecoveredState {
+                next_job: 2,
+                jobs: vec![{
+                    let mut s = JobSnapshot::empty(1, spec(100), 10);
+                    s.mark(Chunk::new(10, 30));
+                    s
+                }],
+            };
+            j.checkpoint(&snap).unwrap();
+            state_before = snap;
+            // Post-checkpoint records land in the truncated log.
+            j.append_complete(1, Chunk::new(50, 10)).unwrap();
+        }
+        let log_len = std::fs::metadata(dir.join("journal.log")).unwrap().len();
+        assert!(log_len < 64, "log should hold only the post-checkpoint record");
+        let (_j, state) = Journal::open(&JournalConfig::recover(&dir)).unwrap();
+        assert_eq!(state.next_job, state_before.next_job);
+        assert_eq!(
+            state.jobs[0].completed_ranges(),
+            vec![Chunk::new(10, 30), Chunk::new(50, 10)]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn replay_ignores_records_already_in_the_checkpoint() {
+        // The crash window between checkpoint-rename and log-truncate
+        // leaves folded-in records in the log; replay must not
+        // double-admit or corrupt them.
+        let snap = RecoveredState {
+            next_job: 3,
+            jobs: vec![JobSnapshot::empty(2, spec(64), 5)],
+        };
+        let checkpoint = encode_checkpoint(&snap);
+        let dir = tmpdir("dedup");
+        let (mut j, _) = Journal::open(&JournalConfig::fresh(&dir)).unwrap();
+        j.append_admit(2, 5, &spec(64)).unwrap(); // already folded in
+        j.append_complete(2, Chunk::new(0, 8)).unwrap();
+        j.append_admit(3, 9, &spec(32)).unwrap(); // genuinely new
+        let log = std::fs::read(dir.join("journal.log")).unwrap();
+        let state = replay(Some(&checkpoint), &log);
+        assert_eq!(state.next_job, 4);
+        assert_eq!(state.jobs.len(), 2, "no double-admit of job 2");
+        assert_eq!(state.jobs[0].completed_count(), 8);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -39,6 +39,7 @@
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod client;
+pub mod journal;
 pub mod link;
 pub mod queue;
 pub mod scheduler;
@@ -49,9 +50,10 @@ use lss_runtime::protocol::serve::WorkloadSpec;
 use lss_workloads::{Mandelbrot, MandelbrotParams, SampledWorkload, UniformLoop, Workload};
 
 pub use client::{ServeClient, ServeError};
-pub use link::{LocalLink, ServeLink, TcpLink};
+pub use journal::{Journal, JournalConfig, JobSnapshot, RecoveredState};
+pub use link::{LocalLink, ServeLink, TcpLink, DEFAULT_DEADLINE};
 pub use queue::{JobQueue, QueuedJob};
-pub use scheduler::{FairSnapshot, MultiJobScheduler, SchedulerConfig};
+pub use scheduler::{FairSnapshot, MultiJobScheduler, QuarantineConfig, SchedulerConfig};
 pub use service::{serve, serve_tcp, ServeConfig, ServeHandle, ServeReport};
 pub use worker::{run_serve_worker, ServeWorkerConfig, ServeWorkerStats};
 

@@ -10,23 +10,46 @@
 //!   `lss serve`);
 //! - [`TcpLink`] — a framed socket, sharing the length-prefixed
 //!   framing of the one-shot transport.
+//!
+//! Every request carries a **deadline** ([`ServeLink::set_deadline`],
+//! default [`DEFAULT_DEADLINE`]). A dead or half-open peer — a socket
+//! the kernel still thinks is connected but whose process is gone —
+//! costs one deadline and surfaces as a typed
+//! [`TransportError::TimedOut`], never an indefinite hang. Partial
+//! frames survive a timed-out read (the [`FrameBuf`] accumulator keeps
+//! the bytes), so a *slow* peer is not confused with a dead one:
+//! retrying the wait resumes mid-frame.
 
 use std::net::{SocketAddr, TcpStream};
-use std::sync::mpsc::{channel, Sender};
+use std::sync::mpsc::{channel, RecvTimeoutError, Sender};
+use std::time::{Duration, Instant};
 
+use lss_core::fault::ChaosRng;
+use lss_runtime::backoff::BackoffPolicy;
 use lss_runtime::protocol::serve::ServeFrame;
-use lss_runtime::transport::frame::{read_frame_blocking, write_frame};
+use lss_runtime::transport::frame::{fill_from, write_frame, FrameBuf};
 use lss_runtime::transport::TransportError;
 
 use crate::service::Event;
 
+/// Deadline applied to every request unless overridden with
+/// [`ServeLink::set_deadline`]. Generous — it guards against *dead*
+/// peers, not slow ones.
+pub const DEFAULT_DEADLINE: Duration = Duration::from_secs(30);
+
 /// A request/reply connection to the service.
 pub trait ServeLink: Send {
-    /// Sends `frame` and blocks for the service's reply.
+    /// Sends `frame` and blocks for the service's reply, at most until
+    /// the link's deadline elapses ([`TransportError::TimedOut`]).
     fn call(&mut self, frame: ServeFrame) -> Result<ServeFrame, TransportError>;
 
     /// Sends `frame` without expecting a reply (heartbeats).
     fn post(&mut self, frame: ServeFrame) -> Result<(), TransportError>;
+
+    /// Bounds how long a [`call`](ServeLink::call) may wait for its
+    /// reply. `None` waits forever (tests that want to block on a
+    /// stopped clock). New links start at [`DEFAULT_DEADLINE`].
+    fn set_deadline(&mut self, deadline: Option<Duration>);
 
     /// Severs and re-establishes the link (chaos injection). Links
     /// that cannot reconnect return [`TransportError::Unsupported`].
@@ -42,6 +65,7 @@ pub trait ServeLink: Send {
 /// and requeues whatever the worker held.
 pub struct LocalLink {
     tx: Sender<Event>,
+    deadline: Option<Duration>,
     /// `Some(id)` for worker links — a disconnect notice is emitted on
     /// drop so the scheduler can requeue leased chunks.
     worker: Option<usize>,
@@ -49,7 +73,7 @@ pub struct LocalLink {
 
 impl LocalLink {
     pub(crate) fn new(tx: Sender<Event>, worker: Option<usize>) -> Self {
-        LocalLink { tx, worker }
+        LocalLink { tx, deadline: Some(DEFAULT_DEADLINE), worker }
     }
 }
 
@@ -59,14 +83,27 @@ impl ServeLink for LocalLink {
         self.tx
             .send(Event::Frame { frame, reply: rtx })
             .map_err(|_| TransportError::Disconnected("service stopped".into()))?;
-        rrx.recv()
-            .map_err(|_| TransportError::Disconnected("service stopped".into()))
+        match self.deadline {
+            None => {
+                rrx.recv().map_err(|_| TransportError::Disconnected("service stopped".into()))
+            }
+            Some(deadline) => rrx.recv_timeout(deadline).map_err(|e| match e {
+                RecvTimeoutError::Timeout => TransportError::TimedOut { deadline },
+                RecvTimeoutError::Disconnected => {
+                    TransportError::Disconnected("service stopped".into())
+                }
+            }),
+        }
     }
 
     fn post(&mut self, frame: ServeFrame) -> Result<(), TransportError> {
         self.tx
             .send(Event::Post(frame))
             .map_err(|_| TransportError::Disconnected("service stopped".into()))
+    }
+
+    fn set_deadline(&mut self, deadline: Option<Duration>) {
+        self.deadline = deadline;
     }
 }
 
@@ -82,6 +119,10 @@ impl Drop for LocalLink {
 pub struct TcpLink {
     stream: TcpStream,
     addr: SocketAddr,
+    deadline: Option<Duration>,
+    /// Partial-frame accumulator: bytes read before a timeout are kept
+    /// so a deadline never corrupts the stream's framing.
+    rbuf: FrameBuf,
 }
 
 impl TcpLink {
@@ -92,19 +133,77 @@ impl TcpLink {
         stream
             .set_nodelay(true)
             .map_err(|e| TransportError::Io(format!("nodelay failed: {e}")))?;
-        Ok(TcpLink { stream, addr })
+        Ok(TcpLink { stream, addr, deadline: Some(DEFAULT_DEADLINE), rbuf: FrameBuf::default() })
+    }
+
+    /// Dials the service with a bounded retry budget: each failed
+    /// attempt sleeps an equal-jitter backoff delay, and exhausting
+    /// `policy.max_attempts` yields a typed
+    /// [`TransportError::RetriesExhausted`] carrying the attempt count
+    /// and the last failure.
+    pub fn connect_with_backoff(
+        addr: SocketAddr,
+        policy: &BackoffPolicy,
+        rng: &mut ChaosRng,
+    ) -> Result<Self, TransportError> {
+        let mut attempt = 0u32;
+        loop {
+            match Self::connect(addr) {
+                Ok(link) => return Ok(link),
+                Err(e) => {
+                    attempt += 1;
+                    if !policy.allows(attempt) {
+                        return Err(TransportError::RetriesExhausted {
+                            attempts: attempt,
+                            last: e.to_string(),
+                        });
+                    }
+                    std::thread::sleep(policy.delay(attempt - 1, rng));
+                }
+            }
+        }
+    }
+
+    /// Waits for one complete reply frame, at most until the deadline.
+    fn read_reply(&mut self) -> Result<Vec<u8>, TransportError> {
+        let Some(deadline) = self.deadline else {
+            self.stream
+                .set_read_timeout(None)
+                .map_err(|e| TransportError::Io(format!("clear read timeout: {e}")))?;
+            loop {
+                if let Some(payload) = self.rbuf.try_extract()? {
+                    return Ok(payload);
+                }
+                fill_from(&mut self.stream, &mut self.rbuf)?;
+            }
+        };
+        let start = Instant::now();
+        loop {
+            if let Some(payload) = self.rbuf.try_extract()? {
+                return Ok(payload);
+            }
+            let remaining = deadline
+                .checked_sub(start.elapsed())
+                .ok_or(TransportError::TimedOut { deadline })?;
+            self.stream
+                .set_read_timeout(Some(remaining.max(Duration::from_millis(1))))
+                .map_err(|e| TransportError::Io(format!("set read timeout: {e}")))?;
+            // Ok(false) = this slice of the deadline elapsed with no
+            // bytes; loop around — `remaining` shrinks to the TimedOut
+            // branch above.
+            let _ = fill_from(&mut self.stream, &mut self.rbuf)?;
+        }
     }
 }
 
 impl ServeLink for TcpLink {
     fn call(&mut self, frame: ServeFrame) -> Result<ServeFrame, TransportError> {
         write_frame(&mut self.stream, &frame.encode())?;
-        let payload = read_frame_blocking(&mut self.stream).map_err(|e| {
-            if e.kind() == std::io::ErrorKind::UnexpectedEof {
+        let payload = self.read_reply().map_err(|e| match e {
+            TransportError::Disconnected(_) => {
                 TransportError::Disconnected("service closed the connection".into())
-            } else {
-                TransportError::Io(e.to_string())
             }
+            other => other,
         })?;
         ServeFrame::decode(&payload).map_err(|e| TransportError::Malformed(e.to_string()))
     }
@@ -113,9 +212,121 @@ impl ServeLink for TcpLink {
         write_frame(&mut self.stream, &frame.encode())
     }
 
+    fn set_deadline(&mut self, deadline: Option<Duration>) {
+        self.deadline = deadline;
+    }
+
     fn reconnect(&mut self) -> Result<(), TransportError> {
         let _ = self.stream.shutdown(std::net::Shutdown::Both);
+        let deadline = self.deadline;
         *self = Self::connect(self.addr)?;
+        self.deadline = deadline;
         Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Read;
+    use std::net::TcpListener;
+
+    /// A half-open peer — accepts the connection, reads the request,
+    /// never replies — costs exactly one deadline, surfaced as a typed
+    /// `TimedOut`, not a hang.
+    #[test]
+    fn half_open_peer_times_out_within_deadline() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut sock, _) = listener.accept().unwrap();
+            // Swallow the request, then sit silent until the client
+            // hangs up.
+            let mut sink = [0u8; 4096];
+            while matches!(sock.read(&mut sink), Ok(n) if n > 0) {}
+        });
+
+        let deadline = Duration::from_millis(200);
+        let mut link = TcpLink::connect(addr).unwrap();
+        link.set_deadline(Some(deadline));
+        let start = Instant::now();
+        let err = link.call(ServeFrame::Drain).unwrap_err();
+        let waited = start.elapsed();
+        assert!(
+            matches!(err, TransportError::TimedOut { deadline: d } if d == deadline),
+            "want typed TimedOut, got {err:?}"
+        );
+        assert!(waited >= deadline, "returned before the deadline: {waited:?}");
+        assert!(
+            waited < deadline + Duration::from_millis(500),
+            "deadline overshot: waited {waited:?} for a {deadline:?} deadline"
+        );
+        drop(link);
+        server.join().unwrap();
+    }
+
+    /// Connecting to a dead address exhausts the retry budget and
+    /// yields the typed error with an attempt count, not the last
+    /// attempt's raw failure.
+    #[test]
+    fn connect_retries_are_bounded_and_typed() {
+        // A listener bound then dropped: the port exists but nothing
+        // accepts, so connect fails fast with ECONNREFUSED.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let policy = BackoffPolicy {
+            base: Duration::from_micros(10),
+            cap: Duration::from_micros(50),
+            max_attempts: 3,
+        };
+        let mut rng = ChaosRng::new(7);
+        let err = match TcpLink::connect_with_backoff(addr, &policy, &mut rng) {
+            Ok(_) => panic!("connect to a refusing port should fail"),
+            Err(e) => e,
+        };
+        match err {
+            TransportError::RetriesExhausted { attempts, last } => {
+                assert_eq!(attempts, 3);
+                assert!(last.contains("connect"), "last error should name the op: {last}");
+            }
+            other => panic!("want RetriesExhausted, got {other:?}"),
+        }
+    }
+
+    /// A reply that arrives in pieces — header now, payload later —
+    /// survives intermediate read timeouts via the FrameBuf.
+    #[test]
+    fn slow_reply_in_pieces_is_reassembled() {
+        use std::io::Write;
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let server = std::thread::spawn(move || {
+            let (mut sock, _) = listener.accept().unwrap();
+            let mut req = [0u8; 4096];
+            let _ = sock.read(&mut req).unwrap();
+            let payload = ServeFrame::Drain.encode();
+            let mut framed = (payload.len() as u32).to_be_bytes().to_vec();
+            framed.extend_from_slice(&payload);
+            // Dribble the frame one byte at a time, slower than the
+            // link's per-slice read timeout granularity.
+            for b in framed {
+                sock.write_all(&[b]).unwrap();
+                sock.flush().unwrap();
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            // Hold the socket open until the client hangs up: closing
+            // with unread request bytes pending would RST and discard
+            // the dribbled reply.
+            while matches!(sock.read(&mut req), Ok(n) if n > 0) {}
+        });
+
+        let mut link = TcpLink::connect(addr).unwrap();
+        link.set_deadline(Some(Duration::from_secs(5)));
+        let reply = link.call(ServeFrame::Drain).unwrap();
+        assert!(matches!(reply, ServeFrame::Drain));
+        drop(link);
+        server.join().unwrap();
     }
 }

@@ -57,6 +57,137 @@ pub struct SchedulerConfig {
     /// Maximum grants per batch (`k`): one round trip delivers up to
     /// `k` chunks, one per job.
     pub batch_k: usize,
+    /// Worker-health scoring and straggler-quarantine policy.
+    pub quarantine: QuarantineConfig,
+}
+
+/// Worker-health scoring and quarantine policy.
+///
+/// The scheduler keeps an EWMA of each worker's per-iteration chunk
+/// latency (grant to result) and its last sign of life. A worker whose
+/// latency EWMA degrades past `latency_factor ×` the median of the
+/// rest of the pool — or that goes silent past `silence_ns` — is
+/// *quarantined*: its outstanding leases are revoked and their chunks
+/// requeued immediately (first-result-wins dedup absorbs any late
+/// straggler results), and from then on it is only handed single-chunk
+/// canary probes. `canary_target` consecutive healthy canaries earn
+/// readmission.
+#[derive(Debug, Clone, Copy)]
+pub struct QuarantineConfig {
+    /// Master switch; when off the scheduler never quarantines.
+    pub enabled: bool,
+    /// A result batch violates when its grant-to-result time exceeds
+    /// this multiple of the *expected* time (the pool-median
+    /// per-iteration pace times the batch's iterations), plus
+    /// [`comm_slack_ns`](Self::comm_slack_ns).
+    pub latency_factor: f64,
+    /// Consecutive violating completed chunks required to quarantine
+    /// (protects workers from one unlucky batch).
+    pub min_samples: u32,
+    /// Silence (no request, result, or heartbeat) beyond this many
+    /// nanoseconds quarantines a previously seen worker.
+    pub silence_ns: u64,
+    /// Consecutive healthy canary chunks required for readmission.
+    pub canary_target: u32,
+    /// Minimum pause between canary probes to the same quarantined
+    /// worker. Without it a long-polling straggler receives a steady
+    /// stream of probes and keeps burning CPU the pool could use —
+    /// on an oversubscribed host that costs the healthy workers real
+    /// throughput.
+    pub canary_cooldown_ns: u64,
+    /// Result batches totalling fewer iterations than this are not
+    /// folded into the pace EWMA, and canary probes below it are
+    /// inconclusive. A tiny batch's grant-to-result time is dominated
+    /// by transport round trips, not compute; folding it into the
+    /// latency EWMA (or readmitting a worker on its strength) mistakes
+    /// comm noise for worker speed.
+    pub min_sample_iters: u64,
+    /// Absolute grant-to-result allowance added to every latency
+    /// judgment: transport round trips, event-loop queuing, and OS
+    /// scheduling jitter cost this much regardless of batch size, and
+    /// per-iteration ratios alone would read that fixed cost as
+    /// degradation on small batches. A canary pass is only *credited*
+    /// when the probe's expected compute exceeds this slack — a probe
+    /// that finishes inside the slack proves nothing either way.
+    pub comm_slack_ns: u64,
+}
+
+impl Default for QuarantineConfig {
+    fn default() -> Self {
+        QuarantineConfig {
+            // A factor of 6 keeps batched-grant latency inflation (the
+            // last chunk of a k-batch waits on its siblings) and OS
+            // scheduling jitter below the trigger while still catching
+            // order-of-magnitude stragglers quickly.
+            enabled: true,
+            latency_factor: 6.0,
+            min_samples: 3,
+            silence_ns: 5_000_000_000,
+            canary_target: 2,
+            canary_cooldown_ns: 1_000_000_000,
+            min_sample_iters: 64,
+            comm_slack_ns: 10_000_000,
+        }
+    }
+}
+
+impl QuarantineConfig {
+    /// A policy that never quarantines — the baseline the benchmark
+    /// compares against.
+    pub fn disabled() -> Self {
+        QuarantineConfig { enabled: false, ..QuarantineConfig::default() }
+    }
+}
+
+/// Per-worker health ledger backing the quarantine decision.
+#[derive(Debug, Clone)]
+struct WorkerHealth {
+    /// EWMA of per-iteration chunk latency (ns/iteration).
+    ewma_ns: f64,
+    /// Completed-chunk samples folded into the EWMA so far.
+    samples: u32,
+    /// Last sign of life (request, result, or heartbeat), service ns.
+    last_heard: u64,
+    /// Whether the worker is quarantined.
+    quarantined: bool,
+    /// Whether a canary probe is outstanding (quarantined workers hold
+    /// at most one).
+    canary_out: bool,
+    /// Consecutive healthy canary completions.
+    canary_ok: u32,
+    /// Consecutive latency-violating completed chunks (reset by any
+    /// batch inside the allowance).
+    strikes: u32,
+    /// Earliest service time the next canary probe may go out.
+    canary_after: u64,
+}
+
+impl WorkerHealth {
+    fn new() -> Self {
+        WorkerHealth {
+            ewma_ns: 0.0,
+            samples: 0,
+            last_heard: 0,
+            quarantined: false,
+            canary_out: false,
+            canary_ok: 0,
+            strikes: 0,
+            canary_after: 0,
+        }
+    }
+
+    /// Folds one per-iteration latency sample into the EWMA (the same
+    /// 0.5/0.5 blend the lease table uses for pace). `weight` is how
+    /// many completed chunks the sample summarizes — a k-chunk batch is
+    /// k pieces of evidence even though it yields one unbiased sample.
+    fn observe(&mut self, per_iter_ns: f64, weight: u32) {
+        self.ewma_ns = if self.samples == 0 {
+            per_iter_ns
+        } else {
+            0.5 * self.ewma_ns + 0.5 * per_iter_ns
+        };
+        self.samples = self.samples.saturating_add(weight.max(1));
+    }
 }
 
 /// One job being actively scheduled.
@@ -66,6 +197,9 @@ struct ActiveJob {
     workload: WorkloadSpec,
     master: Master,
     submitted_ns: u64,
+    /// A crash-recovered job reports `Recovering` until its first
+    /// post-restart grant proves scheduling has resumed.
+    recovering: bool,
 }
 
 /// Cross-job progress captured at the instant a job completes — the
@@ -95,6 +229,12 @@ pub struct MultiJobScheduler {
     shares: Vec<Vec<u32>>,
     needs_partition: bool,
     worker_seen: Vec<bool>,
+    health: Vec<WorkerHealth>,
+    /// Outstanding grants per worker (`(job, chunk, granted_at)`),
+    /// kept independently of chunk leases so latency can be scored even
+    /// after a slow worker's lease lapsed and its chunk was requeued —
+    /// exactly the results that prove it slow.
+    grant_times: Vec<Vec<(u64, Chunk, u64)>>,
     sink: SharedSink,
     snapshots: Vec<FairSnapshot>,
     grants_sent: u64,
@@ -116,6 +256,8 @@ impl MultiJobScheduler {
             shares: vec![Vec::new(); workers],
             needs_partition: false,
             worker_seen: vec![false; workers],
+            health: vec![WorkerHealth::new(); workers],
+            grant_times: vec![Vec::new(); workers],
             sink,
             snapshots: Vec::new(),
             grants_sent: 0,
@@ -140,6 +282,56 @@ impl MultiJobScheduler {
     /// Promotes a job to active: builds its master (scheme state +
     /// leases + dedup) with a job-scoped trace sink.
     pub fn activate(&mut self, id: u64, spec: &JobSpec, submitted_ns: u64) {
+        let master = self.build_master(id, spec);
+        self.jobs.push(ActiveJob {
+            id,
+            priority: spec.priority.max(1),
+            workload: spec.workload,
+            master,
+            submitted_ns,
+            recovering: false,
+        });
+        self.needs_partition = true;
+    }
+
+    /// Re-admits a crash-recovered job: builds a fresh master and seeds
+    /// its completion bitmap with the iterations journaled complete
+    /// before the crash, so only the remainder is scheduled. Each
+    /// seeded range is traced as `RecoveredComplete` — together with
+    /// the post-restart `Completed` events the job's trace still covers
+    /// `[0, total)` exactly once. The job reports `Recovering` until
+    /// its first grant.
+    pub fn activate_recovered(
+        &mut self,
+        id: u64,
+        spec: &JobSpec,
+        submitted_ns: u64,
+        completed: &[Chunk],
+        now: u64,
+    ) {
+        let mut master = self.build_master(id, spec);
+        self.sink.record(TraceEvent::new(now, EventKind::JobRecovered).on_job(id));
+        for &range in completed {
+            if master.seed_completed(range) > 0 {
+                self.sink.record(
+                    TraceEvent::new(now, EventKind::RecoveredComplete)
+                        .on_chunk(range.start, range.len)
+                        .on_job(id),
+                );
+            }
+        }
+        self.jobs.push(ActiveJob {
+            id,
+            priority: spec.priority.max(1),
+            workload: spec.workload,
+            master,
+            submitted_ns,
+            recovering: true,
+        });
+        self.needs_partition = true;
+    }
+
+    fn build_master(&self, id: u64, spec: &JobSpec) -> Master {
         let total = spec.workload.len();
         let mut master = Master::new(MasterConfig {
             scheme: spec.scheme,
@@ -150,14 +342,7 @@ impl MultiJobScheduler {
         });
         master.set_lease_config(self.cfg.lease);
         master.set_trace_sink(Box::new(JobScopedSink::new(id, self.sink.clone())));
-        self.jobs.push(ActiveJob {
-            id,
-            priority: spec.priority.max(1),
-            workload: spec.workload,
-            master,
-            submitted_ns,
-        });
-        self.needs_partition = true;
+        master
     }
 
     /// Records a worker's piggy-backed results. Completed jobs are
@@ -170,24 +355,62 @@ impl MultiJobScheduler {
         results: &[JobChunkResult],
         now: u64,
     ) -> Vec<u64> {
+        let tracked = worker < self.cfg.workers;
+        // Latency is scored once per *batch*, not per chunk: a worker
+        // executes its k granted chunks serially, so the wall-clock of a
+        // late chunk includes its siblings' compute and a per-chunk
+        // sample would read up to k× too slow. One sample — elapsed
+        // since the earliest grant in the batch over the batch's total
+        // iterations — measures the worker, not its position in a batch.
+        let mut batch_start: Option<u64> = None;
+        let mut batch_iters: u64 = 0;
+        let mut batch_chunks: u32 = 0;
         for r in results {
+            let chunk = r.result.chunk;
+            // The grant-time table (not the lease) carries `granted_at`:
+            // a slow worker's lease lapses before its result arrives,
+            // and those results are exactly the ones that prove it slow.
+            if tracked && chunk.len > 0 {
+                if let Some(pos) = self.grant_times[worker]
+                    .iter()
+                    .position(|(j, c, _)| *j == r.job && *c == chunk)
+                {
+                    let (_, _, at) = self.grant_times[worker].remove(pos);
+                    batch_start = Some(batch_start.map_or(at, |s| s.min(at)));
+                    batch_iters += chunk.len;
+                    batch_chunks += 1;
+                }
+            }
             if let Some(job) = self.jobs.iter_mut().find(|j| j.id == r.job) {
-                let chunk = r.result.chunk;
-                let outcome = job.master.record_completion(worker, chunk, now);
+                let (_, ranges) = job.master.record_completion_ranges(worker, chunk, now);
                 // The core master traces grants, dedups and requeues;
                 // acceptance is decided here, so the `Completed` event
-                // is ours to emit. Only first-time-complete chunks get
-                // one — job-scoped traces then prove exactly-once by
-                // exact partition: no overlap, union = [0, total).
-                if outcome.newly_completed == chunk.len {
+                // is ours to emit — one per sub-range completed for the
+                // *first* time. Job-scoped traces then prove exactly-
+                // once by exact partition (no overlap, union covers
+                // [0, total)) even when the master was partially seeded
+                // from a recovered checkpoint.
+                for range in ranges {
                     self.sink.record(
                         TraceEvent::new(now, EventKind::Completed)
                             .on_worker(worker)
-                            .on_chunk(chunk.start, chunk.len)
+                            .on_chunk(range.start, range.len)
                             .on_job(job.id),
                     );
                 }
             }
+        }
+        let batch_sample = batch_start
+            .filter(|_| batch_iters > 0)
+            .map(|s| now.saturating_sub(s) as f64 / batch_iters as f64);
+        if tracked && !results.is_empty() {
+            if let Some(s) = batch_sample {
+                if batch_iters >= self.cfg.quarantine.min_sample_iters {
+                    self.health[worker].observe(s, batch_chunks);
+                }
+            }
+            self.health[worker].last_heard = now;
+            self.score_worker(worker, batch_sample, batch_iters, batch_chunks, now);
         }
         self.retire_completed(now)
     }
@@ -223,6 +446,143 @@ impl MultiJobScheduler {
             self.needs_partition = true;
         }
         completed
+    }
+
+    /// Scores one worker after a result batch landed. All judgments
+    /// run in *elapsed* space — `grant-to-result time` against
+    /// `latency_factor × expected compute + comm_slack_ns`, where
+    /// expected compute is the pool-median pace times the batch's
+    /// iterations. The absolute slack absorbs transport and queuing
+    /// jitter that a pure per-iteration ratio would misread as
+    /// degradation on small batches.
+    ///
+    /// Healthy workers accumulate *strikes* on violating batches
+    /// (weighted by chunk count, reset by any batch inside the
+    /// allowance) and are quarantined at `min_samples` strikes.
+    /// Quarantined workers are judged by their canary probe: a
+    /// violation is a conclusive fail; a pass is credited only when
+    /// the probe's expected compute exceeds the slack — a probe that
+    /// fits inside the slack window proves nothing either way.
+    fn score_worker(
+        &mut self,
+        worker: usize,
+        fresh_sample: Option<f64>,
+        fresh_iters: u64,
+        fresh_chunks: u32,
+        now: u64,
+    ) {
+        let policy = self.cfg.quarantine;
+        if !policy.enabled {
+            return;
+        }
+        let Some(sample) = fresh_sample else { return };
+        let median = self.pool_median(worker);
+        let elapsed = sample * fresh_iters as f64;
+        let expected = median.unwrap_or(sample) * fresh_iters as f64;
+        let slack = policy.comm_slack_ns as f64;
+        // With no scoreable peer there is nothing to compare against:
+        // never a violation, and a canary passes on the benefit of the
+        // doubt (a lone worker must not be locked out forever).
+        let violates =
+            median.is_some() && elapsed > policy.latency_factor * expected + slack;
+        if self.health[worker].quarantined {
+            if !self.health[worker].canary_out {
+                return;
+            }
+            let conclusive_pass = median.is_none()
+                || (fresh_iters >= policy.min_sample_iters && expected >= slack);
+            let h = &mut self.health[worker];
+            h.canary_out = false;
+            // Pace the probes: a quarantined worker that long-polls
+            // would otherwise draw a continuous canary stream and keep
+            // stealing CPU from the healthy pool.
+            h.canary_after = now.saturating_add(policy.canary_cooldown_ns);
+            if violates {
+                h.canary_ok = 0;
+            } else if conclusive_pass {
+                h.canary_ok += 1;
+                // Let post-readmission scoring start from the canary's
+                // evidence, not the degraded-era EWMA.
+                h.ewma_ns = sample;
+                h.samples = 1;
+                if h.canary_ok >= policy.canary_target {
+                    self.readmit(worker, now);
+                }
+            }
+            return;
+        }
+        let h = &mut self.health[worker];
+        if violates {
+            // A batch so slow that doubling the entire allowance would
+            // still not excuse it is not jitter — don't wait for the
+            // strike count. (A slow worker may manage only a couple of
+            // round trips before a short run drains.)
+            let gross = elapsed > 2.0 * (policy.latency_factor * expected + slack);
+            h.strikes = h.strikes.saturating_add(fresh_chunks.max(1));
+            if gross || h.strikes >= policy.min_samples {
+                self.quarantine(worker, now);
+            }
+        } else {
+            h.strikes = 0;
+        }
+    }
+
+    /// Median latency EWMA across scored, non-quarantined workers
+    /// other than `exclude`; `None` until at least one peer qualifies.
+    fn pool_median(&self, exclude: usize) -> Option<f64> {
+        let mut peers: Vec<f64> = self
+            .health
+            .iter()
+            .enumerate()
+            .filter(|(w, h)| {
+                *w != exclude && !h.quarantined && h.samples >= self.cfg.quarantine.min_samples
+            })
+            .map(|(_, h)| h.ewma_ns)
+            .collect();
+        if peers.is_empty() {
+            return None;
+        }
+        peers.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+        Some(peers[peers.len() / 2])
+    }
+
+    /// Pulls a degraded worker out of rotation: every lease it holds is
+    /// revoked and its chunk requeued *now* — well before the lease
+    /// would lapse — so healthy workers pick the work up immediately
+    /// (first-result-wins dedup absorbs any late straggler results).
+    /// The worker is then restricted to single-chunk canary probes.
+    fn quarantine(&mut self, worker: usize, now: u64) {
+        let h = &mut self.health[worker];
+        h.quarantined = true;
+        h.canary_out = false;
+        h.canary_ok = 0;
+        h.strikes = 0;
+        for job in &mut self.jobs {
+            job.master.worker_disconnected(worker);
+        }
+        // Forget outstanding grant clocks: results for revoked chunks
+        // may still dribble in, and none of them is the canary.
+        self.grant_times[worker].clear();
+        self.sink
+            .record(TraceEvent::new(now, EventKind::WorkerQuarantined).on_worker(worker));
+    }
+
+    /// Restores a quarantined worker to full rotation after it proved
+    /// itself on canary probes.
+    fn readmit(&mut self, worker: usize, now: u64) {
+        let h = &mut self.health[worker];
+        h.quarantined = false;
+        h.canary_out = false;
+        h.canary_ok = 0;
+        h.strikes = 0;
+        self.needs_partition = true;
+        self.sink
+            .record(TraceEvent::new(now, EventKind::WorkerReadmitted).on_worker(worker));
+    }
+
+    /// Whether `worker` is currently quarantined.
+    pub fn is_quarantined(&self, worker: usize) -> bool {
+        worker < self.health.len() && self.health[worker].quarantined
     }
 
     /// Re-partitions every worker's ACP across the active jobs if the
@@ -263,6 +623,10 @@ impl MultiJobScheduler {
         if self.jobs.is_empty() {
             return Vec::new();
         }
+        self.health[worker].last_heard = now;
+        if self.health[worker].quarantined {
+            return self.canary_grant(worker, now);
+        }
         let q = q.max(1);
         let power = self.cfg.powers[worker];
         let a_i = self.cfg.acp.acp(power, q);
@@ -289,6 +653,8 @@ impl MultiJobScheduler {
             if let Assignment::Chunk(c) = self.jobs[ji].master.grant_with_lease(worker, q_eff, now)
             {
                 grants.push(self.grant(ji, c));
+                self.note_grant(worker, self.jobs[ji].id, c, now);
+                self.jobs[ji].recovering = false;
             }
         }
         if grants.is_empty() {
@@ -302,6 +668,8 @@ impl MultiJobScheduler {
                     self.jobs[ji].master.grant_with_lease(worker, q_eff, now)
                 {
                     grants.push(self.grant(ji, c));
+                    self.note_grant(worker, self.jobs[ji].id, c, now);
+                    self.jobs[ji].recovering = false;
                     break;
                 }
             }
@@ -310,21 +678,84 @@ impl MultiJobScheduler {
         grants
     }
 
+    /// The quarantined-worker path: at most one outstanding probe, a
+    /// single regular-share chunk from the most-deficient job. The
+    /// chunk must be normal-sized: a minimal probe finishes in one
+    /// transport round trip and measures comm, not compute — it could
+    /// never conclusively pass (or fail) the latency judgment. If the
+    /// probe goes slow, lease lapse plus first-result-wins dedup absorb
+    /// it like any other straggler chunk.
+    fn canary_grant(&mut self, worker: usize, now: u64) -> Vec<JobGrant> {
+        if self.health[worker].canary_out || now < self.health[worker].canary_after {
+            return Vec::new();
+        }
+        self.ensure_partition();
+        let power = self.cfg.powers[worker];
+        for &ji in &self.deficit_order() {
+            let share = self.shares[worker].get(ji).copied().unwrap_or(0).max(1);
+            let q_eff = effective_q(power, share);
+            if let Assignment::Chunk(c) =
+                self.jobs[ji].master.grant_with_lease(worker, q_eff, now)
+            {
+                self.health[worker].canary_out = true;
+                self.grants_sent += 1;
+                self.jobs[ji].recovering = false;
+                self.note_grant(worker, self.jobs[ji].id, c, now);
+                return vec![self.grant(ji, c)];
+            }
+        }
+        Vec::new()
+    }
+
     fn grant(&self, ji: usize, chunk: Chunk) -> JobGrant {
         JobGrant { job: self.jobs[ji].id, workload: self.jobs[ji].workload, chunk }
     }
 
+    /// Remembers when `chunk` was first granted to `worker` for latency
+    /// scoring. A retransmit of a held chunk keeps the original grant
+    /// time (the clock measures grant-to-result, retries included).
+    fn note_grant(&mut self, worker: usize, job: u64, chunk: Chunk, now: u64) {
+        let table = &mut self.grant_times[worker];
+        if table.iter().any(|(j, c, _)| *j == job && *c == chunk) {
+            return;
+        }
+        // Entries survive job retirement on purpose: a straggler's
+        // results often land after healthy workers finished the job,
+        // and those late results are exactly the evidence that it is
+        // slow. Quarantine clears the table; the cap is a backstop for
+        // grants whose results never come back at all.
+        if table.len() >= 1024 {
+            table.remove(0);
+        }
+        table.push((job, chunk, now));
+    }
+
     /// Feeds a worker heartbeat to every active job's lease table.
     pub fn heartbeat(&mut self, worker: usize, now: u64) {
+        self.health[worker].last_heard = now;
         for job in &mut self.jobs {
             job.master.note_heartbeat(worker, now);
         }
     }
 
-    /// Expires overdue chunk leases in every active job.
+    /// Expires overdue chunk leases in every active job, and
+    /// quarantines any previously seen worker that has gone silent
+    /// past the policy's heartbeat-gap threshold.
     pub fn poll(&mut self, now: u64) {
         for job in &mut self.jobs {
             job.master.poll_leases(now);
+        }
+        if self.cfg.quarantine.enabled && !self.jobs.is_empty() {
+            let silence = self.cfg.quarantine.silence_ns;
+            for w in 0..self.cfg.workers {
+                let h = &self.health[w];
+                if !h.quarantined
+                    && h.last_heard > 0
+                    && now.saturating_sub(h.last_heard) > silence
+                {
+                    self.quarantine(w, now);
+                }
+            }
         }
     }
 
@@ -337,7 +768,10 @@ impl MultiJobScheduler {
     }
 
     /// Job table: active jobs first (live progress), then retired ones.
-    pub fn statuses(&self) -> Vec<JobStatus> {
+    /// With `draining` set (the service saw a `Drain`), still-active
+    /// jobs report `Draining`; a crash-recovered job reports
+    /// `Recovering` until its first post-restart grant.
+    pub fn statuses(&self, draining: bool) -> Vec<JobStatus> {
         let mut out: Vec<JobStatus> = self
             .jobs
             .iter()
@@ -346,13 +780,37 @@ impl MultiJobScheduler {
                 priority: j.priority,
                 total: j.master.total(),
                 completed: j.master.iterations_completed(),
-                state: JobState::Active,
+                state: if j.recovering {
+                    JobState::Recovering
+                } else if draining {
+                    JobState::Draining
+                } else {
+                    JobState::Active
+                },
                 submitted_ns: j.submitted_ns,
                 finished_ns: None,
             })
             .collect();
         out.extend(self.done.iter().cloned());
         out
+    }
+
+    /// Snapshots every active job for a journal checkpoint: admission
+    /// facts plus the live completion bitmap.
+    pub fn journal_snapshot(&self) -> Vec<crate::journal::JobSnapshot> {
+        self.jobs
+            .iter()
+            .map(|j| crate::journal::JobSnapshot {
+                id: j.id,
+                spec: JobSpec {
+                    workload: j.workload,
+                    scheme: j.master.scheme(),
+                    priority: j.priority,
+                },
+                submitted_ns: j.submitted_ns,
+                words: j.master.completed_words().to_vec(),
+            })
+            .collect()
     }
 
     /// Fairness snapshots captured at each job completion.
@@ -394,6 +852,10 @@ mod tests {
     }
 
     fn sched(workers: usize, batch_k: usize) -> MultiJobScheduler {
+        sched_with_sink(workers, batch_k, SharedSink::disabled())
+    }
+
+    fn sched_with_sink(workers: usize, batch_k: usize, sink: SharedSink) -> MultiJobScheduler {
         MultiJobScheduler::new(
             SchedulerConfig {
                 workers,
@@ -401,8 +863,16 @@ mod tests {
                 acp: AcpConfig::new(700, 0),
                 lease: lss_core::LeaseConfig::RUNTIME_DEFAULT,
                 batch_k,
+                // Simulated clocks advance by exact compute time, so
+                // there is no transport slack to allow for and no CPU
+                // contention for a canary cooldown to relieve.
+                quarantine: QuarantineConfig {
+                    comm_slack_ns: 0,
+                    canary_cooldown_ns: 0,
+                    ..QuarantineConfig::default()
+                },
             },
-            SharedSink::disabled(),
+            sink,
         )
     }
 
@@ -491,6 +961,147 @@ mod tests {
         let _ = done;
         let snaps = drive(s, 1);
         assert_eq!(snaps.last().map(|s| s.completed_job), Some(7));
+    }
+
+    fn result(job: u64, chunk: Chunk) -> JobChunkResult {
+        JobChunkResult { job, result: lss_runtime::protocol::ChunkResult::zeroed(chunk) }
+    }
+
+    #[test]
+    fn straggler_is_quarantined_then_readmitted_by_canaries() {
+        let mut s = sched(2, 1);
+        s.activate(1, &spec(1, 100_000), 0);
+        let mut now = 0u64;
+        // Healthy worker 0 builds a latency baseline: 10 ns/iteration.
+        for _ in 0..4 {
+            let g = s.grants_for(0, 1, now);
+            assert_eq!(g.len(), 1);
+            let c = g[0].chunk;
+            now += 10 * c.len;
+            s.record_results(0, &[result(1, c)], now);
+        }
+        // Worker 1 is a 40× straggler: 400 ns/iteration.
+        for round in 0..4 {
+            if s.is_quarantined(1) {
+                break;
+            }
+            let g = s.grants_for(1, 1, now);
+            assert_eq!(g.len(), 1, "round {round}");
+            let c = g[0].chunk;
+            now += 400 * c.len;
+            s.record_results(1, &[result(1, c)], now);
+        }
+        assert!(s.is_quarantined(1), "straggler must be quarantined");
+        // Quarantined: exactly one single-chunk canary outstanding.
+        let canary = s.grants_for(1, 1, now);
+        assert_eq!(canary.len(), 1, "canary probe expected");
+        assert!(s.grants_for(1, 1, now).is_empty(), "one canary at a time");
+        // Two healthy canaries in a row earn readmission.
+        let c = canary[0].chunk;
+        now += 10 * c.len;
+        s.record_results(1, &[result(1, c)], now);
+        assert!(s.is_quarantined(1), "one healthy canary is not enough");
+        let canary = s.grants_for(1, 1, now);
+        assert_eq!(canary.len(), 1);
+        let c = canary[0].chunk;
+        now += 10 * c.len;
+        s.record_results(1, &[result(1, c)], now);
+        assert!(!s.is_quarantined(1), "healthy canaries readmit the worker");
+        assert!(!s.grants_for(1, 1, now).is_empty(), "readmitted worker gets real grants");
+    }
+
+    #[test]
+    fn silent_worker_is_quarantined_and_its_chunk_regranted_before_lapse() {
+        let mut s = MultiJobScheduler::new(
+            SchedulerConfig {
+                workers: 2,
+                powers: vec![VirtualPower::new(1.0); 2],
+                acp: AcpConfig::new(700, 0),
+                lease: lss_core::LeaseConfig::RUNTIME_DEFAULT,
+                batch_k: 1,
+                quarantine: QuarantineConfig {
+                    silence_ns: 1_000,
+                    ..QuarantineConfig::default()
+                },
+            },
+            SharedSink::disabled(),
+        );
+        s.activate(1, &spec(1, 10_000), 0);
+        // Worker 1 takes a grant at t=10 and then goes silent.
+        let g = s.grants_for(1, 1, 10);
+        assert_eq!(g.len(), 1);
+        let held = g[0].chunk;
+        // Worker 0 keeps in touch; the poll sees worker 1 silent past
+        // the gap threshold — far before its multi-second lease lapses.
+        s.heartbeat(0, 1_500);
+        s.poll(2_000);
+        assert!(s.is_quarantined(1), "silent worker must be quarantined");
+        assert!(!s.is_quarantined(0), "live worker must not be");
+        // The straggler's chunk was revoked and requeued: worker 0 is
+        // handed it on its very next request.
+        let g = s.grants_for(0, 1, 2_100);
+        assert_eq!(g.len(), 1);
+        assert_eq!(g[0].chunk, held, "requeued chunk is re-granted immediately");
+        // The healthy worker finishes the job alone; the straggler's
+        // eventual duplicate of `held` is absorbed by dedup.
+        let mut now = 2_200;
+        s.record_results(0, &[result(1, held)], now);
+        let mut guard = 0;
+        while !s.is_idle() {
+            let grants = s.grants_for(0, 1, now);
+            let results: Vec<JobChunkResult> =
+                grants.iter().map(|g| result(g.job, g.chunk)).collect();
+            now += 10;
+            s.record_results(0, &results, now);
+            guard += 1;
+            assert!(guard < 100_000, "job did not finish on the healthy worker");
+        }
+        let done = s.record_results(1, &[result(1, held)], now + 10);
+        assert!(done.is_empty(), "late straggler result lands after retirement");
+    }
+
+    #[test]
+    fn recovered_job_schedules_only_the_remainder_with_exact_coverage() {
+        let sink = SharedSink::bounded(1 << 14);
+        let mut s = sched_with_sink(2, 2, sink.clone());
+        // 600 of 1000 iterations were journaled complete pre-crash.
+        let done = [Chunk::new(0, 500), Chunk::new(700, 100)];
+        s.activate_recovered(9, &spec(1, 1000), 0, &done, 5);
+        let st = s.statuses(false);
+        assert_eq!(st[0].state, JobState::Recovering);
+        assert_eq!(st[0].completed, 600);
+        let snaps = drive(s, 2);
+        assert_eq!(snaps.last().map(|s| s.completed_job), Some(9));
+        // RecoveredComplete ∪ Completed must tile [0, 1000) exactly.
+        let trace = sink.take(lss_trace::TraceMeta {
+            scheme: "test".into(),
+            workers: 2,
+            total_iterations: 1000,
+            clock: lss_trace::ClockDomain::Monotonic,
+        });
+        let mut covered = vec![0u32; 1000];
+        for e in trace.for_job(9) {
+            if matches!(e.kind, EventKind::Completed | EventKind::RecoveredComplete) {
+                let c = e.chunk.expect("completion events carry a chunk");
+                for i in c.start..c.start + c.len {
+                    covered[i as usize] += 1;
+                }
+            }
+        }
+        assert!(
+            covered.iter().all(|&n| n == 1),
+            "completion events must tile [0, total) exactly once"
+        );
+    }
+
+    #[test]
+    fn draining_and_recovering_states_are_reported() {
+        let mut s = sched(1, 1);
+        s.activate(1, &spec(1, 50), 0);
+        s.activate_recovered(2, &spec(1, 50), 0, &[], 0);
+        let st = s.statuses(true);
+        assert_eq!(st[0].state, JobState::Draining);
+        assert_eq!(st[1].state, JobState::Recovering);
     }
 
     #[test]

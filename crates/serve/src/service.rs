@@ -32,10 +32,13 @@ use lss_runtime::transport::tcp::tcp_listen_on;
 use lss_runtime::transport::TransportError;
 use lss_trace::{ClockDomain, EventKind, SharedSink, Trace, TraceEvent, TraceMeta};
 
+use lss_core::Chunk;
+
 use crate::client::ServeClient;
+use crate::journal::{JobSnapshot, Journal, JournalConfig, RecoveredState};
 use crate::link::LocalLink;
 use crate::queue::{JobQueue, QueuedJob};
-use crate::scheduler::{FairSnapshot, MultiJobScheduler, SchedulerConfig};
+use crate::scheduler::{FairSnapshot, MultiJobScheduler, QuarantineConfig, SchedulerConfig};
 
 /// Static configuration of the serving daemon.
 #[derive(Debug, Clone)]
@@ -64,6 +67,13 @@ pub struct ServeConfig {
     /// Exit automatically once this many jobs completed (`None` = run
     /// until drained).
     pub exit_after_jobs: Option<u64>,
+    /// Worker-health scoring and straggler-quarantine policy.
+    pub quarantine: QuarantineConfig,
+    /// Durable job journal (`None` = in-memory only). With
+    /// [`JournalConfig::recover`], unfinished jobs found in the
+    /// directory are re-admitted with only their un-completed
+    /// iterations left to schedule.
+    pub journal: Option<JournalConfig>,
 }
 
 impl ServeConfig {
@@ -80,6 +90,8 @@ impl ServeConfig {
             poll_interval: Duration::from_millis(5),
             trace: SharedSink::disabled(),
             exit_after_jobs: None,
+            quarantine: QuarantineConfig::default(),
+            journal: None,
         }
     }
 }
@@ -97,6 +109,9 @@ pub(crate) enum Event {
     Post(ServeFrame),
     /// A worker's connection died.
     WorkerGone(usize),
+    /// Die immediately — no drain, no farewells, and *no* final journal
+    /// compaction (the crash-recovery analogue of SIGKILL).
+    Kill,
 }
 
 /// Everything the service learned, returned by [`ServeHandle::join`].
@@ -160,15 +175,38 @@ impl ServeHandle {
         }
         report
     }
+
+    /// Kills the service abruptly: the event loop exits on the spot —
+    /// active jobs stay unfinished, connected workers are cut off, and
+    /// the journal is left exactly as the write-ahead log last wrote it
+    /// (no parting checkpoint). This is the in-process analogue of
+    /// SIGKILL, for crash-recovery tests; the returned report reflects
+    /// the state at the moment of death.
+    pub fn kill(self) -> ServeReport {
+        let _ = self.tx.send(Event::Kill);
+        self.join()
+    }
 }
 
 /// Starts an in-process service (no sockets). Peers attach through
 /// [`ServeHandle::client`] and [`ServeHandle::worker_link`].
+///
+/// Panics if the configured journal directory cannot be opened; use
+/// [`try_serve`] to handle that as a typed error.
 pub fn serve(cfg: ServeConfig) -> ServeHandle {
+    match try_serve(cfg) {
+        Ok(handle) => handle,
+        Err(e) => panic!("failed to start service: {e}"),
+    }
+}
+
+/// Starts an in-process service, surfacing journal-open failures as a
+/// typed error instead of a panic.
+pub fn try_serve(cfg: ServeConfig) -> Result<ServeHandle, TransportError> {
     let (tx, rx) = channel();
-    let service = Service::new(cfg);
+    let service = Service::new(cfg)?;
     let thread = std::thread::spawn(move || service.run(rx));
-    ServeHandle { tx, thread, accept_stop: None, addr: None }
+    Ok(ServeHandle { tx, thread, accept_stop: None, addr: None })
 }
 
 /// Starts a service listening on TCP (`port` 0 = ephemeral). Workers
@@ -183,7 +221,7 @@ pub fn serve_tcp(cfg: ServeConfig, host: &str, port: u16) -> Result<ServeHandle,
         .set_nonblocking(true)
         .map_err(|e| TransportError::Io(format!("nonblocking listener: {e}")))?;
     let (tx, rx) = channel::<Event>();
-    let service = Service::new(cfg);
+    let service = Service::new(cfg)?;
     let stop = Arc::new(AtomicBool::new(false));
     let thread = {
         let stop = Arc::clone(&stop);
@@ -283,6 +321,13 @@ struct Service {
     cfg: ServeConfig,
     scheduler: MultiJobScheduler,
     queue: JobQueue,
+    /// Crash-recovered jobs waiting for an active slot; drained before
+    /// the regular queue so recovery finishes first.
+    recovered_queue: Vec<JobSnapshot>,
+    /// The durable journal, when configured. Dropped (degrading to
+    /// in-memory scheduling) if an append ever fails — the daemon
+    /// refuses to panic mid-run over a full disk.
+    journal: Option<Journal>,
     epoch: Instant,
     next_job: u64,
     draining: bool,
@@ -295,7 +340,14 @@ struct Service {
 }
 
 impl Service {
-    fn new(cfg: ServeConfig) -> Self {
+    fn new(cfg: ServeConfig) -> Result<Self, TransportError> {
+        let journal_state = match &cfg.journal {
+            Some(jc) => Some(
+                Journal::open(jc)
+                    .map_err(|e| TransportError::Io(format!("journal open failed: {e}")))?,
+            ),
+            None => None,
+        };
         let scheduler = MultiJobScheduler::new(
             SchedulerConfig {
                 workers: cfg.workers,
@@ -303,15 +355,18 @@ impl Service {
                 acp: cfg.acp,
                 lease: cfg.lease,
                 batch_k: cfg.batch_k,
+                quarantine: cfg.quarantine,
             },
             cfg.trace.clone(),
         );
         let queue = JobQueue::new(cfg.queue_capacity);
         let workers = cfg.workers;
-        Service {
+        let mut service = Service {
             cfg,
             scheduler,
             queue,
+            recovered_queue: Vec::new(),
+            journal: None,
             epoch: Instant::now(),
             next_job: 1,
             draining: false,
@@ -321,7 +376,27 @@ impl Service {
             seen: vec![false; workers],
             told_shutdown: vec![false; workers],
             total_iterations: 0,
+        };
+        if let Some((journal, state)) = journal_state {
+            service.journal = Some(journal);
+            service.next_job = state.next_job.max(1);
+            let now = service.now();
+            for job in state.jobs {
+                service.total_iterations += job.total();
+                if service.scheduler.active_len() < service.cfg.max_active {
+                    service.scheduler.activate_recovered(
+                        job.id,
+                        &job.spec,
+                        job.submitted_ns,
+                        &job.completed_ranges(),
+                        now,
+                    );
+                } else {
+                    service.recovered_queue.push(job);
+                }
+            }
         }
+        Ok(service)
     }
 
     /// Service-epoch nanoseconds, aligned with the trace sink's epoch
@@ -336,7 +411,10 @@ impl Service {
 
     /// Whether the service has no more scheduling to do.
     fn done(&self) -> bool {
-        let drained = self.draining && self.queue.is_empty() && self.scheduler.is_idle();
+        let drained = self.draining
+            && self.queue.is_empty()
+            && self.recovered_queue.is_empty()
+            && self.scheduler.is_idle();
         let limit = self.cfg.exit_after_jobs.is_some_and(|n| self.completed >= n);
         drained || limit
     }
@@ -384,11 +462,71 @@ impl Service {
                     self.scheduler.poll(now);
                     let retired = self.scheduler_retired(now);
                     self.completed += retired;
+                    self.maybe_checkpoint();
+                }
+                Ok(Event::Kill) => {
+                    // Simulated SIGKILL: skip the parting checkpoint so
+                    // recovery exercises the raw write-ahead log.
+                    return self.report();
                 }
                 Err(RecvTimeoutError::Disconnected) => break,
             }
         }
+        // A final compaction so a restart re-admits nothing that
+        // already retired.
+        let state = self.journal_state();
+        if let Some(journal) = &mut self.journal {
+            let _ = journal.checkpoint(&state);
+        }
         self.report()
+    }
+
+    /// The durable image of the service's current job table: every
+    /// open job (active, recovered-waiting, queued) with its live
+    /// completion bitmap.
+    fn journal_state(&self) -> RecoveredState {
+        let mut jobs = self.scheduler.journal_snapshot();
+        jobs.extend(self.recovered_queue.iter().cloned());
+        for qj in self.queue.iter() {
+            jobs.push(JobSnapshot::empty(qj.id, qj.spec.clone(), qj.submitted_ns));
+        }
+        jobs.sort_by_key(|j| j.id);
+        RecoveredState { next_job: self.next_job, jobs }
+    }
+
+    /// Compacts the journal when enough completions accumulated.
+    fn maybe_checkpoint(&mut self) {
+        if self.journal.as_ref().is_some_and(Journal::checkpoint_due) {
+            let state = self.journal_state();
+            if let Some(journal) = &mut self.journal {
+                if journal.checkpoint(&state).is_err() {
+                    self.journal = None;
+                }
+            }
+        }
+    }
+
+    /// Write-ahead journals one reported chunk completion. An append
+    /// failure permanently degrades to in-memory scheduling rather
+    /// than panicking the daemon.
+    fn journal_complete(&mut self, job: u64, chunk: Chunk) {
+        if let Some(journal) = &mut self.journal {
+            if journal.append_complete(job, chunk).is_err() {
+                self.journal = None;
+            }
+        }
+    }
+
+    /// Journals retired job ids.
+    fn journal_finish(&mut self, retired: &[u64]) {
+        if let Some(journal) = &mut self.journal {
+            for &id in retired {
+                if journal.append_finish(id).is_err() {
+                    self.journal = None;
+                    return;
+                }
+            }
+        }
     }
 
     /// Lease expiry alone cannot complete a job, but a requeued chunk
@@ -396,6 +534,7 @@ impl Service {
     /// one between requests; sweep for completions after polls too.
     fn scheduler_retired(&mut self, now: u64) -> u64 {
         let retired = self.scheduler.record_results(usize::MAX, &[], now);
+        self.journal_finish(&retired);
         let n = retired.len() as u64;
         if n > 0 {
             self.activate_from_queue();
@@ -441,7 +580,14 @@ impl Service {
         self.seen[worker] = true;
         self.requests += 1;
         let now = self.now();
+        // Write-ahead: completions hit the journal before the
+        // scheduler, so anything the trace later claims complete is
+        // recoverable. Replay ORs bits, so duplicates are harmless.
+        for r in &results {
+            self.journal_complete(r.job, r.result.chunk);
+        }
         let retired = self.scheduler.record_results(worker, &results, now);
+        self.journal_finish(&retired);
         self.completed += retired.len() as u64;
         self.activate_from_queue();
         if self.done() {
@@ -483,9 +629,17 @@ impl Service {
         if self.scheduler.active_len() < self.cfg.max_active {
             self.scheduler.activate(id, &spec, now);
         } else if let Err(reason) =
-            self.queue.offer(QueuedJob { id, spec, submitted_ns: now })
+            self.queue.offer(QueuedJob { id, spec: spec.clone(), submitted_ns: now })
         {
             return reject(self, reason);
+        }
+        // Write-ahead relative to the acknowledgment: the admission is
+        // durable before `Accepted` leaves the service, so a crash can
+        // never lose a job the client was told it has.
+        if let Some(journal) = &mut self.journal {
+            if journal.append_admit(id, now, &spec).is_err() {
+                self.journal = None;
+            }
         }
         self.total_iterations += iters;
         self.cfg
@@ -495,6 +649,24 @@ impl Service {
     }
 
     fn activate_from_queue(&mut self) {
+        // Crash-recovered jobs first: they keep their completion
+        // bitmaps and were admitted before anything still queued.
+        while self.scheduler.active_len() < self.cfg.max_active {
+            match self.recovered_queue.first() {
+                Some(_) => {
+                    let job = self.recovered_queue.remove(0);
+                    let now = self.now();
+                    self.scheduler.activate_recovered(
+                        job.id,
+                        &job.spec,
+                        job.submitted_ns,
+                        &job.completed_ranges(),
+                        now,
+                    );
+                }
+                None => break,
+            }
+        }
         while self.scheduler.active_len() < self.cfg.max_active {
             match self.queue.pop_highest() {
                 Some(job) => self.scheduler.activate(job.id, &job.spec, job.submitted_ns),
@@ -517,7 +689,16 @@ impl Service {
                 finished_ns: None,
             })
             .collect();
-        out.extend(self.scheduler.statuses());
+        out.extend(self.recovered_queue.iter().map(|js| JobStatus {
+            job: js.id,
+            priority: js.spec.priority,
+            total: js.total(),
+            completed: js.completed_count(),
+            state: JobState::Recovering,
+            submitted_ns: js.submitted_ns,
+            finished_ns: None,
+        }));
+        out.extend(self.scheduler.statuses(self.draining));
         out.sort_by_key(|j| j.job);
         out
     }

@@ -294,12 +294,20 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar.
-                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                    // Consume the whole run up to the next quote or
+                    // escape in one step. Validating per character
+                    // re-scans the remaining input each time and goes
+                    // quadratic on megabyte-scale traces. The run
+                    // boundary cannot split a multi-byte scalar: '"'
+                    // and '\\' are ASCII, and UTF-8 continuation
+                    // bytes are never ASCII.
+                    let start = self.pos;
+                    while !matches!(self.peek(), None | Some(b'"' | b'\\')) {
+                        self.pos += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[start..self.pos])
                         .map_err(|_| self.err("invalid utf-8"))?;
-                    let c = rest.chars().next().unwrap();
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    out.push_str(run);
                 }
             }
         }

@@ -134,6 +134,21 @@ pub enum EventKind {
     JobRejected,
     /// Every iteration of a job has been completed at least once.
     JobCompleted,
+    // ---- crash recovery and worker health (the serve daemon) -------
+    /// An unfinished job was re-admitted from the durable journal after
+    /// a daemon restart.
+    JobRecovered,
+    /// A chunk interval whose completion was recorded in the journal
+    /// before the crash; emitted at recovery so the post-restart trace
+    /// alone still covers `[0, total)`.
+    RecoveredComplete,
+    /// A worker's health score degraded past the quarantine threshold;
+    /// its outstanding grants are reclaimed and it only receives
+    /// single-chunk canary grants until readmitted.
+    WorkerQuarantined,
+    /// A quarantined worker answered a canary grant at a healthy
+    /// latency and rejoined the grant pool.
+    WorkerReadmitted,
 }
 
 impl EventKind {
@@ -164,6 +179,10 @@ impl EventKind {
             EventKind::JobAdmitted => "job-admitted",
             EventKind::JobRejected => "job-rejected",
             EventKind::JobCompleted => "job-completed",
+            EventKind::JobRecovered => "job-recovered",
+            EventKind::RecoveredComplete => "recovered-complete",
+            EventKind::WorkerQuarantined => "worker-quarantined",
+            EventKind::WorkerReadmitted => "worker-readmitted",
         }
     }
 
@@ -378,6 +397,12 @@ mod tests {
         assert_eq!(EventKind::JobSubmitted.label(), "job-submitted");
         assert_eq!(EventKind::JobCompleted.label(), "job-completed");
         assert!(!EventKind::JobAdmitted.is_lifecycle());
+        assert_eq!(EventKind::JobRecovered.label(), "job-recovered");
+        assert_eq!(EventKind::RecoveredComplete.label(), "recovered-complete");
+        assert_eq!(EventKind::WorkerQuarantined.label(), "worker-quarantined");
+        assert_eq!(EventKind::WorkerReadmitted.label(), "worker-readmitted");
+        assert!(!EventKind::WorkerQuarantined.is_lifecycle());
+        assert!(!EventKind::RecoveredComplete.is_lifecycle());
     }
 
     #[test]

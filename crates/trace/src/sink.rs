@@ -188,6 +188,17 @@ impl SharedSink {
         }
     }
 
+    /// Whether any event recorded so far satisfies `f` (false when the
+    /// sink is disabled). A live, non-draining peek: tests and
+    /// monitors use it to watch for an event — a quarantine, a
+    /// recovery milestone — while the run is still in flight.
+    pub fn any(&self, f: impl Fn(&TraceEvent) -> bool) -> bool {
+        match &self.inner {
+            Some(inner) => inner.ring.lock().unwrap().events.iter().any(f),
+            None => false,
+        }
+    }
+
     /// Drains everything recorded so far into a [`Trace`]. Returns an
     /// empty trace if the sink is disabled.
     pub fn take(&self, meta: TraceMeta) -> Trace {

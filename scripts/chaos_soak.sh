@@ -1,0 +1,101 @@
+#!/usr/bin/env bash
+# Crash-recovery soak for the serve daemon: run it over loopback TCP
+# with a durable journal, SIGKILL it mid-run, restart it with
+# --recover on the same journal, and prove the recovery contract:
+# every submitted job finishes with exact iteration coverage
+# (completed == total, no loss, no duplication) and the recovered
+# run's trace validates.
+#
+#   scripts/chaos_soak.sh [ROUNDS]
+#
+# Exits non-zero on the first failing round.
+set -euo pipefail
+
+ROUNDS="${1:-3}"
+JOBS=8
+ITERS=8000000
+# Light per-iteration cost: the default (20k units) makes each
+# iteration ~10µs and the soak would take minutes per round.
+COST=40
+cd "$(dirname "$0")/.."
+
+cargo build --release -p lss-cli >/dev/null
+LSS=target/release/lss
+
+# A killed or failed run must not leave daemons behind: an orphaned
+# phase-1 daemon from a previous invocation keeps polling its journal
+# dir and steals CPU from the next round.
+SERVE_PID=""
+RECOVER_PID=""
+cleanup() {
+    [[ -n "$SERVE_PID" ]] && kill -9 "$SERVE_PID" 2>/dev/null
+    [[ -n "$RECOVER_PID" ]] && kill -9 "$RECOVER_PID" 2>/dev/null
+    true
+}
+trap cleanup EXIT
+
+# Polls a daemon log for its "listening on HOST:PORT" line and prints
+# the address. The daemon picks an ephemeral port (--port 0), so a
+# killed round never leaves the next one fighting over a socket.
+await_addr() {
+    local log=$1 addr=""
+    for _ in $(seq 1 100); do
+        addr=$(sed -n 's/^serve: listening on \([0-9.:]*\).*/\1/p' "$log" | head -1)
+        [[ -n "$addr" ]] && break
+        sleep 0.1
+    done
+    [[ -n "$addr" ]] || { echo "daemon never came up; log:" >&2; cat "$log" >&2; exit 1; }
+    echo "$addr"
+}
+
+for ((round = 1; round <= ROUNDS; round++)); do
+    echo "=== chaos-soak round ${round}/${ROUNDS} ==="
+    DIR=$(mktemp -d)
+    rm -f soak_serve.log soak_recover.log soak_trace.json
+
+    # Phase 1: daemon with a fresh journal; SIGKILL it mid-run so some
+    # jobs are done, some mid-flight, and the WAL tail is whatever the
+    # crash left behind.
+    "$LSS" serve --port 0 --workers 4 --local-workers \
+        --journal "$DIR/journal" >soak_serve.log 2>&1 &
+    SERVE_PID=$!
+    ADDR=$(await_addr soak_serve.log)
+    "$LSS" submit --connect "$ADDR" --count "$JOBS" dtss \
+        --iters "$ITERS" --cost "$COST"
+    sleep 0.8
+    kill -9 "$SERVE_PID"
+    wait "$SERVE_PID" 2>/dev/null || true
+    SERVE_PID=""
+    echo "daemon SIGKILLed mid-run (journal at $DIR/journal)"
+
+    # Phase 2: recover on the same journal. Unfinished jobs are
+    # re-admitted with only their un-completed iterations; drain stops
+    # the service once they retire.
+    "$LSS" serve --port 0 --workers 4 --local-workers \
+        --recover "$DIR/journal" --trace-out soak_trace.json \
+        >soak_recover.log 2>&1 &
+    RECOVER_PID=$!
+    ADDR=$(await_addr soak_recover.log)
+    "$LSS" jobs --connect "$ADDR" --drain
+    wait "$RECOVER_PID"
+    RECOVER_PID=""
+    cat soak_recover.log
+
+    # The recovered run must have re-admitted work (the kill landed
+    # mid-run, not after completion) and finished every job exactly:
+    # a completed/total mismatch means lost or duplicated iterations.
+    if ! grep -qE '^  job [0-9]+ \[done\]' soak_recover.log; then
+        echo "FAIL round ${round}: recovery re-admitted no jobs"; exit 1
+    fi
+    if grep -E '^  job [0-9]+ \[' soak_recover.log | grep -vE '\[done\]'; then
+        echo "FAIL round ${round}: a recovered job did not finish"; exit 1
+    fi
+    if grep -oE '[0-9]+/[0-9]+ iterations' soak_recover.log \
+        | awk -F'[/ ]' '$1 != $2 { exit 1 }'; then :; else
+        echo "FAIL round ${round}: iteration coverage mismatch"; exit 1
+    fi
+    "$LSS" trace --validate soak_trace.json
+    rm -rf "$DIR"
+done
+
+echo "chaos-soak: ${ROUNDS}/${ROUNDS} rounds green"

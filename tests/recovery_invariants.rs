@@ -1,0 +1,234 @@
+//! Invariants of the serve daemon's durable job journal
+//! (`lss_serve::journal`):
+//!
+//! - **Prefix-replay safety** — replaying *any byte prefix* of a
+//!   journal log (a SIGKILL can cut the file anywhere) yields the
+//!   state of the longest whole-record prefix: torn tails are
+//!   discarded, never misparsed, and the result never double-admits a
+//!   job id or resurrects a finished job.
+//! - **Model equivalence** — a full replay equals a straightforward
+//!   fold of the operations: admitted minus finished, completion
+//!   bitmaps OR-accumulated.
+//! - **Checkpoint idempotence** — compacting at any operation
+//!   boundary and then replaying the *entire* log on top (the
+//!   crash-between-checkpoint-rename-and-log-truncate window) changes
+//!   nothing: checkpoint + full log ≡ plain full replay.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use lss_core::master::SchemeKind;
+use lss_core::Chunk;
+use lss_runtime::protocol::serve::{JobSpec, WorkloadSpec};
+use lss_serve::journal::replay;
+use lss_serve::{Journal, JournalConfig, RecoveredState};
+use proptest::prelude::*;
+
+/// A generated journal operation, pre-interpretation.
+#[derive(Debug, Clone)]
+enum Op {
+    Admit { iters: u64 },
+    Complete { pick: u64, start: u64, len: u64 },
+    Finish { pick: u64 },
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // Weighted mix: 3 admit : 5 complete : 1 finish.
+    (0u32..9, any::<u64>(), 0u64..260, 1u64..60).prop_map(|(kind, a, start, len)| match kind {
+        0..=2 => Op::Admit { iters: a % 200 + 1 },
+        3..=7 => Op::Complete { pick: a, start, len },
+        _ => Op::Finish { pick: a },
+    })
+}
+
+fn spec(iters: u64) -> JobSpec {
+    JobSpec {
+        workload: WorkloadSpec::Uniform { iters, cost: 7 },
+        scheme: SchemeKind::Dtss,
+        priority: 1,
+    }
+}
+
+fn unique_tmpdir(tag: &str) -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let n = SEQ.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "lss-recovery-{tag}-{}-{n}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The reference model: what the journal *should* reconstruct.
+#[derive(Default)]
+struct Model {
+    next_job: u64,
+    /// (id, iters, completed bitmap) of unfinished jobs, by admission.
+    jobs: Vec<(u64, u64, Vec<bool>)>,
+}
+
+impl Model {
+    fn new() -> Self {
+        Model { next_job: 1, jobs: Vec::new() }
+    }
+}
+
+/// Interprets `ops` through a real `Journal` (writing the log) and the
+/// model simultaneously. Returns the model and the log-file byte
+/// offset after each applied record.
+fn run_ops(journal: &mut Journal, dir: &std::path::Path, ops: &[Op]) -> (Model, Vec<u64>) {
+    let log_path = dir.join("journal.log");
+    let mut model = Model::new();
+    let mut boundaries = vec![0u64];
+    for op in ops {
+        match *op {
+            Op::Admit { iters } => {
+                let id = model.next_job;
+                journal.append_admit(id, id * 10, &spec(iters)).unwrap();
+                model.next_job = id + 1;
+                model.jobs.push((id, iters, vec![false; iters as usize]));
+            }
+            Op::Complete { pick, start, len } => {
+                if model.jobs.is_empty() {
+                    continue;
+                }
+                let idx = (pick % model.jobs.len() as u64) as usize;
+                let (id, iters) = (model.jobs[idx].0, model.jobs[idx].1);
+                journal.append_complete(id, Chunk::new(start, len)).unwrap();
+                let bits = &mut model.jobs[idx].2;
+                for i in start..(start + len).min(iters) {
+                    bits[i as usize] = true;
+                }
+            }
+            Op::Finish { pick } => {
+                if model.jobs.is_empty() {
+                    continue;
+                }
+                let id = model.jobs[(pick % model.jobs.len() as u64) as usize].0;
+                journal.append_finish(id).unwrap();
+                model.jobs.retain(|j| j.0 != id);
+            }
+        }
+        boundaries.push(std::fs::metadata(&log_path).unwrap().len());
+    }
+    (model, boundaries)
+}
+
+fn assert_state_matches_model(state: &RecoveredState, model: &Model) {
+    assert_eq!(state.next_job, model.next_job, "next_job diverged from model");
+    assert_eq!(state.jobs.len(), model.jobs.len(), "job set diverged from model");
+    let mut expect: Vec<_> = model.jobs.iter().collect();
+    expect.sort_by_key(|j| j.0);
+    for (snap, (id, iters, bits)) in state.jobs.iter().zip(expect) {
+        assert_eq!(snap.id, *id);
+        assert_eq!(snap.total(), *iters);
+        let completed: u64 = bits.iter().filter(|b| **b).count() as u64;
+        assert_eq!(
+            snap.completed_count(),
+            completed,
+            "job {id}: bitmap diverged from model"
+        );
+    }
+}
+
+/// `state.jobs` may never contain a duplicate id, and `next_job` must
+/// exceed every admitted id.
+fn assert_well_formed(state: &RecoveredState) {
+    let mut ids: Vec<u64> = state.jobs.iter().map(|j| j.id).collect();
+    let n = ids.len();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), n, "replay double-admitted a job id");
+    for j in &state.jobs {
+        assert!(
+            j.id < state.next_job,
+            "job {} admitted but next_job is {}",
+            j.id,
+            state.next_job
+        );
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Replay of any *byte* prefix equals replay of the longest whole
+    /// record prefix — a torn tail is invisible — and every such state
+    /// is well-formed.
+    #[test]
+    fn any_byte_prefix_replays_to_a_record_boundary(
+        ops in proptest::collection::vec(op_strategy(), 1..40),
+        cut_seed in any::<u64>(),
+    ) {
+        let dir = unique_tmpdir("prefix");
+        let (mut journal, _) = Journal::open(&JournalConfig::fresh(&dir)).unwrap();
+        let (model, boundaries) = run_ops(&mut journal, &dir, &ops);
+        drop(journal);
+        let log = std::fs::read(dir.join("journal.log")).unwrap();
+
+        // The full replay matches the model fold exactly.
+        let full = replay(None, &log);
+        assert_well_formed(&full);
+        assert_state_matches_model(&full, &model);
+
+        // A handful of arbitrary byte cuts, plus every record boundary.
+        let mut cuts: Vec<usize> = boundaries.iter().map(|b| *b as usize).collect();
+        for k in 0..8u64 {
+            cuts.push((cut_seed.wrapping_mul(k * 2 + 1) % (log.len() as u64 + 1)) as usize);
+        }
+        for cut in cuts {
+            let state = replay(None, &log[..cut]);
+            assert_well_formed(&state);
+            // The state must equal the replay at the last boundary <= cut.
+            let floor = *boundaries
+                .iter()
+                .filter(|b| **b as usize <= cut)
+                .max()
+                .unwrap() as usize;
+            let expect = replay(None, &log[..floor]);
+            prop_assert_eq!(&state, &expect);
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Compacting at any operation boundary and replaying the entire
+    /// log on top — the crash window between checkpoint-rename and
+    /// log-truncate — reconstructs exactly the plain full replay:
+    /// folded-in admits dedup, completions OR idempotently, finished
+    /// jobs stay finished.
+    #[test]
+    fn checkpoint_plus_full_log_replays_identically(
+        ops in proptest::collection::vec(op_strategy(), 1..40),
+        split_pick in any::<u64>(),
+    ) {
+        let dir = unique_tmpdir("ckpt");
+        let (mut journal, _) = Journal::open(&JournalConfig::fresh(&dir)).unwrap();
+        let (_, boundaries) = run_ops(&mut journal, &dir, &ops);
+        drop(journal);
+        let log = std::fs::read(dir.join("journal.log")).unwrap();
+        let full = replay(None, &log);
+
+        // State as of a random operation boundary becomes the checkpoint.
+        let split = boundaries[(split_pick % boundaries.len() as u64) as usize] as usize;
+        let at_split = replay(None, &log[..split]);
+        let ckpt_dir = unique_tmpdir("ckpt-img");
+        let (mut ckpt_journal, _) = Journal::open(&JournalConfig::fresh(&ckpt_dir)).unwrap();
+        ckpt_journal.checkpoint(&at_split).unwrap();
+        drop(ckpt_journal);
+        let ckpt = std::fs::read(ckpt_dir.join("checkpoint.bin")).unwrap();
+
+        // Crash before truncation: the checkpoint sees the whole log
+        // again, already-folded records included.
+        let recovered = replay(Some(&ckpt), &log);
+        assert_well_formed(&recovered);
+        prop_assert_eq!(&recovered, &full);
+
+        // Clean compaction: checkpoint + log suffix also reconstructs.
+        let suffix = replay(Some(&ckpt), &log[split..]);
+        prop_assert_eq!(&suffix, &full);
+
+        let _ = std::fs::remove_dir_all(&dir);
+        let _ = std::fs::remove_dir_all(&ckpt_dir);
+    }
+}
