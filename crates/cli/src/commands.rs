@@ -12,6 +12,7 @@ use lss_runtime::master::run_resilient_master;
 use lss_runtime::protocol::Request;
 use lss_runtime::transport::tcp::{tcp_listen_on, TcpWorker};
 use lss_runtime::worker::{run_worker, WorkerConfig};
+use lss_scenario::{run_sweep, validate_sweep_json, Scenario, SweepSpec};
 use lss_sim::{
     simulate, simulate_traced, simulate_tree, ClusterSpec, LoadTrace, SimConfig, TreeSimConfig,
 };
@@ -27,8 +28,19 @@ USAGE:
   lss chunks <scheme> [--iters I] [--pes p | --powers a,b,c]
       Print the chunk sequence a scheme dispenses.
   lss simulate <scheme> [--width W] [--height H] [--sf S] [--fast F]
-      [--slow S] [--nondedicated] [--seed N]
-      Simulate a Mandelbrot run on the paper's cluster model.
+      [--slow S] [--nondedicated] [--seed N] [--scenario FILE]
+      Simulate a Mandelbrot run on the paper's cluster model, or — with
+      --scenario — on a declarative .scn cluster (see scenarios/): node
+      groups, speed distributions, load traces, churn and net faults.
+      (`lss sim` is an alias.)
+  lss sweep --scenarios a.scn,b.scn --schemes s1,s2 [--iters-per-pe N]
+      [--cost C] [--threads T] [--seed S] [--out FILE] [--md FILE]
+      Run every scheme × scenario cell of the grid across threads with
+      per-cell deterministic seeds; print a markdown comparison table
+      (makespan, computation CoV, T_com share). --out writes the
+      byte-stable SWEEP json artifact, --md the table.
+  lss sweep --validate FILE
+      Check that FILE is a well-formed lss-sweep-v1 artifact.
   lss run <scheme> [--width W] [--height H] [--sf S] [--fast F] [--slow S]
       [--tcp]
       Execute the loop for real on emulated-heterogeneous threads.
@@ -204,12 +216,15 @@ fn workload_from(
     ))
 }
 
-/// `lss simulate <scheme> ...`
+/// `lss simulate <scheme> ...` (alias: `lss sim`)
 pub fn cmd_simulate(args: &Args) -> Result<String, ArgError> {
     let scheme_name = args
         .positional
         .first()
         .ok_or_else(|| ArgError("simulate: missing <scheme>".into()))?;
+    if let Some(path) = args.get("scenario") {
+        return simulate_scenario(args, scheme_name, path);
+    }
     let fast: usize = args.get_or("fast", 3)?;
     let slow: usize = args.get_or("slow", 5)?;
     let p = fast + slow;
@@ -239,6 +254,70 @@ pub fn cmd_simulate(args: &Args) -> Result<String, ArgError> {
         }
     };
     Ok(render_report(&report, workload.len(), workload.total_cost()))
+}
+
+/// `lss simulate <scheme> --scenario FILE`: the cluster, load traces
+/// and fault plans all come from the scenario; the paper-cluster flags
+/// therefore conflict with it.
+fn simulate_scenario(args: &Args, scheme_name: &str, path: &str) -> Result<String, ArgError> {
+    for flag in ["fast", "slow", "nondedicated"] {
+        if args.has(flag) {
+            return Err(ArgError(format!(
+                "--{flag} conflicts with --scenario (the scenario defines the cluster)"
+            )));
+        }
+    }
+    let scenario =
+        Scenario::load(std::path::Path::new(path)).map_err(|e| ArgError(format!("{e}")))?;
+    let compiled = scenario.compile();
+    let workload = workload_from(args, 1200, 600)?;
+    let report = match scheme_name {
+        // Tree scheduling cannot honor churn/fault knobs: surface the
+        // typed UnsupportedKnob instead of silently dropping them.
+        "trees" | "trees-weighted" => {
+            let cfg = compiled
+                .tree_config(scheme_name == "trees-weighted")
+                .map_err(|e| ArgError(format!("{path}: {e}")))?;
+            simulate_tree(&cfg, &workload, &compiled.traces)
+        }
+        other => {
+            let scheme = parse_scheme(other)?;
+            let seed: u64 = args.get_or("seed", compiled.seed)?;
+            let cfg = SimConfig::new(compiled.cluster.clone(), scheme)
+                .with_jitter(lss_sim::SimTime::from_millis(20), seed)
+                .with_faults(compiled.faults.clone());
+            simulate(&cfg, &workload, &compiled.traces)
+        }
+    };
+    let mut out = format!(
+        "scenario {} ({} workers) from {path}\n",
+        compiled.name,
+        compiled.workers()
+    );
+    if compiled.workers() <= 32 {
+        out.push_str(&render_report(&report, workload.len(), workload.total_cost()));
+    } else {
+        // A 10k-row per-PE table helps nobody; aggregate instead.
+        let tcom: f64 = report.per_pe.iter().map(|b| b.t_com).sum();
+        let total: f64 = report
+            .per_pe
+            .iter()
+            .map(|b| b.t_com + b.t_wait + b.t_comp)
+            .sum();
+        out.push_str(&format!(
+            "scheme {} | {} iterations | total cost {}\n\
+             T_p = {:.3} s | steps = {} | comp imbalance = {:.3} | T_com share = {:.1}% | faults = {}\n",
+            report.scheme,
+            workload.len(),
+            workload.total_cost(),
+            report.t_p,
+            report.scheduling_steps,
+            report.comp_imbalance(),
+            if total > 0.0 { 100.0 * tcom / total } else { 0.0 },
+            report.faults.len(),
+        ));
+    }
+    Ok(out)
 }
 
 /// `lss run <scheme> ...`
@@ -301,6 +380,55 @@ fn render_report(report: &lss_metrics::RunReport, iters: u64, cost: u64) -> Stri
         report.scheduling_steps,
         report.comp_imbalance()
     )
+}
+
+/// `lss sweep ...` — scheme-family × scenario grid through the
+/// simulator, with per-cell deterministic seeds and a byte-stable
+/// JSON artifact.
+pub fn cmd_sweep(args: &Args) -> Result<String, ArgError> {
+    if let Some(path) = args.get("validate") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ArgError(format!("cannot read {path}: {e}")))?;
+        let cells = validate_sweep_json(&text).map_err(|e| ArgError(format!("{path}: {e}")))?;
+        return Ok(format!("{path}: valid lss-sweep-v1 artifact, {cells} cells\n"));
+    }
+    let schemes: Vec<String> = args
+        .get("schemes")
+        .ok_or_else(|| ArgError("sweep: missing --schemes s1,s2,... (try `lss schemes`)".into()))?
+        .split(',')
+        .map(|s| s.trim().to_string())
+        .filter(|s| !s.is_empty())
+        .collect();
+    let scenario_paths = args
+        .get("scenarios")
+        .ok_or_else(|| ArgError("sweep: missing --scenarios a.scn,b.scn,...".into()))?;
+    let mut scenarios = Vec::new();
+    for p in scenario_paths.split(',') {
+        let p = p.trim();
+        if p.is_empty() {
+            continue;
+        }
+        scenarios
+            .push(Scenario::load(std::path::Path::new(p)).map_err(|e| ArgError(format!("{e}")))?);
+    }
+    let mut spec = SweepSpec::new(schemes, scenarios);
+    spec.iters_per_pe = args.get_or("iters-per-pe", spec.iters_per_pe)?;
+    spec.unit_cost = args.get_or("cost", spec.unit_cost)?;
+    spec.threads = args.get_or("threads", spec.threads)?;
+    spec.base_seed = args.get_or("seed", spec.base_seed)?;
+    let report = run_sweep(&spec).map_err(ArgError)?;
+    let mut out = report.to_markdown();
+    if let Some(path) = args.get("out") {
+        std::fs::write(path, report.to_json())
+            .map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
+        out.push_str(&format!("\nwrote {path}\n"));
+    }
+    if let Some(path) = args.get("md") {
+        std::fs::write(path, report.to_markdown())
+            .map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
+        out.push_str(&format!("wrote {path}\n"));
+    }
+    Ok(out)
 }
 
 /// `lss predict ...` — closed-form scheme analysis, no simulation.
@@ -912,7 +1040,8 @@ pub fn dispatch(args: &Args) -> Result<String, ArgError> {
         None | Some("help") => Ok(USAGE.to_string()),
         Some("schemes") => Ok(cmd_schemes()),
         Some("chunks") => cmd_chunks(args),
-        Some("simulate") => cmd_simulate(args),
+        Some("simulate") | Some("sim") => cmd_simulate(args),
+        Some("sweep") => cmd_sweep(args),
         Some("run") => cmd_run(args),
         Some("master") => cmd_master(args),
         Some("worker") => cmd_worker(args),

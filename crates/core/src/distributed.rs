@@ -154,6 +154,11 @@ pub struct DistributedScheduler {
     plan: Plan,
     /// Re-plan when `changed_workers > replan_threshold · p`.
     replan_threshold: f64,
+    /// Number of workers whose current ACP differs from the ACPSA —
+    /// maintained incrementally so `request` never rescans all `p`
+    /// workers (the scan made distributed schemes O(p²) per run, which
+    /// is what kept the simulator from carrying 10k+ PEs).
+    diverged: usize,
     /// Count of plans made (1 = initial); exposed for tests/ablations.
     plans_made: u32,
 }
@@ -195,6 +200,7 @@ impl DistributedScheduler {
             workers,
             replan_threshold: 0.5,
             plans_made: 0,
+            diverged: 0,
         };
         sched.replan();
         assert!(
@@ -263,8 +269,15 @@ impl DistributedScheduler {
         if self.remaining == 0 {
             return Grant::Finished;
         }
+        let was_diverged = self.workers[worker].acp != self.acpsa[worker];
         self.workers[worker].report_queue(q, &self.cfg);
         let acp = self.workers[worker].acp;
+        let is_diverged = acp != self.acpsa[worker];
+        match (was_diverged, is_diverged) {
+            (false, true) => self.diverged += 1,
+            (true, false) => self.diverged -= 1,
+            _ => {}
+        }
         if !acp.is_available() {
             return Grant::Unavailable;
         }
@@ -280,13 +293,7 @@ impl DistributedScheduler {
     /// Master step 2(c): re-plan if more than the threshold fraction of
     /// ACPs changed since the ACPSA was recorded.
     fn maybe_replan(&mut self) {
-        let changed = self
-            .workers
-            .iter()
-            .zip(&self.acpsa)
-            .filter(|(w, &planned)| w.acp != planned)
-            .count();
-        if (changed as f64) > self.replan_threshold * self.workers.len() as f64 {
+        if (self.diverged as f64) > self.replan_threshold * self.workers.len() as f64 {
             self.replan();
         }
     }
@@ -295,6 +302,7 @@ impl DistributedScheduler {
     /// currently reported ACPs (master step 1(b)).
     fn replan(&mut self) {
         self.acpsa = self.workers.iter().map(|w| w.acp).collect();
+        self.diverged = 0;
         self.total_acp = self.acpsa.iter().map(|a| a.get() as u64).sum();
         let i = self.remaining;
         let a = self.total_acp.max(1);

@@ -22,6 +22,8 @@
 //! clock), keeping `lss-core` free of any clock dependency.
 
 use crate::chunk::Chunk;
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
 
 /// SplitMix64 — small, seedable, replayable chaos/jitter stream.
 #[derive(Debug, Clone)]
@@ -298,6 +300,15 @@ pub struct LeaseTable {
     dead: Vec<bool>,
     /// Speculative copies in flight per chunk start (sparse, tiny).
     spec_counts: Vec<(u64, u32)>,
+    /// Min-heap of `(deadline, worker)` for every deadline ever
+    /// assigned; entries are *lazy* (superseded by re-grants and
+    /// heartbeats) and pruned whenever the top goes stale, so
+    /// [`LeaseTable::next_deadline`] is a peek and
+    /// [`LeaseTable::expire`] pops only what actually lapsed — with
+    /// 10k workers the old full-table scans dominated chaos runs.
+    deadlines: BinaryHeap<Reverse<(u64, usize)>>,
+    /// Count of outstanding leases (kept in step with `leases`).
+    outstanding: usize,
 }
 
 impl LeaseTable {
@@ -310,6 +321,21 @@ impl LeaseTable {
             last_heard: vec![0; p],
             dead: vec![false; p],
             spec_counts: Vec::new(),
+            deadlines: BinaryHeap::new(),
+            outstanding: 0,
+        }
+    }
+
+    /// Drops stale heap tops (deadlines superseded by a re-grant,
+    /// heartbeat or release) so the top entry, if any, is live.
+    fn prune_deadlines(&mut self) {
+        while let Some(&Reverse((d, w))) = self.deadlines.peek() {
+            match self.leases[w] {
+                Some(l) if l.deadline == d => break,
+                _ => {
+                    self.deadlines.pop();
+                }
+            }
         }
     }
 
@@ -355,6 +381,11 @@ impl LeaseTable {
             deadline,
             speculative,
         });
+        if old.is_none() {
+            self.outstanding += 1;
+        }
+        self.deadlines.push(Reverse((deadline, worker)));
+        self.prune_deadlines();
         if speculative {
             self.bump_spec(chunk.start);
         }
@@ -382,6 +413,8 @@ impl LeaseTable {
         if let Some(l) = self.leases[worker] {
             if l.chunk == chunk {
                 self.leases[worker] = None;
+                self.outstanding -= 1;
+                self.prune_deadlines();
                 if l.speculative {
                     self.drop_spec(chunk.start);
                 }
@@ -401,6 +434,8 @@ impl LeaseTable {
     /// returns the chunk it held.
     pub fn revoke(&mut self, worker: usize) -> Option<Chunk> {
         let l = self.leases[worker].take()?;
+        self.outstanding -= 1;
+        self.prune_deadlines();
         if l.speculative {
             self.drop_spec(l.chunk.start);
         }
@@ -419,21 +454,44 @@ impl LeaseTable {
     pub fn heartbeat(&mut self, worker: usize, now: u64) {
         self.heard_from(worker, now);
         if let Some(l) = &mut self.leases[worker] {
-            l.deadline = l.deadline.max(now.saturating_add(self.cfg.base_ticks));
+            let extended = l.deadline.max(now.saturating_add(self.cfg.base_ticks));
+            if extended != l.deadline {
+                l.deadline = extended;
+                self.deadlines.push(Reverse((extended, worker)));
+            }
         }
+        self.prune_deadlines();
     }
 
     /// Expires overdue leases at `now`, removing them from the table.
     /// The caller requeues each returned chunk. A holder silent for
     /// `dead_after_ticks` past its deadline is also flagged dead.
     pub fn expire(&mut self, now: u64) -> Vec<ExpiredLease> {
-        let mut out = Vec::new();
-        for w in 0..self.leases.len() {
-            let Some(l) = self.leases[w] else { continue };
-            if now < l.deadline {
-                continue;
+        // Pop every heap entry at or past `now`; an entry is live only
+        // if the worker still holds a lease with that exact deadline
+        // (re-grants and heartbeats leave superseded entries behind).
+        let mut lapsed: Vec<Lease> = Vec::new();
+        while let Some(&Reverse((d, w))) = self.deadlines.peek() {
+            if d > now {
+                break;
             }
-            self.leases[w] = None;
+            self.deadlines.pop();
+            match self.leases[w] {
+                Some(l) if l.deadline == d => {
+                    self.leases[w] = None;
+                    self.outstanding -= 1;
+                    lapsed.push(l);
+                }
+                _ => {}
+            }
+        }
+        self.prune_deadlines();
+        // Worker-index order, exactly as the old full-table scan
+        // returned them — requeue order is part of determinism.
+        lapsed.sort_by_key(|l| l.worker);
+        let mut out = Vec::new();
+        for l in lapsed {
+            let w = l.worker;
             if l.speculative {
                 self.drop_spec(l.chunk.start);
             }
@@ -460,12 +518,14 @@ impl LeaseTable {
     /// The earliest deadline among outstanding leases, if any — the
     /// master's next wake-up time.
     pub fn next_deadline(&self) -> Option<u64> {
-        self.leases.iter().flatten().map(|l| l.deadline).min()
+        // Every mutation prunes the heap, so the top entry (if any) is
+        // always a live lease's current deadline.
+        self.deadlines.peek().map(|&Reverse((d, _))| d)
     }
 
     /// Whether any lease is outstanding.
     pub fn any_outstanding(&self) -> bool {
-        self.leases.iter().any(|l| l.is_some())
+        self.outstanding > 0
     }
 
     /// Picks a chunk for speculative re-execution by `idle_worker`: the

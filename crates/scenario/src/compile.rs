@@ -1,0 +1,267 @@
+//! Compiles a parsed [`Scenario`] down to the three structures the
+//! simulator already consumes: [`ClusterSpec`], per-node
+//! [`LoadTrace`]s and per-node [`FaultPlan`]s.
+//!
+//! Nothing here adds engine features — churn becomes crash / hang /
+//! disconnect fault plans, autoscale joins become run-queue steps
+//! (see [`SIM_STARTUP_DELAY_NS`]), and every random choice (speed
+//! sampling, churn member selection) is drawn from [`ChaosRng`]
+//! streams derived from the scenario seed, so the same `.scn` file
+//! always compiles to the same cluster.
+
+use crate::format::{ChurnMode, Scenario, SpeedDist};
+use lss_core::fault::{ChaosRng, DisconnectPlan, FaultPlan, NetFaults};
+use lss_core::power::VirtualPower;
+use lss_sim::{
+    ClusterSpec, LinkSpec, LoadTrace, MasterSpec, PeSpec, SimTime, TreeSimConfig, UnsupportedKnob,
+};
+
+/// A scenario compiled to simulator inputs: one entry per slave node,
+/// in group declaration order.
+#[derive(Debug, Clone)]
+pub struct CompiledScenario {
+    /// Scenario name (carried into sweep artifacts).
+    pub name: String,
+    /// The scenario seed (basis for per-cell simulation seeds).
+    pub seed: u64,
+    /// The cluster: master + all group nodes.
+    pub cluster: ClusterSpec,
+    /// Per-node run-queue traces.
+    pub traces: Vec<LoadTrace>,
+    /// Per-node fault plans (all healthy when the scenario has no
+    /// churn and no lossy net).
+    pub faults: Vec<FaultPlan>,
+}
+
+impl CompiledScenario {
+    /// Number of slave nodes.
+    pub fn workers(&self) -> usize {
+        self.cluster.slaves.len()
+    }
+
+    /// Whether any node carries an active fault plan.
+    pub fn has_faults(&self) -> bool {
+        self.faults.iter().any(|f| !f.is_healthy())
+    }
+
+    /// Tree-scheduling config for this scenario, or a typed
+    /// [`UnsupportedKnob`] when the scenario uses a knob the tree
+    /// protocol cannot honor (fault/churn plans).
+    pub fn tree_config(&self, weighted: bool) -> Result<TreeSimConfig, UnsupportedKnob> {
+        TreeSimConfig::for_scenario(self.cluster.clone(), weighted, &self.faults)
+    }
+}
+
+/// The simulator's default startup delay (`SimConfig::startup_delay`),
+/// in ns. The engine issues a node's first request at
+/// `startup_delay × Q(0)` — a loaded machine is proportionally slower
+/// to join — so `join_at = T` compiles to `Q(0) = T / startup_delay`
+/// stepping to `Q = 1` at `T`: the node's first request then arrives
+/// at the declared join time, and it computes at full speed from the
+/// moment it holds work.
+pub const SIM_STARTUP_DELAY_NS: u64 = 100_000_000;
+
+/// Splitmix-style mix of two words — stream derivation for sampling.
+fn mix(a: u64, b: u64) -> u64 {
+    let mut z = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// Uniform in `[0, 1)` from a [`ChaosRng`].
+fn unit(rng: &mut ChaosRng) -> f64 {
+    (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+}
+
+fn sample_speed(dist: SpeedDist, rng: &mut ChaosRng) -> f64 {
+    match dist {
+        SpeedDist::Const(v) => v,
+        SpeedDist::Uniform(lo, hi) => lo + (hi - lo) * unit(rng),
+        SpeedDist::Normal(mu, sigma) => {
+            // Box–Muller; clamp to keep speeds physical.
+            let u1 = unit(rng).max(1e-12);
+            let u2 = unit(rng);
+            let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+            (mu + sigma * z).max(mu * 0.05).max(1.0)
+        }
+    }
+}
+
+impl Scenario {
+    /// Compiles the scenario. Deterministic: same text + seed, same
+    /// output, bit for bit.
+    pub fn compile(&self) -> CompiledScenario {
+        // 1. Sample every node's speed.
+        let mut speeds: Vec<Vec<f64>> = Vec::with_capacity(self.groups.len());
+        for (gi, g) in self.groups.iter().enumerate() {
+            let mut rng = ChaosRng::new(mix(self.seed, 0xA5CE ^ gi as u64));
+            speeds.push((0..g.count).map(|_| sample_speed(g.speed, &mut rng)).collect());
+        }
+        let min_speed = speeds
+            .iter()
+            .flatten()
+            .copied()
+            .fold(f64::INFINITY, f64::min)
+            .max(1.0);
+
+        // 2. Build the PE list and per-node traces.
+        let mut slaves = Vec::with_capacity(self.workers());
+        let mut traces = Vec::with_capacity(self.workers());
+        for (gi, g) in self.groups.iter().enumerate() {
+            let link = LinkSpec {
+                bandwidth: g.bandwidth,
+                latency: SimTime::from_secs_f64(g.latency_us * 1e-6),
+            };
+            for (local, &speed) in speeds[gi].iter().enumerate() {
+                let power = g.power.unwrap_or(speed / min_speed);
+                slaves.push(PeSpec {
+                    name: format!("{}{}", g.name, local),
+                    speed,
+                    virtual_power: VirtualPower::new(power),
+                    link,
+                    segment: g.segment,
+                });
+                traces.push(if let Some(join) = g.join_at {
+                    let q0 = (join / SIM_STARTUP_DELAY_NS).clamp(2, u32::MAX as u64) as u32;
+                    LoadTrace::from_steps(vec![(SimTime::ZERO, q0), (SimTime(join), 1)])
+                } else if g.load.is_empty() {
+                    LoadTrace::dedicated()
+                } else {
+                    LoadTrace::from_steps(
+                        g.load.iter().map(|&(t, q)| (SimTime(t), q)).collect(),
+                    )
+                });
+            }
+        }
+
+        // 3. Fault plans: global net faults + churn membership.
+        let mut faults: Vec<FaultPlan> = (0..slaves.len())
+            .map(|i| {
+                let mut f = FaultPlan::healthy();
+                if self.faults.is_active() {
+                    f.net = NetFaults {
+                        drop_prob: self.faults.drop_prob,
+                        dup_prob: self.faults.dup_prob,
+                        delay_ticks: self.faults.delay_us * 1_000,
+                    };
+                }
+                f.seed = mix(self.seed, 0xFA17 ^ i as u64);
+                f
+            })
+            .collect();
+        for (ci, c) in self.churn.iter().enumerate() {
+            // Group-local node offsets, picked by seeded partial
+            // Fisher–Yates so the member set is deterministic.
+            let (gi, g) = match self.groups.iter().enumerate().find(|(_, g)| g.name == c.group)
+            {
+                Some(x) => x,
+                // Parse already validated the reference.
+                None => continue,
+            };
+            let base: usize = self.groups[..gi].iter().map(|g| g.count).sum();
+            let k = ((c.fraction * g.count as f64).round() as usize).clamp(1, g.count);
+            let mut idx: Vec<usize> = (0..g.count).collect();
+            let mut rng = ChaosRng::new(mix(self.seed, 0xC4_u64 ^ ((ci as u64) << 32) ^ gi as u64));
+            for i in 0..k {
+                let j = i + (rng.next_u64() as usize) % (g.count - i);
+                idx.swap(i, j);
+            }
+            for &local in &idx[..k] {
+                let plan = &mut faults[base + local];
+                match c.mode {
+                    ChurnMode::Crash => plan.crash_after_chunks = Some(c.leave_after_chunks),
+                    ChurnMode::Hang => plan.hang_after_chunks = Some(c.leave_after_chunks),
+                    ChurnMode::Disconnect => {
+                        plan.disconnect = Some(DisconnectPlan {
+                            after_chunks: c.leave_after_chunks,
+                            outage_ticks: c.outage_ms * 1_000_000,
+                        })
+                    }
+                }
+            }
+        }
+        CompiledScenario {
+            name: self.name.clone(),
+            seed: self.seed,
+            cluster: ClusterSpec { master: self.master_spec(), slaves },
+            traces,
+            faults,
+        }
+    }
+
+    fn master_spec(&self) -> MasterSpec {
+        MasterSpec {
+            service_time: SimTime::from_secs_f64(self.master.service_time_us * 1e-6),
+            rx_bandwidth: self.master.rx_bandwidth,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+
+    fn scn(text: &str) -> Scenario {
+        Scenario::parse(text).unwrap()
+    }
+
+    #[test]
+    fn compile_is_deterministic() {
+        let text = "name = det\nseed = 9\n[group a]\ncount = 50\nspeed = uniform(1e6, 3e6)\n\
+                    [churn]\ngroup = a\nfraction = 0.2\nleave_after_chunks = 4\n";
+        let a = scn(text).compile();
+        let b = scn(text).compile();
+        assert_eq!(a.cluster.slaves.len(), b.cluster.slaves.len());
+        for (x, y) in a.cluster.slaves.iter().zip(&b.cluster.slaves) {
+            assert_eq!(x.speed.to_bits(), y.speed.to_bits());
+        }
+        let crashed = |c: &CompiledScenario| -> Vec<usize> {
+            c.faults
+                .iter()
+                .enumerate()
+                .filter(|(_, f)| f.crash_after_chunks.is_some())
+                .map(|(i, _)| i)
+                .collect()
+        };
+        assert_eq!(crashed(&a), crashed(&b));
+        assert_eq!(crashed(&a).len(), 10, "20% of 50 nodes churn");
+    }
+
+    #[test]
+    fn auto_power_tracks_speed() {
+        let c = scn("name = p\n[group fast]\ncount = 1\nspeed = 3e6\n\
+                     [group slow]\ncount = 1\nspeed = 1e6\n")
+        .compile();
+        assert!((c.cluster.slaves[0].virtual_power.get() - 3.0).abs() < 1e-9);
+        assert!((c.cluster.slaves[1].virtual_power.get() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn join_at_becomes_a_load_step() {
+        let c = scn("name = j\n[group late]\ncount = 1\nspeed = 1e6\njoin_at = 10s\n").compile();
+        // Q(0) = join / startup_delay, so the engine's kick-off rule
+        // (first request at startup_delay × Q(0)) lands at 10 s.
+        assert_eq!(c.traces[0].q_at(SimTime::ZERO), 100);
+        assert_eq!(c.traces[0].q_at(SimTime::from_secs_f64(11.0)), 1);
+    }
+
+    #[test]
+    fn healthy_scenario_compiles_healthy_plans() {
+        let c = scn("name = h\n[group a]\ncount = 3\nspeed = 1e6\n").compile();
+        assert!(!c.has_faults());
+        assert!(c.tree_config(true).is_ok());
+    }
+
+    #[test]
+    fn tree_rejects_churn_with_typed_error() {
+        let c = scn("name = t\n[group a]\ncount = 4\nspeed = 1e6\n\
+                     [churn]\ngroup = a\nfraction = 0.5\nleave_after_chunks = 1\n")
+        .compile();
+        match c.tree_config(false) {
+            Err(UnsupportedKnob::Faults { worker }) => assert!(worker < 4),
+            other => panic!("expected UnsupportedKnob::Faults, got {other:?}"),
+        }
+    }
+}

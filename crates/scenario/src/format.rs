@@ -1,0 +1,910 @@
+//! The `.scn` scenario format: a dependency-free, line-oriented
+//! description of a heterogeneous cluster and its runtime conditions.
+//!
+//! A scenario is the declarative input the sweep driver and
+//! `lss sim --scenario` consume; it compiles down (see
+//! [`crate::compile`]) to exactly the three structures the simulator
+//! already understands — [`lss_sim::ClusterSpec`],
+//! [`lss_sim::LoadTrace`] and [`lss_core::fault::FaultPlan`] — so no
+//! engine feature exists only for scenarios.
+//!
+//! # Syntax
+//!
+//! ```text
+//! # The paper's 9-node Sun cluster.
+//! name = paper-9
+//! seed = 42
+//!
+//! [master]
+//! service_time_us = 1000
+//! rx_bandwidth = 12500000
+//!
+//! [group fast]
+//! count = 3
+//! speed = 2e6                   # ops/s; or uniform(lo,hi) / normal(mu,sigma)
+//! power = 2.6506024096385543    # omit for speed-proportional ("auto")
+//! bandwidth = 12.5e6            # bytes/s to the master
+//! latency_us = 1000
+//!
+//! [group slow]
+//! count = 5
+//! speed = 754545.4545454545
+//! bandwidth = 1.25e6
+//! latency_us = 1000
+//! segment = 0                   # shared half-duplex medium id
+//! load = 0ns:1, 30s:2, 60s:1    # run-queue trace (time:Q pairs)
+//!
+//! [churn]
+//! group = slow
+//! fraction = 0.4
+//! leave_after_chunks = 3
+//! outage_ms = 0                 # 0 = gone for good; >0 = reconnects
+//!
+//! [faults]
+//! drop_prob = 0.01
+//! ```
+//!
+//! Rules:
+//! - `key = value` pairs under `[section]` headers; `#` starts a
+//!   comment; blank lines are ignored.
+//! - **Unknown sections and unknown keys are hard errors** (strict by
+//!   design: a typo silently ignored is a wrong experiment).
+//! - Durations require a unit suffix (`ns`, `us`, `ms`, `s`).
+//! - `[group NAME]` may repeat (names must be unique); `[churn]` may
+//!   repeat; `[master]` and `[faults]` may appear at most once.
+//! - A group's `join_at` models autoscale: the node's run queue starts
+//!   high enough that the simulator's kick-off rule (first request at
+//!   `startup_delay × Q(0)`) lands exactly at the join time, then drops
+//!   to `Q = 1` — "not yet provisioned" expressed purely as a
+//!   [`lss_sim::LoadTrace`] (see
+//!   [`crate::compile::SIM_STARTUP_DELAY_NS`]).
+
+use std::fmt::Write as _;
+
+/// Everything that can go wrong reading a scenario.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ScenarioError {
+    /// The file could not be read.
+    Io(String),
+    /// A line is not a comment, header or `key = value` pair.
+    Syntax {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        msg: String,
+    },
+    /// A `[section]` header names no known section.
+    UnknownSection {
+        /// 1-based line number.
+        line: usize,
+        /// The offending header text.
+        section: String,
+    },
+    /// A key is not accepted in its section (strict mode — typos fail).
+    UnknownKey {
+        /// 1-based line number.
+        line: usize,
+        /// Section the key appeared in.
+        section: String,
+        /// The offending key.
+        key: String,
+    },
+    /// The same key appeared twice in one section instance.
+    DuplicateKey {
+        /// 1-based line number of the second occurrence.
+        line: usize,
+        /// The repeated key.
+        key: String,
+    },
+    /// A required key is absent.
+    MissingKey {
+        /// Section that needs the key.
+        section: String,
+        /// The missing key.
+        key: String,
+    },
+    /// A value failed to parse or is out of range.
+    BadValue {
+        /// 1-based line number.
+        line: usize,
+        /// Key whose value is bad.
+        key: String,
+        /// What was wrong.
+        msg: String,
+    },
+    /// A `[churn]` section references a group that does not exist.
+    UnknownGroup {
+        /// The group name the churn section asked for.
+        group: String,
+    },
+}
+
+impl std::fmt::Display for ScenarioError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ScenarioError::Io(msg) => write!(f, "cannot read scenario: {msg}"),
+            ScenarioError::Syntax { line, msg } => write!(f, "line {line}: {msg}"),
+            ScenarioError::UnknownSection { line, section } => {
+                write!(f, "line {line}: unknown section [{section}]")
+            }
+            ScenarioError::UnknownKey { line, section, key } => {
+                write!(f, "line {line}: unknown key {key:?} in [{section}]")
+            }
+            ScenarioError::DuplicateKey { line, key } => {
+                write!(f, "line {line}: duplicate key {key:?}")
+            }
+            ScenarioError::MissingKey { section, key } => {
+                write!(f, "[{section}] is missing required key {key:?}")
+            }
+            ScenarioError::BadValue { line, key, msg } => {
+                write!(f, "line {line}: bad value for {key:?}: {msg}")
+            }
+            ScenarioError::UnknownGroup { group } => {
+                write!(f, "[churn] references unknown group {group:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ScenarioError {}
+
+/// A node speed: constant or drawn per node from a seeded distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SpeedDist {
+    /// Every node in the group runs at exactly this many ops/s.
+    Const(f64),
+    /// Uniform in `[lo, hi]`.
+    Uniform(f64, f64),
+    /// Normal with mean `mu` and standard deviation `sigma` (samples
+    /// are clamped to stay positive).
+    Normal(f64, f64),
+}
+
+/// What happens to a churned node when its time comes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChurnMode {
+    /// The node crashes (announced exit; its chunk is requeued).
+    Crash,
+    /// The node hangs: accepts its chunk, never replies.
+    Hang,
+    /// The node disconnects and redials after `outage_ms`.
+    Disconnect,
+}
+
+/// The `[master]` section.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct MasterSection {
+    /// Per-request service time, microseconds.
+    pub service_time_us: f64,
+    /// Result-ingest bandwidth, bytes/s.
+    pub rx_bandwidth: f64,
+}
+
+impl Default for MasterSection {
+    fn default() -> Self {
+        // The paper-calibrated master (1 ms per request, 12.5 MB/s).
+        MasterSection { service_time_us: 1000.0, rx_bandwidth: 12.5e6 }
+    }
+}
+
+/// One `[group NAME]` section: `count` alike nodes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Group {
+    /// Group name (unique; node names are `NAME0`, `NAME1`, …).
+    pub name: String,
+    /// Number of nodes.
+    pub count: usize,
+    /// Speed in ops/s (constant or distribution).
+    pub speed: SpeedDist,
+    /// Virtual power; `None` = proportional to sampled speed,
+    /// normalized so the slowest node in the cluster gets 1.0.
+    pub power: Option<f64>,
+    /// Link bandwidth to the master, bytes/s.
+    pub bandwidth: f64,
+    /// One-way link latency, microseconds.
+    pub latency_us: f64,
+    /// Shared half-duplex segment id (`None` = switched).
+    pub segment: Option<u8>,
+    /// Run-queue trace as `(time ns, Q)` steps (empty = dedicated).
+    pub load: Vec<(u64, u32)>,
+    /// Autoscale join time in ns (`None` = present from the start).
+    pub join_at: Option<u64>,
+}
+
+/// One `[churn]` section: part of a group leaves mid-run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Churn {
+    /// Which group churns.
+    pub group: String,
+    /// Fraction of the group affected, `(0, 1]`.
+    pub fraction: f64,
+    /// Each affected node leaves after computing this many chunks.
+    pub leave_after_chunks: u64,
+    /// Outage before redial, ms (`0` with [`ChurnMode::Crash`]).
+    pub outage_ms: u64,
+    /// How the node leaves.
+    pub mode: ChurnMode,
+}
+
+/// The `[faults]` section: lossy messaging applied to every node.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct FaultsSection {
+    /// Probability a message is dropped in flight.
+    pub drop_prob: f64,
+    /// Probability a message is duplicated.
+    pub dup_prob: f64,
+    /// Extra per-message delay, microseconds.
+    pub delay_us: u64,
+}
+
+impl FaultsSection {
+    /// Whether any net fault is configured.
+    pub fn is_active(&self) -> bool {
+        self.drop_prob > 0.0 || self.dup_prob > 0.0 || self.delay_us > 0
+    }
+}
+
+/// A parsed scenario (see the module docs for the file syntax).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Scenario {
+    /// Scenario name (used in sweep artifacts).
+    pub name: String,
+    /// Master seed for speed sampling, churn selection and fault RNGs.
+    pub seed: u64,
+    /// Free-text description.
+    pub description: Option<String>,
+    /// Master PE parameters.
+    pub master: MasterSection,
+    /// Node groups, in declaration order.
+    pub groups: Vec<Group>,
+    /// Churn schedules.
+    pub churn: Vec<Churn>,
+    /// Global lossy-network faults.
+    pub faults: FaultsSection,
+}
+
+impl Scenario {
+    /// Total number of slave nodes.
+    pub fn workers(&self) -> usize {
+        self.groups.iter().map(|g| g.count).sum()
+    }
+
+    /// Whether the scenario injects any fault (churn or lossy net) —
+    /// i.e. whether the simulator will take its lease-aware path.
+    pub fn has_faults(&self) -> bool {
+        !self.churn.is_empty() || self.faults.is_active()
+    }
+
+    /// Parses scenario text. See the module docs for the format.
+    pub fn parse(text: &str) -> Result<Scenario, ScenarioError> {
+        Parser::new(text).run()
+    }
+
+    /// Reads and parses a scenario file.
+    pub fn load(path: &std::path::Path) -> Result<Scenario, ScenarioError> {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| ScenarioError::Io(format!("{}: {e}", path.display())))?;
+        Scenario::parse(&text)
+    }
+
+    /// Renders the scenario back to canonical `.scn` text. Parsing the
+    /// output yields a structurally identical scenario
+    /// (`parse(render(s)) == s`), which is what the round-trip tests
+    /// pin down.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "name = {}", self.name);
+        let _ = writeln!(out, "seed = {}", self.seed);
+        if let Some(d) = &self.description {
+            let _ = writeln!(out, "description = {d}");
+        }
+        let _ = writeln!(out, "\n[master]");
+        let _ = writeln!(out, "service_time_us = {}", self.master.service_time_us);
+        let _ = writeln!(out, "rx_bandwidth = {}", self.master.rx_bandwidth);
+        for g in &self.groups {
+            let _ = writeln!(out, "\n[group {}]", g.name);
+            let _ = writeln!(out, "count = {}", g.count);
+            let speed = match g.speed {
+                SpeedDist::Const(v) => format!("{v}"),
+                SpeedDist::Uniform(lo, hi) => format!("uniform({lo}, {hi})"),
+                SpeedDist::Normal(mu, s) => format!("normal({mu}, {s})"),
+            };
+            let _ = writeln!(out, "speed = {speed}");
+            if let Some(p) = g.power {
+                let _ = writeln!(out, "power = {p}");
+            }
+            let _ = writeln!(out, "bandwidth = {}", g.bandwidth);
+            let _ = writeln!(out, "latency_us = {}", g.latency_us);
+            if let Some(s) = g.segment {
+                let _ = writeln!(out, "segment = {s}");
+            }
+            if !g.load.is_empty() {
+                let steps: Vec<String> =
+                    g.load.iter().map(|(t, q)| format!("{t}ns:{q}")).collect();
+                let _ = writeln!(out, "load = {}", steps.join(", "));
+            }
+            if let Some(j) = g.join_at {
+                let _ = writeln!(out, "join_at = {j}ns");
+            }
+        }
+        for c in &self.churn {
+            let _ = writeln!(out, "\n[churn]");
+            let _ = writeln!(out, "group = {}", c.group);
+            let _ = writeln!(out, "fraction = {}", c.fraction);
+            let _ = writeln!(out, "leave_after_chunks = {}", c.leave_after_chunks);
+            let _ = writeln!(out, "outage_ms = {}", c.outage_ms);
+            let mode = match c.mode {
+                ChurnMode::Crash => "crash",
+                ChurnMode::Hang => "hang",
+                ChurnMode::Disconnect => "disconnect",
+            };
+            let _ = writeln!(out, "mode = {mode}");
+        }
+        if self.faults.is_active() {
+            let _ = writeln!(out, "\n[faults]");
+            let _ = writeln!(out, "drop_prob = {}", self.faults.drop_prob);
+            let _ = writeln!(out, "dup_prob = {}", self.faults.dup_prob);
+            let _ = writeln!(out, "delay_us = {}", self.faults.delay_us);
+        }
+        out
+    }
+}
+
+/// Parses a duration with a required unit suffix into nanoseconds.
+fn parse_duration(v: &str) -> Result<u64, String> {
+    let v = v.trim();
+    let (num, mult) = if let Some(n) = v.strip_suffix("ns") {
+        (n, 1u64)
+    } else if let Some(n) = v.strip_suffix("us") {
+        (n, 1_000)
+    } else if let Some(n) = v.strip_suffix("ms") {
+        (n, 1_000_000)
+    } else if let Some(n) = v.strip_suffix('s') {
+        (n, 1_000_000_000)
+    } else {
+        return Err(format!("duration {v:?} needs a unit suffix (ns/us/ms/s)"));
+    };
+    let x: f64 = num
+        .trim()
+        .parse()
+        .map_err(|_| format!("not a number: {:?}", num.trim()))?;
+    if x < 0.0 {
+        return Err("duration must be non-negative".into());
+    }
+    Ok((x * mult as f64).round() as u64)
+}
+
+fn parse_speed(v: &str) -> Result<SpeedDist, String> {
+    let v = v.trim();
+    let call = |name: &str| -> Option<Result<(f64, f64), String>> {
+        let body = v.strip_prefix(name)?.trim();
+        let body = body.strip_prefix('(')?.strip_suffix(')')?;
+        let parts: Vec<&str> = body.split(',').collect();
+        if parts.len() != 2 {
+            return Some(Err(format!("{name}(a, b) takes exactly two arguments")));
+        }
+        let a: f64 = match parts[0].trim().parse() {
+            Ok(x) => x,
+            Err(_) => return Some(Err(format!("not a number: {:?}", parts[0].trim()))),
+        };
+        let b: f64 = match parts[1].trim().parse() {
+            Ok(x) => x,
+            Err(_) => return Some(Err(format!("not a number: {:?}", parts[1].trim()))),
+        };
+        Some(Ok((a, b)))
+    };
+    if let Some(r) = call("uniform") {
+        let (lo, hi) = r?;
+        if !(lo > 0.0 && hi >= lo) {
+            return Err("uniform(lo, hi) needs 0 < lo <= hi".into());
+        }
+        return Ok(SpeedDist::Uniform(lo, hi));
+    }
+    if let Some(r) = call("normal") {
+        let (mu, sigma) = r?;
+        if !(mu > 0.0 && sigma >= 0.0) {
+            return Err("normal(mu, sigma) needs mu > 0 and sigma >= 0".into());
+        }
+        return Ok(SpeedDist::Normal(mu, sigma));
+    }
+    let x: f64 = v.parse().map_err(|_| format!("not a number: {v:?}"))?;
+    if x <= 0.0 {
+        return Err("speed must be positive".into());
+    }
+    Ok(SpeedDist::Const(x))
+}
+
+/// Parses a load trace: comma-separated `time:Q` steps.
+fn parse_load(v: &str) -> Result<Vec<(u64, u32)>, String> {
+    let mut steps = Vec::new();
+    for part in v.split(',') {
+        let part = part.trim();
+        let (t, q) = part
+            .rsplit_once(':')
+            .ok_or_else(|| format!("load step {part:?} is not time:Q"))?;
+        let t = parse_duration(t)?;
+        let q: u32 = q
+            .trim()
+            .parse()
+            .map_err(|_| format!("run-queue length {:?} is not an integer", q.trim()))?;
+        steps.push((t, q));
+    }
+    if steps.is_empty() {
+        return Err("load trace has no steps".into());
+    }
+    for w in steps.windows(2) {
+        if w[1].0 <= w[0].0 {
+            return Err("load step times must be strictly increasing".into());
+        }
+    }
+    if steps[0].0 != 0 {
+        return Err("load trace must start at time 0".into());
+    }
+    Ok(steps)
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Section {
+    Top,
+    Master,
+    Group(String),
+    Churn,
+    Faults,
+}
+
+impl Section {
+    fn name(&self) -> String {
+        match self {
+            Section::Top => "(top level)".into(),
+            Section::Master => "master".into(),
+            Section::Group(n) => format!("group {n}"),
+            Section::Churn => "churn".into(),
+            Section::Faults => "faults".into(),
+        }
+    }
+}
+
+/// Accumulates one section instance's keys, enforcing the allowlist,
+/// duplicate detection and missing-key checks.
+struct KeyBag {
+    section: String,
+    entries: Vec<(String, String, usize)>,
+}
+
+impl KeyBag {
+    fn new(section: String) -> Self {
+        KeyBag { section, entries: Vec::new() }
+    }
+
+    fn insert(&mut self, key: &str, value: &str, line: usize, allowed: &[&str]) -> Result<(), ScenarioError> {
+        if !allowed.contains(&key) {
+            return Err(ScenarioError::UnknownKey {
+                line,
+                section: self.section.clone(),
+                key: key.into(),
+            });
+        }
+        if self.entries.iter().any(|(k, _, _)| k == key) {
+            return Err(ScenarioError::DuplicateKey { line, key: key.into() });
+        }
+        self.entries.push((key.into(), value.into(), line));
+        Ok(())
+    }
+
+    fn get(&self, key: &str) -> Option<(&str, usize)> {
+        self.entries
+            .iter()
+            .find(|(k, _, _)| k == key)
+            .map(|(_, v, l)| (v.as_str(), *l))
+    }
+
+    fn require(&self, key: &str) -> Result<(&str, usize), ScenarioError> {
+        self.get(key).ok_or_else(|| ScenarioError::MissingKey {
+            section: self.section.clone(),
+            key: key.into(),
+        })
+    }
+
+    fn parse_with<T>(
+        &self,
+        key: &str,
+        default: T,
+        f: impl Fn(&str) -> Result<T, String>,
+    ) -> Result<T, ScenarioError> {
+        match self.get(key) {
+            None => Ok(default),
+            Some((v, line)) => {
+                f(v).map_err(|msg| ScenarioError::BadValue { line, key: key.into(), msg })
+            }
+        }
+    }
+}
+
+fn num<T: std::str::FromStr>(v: &str) -> Result<T, String> {
+    v.trim().parse().map_err(|_| format!("not a valid number: {v:?}"))
+}
+
+fn positive_f64(v: &str) -> Result<f64, String> {
+    let x: f64 = num(v)?;
+    if x <= 0.0 {
+        return Err("must be positive".into());
+    }
+    Ok(x)
+}
+
+fn probability(v: &str) -> Result<f64, String> {
+    let x: f64 = num(v)?;
+    if !(0.0..=1.0).contains(&x) {
+        return Err("must be in [0, 1]".into());
+    }
+    Ok(x)
+}
+
+struct Parser<'a> {
+    text: &'a str,
+}
+
+const TOP_KEYS: &[&str] = &["name", "seed", "description"];
+const MASTER_KEYS: &[&str] = &["service_time_us", "rx_bandwidth"];
+const GROUP_KEYS: &[&str] = &[
+    "count", "speed", "power", "bandwidth", "latency_us", "segment", "load", "join_at",
+];
+const CHURN_KEYS: &[&str] = &["group", "fraction", "leave_after_chunks", "outage_ms", "mode"];
+const FAULTS_KEYS: &[&str] = &["drop_prob", "dup_prob", "delay_us"];
+
+impl<'a> Parser<'a> {
+    fn new(text: &'a str) -> Self {
+        Parser { text }
+    }
+
+    fn run(self) -> Result<Scenario, ScenarioError> {
+        // Pass 1: split into section instances with their key bags.
+        let mut sections: Vec<(Section, KeyBag, usize)> = Vec::new();
+        let mut current = Section::Top;
+        let mut bag = KeyBag::new(current.name());
+        let mut bag_line = 0usize;
+        for (idx, raw) in self.text.lines().enumerate() {
+            let line_no = idx + 1;
+            let line = match raw.split_once('#') {
+                // A '#' inside a value would be ambiguous; comments are
+                // whole-line or trailing after whitespace.
+                Some((before, _)) if before.trim().is_empty() => "",
+                Some((before, _)) => before.trim_end(),
+                None => raw.trim_end(),
+            };
+            let line = line.trim();
+            if line.is_empty() {
+                continue;
+            }
+            if let Some(header) = line.strip_prefix('[') {
+                let header = header
+                    .strip_suffix(']')
+                    .ok_or_else(|| ScenarioError::Syntax {
+                        line: line_no,
+                        msg: format!("unterminated section header {line:?}"),
+                    })?
+                    .trim();
+                let next = if header == "master" {
+                    Section::Master
+                } else if header == "churn" {
+                    Section::Churn
+                } else if header == "faults" {
+                    Section::Faults
+                } else if let Some(name) = header.strip_prefix("group ") {
+                    let name = name.trim();
+                    if name.is_empty()
+                        || !name.chars().all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+                    {
+                        return Err(ScenarioError::Syntax {
+                            line: line_no,
+                            msg: format!("invalid group name {name:?}"),
+                        });
+                    }
+                    Section::Group(name.into())
+                } else {
+                    return Err(ScenarioError::UnknownSection {
+                        line: line_no,
+                        section: header.into(),
+                    });
+                };
+                sections.push((current, bag, bag_line));
+                current = next;
+                bag = KeyBag::new(current.name());
+                bag_line = line_no;
+                continue;
+            }
+            let (key, value) = line.split_once('=').ok_or_else(|| ScenarioError::Syntax {
+                line: line_no,
+                msg: format!("expected `key = value`, got {line:?}"),
+            })?;
+            let key = key.trim();
+            let value = value.trim();
+            let allowed = match &current {
+                Section::Top => TOP_KEYS,
+                Section::Master => MASTER_KEYS,
+                Section::Group(_) => GROUP_KEYS,
+                Section::Churn => CHURN_KEYS,
+                Section::Faults => FAULTS_KEYS,
+            };
+            bag.insert(key, value, line_no, allowed)?;
+        }
+        sections.push((current, bag, bag_line));
+
+        // Pass 2: build the scenario from the section instances.
+        let mut name: Option<String> = None;
+        let mut seed = 0u64;
+        let mut description = None;
+        let mut master = MasterSection::default();
+        let mut seen_master = false;
+        let mut faults = FaultsSection::default();
+        let mut seen_faults = false;
+        let mut groups: Vec<Group> = Vec::new();
+        let mut churn: Vec<Churn> = Vec::new();
+
+        for (section, bag, bag_line) in sections {
+            match section {
+                Section::Top => {
+                    if let Some((v, _)) = bag.get("name") {
+                        name = Some(v.to_string());
+                    }
+                    seed = bag.parse_with("seed", seed, num::<u64>)?;
+                    if let Some((v, _)) = bag.get("description") {
+                        description = Some(v.to_string());
+                    }
+                }
+                Section::Master => {
+                    if seen_master {
+                        return Err(ScenarioError::Syntax {
+                            line: bag_line,
+                            msg: "[master] may appear only once".into(),
+                        });
+                    }
+                    seen_master = true;
+                    master.service_time_us =
+                        bag.parse_with("service_time_us", master.service_time_us, positive_f64)?;
+                    master.rx_bandwidth =
+                        bag.parse_with("rx_bandwidth", master.rx_bandwidth, positive_f64)?;
+                }
+                Section::Faults => {
+                    if seen_faults {
+                        return Err(ScenarioError::Syntax {
+                            line: bag_line,
+                            msg: "[faults] may appear only once".into(),
+                        });
+                    }
+                    seen_faults = true;
+                    faults.drop_prob = bag.parse_with("drop_prob", 0.0, probability)?;
+                    faults.dup_prob = bag.parse_with("dup_prob", 0.0, probability)?;
+                    faults.delay_us = bag.parse_with("delay_us", 0, |v| {
+                        parse_duration(&format!("{}us", v.trim())).map(|ns| ns / 1000)
+                    })?;
+                }
+                Section::Group(gname) => {
+                    if groups.iter().any(|g| g.name == gname) {
+                        return Err(ScenarioError::Syntax {
+                            line: bag_line,
+                            msg: format!("duplicate group name {gname:?}"),
+                        });
+                    }
+                    let (count_v, count_line) = bag.require("count")?;
+                    let count: usize =
+                        num(count_v).map_err(|msg| ScenarioError::BadValue {
+                            line: count_line,
+                            key: "count".into(),
+                            msg,
+                        })?;
+                    if count == 0 {
+                        return Err(ScenarioError::BadValue {
+                            line: count_line,
+                            key: "count".into(),
+                            msg: "a group needs at least one node".into(),
+                        });
+                    }
+                    let (speed_v, speed_line) = bag.require("speed")?;
+                    let speed = parse_speed(speed_v).map_err(|msg| ScenarioError::BadValue {
+                        line: speed_line,
+                        key: "speed".into(),
+                        msg,
+                    })?;
+                    let power = match bag.get("power") {
+                        None => None,
+                        Some((v, line)) => Some(positive_f64(v).map_err(|msg| {
+                            ScenarioError::BadValue { line, key: "power".into(), msg }
+                        })?),
+                    };
+                    let bandwidth = bag.parse_with("bandwidth", 12.5e6, positive_f64)?;
+                    let latency_us = bag.parse_with("latency_us", 1000.0, positive_f64)?;
+                    let segment = match bag.get("segment") {
+                        None => None,
+                        Some((v, line)) => Some(num::<u8>(v).map_err(|msg| {
+                            ScenarioError::BadValue { line, key: "segment".into(), msg }
+                        })?),
+                    };
+                    let load = match bag.get("load") {
+                        None => Vec::new(),
+                        Some((v, line)) => parse_load(v).map_err(|msg| {
+                            ScenarioError::BadValue { line, key: "load".into(), msg }
+                        })?,
+                    };
+                    let join_at = match bag.get("join_at") {
+                        None => None,
+                        Some((v, line)) => Some(parse_duration(v).map_err(|msg| {
+                            ScenarioError::BadValue { line, key: "join_at".into(), msg }
+                        })?),
+                    };
+                    if join_at.is_some() && !load.is_empty() {
+                        return Err(ScenarioError::BadValue {
+                            line: bag_line,
+                            key: "join_at".into(),
+                            msg: "a group cannot declare both join_at and load".into(),
+                        });
+                    }
+                    groups.push(Group {
+                        name: gname,
+                        count,
+                        speed,
+                        power,
+                        bandwidth,
+                        latency_us,
+                        segment,
+                        load,
+                        join_at,
+                    });
+                }
+                Section::Churn => {
+                    let (group_v, _) = bag.require("group")?;
+                    let fraction = bag.parse_with("fraction", 1.0, |v| {
+                        let x = probability(v)?;
+                        if x == 0.0 {
+                            return Err("fraction must be > 0".into());
+                        }
+                        Ok(x)
+                    })?;
+                    let (leave_v, leave_line) = bag.require("leave_after_chunks")?;
+                    let leave_after_chunks: u64 =
+                        num(leave_v).map_err(|msg| ScenarioError::BadValue {
+                            line: leave_line,
+                            key: "leave_after_chunks".into(),
+                            msg,
+                        })?;
+                    let outage_ms = bag.parse_with("outage_ms", 0u64, num::<u64>)?;
+                    let mode = match bag.get("mode") {
+                        None => {
+                            if outage_ms > 0 {
+                                ChurnMode::Disconnect
+                            } else {
+                                ChurnMode::Crash
+                            }
+                        }
+                        Some((v, line)) => match v.trim() {
+                            "crash" => ChurnMode::Crash,
+                            "hang" => ChurnMode::Hang,
+                            "disconnect" => ChurnMode::Disconnect,
+                            other => {
+                                return Err(ScenarioError::BadValue {
+                                    line,
+                                    key: "mode".into(),
+                                    msg: format!(
+                                        "{other:?} is not crash, hang or disconnect"
+                                    ),
+                                })
+                            }
+                        },
+                    };
+                    if mode == ChurnMode::Disconnect && outage_ms == 0 {
+                        return Err(ScenarioError::BadValue {
+                            line: bag_line,
+                            key: "outage_ms".into(),
+                            msg: "disconnect churn needs outage_ms > 0".into(),
+                        });
+                    }
+                    if mode != ChurnMode::Disconnect && outage_ms > 0 {
+                        return Err(ScenarioError::BadValue {
+                            line: bag_line,
+                            key: "outage_ms".into(),
+                            msg: "outage_ms only applies to disconnect churn".into(),
+                        });
+                    }
+                    churn.push(Churn { group: group_v.into(), fraction, leave_after_chunks, outage_ms, mode });
+                }
+            }
+        }
+
+        let name = name.ok_or(ScenarioError::MissingKey {
+            section: "(top level)".into(),
+            key: "name".into(),
+        })?;
+        if groups.is_empty() {
+            return Err(ScenarioError::MissingKey {
+                section: "(top level)".into(),
+                key: "group".into(),
+            });
+        }
+        for c in &churn {
+            if !groups.iter().any(|g| g.name == c.group) {
+                return Err(ScenarioError::UnknownGroup { group: c.group.clone() });
+            }
+        }
+        Ok(Scenario { name, seed, description, master, groups, churn, faults })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+
+    const MINIMAL: &str = "name = tiny\n[group all]\ncount = 2\nspeed = 1e6\n";
+
+    #[test]
+    fn minimal_scenario_parses_with_defaults() {
+        let s = Scenario::parse(MINIMAL).unwrap();
+        assert_eq!(s.name, "tiny");
+        assert_eq!(s.workers(), 2);
+        assert_eq!(s.master, MasterSection::default());
+        assert!(!s.has_faults());
+    }
+
+    #[test]
+    fn unknown_key_is_an_error() {
+        let bad = "name = x\n[group g]\ncount = 1\nspeed = 1e6\nspeeed = 2e6\n";
+        match Scenario::parse(bad) {
+            Err(ScenarioError::UnknownKey { key, section, line }) => {
+                assert_eq!(key, "speeed");
+                assert_eq!(section, "group g");
+                assert_eq!(line, 5);
+            }
+            other => panic!("expected UnknownKey, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn unknown_section_is_an_error() {
+        let bad = "name = x\n[grupo g]\ncount = 1\n";
+        assert!(matches!(
+            Scenario::parse(bad),
+            Err(ScenarioError::UnknownSection { .. })
+        ));
+    }
+
+    #[test]
+    fn durations_require_units() {
+        let bad = "name = x\n[group g]\ncount = 1\nspeed = 1e6\njoin_at = 30\n";
+        assert!(matches!(Scenario::parse(bad), Err(ScenarioError::BadValue { .. })));
+    }
+
+    #[test]
+    fn churn_must_reference_a_group() {
+        let bad = "name = x\n[group g]\ncount = 1\nspeed = 1e6\n\
+                   [churn]\ngroup = nope\nleave_after_chunks = 1\n";
+        assert!(matches!(
+            Scenario::parse(bad),
+            Err(ScenarioError::UnknownGroup { .. })
+        ));
+    }
+
+    #[test]
+    fn render_round_trips() {
+        let text = "name = rt\nseed = 7\ndescription = round trip\n\
+                    [master]\nservice_time_us = 300\n\
+                    [group fast]\ncount = 3\nspeed = uniform(1e6, 2e6)\npower = 2.5\n\
+                    segment = 1\nload = 0s:1, 30s:2\n\
+                    [group slow]\ncount = 5\nspeed = 1e6\njoin_at = 10s\n\
+                    [churn]\ngroup = slow\nfraction = 0.5\nleave_after_chunks = 2\n\
+                    [faults]\ndrop_prob = 0.25\n";
+        let s = Scenario::parse(text).unwrap();
+        let s2 = Scenario::parse(&s.render()).unwrap();
+        assert_eq!(s, s2);
+        let s3 = Scenario::parse(&s2.render()).unwrap();
+        assert_eq!(s2, s3);
+    }
+
+    #[test]
+    fn duplicate_keys_rejected() {
+        let bad = "name = x\nname = y\n[group g]\ncount = 1\nspeed = 1e6\n";
+        assert!(matches!(
+            Scenario::parse(bad),
+            Err(ScenarioError::DuplicateKey { .. })
+        ));
+    }
+}

@@ -1,0 +1,41 @@
+//! # lss-scenario — cluster-scale scenarios and scheme sweeps
+//!
+//! The paper evaluates its scheme class on one hand-built 9-node Sun
+//! cluster; every simulator experiment in this repo so far mirrored
+//! exactly that (`ClusterSpec::paper_mix`). "OpenMP Loop Scheduling
+//! Revisited" (arXiv:1809.03188) makes the case that scheme rankings
+//! flip across workloads and machine conditions — demonstrating that
+//! requires running scheme × scenario *grids*, not one cluster.
+//!
+//! This crate is that testbed:
+//!
+//! - [`format`] — a dependency-free declarative scenario format
+//!   (`.scn`): node groups with counts and speed distributions,
+//!   per-link bandwidth/latency, run-queue load traces,
+//!   churn/autoscale schedules and lossy-net fault knobs, parsed
+//!   strictly (unknown keys are errors). The committed library lives
+//!   in `scenarios/`.
+//! - [`compile`] — lowers a scenario to exactly what the simulator
+//!   already consumes: [`lss_sim::ClusterSpec`], per-node
+//!   [`lss_sim::LoadTrace`]s, per-node
+//!   [`lss_core::fault::FaultPlan`]s. Tree scheduling gets a typed
+//!   [`lss_sim::UnsupportedKnob`] instead of silently dropping knobs
+//!   it cannot honor.
+//! - [`sweep`] — the parallel scheme-family × scenario sweep driver
+//!   behind `lss sweep`: per-cell deterministic seeds, byte-stable
+//!   `SWEEP_*.json` artifacts and a markdown comparison table
+//!   (makespan, computation CoV, `T_com` share per cell).
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod compile;
+pub mod format;
+pub mod sweep;
+
+pub use compile::CompiledScenario;
+pub use format::{Scenario, ScenarioError};
+pub use sweep::{
+    cell_seed, parse_sweep_scheme, run_sweep, validate_sweep_json, SweepCell, SweepReport,
+    SweepScheme, SweepSpec,
+};

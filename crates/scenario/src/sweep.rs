@@ -1,0 +1,520 @@
+//! The scheme-family × scenario sweep driver.
+//!
+//! A sweep runs every scheme over every scenario on a thread pool,
+//! each cell with a seed derived deterministically from
+//! `(base_seed, scenario, scheme)`, and reports makespan, computation
+//! CoV and the communication share of total slave time per cell. The
+//! JSON artifact is byte-stable: same spec ⇒ the same file, bit for
+//! bit, regardless of thread interleaving — which is what lets CI diff
+//! a re-run instead of eyeballing it.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::compile::CompiledScenario;
+use crate::format::Scenario;
+use lss_core::SchemeKind;
+use lss_sim::{simulate, simulate_tree, SimConfig, SimTime};
+use lss_workloads::UniformLoop;
+
+/// One scheme column of a sweep: a self-scheduling kind or a tree run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SweepScheme {
+    /// A [`SchemeKind`] driven through the request/grant engine.
+    Kind(SchemeKind),
+    /// Tree scheduling (equal or weighted initial allocation).
+    Tree {
+        /// Weight the initial allocation by virtual power.
+        weighted: bool,
+    },
+}
+
+/// Parses a CLI-style scheme name (`"css:16"`, `"dtss"`,
+/// `"trees-weighted"`, …) into a [`SweepScheme`].
+pub fn parse_sweep_scheme(s: &str) -> Result<SweepScheme, String> {
+    if s == "trees" {
+        return Ok(SweepScheme::Tree { weighted: false });
+    }
+    if s == "trees-weighted" {
+        return Ok(SweepScheme::Tree { weighted: true });
+    }
+    let (name, param) = match s.split_once(':') {
+        Some((n, p)) => (n, Some(p)),
+        None => (s, None),
+    };
+    let num = |default: u64| -> Result<u64, String> {
+        match param {
+            None => Ok(default),
+            Some(p) => p.parse().map_err(|_| format!("invalid scheme parameter {p:?}")),
+        }
+    };
+    let kind = match name {
+        "s" => SchemeKind::Static,
+        "ss" => SchemeKind::Pure,
+        "css" => SchemeKind::Css { k: num(1)?.max(1) },
+        "gss" => SchemeKind::Gss { min_chunk: num(1)?.max(1) },
+        "tss" => SchemeKind::Tss,
+        "fss" => SchemeKind::Fss,
+        "fiss" => SchemeKind::Fiss { sigma: num(3)?.max(2) as u32 },
+        "tfss" => SchemeKind::Tfss,
+        "wf" => SchemeKind::Wf,
+        "dtss" => SchemeKind::Dtss,
+        "dfss" => SchemeKind::Dfss,
+        "dfiss" => SchemeKind::Dfiss { sigma: num(3)?.max(2) as u32 },
+        "dtfss" => SchemeKind::Dtfss,
+        other => return Err(format!("unknown scheme {other:?}")),
+    };
+    Ok(SweepScheme::Kind(kind))
+}
+
+/// What to sweep.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Scheme labels, CLI syntax (`"gss"`, `"css:64"`, …).
+    pub schemes: Vec<String>,
+    /// Parsed scenarios (columns of the grid).
+    pub scenarios: Vec<Scenario>,
+    /// Loop size per node: each cell runs `iters_per_pe × p`
+    /// iterations, so scenarios of very different size stay comparable.
+    pub iters_per_pe: u64,
+    /// Uniform per-iteration cost in basic ops.
+    pub unit_cost: u64,
+    /// Worker threads (`0` = number of CPUs).
+    pub threads: usize,
+    /// Base seed; each cell derives its own from this plus its labels.
+    pub base_seed: u64,
+}
+
+impl SweepSpec {
+    /// A spec with the default workload shape (50 iterations per PE,
+    /// 200k basic ops each — ~0.1 s on a paper-fast PE).
+    pub fn new(schemes: Vec<String>, scenarios: Vec<Scenario>) -> Self {
+        SweepSpec {
+            schemes,
+            scenarios,
+            iters_per_pe: 50,
+            unit_cost: 200_000,
+            threads: 0,
+            base_seed: 42,
+        }
+    }
+}
+
+/// Metrics of one successfully simulated cell.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CellMetrics {
+    /// Master-observed makespan, seconds.
+    pub makespan_s: f64,
+    /// Coefficient of variation of per-PE computation times.
+    pub cov: f64,
+    /// `ΣT_com / Σ(T_com + T_wait + T_comp)` across PEs.
+    pub tcom_share: f64,
+    /// Scheduling steps (chunks served).
+    pub steps: u64,
+    /// Plans made by a distributed master (0 = non-distributed).
+    pub plans: u32,
+    /// Fault events logged during the run.
+    pub fault_events: u64,
+}
+
+/// One cell of the grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepCell {
+    /// Scenario name.
+    pub scenario: String,
+    /// Scheme label.
+    pub scheme: String,
+    /// Number of slave nodes.
+    pub workers: usize,
+    /// Total loop iterations simulated.
+    pub iters: u64,
+    /// The cell's derived seed.
+    pub seed: u64,
+    /// Metrics, or why the cell could not run (e.g. tree × churn).
+    pub result: Result<CellMetrics, String>,
+}
+
+/// A finished sweep.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    /// Echo of the spec (workload shape + seed).
+    pub base_seed: u64,
+    /// Iterations per PE.
+    pub iters_per_pe: u64,
+    /// Per-iteration cost.
+    pub unit_cost: u64,
+    /// Scheme labels, in spec order.
+    pub schemes: Vec<String>,
+    /// Scenario names, in spec order.
+    pub scenarios: Vec<String>,
+    /// Cells, scenario-major (all schemes of scenario 0 first).
+    pub cells: Vec<SweepCell>,
+}
+
+/// FNV-1a over bytes — stable string hashing for seed derivation.
+fn fnv(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+fn mix(a: u64, b: u64) -> u64 {
+    let mut z = a ^ b.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The deterministic per-cell seed.
+pub fn cell_seed(base: u64, scenario: &str, scheme: &str) -> u64 {
+    mix(mix(base, fnv(scenario.as_bytes())), fnv(scheme.as_bytes()))
+}
+
+fn run_cell(
+    scheme: &SweepScheme,
+    label: &str,
+    compiled: &CompiledScenario,
+    spec: &SweepSpec,
+) -> SweepCell {
+    let p = compiled.workers();
+    let iters = spec.iters_per_pe * p as u64;
+    let seed = cell_seed(spec.base_seed, &compiled.name, label);
+    let workload = UniformLoop::new(iters, spec.unit_cost);
+    let result = match scheme {
+        SweepScheme::Tree { weighted } => match compiled.tree_config(*weighted) {
+            Err(e) => Err(e.to_string()),
+            Ok(cfg) => {
+                let report = simulate_tree(&cfg, &workload, &compiled.traces);
+                Ok(metrics_of(&report))
+            }
+        },
+        SweepScheme::Kind(kind) => {
+            let cfg = SimConfig::new(compiled.cluster.clone(), *kind)
+                .with_jitter(SimTime::from_millis(20), seed)
+                .with_faults(compiled.faults.clone());
+            let report = simulate(&cfg, &workload, &compiled.traces);
+            Ok(metrics_of(&report))
+        }
+    };
+    SweepCell {
+        scenario: compiled.name.clone(),
+        scheme: label.to_string(),
+        workers: p,
+        iters,
+        seed,
+        result,
+    }
+}
+
+fn metrics_of(report: &lss_metrics::RunReport) -> CellMetrics {
+    let com: f64 = report.per_pe.iter().map(|b| b.t_com).sum();
+    let total: f64 = report.per_pe.iter().map(|b| b.total()).sum();
+    CellMetrics {
+        makespan_s: report.t_p,
+        cov: report.comp_imbalance(),
+        tcom_share: if total > 0.0 { com / total } else { 0.0 },
+        steps: report.scheduling_steps,
+        plans: report.plans,
+        fault_events: report.faults.len() as u64,
+    }
+}
+
+/// Runs the full grid across threads. Cell order in the report is
+/// deterministic (scenario-major, spec order) regardless of the number
+/// of threads or their interleaving.
+pub fn run_sweep(spec: &SweepSpec) -> Result<SweepReport, String> {
+    let schemes: Vec<(String, SweepScheme)> = spec
+        .schemes
+        .iter()
+        .map(|s| parse_sweep_scheme(s).map(|k| (s.clone(), k)))
+        .collect::<Result<_, _>>()?;
+    if schemes.is_empty() {
+        return Err("sweep needs at least one scheme".into());
+    }
+    if spec.scenarios.is_empty() {
+        return Err("sweep needs at least one scenario".into());
+    }
+    let compiled: Vec<CompiledScenario> = spec.scenarios.iter().map(|s| s.compile()).collect();
+    {
+        let mut names: Vec<&str> = compiled.iter().map(|c| c.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        if names.len() != compiled.len() {
+            return Err("scenario names must be unique within a sweep".into());
+        }
+    }
+
+    let n_cells = compiled.len() * schemes.len();
+    let slots: Mutex<Vec<Option<SweepCell>>> = Mutex::new(vec![None; n_cells]);
+    let next = AtomicUsize::new(0);
+    let threads = if spec.threads == 0 {
+        std::thread::available_parallelism().map_or(4, |n| n.get())
+    } else {
+        spec.threads
+    }
+    .min(n_cells)
+    .max(1);
+
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= n_cells {
+                    break;
+                }
+                let (sc_i, sch_i) = (i / schemes.len(), i % schemes.len());
+                let (label, scheme) = &schemes[sch_i];
+                let cell = run_cell(scheme, label, &compiled[sc_i], spec);
+                if let Ok(mut slots) = slots.lock() {
+                    slots[i] = Some(cell);
+                }
+            });
+        }
+    });
+
+    let cells: Vec<SweepCell> = slots
+        .into_inner()
+        .map_err(|_| "a sweep worker panicked".to_string())?
+        .into_iter()
+        .collect::<Option<Vec<_>>>()
+        .ok_or("a sweep cell never finished")?;
+
+    Ok(SweepReport {
+        base_seed: spec.base_seed,
+        iters_per_pe: spec.iters_per_pe,
+        unit_cost: spec.unit_cost,
+        schemes: spec.schemes.clone(),
+        scenarios: compiled.iter().map(|c| c.name.clone()).collect(),
+        cells,
+    })
+}
+
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+impl SweepReport {
+    /// Serializes to the `lss-sweep-v1` JSON schema. Byte-stable: keys
+    /// in fixed order, floats at fixed precision, cells in
+    /// deterministic grid order — two runs of the same spec diff clean.
+    pub fn to_json(&self) -> String {
+        let mut out = String::new();
+        out.push_str("{\n");
+        out.push_str("  \"schema\": \"lss-sweep-v1\",\n");
+        out.push_str(&format!("  \"base_seed\": {},\n", self.base_seed));
+        out.push_str(&format!("  \"iters_per_pe\": {},\n", self.iters_per_pe));
+        out.push_str(&format!("  \"unit_cost\": {},\n", self.unit_cost));
+        let quoted = |v: &[String]| -> String {
+            v.iter()
+                .map(|s| format!("\"{}\"", json_escape(s)))
+                .collect::<Vec<_>>()
+                .join(", ")
+        };
+        out.push_str(&format!("  \"schemes\": [{}],\n", quoted(&self.schemes)));
+        out.push_str(&format!("  \"scenarios\": [{}],\n", quoted(&self.scenarios)));
+        out.push_str("  \"cells\": [\n");
+        for (i, c) in self.cells.iter().enumerate() {
+            let tail = match &c.result {
+                Ok(m) => format!(
+                    "\"makespan_s\": {:.6}, \"cov\": {:.6}, \"tcom_share\": {:.6}, \
+                     \"steps\": {}, \"plans\": {}, \"fault_events\": {}",
+                    m.makespan_s, m.cov, m.tcom_share, m.steps, m.plans, m.fault_events
+                ),
+                Err(e) => format!("\"error\": \"{}\"", json_escape(e)),
+            };
+            out.push_str(&format!(
+                "    {{\"scenario\": \"{}\", \"scheme\": \"{}\", \"workers\": {}, \
+                 \"iters\": {}, \"seed\": {}, {}}}{}\n",
+                json_escape(&c.scenario),
+                json_escape(&c.scheme),
+                c.workers,
+                c.iters,
+                c.seed,
+                tail,
+                if i + 1 < self.cells.len() { "," } else { "" },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// The comparison table: rows = schemes, columns = scenarios, cell
+    /// = `makespan (cov, T_com share)`.
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!(
+            "# Sweep: {} schemes x {} scenarios\n\n",
+            self.schemes.len(),
+            self.scenarios.len()
+        ));
+        out.push_str(&format!(
+            "Workload: uniform, {} iterations per PE at {} basic ops each; \
+             base seed {}. Cell format: `makespan_s (cov / T_com share)`.\n\n",
+            self.iters_per_pe, self.unit_cost, self.base_seed
+        ));
+        out.push_str("| scheme |");
+        for sc in &self.scenarios {
+            let workers = self
+                .cells
+                .iter()
+                .find(|c| &c.scenario == sc)
+                .map_or(0, |c| c.workers);
+            out.push_str(&format!(" {sc} (p={workers}) |"));
+        }
+        out.push('\n');
+        out.push_str("|---|");
+        for _ in &self.scenarios {
+            out.push_str("---|");
+        }
+        out.push('\n');
+        for scheme in &self.schemes {
+            out.push_str(&format!("| `{scheme}` |"));
+            for sc in &self.scenarios {
+                let cell = self
+                    .cells
+                    .iter()
+                    .find(|c| &c.scenario == sc && &c.scheme == scheme);
+                match cell.map(|c| &c.result) {
+                    Some(Ok(m)) => out.push_str(&format!(
+                        " {:.2}s ({:.3} / {:.1}%) |",
+                        m.makespan_s,
+                        m.cov,
+                        m.tcom_share * 100.0
+                    )),
+                    Some(Err(_)) => out.push_str(" unsupported |"),
+                    None => out.push_str(" — |"),
+                }
+            }
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// Validates a `lss-sweep-v1` artifact: schema marker, required
+/// per-cell keys, grid consistency. Returns the number of cells.
+pub fn validate_sweep_json(text: &str) -> Result<usize, String> {
+    use lss_trace::chrome::{parse_json, Json};
+    let doc = parse_json(text)?;
+    let schema = doc
+        .get("schema")
+        .and_then(Json::as_str)
+        .ok_or("missing \"schema\"")?;
+    if schema != "lss-sweep-v1" {
+        return Err(format!("unexpected schema {schema:?}"));
+    }
+    for key in ["base_seed", "iters_per_pe", "unit_cost"] {
+        doc.get(key)
+            .and_then(Json::as_num)
+            .ok_or_else(|| format!("missing numeric {key:?}"))?;
+    }
+    let schemes = doc
+        .get("schemes")
+        .and_then(Json::as_arr)
+        .ok_or("missing \"schemes\" array")?;
+    let scenarios = doc
+        .get("scenarios")
+        .and_then(Json::as_arr)
+        .ok_or("missing \"scenarios\" array")?;
+    let cells = doc
+        .get("cells")
+        .and_then(Json::as_arr)
+        .ok_or("missing \"cells\" array")?;
+    if cells.len() != schemes.len() * scenarios.len() {
+        return Err(format!(
+            "expected {} cells ({} schemes x {} scenarios), found {}",
+            schemes.len() * scenarios.len(),
+            schemes.len(),
+            scenarios.len(),
+            cells.len()
+        ));
+    }
+    for (i, cell) in cells.iter().enumerate() {
+        for key in ["scenario", "scheme"] {
+            cell.get(key)
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("cell {i}: missing string {key:?}"))?;
+        }
+        for key in ["workers", "iters", "seed"] {
+            cell.get(key)
+                .and_then(Json::as_num)
+                .ok_or_else(|| format!("cell {i}: missing numeric {key:?}"))?;
+        }
+        let has_metrics = ["makespan_s", "cov", "tcom_share", "steps"]
+            .iter()
+            .all(|k| cell.get(k).and_then(Json::as_num).is_some());
+        let has_error = cell.get("error").and_then(Json::as_str).is_some();
+        if !has_metrics && !has_error {
+            return Err(format!("cell {i}: neither full metrics nor an error"));
+        }
+    }
+    Ok(cells.len())
+}
+
+#[cfg(test)]
+mod tests {
+    #![allow(clippy::unwrap_used)]
+    use super::*;
+
+    fn tiny_scenarios() -> Vec<Scenario> {
+        let a = "name = tiny-a\n[group g]\ncount = 2\nspeed = 2e6\n";
+        let b = "name = tiny-b\n[group g]\ncount = 3\nspeed = uniform(1e6, 2e6)\n";
+        vec![Scenario::parse(a).unwrap(), Scenario::parse(b).unwrap()]
+    }
+
+    #[test]
+    fn sweep_json_is_byte_identical_across_runs() {
+        let mut spec = SweepSpec::new(vec!["gss".into(), "tfss".into()], tiny_scenarios());
+        spec.iters_per_pe = 20;
+        let a = run_sweep(&spec).unwrap().to_json();
+        spec.threads = 1;
+        let b = run_sweep(&spec).unwrap().to_json();
+        assert_eq!(a, b, "thread count must not leak into the artifact");
+    }
+
+    #[test]
+    fn sweep_artifact_validates() {
+        let spec = SweepSpec::new(vec!["s".into(), "dtss".into()], tiny_scenarios());
+        let json = run_sweep(&spec).unwrap().to_json();
+        assert_eq!(validate_sweep_json(&json).unwrap(), 4);
+        assert!(validate_sweep_json("{}").is_err());
+    }
+
+    #[test]
+    fn tree_cell_on_churn_scenario_reports_unsupported() {
+        let churny = "name = churny\n[group g]\ncount = 4\nspeed = 1e6\n\
+                      [churn]\ngroup = g\nfraction = 0.5\nleave_after_chunks = 1\n";
+        let spec = SweepSpec::new(
+            vec!["trees".into()],
+            vec![Scenario::parse(churny).unwrap()],
+        );
+        let report = run_sweep(&spec).unwrap();
+        assert!(report.cells[0].result.is_err());
+        let json = report.to_json();
+        assert!(json.contains("\"error\""));
+        validate_sweep_json(&json).unwrap();
+    }
+
+    #[test]
+    fn markdown_table_has_all_cells() {
+        let spec = SweepSpec::new(vec!["gss".into(), "wf".into()], tiny_scenarios());
+        let md = run_sweep(&spec).unwrap().to_markdown();
+        assert!(md.contains("| `gss` |"));
+        assert!(md.contains("| `wf` |"));
+        assert!(md.contains("tiny-a"));
+        assert!(md.contains("tiny-b"));
+    }
+}

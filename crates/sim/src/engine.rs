@@ -573,7 +573,7 @@ fn simulate_inner(
                                 .on_worker(s),
                             );
                         }
-                        let cost: u64 = c.iter().map(|i| workload.cost(i)).sum::<u64>() * factor;
+                        let cost: u64 = workload.cost_range(c.start, c.len) * factor;
                         let fin = traces[s].compute_finish(now, cost, cfg.cluster.slaves[s].speed);
                         slaves[s].t_comp += fin - now;
                         slaves[s].current_chunk = Some(c);
@@ -687,7 +687,7 @@ fn simulate_inner(
                         continue;
                     }
                 }
-                let piggy: u64 = c.iter().map(|i| workload.result_bytes(i)).sum();
+                let piggy: u64 = workload.result_bytes_range(c.start, c.len);
                 let (arrival, com) =
                     net.transfer(&cfg.cluster.slaves[s], cfg.request_bytes + piggy, now);
                 let j = jit(&mut jseq);

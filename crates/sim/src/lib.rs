@@ -40,4 +40,4 @@ pub use cluster::{ClusterSpec, LinkSpec, MasterSpec, PeSpec};
 pub use engine::{simulate, simulate_traced, simulate_with_timeline, ChunkSpan, SimConfig};
 pub use load::LoadTrace;
 pub use time::SimTime;
-pub use tree_engine::{simulate_tree, TreeSimConfig};
+pub use tree_engine::{simulate_tree, TreeSimConfig, UnsupportedKnob};

@@ -55,7 +55,56 @@ impl TreeSimConfig {
             max_sim_time: SimTime::from_secs_f64(1e5),
         }
     }
+
+    /// Builds a tree config from a full scenario description,
+    /// **rejecting** any knob the tree protocol cannot honor instead of
+    /// silently dropping it. Load traces and shared segments are fine
+    /// (the engine models both); fault/churn plans are not — tree
+    /// scheduling has no lease/requeue path, so a crashed partner would
+    /// silently strand its range.
+    pub fn for_scenario(
+        cluster: ClusterSpec,
+        weighted: bool,
+        faults: &[lss_core::fault::FaultPlan],
+    ) -> Result<Self, UnsupportedKnob> {
+        if let Some(w) = faults.iter().position(|f| !f.is_healthy()) {
+            return Err(UnsupportedKnob::Faults { worker: w });
+        }
+        Ok(Self::new(cluster, weighted))
+    }
 }
+
+/// A scenario knob the tree-scheduling engine cannot honor.
+///
+/// Returned instead of silently ignoring the field — a scenario that
+/// asks for churn under TreeS is a configuration error, not a run with
+/// the churn quietly dropped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum UnsupportedKnob {
+    /// A slave carries a non-healthy [`lss_core::fault::FaultPlan`]
+    /// (crash/hang/degrade/disconnect/lossy net): the tree protocol has
+    /// no lease, requeue or speculation machinery, so faults would
+    /// strand iterations.
+    Faults {
+        /// Index of the first slave with an active fault plan.
+        worker: usize,
+    },
+}
+
+impl std::fmt::Display for UnsupportedKnob {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            UnsupportedKnob::Faults { worker } => write!(
+                f,
+                "tree scheduling cannot honor fault/churn plans \
+                 (slave {worker} has one); use a self-scheduling scheme \
+                 or strip the [churn]/[faults] sections"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for UnsupportedKnob {}
 
 #[derive(Debug, Clone, Default)]
 struct SlaveState {

@@ -68,6 +68,20 @@ pub trait Workload: Send + Sync {
     /// Human-readable workload name for reports.
     fn name(&self) -> &'static str;
 
+    /// Total cost of the `len` iterations starting at `start` — the
+    /// simulator charges a whole chunk at a time, so workloads with a
+    /// closed-form cost (uniform, linear) override this to keep chunk
+    /// accounting O(1) instead of O(chunk length).
+    fn cost_range(&self, start: u64, len: u64) -> u64 {
+        (start..start + len).map(|i| self.cost(i)).sum()
+    }
+
+    /// Total result payload of the `len` iterations starting at
+    /// `start` (see [`Workload::cost_range`]).
+    fn result_bytes_range(&self, start: u64, len: u64) -> u64 {
+        (start..start + len).map(|i| self.result_bytes(i)).sum()
+    }
+
     /// Total cost of the whole loop.
     fn total_cost(&self) -> u64 {
         (0..self.len()).map(|i| self.cost(i)).sum()
@@ -92,6 +106,12 @@ impl<W: Workload + ?Sized> Workload for &W {
     fn result_bytes(&self, i: u64) -> u64 {
         (**self).result_bytes(i)
     }
+    fn cost_range(&self, start: u64, len: u64) -> u64 {
+        (**self).cost_range(start, len)
+    }
+    fn result_bytes_range(&self, start: u64, len: u64) -> u64 {
+        (**self).result_bytes_range(start, len)
+    }
     fn name(&self) -> &'static str {
         (**self).name()
     }
@@ -109,6 +129,12 @@ impl<W: Workload + ?Sized> Workload for std::sync::Arc<W> {
     }
     fn result_bytes(&self, i: u64) -> u64 {
         (**self).result_bytes(i)
+    }
+    fn cost_range(&self, start: u64, len: u64) -> u64 {
+        (**self).cost_range(start, len)
+    }
+    fn result_bytes_range(&self, start: u64, len: u64) -> u64 {
+        (**self).result_bytes_range(start, len)
     }
     fn name(&self) -> &'static str {
         (**self).name()

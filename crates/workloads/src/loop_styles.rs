@@ -63,6 +63,12 @@ impl Workload for UniformLoop {
     fn result_bytes(&self, _i: u64) -> u64 {
         8
     }
+    fn cost_range(&self, _start: u64, len: u64) -> u64 {
+        len * self.unit_cost
+    }
+    fn result_bytes_range(&self, _start: u64, len: u64) -> u64 {
+        len * 8
+    }
     fn name(&self) -> &'static str {
         "uniform"
     }

@@ -36,6 +36,7 @@
 pub use lss_core as core;
 pub use lss_metrics as metrics;
 pub use lss_runtime as runtime;
+pub use lss_scenario as scenario;
 pub use lss_sim as sim;
 pub use lss_trace as trace;
 pub use lss_workloads as workloads;
@@ -63,9 +64,13 @@ pub mod prelude {
         run_scheduled_loop, HarnessConfig, HarnessOutcome, Transport, WorkerSpec,
     };
     pub use lss_runtime::load::LoadState;
+    pub use lss_scenario::{
+        run_sweep, validate_sweep_json, CompiledScenario, Scenario, ScenarioError, SweepReport,
+        SweepSpec,
+    };
     pub use lss_sim::{
         simulate, simulate_traced, simulate_tree, ClusterSpec, LoadTrace, SimConfig, SimTime,
-        TreeSimConfig,
+        TreeSimConfig, UnsupportedKnob,
     };
     pub use lss_trace::{
         breakdowns, critical_path, gantt, idle_gaps, imbalance, render_gantt, to_chrome_json,

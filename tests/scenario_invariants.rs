@@ -1,0 +1,182 @@
+//! Invariants of the scenario engine and the sweep driver: the
+//! committed scenario library stays parseable and faithful, parsing is
+//! strict, compilation is deterministic, and sweep artifacts are
+//! byte-stable across runs and thread counts.
+
+use std::path::{Path, PathBuf};
+
+use loop_self_scheduling::prelude::*;
+
+fn scenario_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("scenarios")
+}
+
+const LIBRARY: &[(&str, usize)] = &[
+    ("paper-9.scn", 8),
+    ("skewed-nondedicated.scn", 32),
+    ("fat-tree-1k.scn", 1024),
+    ("churn-10k.scn", 10_000),
+];
+
+#[test]
+fn committed_library_parses_and_round_trips() {
+    for &(file, workers) in LIBRARY {
+        let s = Scenario::load(&scenario_dir().join(file))
+            .unwrap_or_else(|e| panic!("{file}: {e}"));
+        assert_eq!(s.workers(), workers, "{file} worker count drifted");
+        // Canonical render must parse back to a structurally identical
+        // scenario, and be a fixed point from the second render on.
+        let s2 = Scenario::parse(&s.render()).unwrap_or_else(|e| panic!("{file} render: {e}"));
+        assert_eq!(s, s2, "{file} does not round-trip");
+        assert_eq!(s2.render(), Scenario::parse(&s2.render()).unwrap().render());
+    }
+}
+
+#[test]
+fn paper_scenario_matches_the_builtin_cluster() {
+    let s = Scenario::load(&scenario_dir().join("paper-9.scn")).unwrap();
+    let compiled = s.compile();
+    let builtin = ClusterSpec::paper_mix(3, 5);
+    assert_eq!(compiled.cluster.slaves.len(), builtin.slaves.len());
+    for (a, b) in compiled.cluster.slaves.iter().zip(&builtin.slaves) {
+        assert!((a.speed - b.speed).abs() < 1e-6);
+        assert!((a.virtual_power.get() - b.virtual_power.get()).abs() < 1e-9);
+        assert!((a.link.bandwidth - b.link.bandwidth).abs() < 1e-6);
+        assert_eq!(a.link.latency, b.link.latency);
+        assert_eq!(a.segment, b.segment);
+    }
+    assert_eq!(compiled.cluster.master.service_time, builtin.master.service_time);
+    assert!(!compiled.has_faults());
+}
+
+#[test]
+fn compilation_is_bit_deterministic() {
+    for &(file, _) in LIBRARY {
+        let s = Scenario::load(&scenario_dir().join(file)).unwrap();
+        let (a, b) = (s.compile(), s.compile());
+        for (x, y) in a.cluster.slaves.iter().zip(&b.cluster.slaves) {
+            assert_eq!(x.speed.to_bits(), y.speed.to_bits(), "{file} speeds drift");
+        }
+        let plans = |c: &CompiledScenario| -> Vec<(Option<u64>, Option<u64>)> {
+            c.faults
+                .iter()
+                .map(|f| (f.crash_after_chunks, f.hang_after_chunks))
+                .collect()
+        };
+        assert_eq!(plans(&a), plans(&b), "{file} churn membership drifts");
+    }
+}
+
+#[test]
+fn strict_parsing_rejects_typos_and_junk() {
+    // A typoed key, with its line number.
+    let typo = "name = x\n[group g]\ncount = 2\nspeed = 1e6\nbandwith = 1e6\n";
+    match Scenario::parse(typo) {
+        Err(ScenarioError::UnknownKey { key, line, .. }) => {
+            assert_eq!(key, "bandwith");
+            assert_eq!(line, 5);
+        }
+        other => panic!("expected UnknownKey, got {other:?}"),
+    }
+    // A misspelled section.
+    assert!(matches!(
+        Scenario::parse("name = x\n[groups g]\ncount = 1\nspeed = 1e6\n"),
+        Err(ScenarioError::UnknownSection { .. })
+    ));
+    // Not key = value at all.
+    assert!(matches!(
+        Scenario::parse("name = x\n[group g]\ncount = 1\nspeed = 1e6\nwat\n"),
+        Err(ScenarioError::Syntax { line: 5, .. })
+    ));
+    // A bare number where a duration is needed.
+    assert!(matches!(
+        Scenario::parse("name = x\n[group g]\ncount = 1\nspeed = 1e6\njoin_at = 5\n"),
+        Err(ScenarioError::BadValue { .. })
+    ));
+    // Loading a missing file reports Io, not a panic.
+    assert!(matches!(
+        Scenario::load(Path::new("/nonexistent/nope.scn")),
+        Err(ScenarioError::Io(_))
+    ));
+}
+
+#[test]
+fn tree_runs_topology_scenarios_but_rejects_churn() {
+    let skewed = Scenario::load(&scenario_dir().join("skewed-nondedicated.scn"))
+        .unwrap()
+        .compile();
+    // Segments + load traces are honored by the tree engine.
+    assert!(skewed.tree_config(true).is_ok());
+    let churny = Scenario::load(&scenario_dir().join("churn-10k.scn")).unwrap().compile();
+    match churny.tree_config(false) {
+        Err(UnsupportedKnob::Faults { .. }) => {}
+        other => panic!("expected UnsupportedKnob::Faults, got {other:?}"),
+    }
+}
+
+fn tiny_spec() -> SweepSpec {
+    let a = Scenario::parse(
+        "name = tiny-healthy\nseed = 5\n[group mix]\ncount = 4\nspeed = uniform(1e6, 2e6)\n",
+    )
+    .unwrap();
+    let b = Scenario::parse(
+        "name = tiny-churn\nseed = 6\n[group m]\ncount = 4\nspeed = 1.5e6\n\
+         [churn]\ngroup = m\nfraction = 0.5\nleave_after_chunks = 2\n",
+    )
+    .unwrap();
+    let mut spec = SweepSpec::new(
+        vec!["gss".into(), "fss".into(), "trees".into()],
+        vec![a, b],
+    );
+    spec.iters_per_pe = 20;
+    spec.unit_cost = 50_000;
+    spec
+}
+
+#[test]
+fn sweep_json_is_byte_identical_across_runs_and_thread_counts() {
+    let mut spec = tiny_spec();
+    let first = run_sweep(&spec).unwrap().to_json();
+    let second = run_sweep(&spec).unwrap().to_json();
+    assert_eq!(first, second, "same spec, different bytes");
+    spec.threads = 1;
+    let serial = run_sweep(&spec).unwrap().to_json();
+    assert_eq!(first, serial, "thread count leaked into the artifact");
+    // And the artifact validates: 3 schemes × 2 scenarios = 6 cells,
+    // including the tree × churn "unsupported" cell.
+    assert_eq!(validate_sweep_json(&first).unwrap(), 6);
+}
+
+#[test]
+fn sweep_seed_changes_the_artifact_but_not_its_shape() {
+    let mut spec = tiny_spec();
+    let base = run_sweep(&spec).unwrap().to_json();
+    spec.base_seed = 43;
+    let other = run_sweep(&spec).unwrap().to_json();
+    assert_ne!(base, other, "base seed must reach the cells");
+    assert_eq!(validate_sweep_json(&other).unwrap(), 6);
+}
+
+#[test]
+fn sweep_validation_rejects_corruption() {
+    let json = run_sweep(&tiny_spec()).unwrap().to_json();
+    assert!(validate_sweep_json("{}").is_err());
+    assert!(validate_sweep_json("not json").is_err());
+    let truncated = &json[..json.len() / 2];
+    assert!(validate_sweep_json(truncated).is_err());
+    let wrong_schema = json.replacen("lss-sweep-v1", "lss-sweep-v0", 1);
+    assert!(validate_sweep_json(&wrong_schema).is_err());
+}
+
+#[test]
+fn sweep_markdown_covers_every_cell() {
+    let report = run_sweep(&tiny_spec()).unwrap();
+    let md = report.to_markdown();
+    for scheme in &report.schemes {
+        assert!(md.contains(&format!("`{scheme}`")), "missing row for {scheme}");
+    }
+    for scenario in &report.scenarios {
+        assert!(md.contains(scenario.as_str()), "missing column for {scenario}");
+    }
+    assert!(md.contains("unsupported"), "tree x churn cell should render as unsupported");
+}
