@@ -65,6 +65,17 @@ USAGE:
       bounded domain (default I<=4096, p<=16), explore bounded fault
       interleavings of the lease protocol, and run the repo lint rules.
       Default is --all. --json writes machine-readable certificates.
+  lss verify --serve [--quick] [--histories H] [--interleavings N]
+      [--inputs F] [--json [FILE]]
+      Model-check the serve layer: enumerate journal crash points (torn
+      tails, truncations, bit flips at every record and byte boundary)
+      against a reference replay, explore bounded serve-scheduler
+      interleavings (admit/grant/complete/strike/quarantine/canary/
+      crash/recover) driving the real MultiJobScheduler, and fuzz the
+      protocol frame and journal decoders with seeded structured
+      mutations. --crash-points / --serve-explore / --fuzz run a single
+      engine; --quick shrinks every grid for CI. --json FILE writes the
+      combined machine-readable report; bare --json prints it.
   lss serve [--port P] [--workers N] [--local-workers] [--batch K]
       [--queue-cap Q] [--max-active M] [--jobs-limit J] [--trace-out FILE]
       [--journal DIR | --recover DIR] [--no-quarantine]
@@ -713,9 +724,15 @@ fn render_trace_summary(report: &lss_metrics::RunReport, trace: &lss_trace::Trac
 pub fn cmd_verify(args: &Args) -> Result<String, ArgError> {
     use lss_verify::certify::Domain;
     use lss_verify::explore::ExploreConfig;
+    use lss_verify::{CrashConfig, FuzzConfig, ServeExploreConfig};
 
+    let run_crash = args.has("serve") || args.has("crash-points");
+    let run_serve_explore = args.has("serve") || args.has("serve-explore");
+    let run_fuzz = args.has("serve") || args.has("fuzz");
+    let any_serve = run_crash || run_serve_explore || run_fuzz;
     let run_all = args.has("all")
-        || !(args.has("certify") || args.has("explore") || args.has("lint"));
+        || !(args.has("certify") || args.has("explore") || args.has("lint") || any_serve);
+    let quick = args.has("quick");
     let mut out = String::new();
     let mut failed = false;
 
@@ -813,6 +830,112 @@ pub fn cmd_verify(args: &Args) -> Result<String, ArgError> {
             Err(e) => out.push_str(&format!(
                 "\nRepo lint skipped: {e} (run from the repo root to enable)\n"
             )),
+        }
+    }
+
+    let mut crash_report = None;
+    if run_crash {
+        let mut cfg = if quick { CrashConfig::quick() } else { CrashConfig::full() };
+        cfg.histories = args.get_or("histories", cfg.histories)?;
+        let report = lss_verify::enumerate_crash_points(&cfg);
+        failed |= !report.holds();
+        out.push_str(&format!(
+            "\nJournal crash-point enumeration ({} histories, {} records):\n  \
+             {} crash points ({} torn tails, {} bit flips), {} assertions — {}\n",
+            report.histories,
+            report.records,
+            report.crash_points,
+            report.torn_points,
+            report.bit_flips,
+            report.checks,
+            if report.holds() { "no violations" } else { "VIOLATIONS" },
+        ));
+        for v in &report.violations {
+            out.push_str(&format!("  violation: {v}\n"));
+        }
+        crash_report = Some(report);
+    }
+
+    let mut serve_explore_report = None;
+    if run_serve_explore {
+        let mut cfg = if quick {
+            ServeExploreConfig::quick()
+        } else {
+            ServeExploreConfig::full()
+        };
+        cfg.max_interleavings = args.get_or("interleavings", cfg.max_interleavings)?;
+        let report = lss_verify::explore_serve(&cfg);
+        failed |= !report.holds();
+        out.push_str(&format!(
+            "\nServe-scheduler interleaving exploration ({} workers, {} jobs):\n  \
+             {} schedules explored ({} terminal, {} depth-bounded), \
+             {} assertions, {} trace events checked — {}\n",
+            cfg.workers,
+            cfg.jobs.len(),
+            report.interleavings,
+            report.terminal,
+            report.depth_bounded,
+            report.checks,
+            report.events_checked,
+            if report.holds() { "no violations" } else { "VIOLATIONS" },
+        ));
+        for v in &report.violations {
+            out.push_str(&format!("  violation: {v}\n"));
+        }
+        serve_explore_report = Some(report);
+    }
+
+    let mut fuzz_report = None;
+    if run_fuzz {
+        let mut cfg = if quick { FuzzConfig::quick() } else { FuzzConfig::full() };
+        cfg.inputs = args.get_or("inputs", cfg.inputs)?;
+        let report = lss_verify::fuzz_decoders(&cfg);
+        failed |= !report.holds();
+        out.push_str(&format!(
+            "\nProtocol decode fuzzing:\n  {} inputs, {} panics, {} assertions — {}\n",
+            report.inputs,
+            report.panics,
+            report.checks,
+            if report.holds() { "no violations" } else { "VIOLATIONS" },
+        ));
+        for v in &report.violations {
+            out.push_str(&format!("  violation: {v}\n"));
+        }
+        fuzz_report = Some(report);
+    }
+
+    if any_serve && args.has("json") {
+        let json = match (&crash_report, &serve_explore_report, &fuzz_report) {
+            (Some(c), Some(e), Some(f)) => lss_verify::json_serve(c, e, f),
+            _ => {
+                // A single engine (or subset) was requested: emit just
+                // the parts that ran, same shape as the combined form.
+                let mut parts = vec![format!("\"holds\": {}", !failed)];
+                if let Some(c) = &crash_report {
+                    parts.push(format!(
+                        "\"crash_points\": {}",
+                        lss_verify::json_crash_points(c).trim_end()
+                    ));
+                }
+                if let Some(e) = &serve_explore_report {
+                    parts.push(format!(
+                        "\"interleavings\": {}",
+                        lss_verify::json_serve_explore(e).trim_end()
+                    ));
+                }
+                if let Some(f) = &fuzz_report {
+                    parts.push(format!("\"fuzz\": {}", lss_verify::json_fuzz(f).trim_end()));
+                }
+                format!("{{{}}}\n", parts.join(", "))
+            }
+        };
+        match args.get("json") {
+            Some(path) => {
+                std::fs::write(path, &json)
+                    .map_err(|e| ArgError(format!("cannot write {path}: {e}")))?;
+                out.push_str(&format!("serve verification report written to {path}\n"));
+            }
+            None => out.push_str(&json),
         }
     }
 
@@ -1108,6 +1231,25 @@ mod tests {
         ))
         .unwrap();
         assert!(out.contains("TreeS"), "{out}");
+    }
+
+    #[test]
+    fn verify_serve_engines_report_clean_json() {
+        // Tiny grids: the full-scale run belongs to the release CLI in
+        // CI, not the debug-profile unit suite.
+        let out = cmd_verify(&args(
+            "verify --serve --quick --histories 1 --interleavings 50 --inputs 200 --json",
+        ))
+        .unwrap();
+        assert!(out.contains("Journal crash-point enumeration"), "{out}");
+        assert!(out.contains("Serve-scheduler interleaving exploration"));
+        assert!(out.contains("Protocol decode fuzzing"));
+        assert!(out.contains("\"holds\": true"));
+        assert!(out.contains("verification OK"));
+        // A single-engine run emits just that engine's section.
+        let one = cmd_verify(&args("verify --fuzz --quick --inputs 100 --json")).unwrap();
+        assert!(one.contains("\"fuzz\""), "{one}");
+        assert!(!one.contains("crash_points"));
     }
 
     #[test]

@@ -23,7 +23,7 @@
 
 use crate::chunk::Chunk;
 use std::cmp::Reverse;
-use std::collections::BinaryHeap;
+use std::collections::{BTreeSet, BinaryHeap};
 
 /// SplitMix64 — small, seedable, replayable chaos/jitter stream.
 #[derive(Debug, Clone)]
@@ -307,6 +307,16 @@ pub struct LeaseTable {
     /// [`LeaseTable::expire`] pops only what actually lapsed — with
     /// 10k workers the old full-table scans dominated chaos runs.
     deadlines: BinaryHeap<Reverse<(u64, usize)>>,
+    /// Exact ordered index of *non-speculative* outstanding leases,
+    /// keyed `(deadline, worker)`. Unlike `deadlines` this set is kept
+    /// precisely in step with every grant/complete/revoke/expire/
+    /// heartbeat, so [`LeaseTable::speculation_candidate`] walks it in
+    /// deadline order and stops at the first eligible lease instead of
+    /// scanning all `p` workers on every idle request in the drain
+    /// phase. `(deadline, worker)` ordering reproduces the old scan's
+    /// tie-break bit-exactly: earliest deadline first, lowest worker
+    /// index among equals.
+    spec_queue: BTreeSet<(u64, usize)>,
     /// Count of outstanding leases (kept in step with `leases`).
     outstanding: usize,
 }
@@ -322,7 +332,16 @@ impl LeaseTable {
             dead: vec![false; p],
             spec_counts: Vec::new(),
             deadlines: BinaryHeap::new(),
+            spec_queue: BTreeSet::new(),
             outstanding: 0,
+        }
+    }
+
+    /// Removes a lease's entry from the speculation queue (no-op for
+    /// speculative grants, which are never candidates themselves).
+    fn queue_remove(&mut self, lease: &Lease) {
+        if !lease.speculative {
+            self.spec_queue.remove(&(lease.deadline, lease.worker));
         }
     }
 
@@ -381,8 +400,13 @@ impl LeaseTable {
             deadline,
             speculative,
         });
-        if old.is_none() {
+        if let Some(prev) = old {
+            self.queue_remove(&prev);
+        } else {
             self.outstanding += 1;
+        }
+        if !speculative {
+            self.spec_queue.insert((deadline, worker));
         }
         self.deadlines.push(Reverse((deadline, worker)));
         self.prune_deadlines();
@@ -414,6 +438,7 @@ impl LeaseTable {
             if l.chunk == chunk {
                 self.leases[worker] = None;
                 self.outstanding -= 1;
+                self.queue_remove(&l);
                 self.prune_deadlines();
                 if l.speculative {
                     self.drop_spec(chunk.start);
@@ -435,6 +460,7 @@ impl LeaseTable {
     pub fn revoke(&mut self, worker: usize) -> Option<Chunk> {
         let l = self.leases[worker].take()?;
         self.outstanding -= 1;
+        self.queue_remove(&l);
         self.prune_deadlines();
         if l.speculative {
             self.drop_spec(l.chunk.start);
@@ -456,6 +482,10 @@ impl LeaseTable {
         if let Some(l) = &mut self.leases[worker] {
             let extended = l.deadline.max(now.saturating_add(self.cfg.base_ticks));
             if extended != l.deadline {
+                if !l.speculative {
+                    self.spec_queue.remove(&(l.deadline, worker));
+                    self.spec_queue.insert((extended, worker));
+                }
                 l.deadline = extended;
                 self.deadlines.push(Reverse((extended, worker)));
             }
@@ -480,6 +510,7 @@ impl LeaseTable {
                 Some(l) if l.deadline == d => {
                     self.leases[w] = None;
                     self.outstanding -= 1;
+                    self.queue_remove(&l);
                     lapsed.push(l);
                 }
                 _ => {}
@@ -535,15 +566,28 @@ impl LeaseTable {
     /// suspect, so fail-free runs never speculate), and has fewer than
     /// `max_speculations` copies in flight. Near the end of the loop
     /// this is what keeps one straggler from gating completion.
+    ///
+    /// Walks `spec_queue` in `(deadline, worker)` order and returns on
+    /// the first eligible lease, replacing the old full scan over all
+    /// `p` workers per idle request — the last O(p)-per-call hot spot
+    /// in the drain phase. The ordering makes the answer identical to
+    /// the scan's `min_by_key(deadline)` with its first-match (lowest
+    /// worker index) tie-break.
     pub fn speculation_candidate(&self, idle_worker: usize, now: u64) -> Option<Chunk> {
-        self.leases
-            .iter()
-            .flatten()
-            .filter(|l| l.worker != idle_worker && !l.speculative)
-            .filter(|l| now >= l.granted_at + (l.deadline.saturating_sub(l.granted_at)) / 2)
-            .filter(|l| self.spec_count(l.chunk.start) < self.cfg.max_speculations)
-            .min_by_key(|l| l.deadline)
-            .map(|l| l.chunk)
+        for &(_, w) in &self.spec_queue {
+            let Some(l) = self.leases[w] else { continue };
+            if l.worker == idle_worker {
+                continue;
+            }
+            if now < l.granted_at + (l.deadline.saturating_sub(l.granted_at)) / 2 {
+                continue;
+            }
+            if self.spec_count(l.chunk.start) >= self.cfg.max_speculations {
+                continue;
+            }
+            return Some(l.chunk);
+        }
+        None
     }
 
     fn spec_count(&self, start: u64) -> u32 {
@@ -671,6 +715,59 @@ mod tests {
         // The speculative copy completing frees the slot again.
         t.complete(1, c, 50);
         assert_eq!(t.speculation_candidate(2, 60), Some(c));
+    }
+
+    /// The old O(p) implementation, kept as the reference oracle for
+    /// the incremental `spec_queue` walk.
+    fn reference_candidate(t: &LeaseTable, idle_worker: usize, now: u64) -> Option<Chunk> {
+        t.leases
+            .iter()
+            .flatten()
+            .filter(|l| l.worker != idle_worker && !l.speculative)
+            .filter(|l| now >= l.granted_at + (l.deadline.saturating_sub(l.granted_at)) / 2)
+            .filter(|l| t.spec_count(l.chunk.start) < t.cfg.max_speculations)
+            .min_by_key(|l| l.deadline)
+            .map(|l| l.chunk)
+    }
+
+    #[test]
+    fn speculation_queue_matches_the_reference_scan() {
+        let p = 8;
+        let mut t = LeaseTable::new(p, TIGHT);
+        let mut rng = ChaosRng::new(0x5bec_0001);
+        let mut now = 0u64;
+        for step in 0..4_000u64 {
+            now += 1 + rng.below(40);
+            let w = rng.below(p as u64) as usize;
+            match rng.below(6) {
+                0 | 1 => {
+                    let start = rng.below(16) * 8;
+                    let spec = rng.chance(0.3);
+                    t.grant(w, Chunk::new(start, 8), now, 1 + rng.below(3) as u32, spec);
+                }
+                2 => {
+                    if let Some(c) = t.held_by(w) {
+                        t.complete(w, c, now);
+                    }
+                }
+                3 => {
+                    t.revoke(w);
+                }
+                4 => {
+                    t.heartbeat(w, now);
+                }
+                _ => {
+                    t.expire(now);
+                }
+            }
+            let idle = rng.below(p as u64) as usize;
+            let probe = now + rng.below(200);
+            assert_eq!(
+                t.speculation_candidate(idle, probe),
+                reference_candidate(&t, idle, probe),
+                "divergence at step {step} (now {now})"
+            );
+        }
     }
 
     #[test]

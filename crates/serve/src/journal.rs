@@ -213,31 +213,19 @@ impl Journal {
     /// Journals a job admission. Must return `Ok` before the service
     /// acknowledges the submission — write-ahead, not write-behind.
     pub fn append_admit(&mut self, id: u64, submitted_ns: u64, spec: &JobSpec) -> io::Result<()> {
-        let mut payload = vec![TAG_ADMIT];
-        payload.extend_from_slice(&id.to_be_bytes());
-        payload.extend_from_slice(&submitted_ns.to_be_bytes());
-        let frame = ServeFrame::Submit(spec.clone()).encode();
-        payload.extend_from_slice(&(frame.len() as u32).to_be_bytes());
-        payload.extend_from_slice(&frame);
-        self.append(&payload)
+        self.append(&encode_admit(id, submitted_ns, spec))
     }
 
     /// Journals a completed chunk (as reported; duplicate or partially
     /// overlapping reports are harmless — replay ORs bits).
     pub fn append_complete(&mut self, job: u64, chunk: Chunk) -> io::Result<()> {
-        let mut payload = vec![TAG_COMPLETE];
-        payload.extend_from_slice(&job.to_be_bytes());
-        payload.extend_from_slice(&chunk.start.to_be_bytes());
-        payload.extend_from_slice(&chunk.len.to_be_bytes());
         self.appended_since_checkpoint += 1;
-        self.append(&payload)
+        self.append(&encode_complete(job, chunk))
     }
 
     /// Journals a job's retirement.
     pub fn append_finish(&mut self, job: u64) -> io::Result<()> {
-        let mut payload = vec![TAG_FINISH];
-        payload.extend_from_slice(&job.to_be_bytes());
-        self.append(&payload)
+        self.append(&encode_finish(job))
     }
 
     /// Whether enough completions accumulated that the caller should
@@ -267,15 +255,54 @@ impl Journal {
     }
 
     fn append(&mut self, payload: &[u8]) -> io::Result<()> {
-        let mut record = Vec::with_capacity(payload.len() + 8);
-        record.extend_from_slice(&(payload.len() as u32).to_be_bytes());
-        record.extend_from_slice(payload);
-        record.extend_from_slice(&crc32(payload).to_be_bytes());
         // One write_all on an unbuffered descriptor: everything this
         // returned Ok for survives SIGKILL (torn tails are caught by
         // the length/CRC envelope at replay).
-        self.log.write_all(&record)
+        self.log.write_all(&frame_record(payload))
     }
+}
+
+/// Encodes an admission record payload: the pure half of
+/// [`Journal::append_admit`]. Exposed so analysis passes (the
+/// crash-point enumerator in `lss-verify`) can synthesize byte-exact
+/// journal histories without touching a filesystem.
+pub fn encode_admit(id: u64, submitted_ns: u64, spec: &JobSpec) -> Vec<u8> {
+    let mut payload = vec![TAG_ADMIT];
+    payload.extend_from_slice(&id.to_be_bytes());
+    payload.extend_from_slice(&submitted_ns.to_be_bytes());
+    let frame = ServeFrame::Submit(spec.clone()).encode();
+    payload.extend_from_slice(&(frame.len() as u32).to_be_bytes());
+    payload.extend_from_slice(&frame);
+    payload
+}
+
+/// Encodes a completion record payload: the pure half of
+/// [`Journal::append_complete`].
+pub fn encode_complete(job: u64, chunk: Chunk) -> Vec<u8> {
+    let mut payload = vec![TAG_COMPLETE];
+    payload.extend_from_slice(&job.to_be_bytes());
+    payload.extend_from_slice(&chunk.start.to_be_bytes());
+    payload.extend_from_slice(&chunk.len.to_be_bytes());
+    payload
+}
+
+/// Encodes a finish record payload: the pure half of
+/// [`Journal::append_finish`].
+pub fn encode_finish(job: u64) -> Vec<u8> {
+    let mut payload = vec![TAG_FINISH];
+    payload.extend_from_slice(&job.to_be_bytes());
+    payload
+}
+
+/// Wraps a record payload in the on-disk envelope
+/// `[u32 len | payload | u32 CRC-32]` — byte-identical to what
+/// [`Journal`] appends.
+pub fn frame_record(payload: &[u8]) -> Vec<u8> {
+    let mut record = Vec::with_capacity(payload.len() + 8);
+    record.extend_from_slice(&(payload.len() as u32).to_be_bytes());
+    record.extend_from_slice(payload);
+    record.extend_from_slice(&crc32(payload).to_be_bytes());
+    record
 }
 
 /// Rebuilds state from a checkpoint image plus a log suffix. Tolerant
@@ -353,7 +380,10 @@ fn apply(state: &mut RecoveredState, payload: &[u8]) {
     }
 }
 
-fn encode_checkpoint(state: &RecoveredState) -> Vec<u8> {
+/// Serializes a checkpoint image (magic + version + jobs + trailing
+/// CRC) — the pure half of [`Journal::checkpoint`], exposed for the
+/// crash-point enumerator.
+pub fn encode_checkpoint(state: &RecoveredState) -> Vec<u8> {
     let mut b = Vec::new();
     b.extend_from_slice(CHECKPOINT_MAGIC);
     b.extend_from_slice(&CHECKPOINT_VERSION.to_be_bytes());
@@ -375,7 +405,9 @@ fn encode_checkpoint(state: &RecoveredState) -> Vec<u8> {
     b
 }
 
-fn decode_checkpoint(bytes: &[u8]) -> Option<RecoveredState> {
+/// Decodes a checkpoint image; `None` on any CRC/framing mismatch (a
+/// torn checkpoint counts as absent — the log still holds everything).
+pub fn decode_checkpoint(bytes: &[u8]) -> Option<RecoveredState> {
     if bytes.len() < 4 {
         return None;
     }

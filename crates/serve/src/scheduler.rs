@@ -760,10 +760,21 @@ impl MultiJobScheduler {
     }
 
     /// A worker's connection died: requeue whatever it held, in every
-    /// job.
+    /// job. Its grant clocks are dropped — the results they timed died
+    /// with the connection — and an outstanding canary probe is
+    /// forgotten, otherwise a quarantined worker whose canary was lost
+    /// to the disconnect could never be probed again (the probe's
+    /// result is the only thing that clears `canary_out`, and it is
+    /// never coming). Found by the serve-scheduler interleaving
+    /// explorer in `lss-verify`: with every worker latched that way,
+    /// the pool deadlocks.
     pub fn worker_disconnected(&mut self, worker: usize) {
         for job in &mut self.jobs {
             job.master.worker_disconnected(worker);
+        }
+        if worker < self.cfg.workers {
+            self.grant_times[worker].clear();
+            self.health[worker].canary_out = false;
         }
     }
 

@@ -1,0 +1,647 @@
+//! Engine 4 — the journal crash-point enumerator.
+//!
+//! The serve daemon's crash story rests on one pure function:
+//! [`lss_serve::journal::replay`], which rebuilds scheduling state from
+//! a checkpoint image plus a write-ahead log suffix. This engine makes
+//! that story exhaustive instead of anecdotal: it generates job
+//! histories (admissions, chunk completions, finishes, compactions)
+//! with a seeded RNG, renders them to byte-exact journal images via the
+//! journal's own pure encoders, and then simulates a crash at **every
+//! byte boundary** of the log — between records, inside records (torn
+//! tails), after single-bit corruptions of the CRC-framed records, and
+//! with a corrupted checkpoint image.
+//!
+//! At every crash point the recovered state must satisfy:
+//!
+//! - **prefix exactness** — replay of `k` durable records equals an
+//!   independently maintained reference state after `k` operations
+//!   (torn or corrupt record `k+1` is ignored entirely, never half
+//!   applied);
+//! - **exact partition** — each recovered job's completed ranges are
+//!   disjoint, in bounds, and together with the re-admitted remainder
+//!   tile `[0, total)` exactly once;
+//! - **admission-before-reply** — any admission the service could have
+//!   acknowledged before the crash is recoverable (the job id is known
+//!   and, unless its finish record is also durable, the job is
+//!   re-admitted);
+//! - **completion-before-dedup** — any completion folded into the
+//!   dedup bitmap before the crash has its bits set after recovery.
+//!
+//! The last two are *observational*: what the service may have told
+//! the outside world is derived from the crash byte and the journaling
+//! [`Discipline`]. Under the production [`Discipline::WriteAhead`]
+//! (journal first, then reply) they always hold; flipping the seam to
+//! [`Discipline::ReplyBeforeJournal`] or replacing recovery with the
+//! deliberately buggy [`RecoveryImpl::DropPartialJobs`] must make the
+//! checker fail — the unit tests pin both.
+
+use lss_core::Chunk;
+use lss_core::fault::ChaosRng;
+use lss_core::master::SchemeKind;
+use lss_runtime::protocol::serve::{JobSpec, WorkloadSpec};
+use lss_serve::journal::{
+    encode_admit, encode_checkpoint, encode_complete, encode_finish, frame_record, replay,
+    JobSnapshot, RecoveredState,
+};
+
+/// Maximum violation descriptions kept in a report.
+const MAX_VIOLATIONS: usize = 16;
+
+/// When the service acknowledges an operation relative to journaling
+/// it — the seam the enumerator checks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Discipline {
+    /// Production order: the record is durable before the reply (an
+    /// acknowledged fact is always recoverable).
+    WriteAhead,
+    /// The injected ordering bug: the reply goes out before the append
+    /// — a crash in the window loses acknowledged state. The checker
+    /// must catch this.
+    ReplyBeforeJournal,
+}
+
+/// Which recovery implementation replays the journal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RecoveryImpl {
+    /// The real pure replay path.
+    Production,
+    /// The injected dropped-readmit bug: recovery forgets to re-admit
+    /// jobs that were partially complete at the crash. The partition
+    /// checker must catch this.
+    DropPartialJobs,
+}
+
+/// Bounds and seeds for one enumeration.
+#[derive(Debug, Clone)]
+pub struct CrashConfig {
+    /// Number of generated job histories.
+    pub histories: u64,
+    /// Operations per history (admit/complete/finish/checkpoint).
+    pub max_ops: usize,
+    /// Maximum concurrently live jobs per history.
+    pub max_jobs: usize,
+    /// Maximum loop size per job.
+    pub max_iters: u64,
+    /// Sample every `flip_stride`-th bit position for record
+    /// corruptions (1 = every bit).
+    pub flip_stride: usize,
+    /// Base RNG seed (each history derives its own stream).
+    pub seed: u64,
+    /// Acknowledgement ordering under test.
+    pub discipline: Discipline,
+    /// Recovery implementation under test.
+    pub recovery: RecoveryImpl,
+}
+
+impl CrashConfig {
+    /// The full grid the CI acceptance bar uses: ≥ 100k crash points.
+    pub fn full() -> Self {
+        CrashConfig {
+            histories: 64,
+            max_ops: 48,
+            max_jobs: 4,
+            max_iters: 96,
+            flip_stride: 32,
+            seed: 0xC4A5_4001,
+            discipline: Discipline::WriteAhead,
+            recovery: RecoveryImpl::Production,
+        }
+    }
+
+    /// A reduced grid for debug-profile unit tests and `--quick`.
+    pub fn quick() -> Self {
+        CrashConfig {
+            histories: 6,
+            max_ops: 18,
+            max_jobs: 3,
+            max_iters: 48,
+            flip_stride: 128,
+            ..CrashConfig::full()
+        }
+    }
+}
+
+/// The outcome of one enumeration.
+#[derive(Debug, Clone)]
+pub struct CrashReport {
+    /// Histories generated.
+    pub histories: u64,
+    /// Journal records rendered across all histories.
+    pub records: u64,
+    /// Total crash points simulated (boundaries + torn + corrupted).
+    pub crash_points: u64,
+    /// Crash points that landed strictly inside a record (torn tails).
+    pub torn_points: u64,
+    /// Single-bit corruptions applied (records and checkpoints).
+    pub bit_flips: u64,
+    /// Individual assertions evaluated.
+    pub checks: u64,
+    /// Violation descriptions (capped at [`MAX_VIOLATIONS`]).
+    pub violations: Vec<String>,
+    /// Total violations found (may exceed `violations.len()`).
+    pub violation_count: u64,
+}
+
+impl CrashReport {
+    /// Whether the journal passed: crash points were enumerated and no
+    /// assertion failed.
+    pub fn holds(&self) -> bool {
+        self.crash_points > 0 && self.torn_points > 0 && self.violation_count == 0
+    }
+
+    fn violation(&mut self, msg: String) {
+        self.violation_count += 1;
+        if self.violations.len() < MAX_VIOLATIONS {
+            self.violations.push(msg);
+        }
+    }
+
+    fn check(&mut self, ok: bool, msg: impl FnOnce() -> String) {
+        self.checks += 1;
+        if !ok {
+            self.violation(msg());
+        }
+    }
+}
+
+/// One journaled operation of a history.
+#[derive(Debug, Clone, Copy)]
+enum OpKind {
+    Admit(u64),
+    Complete(u64, Chunk),
+    Finish(u64),
+}
+
+/// Byte span of one record in the current log segment.
+#[derive(Debug, Clone, Copy)]
+struct RecSpan {
+    start: usize,
+    end: usize,
+    op: OpKind,
+}
+
+/// Independent reference semantics of the journal — deliberately *not*
+/// implemented via `replay`, so the equality check compares two
+/// implementations instead of one against itself.
+#[derive(Debug, Clone, Default)]
+struct Mirror {
+    next_job: u64,
+    jobs: Vec<(u64, JobSpec, u64, Vec<bool>)>,
+}
+
+impl Mirror {
+    fn new() -> Self {
+        Mirror { next_job: 1, jobs: Vec::new() }
+    }
+
+    fn admit(&mut self, id: u64, spec: JobSpec, submitted_ns: u64) {
+        if id >= self.next_job {
+            self.next_job = id + 1;
+            let bits = vec![false; spec.workload.len() as usize];
+            self.jobs.push((id, spec, submitted_ns, bits));
+        }
+    }
+
+    fn complete(&mut self, job: u64, chunk: Chunk) {
+        if let Some((_, spec, _, bits)) = self.jobs.iter_mut().find(|(id, ..)| *id == job) {
+            let end = chunk.end().min(spec.workload.len());
+            for i in chunk.start..end {
+                bits[i as usize] = true;
+            }
+        }
+    }
+
+    fn finish(&mut self, job: u64) {
+        self.jobs.retain(|(id, ..)| *id != job);
+    }
+
+    fn to_state(&self) -> RecoveredState {
+        let jobs = self
+            .jobs
+            .iter()
+            .map(|(id, spec, submitted_ns, bits)| {
+                let mut snap = JobSnapshot::empty(*id, spec.clone(), *submitted_ns);
+                for (i, &set) in bits.iter().enumerate() {
+                    if set {
+                        snap.words[i / 64] |= 1u64 << (i % 64);
+                    }
+                }
+                snap
+            })
+            .collect();
+        RecoveredState { next_job: self.next_job, jobs }
+    }
+}
+
+/// Applies the recovery implementation under test.
+fn recover(
+    checkpoint: Option<&[u8]>,
+    log: &[u8],
+    recovery: RecoveryImpl,
+) -> RecoveredState {
+    let mut state = replay(checkpoint, log);
+    if recovery == RecoveryImpl::DropPartialJobs {
+        // The injected bug: a partially complete job is silently not
+        // re-admitted, so its remaining iterations are never run.
+        state.jobs.retain(|j| j.completed_count() == 0 || j.is_complete());
+    }
+    state
+}
+
+/// The exact-partition invariant over one recovered state: each job's
+/// completed ranges are disjoint, in bounds, and together with the
+/// re-admitted remainder tile `[0, total)` exactly once.
+fn check_partition(state: &RecoveredState, at: &str, report: &mut CrashReport) {
+    for job in &state.jobs {
+        let total = job.total();
+        let ranges = job.completed_ranges();
+        let mut cursor = 0u64;
+        let mut covered = 0u64;
+        let mut ordered = true;
+        for r in &ranges {
+            if r.start < cursor {
+                ordered = false;
+            }
+            cursor = r.end();
+            covered += r.len;
+        }
+        report.check(ordered && cursor <= total, || {
+            format!("{at}: job {} recovered ranges {ranges:?} overlap or exceed [0, {total})", job.id)
+        });
+        let completed = job.completed_count();
+        report.check(covered == completed, || {
+            format!(
+                "{at}: job {} ranges cover {covered} iterations but bitmap holds {completed}",
+                job.id
+            )
+        });
+        // The re-admitted remainder is the bitmap complement, so with
+        // disjoint in-bounds ranges, completions + remainder tile
+        // [0, total) exactly iff the bitmap never exceeds the loop.
+        report.check(completed <= total, || {
+            format!("{at}: job {} bitmap holds {completed} > total {total}", job.id)
+        });
+    }
+}
+
+/// The observational ordering invariants at one crash point: `k`
+/// records of the segment are durable, the crash byte is `c`, and the
+/// discipline decides which operations the service may have already
+/// acknowledged.
+fn check_acked(
+    spans: &[RecSpan],
+    k: usize,
+    c: usize,
+    discipline: Discipline,
+    recovered: &RecoveredState,
+    report: &mut CrashReport,
+) {
+    let acked = |idx: usize, span: &RecSpan| -> bool {
+        match discipline {
+            // Journal-first: only fully durable records were acked.
+            Discipline::WriteAhead => idx < k,
+            // Reply-first: the ack may precede every byte of the
+            // record, so any record that *started* by `c` (including
+            // one with zero bytes written at exactly `c`) counts.
+            Discipline::ReplyBeforeJournal => span.start <= c,
+        }
+    };
+    for (idx, span) in spans.iter().enumerate() {
+        if !acked(idx, span) {
+            break;
+        }
+        match span.op {
+            OpKind::Admit(id) => {
+                report.check(recovered.next_job > id, || {
+                    format!(
+                        "acknowledged admission of job {id} lost: next_job {} after crash at byte {c}",
+                        recovered.next_job
+                    )
+                });
+                let finish_durable = spans[..k.min(spans.len())]
+                    .iter()
+                    .any(|s| matches!(s.op, OpKind::Finish(j) if j == id));
+                if !finish_durable {
+                    report.check(recovered.jobs.iter().any(|j| j.id == id), || {
+                        format!(
+                            "acknowledged admission of job {id} not re-admitted after crash at byte {c}"
+                        )
+                    });
+                }
+            }
+            OpKind::Complete(job, chunk) => {
+                if let Some(j) = recovered.jobs.iter().find(|j| j.id == job) {
+                    let end = chunk.end().min(j.total());
+                    let set = (chunk.start..end).all(|i| {
+                        j.words
+                            .get((i / 64) as usize)
+                            .is_some_and(|w| w & (1u64 << (i % 64)) != 0)
+                    });
+                    report.check(set, || {
+                        format!(
+                            "acknowledged completion {chunk:?} of job {job} lost across crash at byte {c}"
+                        )
+                    });
+                }
+            }
+            OpKind::Finish(_) => {}
+        }
+    }
+}
+
+/// Enumerates every crash point of one closed log segment.
+#[allow(clippy::too_many_arguments)]
+fn enumerate_segment(
+    cfg: &CrashConfig,
+    checkpoint: Option<&[u8]>,
+    log: &[u8],
+    boundaries: &[usize],
+    states: &[RecoveredState],
+    spans: &[RecSpan],
+    report: &mut CrashReport,
+) {
+    let production = cfg.recovery == RecoveryImpl::Production;
+    // Crash at every byte boundary of the segment: boundary bytes are
+    // clean prefixes of k records; interior bytes are torn tails of
+    // record k+1 and must be ignored entirely.
+    for (k, window) in boundaries.windows(2).enumerate() {
+        let (b_lo, b_hi) = (window[0], window[1]);
+        for c in b_lo..b_hi {
+            report.crash_points += 1;
+            if c > b_lo {
+                report.torn_points += 1;
+            }
+            let recovered = recover(checkpoint, &log[..c], cfg.recovery);
+            if production {
+                report.check(recovered == states[k], || {
+                    format!(
+                        "crash at byte {c} (record {k} torn): recovered state diverges from reference"
+                    )
+                });
+            }
+            check_partition(&recovered, "torn", report);
+            check_acked(spans, k, c, cfg.discipline, &recovered, report);
+        }
+    }
+    // The clean boundary after the final record.
+    if let (Some(&end), Some(last_state)) = (boundaries.last(), states.last()) {
+        report.crash_points += 1;
+        let recovered = recover(checkpoint, &log[..end], cfg.recovery);
+        if production {
+            report.check(recovered == *last_state, || {
+                "complete-log replay diverges from reference".to_string()
+            });
+        }
+        check_partition(&recovered, "boundary", report);
+        check_acked(spans, spans.len(), end, cfg.discipline, &recovered, report);
+    }
+    // Single-bit corruptions: a flipped record must be rejected whole,
+    // degrading recovery to the state before it — never a panic, never
+    // a half-applied record.
+    let stride = cfg.flip_stride.max(1);
+    for (r, span) in spans.iter().enumerate() {
+        let bits = (span.end - span.start) * 8;
+        for bit in (0..bits).step_by(stride) {
+            report.crash_points += 1;
+            report.bit_flips += 1;
+            let mut corrupt = log.to_vec();
+            corrupt[span.start + bit / 8] ^= 1 << (bit % 8);
+            let recovered = recover(checkpoint, &corrupt, cfg.recovery);
+            if production {
+                report.check(recovered == states[r], || {
+                    format!(
+                        "bit {bit} of record {r} flipped: replay did not stop at the corrupt record"
+                    )
+                });
+            }
+            check_partition(&recovered, "bit-flip", report);
+        }
+    }
+    // Checkpoint corruption: a flipped checkpoint must behave exactly
+    // as an absent one (all-or-nothing decode), never partially apply.
+    if let Some(cp) = checkpoint {
+        if !cp.is_empty() {
+            let baseline = recover(None, log, cfg.recovery);
+            for bit in (0..cp.len() * 8).step_by(stride) {
+                report.crash_points += 1;
+                report.bit_flips += 1;
+                let mut corrupt = cp.to_vec();
+                corrupt[bit / 8] ^= 1 << (bit % 8);
+                let recovered = recover(Some(&corrupt), log, cfg.recovery);
+                report.check(recovered == baseline, || {
+                    format!("bit {bit} of checkpoint flipped: partial checkpoint applied")
+                });
+            }
+        }
+    }
+}
+
+/// Runs the crash-point enumeration described by `cfg`.
+pub fn enumerate_crash_points(cfg: &CrashConfig) -> CrashReport {
+    let mut report = CrashReport {
+        histories: 0,
+        records: 0,
+        crash_points: 0,
+        torn_points: 0,
+        bit_flips: 0,
+        checks: 0,
+        violations: Vec::new(),
+        violation_count: 0,
+    };
+    for h in 0..cfg.histories {
+        report.histories += 1;
+        let mut rng = ChaosRng::new(cfg.seed.wrapping_add(h.wrapping_mul(0x9E37_79B9)));
+        let mut mirror = Mirror::new();
+        let mut checkpoint: Option<Vec<u8>> = None;
+        let mut log: Vec<u8> = Vec::new();
+        let mut boundaries: Vec<usize> = vec![0];
+        let mut states: Vec<RecoveredState> = vec![mirror.to_state()];
+        let mut spans: Vec<RecSpan> = Vec::new();
+        let push_record = |payload: Vec<u8>,
+                               op: OpKind,
+                               log: &mut Vec<u8>,
+                               boundaries: &mut Vec<usize>,
+                               states: &mut Vec<RecoveredState>,
+                               spans: &mut Vec<RecSpan>,
+                               mirror: &Mirror,
+                               report: &mut CrashReport| {
+            let record = frame_record(&payload);
+            let start = log.len();
+            log.extend_from_slice(&record);
+            boundaries.push(log.len());
+            states.push(mirror.to_state());
+            spans.push(RecSpan { start, end: log.len(), op });
+            report.records += 1;
+        };
+        for _ in 0..cfg.max_ops {
+            let live = mirror.jobs.len();
+            let roll = rng.below(100);
+            if roll < 12 && !log.is_empty() {
+                // Compaction: close the segment (enumerating all of its
+                // crash points first), fold state into a new checkpoint,
+                // and check the crash window between checkpoint-rename
+                // and log-truncate — replaying the *old* log on the new
+                // checkpoint must be a no-op.
+                enumerate_segment(
+                    cfg,
+                    checkpoint.as_deref(),
+                    &log,
+                    &boundaries,
+                    &states,
+                    &spans,
+                    &mut report,
+                );
+                let folded = mirror.to_state();
+                let image = encode_checkpoint(&folded);
+                let window = recover(Some(&image), &log, cfg.recovery);
+                if cfg.recovery == RecoveryImpl::Production {
+                    report.check(window == folded, || {
+                        "checkpoint crash window: replaying folded records is not idempotent"
+                            .to_string()
+                    });
+                }
+                checkpoint = Some(image);
+                log.clear();
+                boundaries = vec![0];
+                states = vec![folded];
+                spans.clear();
+            } else if live < cfg.max_jobs && (live == 0 || roll < 40) {
+                let id = mirror.next_job;
+                let iters = 8 + rng.below(cfg.max_iters.saturating_sub(8).max(1));
+                let spec = JobSpec {
+                    workload: WorkloadSpec::Uniform { iters, cost: 5 },
+                    scheme: SchemeKind::Dtss,
+                    priority: 1 + rng.below(4) as u32,
+                };
+                let submitted_ns = rng.below(1 << 30);
+                mirror.admit(id, spec.clone(), submitted_ns);
+                push_record(
+                    encode_admit(id, submitted_ns, &spec),
+                    OpKind::Admit(id),
+                    &mut log,
+                    &mut boundaries,
+                    &mut states,
+                    &mut spans,
+                    &mirror,
+                    &mut report,
+                );
+            } else if live > 0 {
+                let pick = rng.below(live as u64) as usize;
+                let (id, total) = {
+                    let (id, spec, ..) = &mirror.jobs[pick];
+                    (*id, spec.workload.len())
+                };
+                let done = mirror.jobs[pick].3.iter().all(|&b| b);
+                if done && rng.chance(0.8) {
+                    mirror.finish(id);
+                    push_record(
+                        encode_finish(id),
+                        OpKind::Finish(id),
+                        &mut log,
+                        &mut boundaries,
+                        &mut states,
+                        &mut spans,
+                        &mirror,
+                        &mut report,
+                    );
+                } else {
+                    // Overlapping and duplicate ranges on purpose: the
+                    // journal's OR semantics must absorb them.
+                    let start = rng.below(total);
+                    let len = 1 + rng.below((total / 3).max(1));
+                    let chunk = Chunk::new(start, len.min(total - start));
+                    mirror.complete(id, chunk);
+                    push_record(
+                        encode_complete(id, chunk),
+                        OpKind::Complete(id, chunk),
+                        &mut log,
+                        &mut boundaries,
+                        &mut states,
+                        &mut spans,
+                        &mirror,
+                        &mut report,
+                    );
+                }
+            }
+        }
+        enumerate_segment(
+            cfg,
+            checkpoint.as_deref(),
+            &log,
+            &boundaries,
+            &states,
+            &spans,
+            &mut report,
+        );
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_enumeration_is_clean() {
+        let report = enumerate_crash_points(&CrashConfig::quick());
+        assert!(
+            report.holds(),
+            "violations: {:?} ({} crash points)",
+            report.violations,
+            report.crash_points
+        );
+        assert!(report.crash_points > 1_000, "only {} crash points", report.crash_points);
+        assert!(report.torn_points > 0);
+        assert!(report.bit_flips > 0);
+    }
+
+    #[test]
+    fn reply_before_journal_is_caught() {
+        // Flip the write-ahead seam: acknowledging before journaling
+        // must lose acknowledged state at some crash point, and the
+        // ordering checker must see it.
+        let cfg = CrashConfig {
+            discipline: Discipline::ReplyBeforeJournal,
+            ..CrashConfig::quick()
+        };
+        let report = enumerate_crash_points(&cfg);
+        assert!(report.violation_count > 0, "ordering bug was not detected");
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.contains("acknowledged")),
+            "violations should name a lost acknowledged fact: {:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn dropped_readmit_is_caught() {
+        // A recovery that forgets partially complete jobs breaks the
+        // exact-partition/ordering invariants.
+        let cfg = CrashConfig {
+            recovery: RecoveryImpl::DropPartialJobs,
+            ..CrashConfig::quick()
+        };
+        let report = enumerate_crash_points(&cfg);
+        assert!(report.violation_count > 0, "dropped-readmit bug was not detected");
+        assert!(
+            report
+                .violations
+                .iter()
+                .any(|v| v.contains("not re-admitted")),
+            "violations should name the missing re-admission: {:?}",
+            report.violations
+        );
+    }
+
+    #[test]
+    fn enumeration_is_deterministic() {
+        let a = enumerate_crash_points(&CrashConfig::quick());
+        let b = enumerate_crash_points(&CrashConfig::quick());
+        assert_eq!(a.crash_points, b.crash_points);
+        assert_eq!(a.checks, b.checks);
+        assert_eq!(a.violation_count, b.violation_count);
+    }
+}

@@ -1,6 +1,6 @@
 //! # lss-verify — static analysis for the scheduling stack
 //!
-//! Three engines that *certify* properties of the codebase without
+//! Six engines that *certify* properties of the codebase without
 //! running the simulator or the real runtime:
 //!
 //! 1. [`certify`] — an exhaustive **scheme certifier**: every
@@ -24,20 +24,49 @@
 //!    [`FaultPlan`](lss_core::fault::FaultPlan) schedules.
 //! 3. [`lint`] — the repo's **custom lint rules** (shared with
 //!    `scripts/lint.rs`): schemes stay pure formulas, `core`/`sim`
-//!    never touch wall clocks, runtime hot paths carry no `unwrap()`.
+//!    never touch wall clocks, runtime hot paths carry no `unwrap()`,
+//!    every `ServeLink` request carries a deadline, and the serve
+//!    scheduler's decision functions take time as a parameter.
+//! 4. [`crashpoints`] — a **journal crash-point enumerator** over the
+//!    serve daemon's write-ahead log: generated job histories are
+//!    rendered to byte-exact journal images and a crash is simulated
+//!    at every record and byte boundary (torn tails, single-bit
+//!    corruptions, corrupted checkpoints), asserting the pure
+//!    [`replay`](lss_serve::journal::replay) path recovers an exact
+//!    partition of every job and never loses an acknowledged fact.
+//! 5. [`serve_explore`] — a stateless **interleaving explorer for the
+//!    multi-job scheduler**: drives the real
+//!    [`MultiJobScheduler`](lss_serve::MultiJobScheduler) with logical
+//!    time through admit/grant/complete/strike/quarantine/canary/
+//!    readmit/crash/recover schedules, asserting exactly-once per job,
+//!    no lost chunks, and that every schedule drains.
+//! 6. [`fuzz`] — a **seeded protocol decode fuzzer**: structured
+//!    mutations and arbitrary bytes into the serve frame decoder,
+//!    journal record parser and checkpoint decoder; every input must
+//!    yield a typed error, never a panic or unbounded allocation.
 //!
-//! The `lss verify` CLI subcommand drives all three.
+//! The `lss verify` CLI subcommand drives all six (`--serve` runs the
+//! three serve-layer engines).
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod certify;
+pub mod crashpoints;
 pub mod explore;
+pub mod fuzz;
 pub mod lint;
 pub mod report;
+pub mod serve_explore;
 
 pub use certify::{certify_all, certify_scheme, Certificate, Domain, SchemeFamily};
+pub use crashpoints::{enumerate_crash_points, CrashConfig, CrashReport, Discipline, RecoveryImpl};
 pub use explore::{explore, ExploreConfig, ExploreReport};
+pub use fuzz::{fuzz_decoders, FuzzConfig, FuzzReport};
 pub use lint::{lint_repo, LintReport};
-pub use report::{json_certificates, json_exploration, json_lint};
+pub use report::{
+    json_certificates, json_crash_points, json_exploration, json_fuzz, json_lint, json_serve,
+    json_serve_explore,
+};
+pub use serve_explore::{explore_serve, ServeExploreConfig, ServeExploreReport};

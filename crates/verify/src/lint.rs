@@ -3,7 +3,8 @@
 //! The rules themselves live in `scripts/lint.rs` (also compilable as a
 //! standalone script with plain `rustc`); this module includes that
 //! file and wraps it in a library API. See the rule docs there:
-//! scheme-purity, no-wall-clock, no-unwrap-runtime.
+//! scheme-purity, no-wall-clock, no-unwrap-runtime,
+//! serve-link-deadline, serve-scheduler-pure-time.
 
 #[allow(dead_code, clippy::unwrap_used)]
 #[path = "../../../scripts/lint.rs"]
@@ -64,7 +65,7 @@ mod tests {
                 .collect::<Vec<_>>()
                 .join("\n")
         );
-        assert_eq!(report.rules.len(), 3);
+        assert_eq!(report.rules.len(), 5);
     }
 
     #[test]

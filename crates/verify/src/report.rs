@@ -1,10 +1,14 @@
 //! Machine-readable reports: hand-rolled JSON serialisation for
-//! certificates, exploration reports and lint findings (the workspace
-//! carries no serde dependency by design).
+//! certificates, exploration reports, lint findings and the three
+//! serve-layer engines (the workspace carries no serde dependency by
+//! design).
 
 use crate::certify::Certificate;
+use crate::crashpoints::CrashReport;
 use crate::explore::ExploreReport;
+use crate::fuzz::FuzzReport;
 use crate::lint::LintReport;
+use crate::serve_explore::ServeExploreReport;
 
 /// Escapes a string for inclusion in a JSON document.
 fn esc(s: &str) -> String {
@@ -110,10 +114,86 @@ pub fn json_lint(report: &LintReport) -> String {
     )
 }
 
+fn json_violations(violations: &[String]) -> String {
+    violations
+        .iter()
+        .map(|v| format!("\"{}\"", esc(v)))
+        .collect::<Vec<_>>()
+        .join(", ")
+}
+
+/// Serialises a crash-point enumeration report as a JSON object.
+pub fn json_crash_points(report: &CrashReport) -> String {
+    format!(
+        "{{\"holds\": {}, \"histories\": {}, \"records\": {}, \
+         \"crash_points\": {}, \"torn_points\": {}, \"bit_flips\": {}, \
+         \"checks\": {}, \"violation_count\": {}, \"violations\": [{}]}}\n",
+        report.holds(),
+        report.histories,
+        report.records,
+        report.crash_points,
+        report.torn_points,
+        report.bit_flips,
+        report.checks,
+        report.violation_count,
+        json_violations(&report.violations)
+    )
+}
+
+/// Serialises a serve-scheduler exploration report as a JSON object.
+pub fn json_serve_explore(report: &ServeExploreReport) -> String {
+    format!(
+        "{{\"holds\": {}, \"interleavings\": {}, \"terminal\": {}, \
+         \"depth_bounded\": {}, \"checks\": {}, \"events_checked\": {}, \
+         \"violation_count\": {}, \"violations\": [{}]}}\n",
+        report.holds(),
+        report.interleavings,
+        report.terminal,
+        report.depth_bounded,
+        report.checks,
+        report.events_checked,
+        report.violation_count,
+        json_violations(&report.violations)
+    )
+}
+
+/// Serialises a decoder-fuzzing report as a JSON object.
+pub fn json_fuzz(report: &FuzzReport) -> String {
+    format!(
+        "{{\"holds\": {}, \"inputs\": {}, \"panics\": {}, \"checks\": {}, \
+         \"violation_count\": {}, \"violations\": [{}]}}\n",
+        report.holds(),
+        report.inputs,
+        report.panics,
+        report.checks,
+        report.violation_count,
+        json_violations(&report.violations)
+    )
+}
+
+/// Serialises the combined serve-layer verification (`lss verify
+/// --serve --json`) as one JSON object with a top-level verdict.
+pub fn json_serve(
+    crash: &CrashReport,
+    explore: &ServeExploreReport,
+    fuzz: &FuzzReport,
+) -> String {
+    format!(
+        "{{\"holds\": {}, \"crash_points\": {}, \"interleavings\": {}, \"fuzz\": {}}}\n",
+        crash.holds() && explore.holds() && fuzz.holds(),
+        json_crash_points(crash).trim_end(),
+        json_serve_explore(explore).trim_end(),
+        json_fuzz(fuzz).trim_end()
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::certify::{certify_scheme, Domain, SchemeFamily};
+    use crate::crashpoints::CrashConfig;
+    use crate::fuzz::FuzzConfig;
+    use crate::serve_explore::ServeExploreConfig;
 
     #[test]
     fn certificate_json_is_well_formed() {
@@ -137,5 +217,35 @@ mod tests {
     fn escaping_handles_quotes_and_controls() {
         assert_eq!(esc("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
         assert_eq!(esc("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn combined_serve_json_parses_with_the_trace_parser() {
+        // Tiny runs of all three serve engines, serialized together,
+        // must survive the strict mini JSON parser the trace crate
+        // ships — the same validation CI applies to the artifact.
+        let crash = crate::crashpoints::enumerate_crash_points(&CrashConfig {
+            histories: 1,
+            max_ops: 6,
+            ..CrashConfig::quick()
+        });
+        let explore = crate::serve_explore::explore_serve(&ServeExploreConfig {
+            max_interleavings: 5,
+            ..ServeExploreConfig::quick()
+        });
+        let fuzz = crate::fuzz::fuzz_decoders(&FuzzConfig { inputs: 50, ..FuzzConfig::quick() });
+        let json = json_serve(&crash, &explore, &fuzz);
+        let parsed = lss_trace::chrome::parse_json(&json).expect("valid JSON");
+        let _ = parsed;
+        assert!(json.contains("\"crash_points\""));
+        assert!(json.contains("\"interleavings\""));
+        assert!(json.contains("\"fuzz\""));
+        for part in [
+            json_crash_points(&crash),
+            json_serve_explore(&explore),
+            json_fuzz(&fuzz),
+        ] {
+            lss_trace::chrome::parse_json(&part).expect("engine JSON parses");
+        }
     }
 }

@@ -8,6 +8,10 @@
 #
 #   scripts/chaos_soak.sh [ROUNDS]
 #
+# Artifacts (daemon logs + the recovered run's trace) land under
+# results/soak/ — gitignored — or $SOAK_OUT when set (CI points it at
+# a scratch dir it uploads).
+#
 # Exits non-zero on the first failing round.
 set -euo pipefail
 
@@ -18,6 +22,9 @@ ITERS=8000000
 # iteration ~10µs and the soak would take minutes per round.
 COST=40
 cd "$(dirname "$0")/.."
+
+OUT="${SOAK_OUT:-results/soak}"
+mkdir -p "$OUT"
 
 cargo build --release -p lss-cli >/dev/null
 LSS=target/release/lss
@@ -51,15 +58,15 @@ await_addr() {
 for ((round = 1; round <= ROUNDS; round++)); do
     echo "=== chaos-soak round ${round}/${ROUNDS} ==="
     DIR=$(mktemp -d)
-    rm -f soak_serve.log soak_recover.log soak_trace.json
+    rm -f "$OUT"/soak_serve.log "$OUT"/soak_recover.log "$OUT"/soak_trace.json
 
     # Phase 1: daemon with a fresh journal; SIGKILL it mid-run so some
     # jobs are done, some mid-flight, and the WAL tail is whatever the
     # crash left behind.
     "$LSS" serve --port 0 --workers 4 --local-workers \
-        --journal "$DIR/journal" >soak_serve.log 2>&1 &
+        --journal "$DIR/journal" >"$OUT"/soak_serve.log 2>&1 &
     SERVE_PID=$!
-    ADDR=$(await_addr soak_serve.log)
+    ADDR=$(await_addr "$OUT"/soak_serve.log)
     "$LSS" submit --connect "$ADDR" --count "$JOBS" dtss \
         --iters "$ITERS" --cost "$COST"
     sleep 0.8
@@ -72,29 +79,29 @@ for ((round = 1; round <= ROUNDS; round++)); do
     # re-admitted with only their un-completed iterations; drain stops
     # the service once they retire.
     "$LSS" serve --port 0 --workers 4 --local-workers \
-        --recover "$DIR/journal" --trace-out soak_trace.json \
-        >soak_recover.log 2>&1 &
+        --recover "$DIR/journal" --trace-out "$OUT"/soak_trace.json \
+        >"$OUT"/soak_recover.log 2>&1 &
     RECOVER_PID=$!
-    ADDR=$(await_addr soak_recover.log)
+    ADDR=$(await_addr "$OUT"/soak_recover.log)
     "$LSS" jobs --connect "$ADDR" --drain
     wait "$RECOVER_PID"
     RECOVER_PID=""
-    cat soak_recover.log
+    cat "$OUT"/soak_recover.log
 
     # The recovered run must have re-admitted work (the kill landed
     # mid-run, not after completion) and finished every job exactly:
     # a completed/total mismatch means lost or duplicated iterations.
-    if ! grep -qE '^  job [0-9]+ \[done\]' soak_recover.log; then
+    if ! grep -qE '^  job [0-9]+ \[done\]' "$OUT"/soak_recover.log; then
         echo "FAIL round ${round}: recovery re-admitted no jobs"; exit 1
     fi
-    if grep -E '^  job [0-9]+ \[' soak_recover.log | grep -vE '\[done\]'; then
+    if grep -E '^  job [0-9]+ \[' "$OUT"/soak_recover.log | grep -vE '\[done\]'; then
         echo "FAIL round ${round}: a recovered job did not finish"; exit 1
     fi
-    if grep -oE '[0-9]+/[0-9]+ iterations' soak_recover.log \
+    if grep -oE '[0-9]+/[0-9]+ iterations' "$OUT"/soak_recover.log \
         | awk -F'[/ ]' '$1 != $2 { exit 1 }'; then :; else
         echo "FAIL round ${round}: iteration coverage mismatch"; exit 1
     fi
-    "$LSS" trace --validate soak_trace.json
+    "$LSS" trace --validate "$OUT"/soak_trace.json
     rm -rf "$DIR"
 done
 

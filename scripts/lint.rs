@@ -2,7 +2,7 @@
 //! (`rustc scripts/lint.rs -o /tmp/lss-lint && /tmp/lss-lint .`) and
 //! `lss-verify`'s lint engine (which includes this file via `#[path]`).
 //!
-//! Three rules, each encoding an architectural invariant the compiler
+//! Five rules, each encoding an architectural invariant the compiler
 //! cannot express:
 //!
 //! 1. **scheme-purity** — files under `crates/core/src/scheme/` are
@@ -14,6 +14,13 @@
 //! 3. **no-unwrap-runtime** — `crates/runtime/src` non-test code must
 //!    not call `.unwrap()`; a master must degrade, not panic, when a
 //!    worker misbehaves (the lease/self-healing design depends on it).
+//! 4. **serve-link-deadline** — no `ServeLink` call site may disable
+//!    its request deadline with `set_deadline(None)`; an unbounded
+//!    request defeats the crash-recovery deadline guard (PR 7).
+//! 5. **serve-scheduler-pure-time** — `crates/serve/src/scheduler.rs`
+//!    decision functions take logical `now_ns` parameters; reading the
+//!    wall clock there would make the serve-scheduler interleaving
+//!    explorer in `lss-verify` unable to drive the real code.
 //!
 //! Rules scan the *non-test region* of each file: everything before the
 //! first `#[cfg(test)]` line, with `//` comments stripped.
@@ -47,7 +54,8 @@ impl fmt::Display for LintFinding {
     }
 }
 
-/// A directory subtree plus the patterns its non-test code must avoid.
+/// A set of roots (directory subtrees or single files) plus the
+/// patterns their non-test code must avoid.
 struct Rule {
     name: &'static str,
     roots: &'static [&'static str],
@@ -78,6 +86,16 @@ const RULES: &[Rule] = &[
         name: "no-unwrap-runtime",
         roots: &["crates/runtime/src"],
         forbidden: &[".unwrap()"],
+    },
+    Rule {
+        name: "serve-link-deadline",
+        roots: &["crates/serve/src", "crates/cli/src"],
+        forbidden: &["set_deadline(None)"],
+    },
+    Rule {
+        name: "serve-scheduler-pure-time",
+        roots: &["crates/serve/src/scheduler.rs"],
+        forbidden: &["std::time", "Instant::now", "SystemTime"],
     },
 ];
 
@@ -147,9 +165,13 @@ pub fn run_lints(repo_root: &Path) -> Result<Vec<LintFinding>, String> {
     let mut findings = Vec::new();
     for rule in RULES {
         for sub in rule.roots {
-            let dir = repo_root.join(sub);
+            let root = repo_root.join(sub);
             let mut files = Vec::new();
-            rust_files(&dir, &mut files);
+            if root.is_file() {
+                files.push(root);
+            } else {
+                rust_files(&root, &mut files);
+            }
             for file in &files {
                 scan_file(rule, repo_root, file, &mut findings);
             }

@@ -743,3 +743,69 @@ fn degraded_worker_is_quarantined_and_work_reclaimed() {
     );
     assert_serve_grammar(trace, 4);
 }
+
+// ---------------------------------------------------------------------------
+// Decoder robustness: arbitrary bytes never panic, only typed errors.
+// (The seeded structured fuzzer in `lss-verify` covers the same seams
+// at 50k+ inputs; these property tests keep a small arbitrary-input
+// net in tier-1.)
+// ---------------------------------------------------------------------------
+
+mod decoder_robustness {
+    use lss_runtime::protocol::serve::{ServeDecodeError, ServeFrame};
+    use lss_serve::journal::{decode_checkpoint, replay};
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Any byte string fed to the serve frame decoder yields a
+        /// frame or a *typed* error — never a panic — and the error
+        /// class follows the header bytes.
+        #[test]
+        fn serve_frame_decode_total_on_arbitrary_bytes(
+            bytes in proptest::collection::vec(any::<u8>(), 0..192),
+        ) {
+            match ServeFrame::decode(&bytes) {
+                Ok(frame) => {
+                    // A decodable frame re-encodes to *some* canonical
+                    // bytes (not necessarily the input: trailing junk
+                    // is tolerated), and re-decodes to itself.
+                    let canon = frame.encode();
+                    prop_assert_eq!(ServeFrame::decode(&canon).unwrap(), frame);
+                }
+                Err(ServeDecodeError::Legacy) => {
+                    prop_assert!(bytes.first().is_some_and(|b| *b != 0xA5));
+                }
+                Err(ServeDecodeError::Version(v)) => {
+                    prop_assert_eq!(bytes.first().copied(), Some(0xA5));
+                    prop_assert_eq!(bytes.get(1).copied(), Some(v));
+                }
+                Err(ServeDecodeError::Malformed) => {}
+            }
+        }
+
+        /// Any byte string fed to the journal replay path (as log,
+        /// checkpoint, or both) yields a well-formed recovered state —
+        /// torn tails and corrupt checkpoints degrade, never panic.
+        #[test]
+        fn journal_replay_total_on_arbitrary_bytes(
+            log in proptest::collection::vec(any::<u8>(), 0..256),
+            ckpt in proptest::collection::vec(any::<u8>(), 0..128),
+        ) {
+            prop_assert!(decode_checkpoint(&ckpt).is_none() || !ckpt.is_empty());
+            for state in [replay(None, &log), replay(Some(&ckpt), &log)] {
+                prop_assert!(state.next_job >= 1);
+                let mut prev = None;
+                for job in &state.jobs {
+                    prop_assert!(prev.is_none_or(|p| p < job.id));
+                    prop_assert!(job.id < state.next_job);
+                    let total = job.total();
+                    prop_assert_eq!(job.words.len() as u64, total.div_ceil(64));
+                    prop_assert!(job.completed_count() <= total);
+                    prev = Some(job.id);
+                }
+            }
+        }
+    }
+}
