@@ -1,0 +1,285 @@
+//! The grant ceiling: how many chunk grants per second can each grant
+//! path sustain as simulated workers pile on?
+//!
+//! Three paths from `lss-shard` are measured on identical work (every
+//! chunk of a CSS(8) loop dispensed, completion reported, zero compute):
+//!
+//! - **single** — one master shard served by one master *thread*:
+//!   every grant is a request/reply round trip through a channel into
+//!   the lease table (the classic self-scheduling bottleneck);
+//! - **sharded** — N work-stealing shards, each its own master thread
+//!   and lease table; requests route to the worker's home shard;
+//! - **self** — workers claim a shared atomic chunk counter and
+//!   evaluate the replicated scheme formula locally; no master round
+//!   trip on the hot path at all (completions are lock-free ledger
+//!   marks).
+//!
+//! Workers are *simulated*: W worker identities driven round-robin with
+//! all W requests pipelined into the masters each round (the leased
+//! paths), or multiplexed over one OS thread per core (the self path).
+//! Shard logic sees only the logical clock (`now = 0`); wall time is
+//! measured here, outside the shard crate. Results land in
+//! `results/BENCH_shard.json`.
+//!
+//! ```sh
+//! cargo run --release -p lss-bench --bin grant_ceiling
+//! ```
+
+use std::sync::{mpsc, Arc};
+use std::time::Instant;
+
+use lss_bench::experiments::{quick_mode, write_artifact};
+use lss_core::chunk::Chunk;
+use lss_core::fault::LeaseConfig;
+use lss_core::master::Assignment;
+use lss_core::SchemeKind;
+use lss_shard::{GrantMode, ShardSet, ShardSetConfig};
+use lss_trace::SharedSink;
+
+const SCHEME: SchemeKind = SchemeKind::Css { k: 8 };
+
+/// Leases must never expire mid-bench: the logical clock stays at 0.
+const FOREVER: LeaseConfig = LeaseConfig {
+    base_ticks: u64::MAX / 4,
+    default_ticks_per_iter: 0,
+    grace: 2.0,
+    dead_after_ticks: u64::MAX / 4,
+    max_speculations: 1,
+};
+
+struct Point {
+    mode: &'static str,
+    shards: usize,
+    workers: usize,
+    grants: u64,
+    wall_s: f64,
+}
+
+impl Point {
+    fn rate(&self) -> f64 {
+        self.grants as f64 / self.wall_s
+    }
+}
+
+fn bench_threads(workers: usize) -> usize {
+    let cores = std::thread::available_parallelism().map_or(4, |n| n.get());
+    cores.min(workers)
+}
+
+/// Dispenses the whole loop through `ShardSet::grant` behind one
+/// master thread per shard: each grant pays the request/reply round
+/// trip of the real protocol, with the previous chunk's completion
+/// piggy-backed on the next request. All active workers keep a request
+/// pipelined, so the masters are never idle — this measures their
+/// serving ceiling, not the workers' pace.
+fn run_leased(total: u64, shards: usize, workers: usize) -> Point {
+    let set = Arc::new(
+        ShardSet::new(
+            ShardSetConfig {
+                scheme: SCHEME,
+                total,
+                shards,
+                workers,
+                mode: GrantMode::Sharded,
+                lease: FOREVER,
+            },
+            SharedSink::disabled(),
+        )
+        .expect("benchable config"),
+    );
+    let started = Instant::now();
+    let mut reply_txs = Vec::with_capacity(workers);
+    let mut reply_rxs = Vec::with_capacity(workers);
+    for _ in 0..workers {
+        let (tx, rx) = mpsc::channel::<Assignment>();
+        reply_txs.push(tx);
+        reply_rxs.push(rx);
+    }
+    let mut shard_txs = Vec::with_capacity(shards);
+    let mut masters = Vec::with_capacity(shards);
+    for _ in 0..shards {
+        let (tx, rx) = mpsc::channel::<(usize, Option<Chunk>)>();
+        shard_txs.push(tx);
+        let set = Arc::clone(&set);
+        let replies = reply_txs.clone();
+        masters.push(std::thread::spawn(move || {
+            for (w, done) in rx {
+                if let Some(chunk) = done {
+                    set.complete(w, chunk, 0);
+                }
+                let reply = set.grant(w, 1, 0);
+                replies[w].send(reply).expect("worker vanished");
+            }
+        }));
+    }
+    let mut pending: Vec<Option<Chunk>> = vec![None; workers];
+    let mut active = vec![true; workers];
+    let mut remaining = workers;
+    let mut grants = 0u64;
+    while remaining > 0 {
+        for w in 0..workers {
+            if active[w] {
+                shard_txs[set.home(w)].send((w, pending[w].take())).expect("master vanished");
+            }
+        }
+        for w in 0..workers {
+            if !active[w] {
+                continue;
+            }
+            match reply_rxs[w].recv().expect("master vanished") {
+                Assignment::Chunk(chunk) => {
+                    grants += 1;
+                    pending[w] = Some(chunk);
+                }
+                Assignment::Retry => {}
+                Assignment::Finished => {
+                    active[w] = false;
+                    remaining -= 1;
+                }
+            }
+        }
+    }
+    drop(shard_txs);
+    for m in masters {
+        m.join().expect("master thread");
+    }
+    let wall_s = started.elapsed().as_secs_f64();
+    assert!(set.all_complete(), "leased bench lost chunks");
+    Point {
+        mode: if shards == 1 { "single" } else { "sharded" },
+        shards,
+        workers,
+        grants,
+        wall_s,
+    }
+}
+
+/// Dispenses the whole loop through worker-local self-calculation:
+/// one fetch-add per chunk, formula evaluated on the claiming thread,
+/// completion a lock-free ledger mark.
+fn run_self(total: u64, shards: usize, workers: usize) -> Point {
+    let set = Arc::new(
+        ShardSet::new(
+            ShardSetConfig {
+                scheme: SCHEME,
+                total,
+                shards,
+                workers,
+                mode: GrantMode::SelfSched,
+                lease: FOREVER,
+            },
+            SharedSink::disabled(),
+        )
+        .expect("benchable config"),
+    );
+    let threads = bench_threads(workers);
+    let started = Instant::now();
+    let handles: Vec<_> = (0..threads)
+        .map(|t| {
+            let set = Arc::clone(&set);
+            std::thread::spawn(move || {
+                let mut mine: Vec<_> = (0..workers)
+                    .filter(|w| w % threads == t)
+                    .map(|w| (set.self_worker(w), false))
+                    .collect();
+                let mut grants = 0u64;
+                while !mine.iter().all(|(_, d)| *d) {
+                    for (sw, done) in mine.iter_mut() {
+                        if *done {
+                            continue;
+                        }
+                        match sw.next_chunk(0) {
+                            Some((_, _, chunk)) => {
+                                grants += 1;
+                                sw.complete(chunk, 0);
+                            }
+                            None => *done = true,
+                        }
+                    }
+                }
+                grants
+            })
+        })
+        .collect();
+    let grants: u64 = handles.into_iter().map(|h| h.join().expect("bench thread")).sum();
+    let wall_s = started.elapsed().as_secs_f64();
+    assert!(set.all_complete(), "self-sched bench lost chunks");
+    Point { mode: "self", shards, workers, grants, wall_s }
+}
+
+fn main() {
+    let quick = quick_mode();
+    let total: u64 = if quick { 160_000 } else { 3_200_000 };
+    let worker_counts: &[usize] = if quick { &[8, 64] } else { &[8, 64, 1024] };
+    let shard_counts: &[usize] = if quick { &[1, 4] } else { &[1, 4, 16] };
+
+    let mut points = Vec::new();
+    println!(
+        "{:>8} {:>7} {:>8} {:>10} {:>9} {:>14}",
+        "mode", "shards", "workers", "grants", "wall(s)", "grants/s"
+    );
+    for &workers in worker_counts {
+        for &shards in shard_counts {
+            for leased in [true, false] {
+                let p = if leased {
+                    run_leased(total, shards, workers)
+                } else {
+                    run_self(total, shards, workers)
+                };
+                println!(
+                    "{:>8} {:>7} {:>8} {:>10} {:>9.3} {:>14.0}",
+                    p.mode,
+                    p.shards,
+                    p.workers,
+                    p.grants,
+                    p.wall_s,
+                    p.rate()
+                );
+                points.push(p);
+            }
+        }
+    }
+
+    // The acceptance ratio: best self-calculated rate vs the single
+    // master, both at the largest simulated worker count.
+    let max_w = *worker_counts.last().expect("non-empty sweep");
+    let single = points
+        .iter()
+        .find(|p| p.mode == "single" && p.workers == max_w)
+        .expect("single-master point")
+        .rate();
+    let best_self = points
+        .iter()
+        .filter(|p| p.mode == "self" && p.workers == max_w)
+        .map(Point::rate)
+        .fold(0.0f64, f64::max);
+    let ratio = best_self / single;
+    println!(
+        "\nself-calculated vs single master at {max_w} workers: {best_self:.0} / {single:.0} = {ratio:.1}x"
+    );
+
+    let mut json = String::from("{\n");
+    json.push_str("  \"bench\": \"grant_ceiling\",\n");
+    json.push_str("  \"scheme\": \"css:8\",\n");
+    json.push_str(&format!("  \"iterations\": {total},\n"));
+    json.push_str(&format!("  \"chunks\": {},\n", total / 8));
+    json.push_str(&format!("  \"quick\": {quick},\n"));
+    json.push_str(&format!("  \"max_workers\": {max_w},\n"));
+    json.push_str(&format!("  \"selfsched_vs_single_at_max_workers\": {ratio:.2},\n"));
+    json.push_str("  \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"mode\": \"{}\", \"shards\": {}, \"workers\": {}, \"grants\": {}, \
+             \"wall_s\": {:.4}, \"grants_per_sec\": {:.0}}}{}\n",
+            p.mode,
+            p.shards,
+            p.workers,
+            p.grants,
+            p.wall_s,
+            p.rate(),
+            if i + 1 < points.len() { "," } else { "" },
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    write_artifact("BENCH_shard.json", json.as_bytes());
+}

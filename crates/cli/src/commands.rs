@@ -14,7 +14,8 @@ use lss_runtime::transport::tcp::{tcp_listen_on, TcpWorker};
 use lss_runtime::worker::{run_worker, WorkerConfig};
 use lss_scenario::{run_sweep, validate_sweep_json, Scenario, SweepSpec};
 use lss_sim::{
-    simulate, simulate_traced, simulate_tree, ClusterSpec, LoadTrace, SimConfig, TreeSimConfig,
+    simulate, simulate_sharded, simulate_traced, simulate_tree, ClusterSpec, LoadTrace,
+    ShardSimConfig, SimConfig, TreeSimConfig,
 };
 use lss_workloads::{Mandelbrot, MandelbrotParams, SampledWorkload, UniformLoop, Workload};
 
@@ -29,9 +30,13 @@ USAGE:
       Print the chunk sequence a scheme dispenses.
   lss simulate <scheme> [--width W] [--height H] [--sf S] [--fast F]
       [--slow S] [--nondedicated] [--seed N] [--scenario FILE]
+      [--shards N [--self-sched]]
       Simulate a Mandelbrot run on the paper's cluster model, or — with
       --scenario — on a declarative .scn cluster (see scenarios/): node
       groups, speed distributions, load traces, churn and net faults.
+      --shards N switches to the sharded-master grant model (N
+      work-stealing grant servers); --self-sched additionally lets
+      workers self-calculate fresh chunks from the replicated formula.
       (`lss sim` is an alias.)
   lss sweep --scenarios a.scn,b.scn --schemes s1,s2 [--iters-per-pe N]
       [--cost C] [--threads T] [--seed S] [--out FILE] [--md FILE]
@@ -234,7 +239,16 @@ pub fn cmd_simulate(args: &Args) -> Result<String, ArgError> {
         .first()
         .ok_or_else(|| ArgError("simulate: missing <scheme>".into()))?;
     if let Some(path) = args.get("scenario") {
+        if args.has("shards") {
+            return Err(ArgError(
+                "--shards conflicts with --scenario (the sharded model has no scenario knobs yet)"
+                    .into(),
+            ));
+        }
         return simulate_scenario(args, scheme_name, path);
+    }
+    if args.has("shards") {
+        return simulate_shards(args, scheme_name);
     }
     let fast: usize = args.get_or("fast", 3)?;
     let slow: usize = args.get_or("slow", 5)?;
@@ -265,6 +279,65 @@ pub fn cmd_simulate(args: &Args) -> Result<String, ArgError> {
         }
     };
     Ok(render_report(&report, workload.len(), workload.total_cost()))
+}
+
+/// `lss simulate <scheme> --shards N [--self-sched]`: the sharded-
+/// master grant model of `lss-shard`, isolating the grant ceiling
+/// (N work-stealing grant servers, optional worker-side chunk
+/// self-calculation from the replicated formula).
+fn simulate_shards(args: &Args, scheme_name: &str) -> Result<String, ArgError> {
+    if args.has("nondedicated") {
+        return Err(ArgError(
+            "--nondedicated is not modeled by --shards (use per-worker slowdowns via --fast/--slow)"
+                .into(),
+        ));
+    }
+    let shards: usize = args.get_or("shards", 1)?;
+    if shards == 0 {
+        return Err(ArgError("--shards must be at least 1".into()));
+    }
+    let scheme = parse_scheme(scheme_name)?;
+    let fast: usize = args.get_or("fast", 3)?;
+    let slow: usize = args.get_or("slow", 5)?;
+    let p = fast + slow;
+    if p == 0 {
+        return Err(ArgError("need at least one slave".into()));
+    }
+    let workload = workload_from(args, 1200, 600)?;
+    if scheme.formula_sizer(workload.len(), p as u32).is_none() {
+        return Err(ArgError(format!(
+            "{} has no closed-form chunk formula; sharding needs one (pick a replicable scheme)",
+            scheme.name()
+        )));
+    }
+    let mut cfg = ShardSimConfig::new(scheme, shards, p);
+    // Paper mix: UltraSPARC 10 vs UltraSPARC 1 is roughly 1 : 1/3.
+    for s in cfg.slowdowns.iter_mut().skip(fast) {
+        *s = 3;
+    }
+    if args.has("self-sched") {
+        cfg = cfg.self_sched();
+    }
+    let report = simulate_sharded(&cfg, &workload);
+    let mut out = format!(
+        "scheme {} | {} iterations | {p} workers ({fast} fast + {slow} slow) | {shards} shard{} | {} grant path\n",
+        scheme.name(),
+        workload.len(),
+        if shards == 1 { "" } else { "s" },
+        if args.has("self-sched") { "self-calculated" } else { "leased" },
+    );
+    out.push_str(&format!(
+        "T_p = {:.3} s | shard requests = {} | self-grants = {} | steals = {} | duplicates = {}\n",
+        report.makespan_ns as f64 / 1e9,
+        report.requests,
+        report.self_grants,
+        report.steals,
+        report.duplicates,
+    ));
+    for (i, n) in report.per_worker_iters.iter().enumerate() {
+        out.push_str(&format!("PE{}: {n} iterations\n", i + 1));
+    }
+    Ok(out)
 }
 
 /// `lss simulate <scheme> --scenario FILE`: the cluster, load traces
@@ -1222,6 +1295,34 @@ mod tests {
                 .unwrap();
         assert!(out.contains("T_p ="), "{out}");
         assert!(out.contains("DTSS"));
+    }
+
+    #[test]
+    fn simulate_sharded_grant_model() {
+        let out = cmd_simulate(&args(
+            "simulate fss --width 200 --height 100 --fast 2 --slow 2 --shards 4",
+        ))
+        .unwrap();
+        assert!(out.contains("4 shards"), "{out}");
+        assert!(out.contains("leased grant path"));
+        assert!(out.contains("T_p ="));
+
+        let selfs = cmd_simulate(&args(
+            "simulate gss --width 200 --height 100 --fast 2 --slow 2 --shards 2 --self-sched",
+        ))
+        .unwrap();
+        assert!(selfs.contains("self-calculated grant path"), "{selfs}");
+        assert!(!selfs.contains("self-grants = 0"), "{selfs}");
+    }
+
+    #[test]
+    fn simulate_sharded_rejects_bad_combos() {
+        assert!(cmd_simulate(&args("simulate wf --shards 2")).is_err());
+        assert!(cmd_simulate(&args("simulate fss --shards 0")).is_err());
+        assert!(cmd_simulate(&args("simulate fss --shards 2 --nondedicated")).is_err());
+        assert!(
+            cmd_simulate(&args("simulate fss --shards 2 --scenario scenarios/x.scn")).is_err()
+        );
     }
 
     #[test]

@@ -68,6 +68,7 @@ impl Chunk {
 /// implement their formulas verbatim.
 #[derive(Debug, Clone)]
 pub struct ChunkDispenser<S> {
+    base: u64,
     next_start: u64,
     remaining: u64,
     sizer: S,
@@ -76,11 +77,33 @@ pub struct ChunkDispenser<S> {
 impl<S: ChunkSizer> ChunkDispenser<S> {
     /// Creates a dispenser for a loop of `total` iterations.
     pub fn new(total: u64, sizer: S) -> Self {
+        Self::with_base(0, total, sizer)
+    }
+
+    /// Creates a dispenser whose chunks cover `[base, base + total)`
+    /// instead of `[0, total)` — the sub-range a master *shard* owns,
+    /// or a replica replaying a dispenser from an arbitrary offset.
+    /// The sizer still sees `remaining` counts relative to `total`, so
+    /// the chunk-size sequence is identical to a base-0 dispenser over
+    /// the same `total`; only the start indices are shifted.
+    pub fn with_base(base: u64, total: u64, sizer: S) -> Self {
         ChunkDispenser {
-            next_start: 0,
+            base,
+            next_start: base,
             remaining: total,
             sizer,
         }
+    }
+
+    /// First iteration index this dispenser covers (0 unless built via
+    /// [`ChunkDispenser::with_base`]).
+    pub fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// Iterations dispensed so far (`total - remaining`).
+    pub fn iterations_dispensed(&self) -> u64 {
+        self.next_start - self.base
     }
 
     /// Iterations not yet handed out.
@@ -197,6 +220,31 @@ mod tests {
         let chunks: Vec<Chunk> = d.collect();
         validate_tiling(&chunks, 103).unwrap();
         assert_eq!(chunks.last().unwrap().len, 3); // tail clamped
+    }
+
+    #[test]
+    fn with_base_shifts_starts_but_not_sizes() {
+        let zero: Vec<Chunk> = ChunkDispenser::new(103, ChunkSelfSched::new(10)).collect();
+        let mut d = ChunkDispenser::with_base(500, 103, ChunkSelfSched::new(10));
+        assert_eq!(d.base(), 500);
+        assert_eq!(d.iterations_dispensed(), 0);
+        let shifted: Vec<Chunk> = d.by_ref().collect();
+        assert_eq!(shifted.len(), zero.len());
+        for (z, s) in zero.iter().zip(&shifted) {
+            assert_eq!(s.len, z.len);
+            assert_eq!(s.start, z.start + 500);
+        }
+        assert_eq!(shifted.first().unwrap().start, 500);
+        assert_eq!(shifted.last().unwrap().end(), 603);
+    }
+
+    #[test]
+    fn with_base_accounts_dispensed_iterations() {
+        let mut d = ChunkDispenser::with_base(40, 20, ChunkSelfSched::new(8));
+        assert_eq!(d.next_chunk(), Some(Chunk::new(40, 8)));
+        assert_eq!(d.iterations_dispensed(), 8);
+        assert_eq!(d.remaining(), 12);
+        assert_eq!(d.base(), 40);
     }
 
     #[test]

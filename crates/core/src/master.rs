@@ -119,6 +119,41 @@ impl SchemeKind {
         )
     }
 
+    /// Instantiates the scheme's *pure formula* as a boxed sizer over a
+    /// loop of `total` iterations and `p` workers — the replicable part
+    /// a master shard or a self-scheduling worker can evaluate locally
+    /// (the certifier proves replicas match the production dispenser).
+    /// Returns `None` for schemes whose chunk sizes depend on *who* is
+    /// asking (WF's static weights, the distributed schemes' ACP
+    /// state), which cannot be replicated as one shared formula.
+    pub fn formula_sizer(&self, total: u64, p: u32) -> Option<Box<dyn ChunkSizer + Send>> {
+        Some(match *self {
+            SchemeKind::Static => Box::new(StaticSched::new(total, p)),
+            SchemeKind::Pure => Box::new(PureSelfSched::new()),
+            SchemeKind::Css { k } => Box::new(ChunkSelfSched::new(k)),
+            SchemeKind::Gss { min_chunk } => {
+                Box::new(GuidedSelfSched::with_min_chunk(p, min_chunk))
+            }
+            SchemeKind::Tss => Box::new(TrapezoidSelfSched::new(total, p)),
+            SchemeKind::TssWith { first, last } => {
+                Box::new(TrapezoidSelfSched::with_bounds(total, first, last))
+            }
+            SchemeKind::Fss => Box::new(FactoringSelfSched::new(p)),
+            SchemeKind::FssAdaptive { mean_cost, std_dev } => {
+                Box::new(FactoringSelfSched::adaptive(p, mean_cost, std_dev))
+            }
+            SchemeKind::Fiss { sigma } => {
+                Box::new(FixedIncreaseSelfSched::new(total, p, sigma))
+            }
+            SchemeKind::Tfss => Box::new(TrapezoidFactoringSelfSched::new(total, p)),
+            SchemeKind::Wf
+            | SchemeKind::Dtss
+            | SchemeKind::Dfss
+            | SchemeKind::Dfiss { .. }
+            | SchemeKind::Dtfss => return None,
+        })
+    }
+
     /// The adaptive simple schemes evaluated in Table 2 of the paper.
     /// FISS uses `σ = 3` — the stage count of the paper's own Table 1
     /// example (`50 83 117` with `X = 5`).
@@ -249,27 +284,10 @@ impl Master {
         assert!(p >= 1, "need at least one worker");
         assert_eq!(p, cfg.initial_q.len(), "powers/initial_q length mismatch");
         let p32 = u32::try_from(p).expect("worker count fits u32");
-        let inner = match cfg.scheme {
-            SchemeKind::Static => Self::simple(cfg.total, StaticSched::new(cfg.total, p32)),
-            SchemeKind::Pure => Self::simple(cfg.total, PureSelfSched::new()),
-            SchemeKind::Css { k } => Self::simple(cfg.total, ChunkSelfSched::new(k)),
-            SchemeKind::Gss { min_chunk } => {
-                Self::simple(cfg.total, GuidedSelfSched::with_min_chunk(p32, min_chunk))
-            }
-            SchemeKind::Tss => Self::simple(cfg.total, TrapezoidSelfSched::new(cfg.total, p32)),
-            SchemeKind::TssWith { first, last } => {
-                Self::simple(cfg.total, TrapezoidSelfSched::with_bounds(cfg.total, first, last))
-            }
-            SchemeKind::Fss => Self::simple(cfg.total, FactoringSelfSched::new(p32)),
-            SchemeKind::FssAdaptive { mean_cost, std_dev } => {
-                Self::simple(cfg.total, FactoringSelfSched::adaptive(p32, mean_cost, std_dev))
-            }
-            SchemeKind::Fiss { sigma } => {
-                Self::simple(cfg.total, FixedIncreaseSelfSched::new(cfg.total, p32, sigma))
-            }
-            SchemeKind::Tfss => {
-                Self::simple(cfg.total, TrapezoidFactoringSelfSched::new(cfg.total, p32))
-            }
+        let inner = if let Some(sizer) = cfg.scheme.formula_sizer(cfg.total, p32) {
+            MasterInner::Simple(ChunkDispenser::new(cfg.total, sizer))
+        } else {
+            match cfg.scheme {
             SchemeKind::Wf => {
                 let weights: Vec<f64> = cfg.powers.iter().map(|v| v.get()).collect();
                 MasterInner::Wf(WeightedFactoring::new(cfg.total, &weights))
@@ -302,6 +320,10 @@ impl Master {
                 &cfg.initial_q,
                 cfg.acp,
             )),
+            // Every non-WF, non-distributed scheme has a formula sizer
+            // and was handled above.
+            _ => unreachable!("scheme without formula sizer must be WF or distributed"),
+            }
         };
         Master {
             inner,
@@ -343,10 +365,6 @@ impl Master {
                     .on_chunk(chunk.start, chunk.len),
             );
         }
-    }
-
-    fn simple<S: ChunkSizer + Send + 'static>(total: u64, sizer: S) -> MasterInner {
-        MasterInner::Simple(ChunkDispenser::new(total, Box::new(sizer)))
     }
 
     /// How many plans the distributed scheduler has made (0 for

@@ -28,6 +28,10 @@
 //!   optional *real* background hog running matrix additions.
 //! - [`harness`] — one-call end-to-end runs returning the same
 //!   [`lss_metrics::RunReport`] the simulator produces.
+//! - [`shard`] — the same loop on a *sharded* master
+//!   ([`lss_shard::ShardSet`]): N work-stealing master shards, or
+//!   lock-free worker-side chunk self-calculation, over either
+//!   transport.
 
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
@@ -38,6 +42,7 @@ pub mod harness;
 pub mod load;
 pub mod master;
 pub mod protocol;
+pub mod shard;
 pub mod transport;
 pub mod worker;
 
@@ -47,5 +52,8 @@ pub use load::LoadState;
 pub use master::{
     run_master, run_resilient_master, run_resilient_master_traced, MasterOutcome,
     ResilientOutcome,
+};
+pub use shard::{
+    run_sharded_loop, run_sharded_master, ShardHarnessConfig, ShardHarnessOutcome,
 };
 pub use transport::TransportError;

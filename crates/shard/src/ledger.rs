@@ -1,0 +1,163 @@
+//! Global first-result-wins completion ledger.
+//!
+//! Every shard shares one [`CompletionLedger`] — a lock-free bitmap
+//! over `[0, total)` plus a completed-iteration counter. Keeping dedup
+//! *global* rather than per shard is what makes work-stealing safe: a
+//! chunk requeued by shard A, stolen by shard B and completed by one of
+//! B's workers still collides with a late retransmit of the original
+//! result, because both land on the same bits. `fetch_or` returns the
+//! previous word, so each bit is credited to exactly one reporter no
+//! matter how many shards or speculative copies race on it —
+//! exactly-once accounting without any lock on the completion path.
+
+use lss_core::Chunk;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Lock-free completion bitmap + counter shared by all shards.
+#[derive(Debug)]
+pub struct CompletionLedger {
+    words: Vec<AtomicU64>,
+    completed: AtomicU64,
+    total: u64,
+}
+
+impl CompletionLedger {
+    /// A ledger for a loop of `total` iterations, all incomplete.
+    pub fn new(total: u64) -> Self {
+        let words = (0..total.div_ceil(64)).map(|_| AtomicU64::new(0)).collect();
+        CompletionLedger { words, completed: AtomicU64::new(0), total }
+    }
+
+    /// Total number of loop iterations covered.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// Marks every iteration of `chunk` complete, returning how many of
+    /// them were *newly* completed by this report. A return value below
+    /// `chunk.len` means part of the chunk had already been reported
+    /// (speculative copy, retransmit, or a post-steal duplicate).
+    ///
+    /// # Panics
+    /// If the chunk reaches past `total` — shards never grant outside
+    /// the loop, so an out-of-range report is a protocol violation.
+    pub fn mark(&self, chunk: Chunk) -> u64 {
+        assert!(chunk.end() <= self.total, "chunk {chunk:?} outside [0, {})", self.total);
+        let mut newly = 0u64;
+        let mut i = chunk.start;
+        while i < chunk.end() {
+            let word = (i / 64) as usize;
+            let bit = i % 64;
+            // Bits of this chunk that land in the current 64-bit word.
+            let span = (64 - bit).min(chunk.end() - i);
+            let mask = if span == 64 { u64::MAX } else { ((1u64 << span) - 1) << bit };
+            let old = self.words[word].fetch_or(mask, Ordering::AcqRel);
+            newly += u64::from((mask & !old).count_ones());
+            i += span;
+        }
+        if newly > 0 {
+            self.completed.fetch_add(newly, Ordering::AcqRel);
+        }
+        newly
+    }
+
+    /// Whether iteration `i` has been completed.
+    pub fn iteration_completed(&self, i: u64) -> bool {
+        if i >= self.total {
+            return false;
+        }
+        let word = self.words[(i / 64) as usize].load(Ordering::Acquire);
+        word & (1u64 << (i % 64)) != 0
+    }
+
+    /// Whether *every* iteration of `chunk` has been completed — the
+    /// retransmit/requeue filter: fully-complete chunks are never
+    /// granted again.
+    pub fn chunk_fully_complete(&self, chunk: Chunk) -> bool {
+        let mut i = chunk.start;
+        while i < chunk.end().min(self.total) {
+            let word = (i / 64) as usize;
+            let bit = i % 64;
+            let span = (64 - bit).min(chunk.end() - i);
+            let mask = if span == 64 { u64::MAX } else { ((1u64 << span) - 1) << bit };
+            if self.words[word].load(Ordering::Acquire) & mask != mask {
+                return false;
+            }
+            i += span;
+        }
+        true
+    }
+
+    /// Iterations completed so far.
+    pub fn completed(&self) -> u64 {
+        self.completed.load(Ordering::Acquire)
+    }
+
+    /// Whether the whole loop is complete.
+    pub fn all_complete(&self) -> bool {
+        self.completed() == self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn marks_count_each_bit_once() {
+        let l = CompletionLedger::new(200);
+        assert_eq!(l.mark(Chunk::new(0, 100)), 100);
+        assert_eq!(l.mark(Chunk::new(50, 100)), 50, "overlap deduped");
+        assert_eq!(l.mark(Chunk::new(0, 150)), 0);
+        assert_eq!(l.completed(), 150);
+        assert!(!l.all_complete());
+        assert_eq!(l.mark(Chunk::new(150, 50)), 50);
+        assert!(l.all_complete());
+    }
+
+    #[test]
+    fn word_spanning_chunks_are_exact() {
+        let l = CompletionLedger::new(300);
+        // Straddles word boundaries at 64, 128, 192.
+        assert_eq!(l.mark(Chunk::new(60, 140)), 140);
+        assert!(l.iteration_completed(60));
+        assert!(l.iteration_completed(199));
+        assert!(!l.iteration_completed(59));
+        assert!(!l.iteration_completed(200));
+        assert!(l.chunk_fully_complete(Chunk::new(60, 140)));
+        assert!(!l.chunk_fully_complete(Chunk::new(59, 2)));
+    }
+
+    #[test]
+    fn empty_loop_is_vacuously_complete() {
+        let l = CompletionLedger::new(0);
+        assert!(l.all_complete());
+        assert_eq!(l.completed(), 0);
+    }
+
+    #[test]
+    fn concurrent_overlapping_marks_never_double_count() {
+        use std::sync::Arc;
+        let l = Arc::new(CompletionLedger::new(10_000));
+        let handles: Vec<_> = (0..8)
+            .map(|t| {
+                let l = Arc::clone(&l);
+                std::thread::spawn(move || {
+                    let mut newly = 0u64;
+                    // Every thread marks overlapping windows over the
+                    // whole range; offsets differ per thread.
+                    let mut start = (t * 137) % 512;
+                    while start < 10_000 {
+                        let len = 64.min(10_000 - start);
+                        newly += l.mark(Chunk::new(start, len));
+                        start += 47;
+                    }
+                    newly
+                })
+            })
+            .collect();
+        let sum: u64 = handles.into_iter().map(|h| h.join().expect("no panic")).sum();
+        // Each of the bits set was credited to exactly one marker.
+        assert_eq!(sum, l.completed());
+    }
+}

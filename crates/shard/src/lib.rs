@@ -1,0 +1,42 @@
+//! Sharded masters with certified distributed chunk self-calculation.
+//!
+//! The paper's master–slave protocol — and every layer built on it —
+//! serializes all chunk grants through one dispenser. This crate
+//! removes that ceiling with two composable mechanisms (Eleliemy &
+//! Ciorba, arXiv:2101.07050):
+//!
+//! 1. **Sharded masters** — [`ShardSet`] splits `[0, I)` into N
+//!    contiguous regions, each a [`Shard`] with its own scheme formula
+//!    and [`lss_core::LeaseTable`]. A drained shard steals half of the
+//!    largest remaining range from the fullest sibling, so the
+//!    partition stays exact no matter which workers show up (or die).
+//! 2. **Self-scheduled grants** — [`SelfWorker`] claims a chunk number
+//!    with one `fetch_add` and evaluates a [`FormulaReplica`] locally:
+//!    the hot path has no lock, no lease and no master round trip. The
+//!    replicas are provably identical to the production
+//!    [`lss_core::ChunkDispenser`] (including from arbitrary range
+//!    offsets — shard bases) via `lss verify --certify`.
+//!
+//! Both paths share one [`CompletionLedger`], a lock-free
+//! first-result-wins bitmap, so exactly-once iteration accounting
+//! holds across steals, speculation, retransmits and crash recovery.
+//! All recovery flows through the shards' lease tables: expired leases
+//! requeue, and drained-but-incomplete self-scheduled regions are
+//! reclaimed by replaying the formula (see [`ShardSet::poll`]).
+//!
+//! Time is an abstract `u64` tick supplied by callers (logical in the
+//! simulator, monotonic nanoseconds in the runtime); the crate never
+//! reads a clock — enforced by the `shard-no-wall-clock` lint rule.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ledger;
+pub mod replica;
+pub mod set;
+pub mod shard;
+
+pub use ledger::CompletionLedger;
+pub use replica::FormulaReplica;
+pub use set::{partition, GrantMode, SelfWorker, ShardError, ShardSet, ShardSetConfig};
+pub use shard::{Donation, Shard, ShardGrant, ShardStats};

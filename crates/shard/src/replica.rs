@@ -1,0 +1,195 @@
+//! Worker-local replicas of a shard's scheme formula.
+//!
+//! The self-scheduling grant path (arXiv:2101.07050) decouples chunk
+//! *calculation* from chunk *assignment*: workers claim a chunk number
+//! from a shared atomic counter and evaluate the scheme formula locally
+//! to learn which iterations that number maps to. For this to be sound
+//! every replica must produce exactly the chunk sequence the shard's
+//! own [`ChunkDispenser`] would — the certifier (`lss verify
+//! --certify`) proves this for every closed-form scheme, including from
+//! arbitrary range offsets (shard bases), not just from chunk 0.
+
+use lss_core::chunk::{Chunk, ChunkDispenser};
+use lss_core::master::SchemeKind;
+use lss_core::scheme::ChunkSizer;
+
+/// How one replica evaluates the formula.
+enum Engine {
+    /// General path: replay the shard's dispenser, skipping past the
+    /// chunks other workers claimed (cost proportional to the skip).
+    Walk(ChunkDispenser<Box<dyn ChunkSizer + Send>>),
+    /// Fixed-size schemes (CSS(k), SS, S): chunk number `i` covers
+    /// `[base + i·size, …)` by construction, so `chunk_at` is pure
+    /// arithmetic — random access, no walking. This is the hot path the
+    /// `grant_ceiling` bench measures; the certifier's `OFFSET(shard)`
+    /// certificate proves it equal to the dispenser chunk-for-chunk.
+    Fixed { base: u64, total: u64, size: u64 },
+}
+
+/// A deterministic local re-derivation of one shard's chunk sequence.
+///
+/// Covers the shard's range `[base, base + total)` and evaluates the
+/// formula on demand: [`FormulaReplica::chunk_at`] fast-forwards to the
+/// requested chunk number, skipping the chunks other workers claimed
+/// (O(1) for fixed-size schemes, a dispenser replay otherwise). Claims
+/// from one worker arrive in increasing order (its fetch-adds are
+/// monotone), so the replica never rewinds.
+pub struct FormulaReplica {
+    engine: Engine,
+    /// Chunks produced so far — the next produced chunk has this number.
+    produced: u64,
+}
+
+impl FormulaReplica {
+    /// A replica of `scheme` over `[base, base + total)` as scheduled
+    /// for `p` workers. `None` for schemes with no closed-form formula
+    /// (WF and the distributed ACP family need master-side state and
+    /// cannot be replicated).
+    pub fn new(scheme: SchemeKind, base: u64, total: u64, p: u32) -> Option<Self> {
+        let fixed_size = match scheme {
+            SchemeKind::Pure => Some(1),
+            SchemeKind::Css { k } => Some(k.max(1)),
+            // S hands each of the p workers one ceil(I/p) block.
+            SchemeKind::Static if total > 0 => Some(total.div_ceil(p.max(1) as u64)),
+            _ => None,
+        };
+        let engine = match fixed_size {
+            Some(size) => Engine::Fixed { base, total, size },
+            None => {
+                let sizer = scheme.formula_sizer(total, p)?;
+                Engine::Walk(ChunkDispenser::with_base(base, total, sizer))
+            }
+        };
+        // Fixed-size schemes never reach formula_sizer above: reject
+        // unsupported schemes the same way regardless of engine.
+        scheme.formula_sizer(total, p)?;
+        Some(FormulaReplica { engine, produced: 0 })
+    }
+
+    /// Chunk number the replica will produce next.
+    pub fn position(&self) -> u64 {
+        self.produced
+    }
+
+    /// Iterations the replica has not yet mapped to chunks.
+    pub fn remaining(&self) -> u64 {
+        match &self.engine {
+            Engine::Walk(d) => d.remaining(),
+            Engine::Fixed { total, size, .. } => {
+                total.saturating_sub(self.produced.saturating_mul(*size))
+            }
+        }
+    }
+
+    /// Advances the formula to chunk number `seq` (0-based within this
+    /// shard) and returns that chunk; `None` when the formula exhausts
+    /// first — `seq` is past the end of the shard's sequence.
+    ///
+    /// # Panics
+    /// If `seq` is below the current position: one worker's claims are
+    /// strictly increasing, so a rewind is a caller bug.
+    pub fn chunk_at(&mut self, seq: u64) -> Option<Chunk> {
+        assert!(seq >= self.produced, "replica rewound: seq {seq} < position {}", self.produced);
+        match &mut self.engine {
+            Engine::Walk(dispenser) => loop {
+                let chunk = dispenser.next_chunk()?;
+                self.produced += 1;
+                if self.produced - 1 == seq {
+                    return Some(chunk);
+                }
+                // A skipped chunk belongs to another worker's claim.
+            },
+            Engine::Fixed { base, total, size } => {
+                let off = seq.checked_mul(*size)?;
+                if off >= *total {
+                    return None;
+                }
+                self.produced = seq + 1;
+                Some(Chunk::new(*base + off, (*total - off).min(*size)))
+            }
+        }
+    }
+}
+
+impl std::fmt::Debug for FormulaReplica {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FormulaReplica")
+            .field("produced", &self.produced)
+            .field("remaining", &self.remaining())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn replica_reproduces_the_dispenser_sequence() {
+        let scheme = SchemeKind::Gss { min_chunk: 1 };
+        let mut reference = ChunkDispenser::new(
+            1000,
+            scheme.formula_sizer(1000, 4).expect("closed-form"),
+        );
+        let mut replica = FormulaReplica::new(scheme, 0, 1000, 4).expect("closed-form");
+        let mut seq = 0u64;
+        while let Some(want) = reference.next_chunk() {
+            assert_eq!(replica.chunk_at(seq), Some(want));
+            seq += 1;
+        }
+        assert_eq!(replica.chunk_at(seq), None, "exhausts with the reference");
+    }
+
+    #[test]
+    fn skipping_claims_matches_interleaved_workers() {
+        // Two replicas each claiming alternate chunk numbers must tile
+        // the range exactly like one dispenser producing all of them.
+        let scheme = SchemeKind::Tss;
+        let all: Vec<Chunk> = ChunkDispenser::new(
+            500,
+            scheme.formula_sizer(500, 3).expect("closed-form"),
+        )
+        .collect();
+        let mut even = FormulaReplica::new(scheme, 0, 500, 3).expect("closed-form");
+        let mut odd = FormulaReplica::new(scheme, 0, 500, 3).expect("closed-form");
+        for (i, want) in all.iter().enumerate() {
+            let got = if i % 2 == 0 {
+                even.chunk_at(i as u64)
+            } else {
+                odd.chunk_at(i as u64)
+            };
+            assert_eq!(got, Some(*want));
+        }
+    }
+
+    #[test]
+    fn offset_replica_shifts_starts_only() {
+        let scheme = SchemeKind::Fss;
+        let mut zero = FormulaReplica::new(scheme, 0, 300, 4).expect("closed-form");
+        let mut off = FormulaReplica::new(scheme, 700, 300, 4).expect("closed-form");
+        for seq in 0.. {
+            match (zero.chunk_at(seq), off.chunk_at(seq)) {
+                (Some(a), Some(b)) => {
+                    assert_eq!(b.len, a.len);
+                    assert_eq!(b.start, a.start + 700);
+                }
+                (None, None) => break,
+                (a, b) => panic!("replicas diverged at seq {seq}: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn stateful_schemes_have_no_replica() {
+        assert!(FormulaReplica::new(SchemeKind::Wf, 0, 100, 2).is_none());
+        assert!(FormulaReplica::new(SchemeKind::Dtss, 0, 100, 2).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "replica rewound")]
+    fn rewinding_a_replica_panics() {
+        let mut r = FormulaReplica::new(SchemeKind::Css { k: 10 }, 0, 100, 2).expect("css");
+        r.chunk_at(3);
+        r.chunk_at(1);
+    }
+}

@@ -1,0 +1,1028 @@
+//! The sharded master: N shards, one ledger, two grant paths.
+//!
+//! [`ShardSet`] replaces the single grant point of
+//! [`lss_core::Master`] with:
+//!
+//! - **N master shards** ([`crate::Shard`]), each owning a contiguous
+//!   slice of `[0, I)` with its own lease table. A worker's *home*
+//!   shard is `worker % N`; when the home drains, the set steals half
+//!   of the largest remaining range from the fullest sibling (or a
+//!   recovered chunk from its requeue pool), so no iteration is ever
+//!   stranded on a shard whose workers all died.
+//! - **A self-scheduling grant path** ([`SelfWorker`]): workers claim a
+//!   chunk *number* with one `fetch_add` on the shard's shared counter
+//!   and evaluate the replicated scheme formula locally
+//!   ([`crate::FormulaReplica`]) to learn which iterations that number
+//!   maps to — no lock, no lease, no master round trip on the hot
+//!   path. The atomic counter stands in for MPI passive-target RMA
+//!   (arXiv:1901.02773); the formula replicas are certified identical
+//!   to the production dispenser by `lss verify --certify`.
+//!
+//! Crash recovery always flows through the leased path: expired leases
+//! requeue into their shard; in self-scheduling mode a drained region
+//! that stays incomplete past a lease window is *reclaimed* — the set
+//! replays the formula, requeues the chunks nobody reported, and hands
+//! them out under real leases. First-result-wins dedup is global (one
+//! [`CompletionLedger`]), so duplicates from steals, speculation and
+//! reclaim all collapse to exactly-once iteration accounting.
+//!
+//! Time is an abstract `u64` tick passed in by callers; this crate
+//! never reads a clock (`shard-no-wall-clock` lint).
+
+use crate::ledger::CompletionLedger;
+use crate::replica::FormulaReplica;
+use crate::shard::{Shard, ShardGrant, ShardStats};
+use lss_core::chunk::{Chunk, ChunkDispenser};
+use lss_core::fault::{ExpiredLease, LeaseConfig};
+use lss_core::master::{Assignment, CompletionOutcome, SchemeKind};
+use lss_trace::{EventKind, SharedSink, TraceEvent};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard};
+
+/// How fresh chunks reach workers.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum GrantMode {
+    /// Workers request chunks from their home shard (locked path);
+    /// shards dispense via the scheme formula and steal when drained.
+    Sharded,
+    /// Workers self-calculate chunks from shared counters + formula
+    /// replicas; shards only serve recovery (requeues, speculation).
+    SelfSched,
+}
+
+/// Why a [`ShardSet`] could not be built.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShardError {
+    /// The scheme has no closed-form formula to replicate (WF and the
+    /// distributed ACP family keep master-side state).
+    UnsupportedScheme(&'static str),
+    /// `shards == 0` or `workers == 0`.
+    EmptyCluster,
+}
+
+impl std::fmt::Display for ShardError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardError::UnsupportedScheme(name) => {
+                write!(f, "scheme {name} has no replicable formula (needs master-side state)")
+            }
+            ShardError::EmptyCluster => write!(f, "need at least one shard and one worker"),
+        }
+    }
+}
+
+impl std::error::Error for ShardError {}
+
+/// Configuration for a [`ShardSet`].
+#[derive(Debug, Clone)]
+pub struct ShardSetConfig {
+    /// The scheduling scheme (must have a closed-form formula).
+    pub scheme: SchemeKind,
+    /// Total loop iterations `I`.
+    pub total: u64,
+    /// Number of master shards `N`.
+    pub shards: usize,
+    /// Number of worker slots `p` (global ids `0..p`).
+    pub workers: usize,
+    /// Which grant path serves fresh chunks.
+    pub mode: GrantMode,
+    /// Lease policy for every shard's table.
+    pub lease: LeaseConfig,
+}
+
+impl ShardSetConfig {
+    /// Sharded (locked) grants with runtime-default leases.
+    pub fn sharded(scheme: SchemeKind, total: u64, shards: usize, workers: usize) -> Self {
+        ShardSetConfig {
+            scheme,
+            total,
+            shards,
+            workers,
+            mode: GrantMode::Sharded,
+            lease: LeaseConfig::RUNTIME_DEFAULT,
+        }
+    }
+
+    /// Self-scheduling grants with runtime-default leases.
+    pub fn self_sched(scheme: SchemeKind, total: u64, shards: usize, workers: usize) -> Self {
+        ShardSetConfig { mode: GrantMode::SelfSched, ..Self::sharded(scheme, total, shards, workers) }
+    }
+
+    /// Replaces the lease policy (tests tighten deadlines).
+    pub fn with_lease(mut self, lease: LeaseConfig) -> Self {
+        self.lease = lease;
+        self
+    }
+}
+
+/// Contiguous partition of `[0, total)` into `n` ranges whose sizes
+/// differ by at most one: `(base, len)` of partition `i`.
+pub fn partition(total: u64, n: usize, i: usize) -> (u64, u64) {
+    debug_assert!(i < n);
+    let n = n as u128;
+    let start = ((i as u128 * total as u128) / n) as u64;
+    let end = (((i as u128 + 1) * total as u128) / n) as u64;
+    (start, end - start)
+}
+
+/// N master shards over one loop — see module docs.
+pub struct ShardSet {
+    shards: Vec<Mutex<Shard>>,
+    ledger: CompletionLedger,
+    scheme: SchemeKind,
+    mode: GrantMode,
+    workers: usize,
+    lease: LeaseConfig,
+    /// `(base, len)` each shard was born with.
+    partitions: Vec<(u64, u64)>,
+    /// Self-sched chunk-number counters, one per shard.
+    counters: Vec<AtomicU64>,
+    /// Length of each shard's formula chunk sequence (self-sched mode;
+    /// 0 in sharded mode).
+    region_chunks: Vec<u64>,
+    /// First tick a drained-but-incomplete region was observed
+    /// (`u64::MAX` = not yet); reclaim fires one lease floor later.
+    drain_seen: Vec<AtomicU64>,
+    /// Whether a region's reclaim already ran.
+    reclaimed: Vec<AtomicBool>,
+    /// Lock-free estimate of each shard's stealable iterations,
+    /// refreshed after every locked operation — victims are picked
+    /// without touching any mutex.
+    work_hint: Vec<AtomicU64>,
+    /// Iterations served per worker (all grant paths).
+    served: Vec<AtomicU64>,
+    steals: AtomicU64,
+    /// Self-calculated claims per worker. Per-worker (not one global
+    /// counter) so the lock-free hot path never shares a cache line
+    /// across claimants; [`ShardSet::self_grants`] sums on read.
+    self_grants: Vec<AtomicU64>,
+    trace: SharedSink,
+}
+
+impl ShardSet {
+    /// Builds a shard set; emits a `ShardJoined` membership event per
+    /// worker when `trace` is recording.
+    pub fn new(cfg: ShardSetConfig, trace: SharedSink) -> Result<Self, ShardError> {
+        if cfg.shards == 0 || cfg.workers == 0 {
+            return Err(ShardError::EmptyCluster);
+        }
+        if cfg.scheme.formula_sizer(cfg.total, 1).is_none() {
+            return Err(ShardError::UnsupportedScheme(cfg.scheme.name()));
+        }
+        let n = cfg.shards;
+        let mut shards = Vec::with_capacity(n);
+        let mut partitions = Vec::with_capacity(n);
+        let mut region_chunks = Vec::with_capacity(n);
+        let mut work_hint = Vec::with_capacity(n);
+        for i in 0..n {
+            let (base, len) = partition(cfg.total, n, i);
+            partitions.push((base, len));
+            let homed = (((cfg.workers + n - 1 - i) / n).max(1)) as u32;
+            let (sizer, chunks) = match cfg.mode {
+                GrantMode::Sharded => {
+                    (cfg.scheme.formula_sizer(len, homed), 0)
+                }
+                GrantMode::SelfSched => {
+                    // Fresh chunks come from the counter + replica; the
+                    // shard itself serves only recovery. Count the
+                    // formula's chunks once so drain detection and
+                    // reclaim know where the sequence ends.
+                    let sizer = cfg
+                        .scheme
+                        .formula_sizer(len, cfg.workers as u32)
+                        .expect("checked above");
+                    (None, ChunkDispenser::with_base(base, len, sizer).count() as u64)
+                }
+            };
+            shards.push(Mutex::new(Shard::new(i, base, len, sizer, cfg.workers, cfg.lease)));
+            region_chunks.push(chunks);
+            work_hint.push(AtomicU64::new(match cfg.mode {
+                GrantMode::Sharded => len,
+                GrantMode::SelfSched => 0,
+            }));
+        }
+        if trace.enabled() {
+            for w in 0..cfg.workers {
+                trace.record(
+                    TraceEvent::new(0, EventKind::ShardJoined { shard: w % n }).on_worker(w),
+                );
+            }
+        }
+        Ok(ShardSet {
+            shards,
+            ledger: CompletionLedger::new(cfg.total),
+            scheme: cfg.scheme,
+            mode: cfg.mode,
+            workers: cfg.workers,
+            lease: cfg.lease,
+            partitions,
+            counters: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            region_chunks,
+            drain_seen: (0..n).map(|_| AtomicU64::new(u64::MAX)).collect(),
+            reclaimed: (0..n).map(|_| AtomicBool::new(false)).collect(),
+            work_hint,
+            served: (0..cfg.workers).map(|_| AtomicU64::new(0)).collect(),
+            steals: AtomicU64::new(0),
+            self_grants: (0..cfg.workers).map(|_| AtomicU64::new(0)).collect(),
+            trace,
+        })
+    }
+
+    /// The worker's home shard index.
+    pub fn home(&self, worker: usize) -> usize {
+        worker % self.shards.len()
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Number of worker slots.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// The scheme being scheduled.
+    pub fn scheme(&self) -> SchemeKind {
+        self.scheme
+    }
+
+    /// The active grant mode.
+    pub fn mode(&self) -> GrantMode {
+        self.mode
+    }
+
+    /// Total loop iterations.
+    pub fn total(&self) -> u64 {
+        self.ledger.total()
+    }
+
+    /// `(base, len)` ranges the shards were born with.
+    pub fn partitions(&self) -> &[(u64, u64)] {
+        &self.partitions
+    }
+
+    /// The lease policy every shard runs.
+    pub fn lease_config(&self) -> &LeaseConfig {
+        &self.lease
+    }
+
+    /// The shared completion ledger.
+    pub fn ledger(&self) -> &CompletionLedger {
+        &self.ledger
+    }
+
+    /// Whether every iteration has completed.
+    pub fn all_complete(&self) -> bool {
+        self.ledger.all_complete()
+    }
+
+    /// Iterations granted to `worker` across all paths.
+    pub fn iterations_served(&self, worker: usize) -> u64 {
+        self.served[worker].load(Ordering::Acquire)
+    }
+
+    /// Successful cross-shard steals so far.
+    pub fn steals(&self) -> u64 {
+        self.steals.load(Ordering::Acquire)
+    }
+
+    /// Self-calculated grants so far (summed across workers).
+    pub fn self_grants(&self) -> u64 {
+        self.self_grants.iter().map(|c| c.load(Ordering::Acquire)).sum()
+    }
+
+    /// Per-shard counter snapshots.
+    pub fn stats(&self) -> Vec<ShardStats> {
+        (0..self.shards.len()).map(|i| self.lock(i).stats()).collect()
+    }
+
+    /// Speculative grants across all shards.
+    pub fn speculative_grants(&self) -> u64 {
+        self.stats().iter().map(|s| s.speculated).sum()
+    }
+
+    fn lock(&self, i: usize) -> MutexGuard<'_, Shard> {
+        match self.shards[i].lock() {
+            Ok(g) => g,
+            Err(poisoned) => poisoned.into_inner(),
+        }
+    }
+
+    fn refresh_hint(&self, i: usize, shard: &Shard) {
+        self.work_hint[i].store(shard.stealable_iters(), Ordering::Release);
+    }
+
+    fn trace_granted(&self, now: u64, worker: usize, chunk: Chunk, grant: &ShardGrant) {
+        if !self.trace.enabled() {
+            return;
+        }
+        if matches!(grant, ShardGrant::Fresh(_)) {
+            self.trace
+                .record(TraceEvent::new(now, EventKind::Planned).on_chunk(chunk.start, chunk.len));
+        }
+        let (requeued, retransmit) = match grant {
+            ShardGrant::Requeued(_) => (true, false),
+            ShardGrant::Retransmit(_) => (false, true),
+            _ => (false, false),
+        };
+        self.trace.record(
+            TraceEvent::new(now, EventKind::Granted { speculative: false, requeued, retransmit })
+                .on_worker(worker)
+                .on_chunk(chunk.start, chunk.len),
+        );
+    }
+
+    /// One locked grant attempt against `worker`'s home shard.
+    fn try_local(&self, home: usize, worker: usize, q: u32, now: u64) -> Option<Chunk> {
+        let mut shard = self.lock(home);
+        let grant = shard.grant(worker, q, now, &self.ledger);
+        self.refresh_hint(home, &shard);
+        drop(shard);
+        match grant {
+            ShardGrant::Fresh(c) | ShardGrant::Requeued(c) => {
+                self.served[worker].fetch_add(c.len, Ordering::AcqRel);
+                self.trace_granted(now, worker, c, &grant);
+                Some(c)
+            }
+            ShardGrant::Retransmit(c) => {
+                self.trace_granted(now, worker, c, &grant);
+                Some(c)
+            }
+            ShardGrant::Empty => None,
+        }
+    }
+
+    /// Picks the fullest sibling by hint, without locking.
+    fn pick_victim(&self, thief: usize) -> Option<usize> {
+        let mut best = None;
+        let mut best_iters = 0u64;
+        for (i, hint) in self.work_hint.iter().enumerate() {
+            if i == thief {
+                continue;
+            }
+            let iters = hint.load(Ordering::Acquire);
+            if iters > best_iters {
+                best_iters = iters;
+                best = Some(i);
+            }
+        }
+        best
+    }
+
+    /// Moves work from `victim` to `thief`. Locks the pair in ascending
+    /// index order, so concurrent steals cannot deadlock.
+    fn steal(&self, victim: usize, thief: usize, now: u64) -> bool {
+        debug_assert_ne!(victim, thief);
+        let (lo, hi) = (victim.min(thief), victim.max(thief));
+        let mut a = self.lock(lo);
+        let mut b = self.lock(hi);
+        let (v, t): (&mut Shard, &mut Shard) =
+            if lo == victim { (&mut a, &mut b) } else { (&mut b, &mut a) };
+        let moved = match v.donate(&self.ledger) {
+            Some(d) => {
+                t.receive(d);
+                true
+            }
+            None => false,
+        };
+        self.refresh_hint(victim, v);
+        self.refresh_hint(thief, t);
+        drop(b);
+        drop(a);
+        if moved {
+            self.steals.fetch_add(1, Ordering::AcqRel);
+            if self.trace.enabled() {
+                self.trace
+                    .record(TraceEvent::new(now, EventKind::ShardStole { from: victim, to: thief }));
+            }
+        }
+        moved
+    }
+
+    /// Serves a request on the locked path: home shard first, then
+    /// stealing, then (self-sched) reclaim of drained regions, then
+    /// speculation; `Finished` only when the ledger says every
+    /// iteration completed — exactly the single master's contract.
+    pub fn grant(&self, worker: usize, q: u32, now: u64) -> Assignment {
+        let home = self.home(worker);
+        // Local + steal, with one retry round after a reclaim pass.
+        for round in 0..2 {
+            if let Some(c) = self.try_local(home, worker, q, now) {
+                return Assignment::Chunk(c);
+            }
+            let mut attempts = 0;
+            while let Some(victim) = self.pick_victim(home) {
+                attempts += 1;
+                if self.steal(victim, home, now) {
+                    if let Some(c) = self.try_local(home, worker, q, now) {
+                        return Assignment::Chunk(c);
+                    }
+                }
+                if attempts >= self.shards.len() {
+                    break;
+                }
+            }
+            if round == 0
+                && self.mode == GrantMode::SelfSched
+                && self.reclaim_drained(now) > 0
+            {
+                continue;
+            }
+            break;
+        }
+        if self.all_complete() {
+            return Assignment::Finished;
+        }
+        // End-of-loop: speculate on the most overdue outstanding lease,
+        // starting with the home shard.
+        for step in 0..self.shards.len() {
+            let i = (home + step) % self.shards.len();
+            let mut shard = self.lock(i);
+            if let Some(c) = shard.speculate(worker, q, now) {
+                self.refresh_hint(i, &shard);
+                drop(shard);
+                if self.trace.enabled() {
+                    self.trace.record(
+                        TraceEvent::new(
+                            now,
+                            EventKind::Granted {
+                                speculative: true,
+                                requeued: false,
+                                retransmit: false,
+                            },
+                        )
+                        .on_worker(worker)
+                        .on_chunk(c.start, c.len),
+                    );
+                }
+                return Assignment::Chunk(c);
+            }
+        }
+        Assignment::Retry
+    }
+
+    /// Records a completed chunk with global first-result-wins dedup,
+    /// releasing the matching lease wherever it lives (home shard
+    /// first; a speculative grant may sit on any sibling).
+    pub fn complete(&self, worker: usize, chunk: Chunk, now: u64) -> CompletionOutcome {
+        let newly = self.ledger.mark(chunk);
+        let duplicate = newly < chunk.len;
+        let home = self.home(worker);
+        let mut released = {
+            let mut shard = self.lock(home);
+            shard.leases_mut().heard_from(worker, now);
+            let hit = shard.complete(worker, chunk, now);
+            if duplicate {
+                shard.note_duplicate();
+            }
+            self.refresh_hint(home, &shard);
+            hit
+        };
+        if !released {
+            for i in 0..self.shards.len() {
+                if i == home {
+                    continue;
+                }
+                let mut shard = self.lock(i);
+                if shard.complete(worker, chunk, now) {
+                    released = true;
+                }
+                if released {
+                    break;
+                }
+            }
+        }
+        if duplicate && self.trace.enabled() {
+            self.trace.record(
+                TraceEvent::new(now, EventKind::Deduped)
+                    .on_worker(worker)
+                    .on_chunk(chunk.start, chunk.len),
+            );
+        }
+        CompletionOutcome { newly_completed: newly, duplicate }
+    }
+
+    /// Records a self-scheduled completion: ledger mark only, no lease
+    /// routing — the lock-free half of the hot path.
+    pub fn complete_self(&self, worker: usize, chunk: Chunk, now: u64) -> CompletionOutcome {
+        let newly = self.ledger.mark(chunk);
+        let duplicate = newly < chunk.len;
+        if duplicate && self.trace.enabled() {
+            self.trace.record(
+                TraceEvent::new(now, EventKind::Deduped)
+                    .on_worker(worker)
+                    .on_chunk(chunk.start, chunk.len),
+            );
+        }
+        CompletionOutcome { newly_completed: newly, duplicate }
+    }
+
+    /// Notes a heartbeat: refreshes liveness everywhere and extends the
+    /// worker's lease deadline wherever it holds one.
+    pub fn heartbeat(&self, worker: usize, now: u64) {
+        for i in 0..self.shards.len() {
+            self.lock(i).leases_mut().heartbeat(worker, now);
+        }
+    }
+
+    /// Handles an observed disconnect: revokes the worker's leases
+    /// (requeueing incomplete chunks into their shard) and marks it
+    /// dead until heard from again. Returns the requeued chunks.
+    pub fn worker_disconnected(&self, worker: usize, now: u64) -> Vec<Chunk> {
+        let mut requeued = Vec::new();
+        for i in 0..self.shards.len() {
+            let mut shard = self.lock(i);
+            if let Some(c) = shard.disconnected(worker, &self.ledger) {
+                if !self.ledger.chunk_fully_complete(c) {
+                    requeued.push(c);
+                }
+            }
+            self.refresh_hint(i, &shard);
+        }
+        if self.trace.enabled() {
+            for c in &requeued {
+                self.trace.record(
+                    TraceEvent::new(now, EventKind::Requeued)
+                        .on_worker(worker)
+                        .on_chunk(c.start, c.len),
+                );
+            }
+        }
+        requeued
+    }
+
+    /// Notes a reconnect: the worker is alive again in every shard.
+    pub fn worker_reconnected(&self, worker: usize, now: u64) {
+        for i in 0..self.shards.len() {
+            self.lock(i).leases_mut().heard_from(worker, now);
+        }
+    }
+
+    /// Whether the home shard has declared `worker` dead.
+    pub fn worker_is_dead(&self, worker: usize) -> bool {
+        self.lock(self.home(worker)).leases().is_dead(worker)
+    }
+
+    /// The earliest lease deadline across all shards — the sharded
+    /// master's next wake-up time.
+    pub fn next_deadline(&self) -> Option<u64> {
+        (0..self.shards.len())
+            .filter_map(|i| self.lock(i).leases().next_deadline())
+            .min()
+    }
+
+    /// Expires overdue leases in every shard (requeueing incomplete
+    /// chunks) and, in self-sched mode, reclaims drained-but-incomplete
+    /// regions. Returns every lapsed lease for fault logging.
+    pub fn poll(&self, now: u64) -> Vec<ExpiredLease> {
+        let mut all = Vec::new();
+        for i in 0..self.shards.len() {
+            let mut shard = self.lock(i);
+            let expired = shard.poll(now, &self.ledger);
+            self.refresh_hint(i, &shard);
+            drop(shard);
+            if self.trace.enabled() {
+                for e in &expired {
+                    let c = e.lease.chunk;
+                    self.trace.record(
+                        TraceEvent::new(now, EventKind::Lapsed)
+                            .on_worker(e.lease.worker)
+                            .on_chunk(c.start, c.len),
+                    );
+                    if e.holder_dead {
+                        self.trace.record(
+                            TraceEvent::new(now, EventKind::WorkerDead).on_worker(e.lease.worker),
+                        );
+                    }
+                    if !self.ledger.chunk_fully_complete(c) {
+                        self.trace.record(
+                            TraceEvent::new(now, EventKind::Requeued)
+                                .on_worker(e.lease.worker)
+                                .on_chunk(c.start, c.len),
+                        );
+                    }
+                }
+            }
+            all.extend(expired);
+        }
+        if self.mode == GrantMode::SelfSched {
+            self.reclaim_drained(now);
+        }
+        all
+    }
+
+    /// Self-sched crash recovery: a region whose counter has passed the
+    /// end of its formula (every chunk *claimed*) but whose iterations
+    /// are still incomplete one lease floor after first being observed
+    /// drained gets its formula replayed; chunks nobody reported are
+    /// requeued into the region's shard and re-granted under real
+    /// leases. Runs at most once per region. Returns requeued chunks.
+    fn reclaim_drained(&self, now: u64) -> u64 {
+        let mut requeued = 0u64;
+        for i in 0..self.shards.len() {
+            if self.region_chunks[i] == 0 || self.reclaimed[i].load(Ordering::Acquire) {
+                continue;
+            }
+            if self.counters[i].load(Ordering::Acquire) < self.region_chunks[i] {
+                continue;
+            }
+            let (base, len) = self.partitions[i];
+            if self.ledger.chunk_fully_complete(Chunk::new(base, len)) {
+                self.reclaimed[i].store(true, Ordering::Release);
+                continue;
+            }
+            // First sighting starts the clock; reclaim one lease floor
+            // later, giving in-flight results time to arrive.
+            let stamp = match self.drain_seen[i].compare_exchange(
+                u64::MAX,
+                now,
+                Ordering::AcqRel,
+                Ordering::Acquire,
+            ) {
+                Ok(_) => now,
+                Err(prev) => prev,
+            };
+            if now < stamp.saturating_add(self.lease.base_ticks) {
+                continue;
+            }
+            if self.reclaimed[i].swap(true, Ordering::AcqRel) {
+                continue;
+            }
+            let mut replica = FormulaReplica::new(self.scheme, base, len, self.workers as u32)
+                .expect("constructor verified the scheme");
+            let mut shard = self.lock(i);
+            for seq in 0..self.region_chunks[i] {
+                let chunk = replica.chunk_at(seq).expect("seq below counted length");
+                if !self.ledger.chunk_fully_complete(chunk) {
+                    shard.requeue(chunk);
+                    requeued += 1;
+                    if self.trace.enabled() {
+                        self.trace.record(
+                            TraceEvent::new(now, EventKind::Requeued)
+                                .on_chunk(chunk.start, chunk.len),
+                        );
+                    }
+                }
+            }
+            self.refresh_hint(i, &shard);
+        }
+        requeued
+    }
+
+    /// A self-scheduling handle for `worker`. Panics in sharded mode —
+    /// the counters only dispense fresh work when the shards do not.
+    pub fn self_worker(self: &Arc<Self>, worker: usize) -> SelfWorker {
+        assert!(
+            self.mode == GrantMode::SelfSched,
+            "self-scheduling handles require GrantMode::SelfSched"
+        );
+        assert!(worker < self.workers, "unknown worker {worker}");
+        let n = self.shards.len();
+        SelfWorker {
+            worker,
+            current: worker % n,
+            replicas: (0..n).map(|_| None).collect(),
+            exhausted: vec![false; n],
+            set: Arc::clone(self),
+        }
+    }
+}
+
+impl std::fmt::Debug for ShardSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardSet")
+            .field("shards", &self.shards.len())
+            .field("mode", &self.mode)
+            .field("total", &self.ledger.total())
+            .field("completed", &self.ledger.completed())
+            .finish()
+    }
+}
+
+/// A worker's lock-free self-scheduling handle: one `fetch_add` per
+/// chunk, formula evaluated locally. Starts on the worker's home
+/// shard's counter and roams to siblings as regions drain — the
+/// self-sched analogue of work-stealing, with no work moved at all
+/// (only the claim counter changes).
+pub struct SelfWorker {
+    worker: usize,
+    current: usize,
+    replicas: Vec<Option<FormulaReplica>>,
+    exhausted: Vec<bool>,
+    set: Arc<ShardSet>,
+}
+
+impl SelfWorker {
+    /// The worker slot this handle claims for.
+    pub fn worker(&self) -> usize {
+        self.worker
+    }
+
+    /// Claims the next chunk: `fetch_add` on the current shard's
+    /// counter, local formula evaluation, no locks. Returns the shard
+    /// index, the claimed chunk number and the chunk; `None` once every
+    /// region's formula is exhausted (recovered chunks then flow
+    /// through [`ShardSet::grant`]).
+    pub fn next_chunk(&mut self, now: u64) -> Option<(usize, u64, Chunk)> {
+        let n = self.set.shards.len();
+        for _ in 0..n {
+            let s = self.current;
+            if self.exhausted[s] {
+                self.current = (s + 1) % n;
+                continue;
+            }
+            let seq = self.set.counters[s].fetch_add(1, Ordering::AcqRel);
+            let replica = self.replicas[s].get_or_insert_with(|| {
+                let (base, len) = self.set.partitions[s];
+                FormulaReplica::new(self.set.scheme, base, len, self.set.workers as u32)
+                    .expect("constructor verified the scheme")
+            });
+            match replica.chunk_at(seq) {
+                Some(chunk) => {
+                    self.set.self_grants[self.worker].fetch_add(1, Ordering::Relaxed);
+                    self.set.served[self.worker].fetch_add(chunk.len, Ordering::Relaxed);
+                    if self.set.trace.enabled() {
+                        self.set.trace.record(
+                            TraceEvent::new(now, EventKind::Planned).on_chunk(chunk.start, chunk.len),
+                        );
+                        self.set.trace.record(
+                            TraceEvent::new(now, EventKind::SelfGranted { seq })
+                                .on_worker(self.worker)
+                                .on_chunk(chunk.start, chunk.len),
+                        );
+                        self.set.trace.record(
+                            TraceEvent::new(
+                                now,
+                                EventKind::Granted {
+                                    speculative: false,
+                                    requeued: false,
+                                    retransmit: false,
+                                },
+                            )
+                            .on_worker(self.worker)
+                            .on_chunk(chunk.start, chunk.len),
+                        );
+                    }
+                    return Some((s, seq, chunk));
+                }
+                None => {
+                    self.exhausted[s] = true;
+                    self.current = (s + 1) % n;
+                }
+            }
+        }
+        None
+    }
+
+    /// Reports a self-scheduled chunk complete (ledger mark only).
+    pub fn complete(&self, chunk: Chunk, now: u64) -> CompletionOutcome {
+        self.set.complete_self(self.worker, chunk, now)
+    }
+}
+
+impl std::fmt::Debug for SelfWorker {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SelfWorker")
+            .field("worker", &self.worker)
+            .field("current", &self.current)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lss_core::chunk::validate_tiling;
+
+    const TIGHT: LeaseConfig = LeaseConfig {
+        base_ticks: 100,
+        default_ticks_per_iter: 0,
+        grace: 2.0,
+        dead_after_ticks: 50,
+        max_speculations: 1,
+    };
+
+    fn drain_locked(set: &ShardSet, workers: usize) -> Vec<Chunk> {
+        let mut got = Vec::new();
+        let mut now = 0u64;
+        let mut finished = vec![false; workers];
+        while finished.iter().any(|f| !f) {
+            for (w, done) in finished.iter_mut().enumerate() {
+                if *done {
+                    continue;
+                }
+                now += 1;
+                match set.grant(w, 1, now) {
+                    Assignment::Chunk(c) => {
+                        got.push(c);
+                        set.complete(w, c, now + 1);
+                    }
+                    Assignment::Finished => *done = true,
+                    Assignment::Retry => {}
+                }
+            }
+        }
+        got
+    }
+
+    #[test]
+    fn partition_is_exact_and_contiguous() {
+        for total in [0u64, 1, 7, 64, 1000, 12_345] {
+            for n in [1usize, 2, 3, 4, 16] {
+                let mut cursor = 0;
+                let mut sum = 0;
+                for i in 0..n {
+                    let (base, len) = partition(total, n, i);
+                    assert_eq!(base, cursor, "contiguous at {total}/{n}/{i}");
+                    cursor = base + len;
+                    sum += len;
+                }
+                assert_eq!(sum, total);
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_grants_tile_the_loop() {
+        for shards in [1usize, 3, 4] {
+            let cfg = ShardSetConfig::sharded(SchemeKind::Gss { min_chunk: 1 }, 1000, shards, 6)
+                .with_lease(TIGHT);
+            let set = ShardSet::new(cfg, SharedSink::disabled()).expect("valid");
+            let mut got = drain_locked(&set, 6);
+            got.sort_by_key(|c| c.start);
+            validate_tiling(&got, 1000).expect("exact partition");
+            assert!(set.all_complete());
+        }
+    }
+
+    #[test]
+    fn stealing_rescues_a_shard_with_no_requesters() {
+        // 4 shards, but only worker 0 (home shard 0) ever asks: every
+        // other shard's range must arrive via steals.
+        let cfg =
+            ShardSetConfig::sharded(SchemeKind::Css { k: 25 }, 800, 4, 4).with_lease(TIGHT);
+        let set = ShardSet::new(cfg, SharedSink::disabled()).expect("valid");
+        let mut got = Vec::new();
+        let mut now = 0;
+        loop {
+            now += 1;
+            match set.grant(0, 1, now) {
+                Assignment::Chunk(c) => {
+                    got.push(c);
+                    set.complete(0, c, now);
+                }
+                Assignment::Finished => break,
+                Assignment::Retry => panic!("single healthy worker must never be told to retry"),
+            }
+        }
+        got.sort_by_key(|c| c.start);
+        validate_tiling(&got, 800).expect("exact partition despite silent shards");
+        assert!(set.steals() > 0, "shards 1..3 must have been robbed");
+    }
+
+    #[test]
+    fn expired_lease_requeues_and_another_worker_finishes() {
+        let cfg = ShardSetConfig::sharded(SchemeKind::Css { k: 50 }, 100, 2, 2).with_lease(TIGHT);
+        let set = ShardSet::new(cfg, SharedSink::disabled()).expect("valid");
+        let Assignment::Chunk(dead_chunk) = set.grant(0, 1, 0) else { panic!() };
+        // Worker 0 vanishes; its lease expires and is requeued.
+        let expired = set.poll(500);
+        assert_eq!(expired.len(), 1);
+        assert!(expired[0].holder_dead);
+        // Worker 1 drains everything, including the recovered chunk.
+        let mut got = vec![];
+        let mut now = 501;
+        loop {
+            now += 1;
+            match set.grant(1, 1, now) {
+                Assignment::Chunk(c) => {
+                    got.push(c);
+                    set.complete(1, c, now);
+                }
+                Assignment::Finished => break,
+                Assignment::Retry => {}
+            }
+        }
+        assert!(got.contains(&dead_chunk), "recovered chunk reissued");
+        assert!(set.all_complete());
+    }
+
+    #[test]
+    fn retransmitted_results_are_deduped_across_steals() {
+        let cfg = ShardSetConfig::sharded(SchemeKind::Css { k: 10 }, 40, 2, 2).with_lease(TIGHT);
+        let set = ShardSet::new(cfg, SharedSink::disabled()).expect("valid");
+        let Assignment::Chunk(c) = set.grant(0, 1, 0) else { panic!() };
+        let first = set.complete(0, c, 1);
+        assert_eq!(first.newly_completed, c.len);
+        assert!(!first.duplicate);
+        let again = set.complete(0, c, 2);
+        assert_eq!(again.newly_completed, 0);
+        assert!(again.duplicate);
+    }
+
+    #[test]
+    fn self_sched_claims_tile_the_loop_across_threads() {
+        let cfg = ShardSetConfig::self_sched(SchemeKind::Fss, 10_000, 4, 8).with_lease(TIGHT);
+        let set = Arc::new(ShardSet::new(cfg, SharedSink::disabled()).expect("valid"));
+        let handles: Vec<_> = (0..8)
+            .map(|w| {
+                let mut sw = set.self_worker(w);
+                std::thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some((_, _, chunk)) = sw.next_chunk(0) {
+                        sw.complete(chunk, 0);
+                        got.push(chunk);
+                    }
+                    got
+                })
+            })
+            .collect();
+        let mut all: Vec<Chunk> =
+            handles.into_iter().flat_map(|h| h.join().expect("no panic")).collect();
+        all.sort_by_key(|c| c.start);
+        validate_tiling(&all, 10_000).expect("claims partition the loop exactly");
+        assert!(set.all_complete());
+        assert_eq!(set.self_grants(), all.len() as u64);
+        assert_eq!(set.steals(), 0, "self-sched moves claims, not work");
+    }
+
+    #[test]
+    fn self_sched_reclaims_chunks_lost_to_a_crash() {
+        let cfg = ShardSetConfig::self_sched(SchemeKind::Css { k: 10 }, 200, 2, 2)
+            .with_lease(TIGHT);
+        let set = Arc::new(ShardSet::new(cfg, SharedSink::disabled()).expect("valid"));
+        // Worker 0 claims two chunks and crashes without completing
+        // the second.
+        let mut w0 = set.self_worker(0);
+        let (_, _, done) = w0.next_chunk(0).expect("fresh work");
+        w0.complete(done, 1);
+        let (_, _, lost) = w0.next_chunk(1).expect("fresh work");
+        drop(w0);
+        // Worker 1 drains every remaining claim.
+        let mut w1 = set.self_worker(1);
+        while let Some((_, _, c)) = w1.next_chunk(2) {
+            w1.complete(c, 3);
+        }
+        assert!(!set.all_complete(), "the crashed claim is missing");
+        // The locked path reclaims it: first request observes the
+        // drained region, a lease floor later the replay requeues it.
+        let mut now = 10;
+        let mut recovered = Vec::new();
+        loop {
+            now += 1;
+            match set.grant(1, 1, now) {
+                Assignment::Chunk(c) => {
+                    recovered.push(c);
+                    set.complete(1, c, now);
+                }
+                Assignment::Finished => break,
+                Assignment::Retry => now += TIGHT.base_ticks,
+            }
+        }
+        assert_eq!(recovered, vec![lost]);
+        assert!(set.all_complete());
+    }
+
+    #[test]
+    fn rejects_unreplicable_schemes_and_empty_clusters() {
+        assert_eq!(
+            ShardSet::new(
+                ShardSetConfig::sharded(SchemeKind::Wf, 100, 2, 2),
+                SharedSink::disabled()
+            )
+            .err(),
+            Some(ShardError::UnsupportedScheme("WF"))
+        );
+        assert_eq!(
+            ShardSet::new(
+                ShardSetConfig::sharded(SchemeKind::Fss, 100, 0, 2),
+                SharedSink::disabled()
+            )
+            .err(),
+            Some(ShardError::EmptyCluster)
+        );
+    }
+
+    #[test]
+    fn membership_and_steal_events_are_traced() {
+        let sink = SharedSink::recording();
+        let cfg = ShardSetConfig::sharded(SchemeKind::Css { k: 25 }, 400, 4, 4).with_lease(TIGHT);
+        let set = ShardSet::new(cfg, sink.clone()).expect("valid");
+        let mut now = 0;
+        loop {
+            now += 1;
+            match set.grant(0, 1, now) {
+                Assignment::Chunk(c) => {
+                    set.complete(0, c, now);
+                }
+                Assignment::Finished => break,
+                Assignment::Retry => {}
+            }
+        }
+        assert!(sink.any(|e| matches!(e.kind, EventKind::ShardJoined { .. })));
+        assert!(sink.any(|e| matches!(e.kind, EventKind::ShardStole { .. })));
+        assert!(sink.any(|e| matches!(e.kind, EventKind::Granted { .. })));
+    }
+}

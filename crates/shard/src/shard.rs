@@ -1,0 +1,445 @@
+//! One master shard: a contiguous slice of the loop with its own
+//! lease table.
+//!
+//! A [`Shard`] owns everything the single [`lss_core::Master`] owned,
+//! restricted to its range: undispensed iteration ranges, a scheme
+//! sizer, a requeue pool for chunks recovered from expired leases, and
+//! a [`LeaseTable`] for its outstanding grants. It deliberately does
+//! *not* own a completion bitmap — dedup lives in the shared
+//! [`crate::CompletionLedger`] so first-result-wins survives steals
+//! (see the ledger docs). All methods here assume the caller holds the
+//! shard's mutex; the cross-shard choreography (stealing, routing
+//! completions for foreign leases) lives in [`crate::ShardSet`].
+//!
+//! Time is an abstract `u64` tick count passed in by the caller —
+//! logical ticks in the simulator and benches, monotonic nanoseconds in
+//! the runtime. This file never reads a clock (`shard-no-wall-clock`).
+
+use crate::ledger::CompletionLedger;
+use lss_core::chunk::Chunk;
+use lss_core::fault::{ExpiredLease, LeaseConfig, LeaseTable};
+use lss_core::scheme::ChunkSizer;
+use std::collections::VecDeque;
+
+/// What [`Shard::grant`] produced.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardGrant {
+    /// A chunk freshly dispensed from the shard's owned ranges.
+    Fresh(Chunk),
+    /// A recovered chunk from the requeue pool.
+    Requeued(Chunk),
+    /// The worker's outstanding chunk re-sent (lost-reply retransmit).
+    Retransmit(Chunk),
+    /// This shard has nothing to give — the caller should steal.
+    Empty,
+}
+
+/// Per-shard counters, surfaced by [`crate::ShardSet::stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ShardStats {
+    /// Shard index.
+    pub shard: usize,
+    /// First iteration of the range the shard was born with.
+    pub base: u64,
+    /// Length of the range the shard was born with.
+    pub len: u64,
+    /// Chunks granted (fresh + requeued + retransmits).
+    pub granted_chunks: u64,
+    /// Iterations granted across all fresh + requeued grants.
+    pub granted_iters: u64,
+    /// Speculative re-executions granted.
+    pub speculated: u64,
+    /// Completions that were wholly or partly duplicates.
+    pub duplicates: u64,
+    /// Ranges or requeued chunks stolen *from* this shard.
+    pub steals_out: u64,
+    /// Ranges or requeued chunks received by stealing.
+    pub steals_in: u64,
+}
+
+/// One master shard (see module docs). Callers hold its mutex.
+pub struct Shard {
+    id: usize,
+    /// Undispensed iteration ranges, front first. Born with one range
+    /// `[base, base + len)`; stealing appends/splits.
+    ranges: VecDeque<Chunk>,
+    /// Total iterations across `ranges` (denominator for the sizer).
+    owned: u64,
+    /// The scheme formula, `None` in self-scheduling mode where the
+    /// shared counter dispenses fresh chunks instead of the shard.
+    sizer: Option<Box<dyn ChunkSizer + Send>>,
+    /// Chunks recovered from expired/revoked leases, granted before
+    /// fresh ranges and stealable by siblings.
+    requeued: VecDeque<Chunk>,
+    /// Outstanding grants of this shard.
+    leases: LeaseTable,
+    stats: ShardStats,
+}
+
+impl Shard {
+    /// A shard owning `[base, base + len)` for `workers` global worker
+    /// slots. `sizer` is `None` in self-scheduling mode — the shard
+    /// then starts with no owned ranges and only ever serves requeues.
+    pub fn new(
+        id: usize,
+        base: u64,
+        len: u64,
+        sizer: Option<Box<dyn ChunkSizer + Send>>,
+        workers: usize,
+        lease: LeaseConfig,
+    ) -> Self {
+        let owns_fresh = sizer.is_some() && len > 0;
+        let mut ranges = VecDeque::new();
+        if owns_fresh {
+            ranges.push_back(Chunk::new(base, len));
+        }
+        Shard {
+            id,
+            owned: if owns_fresh { len } else { 0 },
+            ranges,
+            sizer,
+            requeued: VecDeque::new(),
+            leases: LeaseTable::new(workers, lease),
+            stats: ShardStats { shard: id, base, len, ..ShardStats::default() },
+        }
+    }
+
+    /// Shard index.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// Iterations in undispensed owned ranges plus the requeue pool —
+    /// the steal-victim metric.
+    pub fn stealable_iters(&self) -> u64 {
+        self.owned + self.requeued.iter().map(|c| c.len).sum::<u64>()
+    }
+
+    /// Counter snapshot.
+    pub fn stats(&self) -> ShardStats {
+        self.stats
+    }
+
+    /// Read access to the lease table (deadlines, liveness).
+    pub fn leases(&self) -> &LeaseTable {
+        &self.leases
+    }
+
+    /// Mutable access for liveness bookkeeping (`heard_from`,
+    /// `heartbeat`, `mark_dead`) driven by the owning set.
+    pub fn leases_mut(&mut self) -> &mut LeaseTable {
+        &mut self.leases
+    }
+
+    /// Serves `worker`'s request against this shard's local state:
+    /// retransmit of its outstanding lease first, then the requeue
+    /// pool, then a fresh chunk sized by the scheme formula. Returns
+    /// [`ShardGrant::Empty`] when the shard has nothing left locally —
+    /// the set then tries stealing and speculation.
+    pub fn grant(
+        &mut self,
+        worker: usize,
+        q: u32,
+        now: u64,
+        ledger: &CompletionLedger,
+    ) -> ShardGrant {
+        self.leases.heard_from(worker, now);
+        // Lost-reply retransmit: the worker still holds a lease here.
+        if let Some(held) = self.leases.held_by(worker) {
+            if ledger.chunk_fully_complete(held) {
+                // A speculative copy (or the lost reply's own result)
+                // already finished it; release and fall through.
+                self.leases.complete(worker, held, now);
+            } else {
+                self.leases.grant(worker, held, now, q, false);
+                self.stats.granted_chunks += 1;
+                return ShardGrant::Retransmit(held);
+            }
+        }
+        // Recovered chunks first, skipping any that completed since.
+        while let Some(chunk) = self.requeued.pop_front() {
+            if ledger.chunk_fully_complete(chunk) {
+                continue;
+            }
+            self.leases.grant(worker, chunk, now, q, false);
+            self.stats.granted_chunks += 1;
+            self.stats.granted_iters += chunk.len;
+            return ShardGrant::Requeued(chunk);
+        }
+        // Fresh chunk from the owned ranges: the scheme proposes a size
+        // against the *shard's* remaining total, clamped to the front
+        // range so chunks stay contiguous.
+        if self.owned > 0 {
+            let sizer = self.sizer.as_mut().expect("owned ranges imply a sizer");
+            let proposed = sizer.next_chunk_size(self.owned);
+            let front = self.ranges.front_mut().expect("owned > 0 implies a range");
+            let len = proposed.clamp(1, self.owned).min(front.len);
+            let chunk = Chunk::new(front.start, len);
+            front.start += len;
+            front.len -= len;
+            if front.len == 0 {
+                self.ranges.pop_front();
+            }
+            self.owned -= len;
+            self.leases.grant(worker, chunk, now, q, false);
+            self.stats.granted_chunks += 1;
+            self.stats.granted_iters += chunk.len;
+            return ShardGrant::Fresh(chunk);
+        }
+        ShardGrant::Empty
+    }
+
+    /// Offers `worker` a speculative copy of a suspect outstanding
+    /// lease (see [`LeaseTable::speculation_candidate`]).
+    pub fn speculate(&mut self, worker: usize, q: u32, now: u64) -> Option<Chunk> {
+        let chunk = self.leases.speculation_candidate(worker, now)?;
+        self.leases.grant(worker, chunk, now, q, true);
+        self.stats.granted_chunks += 1;
+        self.stats.speculated += 1;
+        Some(chunk)
+    }
+
+    /// Records `worker`'s completion of `chunk` against this shard's
+    /// lease (the ledger mark happens in the set, before routing).
+    /// Returns whether a matching lease was found here.
+    pub fn complete(&mut self, worker: usize, chunk: Chunk, now: u64) -> bool {
+        if self.leases.held_by(worker) == Some(chunk) {
+            self.leases.complete(worker, chunk, now);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Notes a duplicate completion (for stats).
+    pub fn note_duplicate(&mut self) {
+        self.stats.duplicates += 1;
+    }
+
+    /// Expires overdue leases at `now`, requeueing each incomplete
+    /// chunk locally. Returns what lapsed (for fault logs / tracing).
+    pub fn poll(&mut self, now: u64, ledger: &CompletionLedger) -> Vec<ExpiredLease> {
+        let expired = self.leases.expire(now);
+        for e in &expired {
+            if !ledger.chunk_fully_complete(e.lease.chunk) {
+                self.requeued.push_back(e.lease.chunk);
+            }
+        }
+        expired
+    }
+
+    /// Handles an observed disconnect of `worker`: revokes its lease
+    /// (requeueing the chunk if incomplete) and marks it dead. Returns
+    /// the revoked chunk, if any.
+    pub fn disconnected(&mut self, worker: usize, ledger: &CompletionLedger) -> Option<Chunk> {
+        self.leases.mark_dead(worker);
+        let chunk = self.leases.revoke(worker)?;
+        if !ledger.chunk_fully_complete(chunk) {
+            self.requeued.push_back(chunk);
+        }
+        Some(chunk)
+    }
+
+    /// Donates work to a stealing sibling: half of the largest owned
+    /// range (the paper-side steal), or a requeued chunk when no owned
+    /// range remains (the recovery-pool steal, and the only kind in
+    /// self-scheduling mode). `None` when there is nothing to take.
+    pub fn donate(&mut self, ledger: &CompletionLedger) -> Option<Donation> {
+        if self.owned > 0 {
+            let idx = self
+                .ranges
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, r)| r.len)
+                .map(|(i, _)| i)
+                .expect("owned > 0 implies a range");
+            let range = &mut self.ranges[idx];
+            let donated = if range.len >= 2 {
+                // Keep the front half (our cursor side), give the back.
+                let keep = range.len / 2;
+                let give = Chunk::new(range.start + keep, range.len - keep);
+                range.len = keep;
+                give
+            } else {
+                self.ranges.remove(idx).expect("index in bounds")
+            };
+            self.owned -= donated.len;
+            self.stats.steals_out += 1;
+            return Some(Donation::Range(donated));
+        }
+        while let Some(chunk) = self.requeued.pop_back() {
+            if ledger.chunk_fully_complete(chunk) {
+                continue;
+            }
+            self.stats.steals_out += 1;
+            return Some(Donation::Requeued(chunk));
+        }
+        None
+    }
+
+    /// Accepts a donation from a sibling.
+    pub fn receive(&mut self, d: Donation) {
+        self.stats.steals_in += 1;
+        match d {
+            Donation::Range(r) => {
+                self.owned += r.len;
+                self.ranges.push_back(r);
+            }
+            Donation::Requeued(c) => self.requeued.push_back(c),
+        }
+    }
+
+    /// Pushes a chunk into the requeue pool directly (self-scheduling
+    /// reclaim: iterations claimed by a crashed worker re-enter the
+    /// leased path here).
+    pub fn requeue(&mut self, chunk: Chunk) {
+        self.requeued.push_back(chunk);
+    }
+
+    /// Whether this shard has undispensed or recovered work on hand.
+    pub fn has_local_work(&self) -> bool {
+        self.owned > 0 || !self.requeued.is_empty()
+    }
+}
+
+impl std::fmt::Debug for Shard {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Shard")
+            .field("id", &self.id)
+            .field("owned", &self.owned)
+            .field("ranges", &self.ranges.len())
+            .field("requeued", &self.requeued.len())
+            .finish()
+    }
+}
+
+/// What a steal moved between shards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Donation {
+    /// An undispensed range (half of the victim's largest).
+    Range(Chunk),
+    /// A recovered chunk from the victim's requeue pool.
+    Requeued(Chunk),
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lss_core::master::SchemeKind;
+
+    const TIGHT: LeaseConfig = LeaseConfig {
+        base_ticks: 100,
+        default_ticks_per_iter: 0,
+        grace: 2.0,
+        dead_after_ticks: 50,
+        max_speculations: 1,
+    };
+
+    fn shard(base: u64, len: u64) -> Shard {
+        let sizer = SchemeKind::Css { k: 10 }.formula_sizer(len, 2).expect("css");
+        Shard::new(0, base, len, Some(sizer), 4, TIGHT)
+    }
+
+    #[test]
+    fn grants_tile_the_owned_range() {
+        let ledger = CompletionLedger::new(1000);
+        let mut s = shard(500, 35);
+        let mut seen = Vec::new();
+        loop {
+            match s.grant(0, 1, 0, &ledger) {
+                ShardGrant::Fresh(c) => {
+                    seen.push(c);
+                    s.complete(0, c, 1);
+                    ledger.mark(c);
+                }
+                ShardGrant::Empty => break,
+                g => panic!("unexpected grant {g:?}"),
+            }
+        }
+        assert_eq!(seen.iter().map(|c| c.len).sum::<u64>(), 35);
+        assert_eq!(seen.first().expect("nonempty").start, 500);
+        assert_eq!(seen.last().expect("nonempty").end(), 535);
+        assert!(!s.has_local_work());
+    }
+
+    #[test]
+    fn retransmit_resends_the_outstanding_chunk() {
+        let ledger = CompletionLedger::new(100);
+        let mut s = shard(0, 100);
+        let ShardGrant::Fresh(c) = s.grant(1, 1, 0, &ledger) else { panic!() };
+        // Reply lost; the worker asks again.
+        assert_eq!(s.grant(1, 1, 5, &ledger), ShardGrant::Retransmit(c));
+        // Once the chunk is complete (e.g. via a speculative copy), a
+        // further request gets fresh work instead.
+        ledger.mark(c);
+        let ShardGrant::Fresh(next) = s.grant(1, 1, 10, &ledger) else { panic!() };
+        assert_eq!(next.start, c.end());
+    }
+
+    #[test]
+    fn expiry_requeues_and_requeue_precedes_fresh() {
+        let ledger = CompletionLedger::new(100);
+        let mut s = shard(0, 100);
+        let ShardGrant::Fresh(c) = s.grant(0, 1, 0, &ledger) else { panic!() };
+        let expired = s.poll(500, &ledger);
+        assert_eq!(expired.len(), 1);
+        assert!(expired[0].holder_dead);
+        // Another worker now gets the recovered chunk before fresh work.
+        assert_eq!(s.grant(1, 1, 501, &ledger), ShardGrant::Requeued(c));
+    }
+
+    #[test]
+    fn donate_halves_the_largest_range() {
+        let ledger = CompletionLedger::new(1000);
+        let mut victim = shard(0, 100);
+        let Some(Donation::Range(gift)) = victim.donate(&ledger) else { panic!() };
+        assert_eq!(gift, Chunk::new(50, 50));
+        assert_eq!(victim.stealable_iters(), 50);
+        let mut thief = shard(900, 0);
+        assert!(!thief.has_local_work());
+        thief.receive(Donation::Range(gift));
+        assert_eq!(thief.stealable_iters(), 50);
+        let ShardGrant::Fresh(c) = thief.grant(2, 1, 0, &ledger) else { panic!() };
+        assert_eq!(c.start, 50, "stolen range is dispensed");
+    }
+
+    #[test]
+    fn donate_falls_back_to_requeued_chunks() {
+        let ledger = CompletionLedger::new(100);
+        let mut s = shard(0, 10);
+        let ShardGrant::Fresh(a) = s.grant(0, 1, 0, &ledger) else { panic!() };
+        s.poll(500, &ledger); // expire → requeue
+        while matches!(s.grant(3, 1, 501, &ledger), ShardGrant::Requeued(_) | ShardGrant::Fresh(_))
+        {
+            let held = s.leases().held_by(3).expect("just granted");
+            s.complete(3, held, 502);
+            if held != a {
+                ledger.mark(held);
+            }
+        }
+        // Nothing owned; requeue `a` again and steal it.
+        s.requeue(a);
+        assert_eq!(s.donate(&ledger), Some(Donation::Requeued(a)));
+        assert_eq!(s.donate(&ledger), None);
+    }
+
+    #[test]
+    fn speculation_is_gated_like_the_single_master() {
+        let ledger = CompletionLedger::new(100);
+        let mut s = shard(0, 100);
+        let ShardGrant::Fresh(c) = s.grant(0, 1, 0, &ledger) else { panic!() };
+        assert_eq!(s.speculate(1, 1, 10), None, "too young");
+        assert_eq!(s.speculate(1, 1, 60), Some(c));
+        assert_eq!(s.speculate(2, 1, 60), None, "cap of 1 reached");
+    }
+
+    #[test]
+    fn self_sched_shard_owns_nothing_fresh() {
+        let ledger = CompletionLedger::new(100);
+        let mut s = Shard::new(0, 0, 100, None, 2, TIGHT);
+        assert!(!s.has_local_work());
+        assert_eq!(s.grant(0, 1, 0, &ledger), ShardGrant::Empty);
+        s.requeue(Chunk::new(40, 5));
+        assert_eq!(s.grant(0, 1, 1, &ledger), ShardGrant::Requeued(Chunk::new(40, 5)));
+    }
+}

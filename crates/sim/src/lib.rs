@@ -18,7 +18,11 @@
 //!   for every [`lss_core::SchemeKind`], producing the per-PE
 //!   `T_com / T_wait / T_comp` and `T_p` of Tables 2–3;
 //! - [`tree_engine`] simulates tree scheduling's different protocol
-//!   (§ 5: predefined partners, periodic result pushes to the master).
+//!   (§ 5: predefined partners, periodic result pushes to the master);
+//! - [`sharded`] simulates the *sharded* master of [`lss_shard`]: N
+//!   work-stealing grant servers, or lock-free worker-side chunk
+//!   self-calculation, isolating the grant ceiling the single-master
+//!   engine cannot escape.
 //!
 //! Everything a scheduling decision can depend on — task costs, PE
 //! speeds, link costs, queue lengths, request interleaving — is
@@ -33,11 +37,13 @@
 pub mod cluster;
 pub mod engine;
 pub mod load;
+pub mod sharded;
 pub mod time;
 pub mod tree_engine;
 
 pub use cluster::{ClusterSpec, LinkSpec, MasterSpec, PeSpec};
 pub use engine::{simulate, simulate_traced, simulate_with_timeline, ChunkSpan, SimConfig};
 pub use load::LoadTrace;
+pub use sharded::{simulate_sharded, simulate_sharded_traced, ShardSimConfig, ShardSimReport};
 pub use time::SimTime;
 pub use tree_engine::{simulate_tree, TreeSimConfig, UnsupportedKnob};

@@ -1,0 +1,395 @@
+//! Logical-time simulation of the *sharded* master — the grant-path
+//! counterpart of [`crate::engine`].
+//!
+//! The classic engine models one master serializing every grant; this
+//! module models the two mechanisms that remove that ceiling
+//! ([`lss_shard::ShardSet`]):
+//!
+//! - **Sharded mode** — each of the N shards is its own grant server
+//!   with its own busy clock, so up to N grants are in service at once.
+//!   Work-stealing between shards happens inside the set exactly as in
+//!   the real runtime.
+//! - **Self-scheduling mode** — fresh chunks cost no master service at
+//!   all (one atomic claim + local formula evaluation, modeled as
+//!   [`ShardSimConfig::claim_ns`]); only recovered chunks fall back to
+//!   the leased grant path.
+//!
+//! The model is deliberately lean: per-worker clocks, per-shard service
+//! clocks, compute time = `cost_range × slowdown`, optional
+//! crash-after-N-chunks faults (recovery flows through the set's lease
+//! tables and formula-replay reclaim, driven by the simulated clock).
+//! Wire time and payload sizes are out of scope here — the classic
+//! engine already models them; this module isolates the *grant ceiling*
+//! so `lss sim --shards N` and the `grant_ceiling` bench can compare
+//! one master vs N shards vs self-calculation on equal footing.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
+
+use lss_core::fault::LeaseConfig;
+use lss_core::master::Assignment;
+use lss_core::SchemeKind;
+use lss_shard::{GrantMode, SelfWorker, ShardSet, ShardSetConfig};
+use lss_trace::{ClockDomain, SharedSink, Trace, TraceMeta};
+use lss_workloads::Workload;
+
+/// Configuration of one sharded simulation.
+#[derive(Debug, Clone)]
+pub struct ShardSimConfig {
+    /// Scheme under test (must have a closed-form formula).
+    pub scheme: SchemeKind,
+    /// Number of master shards.
+    pub shards: usize,
+    /// Fresh-chunk grant path.
+    pub mode: GrantMode,
+    /// Per-worker slowdown factors (length = cluster size; 1 = fast).
+    pub slowdowns: Vec<u64>,
+    /// Master service time per request, in simulated ns. Each shard is
+    /// an independent server with this cost.
+    pub service_ns: u64,
+    /// Cost of a lock-free self-claim (fetch-add + local formula), in
+    /// simulated ns.
+    pub claim_ns: u64,
+    /// Simulated ns per unit of workload cost on a slowdown-1 worker.
+    pub cost_ns: u64,
+    /// Back-off before re-requesting after a retry notice.
+    pub retry_ns: u64,
+    /// Per-worker crash points (`Some(n)` = vanish after n chunks);
+    /// empty = everyone healthy.
+    pub crash_after_chunks: Vec<Option<u64>>,
+    /// Lease policy for the shards (drives requeue/reclaim recovery).
+    pub lease: LeaseConfig,
+}
+
+impl ShardSimConfig {
+    /// A sharded-mode config over `workers` equal-speed workers.
+    pub fn new(scheme: SchemeKind, shards: usize, workers: usize) -> Self {
+        ShardSimConfig {
+            scheme,
+            shards,
+            mode: GrantMode::Sharded,
+            slowdowns: vec![1; workers],
+            service_ns: 10_000,    // 10 µs per master interaction
+            claim_ns: 100,         // one fetch-add + formula step
+            cost_ns: 100,
+            retry_ns: 50_000,
+            crash_after_chunks: Vec::new(),
+            lease: LeaseConfig {
+                base_ticks: 10_000_000, // 10 simulated ms
+                default_ticks_per_iter: 0,
+                grace: 4.0,
+                dead_after_ticks: 5_000_000,
+                max_speculations: 1,
+            },
+        }
+    }
+
+    /// Switches to the self-scheduling grant path.
+    pub fn self_sched(mut self) -> Self {
+        self.mode = GrantMode::SelfSched;
+        self
+    }
+}
+
+/// What a sharded simulation produced.
+#[derive(Debug, Clone)]
+pub struct ShardSimReport {
+    /// Simulated makespan (last worker terminates), ns.
+    pub makespan_ns: u64,
+    /// Requests that went through a shard's service queue.
+    pub requests: u64,
+    /// Chunks claimed over the lock-free path.
+    pub self_grants: u64,
+    /// Cross-shard steals.
+    pub steals: u64,
+    /// Iterations completed per worker.
+    pub per_worker_iters: Vec<u64>,
+    /// Workers that crashed (from the fault plan).
+    pub crashed: Vec<usize>,
+    /// Results dropped by first-result-wins dedup (speculation or
+    /// reclaim racing a slow worker).
+    pub duplicates: u64,
+}
+
+enum WorkerGears {
+    Locked,
+    SelfCalc(SelfWorker),
+}
+
+struct SimWorker {
+    gears: WorkerGears,
+    /// Chunk being computed, completed when the next event fires.
+    current: Option<lss_core::Chunk>,
+    chunks_done: u64,
+    iters: u64,
+    finished: bool,
+    crashed: bool,
+}
+
+/// Runs one sharded loop execution on the simulated clock.
+///
+/// # Panics
+/// On unsupported configurations (scheme without a closed-form
+/// formula, empty cluster) and if the simulation livelocks.
+pub fn simulate_sharded(cfg: &ShardSimConfig, workload: &dyn Workload) -> ShardSimReport {
+    simulate_sharded_sink(cfg, workload, SharedSink::disabled()).0
+}
+
+/// [`simulate_sharded`] with the chunk lifecycle, shard membership,
+/// steals and self-grants recorded on a logical-clock timeline.
+pub fn simulate_sharded_traced(
+    cfg: &ShardSimConfig,
+    workload: &dyn Workload,
+) -> (ShardSimReport, Trace) {
+    let sink = SharedSink::recording();
+    let (report, sink) = simulate_sharded_sink(cfg, workload, sink);
+    let trace = sink.take(TraceMeta {
+        scheme: cfg.scheme.name().to_string(),
+        workers: cfg.slowdowns.len(),
+        total_iterations: workload.len(),
+        clock: ClockDomain::Logical,
+    });
+    (report, trace)
+}
+
+fn simulate_sharded_sink(
+    cfg: &ShardSimConfig,
+    workload: &dyn Workload,
+    sink: SharedSink,
+) -> (ShardSimReport, SharedSink) {
+    let p = cfg.slowdowns.len();
+    assert!(p >= 1, "need at least one worker");
+    let set = Arc::new(
+        ShardSet::new(
+            ShardSetConfig {
+                scheme: cfg.scheme,
+                total: workload.len(),
+                shards: cfg.shards,
+                workers: p,
+                mode: cfg.mode,
+                lease: cfg.lease,
+            },
+            sink.clone(),
+        )
+        .expect("unsupported shard configuration"),
+    );
+
+    let mut workers: Vec<SimWorker> = (0..p)
+        .map(|w| SimWorker {
+            gears: match cfg.mode {
+                GrantMode::Sharded => WorkerGears::Locked,
+                GrantMode::SelfSched => WorkerGears::SelfCalc(set.self_worker(w)),
+            },
+            current: None,
+            chunks_done: 0,
+            iters: 0,
+            finished: false,
+            crashed: false,
+        })
+        .collect();
+    let crash_plan = |w: usize| cfg.crash_after_chunks.get(w).copied().flatten();
+
+    // One service clock per shard: that is the whole point.
+    let mut shard_busy = vec![0u64; cfg.shards];
+    let mut requests = 0u64;
+    let mut duplicates = 0u64;
+
+    let mut heap: BinaryHeap<Reverse<(u64, usize)>> = (0..p).map(|w| Reverse((0, w))).collect();
+    let mut makespan = 0u64;
+    // Livelock guard: generous bound on scheduling decisions.
+    let mut budget: u64 = (workload.len() + 10) * 20 + (p as u64 + cfg.shards as u64) * 10_000;
+
+    while let Some(Reverse((t, w))) = heap.pop() {
+        budget = budget.checked_sub(1).expect("sharded simulation livelocked");
+        // Lease audit rides on every event (the sim master never
+        // sleeps past an event anyway).
+        set.poll(t);
+        let worker = &mut workers[w];
+        if worker.finished || worker.crashed {
+            continue;
+        }
+        makespan = makespan.max(t);
+
+        // A planned crash strikes *mid-compute*: the worker vanishes
+        // still holding its current chunk, so recovery must flow
+        // through the shard's lease table (or the self-claim reclaim).
+        if worker.current.is_some() && crash_plan(w) == Some(worker.chunks_done) {
+            worker.crashed = true;
+            set.worker_disconnected(w, t);
+            continue;
+        }
+
+        // Report the chunk whose computation just ended.
+        if let Some(chunk) = worker.current.take() {
+            worker.chunks_done += 1;
+            worker.iters += chunk.len;
+            let out = set.complete(w, chunk, t);
+            if out.duplicate {
+                duplicates += 1;
+            }
+        }
+
+        // Hot path first: self-calculate while the formulas last.
+        if let WorkerGears::SelfCalc(sw) = &mut worker.gears {
+            if let Some((_, _, chunk)) = sw.next_chunk(t) {
+                let cost = workload.cost_range(chunk.start, chunk.len);
+                let done = t + cfg.claim_ns + cost * cfg.cost_ns * cfg.slowdowns[w];
+                worker.current = Some(chunk);
+                heap.push(Reverse((done, w)));
+                continue;
+            }
+        }
+
+        // Leased path: contend for the home shard's service clock.
+        requests += 1;
+        let s = set.home(w);
+        let start = t.max(shard_busy[s]);
+        let granted_at = start + cfg.service_ns;
+        shard_busy[s] = granted_at;
+        match set.grant(w, 1, granted_at) {
+            Assignment::Chunk(chunk) => {
+                let cost = workload.cost_range(chunk.start, chunk.len);
+                let done = granted_at + cost * cfg.cost_ns * cfg.slowdowns[w];
+                worker.current = Some(chunk);
+                heap.push(Reverse((done, w)));
+            }
+            Assignment::Retry => {
+                heap.push(Reverse((granted_at + cfg.retry_ns, w)));
+            }
+            Assignment::Finished => {
+                worker.finished = true;
+                makespan = makespan.max(granted_at);
+            }
+        }
+    }
+
+    assert!(
+        set.all_complete(),
+        "sharded simulation drained with lost chunks"
+    );
+    let report = ShardSimReport {
+        makespan_ns: makespan,
+        requests,
+        self_grants: set.self_grants(),
+        steals: set.steals(),
+        per_worker_iters: workers.iter().map(|w| w.iters).collect(),
+        crashed: (0..p).filter(|&w| workers[w].crashed).collect(),
+        duplicates,
+    };
+    (report, sink)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lss_trace::EventKind;
+    use lss_workloads::UniformLoop;
+
+    fn total(report: &ShardSimReport) -> u64 {
+        report.per_worker_iters.iter().sum()
+    }
+
+    #[test]
+    fn sharded_sim_completes_every_iteration() {
+        let wl = UniformLoop::new(2_000, 5);
+        let cfg = ShardSimConfig::new(SchemeKind::Fss, 4, 8);
+        let report = simulate_sharded(&cfg, &wl);
+        assert_eq!(total(&report), 2_000);
+        assert!(report.makespan_ns > 0);
+        assert!(report.requests > 0);
+        assert_eq!(report.self_grants, 0);
+        assert!(report.crashed.is_empty());
+    }
+
+    #[test]
+    fn self_sched_sim_skips_the_service_queue() {
+        let wl = UniformLoop::new(2_000, 5);
+        let sharded = simulate_sharded(&ShardSimConfig::new(SchemeKind::Gss { min_chunk: 1 }, 1, 8), &wl);
+        let cfg = ShardSimConfig::new(SchemeKind::Gss { min_chunk: 1 }, 1, 8).self_sched();
+        let selfs = simulate_sharded(&cfg, &wl);
+        assert_eq!(total(&selfs), 2_000);
+        assert!(selfs.self_grants > 0);
+        // Every fresh chunk self-calculated: the only queued requests
+        // are the end-of-loop probes that return Finished.
+        assert!(
+            selfs.requests < sharded.requests,
+            "self-sched ({}) should request less than sharded ({})",
+            selfs.requests,
+            sharded.requests
+        );
+    }
+
+    #[test]
+    fn more_shards_never_slow_the_grant_path() {
+        // Tiny chunks + many workers make the single master the
+        // bottleneck; four shards must not do worse.
+        let wl = UniformLoop::new(4_000, 1);
+        let mut one = ShardSimConfig::new(SchemeKind::Css { k: 2 }, 1, 16);
+        one.service_ns = 50_000;
+        one.cost_ns = 10;
+        let mut four = one.clone();
+        four.shards = 4;
+        let r1 = simulate_sharded(&one, &wl);
+        let r4 = simulate_sharded(&four, &wl);
+        assert_eq!(total(&r1), 4_000);
+        assert_eq!(total(&r4), 4_000);
+        assert!(
+            r4.makespan_ns <= r1.makespan_ns,
+            "4 shards ({}) vs 1 ({})",
+            r4.makespan_ns,
+            r1.makespan_ns
+        );
+    }
+
+    #[test]
+    fn sharded_sim_recovers_a_mid_compute_crash() {
+        let wl = UniformLoop::new(1_200, 5);
+        let mut cfg = ShardSimConfig::new(SchemeKind::Tss, 2, 4);
+        cfg.crash_after_chunks = vec![None, Some(1), None, None];
+        let report = simulate_sharded(&cfg, &wl);
+        assert_eq!(report.crashed, vec![1]);
+        // The crashed worker's in-flight chunk was re-granted, so the
+        // survivors' completions cover the whole loop (duplicates can
+        // only add, never hide, iterations).
+        assert!(total(&report) >= 1_200);
+    }
+
+    #[test]
+    fn self_sched_sim_reclaims_a_crashed_claim() {
+        let wl = UniformLoop::new(1_200, 5);
+        let mut cfg = ShardSimConfig::new(SchemeKind::Fss, 2, 4).self_sched();
+        cfg.crash_after_chunks = vec![None, Some(1), None, None];
+        let report = simulate_sharded(&cfg, &wl);
+        assert_eq!(report.crashed, vec![1]);
+        assert!(report.self_grants > 0);
+    }
+
+    #[test]
+    fn traced_sharded_sim_is_logical_and_carries_shard_events() {
+        let wl = UniformLoop::new(600, 3);
+        let cfg = ShardSimConfig::new(SchemeKind::Fss, 4, 2);
+        let (report, trace) = simulate_sharded_traced(&cfg, &wl);
+        assert_eq!(total(&report), 600);
+        assert_eq!(trace.meta.clock, ClockDomain::Logical);
+        let joined = trace.count_kind(|k| matches!(k, EventKind::ShardJoined { .. }));
+        assert!(joined >= 2, "workers should announce shard membership");
+        // 2 workers over 4 shards leaves shards idle from the start:
+        // stealing must kick in.
+        assert!(report.steals > 0);
+        let stole = trace.count_kind(|k| matches!(k, EventKind::ShardStole { .. }));
+        assert_eq!(stole as u64, report.steals);
+    }
+
+    #[test]
+    fn traced_self_sched_sim_records_self_grants() {
+        let wl = UniformLoop::new(600, 3);
+        let cfg = ShardSimConfig::new(SchemeKind::Tss, 2, 3).self_sched();
+        let (report, trace) = simulate_sharded_traced(&cfg, &wl);
+        assert_eq!(total(&report), 600);
+        let selfs = trace.count_kind(|k| matches!(k, EventKind::SelfGranted { .. }));
+        assert_eq!(selfs as u64, report.self_grants);
+        let json = lss_trace::to_chrome_json(&trace);
+        lss_trace::validate_chrome_trace(&json).expect("chrome trace invalid");
+    }
+}

@@ -149,6 +149,28 @@ pub enum EventKind {
     /// A quarantined worker answered a canary grant at a healthy
     /// latency and rejoined the grant pool.
     WorkerReadmitted,
+    // ---- sharded masters (lss-shard) --------------------------------
+    /// A master shard came online owning an iteration range (the
+    /// event's chunk field). `shard` is the shard index.
+    ShardJoined {
+        /// Index of the shard that joined.
+        shard: usize,
+    },
+    /// A contiguous undispensed range (the event's chunk field) moved
+    /// between shards — work stealing when one shard drained early.
+    ShardStole {
+        /// Shard the range was taken from.
+        from: usize,
+        /// Shard that received the range.
+        to: usize,
+    },
+    /// A worker computed its own chunk from the shared atomic counter
+    /// plus the replicated scheme formula — no master round trip.
+    /// `seq` is the claimed position in the shard's chunk sequence.
+    SelfGranted {
+        /// Position claimed from the shard's atomic chunk counter.
+        seq: u64,
+    },
 }
 
 impl EventKind {
@@ -183,6 +205,9 @@ impl EventKind {
             EventKind::RecoveredComplete => "recovered-complete",
             EventKind::WorkerQuarantined => "worker-quarantined",
             EventKind::WorkerReadmitted => "worker-readmitted",
+            EventKind::ShardJoined { .. } => "shard-joined",
+            EventKind::ShardStole { .. } => "shard-stole",
+            EventKind::SelfGranted { .. } => "self-granted",
         }
     }
 
@@ -261,6 +286,9 @@ impl fmt::Display for TraceEvent {
                 write!(f, " {ns}ns")?
             }
             EventKind::Replanned { plan } => write!(f, " plan={plan}")?,
+            EventKind::ShardJoined { shard } => write!(f, " shard={shard}")?,
+            EventKind::ShardStole { from, to } => write!(f, " {from}->{to}")?,
+            EventKind::SelfGranted { seq } => write!(f, " seq={seq}")?,
             _ => {}
         }
         Ok(())
@@ -403,6 +431,26 @@ mod tests {
         assert_eq!(EventKind::WorkerReadmitted.label(), "worker-readmitted");
         assert!(!EventKind::WorkerQuarantined.is_lifecycle());
         assert!(!EventKind::RecoveredComplete.is_lifecycle());
+        assert_eq!(EventKind::ShardJoined { shard: 2 }.label(), "shard-joined");
+        assert_eq!(EventKind::ShardStole { from: 1, to: 0 }.label(), "shard-stole");
+        assert_eq!(EventKind::SelfGranted { seq: 9 }.label(), "self-granted");
+        assert!(!EventKind::ShardJoined { shard: 0 }.is_lifecycle());
+        assert!(!EventKind::ShardStole { from: 0, to: 1 }.is_lifecycle());
+        assert!(!EventKind::SelfGranted { seq: 0 }.is_lifecycle());
+    }
+
+    #[test]
+    fn shard_events_render_attribution() {
+        let s = TraceEvent::new(5, EventKind::ShardStole { from: 1, to: 0 })
+            .on_chunk(64, 32)
+            .to_string();
+        assert!(s.contains("shard-stole"), "{s}");
+        assert!(s.contains("1->0"), "{s}");
+        let g = TraceEvent::new(7, EventKind::SelfGranted { seq: 41 })
+            .on_worker(3)
+            .on_chunk(0, 8)
+            .to_string();
+        assert!(g.contains("seq=41"), "{s}");
     }
 
     #[test]

@@ -25,11 +25,13 @@
 
 use lss_core::chunk::{Chunk, ChunkDispenser};
 use lss_core::distributed::{DistKind, DistributedScheduler, Grant};
+use lss_core::master::SchemeKind;
 use lss_core::power::{AcpConfig, VirtualPower};
 use lss_core::scheme::{
     ChunkSelfSched, ChunkSizer, FactoringSelfSched, FixedIncreaseSelfSched, GuidedSelfSched,
     PureSelfSched, StaticSched, TrapezoidFactoringSelfSched, TrapezoidSelfSched, WeightedFactoring,
 };
+use lss_shard::{partition, FormulaReplica};
 
 /// Maximum number of violation samples kept per property.
 const MAX_SAMPLES: usize = 8;
@@ -167,6 +169,10 @@ pub enum SchemeFamily {
     Dtfss,
     /// The §5.2 fractional-ACP `×10` fix.
     FractionalAcp,
+    /// Shard-offset replay: dispensers restarted from arbitrary range
+    /// offsets and worker-local formula replicas agree at every shard
+    /// boundary, not just from chunk 0.
+    OffsetReplay,
 }
 
 impl SchemeFamily {
@@ -187,14 +193,16 @@ impl SchemeFamily {
     ];
 
     /// The auxiliary certificates: the per-worker schemes (WF, the
-    /// distributed family) and the ACP arithmetic itself.
-    pub const AUXILIARY: [SchemeFamily; 6] = [
+    /// distributed family), the ACP arithmetic itself, and the
+    /// shard-offset replay soundness of `lss-shard`.
+    pub const AUXILIARY: [SchemeFamily; 7] = [
         SchemeFamily::Wf,
         SchemeFamily::Dtss,
         SchemeFamily::Dfss,
         SchemeFamily::Dfiss,
         SchemeFamily::Dtfss,
         SchemeFamily::FractionalAcp,
+        SchemeFamily::OffsetReplay,
     ];
 
     /// Display label used in certificates and CLI tables.
@@ -217,6 +225,7 @@ impl SchemeFamily {
             SchemeFamily::Dfiss => "DFISS",
             SchemeFamily::Dtfss => "DTFSS",
             SchemeFamily::FractionalAcp => "ACP(x10)",
+            SchemeFamily::OffsetReplay => "OFFSET(shard)",
         }
     }
 
@@ -1080,6 +1089,152 @@ fn certify_acp(d: &Domain) -> Certificate {
     }
 }
 
+/// The closed-form schemes whose chunk sequence can be re-derived
+/// worker-side (everything [`SchemeKind::formula_sizer`] supports).
+fn replicable_schemes() -> Vec<SchemeKind> {
+    vec![
+        SchemeKind::Static,
+        SchemeKind::Pure,
+        SchemeKind::Css { k: 4 },
+        SchemeKind::Gss { min_chunk: 1 },
+        SchemeKind::Gss { min_chunk: 4 },
+        SchemeKind::Tss,
+        SchemeKind::Fss,
+        SchemeKind::Fiss { sigma: 3 },
+        SchemeKind::Tfss,
+    ]
+}
+
+/// Certifies the shard-offset algebra `lss-shard` relies on: restarting
+/// a dispenser at an arbitrary range offset only translates chunk
+/// starts; per-shard [`FormulaReplica`]s reproduce their shard's
+/// dispenser exactly (so a worker evaluating the replicated formula at
+/// a shard boundary agrees with the shard's own lease table); and
+/// fast-forward replay from any chunk number lands on the same chunk
+/// as stepwise enumeration.
+fn certify_offset_replay(d: &Domain) -> Certificate {
+    let mut shift = Property::new("base shift: with_base(b, I) = new(I) translated by b, length-for-length");
+    let mut boundary = Property::new("shard boundary: per-shard replicas tile [0,I) exactly as dispensers");
+    let mut replay = Property::new("seq replay: chunk_at(s) after fast-forward = stepwise enumeration");
+    let (mut configs, mut chunks) = (0u64, 0u64);
+    let ps: Vec<u32> = [1u32, 2, 3, d.max_p].into_iter().filter(|&p| p <= d.max_p).collect();
+    let mut ps = ps;
+    ps.dedup();
+    for scheme in replicable_schemes() {
+        for &p in &ps {
+            for total in 1..=d.max_iters {
+                configs += 1;
+                let name = scheme.name();
+                let reference: Vec<Chunk> = match scheme.formula_sizer(total, p) {
+                    Some(sizer) => ChunkDispenser::new(total, sizer).collect(),
+                    None => {
+                        shift.check(false, || format!("{name}: no formula for I={total},p={p}"));
+                        continue;
+                    }
+                };
+                chunks += reference.len() as u64;
+
+                // Base-shift identity at offsets a shard could start at.
+                for base in [1, total / 2 + 1, 3 * total + 7] {
+                    let shifted: Vec<Chunk> = match scheme.formula_sizer(total, p) {
+                        Some(sizer) => ChunkDispenser::with_base(base, total, sizer).collect(),
+                        None => Vec::new(),
+                    };
+                    let ok = shifted.len() == reference.len()
+                        && shifted
+                            .iter()
+                            .zip(&reference)
+                            .all(|(s, r)| s.len == r.len && s.start == r.start + base);
+                    shift.check(ok, || {
+                        format!("{name}: I={total},p={p},base={base}: {shifted:?} vs {reference:?}")
+                    });
+                }
+
+                // Shard boundaries: each shard's replica must reproduce
+                // that shard's dispenser, and together they tile [0,I).
+                for shards in [2usize, 3, 5] {
+                    let mut cursor = 0u64;
+                    let mut ok = true;
+                    for i in 0..shards {
+                        let (b, len) = partition(total, shards, i);
+                        if b != cursor {
+                            ok = false;
+                            break;
+                        }
+                        cursor += len;
+                        if len == 0 {
+                            continue;
+                        }
+                        let Some(sizer) = scheme.formula_sizer(len, p) else {
+                            ok = false;
+                            break;
+                        };
+                        let shard_ref: Vec<Chunk> =
+                            ChunkDispenser::with_base(b, len, sizer).collect();
+                        let Some(mut replica) = FormulaReplica::new(scheme, b, len, p) else {
+                            ok = false;
+                            break;
+                        };
+                        for (seq, want) in shard_ref.iter().enumerate() {
+                            if replica.chunk_at(seq as u64) != Some(*want) {
+                                ok = false;
+                                break;
+                            }
+                        }
+                        if replica.chunk_at(shard_ref.len() as u64).is_some() {
+                            ok = false;
+                        }
+                        if shard_ref.first().map(|c| c.start) != Some(b)
+                            || shard_ref.last().map(Chunk::end) != Some(b + len)
+                        {
+                            ok = false;
+                        }
+                        if !ok {
+                            break;
+                        }
+                    }
+                    boundary.check(ok && cursor == total, || {
+                        format!("{name}: I={total},p={p},shards={shards}: replica/dispenser divergence")
+                    });
+                }
+
+                // Sparse fast-forward: querying only every third chunk
+                // number still returns the stepwise chunks.
+                let mut sparse = match FormulaReplica::new(scheme, 0, total, p) {
+                    Some(r) => r,
+                    None => {
+                        replay.check(false, || format!("{name}: no replica for I={total},p={p}"));
+                        continue;
+                    }
+                };
+                let mut ok = true;
+                for (seq, want) in reference.iter().enumerate() {
+                    if seq % 3 != 0 {
+                        continue; // another worker's claim
+                    }
+                    if sparse.chunk_at(seq as u64) != Some(*want) {
+                        ok = false;
+                        break;
+                    }
+                }
+                replay.check(ok, || {
+                    format!("{name}: I={total},p={p}: fast-forward replay diverged")
+                });
+            }
+        }
+    }
+    Certificate {
+        scheme: "OFFSET(shard)",
+        variant: format!(
+            "9 closed-form schemes, I in 1..={}, p in {ps:?}, bases {{1, I/2+1, 3I+7}}, shards {{2,3,5}}",
+            d.max_iters
+        ),
+        configs,
+        chunks,
+        properties: vec![shift, boundary, replay],
+    }
+}
+
 /// Certifies one scheme family over `domain`.
 pub fn certify_scheme(family: SchemeFamily, domain: &Domain) -> Certificate {
     match family {
@@ -1100,11 +1255,12 @@ pub fn certify_scheme(family: SchemeFamily, domain: &Domain) -> Certificate {
         SchemeFamily::Dfiss => certify_distributed(domain, DistKind::Dfiss { sigma: 4 }),
         SchemeFamily::Dtfss => certify_distributed(domain, DistKind::Dtfss),
         SchemeFamily::FractionalAcp => certify_acp(domain),
+        SchemeFamily::OffsetReplay => certify_offset_replay(domain),
     }
 }
 
 /// Certifies every family — the 11 core `ChunkSizer` configurations
-/// followed by the 6 auxiliary certificates — over `domain`.
+/// followed by the 7 auxiliary certificates — over `domain`.
 pub fn certify_all(domain: &Domain) -> Vec<Certificate> {
     SchemeFamily::CORE
         .iter()
@@ -1155,11 +1311,19 @@ mod tests {
     }
 
     #[test]
-    fn certificates_cover_all_seventeen_families() {
+    fn certificates_cover_all_eighteen_families() {
         let d = Domain::quick();
         let certs = certify_all(&d);
-        assert_eq!(certs.len(), 17);
+        assert_eq!(certs.len(), 18);
         assert_eq!(certs.iter().filter(|c| SchemeFamily::CORE.iter().any(|f| f.label() == c.scheme)).count(), 11);
+    }
+
+    #[test]
+    fn offset_replay_certificate_holds_on_quick_domain() {
+        let cert = certify_scheme(SchemeFamily::OffsetReplay, &Domain::quick());
+        assert!(cert.holds(), "{:#?}", cert.properties);
+        assert_eq!(cert.properties.len(), 3);
+        assert!(cert.total_checks() > 0);
     }
 
     #[test]

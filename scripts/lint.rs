@@ -97,6 +97,14 @@ const RULES: &[Rule] = &[
         roots: &["crates/serve/src/scheduler.rs"],
         forbidden: &["std::time", "Instant::now", "SystemTime"],
     },
+    // Shard steal/grant decisions must replay identically under the
+    // simulator's logical clock and the runtime's monotonic one; wall
+    // clocks would make lease expiry and drain-reclaim nondeterministic.
+    Rule {
+        name: "shard-no-wall-clock",
+        roots: &["crates/shard/src"],
+        forbidden: &["std::time", "Instant::now", "SystemTime"],
+    },
 ];
 
 /// Strips `//` line comments (naive: does not track string literals,
