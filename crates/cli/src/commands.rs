@@ -84,6 +84,7 @@ USAGE:
   lss serve [--port P] [--workers N] [--local-workers] [--batch K]
       [--queue-cap Q] [--max-active M] [--jobs-limit J] [--trace-out FILE]
       [--journal DIR | --recover DIR] [--no-quarantine]
+      [--backend blocking|evented]
       Run the multi-job scheduling service over TCP: clients submit loop
       jobs (lss submit), the service fair-shares the worker pool across
       them by priority. --local-workers attaches N loopback worker
@@ -92,7 +93,10 @@ USAGE:
       writes a durable job journal (WAL + checkpoints); --recover DIR
       replays one after a crash, re-admitting unfinished jobs with only
       their un-completed iterations. --no-quarantine disables straggler
-      quarantine (on by default).
+      quarantine (on by default). --backend picks the connection front
+      end: `blocking` (thread per connection, the default) or `evented`
+      (all sockets multiplexed onto one epoll reactor thread); the
+      LSS_SERVE_BACKEND env var sets the same switch.
   lss submit <scheme> --connect HOST:PORT [--priority W] [--count N]
       [--iters I --cost C | --width W --height H --sf S] [--wait]
       Submit N copies of a job (uniform loop when --iters is given,
@@ -1079,10 +1083,21 @@ pub fn cmd_serve(args: &Args) -> Result<String, ArgError> {
     if args.has("no-quarantine") {
         cfg.quarantine = lss_serve::QuarantineConfig::disabled();
     }
-    let handle =
-        lss_serve::serve_tcp(cfg, "127.0.0.1", port).map_err(|e| ArgError(e.to_string()))?;
+    // --backend wins over LSS_SERVE_BACKEND; with neither, blocking.
+    let backend = match args.get("backend") {
+        Some("blocking") => lss_serve::ServeBackend::Blocking,
+        Some("evented") => lss_serve::ServeBackend::Evented,
+        Some(other) => {
+            return Err(ArgError(format!(
+                "unknown --backend {other:?} (expected blocking|evented)"
+            )));
+        }
+        None => lss_serve::ServeBackend::from_env().map_err(|e| ArgError(e.to_string()))?,
+    };
+    let handle = lss_serve::serve_tcp_with(cfg, "127.0.0.1", port, backend)
+        .map_err(|e| ArgError(e.to_string()))?;
     let addr = handle.addr.ok_or_else(|| ArgError("service has no address".into()))?;
-    eprintln!("serve: listening on {addr} ({workers} workers)");
+    eprintln!("serve: listening on {addr} ({workers} workers, {backend:?} front end)");
 
     let local: Vec<_> = if args.has("local-workers") {
         (0..workers)

@@ -1,0 +1,123 @@
+//! The syscall surface: `epoll_create1` / `epoll_ctl` / `epoll_wait`.
+//!
+//! This module is the **only** place in the workspace that touches
+//! `unsafe` — three FFI prototypes against the libc every Linux Rust
+//! binary already links, wrapped into a safe [`Epoll`] handle that owns
+//! its file descriptor. Everything above (the poller, the framed
+//! connections, both evented transports) is `forbid(unsafe_code)`-clean
+//! safe Rust.
+
+#![allow(unsafe_code)]
+
+use std::io;
+use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+use std::os::raw::c_int;
+
+/// Readiness: the fd has bytes to read (or a pending accept).
+pub const EPOLLIN: u32 = 0x001;
+/// Readiness: the fd can accept more outgoing bytes.
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition on the fd (delivered even when not requested).
+pub const EPOLLERR: u32 = 0x008;
+/// Hang-up: the peer closed its end (delivered even when not requested).
+pub const EPOLLHUP: u32 = 0x010;
+/// The peer shut down the writing half of the connection.
+pub const EPOLLRDHUP: u32 = 0x2000;
+
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+
+/// One readiness record, kernel layout. x86-64 is the lone architecture
+/// where the kernel declares the struct packed.
+#[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+#[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    /// Ready-event bit set (`EPOLLIN` | `EPOLLOUT` | ...).
+    pub events: u32,
+    /// The caller's token, returned verbatim.
+    pub data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int)
+        -> c_int;
+}
+
+/// An owned epoll instance.
+pub struct Epoll {
+    fd: OwnedFd,
+}
+
+impl Epoll {
+    /// Creates a close-on-exec epoll instance.
+    pub fn new() -> io::Result<Epoll> {
+        // SAFETY: epoll_create1 has no pointer arguments; a negative
+        // return is an error, otherwise the fd is fresh and owned here.
+        let fd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if fd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        // SAFETY: `fd` was just returned by the kernel and nothing else
+        // owns it.
+        Ok(Epoll { fd: unsafe { OwnedFd::from_raw_fd(fd) } })
+    }
+
+    fn ctl(&self, op: c_int, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        let mut ev = EpollEvent { events, data: token };
+        // SAFETY: `ev` outlives the call; the kernel copies it before
+        // returning. For EPOLL_CTL_DEL the pointer is ignored (we still
+        // pass a valid one for pre-2.6.9 kernel compatibility).
+        let rc = unsafe { epoll_ctl(self.fd.as_raw_fd(), op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Starts watching `fd` for `events`, tagging readiness with `token`.
+    pub fn add(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, events, token)
+    }
+
+    /// Changes the interest set of an already-watched `fd`.
+    pub fn modify(&self, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, events, token)
+    }
+
+    /// Stops watching `fd`. Closing the fd does this implicitly; an
+    /// explicit delete keeps the interest list tidy when a connection
+    /// outlives one registration.
+    pub fn delete(&self, fd: RawFd) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_DEL, fd, 0, 0)
+    }
+
+    /// Blocks until at least one fd is ready or `timeout_ms` elapses
+    /// (`None` = wait forever), appending readiness records to `out`.
+    /// Returns how many records were delivered; `0` means timeout.
+    /// Retries transparently on `EINTR`.
+    pub fn wait(&self, out: &mut Vec<EpollEvent>, timeout_ms: Option<i32>) -> io::Result<usize> {
+        const CAPACITY: usize = 256;
+        let mut buf = [EpollEvent { events: 0, data: 0 }; CAPACITY];
+        let timeout = timeout_ms.unwrap_or(-1).max(-1);
+        loop {
+            // SAFETY: `buf` is a valid, writable array of CAPACITY
+            // records; the kernel writes at most `maxevents` of them.
+            let n = unsafe {
+                epoll_wait(self.fd.as_raw_fd(), buf.as_mut_ptr(), CAPACITY as c_int, timeout)
+            };
+            if n >= 0 {
+                out.extend_from_slice(&buf[..n as usize]);
+                return Ok(n as usize);
+            }
+            let err = io::Error::last_os_error();
+            if err.kind() != io::ErrorKind::Interrupted {
+                return Err(err);
+            }
+        }
+    }
+}

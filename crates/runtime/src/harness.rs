@@ -25,7 +25,9 @@ use crate::load::LoadState;
 use crate::master::run_resilient_master_traced;
 use crate::protocol::Request;
 use crate::transport::channels::channel_transport;
+use crate::transport::evented::evented_listen;
 use crate::transport::tcp::{tcp_listen, TcpWorker};
+use crate::transport::{MasterTransport, TransportError};
 use crate::worker::{run_worker, WorkerConfig, WorkerStats};
 
 /// Which transport the harness wires up.
@@ -33,8 +35,12 @@ use crate::worker::{run_worker, WorkerConfig, WorkerStats};
 pub enum Transport {
     /// In-process channels (fast, default).
     Channels,
-    /// Localhost TCP sockets with framed messages.
+    /// Localhost TCP sockets with framed messages, one thread per
+    /// connection on the master's side.
     Tcp,
+    /// The same framed TCP protocol with the master's side multiplexed
+    /// onto a single epoll reactor thread.
+    TcpEvented,
 }
 
 /// One emulated PE.
@@ -264,9 +270,32 @@ pub fn run_scheduled_loop<W: Workload + 'static>(
                 .collect();
             (outcome, stats)
         }
-        Transport::Tcp => {
-            let listener = tcp_listen().expect("listen failed");
-            let addr = listener.addr;
+        Transport::Tcp | Transport::TcpEvented => {
+            // The two TCP flavours differ only in who accepts: workers
+            // dial the same framed protocol either way, so the master
+            // is picked behind the boxed `MasterTransport` seam.
+            type AcceptFn =
+                Box<dyn FnOnce(usize) -> Result<Box<dyn MasterTransport>, TransportError>>;
+            let (addr, accept): (std::net::SocketAddr, AcceptFn) =
+                if cfg.transport == Transport::Tcp {
+                    let listener = tcp_listen().expect("listen failed");
+                    let addr = listener.addr;
+                    (
+                        addr,
+                        Box::new(move |p| {
+                            listener.accept_workers(p).map(|m| Box::new(m) as Box<dyn MasterTransport>)
+                        }),
+                    )
+                } else {
+                    let listener = evented_listen().expect("listen failed");
+                    let addr = listener.addr;
+                    (
+                        addr,
+                        Box::new(move |p| {
+                            listener.accept_workers(p).map(|m| Box::new(m) as Box<dyn MasterTransport>)
+                        }),
+                    )
+                };
             let handles: Vec<_> = worker_cfgs
                 .into_iter()
                 .map(|wcfg| {
@@ -285,7 +314,7 @@ pub fn run_scheduled_loop<W: Workload + 'static>(
                     })
                 })
                 .collect();
-            let mt = listener.accept_workers(p).expect("accept failed");
+            let mt = accept(p).expect("accept failed");
             let outcome = run_resilient_master_traced(
                 mt,
                 &mut master,
@@ -388,6 +417,34 @@ mod tests {
             assert_eq!(out.results[i as usize], w.execute(i));
         }
         assert!(out.faults.is_empty(), "{}", out.faults.render());
+    }
+
+    #[test]
+    fn evented_tcp_run_completes() {
+        let w = Arc::new(UniformLoop::new(60, 500));
+        let mut cfg = HarnessConfig::paper_mix(SchemeKind::Fss, 2, 0);
+        cfg.transport = Transport::TcpEvented;
+        let out = run_scheduled_loop(&cfg, Arc::clone(&w));
+        assert_eq!(out.results.len(), 60);
+        for i in 0..60u64 {
+            assert_eq!(out.results[i as usize], w.execute(i));
+        }
+        assert!(out.faults.is_empty(), "{}", out.faults.render());
+    }
+
+    #[test]
+    fn evented_tcp_survives_a_crashing_worker() {
+        let w = Arc::new(UniformLoop::new(120, 400));
+        let mut cfg = HarnessConfig::paper_mix(SchemeKind::Css { k: 10 }, 2, 0);
+        cfg.transport = Transport::TcpEvented;
+        cfg.workers.push(WorkerSpec::failing_after(1));
+        let out = run_scheduled_loop(&cfg, Arc::clone(&w));
+        assert_eq!(out.results.len(), 120);
+        for i in 0..120u64 {
+            assert_eq!(out.results[i as usize], w.execute(i));
+        }
+        assert_eq!(out.failed_workers, vec![2]);
+        assert!(!out.faults.is_empty(), "crash must be visible in the log");
     }
 
     #[test]

@@ -34,6 +34,7 @@ use crate::harness::{Transport, WorkerSpec};
 use crate::master::ResilientOutcome;
 use crate::protocol::{ChunkResult, Reply, Request};
 use crate::transport::channels::channel_transport;
+use crate::transport::evented::evented_listen;
 use crate::transport::tcp::{tcp_listen, TcpWorker};
 use crate::transport::{Inbound, MasterTransport, TransportError, WorkerTransport};
 use crate::worker::{run_worker, WorkerConfig};
@@ -620,9 +621,34 @@ pub fn run_sharded_loop<W: Workload + 'static>(
             }
             outcome
         }
-        Transport::Tcp => {
-            let listener = tcp_listen().expect("listen failed");
-            let addr = listener.addr;
+        Transport::Tcp | Transport::TcpEvented => {
+            type AcceptFn = Box<
+                dyn FnOnce(usize) -> Result<Box<dyn MasterTransport>, TransportError>,
+            >;
+            let (addr, accept): (std::net::SocketAddr, AcceptFn) =
+                if cfg.transport == Transport::Tcp {
+                    let listener = tcp_listen().expect("listen failed");
+                    let addr = listener.addr;
+                    (
+                        addr,
+                        Box::new(move |p| {
+                            listener
+                                .accept_workers(p)
+                                .map(|m| Box::new(m) as Box<dyn MasterTransport>)
+                        }),
+                    )
+                } else {
+                    let listener = evented_listen().expect("listen failed");
+                    let addr = listener.addr;
+                    (
+                        addr,
+                        Box::new(move |p| {
+                            listener
+                                .accept_workers(p)
+                                .map(|m| Box::new(m) as Box<dyn MasterTransport>)
+                        }),
+                    )
+                };
             let handles: Vec<_> = worker_cfgs
                 .into_iter()
                 .map(|wcfg| {
@@ -640,7 +666,7 @@ pub fn run_sharded_loop<W: Workload + 'static>(
                     })
                 })
                 .collect();
-            let mt = listener.accept_workers(p).expect("accept failed");
+            let mt = accept(p).expect("accept failed");
             let outcome = run_sharded_master(mt, &set, cfg.poll_interval, cfg.trace.clone())
                 .expect("master failed");
             for h in handles {

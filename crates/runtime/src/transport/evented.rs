@@ -1,0 +1,703 @@
+//! Evented master transport: one reactor thread, every worker socket.
+//!
+//! Same wire protocol as [`super::tcp`] — length-prefixed frames
+//! carrying [`WireMsg`] — but the master side holds all connections in
+//! a single epoll loop (`lss-reactor`) instead of a thread per
+//! connection. Workers are oblivious: [`super::tcp::TcpWorker`] dials
+//! either master unchanged, and the harness swaps backends behind the
+//! [`MasterTransport`] seam.
+//!
+//! Structure: the reactor thread owns the listener and every
+//! [`FramedConn`]; decoded messages flow out through the same mpsc
+//! inbox the blocking master uses, and replies flow in through a
+//! mutex-guarded outbox plus a [`Waker`] nudge. The deadline
+//! discipline is identical to the fixed blocking backend — handshakes
+//! get 10 s, established connections get an idle deadline — but here a
+//! half-open socket costs one map entry, not a parked thread.
+
+use std::collections::HashMap;
+use std::io::ErrorKind;
+use std::net::{SocketAddr, TcpListener};
+use std::os::fd::AsRawFd;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use lss_reactor::{FramedConn, Interest, Poller, Readiness, Waker};
+
+use super::tcp::DEFAULT_IDLE_DEADLINE;
+use super::{Inbound, MasterTransport, TransportError};
+use crate::protocol::{Reply, WireMsg};
+
+/// The listener's registration token; connections count up from 1.
+const LISTENER_TOKEN: u64 = 0;
+
+/// A connection that never completes its hello within this window is
+/// dropped (same budget as the blocking acceptor's handshake read).
+const HANDSHAKE_DEADLINE: Duration = Duration::from_secs(10);
+
+/// Upper bound on one `epoll_wait`: the reactor wakes at least this
+/// often to scan handshake/idle deadlines even when no fd stirs.
+const SCAN_SLICE: Duration = Duration::from_millis(100);
+
+/// State shared between the master handle and the reactor thread.
+struct EvShared {
+    /// Replies queued by `send`, drained by the reactor after a wake.
+    outbox: Mutex<Vec<(usize, Vec<u8>)>>,
+    /// Whether each worker currently has a live connection — the
+    /// fail-fast check behind `send`.
+    connected_now: Mutex<Vec<bool>>,
+    /// Count of distinct worker ids seen at least once, plus the
+    /// condvar `accept_workers` waits on for the initial complement.
+    complement: Mutex<usize>,
+    complement_cv: Condvar,
+    /// Set by shutdown/Drop; the reactor exits on its next wake.
+    shutdown: AtomicBool,
+}
+
+/// Master endpoint running on the epoll reactor.
+pub struct EventedTcpMaster {
+    inbox: Receiver<Inbound>,
+    shared: Arc<EvShared>,
+    waker: Waker,
+    /// The reactor thread, joined on shutdown so "shutdown complete"
+    /// means the event loop has actually exited.
+    reactor: Mutex<Option<std::thread::JoinHandle<()>>>,
+}
+
+impl EventedTcpMaster {
+    /// Gracefully shuts the endpoint down: the reactor is woken (no
+    /// inbound connection required — this is what the waker is for),
+    /// closes every socket, and exits; this call joins it. Subsequent
+    /// `send`s fail with [`TransportError::Disconnected`]. Dropping
+    /// the master does the same implicitly.
+    pub fn shutdown(&self) {
+        self.shared.shutdown.store(true, Ordering::SeqCst);
+        self.waker.wake();
+        let handle = self.reactor.lock().expect("reactor lock").take();
+        if let Some(h) = handle {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for EventedTcpMaster {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+impl MasterTransport for EventedTcpMaster {
+    fn recv(&mut self) -> Result<Inbound, TransportError> {
+        self.inbox
+            .recv()
+            .map_err(|_| TransportError::Disconnected("all workers disconnected".into()))
+    }
+
+    fn recv_timeout(&mut self, timeout: Duration) -> Result<Option<Inbound>, TransportError> {
+        match self.inbox.recv_timeout(timeout) {
+            Ok(ev) => Ok(Some(ev)),
+            Err(RecvTimeoutError::Timeout) => Ok(None),
+            Err(RecvTimeoutError::Disconnected) => {
+                Err(TransportError::Disconnected("all workers disconnected".into()))
+            }
+        }
+    }
+
+    fn send(&mut self, worker: usize, reply: Reply) -> Result<(), TransportError> {
+        if self.shared.shutdown.load(Ordering::SeqCst) {
+            return Err(TransportError::Disconnected("master shut down".into()));
+        }
+        {
+            let connected = self.shared.connected_now.lock().expect("connected lock");
+            if worker >= connected.len() {
+                return Err(TransportError::UnknownWorker(worker));
+            }
+            if !connected[worker] {
+                return Err(TransportError::Disconnected(format!(
+                    "worker {worker} not connected"
+                )));
+            }
+        }
+        self.shared
+            .outbox
+            .lock()
+            .expect("outbox lock")
+            .push((worker, reply.encode()));
+        self.waker.wake();
+        Ok(())
+    }
+}
+
+/// Binds a listener for the evented master; workers dial `addr` with
+/// the ordinary blocking [`super::tcp::TcpWorker`].
+pub struct EventedListenerHandle {
+    listener: TcpListener,
+    /// The address workers should dial.
+    pub addr: SocketAddr,
+}
+
+/// Starts listening on an ephemeral localhost port.
+pub fn evented_listen() -> Result<EventedListenerHandle, TransportError> {
+    evented_listen_on("127.0.0.1", 0)
+}
+
+/// Starts listening on an explicit host/port (0 = ephemeral).
+pub fn evented_listen_on(host: &str, port: u16) -> Result<EventedListenerHandle, TransportError> {
+    let listener = TcpListener::bind((host, port))
+        .map_err(|e| TransportError::Io(format!("bind {host}:{port} failed: {e}")))?;
+    let addr = listener
+        .local_addr()
+        .map_err(|e| TransportError::Io(format!("no local addr: {e}")))?;
+    Ok(EventedListenerHandle { listener, addr })
+}
+
+impl EventedListenerHandle {
+    /// Builds the evented master and waits until all `p` workers have
+    /// connected and handshaken. The reactor keeps accepting for the
+    /// master's lifetime, so workers may redial mid-run.
+    pub fn accept_workers(self, p: usize) -> Result<EventedTcpMaster, TransportError> {
+        self.accept_workers_within(p, Duration::from_secs(30))
+    }
+
+    /// [`EventedListenerHandle::accept_workers`] with an explicit
+    /// deadline for the initial full complement.
+    pub fn accept_workers_within(
+        self,
+        p: usize,
+        timeout: Duration,
+    ) -> Result<EventedTcpMaster, TransportError> {
+        self.accept_workers_configured(p, timeout, DEFAULT_IDLE_DEADLINE)
+    }
+
+    /// Full-knobs variant: `idle_deadline` bounds how long an
+    /// established connection may stay silent before it is treated as
+    /// half-open.
+    pub fn accept_workers_configured(
+        self,
+        p: usize,
+        timeout: Duration,
+        idle_deadline: Duration,
+    ) -> Result<EventedTcpMaster, TransportError> {
+        assert!(p >= 1, "need at least one worker");
+        let io = |e: std::io::Error| TransportError::Io(e.to_string());
+        self.listener.set_nonblocking(true).map_err(io)?;
+        let poller = Poller::new().map_err(io)?;
+        poller
+            .register(self.listener.as_raw_fd(), LISTENER_TOKEN, Interest::READ)
+            .map_err(io)?;
+        let waker = poller.waker();
+        let (tx, rx) = channel::<Inbound>();
+        let shared = Arc::new(EvShared {
+            outbox: Mutex::new(Vec::new()),
+            connected_now: Mutex::new(vec![false; p]),
+            complement: Mutex::new(0),
+            complement_cv: Condvar::new(),
+            shutdown: AtomicBool::new(false),
+        });
+        let reactor = {
+            let shared = Arc::clone(&shared);
+            let listener = self.listener;
+            std::thread::spawn(move || {
+                Reactor {
+                    poller,
+                    listener,
+                    p,
+                    idle_deadline,
+                    tx,
+                    shared,
+                    conns: HashMap::new(),
+                    worker_conn: vec![None; p],
+                    ever_connected: vec![false; p],
+                    next_token: LISTENER_TOKEN + 1,
+                }
+                .run()
+            })
+        };
+        // Wait for the full complement.
+        let deadline = Instant::now() + timeout;
+        let mut complement = shared.complement.lock().expect("complement lock");
+        while *complement < p {
+            let left = deadline.saturating_duration_since(Instant::now());
+            if left.is_zero() {
+                let msg = format!("only {complement}/{p} workers connected within {timeout:?}");
+                drop(complement);
+                shared.shutdown.store(true, Ordering::SeqCst);
+                waker.wake();
+                let _ = reactor.join();
+                return Err(TransportError::Io(msg));
+            }
+            let (guard, _timed_out) = shared
+                .complement_cv
+                .wait_timeout(complement, left.min(Duration::from_millis(50)))
+                .expect("condvar wait");
+            complement = guard;
+        }
+        drop(complement);
+        Ok(EventedTcpMaster { inbox: rx, shared, waker, reactor: Mutex::new(Some(reactor)) })
+    }
+}
+
+/// Per-connection protocol state inside the reactor.
+enum ConnState {
+    /// Accepted, awaiting the hello request.
+    Handshaking {
+        /// When the connection was accepted.
+        since: Instant,
+    },
+    /// Hello complete; frames belong to this worker id.
+    Worker {
+        /// The identified worker.
+        id: usize,
+    },
+}
+
+struct Conn {
+    fc: FramedConn,
+    state: ConnState,
+    /// Whether write interest is currently armed (toggled only on
+    /// change — epoll_ctl per loop would be pure overhead).
+    armed_write: bool,
+}
+
+/// The reactor thread's whole world.
+struct Reactor {
+    poller: Poller,
+    listener: TcpListener,
+    p: usize,
+    idle_deadline: Duration,
+    tx: Sender<Inbound>,
+    shared: Arc<EvShared>,
+    conns: HashMap<u64, Conn>,
+    /// Token of each worker's *current* connection. The token plays
+    /// the role of the blocking transport's generation number: a stale
+    /// connection dying later no longer matches and stays silent.
+    worker_conn: Vec<Option<u64>>,
+    ever_connected: Vec<bool>,
+    next_token: u64,
+}
+
+impl Reactor {
+    fn run(mut self) {
+        let mut events: Vec<Readiness> = Vec::new();
+        loop {
+            events.clear();
+            if self.poller.wait(&mut events, Some(SCAN_SLICE)).is_err() {
+                break;
+            }
+            if self.shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            for ev in std::mem::take(&mut events) {
+                self.handle_event(ev);
+            }
+            self.drain_outbox();
+            self.scan_deadlines();
+        }
+        // Teardown: dropping the map closes every socket; dropping `tx`
+        // lets the master's inbox observe disconnection.
+    }
+
+    fn handle_event(&mut self, ev: Readiness) {
+        if ev.token == LISTENER_TOKEN {
+            self.accept_all();
+            return;
+        }
+        let mut dead = false;
+        let mut frames = Vec::new();
+        if ev.readable || ev.closed {
+            if let Some(conn) = self.conns.get_mut(&ev.token) {
+                // Final frames ahead of an EOF are still extracted; the
+                // error only marks the connection for closing after
+                // they are processed.
+                if conn.fc.on_readable(&mut frames).is_err() {
+                    dead = true;
+                }
+            } else {
+                return;
+            }
+        }
+        for payload in frames {
+            if !self.process_frame(ev.token, &payload) {
+                dead = true;
+                break;
+            }
+        }
+        if dead || ev.closed {
+            self.close_conn(ev.token);
+            return;
+        }
+        if ev.writable {
+            self.flush_conn(ev.token);
+        }
+    }
+
+    /// Accepts until the backlog drains (level-triggered: leftover
+    /// pending connections re-trigger the listener event anyway, but
+    /// draining now saves wakeups).
+    fn accept_all(&mut self) {
+        loop {
+            match self.listener.accept() {
+                Ok((stream, _)) => {
+                    let Ok(fc) = FramedConn::new(stream) else { continue };
+                    let token = self.next_token;
+                    self.next_token += 1;
+                    if self
+                        .poller
+                        .register(fc.stream().as_raw_fd(), token, Interest::READ)
+                        .is_err()
+                    {
+                        continue;
+                    }
+                    self.conns.insert(
+                        token,
+                        Conn {
+                            fc,
+                            state: ConnState::Handshaking { since: Instant::now() },
+                            armed_write: false,
+                        },
+                    );
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => break,
+                Err(e) if e.kind() == ErrorKind::Interrupted => continue,
+                Err(_) => break,
+            }
+        }
+    }
+
+    /// Dispatches one decoded frame. Returns `false` when the
+    /// connection must be closed (malformed traffic, a bad hello, or
+    /// the master side has gone away).
+    fn process_frame(&mut self, token: u64, payload: &[u8]) -> bool {
+        let Some(msg) = WireMsg::decode(payload) else {
+            return false;
+        };
+        let state_id = match self.conns.get(&token) {
+            Some(Conn { state: ConnState::Worker { id }, .. }) => Some(*id),
+            Some(Conn { state: ConnState::Handshaking { .. }, .. }) => None,
+            None => return false,
+        };
+        match (state_id, msg) {
+            // The hello: first frame must be a request naming a valid
+            // worker id (the blocking acceptor's handshake, evented).
+            (None, WireMsg::Request(req)) => {
+                if req.worker >= self.p {
+                    return false;
+                }
+                let id = req.worker;
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.state = ConnState::Worker { id };
+                }
+                // A redial replaces the old connection; close it
+                // quietly (its token no longer matches, so no stale
+                // disconnect notice fires).
+                if let Some(old) = self.worker_conn[id].replace(token) {
+                    if old != token {
+                        self.close_conn(old);
+                    }
+                }
+                self.shared.connected_now.lock().expect("connected lock")[id] = true;
+                if self.ever_connected[id] {
+                    if self.tx.send(Inbound::Reconnected(id)).is_err() {
+                        return false;
+                    }
+                } else {
+                    self.ever_connected[id] = true;
+                    let mut complement = self.shared.complement.lock().expect("complement lock");
+                    *complement += 1;
+                    self.shared.complement_cv.notify_all();
+                }
+                // Deliver the hello through the inbox like any request.
+                self.tx.send(Inbound::Request(req)).is_ok()
+            }
+            (Some(_), WireMsg::Request(req)) => self.tx.send(Inbound::Request(req)).is_ok(),
+            (Some(_), WireMsg::Heartbeat { worker }) => {
+                self.tx.send(Inbound::Heartbeat { worker }).is_ok()
+            }
+            // Anything else before the hello is protocol abuse.
+            (None, _) => false,
+        }
+    }
+
+    /// Moves queued replies onto their connections and flushes.
+    fn drain_outbox(&mut self) {
+        let pending = std::mem::take(&mut *self.shared.outbox.lock().expect("outbox lock"));
+        if pending.is_empty() {
+            return;
+        }
+        let mut touched: Vec<u64> = Vec::new();
+        for (worker, payload) in pending {
+            let Some(token) = self.worker_conn.get(worker).copied().flatten() else {
+                // Raced with a disconnect after `send`'s check: the
+                // reply is lost exactly as bytes in a dead socket's
+                // buffer would be; the lease layer re-grants the work.
+                continue;
+            };
+            if let Some(conn) = self.conns.get_mut(&token) {
+                if conn.fc.queue_frame(&payload).is_err() {
+                    self.close_conn(token);
+                    continue;
+                }
+                if !touched.contains(&token) {
+                    touched.push(token);
+                }
+            }
+        }
+        for token in touched {
+            self.flush_conn(token);
+        }
+    }
+
+    /// Flushes a connection's queue and keeps write interest armed
+    /// exactly while bytes remain.
+    fn flush_conn(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else { return };
+        match conn.fc.flush() {
+            Ok(wants_write) => {
+                if wants_write != conn.armed_write {
+                    conn.armed_write = wants_write;
+                    let interest = if wants_write { Interest::READ_WRITE } else { Interest::READ };
+                    let _ = self.poller.rearm(conn.fc.stream().as_raw_fd(), token, interest);
+                }
+            }
+            Err(_) => self.close_conn(token),
+        }
+    }
+
+    /// Cuts connections that blew their handshake or idle deadline —
+    /// the reactor's answer to half-open sockets: no thread is parked
+    /// anywhere, so a scan and a close is the entire cleanup.
+    fn scan_deadlines(&mut self) {
+        let now = Instant::now();
+        let mut doomed: Vec<u64> = Vec::new();
+        for (token, conn) in &self.conns {
+            let overdue = match conn.state {
+                ConnState::Handshaking { since } => {
+                    now.saturating_duration_since(since) >= HANDSHAKE_DEADLINE
+                }
+                ConnState::Worker { .. } => conn.fc.idle_for(now) >= self.idle_deadline,
+            };
+            if overdue {
+                doomed.push(*token);
+            }
+        }
+        for token in doomed {
+            self.close_conn(token);
+        }
+    }
+
+    /// Removes a connection; if it was some worker's current link, the
+    /// master hears `Disconnected` (stale links die silently).
+    fn close_conn(&mut self, token: u64) {
+        let Some(conn) = self.conns.remove(&token) else { return };
+        let _ = self.poller.deregister(conn.fc.stream().as_raw_fd());
+        if let ConnState::Worker { id } = conn.state {
+            if self.worker_conn[id] == Some(token) {
+                self.worker_conn[id] = None;
+                self.shared.connected_now.lock().expect("connected lock")[id] = false;
+                let _ = self.tx.send(Inbound::Disconnected(id));
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::protocol::Request;
+    use crate::transport::frame::write_frame;
+    use crate::transport::tcp::TcpWorker;
+    use crate::transport::WorkerTransport;
+    use lss_core::chunk::Chunk;
+    use lss_core::master::Assignment;
+    use std::net::TcpStream;
+
+    fn next_request(m: &mut EventedTcpMaster) -> Request {
+        loop {
+            if let Inbound::Request(r) = m.recv().unwrap() {
+                return r;
+            }
+        }
+    }
+
+    #[test]
+    fn evented_roundtrip_two_workers() {
+        let handle = evented_listen().unwrap();
+        let addr = handle.addr;
+        let workers: Vec<_> = (0..2)
+            .map(|i| {
+                std::thread::spawn(move || {
+                    let mut w = TcpWorker::connect(
+                        addr,
+                        Request { worker: i, q: 1, result: None },
+                    )
+                    .unwrap();
+                    let r1 = w.recv_reply().unwrap();
+                    if let Assignment::Chunk(c) = r1.assignment {
+                        let values = vec![9; c.len as usize];
+                        w.send_request(Request {
+                            worker: i,
+                            q: 2,
+                            result: Some(crate::protocol::ChunkResult::new(c, values)),
+                        })
+                        .unwrap();
+                    }
+                    let r2 = w.recv_reply().unwrap();
+                    (r1, r2)
+                })
+            })
+            .collect();
+
+        let mut master = handle.accept_workers(2).unwrap();
+        for k in 0..2 {
+            let req = next_request(&mut master);
+            assert!(req.result.is_none());
+            master
+                .send(
+                    req.worker,
+                    crate::protocol::Reply {
+                        assignment: Assignment::Chunk(Chunk::new(k * 10, 3)),
+                    },
+                )
+                .unwrap();
+        }
+        for _ in 0..2 {
+            let req = next_request(&mut master);
+            let res = req.result.expect("piggy-backed result");
+            assert_eq!(res.values, vec![9, 9, 9]);
+            master
+                .send(req.worker, crate::protocol::Reply { assignment: Assignment::Finished })
+                .unwrap();
+        }
+        for w in workers {
+            let (r1, r2) = w.join().unwrap();
+            assert!(matches!(r1.assignment, Assignment::Chunk(_)));
+            assert_eq!(r2.assignment, Assignment::Finished);
+        }
+    }
+
+    #[test]
+    fn evented_worker_reconnects_under_same_id() {
+        let handle = evented_listen().unwrap();
+        let addr = handle.addr;
+        let t = std::thread::spawn(move || {
+            let mut w =
+                TcpWorker::connect(addr, Request { worker: 0, q: 1, result: None }).unwrap();
+            let r1 = w.recv_reply().unwrap();
+            w.reconnect(&Request { worker: 0, q: 5, result: None }).unwrap();
+            let r2 = w.recv_reply().unwrap();
+            (r1, r2)
+        });
+        let mut master = handle.accept_workers(1).unwrap();
+        let req = next_request(&mut master);
+        assert_eq!(req.q, 1);
+        master
+            .send(0, crate::protocol::Reply { assignment: Assignment::Retry })
+            .unwrap();
+        let req2 = loop {
+            match master.recv().unwrap() {
+                Inbound::Request(r) => break r,
+                Inbound::Disconnected(0) | Inbound::Reconnected(0) => {}
+                other => panic!("unexpected {other:?}"),
+            }
+        };
+        assert_eq!(req2.q, 5, "hello of the new connection");
+        master
+            .send(0, crate::protocol::Reply { assignment: Assignment::Finished })
+            .unwrap();
+        let (r1, r2) = t.join().unwrap();
+        assert_eq!(r1.assignment, Assignment::Retry);
+        assert_eq!(r2.assignment, Assignment::Finished);
+    }
+
+    #[test]
+    fn evented_half_open_worker_is_disconnected() {
+        // The reactor-side twin of the blocking regression: handshake,
+        // then silence → typed Disconnected via the idle deadline, and
+        // no thread anywhere is stuck (the reactor keeps looping).
+        let handle = evented_listen().unwrap();
+        let addr = handle.addr;
+        let silent = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            let hello = WireMsg::Request(Request { worker: 0, q: 1, result: None }).encode();
+            write_frame(&mut s, &hello).unwrap();
+            std::thread::sleep(Duration::from_secs(4));
+            drop(s);
+        });
+        let mut master = handle
+            .accept_workers_configured(1, Duration::from_secs(5), Duration::from_millis(300))
+            .unwrap();
+        let _ = next_request(&mut master);
+        let t0 = Instant::now();
+        loop {
+            match master.recv_timeout(Duration::from_millis(100)).unwrap() {
+                Some(Inbound::Disconnected(0)) => break,
+                Some(other) => panic!("unexpected {other:?}"),
+                None => assert!(
+                    t0.elapsed() < Duration::from_secs(3),
+                    "half-open connection survived the idle deadline"
+                ),
+            }
+        }
+        silent.join().unwrap();
+    }
+
+    #[test]
+    fn evented_shutdown_completes_without_inbound_connections() {
+        // The waker — not a connection — unblocks the reactor: a
+        // drained master must shut down with zero inbound dials.
+        let handle = evented_listen().unwrap();
+        let addr = handle.addr;
+        let t = std::thread::spawn(move || {
+            let mut w =
+                TcpWorker::connect(addr, Request { worker: 0, q: 1, result: None }).unwrap();
+            w.recv_reply()
+        });
+        let mut master = handle.accept_workers(1).unwrap();
+        let _ = next_request(&mut master);
+        let t0 = Instant::now();
+        master.shutdown();
+        assert!(t0.elapsed() < Duration::from_secs(5), "shutdown waited for a connection");
+        // The reactor is joined: its listener is closed, redials fail.
+        assert!(TcpStream::connect(addr).is_err());
+        let err = t.join().unwrap().unwrap_err();
+        assert!(err.is_disconnect(), "{err:?}");
+        assert!(master.send(0, crate::protocol::Reply { assignment: Assignment::Retry }).is_err());
+    }
+
+    #[test]
+    fn evented_send_to_never_connected_worker_fails_cleanly() {
+        let handle = evented_listen().unwrap();
+        let addr = handle.addr;
+        let t = std::thread::spawn(move || {
+            let mut w =
+                TcpWorker::connect(addr, Request { worker: 0, q: 1, result: None }).unwrap();
+            w.recv_reply().unwrap()
+        });
+        let mut master = handle.accept_workers(1).unwrap();
+        let _ = next_request(&mut master);
+        assert!(matches!(
+            master.send(5, crate::protocol::Reply { assignment: Assignment::Retry }),
+            Err(TransportError::UnknownWorker(5))
+        ));
+        master
+            .send(0, crate::protocol::Reply { assignment: Assignment::Finished })
+            .unwrap();
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn evented_accept_timeout_with_zero_connections_returns() {
+        let handle = evented_listen().unwrap();
+        let addr = handle.addr;
+        let t0 = Instant::now();
+        match handle.accept_workers_within(1, Duration::from_millis(200)) {
+            Err(TransportError::Io(_)) => {}
+            Err(other) => panic!("expected accept timeout, got {other:?}"),
+            Ok(_) => panic!("accept should have timed out"),
+        }
+        assert!(t0.elapsed() < Duration::from_secs(5));
+        assert!(TcpStream::connect(addr).is_err(), "reactor still alive after timeout teardown");
+    }
+}

@@ -13,8 +13,15 @@
 //! network blipped) can redial and re-handshake under the same worker
 //! id. Stale disconnect notices from the replaced connection are
 //! filtered by per-connection generation numbers.
+//!
+//! Deadline discipline: **every read carries a finite timeout**.
+//! Blocking semantics come from looping over timed slices, never from
+//! an unbounded `read` — a peer that goes half-open (no FIN, no RST,
+//! just silence) trips the idle deadline instead of parking a thread
+//! forever. Shutdown of the blocking accept loop is a self-connect
+//! kick: `begin_shutdown` dials the listener once so `accept` returns
+//! and observes the stop flag with zero real inbound connections.
 
-use std::io::ErrorKind;
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
@@ -24,6 +31,17 @@ use std::time::{Duration, Instant};
 use super::frame::{fill_from, read_frame_blocking, write_frame, FrameBuf};
 use super::{Inbound, MasterTransport, TransportError, WorkerTransport};
 use crate::protocol::{Reply, Request, WireMsg};
+
+/// Timeout slice for reader threads and the worker's blocking receive:
+/// every `read` syscall is bounded by this, and blocking behaviour is a
+/// loop over slices (checking shutdown flags between them).
+const READ_SLICE: Duration = Duration::from_millis(250);
+
+/// How long an established master-side connection may stay completely
+/// silent before it is declared half-open and dropped. Workers
+/// heartbeat every 100 ms while computing (the harness default), so a
+/// healthy link is never remotely close to this.
+pub const DEFAULT_IDLE_DEADLINE: Duration = Duration::from_secs(30);
 
 /// Shared master-side connection state.
 struct Shared {
@@ -39,15 +57,24 @@ struct Shared {
     connected_cv: Condvar,
     /// Set when the master endpoint drops; stops the acceptor thread.
     shutdown: AtomicBool,
+    /// The listener's own address — `begin_shutdown` dials it once so a
+    /// blocking `accept` wakes up and observes the flag.
+    addr: SocketAddr,
+    /// Silence budget for established connections (half-open cutoff).
+    idle_deadline: Duration,
 }
 
 impl Shared {
-    /// Initiates a full teardown: stops the acceptor (it polls the
-    /// flag) and closes every worker socket so reader threads parked
-    /// in `read` observe EOF and exit instead of leaking. Safe to call
-    /// more than once.
+    /// Initiates a full teardown: stops the acceptor (kicking its
+    /// blocking `accept` awake with a throwaway self-connection) and
+    /// closes every worker socket so reader threads observe EOF and
+    /// exit instead of leaking. Safe to call more than once.
     fn begin_shutdown(&self) {
         self.shutdown.store(true, Ordering::SeqCst);
+        // The kick: a connect that exists only to make accept() return.
+        // If the acceptor is already gone the connect fails; either way
+        // the stream is dropped immediately.
+        let _ = TcpStream::connect(self.addr);
         if let Ok(mut streams) = self.streams.lock() {
             for slot in streams.iter_mut() {
                 if let Some(s) = slot.take() {
@@ -62,16 +89,26 @@ impl Shared {
 pub struct TcpMaster {
     inbox: Receiver<Inbound>,
     shared: Arc<Shared>,
+    /// The acceptor thread, joined on shutdown so "shutdown complete"
+    /// means the accept loop has actually exited — not merely been
+    /// asked to.
+    acceptor: Mutex<Option<std::thread::JoinHandle<()>>>,
 }
 
 impl TcpMaster {
-    /// Gracefully shuts the endpoint down: the acceptor loop exits and
-    /// every live worker socket is closed, so blocked workers observe
-    /// EOF and their reader threads unwind instead of staying parked.
-    /// Subsequent `send`s fail with [`TransportError::Disconnected`].
-    /// Dropping the master does the same implicitly.
+    /// Gracefully shuts the endpoint down: the acceptor loop exits
+    /// (kicked awake, no inbound connection required) and every live
+    /// worker socket is closed, so blocked workers observe EOF and
+    /// their reader threads unwind instead of staying parked. When this
+    /// returns the acceptor thread has terminated. Subsequent `send`s
+    /// fail with [`TransportError::Disconnected`]. Dropping the master
+    /// does the same implicitly.
     pub fn shutdown(&self) {
         self.shared.begin_shutdown();
+        let handle = self.acceptor.lock().expect("acceptor lock").take();
+        if let Some(h) = handle {
+            let _ = h.join();
+        }
     }
 }
 
@@ -80,7 +117,7 @@ impl Drop for TcpMaster {
         // Close every worker socket so blocked workers observe EOF —
         // a hung worker's thread must still be joinable after the
         // master gives up on it.
-        self.shared.begin_shutdown();
+        self.shutdown();
     }
 }
 
@@ -116,16 +153,17 @@ pub fn tcp_listen_on(host: &str, port: u16) -> Result<TcpListenerHandle, Transpo
 }
 
 /// Performs one connection handshake: reads the first frame, which must
-/// be a request identifying the worker. Returns the hello request.
+/// be a request identifying the worker. Returns the hello request. The
+/// 10 s read deadline set here **stays armed** — clearing it was the
+/// half-open bug: a worker that completed the hello and then went
+/// silent parked its reader thread in an unbounded `read` forever. The
+/// reader loop re-arms its own (shorter) slice immediately anyway.
 fn handshake(stream: &mut TcpStream, p: usize) -> Result<Request, TransportError> {
     stream
         .set_read_timeout(Some(Duration::from_secs(10)))
         .map_err(|e| TransportError::Io(e.to_string()))?;
     let payload = read_frame_blocking(stream)
         .map_err(|e| TransportError::Io(format!("handshake read failed: {e}")))?;
-    stream
-        .set_read_timeout(None)
-        .map_err(|e| TransportError::Io(e.to_string()))?;
     let req = match WireMsg::decode(&payload) {
         Some(WireMsg::Request(req)) => req,
         _ => return Err(TransportError::Malformed("malformed handshake".into())),
@@ -136,61 +174,93 @@ fn handshake(stream: &mut TcpStream, p: usize) -> Result<Request, TransportError
     Ok(req)
 }
 
+/// The body of a reader thread: sliced timed reads, never an unbounded
+/// one. Returns `true` when the connection ended (EOF, error, idle
+/// deadline, shutdown) and a disconnect notice may be due; `false` when
+/// the master side vanished and nobody is listening.
+fn reader_loop(stream: &mut TcpStream, tx: &Sender<Inbound>, shared: &Shared) -> bool {
+    if stream.set_read_timeout(Some(READ_SLICE)).is_err() {
+        return true;
+    }
+    let mut rbuf = FrameBuf::default();
+    let mut last_data = Instant::now();
+    loop {
+        loop {
+            match rbuf.try_extract() {
+                Ok(Some(payload)) => match WireMsg::decode(&payload) {
+                    Some(WireMsg::Request(req)) => {
+                        if tx.send(Inbound::Request(req)).is_err() {
+                            return false;
+                        }
+                    }
+                    Some(WireMsg::Heartbeat { worker }) => {
+                        if tx.send(Inbound::Heartbeat { worker }).is_err() {
+                            return false;
+                        }
+                    }
+                    None => return true, // malformed: connection is dead
+                },
+                Ok(None) => break,
+                Err(_) => return true,
+            }
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return true;
+        }
+        match fill_from(stream, &mut rbuf) {
+            Ok(true) => last_data = Instant::now(),
+            Ok(false) => {
+                // Timed-out slice: no bytes. A connection silent past
+                // the idle deadline is half-open — drop it so the
+                // master requeues the worker's lease instead of
+                // trusting a corpse.
+                if last_data.elapsed() >= shared.idle_deadline {
+                    return true;
+                }
+            }
+            Err(_) => return true,
+        }
+    }
+}
+
 /// Spawns the per-connection reader thread.
 fn spawn_reader(mut stream: TcpStream, id: usize, my_gen: u64, tx: Sender<Inbound>, shared: Arc<Shared>) {
     std::thread::spawn(move || {
-        // Until EOF or an I/O error ends the connection:
-        while let Ok(payload) = read_frame_blocking(&mut stream) {
-            match WireMsg::decode(&payload) {
-                Some(WireMsg::Request(req)) => {
-                    if tx.send(Inbound::Request(req)).is_err() {
-                        return; // master gone; nobody to notify
-                    }
-                }
-                Some(WireMsg::Heartbeat { worker }) => {
-                    if tx.send(Inbound::Heartbeat { worker }).is_err() {
-                        return;
-                    }
-                }
-                None => break, // malformed frame: treat connection as dead
-            }
-        }
+        let ended = reader_loop(&mut stream, &tx, &shared);
         // Only current connections get to report their death; if the
         // worker already re-handshook, this notice is stale.
-        let current = {
-            let gens = shared.gens.lock().expect("gens lock");
-            gens[id] == my_gen
-        };
-        if current {
-            let _ = tx.send(Inbound::Disconnected(id));
+        if ended {
+            let current = {
+                let gens = shared.gens.lock().expect("gens lock");
+                gens[id] == my_gen
+            };
+            if current {
+                let _ = tx.send(Inbound::Disconnected(id));
+            }
         }
     });
 }
 
 /// The acceptor loop: accepts connections (initial and re-dials) until
-/// the master shuts down.
+/// the master shuts down. `accept` blocks — no polling sleep — and
+/// shutdown wakes it with the self-connect kick from `begin_shutdown`.
 fn acceptor_loop(listener: TcpListener, p: usize, tx: Sender<Inbound>, shared: Arc<Shared>) {
-    listener
-        .set_nonblocking(true)
-        .expect("listener nonblocking");
     let mut ever_connected = vec![false; p];
-    while !shared.shutdown.load(Ordering::SeqCst) {
+    loop {
         let (mut stream, _) = match listener.accept() {
             Ok(conn) => conn,
-            Err(e) if e.kind() == ErrorKind::WouldBlock => {
-                std::thread::sleep(Duration::from_millis(2));
-                continue;
-            }
             Err(_) => return,
         };
+        // The kick connection (or any late arrival) lands here once the
+        // flag is up; drop it and exit.
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return;
+        }
         if stream.set_nodelay(true).is_err() {
             continue;
         }
         // Handshakes are short; do them inline. A worker that connects
         // and stalls for 10 s forfeits the slot, nothing more.
-        if stream.set_nonblocking(false).is_err() {
-            continue;
-        }
         let req = match handshake(&mut stream, p) {
             Ok(req) => req,
             Err(_) => continue, // bad client; keep serving the others
@@ -254,6 +324,18 @@ impl TcpListenerHandle {
     /// [`TcpListenerHandle::accept_workers`] with an explicit deadline
     /// for the initial full complement.
     pub fn accept_workers_within(self, p: usize, timeout: Duration) -> Result<TcpMaster, TransportError> {
+        self.accept_workers_configured(p, timeout, DEFAULT_IDLE_DEADLINE)
+    }
+
+    /// Full-knobs variant: `idle_deadline` bounds how long an
+    /// established connection may stay silent before it is treated as
+    /// half-open (tests shrink it to exercise the cutoff quickly).
+    pub fn accept_workers_configured(
+        self,
+        p: usize,
+        timeout: Duration,
+        idle_deadline: Duration,
+    ) -> Result<TcpMaster, TransportError> {
         assert!(p >= 1, "need at least one worker");
         let (tx, rx) = channel::<Inbound>();
         let shared = Arc::new(Shared {
@@ -262,12 +344,14 @@ impl TcpListenerHandle {
             connected: Mutex::new(0),
             connected_cv: Condvar::new(),
             shutdown: AtomicBool::new(false),
+            addr: self.addr,
+            idle_deadline,
         });
         let listener = self.listener;
-        {
+        let acceptor = {
             let shared = Arc::clone(&shared);
-            std::thread::spawn(move || acceptor_loop(listener, p, tx, shared));
-        }
+            std::thread::spawn(move || acceptor_loop(listener, p, tx, shared))
+        };
         // Wait for the full complement.
         let deadline = Instant::now() + timeout;
         let mut connected = shared.connected.lock().expect("connected lock");
@@ -277,9 +361,11 @@ impl TcpListenerHandle {
                 let msg = format!("only {connected}/{p} workers connected within {timeout:?}");
                 drop(connected);
                 // Full teardown, not just the flag: any worker that DID
-                // connect has a reader thread parked in `read`; closing
-                // its socket lets that thread exit instead of leaking.
+                // connect has a reader thread in its sliced-read loop;
+                // closing its socket (and kicking the acceptor awake)
+                // lets every thread exit instead of leaking.
                 shared.begin_shutdown();
+                let _ = acceptor.join();
                 return Err(TransportError::Io(msg));
             }
             let (guard, _timed_out) = shared
@@ -289,7 +375,7 @@ impl TcpListenerHandle {
             connected = guard;
         }
         drop(connected);
-        Ok(TcpMaster { inbox: rx, shared })
+        Ok(TcpMaster { inbox: rx, shared, acceptor: Mutex::new(Some(acceptor)) })
     }
 }
 
@@ -355,15 +441,15 @@ impl WorkerTransport for TcpWorker {
     }
 
     fn recv_reply(&mut self) -> Result<Reply, TransportError> {
-        self.stream
-            .set_read_timeout(None)
-            .map_err(|e| TransportError::Io(e.to_string()))?;
+        // Blocking semantics via an unbounded loop of *bounded* reads:
+        // every syscall carries a deadline, and a dead master surfaces
+        // as EOF/reset on the next slice rather than never.
         loop {
             if let Some(payload) = self.rbuf.try_extract()? {
                 return Reply::decode(&payload)
                     .ok_or_else(|| TransportError::Malformed("malformed reply".into()));
             }
-            self.fill(None)?;
+            self.fill(READ_SLICE)?;
         }
     }
 
@@ -379,7 +465,7 @@ impl WorkerTransport for TcpWorker {
             if left.is_zero() {
                 return Ok(None);
             }
-            if !self.fill(Some(left))? {
+            if !self.fill(left)? {
                 return Ok(None); // timed out mid-frame; state preserved
             }
         }
@@ -402,15 +488,14 @@ impl WorkerTransport for TcpWorker {
 }
 
 impl TcpWorker {
-    /// Reads more bytes into the frame buffer. With a timeout, returns
-    /// `Ok(false)` when the read timed out; blocking mode always reads
-    /// at least one byte or errors.
-    fn fill(&mut self, timeout: Option<Duration>) -> Result<bool, TransportError> {
-        if timeout.is_some() {
-            self.stream
-                .set_read_timeout(timeout)
-                .map_err(|e| TransportError::Io(e.to_string()))?;
-        }
+    /// Reads more bytes into the frame buffer under a finite deadline
+    /// (always re-armed — a stale timeout from a previous call can
+    /// never leak into this read). Returns `Ok(false)` when the read
+    /// timed out with the partial-frame state preserved.
+    fn fill(&mut self, timeout: Duration) -> Result<bool, TransportError> {
+        self.stream
+            .set_read_timeout(Some(timeout.max(Duration::from_millis(1))))
+            .map_err(|e| TransportError::Io(e.to_string()))?;
         fill_from(&mut self.stream, &mut self.rbuf)
     }
 }
@@ -631,6 +716,81 @@ mod tests {
         }
         // The teardown closed the connected worker's socket, so its
         // blocked read observes EOF instead of parking forever.
+        assert!(t.join().unwrap().is_err());
+    }
+
+    #[test]
+    fn half_open_worker_is_disconnected_not_parked() {
+        // Regression: the old handshake cleared its read timeout after
+        // the hello, so a worker that went silent (no FIN, no RST)
+        // parked its reader thread in `read` forever. Now the idle
+        // deadline converts silence into a typed Disconnected event.
+        let handle = tcp_listen().unwrap();
+        let addr = handle.addr;
+        let silent = std::thread::spawn(move || {
+            let mut s = TcpStream::connect(addr).unwrap();
+            let hello = WireMsg::Request(Request { worker: 0, q: 1, result: None }).encode();
+            write_frame(&mut s, &hello).unwrap();
+            // Handshaken, now half-open: hold the socket open, say
+            // nothing, send nothing, close nothing.
+            std::thread::sleep(Duration::from_secs(4));
+            drop(s);
+        });
+        let mut master = handle
+            .accept_workers_configured(1, Duration::from_secs(5), Duration::from_millis(300))
+            .unwrap();
+        let _ = next_request(&mut master);
+        let t0 = Instant::now();
+        loop {
+            match master.recv_timeout(Duration::from_millis(100)).unwrap() {
+                Some(Inbound::Disconnected(0)) => break,
+                Some(other) => panic!("unexpected {other:?}"),
+                None => assert!(
+                    t0.elapsed() < Duration::from_secs(3),
+                    "half-open connection was not cut by the idle deadline"
+                ),
+            }
+        }
+        silent.join().unwrap();
+    }
+
+    #[test]
+    fn accept_timeout_with_zero_inbound_connections_returns() {
+        // Regression: the accept loop must not need a real inbound
+        // connection to observe shutdown — the self-connect kick wakes
+        // the blocking accept. Nobody ever dials here.
+        let handle = tcp_listen().unwrap();
+        let addr = handle.addr;
+        let t0 = Instant::now();
+        match handle.accept_workers_within(1, Duration::from_millis(200)) {
+            Err(TransportError::Io(_)) => {}
+            Err(other) => panic!("expected accept timeout, got {other:?}"),
+            Ok(_) => panic!("accept should have timed out"),
+        }
+        // accept_workers joined the acceptor before returning, so the
+        // listener is closed: a fresh dial must be refused.
+        assert!(t0.elapsed() < Duration::from_secs(5), "shutdown hung waiting for a connection");
+        assert!(
+            TcpStream::connect(addr).is_err(),
+            "acceptor still alive after shutdown completed"
+        );
+    }
+
+    #[test]
+    fn explicit_shutdown_joins_the_acceptor() {
+        let handle = tcp_listen().unwrap();
+        let addr = handle.addr;
+        let t = std::thread::spawn(move || {
+            let mut w =
+                TcpWorker::connect(addr, Request { worker: 0, q: 1, result: None }).unwrap();
+            w.recv_reply()
+        });
+        let mut master = handle.accept_workers(1).unwrap();
+        let _ = next_request(&mut master);
+        master.shutdown();
+        // The acceptor has exited (shutdown joins it); its listener is
+        // gone, so redials are refused rather than silently queued.
+        assert!(TcpStream::connect(addr).is_err());
         assert!(t.join().unwrap().is_err());
     }
 

@@ -39,6 +39,7 @@
 #![cfg_attr(test, allow(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod client;
+mod evented;
 pub mod journal;
 pub mod link;
 pub mod queue;
@@ -54,7 +55,9 @@ pub use journal::{Journal, JournalConfig, JobSnapshot, RecoveredState};
 pub use link::{LocalLink, ServeLink, TcpLink, DEFAULT_DEADLINE};
 pub use queue::{JobQueue, QueuedJob};
 pub use scheduler::{FairSnapshot, MultiJobScheduler, QuarantineConfig, SchedulerConfig};
-pub use service::{serve, serve_tcp, ServeConfig, ServeHandle, ServeReport};
+pub use service::{
+    serve, serve_tcp, serve_tcp_with, ServeBackend, ServeConfig, ServeHandle, ServeReport,
+};
 pub use worker::{run_serve_worker, ServeWorkerConfig, ServeWorkerStats};
 
 /// Materializes the workload a [`WorkloadSpec`] describes. Both the

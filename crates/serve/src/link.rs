@@ -30,7 +30,7 @@ use lss_runtime::protocol::serve::ServeFrame;
 use lss_runtime::transport::frame::{fill_from, write_frame, FrameBuf};
 use lss_runtime::transport::TransportError;
 
-use crate::service::Event;
+use crate::service::{Event, ReplyTo};
 
 /// Deadline applied to every request unless overridden with
 /// [`ServeLink::set_deadline`]. Generous — it guards against *dead*
@@ -81,7 +81,7 @@ impl ServeLink for LocalLink {
     fn call(&mut self, frame: ServeFrame) -> Result<ServeFrame, TransportError> {
         let (rtx, rrx) = channel();
         self.tx
-            .send(Event::Frame { frame, reply: rtx })
+            .send(Event::Frame { frame, reply: ReplyTo::Channel(rtx) })
             .map_err(|_| TransportError::Disconnected("service stopped".into()))?;
         match self.deadline {
             None => {
@@ -167,14 +167,18 @@ impl TcpLink {
     /// Waits for one complete reply frame, at most until the deadline.
     fn read_reply(&mut self) -> Result<Vec<u8>, TransportError> {
         let Some(deadline) = self.deadline else {
-            self.stream
-                .set_read_timeout(None)
-                .map_err(|e| TransportError::Io(format!("clear read timeout: {e}")))?;
+            // Deadline-less links still never issue an unbounded read:
+            // waiting forever is a loop of finite slices, so every
+            // syscall keeps a deadline and EOF/reset is noticed on the
+            // next slice.
             loop {
                 if let Some(payload) = self.rbuf.try_extract()? {
                     return Ok(payload);
                 }
-                fill_from(&mut self.stream, &mut self.rbuf)?;
+                self.stream
+                    .set_read_timeout(Some(Duration::from_millis(250)))
+                    .map_err(|e| TransportError::Io(format!("set read timeout: {e}")))?;
+                let _ = fill_from(&mut self.stream, &mut self.rbuf)?;
             }
         };
         let start = Instant::now();

@@ -14,6 +14,14 @@
 //! request is answered with `Shutdown` and every submission with a
 //! typed `Rejected`; the loop exits once each connected worker has
 //! been told, so no thread is left parked on a socket.
+//!
+//! Two TCP front ends feed the same event loop ([`ServeBackend`]):
+//! the original thread-per-connection blocking sockets, and a single
+//! epoll reactor thread ([`crate::evented`]). Replies route back
+//! through [`ReplyTo`], which hides the difference — a channel to a
+//! connection thread, or the reactor's outbox plus a waker nudge —
+//! so the state machine itself never knows which backend carried the
+//! frame.
 
 use std::net::{SocketAddr, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -74,6 +82,12 @@ pub struct ServeConfig {
     /// directory are re-admitted with only their un-completed
     /// iterations left to schedule.
     pub journal: Option<JournalConfig>,
+    /// How long the evented front end lets an established connection
+    /// stay silent before treating it as half-open and closing it
+    /// (workers hear a disconnect notice, so held chunks requeue).
+    /// Generous by default: serve workers legitimately go quiet for a
+    /// whole batch computation between requests.
+    pub idle_deadline: Duration,
 }
 
 impl ServeConfig {
@@ -92,6 +106,62 @@ impl ServeConfig {
             exit_after_jobs: None,
             quarantine: QuarantineConfig::default(),
             journal: None,
+            idle_deadline: Duration::from_secs(120),
+        }
+    }
+}
+
+/// Which TCP front end [`serve_tcp`] runs. Both speak the identical
+/// framed protocol and feed the same single-threaded event loop; they
+/// differ only in how connections are multiplexed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServeBackend {
+    /// One blocking thread per connection (the original front end).
+    Blocking,
+    /// One epoll reactor thread for every connection (`lss-reactor`).
+    Evented,
+}
+
+impl ServeBackend {
+    /// Resolves the backend from `LSS_SERVE_BACKEND`: `blocking` (or
+    /// unset/empty) and `evented` are accepted; anything else is a
+    /// typed error rather than a silent fallback.
+    pub fn from_env() -> Result<ServeBackend, TransportError> {
+        match std::env::var("LSS_SERVE_BACKEND") {
+            Err(_) => Ok(ServeBackend::Blocking),
+            Ok(v) if v.is_empty() || v == "blocking" => Ok(ServeBackend::Blocking),
+            Ok(v) if v == "evented" => Ok(ServeBackend::Evented),
+            Ok(v) => Err(TransportError::Io(format!(
+                "unknown LSS_SERVE_BACKEND `{v}` (expected `blocking` or `evented`)"
+            ))),
+        }
+    }
+}
+
+/// Where a reply to an [`Event::Frame`] goes: a channel back to the
+/// blocking connection thread (or local link), or the evented
+/// reactor's outbox keyed by connection token. Either way the send is
+/// fire-and-forget — a peer that vanished mid-request simply never
+/// reads its reply, exactly as bytes in a dead socket would be lost.
+pub(crate) enum ReplyTo {
+    /// An mpsc sender (connection thread or in-process link).
+    Channel(Sender<ServeFrame>),
+    /// The evented front end's outbox plus the owning connection.
+    Evented {
+        /// Registration token of the connection awaiting the reply.
+        token: u64,
+        /// The reactor's reply queue (waking it is part of `reply`).
+        outbox: Arc<crate::evented::EvOutbox>,
+    },
+}
+
+impl ReplyTo {
+    pub(crate) fn send(self, frame: ServeFrame) {
+        match self {
+            ReplyTo::Channel(tx) => {
+                let _ = tx.send(frame);
+            }
+            ReplyTo::Evented { token, outbox } => outbox.reply(token, frame),
         }
     }
 }
@@ -102,8 +172,9 @@ pub(crate) enum Event {
     Frame {
         /// The decoded frame.
         frame: ServeFrame,
-        /// Where the reply goes (connection thread or local link).
-        reply: Sender<ServeFrame>,
+        /// Where the reply goes (connection thread, local link, or the
+        /// evented reactor's outbox).
+        reply: ReplyTo,
     },
     /// A frame with no reply (heartbeats).
     Post(ServeFrame),
@@ -141,8 +212,34 @@ pub struct ServeHandle {
     tx: Sender<Event>,
     thread: JoinHandle<ServeReport>,
     accept_stop: Option<Arc<AtomicBool>>,
+    /// How to nudge the front end awake once the stop flag is set: a
+    /// self-connect for the blocking acceptor (which only observes the
+    /// flag after `accept()` returns), a waker for the reactor.
+    stop_signal: Option<StopSignal>,
+    /// The acceptor/reactor thread, joined so "service finished" means
+    /// the front end's loop has actually exited, not merely been asked.
+    front_end: Option<JoinHandle<()>>,
     /// Dial address, when listening on TCP.
     pub addr: Option<SocketAddr>,
+}
+
+/// The wake-up that makes the front end notice its stop flag.
+enum StopSignal {
+    /// Dial the listener once so a blocking `accept()` returns.
+    Kick(SocketAddr),
+    /// Interrupt the reactor's `epoll_wait`.
+    Wake(lss_reactor::Waker),
+}
+
+impl StopSignal {
+    fn fire(&self) {
+        match self {
+            StopSignal::Kick(addr) => {
+                let _ = TcpStream::connect(*addr);
+            }
+            StopSignal::Wake(waker) => waker.wake(),
+        }
+    }
 }
 
 impl ServeHandle {
@@ -164,14 +261,23 @@ impl ServeHandle {
     /// (its thread flips the stop flag) — joining must not refuse
     /// peers that have not dialed yet.
     pub fn join(self) -> ServeReport {
-        let ServeHandle { tx, thread, accept_stop, .. } = self;
+        let ServeHandle { tx, thread, accept_stop, stop_signal, front_end, .. } = self;
         drop(tx);
         let report = match thread.join() {
             Ok(report) => report,
             Err(_) => panic!("service thread panicked"),
         };
+        // The service thread already flagged and signalled the front
+        // end on its way out; repeating both here is belt-and-braces
+        // so the join below can never park on a lost wakeup.
         if let Some(stop) = &accept_stop {
             stop.store(true, Ordering::SeqCst);
+        }
+        if let Some(signal) = &stop_signal {
+            signal.fire();
+        }
+        if let Some(fe) = front_end {
+            let _ = fe.join();
         }
         report
     }
@@ -206,20 +312,44 @@ pub fn try_serve(cfg: ServeConfig) -> Result<ServeHandle, TransportError> {
     let (tx, rx) = channel();
     let service = Service::new(cfg)?;
     let thread = std::thread::spawn(move || service.run(rx));
-    Ok(ServeHandle { tx, thread, accept_stop: None, addr: None })
+    Ok(ServeHandle { tx, thread, accept_stop: None, stop_signal: None, front_end: None, addr: None })
 }
 
 /// Starts a service listening on TCP (`port` 0 = ephemeral). Workers
 /// and clients dial the returned handle's `addr` and are told apart by
 /// their hello frame; a peer speaking the legacy unversioned protocol
 /// is refused with a typed `Rejected` frame.
+///
+/// The front end is chosen by `LSS_SERVE_BACKEND` (see
+/// [`ServeBackend::from_env`]); use [`serve_tcp_with`] to pin one
+/// explicitly.
 pub fn serve_tcp(cfg: ServeConfig, host: &str, port: u16) -> Result<ServeHandle, TransportError> {
+    serve_tcp_with(cfg, host, port, ServeBackend::from_env()?)
+}
+
+/// [`serve_tcp`] with an explicit front end.
+pub fn serve_tcp_with(
+    cfg: ServeConfig,
+    host: &str,
+    port: u16,
+    backend: ServeBackend,
+) -> Result<ServeHandle, TransportError> {
+    match backend {
+        ServeBackend::Blocking => serve_tcp_blocking(cfg, host, port),
+        ServeBackend::Evented => serve_tcp_evented(cfg, host, port),
+    }
+}
+
+/// The thread-per-connection front end: one blocking acceptor thread,
+/// one [`connection_loop`] thread per peer.
+fn serve_tcp_blocking(
+    cfg: ServeConfig,
+    host: &str,
+    port: u16,
+) -> Result<ServeHandle, TransportError> {
     let listener_handle = tcp_listen_on(host, port)?;
     let addr = listener_handle.addr;
     let listener = listener_handle.into_listener();
-    listener
-        .set_nonblocking(true)
-        .map_err(|e| TransportError::Io(format!("nonblocking listener: {e}")))?;
     let (tx, rx) = channel::<Event>();
     let service = Service::new(cfg)?;
     let stop = Arc::new(AtomicBool::new(false));
@@ -227,36 +357,85 @@ pub fn serve_tcp(cfg: ServeConfig, host: &str, port: u16) -> Result<ServeHandle,
         let stop = Arc::clone(&stop);
         std::thread::spawn(move || {
             let report = service.run(rx);
-            // Service is gone: stop accepting so dials fail fast
-            // instead of parking a connection nobody will answer.
+            // Service is gone: flag the acceptor, then kick it with a
+            // self-connect — a blocking `accept()` observes the flag
+            // only after it returns, so without the kick the acceptor
+            // would park until some unrelated peer happened to dial.
             stop.store(true, Ordering::SeqCst);
+            let _ = TcpStream::connect(addr);
             report
         })
     };
-    {
+    let front_end = {
         let stop = Arc::clone(&stop);
         let tx = tx.clone();
-        std::thread::spawn(move || {
-            while !stop.load(Ordering::SeqCst) {
-                match listener.accept() {
-                    Ok((stream, _)) => {
-                        if stream.set_nodelay(true).is_err()
-                            || stream.set_nonblocking(false).is_err()
-                        {
-                            continue;
-                        }
-                        let tx = tx.clone();
-                        std::thread::spawn(move || connection_loop(stream, tx));
+        std::thread::spawn(move || loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    // Checked immediately after accept returns: the
+                    // kick (or any peer landing after it) exits here.
+                    if stop.load(Ordering::SeqCst) {
+                        return;
                     }
-                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(2));
+                    if stream.set_nodelay(true).is_err() || stream.set_nonblocking(false).is_err()
+                    {
+                        continue;
                     }
-                    Err(_) => return,
+                    let tx = tx.clone();
+                    std::thread::spawn(move || connection_loop(stream, tx));
                 }
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
             }
-        });
-    }
-    Ok(ServeHandle { tx, thread, accept_stop: Some(stop), addr: Some(addr) })
+        })
+    };
+    Ok(ServeHandle {
+        tx,
+        thread,
+        accept_stop: Some(stop),
+        stop_signal: Some(StopSignal::Kick(addr)),
+        front_end: Some(front_end),
+        addr: Some(addr),
+    })
+}
+
+/// The reactor front end: every connection multiplexed onto one epoll
+/// thread ([`crate::evented`]); replies travel outbox → waker → wire.
+fn serve_tcp_evented(
+    cfg: ServeConfig,
+    host: &str,
+    port: u16,
+) -> Result<ServeHandle, TransportError> {
+    let listener_handle = tcp_listen_on(host, port)?;
+    let addr = listener_handle.addr;
+    let listener = listener_handle.into_listener();
+    let (tx, rx) = channel::<Event>();
+    let idle_deadline = cfg.idle_deadline;
+    let service = Service::new(cfg)?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let front = crate::evented::start(listener, tx.clone(), Arc::clone(&stop), idle_deadline)?;
+    let waker = front.waker.clone();
+    let thread = {
+        let stop = Arc::clone(&stop);
+        let waker = front.waker.clone();
+        std::thread::spawn(move || {
+            let report = service.run(rx);
+            // Flag, then wake: the reactor drains its outbox (the
+            // farewell `Shutdown` frames queued by the loop above) and
+            // flushes them to the wire before tearing down.
+            stop.store(true, Ordering::SeqCst);
+            waker.wake();
+            report
+        })
+    };
+    Ok(ServeHandle {
+        tx,
+        thread,
+        accept_stop: Some(stop),
+        stop_signal: Some(StopSignal::Wake(waker)),
+        front_end: Some(front.thread),
+        addr: Some(addr),
+    })
 }
 
 /// Pumps one TCP connection: handshake, then frame → event → reply.
@@ -289,7 +468,7 @@ fn connection_loop(mut stream: TcpStream, tx: Sender<Event>) {
             }
         } else {
             let (rtx, rrx) = channel();
-            if tx.send(Event::Frame { frame, reply: rtx }).is_err() {
+            if tx.send(Event::Frame { frame, reply: ReplyTo::Channel(rtx) }).is_err() {
                 // Service already exited: tell the peer to stop.
                 let _ = write_frame(&mut stream, &ServeFrame::Shutdown.encode());
                 return;
@@ -437,7 +616,7 @@ impl Service {
             match rx.recv_timeout(self.cfg.poll_interval) {
                 Ok(Event::Frame { frame, reply }) => {
                     let resp = self.handle(frame);
-                    let _ = reply.send(resp);
+                    reply.send(resp);
                 }
                 Ok(Event::Post(ServeFrame::Heartbeat { worker })) => {
                     if worker < self.cfg.workers {

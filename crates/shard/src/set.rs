@@ -210,7 +210,10 @@ impl ShardSet {
         }
         Ok(ShardSet {
             shards,
-            ledger: CompletionLedger::new(cfg.total),
+            // One counter stripe per shard: completions reported into a
+            // shard's own region bump a cache line no other shard
+            // touches, instead of serializing on one global counter.
+            ledger: CompletionLedger::with_stripes(cfg.total, n),
             scheme: cfg.scheme,
             mode: cfg.mode,
             workers: cfg.workers,

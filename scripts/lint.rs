@@ -15,8 +15,10 @@
 //!    not call `.unwrap()`; a master must degrade, not panic, when a
 //!    worker misbehaves (the lease/self-healing design depends on it).
 //! 4. **serve-link-deadline** — no `ServeLink` call site may disable
-//!    its request deadline with `set_deadline(None)`; an unbounded
-//!    request defeats the crash-recovery deadline guard (PR 7).
+//!    its request deadline with `set_deadline(None)`, and no transport
+//!    read (serve links or `runtime/transport`) may clear its socket
+//!    timeout with `set_read_timeout(None)`; an unbounded read is how
+//!    a half-open peer parks a thread forever (PR 7, PR 10).
 //! 5. **serve-scheduler-pure-time** — `crates/serve/src/scheduler.rs`
 //!    decision functions take logical `now_ns` parameters; reading the
 //!    wall clock there would make the serve-scheduler interleaving
@@ -87,10 +89,15 @@ const RULES: &[Rule] = &[
         roots: &["crates/runtime/src"],
         forbidden: &[".unwrap()"],
     },
+    // The deadline discipline spans both layers: no serve-link call
+    // site may disable its request deadline, and no transport read may
+    // clear its socket timeout — `set_read_timeout(None)` is exactly
+    // the half-open-socket bug (a silent peer parks a thread forever).
+    // Blocking semantics are expressed as loops over finite slices.
     Rule {
         name: "serve-link-deadline",
-        roots: &["crates/serve/src", "crates/cli/src"],
-        forbidden: &["set_deadline(None)"],
+        roots: &["crates/serve/src", "crates/cli/src", "crates/runtime/src/transport"],
+        forbidden: &["set_deadline(None)", "set_read_timeout(None)"],
     },
     Rule {
         name: "serve-scheduler-pure-time",
